@@ -1,0 +1,152 @@
+//! Hardware free list (Figure 9, right side).
+//!
+//! §4.3: "The free list for each size class has head and tail pointers to
+//! orchestrate allocation and deallocation of memory blocks. The core uses
+//! the head pointer for push and pop requests, and the prefetcher pushes to
+//! the location of the tail pointer." So the structure is a bounded deque:
+//! core traffic is LIFO at the head (reuse locality), prefetched blocks
+//! queue FIFO at the tail.
+
+/// A fixed-capacity circular free list of block addresses.
+#[derive(Debug, Clone)]
+pub struct HwFreeList {
+    slots: Vec<u64>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl HwFreeList {
+    /// Creates a free list with `capacity` entries (paper default: 32).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        HwFreeList { slots: vec![0; capacity], head: 0, len: 0, capacity }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty (malloc must fall back).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the list is full (free must fall back / spill).
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Core pop from the head (hmmalloc hit).
+    pub fn pop_head(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.head = (self.head + self.capacity - 1) % self.capacity;
+        self.len -= 1;
+        Some(self.slots[self.head])
+    }
+
+    /// Core push at the head (hmfree hit). Returns `false` when full.
+    #[must_use]
+    pub fn push_head(&mut self, addr: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.slots[self.head] = addr;
+        self.head = (self.head + 1) % self.capacity;
+        self.len += 1;
+        true
+    }
+
+    /// Prefetcher push at the tail. Returns `false` when full.
+    #[must_use]
+    pub fn push_tail(&mut self, addr: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        // Entries occupy slots `head-len .. head-1` (mod capacity); a tail
+        // push extends the deque backwards from the head.
+        let tail = (self.head + self.capacity - self.len - 1) % self.capacity;
+        self.slots[tail] = addr;
+        self.len += 1;
+        true
+    }
+
+    /// Drains all entries (hmflush) oldest-first.
+    pub fn drain_all(&mut self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(a) = self.pop_head() {
+            out.push(a);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_at_head() {
+        let mut fl = HwFreeList::new(4);
+        assert!(fl.push_head(1));
+        assert!(fl.push_head(2));
+        assert_eq!(fl.pop_head(), Some(2));
+        assert_eq!(fl.pop_head(), Some(1));
+        assert_eq!(fl.pop_head(), None);
+    }
+
+    #[test]
+    fn fifo_at_tail() {
+        let mut fl = HwFreeList::new(4);
+        assert!(fl.push_tail(10));
+        assert!(fl.push_tail(11));
+        // Head pops should see the *first* prefetched block last:
+        // core LIFO sits on top of prefetch FIFO.
+        assert!(fl.push_head(99));
+        assert_eq!(fl.pop_head(), Some(99));
+        assert_eq!(fl.pop_head(), Some(10));
+        assert_eq!(fl.pop_head(), Some(11));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut fl = HwFreeList::new(2);
+        assert!(fl.push_head(1));
+        assert!(fl.push_head(2));
+        assert!(fl.is_full());
+        assert!(!fl.push_head(3));
+        assert!(!fl.push_tail(3));
+        assert_eq!(fl.len(), 2);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut fl = HwFreeList::new(8);
+        for i in 0..5 {
+            assert!(fl.push_head(i));
+        }
+        let drained = fl.drain_all();
+        assert_eq!(drained.len(), 5);
+        assert!(fl.is_empty());
+    }
+
+    #[test]
+    fn wraparound_many_cycles() {
+        let mut fl = HwFreeList::new(3);
+        for round in 0..50u64 {
+            assert!(fl.push_head(round));
+            assert!(fl.push_tail(1000 + round));
+            assert_eq!(fl.pop_head(), Some(round));
+            assert_eq!(fl.pop_head(), Some(1000 + round));
+            assert!(fl.is_empty());
+        }
+    }
+}

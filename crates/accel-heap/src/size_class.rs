@@ -1,0 +1,68 @@
+//! Comparator and size-class table (Figure 9, left side).
+//!
+//! §4.3: "The comparator limits the maximum size of a memory allocation
+//! request that the hardware heap manager can satisfy. The size class table
+//! chooses an appropriate free list for an incoming request depending on its
+//! request size." The hardware serves requests of at most 128 bytes through
+//! 8 slabs — "resulting in a very small, power-efficient hardware heap
+//! manager."
+
+/// Largest request the hardware heap manager serves (bytes).
+pub const MAX_HW_REQUEST: usize = 128;
+/// Number of hardware size classes.
+pub const HW_CLASS_COUNT: usize = 8;
+/// Byte granularity of the hardware size classes.
+pub const HW_CLASS_GRANULARITY: usize = MAX_HW_REQUEST / HW_CLASS_COUNT;
+
+/// The comparator + size-class table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeClassTable;
+
+impl SizeClassTable {
+    /// Classifies a request: `Some(class)` when the hardware can serve it,
+    /// `None` when the comparator rejects it (zero flag → software).
+    pub fn classify(size: usize) -> Option<usize> {
+        if size == 0 || size > MAX_HW_REQUEST {
+            return None;
+        }
+        Some((size - 1) / HW_CLASS_GRANULARITY)
+    }
+
+    /// Segment size of a class in bytes.
+    pub fn class_bytes(class: usize) -> usize {
+        assert!(class < HW_CLASS_COUNT, "class out of range");
+        (class + 1) * HW_CLASS_GRANULARITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(SizeClassTable::classify(0), None);
+        assert_eq!(SizeClassTable::classify(1), Some(0));
+        assert_eq!(SizeClassTable::classify(16), Some(0));
+        assert_eq!(SizeClassTable::classify(17), Some(1));
+        assert_eq!(SizeClassTable::classify(128), Some(7));
+        assert_eq!(SizeClassTable::classify(129), None);
+    }
+
+    #[test]
+    fn class_sizes_cover_paper_slabs() {
+        assert_eq!(SizeClassTable::class_bytes(0), 16);
+        assert_eq!(SizeClassTable::class_bytes(7), 128);
+        // Figure 8 groups these into 0-32, 32-64, 64-96, 96-128 bands:
+        // classes {0,1}, {2,3}, {4,5}, {6,7}.
+        for c in 0..HW_CLASS_COUNT {
+            assert!(SizeClassTable::class_bytes(c) <= MAX_HW_REQUEST);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn bad_class_panics() {
+        SizeClassTable::class_bytes(8);
+    }
+}

@@ -1,0 +1,129 @@
+//! Hash-table entry and inline key storage.
+//!
+//! §4.2: "the majority (about 95%) of the hash map keys accessed in these
+//! PHP applications are at most 24 bytes in length. As a result, we store
+//! the keys in the hash table itself [...] Storing the keys directly in the
+//! hash table eases the traversal of the hash table in hardware."
+
+use std::fmt;
+
+/// Maximum key bytes stored inline in a hardware entry.
+pub const MAX_KEY_BYTES: usize = 24;
+
+/// A key stored inline in a hardware hash-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmallKey {
+    bytes: [u8; MAX_KEY_BYTES],
+    len: u8,
+}
+
+impl SmallKey {
+    /// Builds an inline key; `None` when the key exceeds
+    /// [`MAX_KEY_BYTES`] (such accesses stay in software).
+    pub fn new(key: &[u8]) -> Option<SmallKey> {
+        if key.len() > MAX_KEY_BYTES {
+            return None;
+        }
+        let mut bytes = [0u8; MAX_KEY_BYTES];
+        bytes[..key.len()].copy_from_slice(key);
+        Some(SmallKey { bytes, len: key.len() as u8 })
+    }
+
+    /// The key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl fmt::Debug for SmallKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SmallKey({:?})", String::from_utf8_lossy(self.as_bytes()))
+    }
+}
+
+/// One hardware hash-table entry (Figure 6): inline key, hash-map base
+/// address, value pointer, dirty/valid bits, LRU timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Inline key.
+    pub key: SmallKey,
+    /// Base address of the hash-map structure in memory this pair belongs to.
+    pub base_addr: u64,
+    /// Pointer to the value's memory location.
+    pub value_ptr: u64,
+    /// Entry holds data not yet written back to the software map.
+    pub dirty: bool,
+    /// Entry is live.
+    pub valid: bool,
+    /// Last-access timestamp (for LRU replacement).
+    pub last_access: u64,
+}
+
+impl Entry {
+    /// An invalid (empty) entry.
+    pub fn invalid() -> Entry {
+        Entry {
+            key: SmallKey::new(b"").unwrap(),
+            base_addr: 0,
+            value_ptr: 0,
+            dirty: false,
+            valid: false,
+            last_access: 0,
+        }
+    }
+
+    /// Does this live entry match `(base, key)`?
+    pub fn matches(&self, base: u64, key: &SmallKey) -> bool {
+        self.valid && self.base_addr == base && self.key == *key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_key_limits() {
+        assert!(SmallKey::new(&[0u8; 24]).is_some());
+        assert!(SmallKey::new(&[0u8; 25]).is_none());
+        let k = SmallKey::new(b"post_title").unwrap();
+        assert_eq!(k.as_bytes(), b"post_title");
+        assert_eq!(k.len(), 10);
+        assert!(!k.is_empty());
+    }
+
+    #[test]
+    fn keys_compare_by_content() {
+        let a = SmallKey::new(b"abc").unwrap();
+        let b = SmallKey::new(b"abc").unwrap();
+        let c = SmallKey::new(b"abd").unwrap();
+        let d = SmallKey::new(b"ab").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn entry_match_requires_valid_base_and_key() {
+        let key = SmallKey::new(b"k").unwrap();
+        let mut e = Entry::invalid();
+        assert!(!e.matches(0, &key));
+        e.valid = true;
+        e.base_addr = 0x100;
+        e.key = key;
+        assert!(e.matches(0x100, &key));
+        assert!(!e.matches(0x200, &key));
+        let other = SmallKey::new(b"j").unwrap();
+        assert!(!e.matches(0x100, &other));
+    }
+}

@@ -1,0 +1,98 @@
+//! Counters and the accelerator cycle model for the hardware hash table.
+
+/// Cycles to compute the simplified hardware hash (§4.2: the HHVM hash "is
+/// overly complex to map into an efficient hardware module"; ours is
+/// pipelined in 2 cycles).
+pub const HASH_CYCLES: u64 = 2;
+/// Cycles for the parallel probe of the consecutive entries (§5.1: "This
+/// restricts the hash table access latency to a constant 1 cycle after
+/// performing the initial hash computation").
+pub const PROBE_CYCLES: u64 = 1;
+
+/// Aggregate statistics of the hardware hash table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HtStats {
+    /// GET requests issued.
+    pub gets: u64,
+    /// GET requests that hit.
+    pub get_hits: u64,
+    /// SET requests issued.
+    pub sets: u64,
+    /// SETs that updated an existing entry.
+    pub set_hits: u64,
+    /// SETs that inserted a new entry.
+    pub set_inserts: u64,
+    /// SETs/GET-fills rejected because the key exceeded the inline limit.
+    pub key_too_long: u64,
+    /// Software fills after GET misses.
+    pub fills: u64,
+    /// Replacements that found an invalid entry.
+    pub evict_invalid: u64,
+    /// Replacements of a clean entry (silent, no software).
+    pub evict_clean: u64,
+    /// Replacements that had to write back a dirty entry (software cost).
+    pub evict_dirty: u64,
+    /// Free (map-deallocation) requests.
+    pub frees: u64,
+    /// Entries invalidated by frees.
+    pub freed_entries: u64,
+    /// foreach requests served.
+    pub foreachs: u64,
+    /// Dirty entries written back by foreach/coherence flushes.
+    pub writebacks: u64,
+    /// Coherence flush events (remote requests / L2 evictions).
+    pub coherence_flushes: u64,
+    /// Accelerator cycles consumed.
+    pub accel_cycles: u64,
+}
+
+impl HtStats {
+    /// Overall hit rate as plotted in Figure 7: GET hits plus all SETs
+    /// ("Since SET operations never miss in our design") over all requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.gets + self.sets;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.get_hits + self.sets - self.key_too_long.min(self.sets)) as f64 / total as f64
+    }
+
+    /// GET-only hit rate.
+    pub fn get_hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.get_hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Fraction of requests that are SETs (paper: 15–25 % in PHP apps).
+    pub fn set_share(&self) -> f64 {
+        let total = self.gets + self.sets;
+        if total == 0 {
+            0.0
+        } else {
+            self.sets as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_counts_sets_as_hits() {
+        let s = HtStats { gets: 80, get_hits: 60, sets: 20, ..Default::default() };
+        assert!((s.hit_rate() - 0.8).abs() < 1e-12);
+        assert!((s.get_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.set_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = HtStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.get_hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Hint vectors (HVs).
+//!
+//! §4.5: the sieve regexp "outputs a bit vector indicating segments (of some
+//! granularity) in the incoming content that may have some special
+//! characters. We name these bit vectors as hint vectors. [...] The X86
+//! ISA's count leading zeros instruction is used to find the next segment in
+//! the HV that requires regexp processing."
+
+/// Default segment granularity in bytes.
+pub const DEFAULT_SEGMENT_SIZE: usize = 32;
+
+/// A packed per-segment bit vector: bit set ⇔ the segment may contain
+/// special characters and must be scanned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintVector {
+    words: Vec<u64>,
+    segments: usize,
+    segment_size: usize,
+}
+
+impl HintVector {
+    /// Builds an HV from per-segment dirty flags.
+    pub fn from_flags(flags: &[bool], segment_size: usize) -> Self {
+        assert!(segment_size > 0);
+        let mut words = vec![0u64; flags.len().div_ceil(64)];
+        for (i, &dirty) in flags.iter().enumerate() {
+            if dirty {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        HintVector { words, segments: flags.len(), segment_size }
+    }
+
+    /// An all-dirty HV (conservative fallback).
+    pub fn all_dirty(segments: usize, segment_size: usize) -> Self {
+        Self::from_flags(&vec![true; segments], segment_size)
+    }
+
+    /// Number of segments covered.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Segment granularity in bytes.
+    pub fn segment_size(&self) -> usize {
+        self.segment_size
+    }
+
+    /// Whether segment `i` must be scanned.
+    pub fn is_dirty(&self, i: usize) -> bool {
+        assert!(i < self.segments, "segment out of range");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Count of dirty segments.
+    pub fn dirty_count(&self) -> usize {
+        let full: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        full as usize
+    }
+
+    /// Fraction of segments that are clean (skippable), in \[0, 1\].
+    pub fn clean_fraction(&self) -> f64 {
+        if self.segments == 0 {
+            return 0.0;
+        }
+        1.0 - self.dirty_count() as f64 / self.segments as f64
+    }
+
+    /// Next dirty segment at or after `from` — the CLZ/CTZ hardware loop.
+    pub fn next_dirty(&self, from: usize) -> Option<usize> {
+        if from >= self.segments {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = self.words[w] & (!0u64).checked_shl((from % 64) as u32).unwrap_or(0);
+        loop {
+            if word != 0 {
+                let seg = w * 64 + word.trailing_zeros() as usize;
+                return (seg < self.segments).then_some(seg);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Iterates maximal runs of consecutive dirty segments as
+    /// `(first, last_inclusive)`.
+    pub fn dirty_runs(&self) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while let Some(start) = self.next_dirty(i) {
+            let mut end = start;
+            while end + 1 < self.segments && self.is_dirty(end + 1) {
+                end += 1;
+            }
+            runs.push((start, end));
+            i = end + 1;
+        }
+        runs
+    }
+
+    /// Byte range `[start, end)` of segment `i` in a subject of `len` bytes.
+    pub fn segment_bytes(&self, i: usize, len: usize) -> (usize, usize) {
+        let start = i * self.segment_size;
+        (start.min(len), ((i + 1) * self.segment_size).min(len))
+    }
+
+    /// Splices `count` segments (all `dirty` or all clean) in *before*
+    /// segment `at` — used after a padded insertion shifted later content by
+    /// whole segments (§4.5 whitespace padding).
+    pub fn splice(&mut self, at: usize, count: usize, dirty: bool) {
+        assert!(at <= self.segments, "splice past end");
+        let mut flags: Vec<bool> = (0..self.segments).map(|i| self.is_dirty(i)).collect();
+        for k in 0..count {
+            flags.insert(at + k, dirty);
+        }
+        *self = Self::from_flags(&flags, self.segment_size);
+    }
+
+    /// Marks segment `i` dirty (content edits inside a segment).
+    pub fn mark_dirty(&mut self, i: usize) {
+        assert!(i < self.segments);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv(flags: &[bool]) -> HintVector {
+        HintVector::from_flags(flags, 32)
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        let v = hv(&[true, false, true, false, false]);
+        assert_eq!(v.segments(), 5);
+        assert!(v.is_dirty(0));
+        assert!(!v.is_dirty(1));
+        assert!(v.is_dirty(2));
+        assert_eq!(v.dirty_count(), 2);
+        assert!((v.clean_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_dirty_scans_forward() {
+        let v = hv(&[false, false, true, false, true]);
+        assert_eq!(v.next_dirty(0), Some(2));
+        assert_eq!(v.next_dirty(2), Some(2));
+        assert_eq!(v.next_dirty(3), Some(4));
+        assert_eq!(v.next_dirty(5), None);
+    }
+
+    #[test]
+    fn next_dirty_across_word_boundary() {
+        let mut flags = vec![false; 130];
+        flags[127] = true;
+        flags[129] = true;
+        let v = hv(&flags);
+        assert_eq!(v.next_dirty(0), Some(127));
+        assert_eq!(v.next_dirty(128), Some(129));
+    }
+
+    #[test]
+    fn dirty_runs_merge_consecutive() {
+        let v = hv(&[true, true, false, true, false, true, true, true]);
+        assert_eq!(v.dirty_runs(), vec![(0, 1), (3, 3), (5, 7)]);
+        assert_eq!(hv(&[false; 4]).dirty_runs(), vec![]);
+    }
+
+    #[test]
+    fn segment_bytes_clamped_to_len() {
+        let v = hv(&[true, true, true]);
+        assert_eq!(v.segment_bytes(0, 80), (0, 32));
+        assert_eq!(v.segment_bytes(2, 80), (64, 80));
+    }
+
+    #[test]
+    fn splice_inserts_segments() {
+        let mut v = hv(&[true, false, true]);
+        v.splice(1, 2, true);
+        assert_eq!(v.segments(), 5);
+        let flags: Vec<bool> = (0..5).map(|i| v.is_dirty(i)).collect();
+        assert_eq!(flags, [true, true, true, false, true]);
+    }
+
+    #[test]
+    fn all_dirty_skips_nothing() {
+        let v = HintVector::all_dirty(10, 16);
+        assert_eq!(v.clean_fraction(), 0.0);
+        assert_eq!(v.dirty_runs(), vec![(0, 9)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Whitespace padding for edited HTML content (§4.5).
+//!
+//! "Fortunately, we can exploit the HTML specification, which allows an
+//! arbitrary number of linear white spaces in the response body, to embed
+//! the appropriate number of whitespace characters in the updated content to
+//! realign the segment boundaries to the existing HV."
+//!
+//! Two cases when a shadow regexp rewrites a span:
+//!
+//! * the replacement is **no longer** than the replaced span → pad the
+//!   shortfall with spaces, net length change 0, HV untouched;
+//! * the replacement is **longer** → pad the *insertion* up to a whole
+//!   number of segments, so every later boundary shifts by exactly
+//!   `k × SEGMENT_SIZE`; the HV then splices `k` dirty segments in place.
+
+use crate::hints::HintVector;
+
+/// Result of a padded replacement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaddedEdit {
+    /// The rewritten content.
+    pub content: Vec<u8>,
+    /// Whitespace bytes inserted to preserve alignment.
+    pub pad_bytes: usize,
+    /// Whole segments spliced into the HV (0 when length was preserved).
+    pub segments_added: usize,
+}
+
+/// Replaces `content[start..end]` with `replacement`, padding with spaces so
+/// that every segment boundary at or after the edit stays aligned with the
+/// existing hint vector. Updates `hv` in place (marks the edited segments
+/// dirty and splices any added segments).
+///
+/// # Panics
+///
+/// Panics when `start..end` is not a valid range of `content`.
+pub fn replace_padded(
+    content: &[u8],
+    start: usize,
+    end: usize,
+    replacement: &[u8],
+    hv: &mut HintVector,
+) -> PaddedEdit {
+    assert!(start <= end && end <= content.len(), "bad edit range");
+    let seg = hv.segment_size();
+    let removed = end - start;
+    let mut out = Vec::with_capacity(content.len() + replacement.len() + seg);
+    out.extend_from_slice(&content[..start]);
+    out.extend_from_slice(replacement);
+
+    let (pad, segments_added) = if replacement.len() <= removed {
+        // Shrinking or equal: pad to original span length.
+        (removed - replacement.len(), 0)
+    } else {
+        // Growing: pad the *net insertion* to a whole number of segments.
+        let delta = replacement.len() - removed;
+        let pad = (seg - delta % seg) % seg;
+        ((pad), (delta + pad) / seg)
+    };
+    out.extend(std::iter::repeat(b' ').take(pad));
+    out.extend_from_slice(&content[end..]);
+
+    // HV maintenance: the touched segments become dirty (replacement text,
+    // e.g. an HTML tag, typically contains special characters), and grown
+    // edits splice extra dirty segments.
+    let first_seg = start / seg;
+    let last_seg = if end > start { (end - 1) / seg } else { first_seg };
+    for s in first_seg..=last_seg.min(hv.segments().saturating_sub(1)) {
+        hv.mark_dirty(s);
+    }
+    if segments_added > 0 {
+        hv.splice((last_seg + 1).min(hv.segments()), segments_added, true);
+    }
+
+    PaddedEdit { content: out, pad_bytes: pad, segments_added }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv_for(content: &[u8], seg: usize) -> HintVector {
+        let flags: Vec<bool> = content
+            .chunks(seg)
+            .map(|c| c.iter().any(|&b| php_special(b)))
+            .collect();
+        HintVector::from_flags(&flags, seg)
+    }
+
+    fn php_special(b: u8) -> bool {
+        !(b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b',' | b'-' | b' '))
+    }
+
+    #[test]
+    fn shrinking_edit_preserves_length() {
+        let content = b"hello 'world' and more text padding here".to_vec();
+        let mut hv = hv_for(&content, 16);
+        let edit = replace_padded(&content, 6, 13, b"[w]", &mut hv);
+        assert_eq!(edit.content.len(), content.len());
+        assert_eq!(edit.segments_added, 0);
+        assert_eq!(edit.pad_bytes, 4);
+        assert!(edit.content.windows(3).any(|w| w == b"[w]"));
+        // Tail is untouched and still aligned.
+        assert_eq!(&edit.content[content.len() - 5..], &content[content.len() - 5..]);
+    }
+
+    #[test]
+    fn growing_edit_adds_whole_segments() {
+        let content = b"0123456789abcdef0123456789abcdef".to_vec(); // 2 segs of 16
+        let mut hv = hv_for(&content, 16);
+        assert_eq!(hv.segments(), 2);
+        // Insert a 20-byte tag replacing 4 bytes: delta 16 → exactly 1 segment.
+        let edit = replace_padded(&content, 4, 8, b"<strong>45678</strong>", &mut hv);
+        let delta = edit.content.len() - content.len();
+        assert_eq!(delta % 16, 0, "length change is whole segments");
+        assert_eq!(edit.segments_added, delta / 16);
+        assert_eq!(hv.segments(), 2 + edit.segments_added);
+        // Later content still lands on the same segment offsets.
+        let tail_old = &content[16..];
+        let tail_new = &edit.content[16 + edit.segments_added * 16..];
+        assert_eq!(tail_old, tail_new);
+    }
+
+    #[test]
+    fn edited_segment_marked_dirty() {
+        let content = b"abcdefghijklmnop0123456789abcdef".to_vec();
+        let mut hv = hv_for(&content, 16);
+        assert!(!hv.is_dirty(0));
+        let _ = replace_padded(&content, 2, 4, b"<>", &mut hv);
+        assert!(hv.is_dirty(0));
+        assert!(!hv.is_dirty(1), "untouched segment stays clean");
+    }
+
+    #[test]
+    fn equal_length_replacement_needs_no_pad() {
+        let content = b"aaaa bbbb cccc dddd".to_vec();
+        let mut hv = hv_for(&content, 16);
+        let edit = replace_padded(&content, 0, 4, b"zzzz", &mut hv);
+        assert_eq!(edit.pad_bytes, 0);
+        assert_eq!(edit.segments_added, 0);
+        assert_eq!(edit.content.len(), content.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad edit range")]
+    fn bad_range_panics() {
+        let mut hv = HintVector::all_dirty(1, 16);
+        let _ = replace_padded(b"abc", 2, 1, b"", &mut hv);
+    }
+}

@@ -1,0 +1,315 @@
+//! Content sifting: `regexp_sieve` and `regexp_shadow` (§4.5, §4.6).
+//!
+//! "We name the first regexp in the set as the sieve regexp and the
+//! following ones as shadow regexps. Now if the sieve regexp can confirm the
+//! presence of no special character in the incoming content, the following
+//! shadow regexps can effectively skip scanning the content regardless of
+//! the different special characters they look for."
+//!
+//! Soundness: a shadow regexp may skip a clean segment only if every one of
+//! its matches (a) must contain a special character — which necessarily sits
+//! in a *dirty* segment — and (b) can be found from a scan window around the
+//! dirty segments. (b) holds when either the pattern's match length is
+//! bounded (window widened by `max_len - 1`) or every viable first byte is
+//! itself special (match starts inside a dirty segment). Patterns meeting
+//! neither condition fall back to a full scan.
+
+use crate::hints::HintVector;
+use accel_string::{AccelCost, StringAccel};
+use regex_engine::analysis::{is_special_byte, max_match_len, requires_special};
+use regex_engine::{Match, Regex, SW_UOPS_PER_BYTE, SW_UOPS_PER_CALL};
+
+/// Result of a sieve pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SieveOutcome {
+    /// Matches of the sieve regexp itself (traditional full scan).
+    pub matches: Vec<Match>,
+    /// The hint vector populated via the string accelerator.
+    pub hv: HintVector,
+    /// Bytes the sieve's own FSM scanned.
+    pub bytes_scanned: u64,
+    /// Software µops of the sieve's scan.
+    pub uops: u64,
+    /// String-accelerator cost of populating the HV.
+    pub hv_cost: AccelCost,
+}
+
+/// `regexp_sieve`: full traditional matching *plus* HV population through
+/// the string accelerator.
+pub fn regexp_sieve(
+    re: &Regex,
+    content: &[u8],
+    segment_size: usize,
+    accel: &mut StringAccel,
+) -> SieveOutcome {
+    let (matches, scan) = re.find_all(content);
+    let (flags, hv_cost) = accel.sift_special(content, segment_size);
+    SieveOutcome {
+        matches,
+        hv: HintVector::from_flags(&flags, segment_size),
+        bytes_scanned: scan.bytes_scanned,
+        uops: scan.uops,
+        hv_cost,
+    }
+}
+
+/// Why a shadow pass scanned everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowMode {
+    /// Skipped clean segments (the accelerated path).
+    Skipping {
+        /// Window widening applied on each side of a dirty run, in bytes.
+        lookback: usize,
+    },
+    /// Pattern not provably special-seeking → full scan.
+    FullScanIneligible,
+    /// `^`-anchored pattern → single anchored probe, nothing to skip.
+    FullScanAnchored,
+}
+
+/// Result of a shadow pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShadowOutcome {
+    /// Matches found (always identical to a full scan).
+    pub matches: Vec<Match>,
+    /// Bytes examined (prefilter probes + FSM steps).
+    pub bytes_scanned: u64,
+    /// Bytes skipped thanks to the HV.
+    pub bytes_skipped: u64,
+    /// Software µops.
+    pub uops: u64,
+    /// Which path was taken.
+    pub mode: ShadowMode,
+}
+
+/// Decides whether a pattern may use HV-based skipping, returning the sound
+/// lookback width.
+fn skipping_plan(re: &Regex, segment_size: usize) -> Option<usize> {
+    if re.anchored_start() || !requires_special(re.ast()) {
+        return None;
+    }
+    if let Some(len) = max_match_len(re.ast()) {
+        return Some(len.saturating_sub(1));
+    }
+    // Unbounded pattern: sound iff every viable first byte is special, so a
+    // match can only *start* inside a dirty segment.
+    let viable = re.viable_first_bytes();
+    let all_special = viable
+        .iter()
+        .enumerate()
+        .all(|(b, &ok)| !ok || is_special_byte(b as u8));
+    if all_special {
+        Some(0)
+    } else {
+        let _ = segment_size;
+        None
+    }
+}
+
+/// `regexp_shadow`: matches `re` against `content`, consulting the HV to
+/// skip special-character-free segments when sound.
+pub fn regexp_shadow(re: &Regex, content: &[u8], hv: &HintVector) -> ShadowOutcome {
+    let lookback = match skipping_plan(re, hv.segment_size()) {
+        Some(lb) => lb,
+        None => {
+            let (matches, scan) = re.find_all(content);
+            let mode = if re.anchored_start() {
+                ShadowMode::FullScanAnchored
+            } else {
+                ShadowMode::FullScanIneligible
+            };
+            return ShadowOutcome {
+                matches,
+                bytes_scanned: scan.bytes_scanned,
+                bytes_skipped: 0,
+                uops: scan.uops,
+                mode,
+            };
+        }
+    };
+
+    let viable = re.viable_first_bytes();
+    let mut matches = Vec::new();
+    let mut bytes_scanned = 0u64;
+    let mut positions_examined = 0u64;
+    let mut resume_at = 0usize; // nothing before this may start a new match
+
+    for (run_start, run_end) in hv.dirty_runs() {
+        let (rs, _) = hv.segment_bytes(run_start, content.len());
+        let (_, re_end) = hv.segment_bytes(run_end, content.len());
+        let mut pos = rs.saturating_sub(lookback).max(resume_at);
+        let window_end = re_end; // match may *extend* past; starts stay inside
+        while pos < window_end {
+            positions_examined += 1;
+            if !viable[content[pos] as usize] {
+                pos += 1;
+                continue;
+            }
+            let (m, cost) = re.match_at(content, pos);
+            bytes_scanned += cost;
+            match m {
+                Some(m) => {
+                    pos = if m.is_empty() { m.end + 1 } else { m.end };
+                    resume_at = pos;
+                    matches.push(m);
+                }
+                None => pos += 1,
+            }
+        }
+        resume_at = resume_at.max(window_end);
+    }
+
+    let examined = bytes_scanned + positions_examined;
+    let bytes_skipped = (content.len() as u64).saturating_sub(examined.min(content.len() as u64));
+    ShadowOutcome {
+        matches,
+        bytes_scanned: examined,
+        bytes_skipped,
+        uops: SW_UOPS_PER_CALL
+            + bytes_scanned * SW_UOPS_PER_BYTE
+            + positions_examined
+            + hv.segments() as u64 / 8,
+        mode: ShadowMode::Skipping { lookback },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sieve(pattern: &str, content: &[u8], seg: usize) -> (Regex, SieveOutcome) {
+        let re = Regex::new(pattern).unwrap();
+        let mut accel = StringAccel::default();
+        let out = regexp_sieve(&re, content, seg, &mut accel);
+        (re, out)
+    }
+
+    /// Content mimicking a blog paragraph: mostly regular text, a few
+    /// special-character islands.
+    fn blog_content() -> Vec<u8> {
+        let mut c = Vec::new();
+        c.extend_from_slice(b"The quick brown fox jumps over the lazy dog again and again ");
+        c.extend_from_slice(b"while the narrator says it's fine to keep going with more ");
+        c.extend_from_slice(&vec![b'a'; 200]);
+        c.extend_from_slice(b" and finally a <em>tag</em> closes the show with more text ");
+        c.extend_from_slice(&vec![b'b'; 200]);
+        c
+    }
+
+    #[test]
+    fn sieve_builds_hv_and_matches() {
+        let content = blog_content();
+        let (_, out) = sieve("'", &content, 32);
+        assert_eq!(out.matches.len(), 1, "one apostrophe (it's)");
+        assert!(out.hv.dirty_count() >= 1);
+        assert!(out.hv.clean_fraction() > 0.4, "long regular stretches are clean");
+        assert!(out.hv_cost.cycles > 0);
+    }
+
+    #[test]
+    fn shadow_agrees_with_full_scan_for_bounded_patterns() {
+        let content = blog_content();
+        let (_, s) = sieve("'", &content, 32);
+        for pat in ["'", "\"", "'s", "' "] {
+            let re = Regex::new(pat).unwrap();
+            let shadow = regexp_shadow(&re, &content, &s.hv);
+            let (full, _) = re.find_all(&content);
+            assert_eq!(shadow.matches, full, "pattern {pat}");
+            assert!(matches!(shadow.mode, ShadowMode::Skipping { .. }));
+        }
+    }
+
+    #[test]
+    fn shadow_agrees_for_unbounded_special_start() {
+        let content = blog_content();
+        let (_, s) = sieve("'", &content, 32);
+        let re = Regex::new("<[a-z]+>").unwrap(); // unbounded but starts on '<'
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        let (full, _) = re.find_all(&content);
+        assert_eq!(shadow.matches, full);
+        assert_eq!(shadow.mode, ShadowMode::Skipping { lookback: 0 });
+        assert!(shadow.bytes_skipped > 300, "skipped {}", shadow.bytes_skipped);
+    }
+
+    #[test]
+    fn shadow_skips_most_of_clean_content() {
+        let mut content = vec![b'x'; 4096];
+        content[2048] = b'\'';
+        let (_, s) = sieve("'", &content, 32);
+        let re = Regex::new("\"").unwrap();
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        assert!(shadow.matches.is_empty());
+        assert!(
+            shadow.bytes_skipped as usize > content.len() * 9 / 10,
+            "skipped {} of {}",
+            shadow.bytes_skipped,
+            content.len()
+        );
+    }
+
+    #[test]
+    fn ineligible_pattern_falls_back() {
+        let content = blog_content();
+        let (_, s) = sieve("'", &content, 32);
+        let re = Regex::new("[a-z]+ing").unwrap(); // purely regular matches
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        assert_eq!(shadow.mode, ShadowMode::FullScanIneligible);
+        assert_eq!(shadow.bytes_skipped, 0);
+        let (full, _) = re.find_all(&content);
+        assert_eq!(shadow.matches, full);
+    }
+
+    #[test]
+    fn anchored_pattern_probes_once() {
+        let content = blog_content();
+        let (_, s) = sieve("'", &content, 32);
+        let re = Regex::new("^The").unwrap();
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        assert_eq!(shadow.mode, ShadowMode::FullScanAnchored);
+        assert_eq!(shadow.matches.len(), 1);
+    }
+
+    #[test]
+    fn match_spanning_segment_boundary_not_missed() {
+        // Special char at the very start of a segment; match extends back
+        // into the previous (clean) segment — lookback must cover it.
+        let mut content = vec![b'z'; 128];
+        // Place "ab'" so that ' lands exactly on a 32-byte boundary.
+        content[62] = b'a';
+        content[63] = b'b';
+        content[64] = b'\'';
+        let (_, s) = sieve("'", &content, 32);
+        assert!(!s.hv.is_dirty(1), "segment 1 must be clean for this test");
+        let re = Regex::new("ab'").unwrap(); // bounded, len 3 → lookback 2
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        assert_eq!(shadow.matches.len(), 1);
+        assert_eq!(shadow.matches[0].start, 62);
+    }
+
+    #[test]
+    fn match_extending_past_dirty_run_found() {
+        // '<' in a dirty segment, long [a-z]+ tail through clean segments.
+        let mut content = vec![b' '; 32];
+        content.extend_from_slice(b"<");
+        content.extend_from_slice(&vec![b'q'; 60]);
+        content.extend_from_slice(b">");
+        content.extend_from_slice(&vec![b' '; 32]);
+        let (_, s) = sieve("'", &content, 32);
+        let re = Regex::new("<[a-z]+>").unwrap();
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        assert_eq!(shadow.matches.len(), 1);
+        assert_eq!(shadow.matches[0].len(), 62);
+    }
+
+    #[test]
+    fn fully_clean_content_scans_nothing() {
+        let content = vec![b'm'; 1024];
+        let (_, s) = sieve("'", &content, 32);
+        assert_eq!(s.hv.dirty_count(), 0);
+        let re = Regex::new("\"").unwrap();
+        let shadow = regexp_shadow(&re, &content, &s.hv);
+        assert!(shadow.matches.is_empty());
+        assert_eq!(shadow.bytes_scanned, 0);
+        assert_eq!(shadow.bytes_skipped as usize, content.len());
+    }
+}

@@ -1,0 +1,95 @@
+//! Aggregate statistics for the regexp accelerator (Figure 12 input).
+
+use crate::reuse::ReuseStats;
+use crate::sieve::{ShadowMode, ShadowOutcome, SieveOutcome};
+
+/// Running totals across sieve/shadow/reuse activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegexAccelStats {
+    /// Sieve passes.
+    pub sieve_calls: u64,
+    /// Shadow passes.
+    pub shadow_calls: u64,
+    /// Shadow passes that used HV skipping.
+    pub shadow_skipping: u64,
+    /// Shadow passes that fell back to a full scan.
+    pub shadow_fallbacks: u64,
+    /// Total subject bytes offered to regexps.
+    pub bytes_total: u64,
+    /// Bytes actually scanned.
+    pub bytes_scanned: u64,
+    /// Bytes skipped by content sifting.
+    pub bytes_skipped_sift: u64,
+    /// Bytes skipped by content reuse.
+    pub bytes_skipped_reuse: u64,
+    /// Software µops spent in regexp processing.
+    pub uops: u64,
+}
+
+impl RegexAccelStats {
+    /// Records a sieve pass over `len` content bytes.
+    pub fn note_sieve(&mut self, out: &SieveOutcome, len: usize) {
+        self.sieve_calls += 1;
+        self.bytes_total += len as u64;
+        self.bytes_scanned += out.bytes_scanned;
+        self.uops += out.uops;
+    }
+
+    /// Records a shadow pass over `len` content bytes.
+    pub fn note_shadow(&mut self, out: &ShadowOutcome, len: usize) {
+        self.shadow_calls += 1;
+        self.bytes_total += len as u64;
+        self.bytes_scanned += out.bytes_scanned;
+        self.bytes_skipped_sift += out.bytes_skipped;
+        self.uops += out.uops;
+        match out.mode {
+            ShadowMode::Skipping { .. } => self.shadow_skipping += 1,
+            _ => self.shadow_fallbacks += 1,
+        }
+    }
+
+    /// Folds in reuse-table savings.
+    pub fn note_reuse(&mut self, reuse: &ReuseStats) {
+        self.bytes_skipped_reuse = reuse.bytes_skipped;
+    }
+
+    /// Fraction of total content bytes skipped by either technique —
+    /// Figure 12's y-axis.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.bytes_total == 0 {
+            return 0.0;
+        }
+        (self.bytes_skipped_sift + self.bytes_skipped_reuse) as f64 / self.bytes_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sieve::ShadowMode;
+
+    #[test]
+    fn aggregation_and_fraction() {
+        let mut s = RegexAccelStats::default();
+        let shadow = ShadowOutcome {
+            matches: vec![],
+            bytes_scanned: 100,
+            bytes_skipped: 900,
+            uops: 700,
+            mode: ShadowMode::Skipping { lookback: 0 },
+        };
+        s.note_shadow(&shadow, 1000);
+        assert_eq!(s.shadow_skipping, 1);
+        assert!((s.skip_fraction() - 0.9).abs() < 1e-12);
+        let fb = ShadowOutcome {
+            matches: vec![],
+            bytes_scanned: 1000,
+            bytes_skipped: 0,
+            uops: 6045,
+            mode: ShadowMode::FullScanIneligible,
+        };
+        s.note_shadow(&fb, 1000);
+        assert_eq!(s.shadow_fallbacks, 1);
+        assert!((s.skip_fraction() - 0.45).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,200 @@
+//! Design-choice ablations (DESIGN.md §6).
+//!
+//! Each study isolates one design decision the paper argues for:
+//! GET+SET vs memcached-style GET-only tables \[55\], probe width, lazy vs
+//! eager heap-manager memory updates (Mallacc \[48\] contrast), the
+//! free-list prefetcher, free-list depth, string block width, sifting
+//! segment size, and reuse-table capacity.
+
+use accel_htable::{GetOutcome, HtConfig, HwHashTable};
+use accel_regex::ContentReuseTable;
+use bench::{header, run_app};
+use php_runtime::context::{HashEvent, HashOp};
+use phpaccel_core::{ExecMode, MachineConfig, PhpMachine};
+use regex_engine::Regex;
+use workloads::{AppKind, LoadGen};
+
+fn lg() -> LoadGen {
+    LoadGen { warmup: 15, measured: 50, context_switch_every: 0 }
+}
+
+/// Replays recorded hash events into a table; `get_only` models the
+/// memcached-style design (SETs bypass the table entirely).
+fn replay(events: &[HashEvent], cfg: HtConfig, get_only: bool) -> (f64, f64) {
+    let mut ht = HwHashTable::new(cfg);
+    for e in events {
+        let Some(key) = &e.key else {
+            if e.op == HashOp::Free {
+                ht.free(e.base_addr);
+            }
+            continue;
+        };
+        let kb = phpaccel_core::key_bytes(key);
+        match e.op {
+            HashOp::Get => {
+                if ht.get(e.base_addr, &kb) == GetOutcome::Miss {
+                    ht.fill(e.base_addr, &kb, 1);
+                }
+            }
+            HashOp::Set => {
+                if !get_only {
+                    ht.set(e.base_addr, &kb, 1);
+                }
+            }
+            HashOp::Unset => {
+                ht.invalidate_key(e.base_addr, &kb);
+            }
+            HashOp::Free | HashOp::Foreach => {}
+        }
+    }
+    (ht.stats().get_hit_rate(), ht.stats().hit_rate())
+}
+
+fn hash_events() -> Vec<HashEvent> {
+    let mut app = AppKind::WordPress.build(0xAB1);
+    let mut m = PhpMachine::new(ExecMode::Baseline, MachineConfig::default());
+    m.ctx().set_record_hash_events(true);
+    lg().run(app.as_mut(), &mut m);
+    m.ctx().take_hash_events()
+}
+
+fn main() {
+    header("Ablations", "design-choice studies the paper's arguments rest on");
+
+    // ------------------------------------------------------------------
+    println!("\n[1] GET+SET vs GET-only (memcached-style [55]) hash table");
+    println!("    (WordPress hash-event replay; §4.2 argues SET support is essential)");
+    let events = hash_events();
+    for entries in [64usize, 256, 512] {
+        let cfg = HtConfig { entries, probe_width: 4, ..HtConfig::default() };
+        let (get_hr_full, overall_full) = replay(&events, cfg, false);
+        let (get_hr_go, overall_go) = replay(&events, cfg, true);
+        println!(
+            "    {entries:>4} entries: GET-hit full={:.1}% get-only={:.1}% | overall full={:.1}% get-only={:.1}%",
+            get_hr_full * 100.0,
+            get_hr_go * 100.0,
+            overall_full * 100.0,
+            overall_go * 100.0
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[2] Probe width (paper: 4 consecutive entries in parallel)");
+    for width in [1usize, 2, 4, 8] {
+        let cfg = HtConfig { entries: 512, probe_width: width, ..HtConfig::default() };
+        let (_, overall) = replay(&events, cfg, false);
+        println!("    width {width}: overall hit rate {:.2}%", overall * 100.0);
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[3] Heap manager: lazy vs eager memory updates (Mallacc [48] contrast)");
+    for (label, policy) in [
+        ("lazy (paper)", accel_heap::UpdatePolicy::Lazy),
+        ("eager", accel_heap::UpdatePolicy::Eager),
+    ] {
+        let mut cfg = MachineConfig::default();
+        cfg.heap.update_policy = policy;
+        let m = run_app(AppKind::WordPress, ExecMode::Specialized, cfg, lg(), 0xAB3);
+        let heap_uops = m
+            .ctx()
+            .profiler()
+            .category_breakdown()
+            .get(&php_runtime::Category::Heap)
+            .copied()
+            .unwrap_or(0);
+        println!("    {label:13}: heap-category µops {heap_uops}");
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[4] Free-list prefetcher on/off (bursty allocation pattern)");
+    println!("    (steady churn never drains the lists; bursts do — §4.3's");
+    println!("     'hide the latency of software involvement whenever possible')");
+    for enabled in [true, false] {
+        let mut hm = accel_heap::HwHeapManager::default();
+        hm.set_prefetch_enabled(enabled);
+        let mut alloc = php_runtime::alloc::SlabAllocator::new();
+        let prof = php_runtime::Profiler::new();
+        // Seed the software free list, then run alloc bursts.
+        let seed: Vec<_> = (0..256).map(|_| alloc.malloc(32, &prof)).collect();
+        for b in seed {
+            alloc.free(b, &prof);
+        }
+        let mut live = Vec::new();
+        for _round in 0..40 {
+            for _ in 0..48 {
+                live.push(hm.hmmalloc(32, &mut alloc, &prof).addr().unwrap());
+            }
+            for addr in live.drain(..) {
+                hm.hmfree(addr, 32, &mut alloc, &prof);
+            }
+        }
+        let s = hm.stats();
+        println!(
+            "    prefetch {}: malloc hit rate {:.2}% (misses {})",
+            if enabled { "on " } else { "off" },
+            s.malloc_hits as f64 / s.mallocs.max(1) as f64 * 100.0,
+            s.malloc_misses
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[5] Free-list depth (paper: 32 entries per class)");
+    for depth in [4usize, 8, 16, 32, 64] {
+        let mut cfg = MachineConfig::default();
+        cfg.heap.freelist_entries = depth;
+        let m = run_app(AppKind::WordPress, ExecMode::Specialized, cfg, lg(), 0xAB5);
+        let s = m.core().heap.stats();
+        println!(
+            "    depth {depth:>2}: hit rate {:.2}%, spills {}",
+            s.hit_rate() * 100.0,
+            s.free_spills
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[6] String accelerator block width (paper: 64 B / 3 cycles)");
+    for width in [16usize, 32, 64] {
+        let mut cfg = MachineConfig::default();
+        cfg.straccel.block_width = width;
+        let m = run_app(AppKind::MediaWiki, ExecMode::Specialized, cfg, lg(), 0xAB6);
+        let s = m.core().straccel.stats();
+        println!(
+            "    {width:>2} B/block: {} accel cycles, {:.1} bytes/cycle",
+            s.cycles,
+            s.bytes_per_cycle()
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[7] Sifting segment size (default 32 B)");
+    for seg in [16usize, 32, 64, 128] {
+        let mut cfg = MachineConfig::default();
+        cfg.segment_size = seg;
+        let m = run_app(AppKind::WordPress, ExecMode::Specialized, cfg, lg(), 0xAB7);
+        let s = m.core().regex_stats;
+        println!("    {seg:>3} B segments: {:.1}% content skipped", s.skip_fraction() * 100.0);
+    }
+
+    // ------------------------------------------------------------------
+    println!("\n[8] Content reuse table capacity (paper: 32 entries)");
+    let re = Regex::new("https://localhost/\\?author=[a-z]+").unwrap();
+    for entries in [1usize, 8, 32, 128] {
+        let mut table = ContentReuseTable::new(entries);
+        // 24 regexp sites round-robin over similar URLs: small tables thrash.
+        for round in 0..6u64 {
+            for site in 0..24u64 {
+                let url = format!(
+                    "https://localhost/?author=name{}{}",
+                    (b'a' + (site % 5) as u8) as char,
+                    (b'a' + (round % 3) as u8) as char
+                );
+                let _ = accel_regex::run_with_reuse(&re, site, 1, url.as_bytes(), &mut table);
+            }
+        }
+        let s = table.stats();
+        println!(
+            "    {entries:>3} entries: {} hits / {} lookups, {} evictions",
+            s.hits, s.lookups, s.evictions
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 1: distribution of CPU cycles over leaf functions.
+//!
+//! Paper: SPECWeb2005 workloads have hotspots — very few functions cover
+//! ~90 % of execution time. The real-world PHP applications are flat: the
+//! hottest single function (JIT-compiled code) covers only 10-12 %, and it
+//! takes ~100 functions to reach ~65 % of cycles.
+
+use bench::{header, row, run_app, standard_load};
+use phpaccel_core::{ExecMode, MachineConfig};
+use workloads::AppKind;
+
+fn main() {
+    header(
+        "Figure 1 — leaf-function cycle distribution",
+        "SPECWeb: few functions ≈ 90%; PHP apps: hottest ≈ 10-12%, ~100 fns ≈ 65%",
+    );
+    let apps = [
+        AppKind::SpecWebBanking,
+        AppKind::SpecWebEcommerce,
+        AppKind::WordPress,
+        AppKind::Drupal,
+        AppKind::MediaWiki,
+    ];
+    let widths = [18, 8, 9, 9, 9, 9, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "app".into(),
+                "fns".into(),
+                "top-1".into(),
+                "top-5".into(),
+                "top-25".into(),
+                "top-100".into(),
+                "hottest-fn".into()
+            ],
+            &widths
+        )
+    );
+    for kind in apps {
+        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xF01);
+        let prof = m.ctx().profiler();
+        let rows = prof.leaf_profile();
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.label().into(),
+                    rows.len().to_string(),
+                    format!("{:.1}%", prof.cumulative_share(1) * 100.0),
+                    format!("{:.1}%", prof.cumulative_share(5) * 100.0),
+                    format!("{:.1}%", prof.cumulative_share(25) * 100.0),
+                    format!("{:.1}%", prof.cumulative_share(100) * 100.0),
+                    rows[0].name.clone(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nseries: cumulative share over hottest-N (PHP apps), N = 1..30");
+    for kind in AppKind::PHP_APPS {
+        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xF01);
+        let prof = m.ctx().profiler();
+        let series: Vec<String> =
+            (1..=30).map(|n| format!("{:.0}", prof.cumulative_share(n) * 100.0)).collect();
+        println!("{:>12}: {}", kind.label(), series.join(" "));
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 2(b): cache performance.
+//!
+//! Paper: L1 I/D behaviour is SPEC-like (the hundreds of leaf functions
+//! are compact enough to cache); the L2 has very low MPKI because the L1s
+//! filter most references.
+
+use bench::{header, row};
+use uarch_sim::core_model::{simulate, CoreKind, Machine};
+use uarch_sim::trace::synthesize;
+use workloads::AppKind;
+
+fn main() {
+    header(
+        "Figure 2(b) — cache MPKI per app (32K L1s, 1M L2, prefetchers on)",
+        "L1 MPKI moderate/SPEC-like; L2 MPKI very low",
+    );
+    let widths = [18, 10, 10, 10];
+    println!(
+        "{}",
+        row(&["app".into(), "L1I-MPKI".into(), "L1D-MPKI".into(), "L2-MPKI".into()], &widths)
+    );
+    for kind in [AppKind::WordPress, AppKind::Drupal, AppKind::MediaWiki, AppKind::SpecWebBanking] {
+        let trace = synthesize(&kind.trace_profile(0xCA), 600_000);
+        let n = trace.len() as u64;
+        let mut m = Machine::server(CoreKind::OoO4);
+        let _ = simulate(&trace, &mut m);
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.label().into(),
+                    format!("{:.2}", m.hierarchy.l1i.stats().mpki(n)),
+                    format!("{:.2}", m.hierarchy.l1d.stats().mpki(n)),
+                    format!("{:.2}", m.hierarchy.l2.stats().mpki(n)),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 2(c): in-order vs out-of-order width sweep.
+//!
+//! Paper: in-order → OoO is a large jump; 4-wide clearly beats 2-wide
+//! ("some ILP exists"); 8-wide gains < 3 % over 4-wide.
+
+use bench::{header, row};
+use uarch_sim::core_model::{simulate, CoreKind, Machine};
+use uarch_sim::trace::synthesize;
+use workloads::AppKind;
+
+fn main() {
+    header(
+        "Figure 2(c) — execution time by core (normalized to 2-wide in-order)",
+        "IO→OoO large; 4-wide ≫ 2-wide; 8-wide < 3% over 4-wide",
+    );
+    let widths = [18, 12, 11, 11, 11];
+    println!(
+        "{}",
+        row(
+            &["app".into(), "in-order-2".into(), "OoO-2".into(), "OoO-4".into(), "OoO-8".into()],
+            &widths
+        )
+    );
+    for kind in AppKind::PHP_APPS {
+        let trace = synthesize(&kind.trace_profile(0x2C), 600_000);
+        let mut cells = vec![kind.label().to_string()];
+        let mut base = None;
+        let mut cyc4 = 0.0;
+        let mut cyc8 = 0.0;
+        for core in CoreKind::ALL {
+            let mut m = Machine::server(core);
+            let r = simulate(&trace, &mut m);
+            let b = *base.get_or_insert(r.cycles as f64);
+            cells.push(format!("{:.4}", r.cycles as f64 / b));
+            if core == CoreKind::OoO4 {
+                cyc4 = r.cycles as f64;
+            }
+            if core == CoreKind::OoO8 {
+                cyc8 = r.cycles as f64;
+            }
+        }
+        println!("{}", row(&cells, &widths));
+        let gain8 = (1.0 - cyc8 / cyc4) * 100.0;
+        println!("    8-wide gain over 4-wide: {gain8:.2}%");
+    }
+}

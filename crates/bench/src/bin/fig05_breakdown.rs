@@ -1,0 +1,33 @@
+//! Figure 5: execution-time breakdown per application after mitigating the
+//! abstraction overheads (§3).
+
+use bench::{header, pct, row, run_app, standard_load};
+use php_runtime::Category;
+use phpaccel_core::priors::apply;
+use phpaccel_core::{ExecMode, MachineConfig};
+use workloads::AppKind;
+
+fn main() {
+    header(
+        "Figure 5 — post-priors execution-time breakdown per app",
+        "sizable hash/heap/string/regex slices; Drupal shows the least opportunity",
+    );
+    let cfg = MachineConfig::default();
+    let cats = Category::ALL;
+    let mut widths = vec![12];
+    widths.extend(std::iter::repeat(11).take(cats.len()));
+    let mut head = vec!["app".to_string()];
+    head.extend(cats.iter().map(|c| c.label().to_string()));
+    println!("{}", row(&head, &widths));
+    for kind in AppKind::PHP_APPS {
+        let m = run_app(kind, ExecMode::Baseline, cfg.clone(), standard_load(), 0xF05);
+        let out = apply(m.ctx().profiler(), &cfg.priors);
+        let total = out.uops_after.max(1) as f64;
+        let breakdown = out.category_breakdown_after();
+        let mut cells = vec![kind.label().to_string()];
+        for c in cats {
+            cells.push(pct(breakdown.get(&c).copied().unwrap_or(0) as f64 / total));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 12: opportunity from content sifting and content reuse.
+//!
+//! Paper: the y-axis is the percentage of total textual content the
+//! regexps can skip processing via the two techniques; all three apps show
+//! substantial opportunity (even Drupal, though it doesn't translate into
+//! time there — Figure 15).
+
+use bench::{header, pct, row, run_app, standard_load};
+use phpaccel_core::{ExecMode, MachineConfig};
+use workloads::AppKind;
+
+fn main() {
+    header(
+        "Figure 12 — % of content skippable via sifting / reuse",
+        "large skippable fractions across apps",
+    );
+    let widths = [12, 12, 12, 12, 13, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "app".into(),
+                "bytes".into(),
+                "sift-skip".into(),
+                "reuse-skip".into(),
+                "total-skip".into(),
+                "shadows".into()
+            ],
+            &widths
+        )
+    );
+    for kind in AppKind::PHP_APPS {
+        let m =
+            run_app(kind, ExecMode::Specialized, MachineConfig::default(), standard_load(), 0xF12);
+        let s = m.core().regex_stats;
+        let total = s.bytes_total.max(1) as f64;
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.label().into(),
+                    s.bytes_total.to_string(),
+                    pct(s.bytes_skipped_sift as f64 / total),
+                    pct(s.bytes_skipped_reuse as f64 / total),
+                    pct(s.skip_fraction()),
+                    format!("{}/{}", s.shadow_skipping, s.shadow_calls),
+                ],
+                &widths
+            )
+        );
+    }
+}

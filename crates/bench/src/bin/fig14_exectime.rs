@@ -1,0 +1,67 @@
+//! Figure 14: execution time normalized to unmodified HHVM.
+//!
+//! Paper: prior optimizations bring average execution time to 88.15 %;
+//! the specialized core brings it to 70.22 % (17.93 % improvement over the
+//! priors machine, 19.79 % incremental once priors are standard). Drupal
+//! benefits least.
+
+use bench::{all_comparisons, header, pct, row, standard_load};
+
+fn main() {
+    header(
+        "Figure 14 — normalized execution time",
+        "baseline=1.0; +priors ≈ 0.8815 avg; +specialized ≈ 0.7022 avg; Drupal least",
+    );
+    let cmps = all_comparisons(standard_load(), 0xF14);
+    let widths = [12, 10, 10, 13, 14];
+    println!(
+        "{}",
+        row(
+            &["app".into(), "baseline".into(), "+priors".into(), "+specialized".into(), "impr/priors".into()],
+            &widths
+        )
+    );
+    let mut sum_p = 0.0;
+    let mut sum_s = 0.0;
+    let mut sum_i = 0.0;
+    for c in &cmps {
+        println!(
+            "{}",
+            row(
+                &[
+                    c.app.clone(),
+                    "1.000".into(),
+                    format!("{:.4}", c.normalized_priors()),
+                    format!("{:.4}", c.normalized_specialized()),
+                    pct(c.improvement_over_priors()),
+                ],
+                &widths
+            )
+        );
+        sum_p += c.normalized_priors();
+        sum_s += c.normalized_specialized();
+        sum_i += c.improvement_over_priors();
+    }
+    let n = cmps.len() as f64;
+    println!(
+        "{}",
+        row(
+            &[
+                "average".into(),
+                "1.000".into(),
+                format!("{:.4}", sum_p / n),
+                format!("{:.4}", sum_s / n),
+                pct(sum_i / n),
+            ],
+            &widths
+        )
+    );
+    let drupal = cmps.iter().find(|c| c.app == "Drupal").expect("drupal present");
+    let min_impr =
+        cmps.iter().map(|c| c.improvement_over_priors()).fold(f64::INFINITY, f64::min);
+    println!(
+        "\ncheck: Drupal benefits least: {} (min improvement {})",
+        drupal.improvement_over_priors() <= min_impr + 1e-9,
+        pct(min_impr)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 15: breakdown of the specialized core's benefit per accelerator.
+//!
+//! Paper (averages over the three apps): heap manager 7.29 %, hash table
+//! 6.45 %, string accelerator 4.51 %, regexp accelerator 1.96 %. WordPress
+//! sees considerable regexp benefit, MediaWiki modest; Drupal's Figure-12
+//! opportunity doesn't translate because it spends little time in
+//! regexps/strings.
+
+use bench::{all_comparisons, header, pct, row, standard_load};
+use php_runtime::Category;
+
+fn main() {
+    header(
+        "Figure 15 — benefit split per accelerator (fraction of +priors time)",
+        "avg: heap 7.29% > hash 6.45% > string 4.51% > regex 1.96%",
+    );
+    let cmps = all_comparisons(standard_load(), 0xF15);
+    let cats =
+        [Category::Heap, Category::HashMap, Category::String, Category::Regex];
+    let widths = [12, 10, 10, 10, 10, 11];
+    println!(
+        "{}",
+        row(
+            &[
+                "app".into(),
+                "heap".into(),
+                "hash".into(),
+                "string".into(),
+                "regex".into(),
+                "total".into()
+            ],
+            &widths
+        )
+    );
+    let mut avg = [0.0f64; 4];
+    for c in &cmps {
+        let split = c.benefit_by_category();
+        let mut cells = vec![c.app.clone()];
+        let mut total = 0.0;
+        for (i, cat) in cats.iter().enumerate() {
+            let v = split[cat];
+            avg[i] += v / cmps.len() as f64;
+            total += v;
+            cells.push(pct(v));
+        }
+        cells.push(pct(total));
+        println!("{}", row(&cells, &widths));
+    }
+    let mut cells = vec!["average".to_string()];
+    let total: f64 = avg.iter().sum();
+    for v in avg {
+        cells.push(pct(v));
+    }
+    cells.push(pct(total));
+    println!("{}", row(&cells, &widths));
+}

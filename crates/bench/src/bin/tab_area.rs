@@ -1,0 +1,26 @@
+//! §5.1 area table.
+//!
+//! Paper: the combined accelerator area is 0.22 mm² at 45 nm — 0.89 % of a
+//! 24.7 mm² Nehalem-class core (including private L1/L2).
+
+use bench::header;
+use uarch_sim::AreaBudget;
+
+fn main() {
+    header("§5.1 — accelerator area budget (45nm, CACTI-like)", "Σ = 0.22 mm² = 0.89% of core");
+    let a = AreaBudget::default();
+    println!("{:24} {:>8}", "component", "mm²");
+    for (name, v) in [
+        ("hash table (512e)", a.htable_mm2),
+        ("reverse transl. table", a.rtt_mm2),
+        ("heap manager", a.heap_mm2),
+        ("string accelerator", a.string_mm2),
+        ("content reuse table", a.reuse_mm2),
+        ("control/glue", a.glue_mm2),
+    ] {
+        println!("{name:24} {v:>8.3}");
+    }
+    println!("{:24} {:>8.3}", "TOTAL", a.accel_total_mm2());
+    println!("{:24} {:>8.1}", "reference core", a.core_mm2);
+    println!("{:24} {:>7.2}%", "fraction of core", a.fraction_of_core() * 100.0);
+}

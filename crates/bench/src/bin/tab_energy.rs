@@ -1,0 +1,24 @@
+//! §5.2 energy table.
+//!
+//! Paper: the specialized hardware delivers ≈21.01 % average energy savings
+//! over the priors machine (WordPress 26.06 %, Drupal 16.75 %, MediaWiki
+//! 19.81 %), using dynamic-instruction reduction as the proxy plus
+//! accelerator access energy.
+
+use bench::{all_comparisons, header, pct, row, standard_load};
+
+fn main() {
+    header(
+        "§5.2 — energy savings vs the +priors machine",
+        "avg ≈ 21.01%; WordPress 26.06%, Drupal 16.75%, MediaWiki 19.81%",
+    );
+    let cmps = all_comparisons(standard_load(), 0xE6);
+    let widths = [12, 12];
+    println!("{}", row(&["app".into(), "saving".into()], &widths));
+    let mut sum = 0.0;
+    for c in &cmps {
+        println!("{}", row(&[c.app.clone(), pct(c.energy_saving)], &widths));
+        sum += c.energy_saving;
+    }
+    println!("{}", row(&["average".into(), pct(sum / cmps.len() as f64)], &widths));
+}

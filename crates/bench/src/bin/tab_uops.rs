@@ -1,0 +1,48 @@
+//! §5.2 micro-op cost table.
+//!
+//! Paper: "Memory allocation requests (malloc and free) require on average
+//! 69 and 37 x86 micro-ops, respectively, in software to execute (assuming
+//! cache hits). Hash map walks in software require on average 90.66 x86
+//! micro-ops."
+
+use bench::{header, row, run_app, standard_load};
+use phpaccel_core::{ExecMode, MachineConfig};
+use workloads::AppKind;
+
+fn main() {
+    header(
+        "§5.2 — measured software µop costs",
+        "malloc ≈ 69, free ≈ 37, hash map walk ≈ 90.66 µops",
+    );
+    let widths = [12, 12, 12, 12];
+    println!(
+        "{}",
+        row(&["app".into(), "malloc".into(), "free".into(), "hash-walk".into()], &widths)
+    );
+    for kind in AppKind::PHP_APPS {
+        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xAB);
+        let stats = m.ctx().with_allocator(|a| a.stats().clone());
+        // Hash walk: average µops per zend_hash_find/update invocation.
+        let prof = m.ctx().profiler();
+        let mut walk_uops = 0u64;
+        let mut walk_calls = 0u64;
+        for f in ["zend_hash_find", "zend_hash_update", "zend_hash_del"] {
+            if let Some(s) = prof.function(f) {
+                walk_uops += s.cost.uops;
+                walk_calls += s.calls;
+            }
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.label().into(),
+                    format!("{:.1}", stats.avg_malloc_uops()),
+                    format!("{:.1}", stats.avg_free_uops()),
+                    format!("{:.1}", walk_uops as f64 / walk_calls.max(1) as f64),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end cycle and energy accounting (§5.2, Figures 14/15).
+//!
+//! Three machine points are compared, exactly as the paper plots them:
+//!
+//! 1. **Baseline** — unmodified HHVM-like software (normalized to 1.0);
+//! 2. **+Priors** — the §3 prior optimizations applied to the baseline
+//!    profile (paper: 88.15 % average);
+//! 3. **+Specialized** — the accelerators on top of the priors (paper:
+//!    70.22 % average).
+
+use crate::priors::{self, PriorsOutcome};
+use crate::specialized::PhpMachine;
+use php_runtime::profile::Category;
+use std::collections::HashMap;
+use uarch_sim::energy::{AccelActivity, EnergyModel};
+
+/// A finished run's cost ledger.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    /// Leaf-function rows (hottest first).
+    pub rows: Vec<php_runtime::profile::ProfileRow>,
+    /// Total µops.
+    pub total_uops: u64,
+    /// Accelerator cycles consumed (0 for baseline runs).
+    pub accel_cycles: u64,
+    /// Accelerator activity counters for the energy model.
+    pub activity: AccelActivity,
+}
+
+impl Ledger {
+    /// Snapshots a machine after its workload ran.
+    pub fn from_machine(m: &PhpMachine) -> Ledger {
+        let rows = m.ctx().profiler().leaf_profile();
+        let total_uops = m.ctx().profiler().total_uops();
+        let core = m.core();
+        let ht = core.htable.stats();
+        let heap = core.heap.stats();
+        let s = core.straccel.stats();
+        let reuse = core.reuse.stats();
+        Ledger {
+            rows,
+            total_uops,
+            accel_cycles: core.accel_cycles(),
+            activity: AccelActivity {
+                htable_accesses: ht.gets + ht.sets + ht.fills,
+                rtt_accesses: ht.set_inserts + ht.frees + ht.foreachs,
+                heap_accesses: heap.malloc_hits + heap.free_hits,
+                string_blocks: s.blocks,
+                reuse_accesses: reuse.lookups + reuse.sets,
+            },
+        }
+    }
+
+    /// µops per category.
+    pub fn by_category(&self) -> HashMap<Category, u64> {
+        let mut out = HashMap::new();
+        for r in &self.rows {
+            *out.entry(r.category).or_insert(0) += r.uops;
+        }
+        out
+    }
+}
+
+/// Simulated cycles of a ledger at the given sustained IPC: core µops
+/// convert through IPC; accelerator cycles add serially (they sit on the
+/// dependence path of the invoking instruction).
+pub fn cycles_of(uops: u64, accel_cycles: u64, ipc: f64) -> f64 {
+    uops as f64 / ipc + accel_cycles as f64
+}
+
+/// The Figure-14 comparison for one application.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Application label.
+    pub app: String,
+    /// Baseline cycles (normalized denominator).
+    pub baseline_cycles: f64,
+    /// Cycles after the prior optimizations.
+    pub priors_cycles: f64,
+    /// Cycles on the specialized core (priors + accelerators).
+    pub specialized_cycles: f64,
+    /// Per-category cycles under priors (Figure 5 input).
+    pub priors_by_category: HashMap<Category, f64>,
+    /// Per-category cycles under specialization (Figure 15 input).
+    pub specialized_by_category: HashMap<Category, f64>,
+    /// Accelerator cycles in the specialized run.
+    pub accel_cycles: u64,
+    /// Energy saving vs the priors machine (§5.2 proxy).
+    pub energy_saving: f64,
+    /// The priors application detail (Figure 3 input).
+    pub priors_outcome: PriorsOutcome,
+}
+
+impl Comparison {
+    /// Normalized execution time of the priors machine (baseline = 1).
+    pub fn normalized_priors(&self) -> f64 {
+        self.priors_cycles / self.baseline_cycles
+    }
+
+    /// Normalized execution time of the specialized machine.
+    pub fn normalized_specialized(&self) -> f64 {
+        self.specialized_cycles / self.baseline_cycles
+    }
+
+    /// Improvement of the specialized machine over the priors machine
+    /// (the paper's headline 17.93 % average).
+    pub fn improvement_over_priors(&self) -> f64 {
+        1.0 - self.specialized_cycles / self.priors_cycles
+    }
+
+    /// Figure-15 benefit split: per accelerator category, the cycle delta
+    /// between the priors machine and the specialized machine, as a
+    /// fraction of priors cycles.
+    pub fn benefit_by_category(&self) -> HashMap<Category, f64> {
+        let mut out = HashMap::new();
+        for cat in [Category::HashMap, Category::Heap, Category::String, Category::Regex] {
+            let before = self.priors_by_category.get(&cat).copied().unwrap_or(0.0);
+            let after = self.specialized_by_category.get(&cat).copied().unwrap_or(0.0);
+            out.insert(cat, (before - after).max(0.0) / self.priors_cycles);
+        }
+        out
+    }
+}
+
+/// Builds the full comparison from a baseline run and a specialized run of
+/// the *same* workload.
+pub fn compare(
+    app: &str,
+    baseline: &PhpMachine,
+    specialized: &PhpMachine,
+    energy: &EnergyModel,
+) -> Comparison {
+    let cfg = baseline.config();
+    let ipc = cfg.baseline_ipc;
+    let base_ledger = Ledger::from_machine(baseline);
+    let spec_ledger = Ledger::from_machine(specialized);
+
+    // Priors applied analytically to both profiles (accelerators stack on
+    // top of the prior optimizations, §5.2).
+    let priors_base = priors::apply_to_rows(&base_ledger.rows, &cfg.priors);
+    let priors_spec = priors::apply_to_rows(&spec_ledger.rows, &cfg.priors);
+
+    let baseline_cycles = cycles_of(base_ledger.total_uops, 0, ipc);
+    let priors_cycles = cycles_of(priors_base.uops_after, 0, ipc);
+    let specialized_cycles = cycles_of(priors_spec.uops_after, spec_ledger.accel_cycles, ipc);
+
+    let to_cycles = |m: HashMap<Category, u64>| -> HashMap<Category, f64> {
+        m.into_iter().map(|(k, v)| (k, v as f64 / ipc)).collect()
+    };
+    let mut specialized_by_category = to_cycles(priors_spec.category_breakdown_after());
+    // Attribute accelerator cycles to their categories.
+    let core = specialized.core();
+    *specialized_by_category.entry(Category::HashMap).or_insert(0.0) +=
+        core.htable.stats().accel_cycles as f64;
+    *specialized_by_category.entry(Category::Heap).or_insert(0.0) +=
+        core.heap.stats().accel_cycles as f64;
+    *specialized_by_category.entry(Category::String).or_insert(0.0) +=
+        core.straccel.stats().cycles as f64;
+
+    let energy_saving =
+        energy.saving(priors_base.uops_after, priors_spec.uops_after, &spec_ledger.activity);
+
+    Comparison {
+        app: app.to_owned(),
+        baseline_cycles,
+        priors_cycles,
+        specialized_cycles,
+        priors_by_category: to_cycles(priors_base.category_breakdown_after()),
+        specialized_by_category,
+        accel_cycles: spec_ledger.accel_cycles,
+        energy_saving,
+        priors_outcome: priors_base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specialized::{ExecMode, PhpMachine};
+    use php_runtime::array::ArrayKey;
+    use php_runtime::string::PhpStr;
+    use php_runtime::value::PhpValue;
+
+    /// A miniature workload exercising all four categories.
+    fn run_mini_workload(m: &mut PhpMachine) {
+        for req in 0..20 {
+            let mut post = m.new_array();
+            for k in 0..12 {
+                m.array_set(
+                    &mut post,
+                    ArrayKey::from(format!("field{k}")),
+                    PhpValue::from(req as i64),
+                );
+            }
+            for _ in 0..4 {
+                for k in 0..12 {
+                    m.array_get(&post, &ArrayKey::from(format!("field{k}")));
+                }
+            }
+            let text = PhpStr::from(
+                "It's a post body with <em>markup</em> and then a long plain tail \
+                 of regular words that continues for quite a while without specials",
+            );
+            let lowered = m.strtolower(&text);
+            let _ = m.strpos(&lowered, b"markup", 0);
+            let _ = m.htmlspecialchars(&text);
+            for _ in 0..6 {
+                let b = m.alloc(48);
+                m.free(b);
+            }
+            let rules = vec![
+                (regex_engine::Regex::new("'").unwrap(), b"&#8217;".to_vec()),
+                (regex_engine::Regex::new("<[a-z]+>").unwrap(), b"<TAG>".to_vec()),
+            ];
+            let _ = m.texturize(&text, &rules);
+            m.array_free(&post);
+            m.end_request();
+        }
+    }
+
+    #[test]
+    fn figure14_shape_holds() {
+        let mut base = PhpMachine::baseline();
+        let mut spec = PhpMachine::specialized();
+        run_mini_workload(&mut base);
+        run_mini_workload(&mut spec);
+        let cmp = compare("mini", &base, &spec, &EnergyModel::default());
+        let np = cmp.normalized_priors();
+        let ns = cmp.normalized_specialized();
+        assert!(np < 1.0, "priors must help: {np}");
+        assert!(ns < np, "accelerators must help further: {ns} vs {np}");
+        assert!(ns > 0.1, "sanity: {ns}");
+        assert!(cmp.improvement_over_priors() > 0.05);
+        assert!(cmp.energy_saving > 0.0 && cmp.energy_saving < 1.0);
+    }
+
+    #[test]
+    fn benefit_split_covers_accel_categories() {
+        let mut base = PhpMachine::baseline();
+        let mut spec = PhpMachine::specialized();
+        run_mini_workload(&mut base);
+        run_mini_workload(&mut spec);
+        let cmp = compare("mini", &base, &spec, &EnergyModel::default());
+        let split = cmp.benefit_by_category();
+        assert_eq!(split.len(), 4);
+        assert!(split[&Category::HashMap] > 0.0);
+        assert!(split[&Category::Heap] > 0.0);
+        let total: f64 = split.values().sum();
+        let headline = cmp.improvement_over_priors();
+        assert!(
+            total <= headline + 0.15,
+            "split {total} should roughly bound the headline {headline}"
+        );
+    }
+
+    #[test]
+    fn ledger_activity_populated() {
+        let mut spec = PhpMachine::new(ExecMode::Specialized, Default::default());
+        run_mini_workload(&mut spec);
+        let ledger = Ledger::from_machine(&spec);
+        assert!(ledger.activity.htable_accesses > 0);
+        assert!(ledger.activity.heap_accesses > 0);
+        assert!(ledger.activity.string_blocks > 0);
+        assert!(ledger.accel_cycles > 0);
+    }
+
+    #[test]
+    fn cycles_of_composition() {
+        assert!((cycles_of(750, 0, 0.75) - 1000.0).abs() < 1e-9);
+        assert!((cycles_of(750, 100, 0.75) - 1100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Machine configuration for the specialized core.
+
+use accel_heap::HeapConfig;
+use accel_htable::HtConfig;
+use accel_string::StrAccelConfig;
+use uarch_sim::CoreKind;
+
+/// Configuration of the four prior optimizations applied in §3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorsConfig {
+    /// Fraction of hash-map accesses whose key is static or predictable, so
+    /// inline caching \[31, 32\] + hash-map inlining \[40\] turn them into
+    /// offset accesses. Real-world apps keep many *dynamic* keys (§4.2).
+    pub predictable_key_fraction: f64,
+    /// µop reduction on those predictable accesses.
+    pub ic_hmi_reduction: f64,
+    /// µop reduction of dynamic type checks via checked-load \[22\].
+    pub type_check_reduction: f64,
+    /// µop reduction of refcounting via hardware reference counting \[46\].
+    pub refcount_reduction: f64,
+    /// µop reduction of kernel allocation calls via tuning (§3: "we tuned
+    /// the applications to reduce their overhead from expensive memory
+    /// allocation and deallocation calls to the kernel").
+    pub kernel_alloc_reduction: f64,
+}
+
+impl Default for PriorsConfig {
+    fn default() -> Self {
+        PriorsConfig {
+            predictable_key_fraction: 0.35,
+            ic_hmi_reduction: 0.85,
+            type_check_reduction: 0.90,
+            refcount_reduction: 0.90,
+            kernel_alloc_reduction: 0.60,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Hardware hash table geometry (§4.2; default 512 entries × 4-probe).
+    pub htable: HtConfig,
+    /// Hardware heap manager (§4.3; default 8 classes × 32 entries).
+    pub heap: HeapConfig,
+    /// String accelerator (§4.4; default 64 B / 3 cycles).
+    pub straccel: StrAccelConfig,
+    /// Content-reuse table entries (§4.5; default 32).
+    pub reuse_entries: usize,
+    /// Hint-vector segment size in bytes (§4.5).
+    pub segment_size: usize,
+    /// Host core model (§5.1: 4-wide OoO Xeon-like).
+    pub core: CoreKind,
+    /// Prior-optimization strengths.
+    pub priors: PriorsConfig,
+    /// Measured sustained IPC used to convert µops to cycles.
+    pub baseline_ipc: f64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            htable: HtConfig::default(),
+            heap: HeapConfig::default(),
+            straccel: StrAccelConfig::default(),
+            reuse_entries: 32,
+            segment_size: 32,
+            core: CoreKind::OoO4,
+            priors: PriorsConfig::default(),
+            baseline_ipc: 0.75,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MachineConfig::default();
+        assert_eq!(c.htable.entries, 512);
+        assert_eq!(c.htable.probe_width, 4);
+        assert_eq!(c.heap.freelist_entries, 32);
+        assert_eq!(c.straccel.block_width, 64);
+        assert_eq!(c.straccel.cycles_per_block, 3);
+        assert_eq!(c.reuse_entries, 32);
+        assert_eq!(c.core, CoreKind::OoO4);
+    }
+}

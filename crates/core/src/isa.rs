@@ -1,0 +1,208 @@
+//! ISA extensions (§4.6).
+//!
+//! The paper adds: `hashtableget`/`hashtableset`, `hmmalloc`/`hmfree`/
+//! `hmflush`, `stringop[op]` with `strreadconfig`/`strwriteconfig`, and
+//! `regexlookup`/`regexset`, plus the `regexp_sieve`/`regexp_shadow` library
+//! APIs. "The zero flag is raised upon a miss of a GET, or hash table
+//! overflow of a SET, in which case the code branches to the software
+//! handler fallback."
+
+use accel_string::StrOpKind;
+
+/// One accelerator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelInstr {
+    /// `hashtableget base, key` — GET from the hardware hash table.
+    HashTableGet {
+        /// Hash-map base address.
+        base: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// `hashtableset base, key, value_ptr` — SET into the hardware table.
+    HashTableSet {
+        /// Hash-map base address.
+        base: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Pointer to the value in memory.
+        value_ptr: u64,
+    },
+    /// `hmmalloc size` — hardware heap allocation.
+    HmMalloc {
+        /// Requested bytes.
+        size: usize,
+    },
+    /// `hmfree addr, size` — hardware heap free.
+    HmFree {
+        /// Block address.
+        addr: u64,
+        /// Block size.
+        size: usize,
+    },
+    /// `hmflush` — flush hardware free lists (context switch). Resumable.
+    HmFlush,
+    /// `stringop[op] src, pattern` — invoke the string accelerator.
+    StringOp {
+        /// Which of the shared-datapath operations to run.
+        op: StrOpKind,
+    },
+    /// `strreadconfig` — (re)load the matching-matrix configuration.
+    StrReadConfig,
+    /// `strwriteconfig` — save the matching-matrix configuration.
+    StrWriteConfig,
+    /// `regexlookup pc, asid` — probe the content reuse table.
+    RegexLookup {
+        /// Regexp site PC.
+        pc: u64,
+        /// Address-space id.
+        asid: u32,
+    },
+    /// `regexset pc, asid, state` — store an FSM state in the reuse table.
+    RegexSet {
+        /// Regexp site PC.
+        pc: u64,
+        /// Address-space id.
+        asid: u32,
+        /// FSM state to store.
+        state: u32,
+    },
+}
+
+/// Architectural result of executing an accelerator instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrResult {
+    /// The zero flag: set ⇒ branch to the software handler fallback.
+    pub zero_flag: bool,
+    /// Result register payload (value pointer, block address, FSM state...).
+    pub result: u64,
+    /// Cycles the instruction occupied the accelerator.
+    pub cycles: u64,
+}
+
+impl InstrResult {
+    /// A successful (flag-clear) result.
+    pub fn ok(result: u64, cycles: u64) -> Self {
+        InstrResult { zero_flag: false, result, cycles }
+    }
+
+    /// A fallback (flag-set) result.
+    pub fn fallback(cycles: u64) -> Self {
+        InstrResult { zero_flag: true, result: 0, cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_constructors() {
+        let ok = InstrResult::ok(0xBEEF, 3);
+        assert!(!ok.zero_flag);
+        assert_eq!(ok.result, 0xBEEF);
+        let fb = InstrResult::fallback(1);
+        assert!(fb.zero_flag);
+    }
+
+    #[test]
+    fn instr_variants_construct() {
+        let i = AccelInstr::HashTableGet { base: 0x10, key: b"k".to_vec() };
+        assert!(matches!(i, AccelInstr::HashTableGet { .. }));
+        let i = AccelInstr::HmMalloc { size: 64 };
+        assert!(matches!(i, AccelInstr::HmMalloc { size: 64 }));
+    }
+}
+
+#[cfg(test)]
+mod exec_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::specialized::SpecializedCore;
+    use php_runtime::alloc::SlabAllocator;
+    use php_runtime::Profiler;
+
+    fn setup() -> (SpecializedCore, SlabAllocator, Profiler) {
+        (SpecializedCore::new(&MachineConfig::default()), SlabAllocator::new(), Profiler::new())
+    }
+
+    #[test]
+    fn hashtable_instructions_zero_flag_semantics() {
+        let (mut core, mut alloc, prof) = setup();
+        // GET miss → zero flag (branch to software handler).
+        let r = core.execute(
+            &AccelInstr::HashTableGet { base: 0x10, key: b"k".to_vec() },
+            &mut alloc,
+            &prof,
+        );
+        assert!(r.zero_flag);
+        // SET never misses → flag clear.
+        let r = core.execute(
+            &AccelInstr::HashTableSet { base: 0x10, key: b"k".to_vec(), value_ptr: 77 },
+            &mut alloc,
+            &prof,
+        );
+        assert!(!r.zero_flag);
+        // GET now hits and returns the value pointer.
+        let r = core.execute(
+            &AccelInstr::HashTableGet { base: 0x10, key: b"k".to_vec() },
+            &mut alloc,
+            &prof,
+        );
+        assert!(!r.zero_flag);
+        assert_eq!(r.result, 77);
+    }
+
+    #[test]
+    fn heap_instructions_roundtrip() {
+        let (mut core, mut alloc, prof) = setup();
+        // Cold hmmalloc: zero flag (software refill) but address delivered.
+        let r = core.execute(&AccelInstr::HmMalloc { size: 48 }, &mut alloc, &prof);
+        assert!(r.zero_flag);
+        let addr = r.result;
+        // hmfree hits hardware.
+        let r = core.execute(&AccelInstr::HmFree { addr, size: 48 }, &mut alloc, &prof);
+        assert!(!r.zero_flag);
+        // Warm hmmalloc: hardware hit, same block recycled, flag clear.
+        let r = core.execute(&AccelInstr::HmMalloc { size: 48 }, &mut alloc, &prof);
+        assert!(!r.zero_flag);
+        assert_eq!(r.result, addr);
+        // Oversized request: pure software path.
+        let r = core.execute(&AccelInstr::HmMalloc { size: 4096 }, &mut alloc, &prof);
+        assert!(r.zero_flag);
+        // Flush returns the count of flushed blocks.
+        let r2 = core.execute(&AccelInstr::HmFree { addr, size: 48 }, &mut alloc, &prof);
+        assert!(!r2.zero_flag);
+        let r = core.execute(&AccelInstr::HmFlush, &mut alloc, &prof);
+        assert!(!r.zero_flag);
+        assert_eq!(r.result, 1);
+    }
+
+    #[test]
+    fn string_config_instructions() {
+        let (mut core, mut alloc, prof) = setup();
+        // Nothing configured yet: strwriteconfig stores "nothing".
+        let r = core.execute(&AccelInstr::StrWriteConfig, &mut alloc, &prof);
+        assert_eq!(r.result, 0);
+        // Run an op to load a config, then save/restore.
+        let _ = core.straccel.sift_special(b"some content", 16);
+        let r = core.execute(&AccelInstr::StrWriteConfig, &mut alloc, &prof);
+        assert_eq!(r.result, 1);
+        let r = core.execute(&AccelInstr::StrReadConfig, &mut alloc, &prof);
+        assert!(!r.zero_flag);
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn regex_instructions() {
+        let (mut core, mut alloc, prof) = setup();
+        let r = core.execute(&AccelInstr::RegexLookup { pc: 9, asid: 1 }, &mut alloc, &prof);
+        assert!(r.zero_flag, "cold lookup misses");
+        let r = core.execute(
+            &AccelInstr::RegexSet { pc: 9, asid: 1, state: 5 },
+            &mut alloc,
+            &prof,
+        );
+        assert!(!r.zero_flag);
+    }
+}

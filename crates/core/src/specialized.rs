@@ -1,0 +1,946 @@
+//! The specialized core (§4) and the `PhpMachine` execution facade.
+//!
+//! [`SpecializedCore`] owns the four accelerators and implements the
+//! software-handler fallbacks. [`PhpMachine`] is what workloads program
+//! against: the same workload code runs in [`ExecMode::Baseline`] (all
+//! software, HHVM-like costs) or [`ExecMode::Specialized`] (accelerators
+//! with zero-flag fallbacks), producing comparable cost ledgers.
+
+use crate::config::MachineConfig;
+use accel_heap::{FreeOutcome, HwHeapManager, MallocOutcome};
+use accel_htable::{Eviction, GetOutcome, HwHashTable, SetOutcome};
+use accel_regex::{
+    regexp_shadow, regexp_sieve, replace_padded, run_with_reuse, ContentReuseTable, HintVector,
+    RegexAccelStats, ShadowMode,
+};
+use accel_string::StringAccel;
+use php_runtime::array::{hash_bytes, ArrayKey, PhpArray};
+use php_runtime::profile::{Category, OpCost};
+use php_runtime::strfuncs::StrLib;
+use php_runtime::string::PhpStr;
+use php_runtime::value::PhpValue;
+use php_runtime::RuntimeContext;
+use regex_engine::Regex;
+
+/// Execution mode of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Unmodified software stack (HHVM-like baseline).
+    Baseline,
+    /// The §4 specialized core: accelerators + software fallbacks.
+    Specialized,
+}
+
+/// µops to issue an accelerator instruction and consume its result.
+const DISPATCH_UOPS: u64 = 2;
+/// Software cost of writing one dirty hash-table entry back to its map.
+const DIRTY_WRITEBACK_UOPS: u64 = 30;
+
+/// The four accelerators plus bookkeeping.
+#[derive(Debug)]
+pub struct SpecializedCore {
+    /// §4.2 hardware hash table.
+    pub htable: HwHashTable,
+    /// §4.3 hardware heap manager.
+    pub heap: HwHeapManager,
+    /// §4.4 string accelerator.
+    pub straccel: StringAccel,
+    /// §4.5 content reuse table.
+    pub reuse: ContentReuseTable,
+    /// Aggregate regexp accelerator statistics (Figure 12).
+    pub regex_stats: RegexAccelStats,
+    /// Context switches observed.
+    pub context_switches: u64,
+}
+
+impl SpecializedCore {
+    /// Builds the core from a configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        SpecializedCore {
+            htable: HwHashTable::new(cfg.htable),
+            heap: HwHeapManager::new(cfg.heap),
+            straccel: StringAccel::new(cfg.straccel),
+            reuse: ContentReuseTable::new(cfg.reuse_entries),
+            regex_stats: RegexAccelStats::default(),
+            context_switches: 0,
+        }
+    }
+
+    /// Total accelerator cycles consumed so far.
+    pub fn accel_cycles(&self) -> u64 {
+        self.htable.stats().accel_cycles
+            + self.heap.stats().accel_cycles
+            + self.straccel.stats().cycles
+    }
+
+    /// Executes one accelerator instruction at the architectural level
+    /// (§4.6): result register + zero flag. The zero flag set means the
+    /// code must branch to the software handler fallback. Heap instructions
+    /// need the software allocator and profiler for their handler paths.
+    pub fn execute(
+        &mut self,
+        instr: &crate::isa::AccelInstr,
+        alloc: &mut php_runtime::alloc::SlabAllocator,
+        prof: &php_runtime::Profiler,
+    ) -> crate::isa::InstrResult {
+        use crate::isa::{AccelInstr, InstrResult};
+        match instr {
+            AccelInstr::HashTableGet { base, key } => match self.htable.get(*base, key) {
+                GetOutcome::Hit { value_ptr } => InstrResult::ok(value_ptr, 3),
+                GetOutcome::Miss | GetOutcome::Unsupported => InstrResult::fallback(3),
+            },
+            AccelInstr::HashTableSet { base, key, value_ptr } => {
+                match self.htable.set(*base, key, *value_ptr) {
+                    SetOutcome::Updated => InstrResult::ok(0, 3),
+                    SetOutcome::Inserted { eviction: Eviction::DirtyWriteback { evicted } } => {
+                        // Overflow: zero flag — software writes the victim back.
+                        InstrResult { zero_flag: true, result: evicted.value_ptr, cycles: 3 }
+                    }
+                    SetOutcome::Inserted { .. } => InstrResult::ok(0, 3),
+                    SetOutcome::Unsupported => InstrResult::fallback(1),
+                }
+            }
+            AccelInstr::HmMalloc { size } => match self.heap.hmmalloc(*size, alloc, prof) {
+                MallocOutcome::Hit { addr } => InstrResult::ok(addr, 1),
+                // Zero flag: the handler already supplied the block; the
+                // result register still carries the address.
+                MallocOutcome::SoftwareRefill { addr } => {
+                    InstrResult { zero_flag: true, result: addr, cycles: 1 }
+                }
+                MallocOutcome::TooLarge => InstrResult::fallback(1),
+            },
+            AccelInstr::HmFree { addr, size } => {
+                match self.heap.hmfree(*addr, *size, alloc, prof) {
+                    FreeOutcome::Hit => InstrResult::ok(0, 1),
+                    FreeOutcome::Spilled | FreeOutcome::TooLarge => InstrResult::fallback(1),
+                }
+            }
+            AccelInstr::HmFlush => {
+                let flushed = self.heap.hmflush(alloc, prof) as u64;
+                InstrResult::ok(flushed, 1 + flushed)
+            }
+            AccelInstr::StringOp { .. } => {
+                // Data-carrying string ops go through the typed engine API
+                // (PhpMachine); at ISA level we only model the invocation.
+                InstrResult::ok(0, self.straccel.config().cycles_per_block)
+            }
+            AccelInstr::StrReadConfig => {
+                let cycles = self.straccel.strreadconfig();
+                InstrResult::ok(0, cycles)
+            }
+            AccelInstr::StrWriteConfig => {
+                let stored = self.straccel.strwriteconfig();
+                InstrResult::ok(stored as u64, 1)
+            }
+            AccelInstr::RegexLookup { pc, asid } => {
+                // Architectural probe: content comes from the pending scan
+                // buffer; modeled here with an empty-content lookup, which
+                // is a table access without a content hit.
+                match self.reuse.regexlookup(*pc, *asid, &[]) {
+                    accel_regex::LookupOutcome::Hit { state, .. } => {
+                        InstrResult::ok(state as u64, 1)
+                    }
+                    _ => InstrResult::fallback(1),
+                }
+            }
+            AccelInstr::RegexSet { pc, asid, state } => {
+                self.reuse.regexset(*pc, *asid, *state);
+                InstrResult::ok(0, 1)
+            }
+        }
+    }
+}
+
+/// A heap block handed out by the machine (hardware- or software-served).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MBlock {
+    /// Simulated address.
+    pub addr: u64,
+    /// Requested size.
+    pub size: usize,
+    hw: bool,
+    sw_block: Option<php_runtime::alloc::Block>,
+}
+
+/// Encodes an [`ArrayKey`] as hardware key bytes (int keys get a 0xFF-tag
+/// prefix so they cannot collide with string keys).
+pub fn key_bytes(key: &ArrayKey) -> Vec<u8> {
+    match key {
+        ArrayKey::Int(i) => {
+            let mut v = Vec::with_capacity(9);
+            v.push(0xFF);
+            v.extend_from_slice(&i.to_le_bytes());
+            v
+        }
+        ArrayKey::Str(s) => s.as_bytes().to_vec(),
+    }
+}
+
+fn value_token(base: u64, key: &[u8]) -> u64 {
+    hash_bytes(key) ^ base.rotate_left(17)
+}
+
+/// The machine workloads run on.
+#[derive(Debug)]
+pub struct PhpMachine {
+    ctx: RuntimeContext,
+    core: SpecializedCore,
+    cfg: MachineConfig,
+    mode: ExecMode,
+    scoped: Vec<MBlock>,
+}
+
+impl PhpMachine {
+    /// Creates a machine in the given mode.
+    pub fn new(mode: ExecMode, cfg: MachineConfig) -> Self {
+        PhpMachine {
+            ctx: RuntimeContext::new(),
+            core: SpecializedCore::new(&cfg),
+            cfg,
+            mode,
+            scoped: Vec::new(),
+        }
+    }
+
+    /// A baseline machine with default configuration.
+    pub fn baseline() -> Self {
+        Self::new(ExecMode::Baseline, MachineConfig::default())
+    }
+
+    /// A specialized machine with default configuration.
+    pub fn specialized() -> Self {
+        Self::new(ExecMode::Specialized, MachineConfig::default())
+    }
+
+    /// The runtime context (profiler, allocator, refcount meter).
+    pub fn ctx(&self) -> &RuntimeContext {
+        &self.ctx
+    }
+
+    /// The accelerator complex.
+    pub fn core(&self) -> &SpecializedCore {
+        &self.core
+    }
+
+    /// Mutable accelerator access (experiments).
+    pub fn core_mut(&mut self) -> &mut SpecializedCore {
+        &mut self.core
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn is_specialized(&self) -> bool {
+        self.mode == ExecMode::Specialized
+    }
+
+    fn dispatch(&self, name: &'static str, cat: Category) {
+        self.ctx.profiler().record(name, cat, OpCost::alu(DISPATCH_UOPS));
+    }
+
+    /// Resets every metric (profiler, refcount/alloc counters are kept in
+    /// the runtime context; accelerator *contents* stay warm) — called after
+    /// load-generator warmup so measurements cover steady state only.
+    pub fn reset_metrics(&mut self) {
+        self.ctx.profiler().reset();
+        self.core.htable.reset_stats();
+        self.core.heap.reset_stats();
+        self.core.straccel.reset_stats();
+        self.core.reuse.reset_stats();
+        self.core.regex_stats = RegexAccelStats::default();
+    }
+
+    // -- request lifecycle ----------------------------------------------------
+
+    /// Ends a simulated request: frees request-scoped blocks.
+    pub fn end_request(&mut self) {
+        let blocks: Vec<MBlock> = std::mem::take(&mut self.scoped);
+        for b in blocks {
+            self.free(b);
+        }
+        self.ctx.end_request();
+    }
+
+    /// Simulates an OS context switch: `hmflush`, string-accelerator config
+    /// save (the hash table is hardware-coherent and needs nothing, §4.6).
+    pub fn context_switch(&mut self) {
+        if self.is_specialized() {
+            self.core.context_switches += 1;
+            self.ctx.with_allocator(|a| {
+                let prof = self.ctx.profiler();
+                self.core.heap.hmflush(a, prof);
+            });
+            self.core.straccel.strwriteconfig();
+            // On resume the config is reloaded.
+            let cycles = self.core.straccel.strreadconfig();
+            self.ctx.profiler().record(
+                "strreadconfig",
+                Category::String,
+                OpCost::alu(DISPATCH_UOPS + cycles / 2),
+            );
+        }
+    }
+
+    // -- heap -----------------------------------------------------------------
+
+    /// Allocates `size` bytes (hardware path when ≤128 B in specialized
+    /// mode).
+    pub fn alloc(&mut self, size: usize) -> MBlock {
+        if self.is_specialized() {
+            let prof = self.ctx.profiler();
+            let out = self.ctx.with_allocator(|a| self.core.heap.hmmalloc(size, a, prof));
+            match out {
+                MallocOutcome::Hit { addr } => {
+                    self.dispatch("hmmalloc", Category::Heap);
+                    return MBlock { addr, size, hw: true, sw_block: None };
+                }
+                MallocOutcome::SoftwareRefill { addr } => {
+                    // Cost already charged by the software handler.
+                    self.dispatch("hmmalloc", Category::Heap);
+                    return MBlock { addr, size, hw: true, sw_block: None };
+                }
+                MallocOutcome::TooLarge => {}
+            }
+        }
+        let b = self.ctx.malloc(size);
+        MBlock { addr: b.addr, size, hw: false, sw_block: Some(b) }
+    }
+
+    /// Frees a block.
+    pub fn free(&mut self, block: MBlock) {
+        if block.hw {
+            let prof = self.ctx.profiler();
+            let out = self
+                .ctx
+                .with_allocator(|a| self.core.heap.hmfree(block.addr, block.size, a, prof));
+            debug_assert!(!matches!(out, FreeOutcome::TooLarge));
+            self.dispatch("hmfree", Category::Heap);
+        } else if let Some(sw) = block.sw_block {
+            self.ctx.free(sw);
+        }
+    }
+
+    /// Allocates a block that lives until [`PhpMachine::end_request`].
+    pub fn alloc_scoped(&mut self, size: usize) -> u64 {
+        let b = self.alloc(size);
+        let addr = b.addr;
+        self.scoped.push(b);
+        addr
+    }
+
+    /// Creates a transient string value: its backing allocation is taken and
+    /// immediately recycled (the paper's HTML-tag churn pattern).
+    pub fn transient_str(&mut self, s: impl Into<PhpStr>) -> PhpValue {
+        let s: PhpStr = s.into();
+        let b = self.alloc(s.heap_size());
+        self.free(b);
+        PhpValue::str(s)
+    }
+
+    // -- hash maps -------------------------------------------------------------
+
+    /// Creates an array registered with the heap.
+    pub fn new_array(&mut self) -> PhpArray {
+        let mut a = PhpArray::new();
+        let addr = self.alloc_scoped(64);
+        a.set_base_addr(addr);
+        a
+    }
+
+    /// Hash GET.
+    pub fn array_get(&mut self, arr: &PhpArray, key: &ArrayKey) -> Option<PhpValue> {
+        if self.is_specialized() {
+            let kb = key_bytes(key);
+            match self.core.htable.get(arr.base_addr(), &kb) {
+                GetOutcome::Hit { .. } => {
+                    self.dispatch("hashtableget", Category::HashMap);
+                    let out = arr.get(key).cloned();
+                    if let Some(v) = &out {
+                        self.ctx.type_check(v);
+                        self.ctx.refcount_on_copy(v);
+                    }
+                    return out;
+                }
+                GetOutcome::Miss => {
+                    // Zero flag: software walk, then fill the table.
+                    let out = self.ctx.array_get(arr, key);
+                    if out.is_some() {
+                        let ev =
+                            self.core.htable.fill(arr.base_addr(), &kb, value_token(arr.base_addr(), &kb));
+                        self.charge_eviction(ev);
+                    }
+                    return out;
+                }
+                GetOutcome::Unsupported => return self.ctx.array_get(arr, key),
+            }
+        }
+        self.ctx.array_get(arr, key)
+    }
+
+    /// Hash SET.
+    pub fn array_set(&mut self, arr: &mut PhpArray, key: ArrayKey, value: PhpValue) {
+        if self.is_specialized() {
+            let kb = key_bytes(&key);
+            let base = arr.base_addr();
+            self.ctx.refcount_on_copy(&value);
+            // Ground truth stays in the software map (write-back happens
+            // lazily in hardware; the model keeps contents exact).
+            let old = arr.insert(key, value);
+            if let Some(old) = old {
+                self.ctx.refcount_on_drop(&old);
+            }
+            match self.core.htable.set(base, &kb, value_token(base, &kb)) {
+                SetOutcome::Updated => self.dispatch("hashtableset", Category::HashMap),
+                SetOutcome::Inserted { eviction } => {
+                    self.dispatch("hashtableset", Category::HashMap);
+                    self.charge_eviction(eviction);
+                }
+                SetOutcome::Unsupported => {
+                    // Long key: the software walk cost applies after all.
+                    self.ctx.profiler().record(
+                        "zend_hash_update",
+                        Category::HashMap,
+                        OpCost::mixed(90),
+                    );
+                }
+            }
+            return;
+        }
+        self.ctx.array_set(arr, key, value);
+    }
+
+    /// Appends with the next integer key (PHP `$a[] = v`), going through
+    /// the same SET path as [`PhpMachine::array_set`].
+    pub fn array_push(&mut self, arr: &mut PhpArray, value: PhpValue) -> ArrayKey {
+        self.ctx.refcount_on_copy(&value);
+        let key = arr.push(value);
+        if self.is_specialized() {
+            let kb = key_bytes(&key);
+            let base = arr.base_addr();
+            match self.core.htable.set(base, &kb, value_token(base, &kb)) {
+                SetOutcome::Inserted { eviction } => {
+                    self.dispatch("hashtableset", Category::HashMap);
+                    self.charge_eviction(eviction);
+                }
+                _ => self.dispatch("hashtableset", Category::HashMap),
+            }
+        } else {
+            self.ctx.profiler().record(
+                "zend_hash_next_insert",
+                Category::HashMap,
+                OpCost::mixed(55),
+            );
+        }
+        key
+    }
+
+    fn charge_eviction(&self, ev: Eviction) {
+        if let Eviction::DirtyWriteback { .. } = ev {
+            self.ctx.profiler().record(
+                "ht_dirty_writeback",
+                Category::HashMap,
+                OpCost::mixed(DIRTY_WRITEBACK_UOPS),
+            );
+        }
+    }
+
+    /// Hash unset (software path; the hardware entry is invalidated for
+    /// coherence).
+    pub fn array_remove(&mut self, arr: &mut PhpArray, key: &ArrayKey) -> Option<PhpValue> {
+        if self.is_specialized() {
+            let kb = key_bytes(key);
+            self.core.htable.invalidate_key(arr.base_addr(), &kb);
+        }
+        self.ctx.array_remove(arr, key)
+    }
+
+    /// Whole-map free.
+    pub fn array_free(&mut self, arr: &PhpArray) {
+        if self.is_specialized() {
+            self.core.htable.free(arr.base_addr());
+            self.dispatch("hashtable_free", Category::HashMap);
+            // Software still frees the map structure itself.
+            self.ctx.profiler().record("zend_hash_destroy", Category::HashMap, OpCost::mixed(16));
+            return;
+        }
+        self.ctx.array_free(arr);
+    }
+
+    /// Ordered iteration (`foreach`): returns pairs in insertion order.
+    pub fn foreach(&mut self, arr: &PhpArray) -> Vec<(ArrayKey, PhpValue)> {
+        let pairs: Vec<(ArrayKey, PhpValue)> =
+            arr.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        if self.is_specialized() {
+            let out = self.core.htable.foreach(arr.base_addr());
+            if out.order_lost || out.evicted_pairs > 0 || out.live_pairs.len() < pairs.len() {
+                // Hardware can't replay the full order: software iterates.
+                self.ctx.charge_foreach(arr);
+            } else {
+                self.dispatch("hashtable_foreach", Category::HashMap);
+                self.ctx.profiler().record(
+                    "hashtable_foreach",
+                    Category::HashMap,
+                    OpCost::alu(pairs.len() as u64 / 4),
+                );
+            }
+        } else {
+            self.ctx.charge_foreach(arr);
+        }
+        pairs
+    }
+
+    /// PHP `extract`: imports string-keyed pairs into a symbol-table array.
+    pub fn extract(&mut self, symtab: &mut PhpArray, source: &PhpArray) -> usize {
+        let pairs = self.foreach(source);
+        let mut n = 0;
+        for (k, v) in pairs {
+            if matches!(k, ArrayKey::Str(_)) {
+                self.array_set(symtab, k, v);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    // -- strings ---------------------------------------------------------------
+
+    fn strlib(&self) -> StrLib<'_> {
+        self.ctx.strlib()
+    }
+
+    /// `strpos`.
+    pub fn strpos(&mut self, haystack: &PhpStr, needle: &[u8], from: usize) -> Option<usize> {
+        if self.is_specialized() {
+            match self.core.straccel.find(haystack.as_bytes(), needle, from) {
+                Ok((pos, _cost)) => {
+                    self.dispatch("stringop_find", Category::String);
+                    return pos;
+                }
+                Err(_) => self.core.straccel.note_fallback(),
+            }
+        }
+        self.strlib().strpos(haystack, needle, from)
+    }
+
+    /// `strcmp`.
+    pub fn strcmp(&mut self, a: &PhpStr, b: &PhpStr) -> std::cmp::Ordering {
+        if self.is_specialized() {
+            let (ord, _) = self.core.straccel.compare(a.as_bytes(), b.as_bytes());
+            self.dispatch("stringop_compare", Category::String);
+            return ord;
+        }
+        self.strlib().strcmp(a, b)
+    }
+
+    /// `strtolower`.
+    pub fn strtolower(&mut self, s: &PhpStr) -> PhpStr {
+        self.case_convert(s, false)
+    }
+
+    /// `strtoupper`.
+    pub fn strtoupper(&mut self, s: &PhpStr) -> PhpStr {
+        self.case_convert(s, true)
+    }
+
+    fn case_convert(&mut self, s: &PhpStr, upper: bool) -> PhpStr {
+        if self.is_specialized() {
+            let (out, _) = self.core.straccel.translate_case(s.as_bytes(), upper);
+            self.dispatch("stringop_translate", Category::String);
+            return PhpStr::from_bytes(out);
+        }
+        if upper {
+            self.strlib().strtoupper(s)
+        } else {
+            self.strlib().strtolower(s)
+        }
+    }
+
+    /// `trim` with the default whitespace set.
+    pub fn trim(&mut self, s: &PhpStr) -> PhpStr {
+        if self.is_specialized() {
+            if let Ok(((start, end), _)) =
+                self.core.straccel.trim_range(s.as_bytes(), StrLib::WHITESPACE)
+            {
+                self.dispatch("stringop_trim", Category::String);
+                return PhpStr::from_bytes(s.as_bytes()[start..end].to_vec());
+            }
+            self.core.straccel.note_fallback();
+        }
+        self.strlib().trim(s, StrLib::WHITESPACE)
+    }
+
+    /// Single-byte `str_replace` (accelerated); multi-byte falls back.
+    pub fn str_replace(&mut self, search: &[u8], replace: &[u8], subject: &PhpStr) -> (PhpStr, usize) {
+        if self.is_specialized() && search.len() == 1 && replace.len() == 1 {
+            let (out, n, _) = self.core.straccel.replace_byte(subject.as_bytes(), search[0], replace[0]);
+            self.dispatch("stringop_replace", Category::String);
+            return (PhpStr::from_bytes(out), n);
+        }
+        self.strlib().str_replace(search, replace, subject)
+    }
+
+    /// `htmlspecialchars`: the accelerator pre-scans for special bytes and
+    /// clean strings pass through untouched; dirty strings pay software
+    /// encoding from the first special byte on.
+    pub fn htmlspecialchars(&mut self, s: &PhpStr) -> PhpStr {
+        if self.is_specialized() {
+            let (first, _) = self
+                .core
+                .straccel
+                .find_byte_set(s.as_bytes(), b"&<>\"'", 0)
+                .expect("5-byte set fits");
+            self.dispatch("stringop_findset", Category::String);
+            match first {
+                None => return s.clone(),
+                Some(pos) => {
+                    let head = &s.as_bytes()[..pos];
+                    let tail = PhpStr::from_bytes(s.as_bytes()[pos..].to_vec());
+                    let encoded = self.strlib().htmlspecialchars(&tail);
+                    let mut out = head.to_vec();
+                    out.extend_from_slice(encoded.as_bytes());
+                    return PhpStr::from_bytes(out);
+                }
+            }
+        }
+        self.strlib().htmlspecialchars(s)
+    }
+
+    /// `strip_tags`: the accelerator scans for `<`; tag-free strings pass
+    /// through untouched, otherwise software strips from the first tag on.
+    pub fn strip_tags(&mut self, s: &PhpStr) -> PhpStr {
+        if self.is_specialized() {
+            let (first, _) = self
+                .core
+                .straccel
+                .find_byte_set(s.as_bytes(), b"<", 0)
+                .expect("single-byte set fits");
+            self.dispatch("stringop_findset", Category::String);
+            match first {
+                None => return s.clone(),
+                Some(pos) => {
+                    let tail = PhpStr::from_bytes(s.as_bytes()[pos..].to_vec());
+                    let stripped = self.strlib().strip_tags(&tail);
+                    let mut out = s.as_bytes()[..pos].to_vec();
+                    out.extend_from_slice(stripped.as_bytes());
+                    return PhpStr::from_bytes(out);
+                }
+            }
+        }
+        self.strlib().strip_tags(s)
+    }
+
+    /// `sprintf` (software; format interpretation doesn't map to the matrix).
+    pub fn sprintf(&mut self, format: &PhpStr, args: &[PhpValue]) -> PhpStr {
+        self.strlib().sprintf(format, args)
+    }
+
+    /// `implode` (software copy path).
+    pub fn implode(&mut self, glue: &[u8], pieces: &[PhpStr]) -> PhpStr {
+        self.strlib().implode(glue, pieces)
+    }
+
+    /// `explode` (software; separators found via the accelerated find when
+    /// specialized).
+    pub fn explode(&mut self, sep: &[u8], s: &PhpStr) -> Vec<PhpStr> {
+        if self.is_specialized() && !sep.is_empty() && sep.len() < 16 {
+            let mut parts = Vec::new();
+            let mut pos = 0;
+            let b = s.as_bytes();
+            loop {
+                match self.core.straccel.find(b, sep, pos) {
+                    Ok((Some(at), _)) => {
+                        parts.push(PhpStr::from_bytes(b[pos..at].to_vec()));
+                        pos = at + sep.len();
+                    }
+                    _ => {
+                        parts.push(PhpStr::from_bytes(b[pos..].to_vec()));
+                        break;
+                    }
+                }
+            }
+            self.dispatch("stringop_find", Category::String);
+            return parts;
+        }
+        self.strlib().explode(sep, s)
+    }
+
+    /// `nl2br` (software).
+    pub fn nl2br(&mut self, s: &PhpStr) -> PhpStr {
+        self.strlib().nl2br(s)
+    }
+
+    // -- regular expressions -----------------------------------------------------
+
+    fn charge_regex(&self, name: &'static str, uops: u64) {
+        self.ctx.profiler().record(name, Category::Regex, OpCost::mixed(uops));
+    }
+
+    /// `preg_match`-style boolean search (no sifting context).
+    pub fn preg_match(&mut self, re: &Regex, subject: &PhpStr) -> bool {
+        let (m, stats) = re.is_match(subject.as_bytes());
+        self.charge_regex("pcre_exec", stats.uops);
+        m
+    }
+
+    /// Runs a *texturize pipeline*: a series of consecutive regexps over the
+    /// same content (Figure 11). In specialized mode the first regexp acts
+    /// as the sieve and the rest as shadows; replacements keep the HV
+    /// aligned through whitespace padding.
+    pub fn texturize(&mut self, content: &PhpStr, rules: &[(Regex, Vec<u8>)]) -> PhpStr {
+        if !self.is_specialized() {
+            let mut cur = content.as_bytes().to_vec();
+            for (re, repl) in rules {
+                let (out, _n, stats) = re.replace_all(&cur, repl);
+                self.charge_regex("pcre_replace", stats.uops);
+                cur = out;
+            }
+            return PhpStr::from_bytes(cur);
+        }
+
+        let seg = self.cfg.segment_size;
+        let mut cur = content.as_bytes().to_vec();
+        let mut hv: Option<HintVector> = None;
+        for (i, (re, repl)) in rules.iter().enumerate() {
+            if i == 0 {
+                // Sieve: full scan + HV generation via the string accelerator.
+                let sieve = regexp_sieve(re, &cur, seg, &mut self.core.straccel);
+                self.charge_regex("regexp_sieve", sieve.uops);
+                self.core.regex_stats.note_sieve(&sieve, cur.len());
+                let mut hv_new = sieve.hv;
+                cur = apply_padded_replacements(&cur, &sieve.matches, repl, &mut hv_new);
+                hv = Some(hv_new);
+            } else {
+                let hv_ref = hv.as_mut().expect("sieve ran first");
+                let shadow = regexp_shadow(re, &cur, hv_ref);
+                self.charge_regex("regexp_shadow", shadow.uops);
+                self.core.regex_stats.note_shadow(&shadow, cur.len());
+                if matches!(shadow.mode, ShadowMode::Skipping { .. }) {
+                    cur = apply_padded_replacements(&cur, &shadow.matches, repl, hv_ref);
+                } else {
+                    // Full-scan fallback already matched everything.
+                    cur = apply_padded_replacements(&cur, &shadow.matches, repl, hv_ref);
+                }
+            }
+        }
+        PhpStr::from_bytes(cur)
+    }
+
+    /// Anchored match through the content reuse table (`regexlookup`/
+    /// `regexset`), e.g. repeated author-URL parsing (Figure 13).
+    pub fn match_with_reuse(&mut self, pc: u64, re: &Regex, subject: &PhpStr) -> Option<usize> {
+        if self.is_specialized() {
+            let run = run_with_reuse(re, pc, 1, subject.as_bytes(), &mut self.core.reuse);
+            self.dispatch("regexlookup", Category::Regex);
+            self.charge_regex(
+                "pcre_exec",
+                regex_engine::SW_UOPS_PER_CALL + run.bytes_scanned * regex_engine::SW_UOPS_PER_BYTE,
+            );
+            self.core.regex_stats.bytes_total += subject.len() as u64;
+            self.core.regex_stats.bytes_scanned += run.bytes_scanned;
+            let reuse_stats = *self.core.reuse.stats();
+            self.core.regex_stats.note_reuse(&reuse_stats);
+            return run.match_end;
+        }
+        let (m, scanned) = re.match_at(subject.as_bytes(), 0);
+        self.charge_regex(
+            "pcre_exec",
+            regex_engine::SW_UOPS_PER_CALL + scanned * regex_engine::SW_UOPS_PER_BYTE,
+        );
+        m.map(|m| m.end)
+    }
+}
+
+/// Applies non-overlapping `matches` (in ascending order) as padded
+/// replacements, back to front so earlier offsets stay valid; the HV is
+/// updated in place.
+fn apply_padded_replacements(
+    content: &[u8],
+    matches: &[regex_engine::Match],
+    replacement: &[u8],
+    hv: &mut HintVector,
+) -> Vec<u8> {
+    let mut cur = content.to_vec();
+    for m in matches.iter().rev() {
+        let edit = replace_padded(&cur, m.start, m.end, replacement, hv);
+        cur = edit.content;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machines() -> (PhpMachine, PhpMachine) {
+        (PhpMachine::baseline(), PhpMachine::specialized())
+    }
+
+    #[test]
+    fn array_ops_agree_across_modes() {
+        let (mut base, mut spec) = machines();
+        for m in [&mut base, &mut spec] {
+            let mut a = m.new_array();
+            m.array_set(&mut a, ArrayKey::from("title"), PhpValue::from("Hello"));
+            m.array_set(&mut a, ArrayKey::from("views"), PhpValue::from(42i64));
+            m.array_set(&mut a, ArrayKey::Int(7), PhpValue::from(7i64));
+            assert!(m
+                .array_get(&a, &ArrayKey::from("title"))
+                .unwrap()
+                .loose_eq(&PhpValue::from("Hello")));
+            assert!(m.array_get(&a, &ArrayKey::Int(7)).unwrap().loose_eq(&PhpValue::from(7i64)));
+            assert!(m.array_get(&a, &ArrayKey::from("nope")).is_none());
+            let keys: Vec<String> = m.foreach(&a).iter().map(|(k, _)| k.to_string()).collect();
+            assert_eq!(keys, ["title", "views", "7"]);
+            m.array_remove(&mut a, &ArrayKey::from("views"));
+            assert!(m.array_get(&a, &ArrayKey::from("views")).is_none());
+            m.array_free(&a);
+        }
+    }
+
+    #[test]
+    fn specialized_hash_gets_cost_less() {
+        let (mut base, mut spec) = machines();
+        for m in [&mut base, &mut spec] {
+            let mut a = m.new_array();
+            for i in 0..50 {
+                m.array_set(&mut a, ArrayKey::from(format!("key{i}")), PhpValue::from(i as i64));
+            }
+            for _ in 0..10 {
+                for i in 0..50 {
+                    m.array_get(&a, &ArrayKey::from(format!("key{i}")));
+                }
+            }
+        }
+        let b_hash = base.ctx().profiler().category_breakdown()[&Category::HashMap];
+        let s_hash = spec.ctx().profiler().category_breakdown()[&Category::HashMap];
+        assert!(
+            (s_hash as f64) < b_hash as f64 * 0.35,
+            "specialized hash µops {s_hash} vs baseline {b_hash}"
+        );
+        assert!(spec.core().htable.stats().hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn specialized_heap_reuse_cost_less() {
+        let (mut base, mut spec) = machines();
+        for m in [&mut base, &mut spec] {
+            for _ in 0..500 {
+                let b1 = m.alloc(48);
+                let b2 = m.alloc(96);
+                m.free(b1);
+                m.free(b2);
+            }
+        }
+        let b = base.ctx().profiler().category_breakdown()[&Category::Heap];
+        let s = spec.ctx().profiler().category_breakdown()[&Category::Heap];
+        assert!((s as f64) < b as f64 * 0.25, "heap µops {s} vs {b}");
+        assert!(spec.core().heap.stats().hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn string_ops_agree_and_accelerate() {
+        let (mut base, mut spec) = machines();
+        let s = PhpStr::from("  The Quick <b>Brown</b> Fox's Tale  ");
+        for m in [&mut base, &mut spec] {
+            assert_eq!(m.strpos(&s, b"Quick", 0), Some(6));
+            assert_eq!(m.strtolower(&s).to_string_lossy(), s.to_string_lossy().to_lowercase());
+            assert_eq!(m.trim(&s).to_string_lossy(), "The Quick <b>Brown</b> Fox's Tale");
+            let (r, n) = m.str_replace(b"o", b"0", &s);
+            assert_eq!(n, 2);
+            assert!(r.to_string_lossy().contains("Br0wn"));
+            let html = m.htmlspecialchars(&s);
+            assert!(html.to_string_lossy().contains("&lt;b&gt;"));
+            assert!(html.to_string_lossy().contains("&#039;"));
+        }
+        let b = base.ctx().profiler().category_breakdown()[&Category::String];
+        let s_uops = spec.ctx().profiler().category_breakdown()[&Category::String];
+        assert!(s_uops < b, "specialized string µops {s_uops} vs {b}");
+        assert!(spec.core().straccel.stats().ops > 0);
+    }
+
+    #[test]
+    fn clean_html_passthrough_is_cheap() {
+        let mut spec = PhpMachine::specialized();
+        let clean = PhpStr::from("just regular words with no markup at all");
+        let out = spec.htmlspecialchars(&clean);
+        assert_eq!(out.to_string_lossy(), clean.to_string_lossy());
+    }
+
+    #[test]
+    fn texturize_agrees_across_modes() {
+        let rules = vec![
+            (Regex::new("'").unwrap(), b"&#8217;".to_vec()),
+            (Regex::new("\"").unwrap(), b"&#8221;".to_vec()),
+            (Regex::new("\\n").unwrap(), b"<br/>".to_vec()),
+        ];
+        let content = PhpStr::from(
+            "It's a \"wonderful\" day\nwith lots of plain text following the punctuation \
+             and then some more plain text that the shadows can skip entirely",
+        );
+        let (mut base, mut spec) = machines();
+        let out_b = base.texturize(&content, &rules);
+        let out_s = spec.texturize(&content, &rules);
+        // Padding may add whitespace; stripping spaces the outputs agree.
+        let squash = |s: &PhpStr| {
+            s.as_bytes().iter().filter(|&&b| b != b' ').copied().collect::<Vec<u8>>()
+        };
+        assert_eq!(squash(&out_b), squash(&out_s));
+        assert!(out_s.to_string_lossy().contains("&#8217;"));
+        assert!(spec.core().regex_stats.bytes_skipped_sift > 0);
+    }
+
+    #[test]
+    fn reuse_path_agrees_and_skips() {
+        let re = Regex::new("https://localhost/\\?author=[a-z]+").unwrap();
+        let (mut base, mut spec) = machines();
+        for name in ["ann", "bob", "cat", "dan"] {
+            let url = PhpStr::from(format!("https://localhost/?author={name}"));
+            let b = base.match_with_reuse(0x400, &re, &url);
+            let s = spec.match_with_reuse(0x400, &re, &url);
+            assert_eq!(b, s);
+            assert_eq!(b, Some(url.len()));
+        }
+        assert!(spec.core().reuse.stats().hits >= 1);
+        assert!(spec.core().reuse.stats().bytes_skipped > 0);
+    }
+
+    #[test]
+    fn context_switch_flushes_heap() {
+        let mut spec = PhpMachine::specialized();
+        let b = spec.alloc(32);
+        spec.free(b); // hardware free list now holds a block
+        spec.context_switch();
+        assert_eq!(spec.core().heap.stats().flushes, 1);
+        assert!(spec.core().heap.occupancy().iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn end_request_releases_scoped_blocks() {
+        let mut spec = PhpMachine::specialized();
+        spec.alloc_scoped(64);
+        let _arr = spec.new_array();
+        spec.end_request();
+        let live = spec.ctx().with_allocator(|a| a.live_block_count());
+        assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn extract_imports_into_symtab() {
+        let mut spec = PhpMachine::specialized();
+        let mut src = spec.new_array();
+        spec.array_set(&mut src, ArrayKey::from("a"), PhpValue::from(1i64));
+        spec.array_set(&mut src, ArrayKey::Int(0), PhpValue::from(2i64));
+        spec.array_set(&mut src, ArrayKey::from("b"), PhpValue::from(3i64));
+        let mut symtab = spec.new_array();
+        let n = spec.extract(&mut symtab, &src);
+        assert_eq!(n, 2);
+        assert_eq!(symtab.len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! AST for the mini-PHP subset.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `.` string concatenation
+    Concat,
+    /// `==` loose equality
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `null`
+    Null,
+    /// Boolean literal.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `$name`
+    Var(String),
+    /// `$a[expr]`
+    Index {
+        /// The array expression (usually a variable).
+        base: Box<Expr>,
+        /// The key expression.
+        key: Box<Expr>,
+    },
+    /// `array(k => v, ...)` / `[v, ...]`
+    ArrayLit(Vec<(Option<Expr>, Expr)>),
+    /// Function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? a : b` (and the `?:` elvis form with `a` omitted).
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when truthy (`None` = elvis: reuse the condition value).
+        then: Option<Box<Expr>>,
+        /// Value when falsy.
+        otherwise: Box<Expr>,
+    },
+    /// `!expr`
+    Not(Box<Expr>),
+    /// `-expr`
+    Neg(Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `$name`
+    Var(String),
+    /// `$a[expr]`
+    Index {
+        /// The array variable name.
+        var: String,
+        /// Key (None = `$a[] = v` append).
+        key: Option<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Assignment (`=`, `.=`, `+=` desugared at parse time).
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `echo expr, expr...;`
+    Echo(Vec<Expr>),
+    /// `if (...) {...} else {...}`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        otherwise: Vec<Stmt>,
+    },
+    /// `while (...) {...}`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) {...}`
+    For {
+        /// Initializer.
+        init: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Step.
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `foreach ($arr as $k => $v) {...}`
+    Foreach {
+        /// Array expression.
+        array: Expr,
+        /// Key variable (optional).
+        key_var: Option<String>,
+        /// Value variable.
+        value_var: String,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Function definition.
+    FuncDef(FuncDef),
+    /// `return expr;`
+    Return(Option<Expr>),
+    /// `global $a, $b;`
+    Global(Vec<String>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A user function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level statements (function defs included).
+    pub stmts: Vec<Stmt>,
+}

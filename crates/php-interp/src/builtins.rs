@@ -1,0 +1,347 @@
+//! Builtin function bridge: mini-PHP builtins dispatch into the
+//! [`phpaccel_core::PhpMachine`], so a script's `strtolower` goes through the string
+//! accelerator in specialized mode and the software library otherwise.
+
+use crate::eval::{Interp, RuntimeError};
+use php_runtime::array::ArrayKey;
+use php_runtime::string::PhpStr;
+use php_runtime::value::PhpValue;
+
+fn arg(args: &[PhpValue], i: usize) -> PhpValue {
+    args.get(i).cloned().unwrap_or(PhpValue::Null)
+}
+
+fn str_arg(args: &[PhpValue], i: usize) -> PhpStr {
+    arg(args, i).to_php_string()
+}
+
+/// Calls builtin `name`.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] for unknown builtins or bad arguments.
+pub fn call(interp: &mut Interp<'_>, name: &str, args: Vec<PhpValue>) -> Result<PhpValue, RuntimeError> {
+    let m = interp.machine();
+    match name {
+        "strlen" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::Int(m.ctx().strlib().strlen(&s) as i64))
+        }
+        "strtolower" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.strtolower(&s)))
+        }
+        "strtoupper" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.strtoupper(&s)))
+        }
+        "ucfirst" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.ctx().strlib().ucfirst(&s)))
+        }
+        "ucwords" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.ctx().strlib().ucwords(&s)))
+        }
+        "trim" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.trim(&s)))
+        }
+        "strpos" => {
+            let hay = str_arg(&args, 0);
+            let needle = str_arg(&args, 1);
+            let from = if args.len() > 2 { arg(&args, 2).to_int().max(0) as usize } else { 0 };
+            match m.strpos(&hay, needle.as_bytes(), from) {
+                Some(p) => Ok(PhpValue::Int(p as i64)),
+                None => Ok(PhpValue::Bool(false)),
+            }
+        }
+        "str_replace" => {
+            let search = str_arg(&args, 0);
+            let replace = str_arg(&args, 1);
+            let subject = str_arg(&args, 2);
+            let (out, _) = m.str_replace(search.as_bytes(), replace.as_bytes(), &subject);
+            Ok(PhpValue::str(out))
+        }
+        "substr" => {
+            let s = str_arg(&args, 0);
+            let start = arg(&args, 1).to_int();
+            let len = args.get(2).map(|v| v.to_int());
+            Ok(PhpValue::str(m.ctx().strlib().substr(&s, start, len)))
+        }
+        "str_repeat" => {
+            let s = str_arg(&args, 0);
+            let n = arg(&args, 1).to_int().max(0) as usize;
+            Ok(PhpValue::str(m.ctx().strlib().str_repeat(&s, n)))
+        }
+        "sprintf" => {
+            let f = str_arg(&args, 0);
+            Ok(PhpValue::str(m.sprintf(&f, &args[1..])))
+        }
+        "htmlspecialchars" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.htmlspecialchars(&s)))
+        }
+        "strip_tags" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.strip_tags(&s)))
+        }
+        "lcfirst" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.ctx().strlib().lcfirst(&s)))
+        }
+        "str_word_count" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::Int(m.ctx().strlib().str_word_count(&s) as i64))
+        }
+        "nl2br" => {
+            let s = str_arg(&args, 0);
+            Ok(PhpValue::str(m.nl2br(&s)))
+        }
+        "strcmp" => {
+            let a = str_arg(&args, 0);
+            let b = str_arg(&args, 1);
+            Ok(PhpValue::Int(match m.strcmp(&a, &b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            }))
+        }
+        "implode" | "join" => {
+            let glue = str_arg(&args, 0);
+            let PhpValue::Array(rc) = arg(&args, 1) else {
+                return Err(RuntimeError::new("implode expects an array"));
+            };
+            let pieces: Vec<PhpStr> =
+                rc.borrow().values().map(|v| v.to_php_string()).collect();
+            Ok(PhpValue::str(m.implode(glue.as_bytes(), &pieces)))
+        }
+        "explode" => {
+            let sep = str_arg(&args, 0);
+            let s = str_arg(&args, 1);
+            if sep.is_empty() {
+                return Err(RuntimeError::new("explode with empty separator"));
+            }
+            let parts = m.explode(sep.as_bytes(), &s);
+            let mut arr = m.new_array();
+            for p in parts {
+                m.array_push(&mut arr, PhpValue::str(p));
+            }
+            Ok(PhpValue::array(arr))
+        }
+        "count" => match arg(&args, 0) {
+            PhpValue::Array(rc) => Ok(PhpValue::Int(rc.borrow().len() as i64)),
+            PhpValue::Null => Ok(PhpValue::Int(0)),
+            _ => Ok(PhpValue::Int(1)),
+        },
+        "array_keys" => {
+            let PhpValue::Array(rc) = arg(&args, 0) else {
+                return Err(RuntimeError::new("array_keys expects an array"));
+            };
+            let keys: Vec<ArrayKey> = rc.borrow().keys().cloned().collect();
+            let mut out = m.new_array();
+            for k in keys {
+                let v = match k {
+                    ArrayKey::Int(i) => PhpValue::Int(i),
+                    ArrayKey::Str(s) => PhpValue::str(s),
+                };
+                m.array_push(&mut out, v);
+            }
+            Ok(PhpValue::array(out))
+        }
+        "array_values" => {
+            let PhpValue::Array(rc) = arg(&args, 0) else {
+                return Err(RuntimeError::new("array_values expects an array"));
+            };
+            let values: Vec<PhpValue> = rc.borrow().values().cloned().collect();
+            let mut out = m.new_array();
+            for v in values {
+                m.array_push(&mut out, v);
+            }
+            Ok(PhpValue::array(out))
+        }
+        "in_array" => {
+            let needle = arg(&args, 0);
+            let PhpValue::Array(rc) = arg(&args, 1) else {
+                return Err(RuntimeError::new("in_array expects an array"));
+            };
+            let found = rc.borrow().values().any(|v| v.loose_eq(&needle));
+            Ok(PhpValue::Bool(found))
+        }
+        "array_key_exists" | "isset_key" => {
+            let key = arg(&args, 0);
+            let PhpValue::Array(rc) = arg(&args, 1) else {
+                return Err(RuntimeError::new("array_key_exists expects an array"));
+            };
+            let k = match key {
+                PhpValue::Int(i) => ArrayKey::Int(i),
+                other => ArrayKey::Str(other.to_php_string()),
+            };
+            let exists = rc.borrow().contains_key(&k);
+            Ok(PhpValue::Bool(exists))
+        }
+        "unset_key" => {
+            let key = arg(&args, 0);
+            let PhpValue::Array(rc) = arg(&args, 1) else {
+                return Err(RuntimeError::new("unset_key expects an array"));
+            };
+            let k = match key {
+                PhpValue::Int(i) => ArrayKey::Int(i),
+                other => ArrayKey::Str(other.to_php_string()),
+            };
+            let removed = m.array_remove(&mut rc.borrow_mut(), &k).is_some();
+            Ok(PhpValue::Bool(removed))
+        }
+        "extract" => {
+            let PhpValue::Array(rc) = arg(&args, 0) else {
+                return Err(RuntimeError::new("extract expects an array"));
+            };
+            let pairs = {
+                let borrowed = rc.borrow();
+                m.foreach(&borrowed)
+            };
+            let mut n = 0;
+            for (k, v) in pairs {
+                if let ArrayKey::Str(name) = k {
+                    interp_set_var(interp, &name.to_string_lossy(), v);
+                    n += 1;
+                }
+            }
+            Ok(PhpValue::Int(n))
+        }
+        "intval" => Ok(PhpValue::Int(arg(&args, 0).to_int())),
+        "floatval" => Ok(PhpValue::Float(arg(&args, 0).to_float())),
+        "strval" => Ok(PhpValue::str(arg(&args, 0).to_php_string())),
+        "abs" => {
+            let v = arg(&args, 0);
+            Ok(match v {
+                PhpValue::Float(f) => PhpValue::Float(f.abs()),
+                other => PhpValue::Int(other.to_int().abs()),
+            })
+        }
+        "max" => {
+            let a = arg(&args, 0);
+            let b = arg(&args, 1);
+            Ok(if a.to_float() >= b.to_float() { a } else { b })
+        }
+        "min" => {
+            let a = arg(&args, 0);
+            let b = arg(&args, 1);
+            Ok(if a.to_float() <= b.to_float() { a } else { b })
+        }
+        "preg_match" => {
+            let pattern = str_arg(&args, 0).to_string_lossy();
+            let subject = str_arg(&args, 1);
+            let re = interp.compile_regex(&pattern)?;
+            let matched = interp.machine().preg_match(&re, &subject);
+            Ok(PhpValue::Int(matched as i64))
+        }
+        "preg_replace" => {
+            let pattern = str_arg(&args, 0).to_string_lossy();
+            let replacement = str_arg(&args, 1);
+            let subject = str_arg(&args, 2);
+            let re = interp.compile_regex(&pattern)?;
+            let rules = vec![(re, replacement.as_bytes().to_vec())];
+            let out = interp.machine().texturize(&subject, &rules);
+            Ok(PhpValue::str(out))
+        }
+        other => Err(RuntimeError::new(format!("undefined builtin {other}"))),
+    }
+}
+
+/// Sets a variable in the interpreter's current scope (used by `extract`).
+fn interp_set_var(interp: &mut Interp<'_>, name: &str, value: PhpValue) {
+    interp.set_var_public(name, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Interp;
+    use phpaccel_core::PhpMachine;
+
+    fn eval_expr(src: &str) -> String {
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        i.run(&format!("echo {src};")).unwrap();
+        String::from_utf8_lossy(i.output()).into_owned()
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(eval_expr("strlen('abc')"), "3");
+        assert_eq!(eval_expr("strtoupper('aB')"), "AB");
+        assert_eq!(eval_expr("ucfirst('php')"), "Php");
+        assert_eq!(eval_expr("ucwords('a b')"), "A B");
+        assert_eq!(eval_expr("str_repeat('ab', 3)"), "ababab");
+        assert_eq!(eval_expr("strcmp('a', 'b')"), "-1");
+        assert_eq!(eval_expr("sprintf('%s=%d', 'x', 5)"), "x=5");
+        assert_eq!(eval_expr("nl2br('a\\nb')"), "a<br />\nb");
+    }
+
+    #[test]
+    fn numeric_builtins() {
+        assert_eq!(eval_expr("abs(-5)"), "5");
+        assert_eq!(eval_expr("max(2, 7)"), "7");
+        assert_eq!(eval_expr("min(2, 7)"), "2");
+        assert_eq!(eval_expr("intval('42x')"), "42");
+    }
+
+    #[test]
+    fn array_builtins() {
+        assert_eq!(eval_expr("count(array(1, 2, 3))"), "3");
+        assert_eq!(eval_expr("in_array(2, array(1, 2))"), "1");
+        assert_eq!(eval_expr("in_array(9, array(1, 2))"), "");
+        assert_eq!(eval_expr("implode(',', array_keys(array('a' => 1, 'b' => 2)))"), "a,b");
+        assert_eq!(eval_expr("implode(',', array_values(array('a' => 9, 'b' => 8)))"), "9,8");
+        assert_eq!(eval_expr("array_key_exists('a', array('a' => 1))"), "1");
+    }
+
+    #[test]
+    fn strpos_false_on_miss() {
+        assert_eq!(eval_expr("strpos('abc', 'z')"), "");
+        assert_eq!(eval_expr("strpos('abcabc', 'bc', 2)"), "4");
+    }
+
+    #[test]
+    fn unknown_builtin_errors() {
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        assert!(i.run("frobnicate(1);").is_err());
+    }
+}
+
+#[cfg(test)]
+mod strip_tests {
+    use crate::eval::Interp;
+    use phpaccel_core::PhpMachine;
+
+    fn eval_both(src: &str) -> (String, String) {
+        let run = |mut m: PhpMachine| {
+            let mut i = Interp::new(&mut m);
+            i.run(src).unwrap();
+            String::from_utf8_lossy(i.output()).into_owned()
+        };
+        (run(PhpMachine::baseline()), run(PhpMachine::specialized()))
+    }
+
+    #[test]
+    fn strip_tags_agrees_across_modes() {
+        let (b, s) = eval_both("echo strip_tags('<p>Hello <b>world</b>!</p>');");
+        assert_eq!(b, "Hello world!");
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn strip_tags_clean_passthrough() {
+        let (b, s) = eval_both("echo strip_tags('no markup here at all');");
+        assert_eq!(b, "no markup here at all");
+        assert_eq!(b, s);
+    }
+
+    #[test]
+    fn lcfirst_and_word_count() {
+        let (b, s) = eval_both("echo lcfirst('PHP'), '|', str_word_count(\"it's a fine day\");");
+        assert_eq!(b, "pHP|4");
+        assert_eq!(b, s);
+    }
+}

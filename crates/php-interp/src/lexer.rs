@@ -1,0 +1,401 @@
+//! Tokenizer for the mini-PHP subset.
+
+use std::fmt;
+
+/// A token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `$name`
+    Variable(String),
+    /// Bare identifier (function names, keywords are separated below).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes processed).
+    Str(String),
+    /// Keywords.
+    Kw(Kw),
+    /// Punctuation / operators.
+    Punct(Punct),
+}
+
+/// Keywords of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `function`
+    Function,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `foreach`
+    Foreach,
+    /// `as`
+    As,
+    /// `echo`
+    Echo,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `array`
+    Array,
+    /// `global`
+    Global,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `.=`
+    DotAssign,
+    /// `+=`
+    PlusAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `.`
+    Dot,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `=>`
+    FatArrow,
+    /// `++`
+    Incr,
+    /// `--`
+    Decr,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+}
+
+/// Lexer error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Message.
+    pub message: String,
+    /// Byte offset.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { message: "empty variable name".into(), position: i });
+                }
+                out.push(Token::Variable(src[start..j].to_owned()));
+                i = j;
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= b.len() {
+                        return Err(LexError {
+                            message: "unterminated string".into(),
+                            position: i,
+                        });
+                    }
+                    if b[j] == quote {
+                        break;
+                    }
+                    if b[j] == b'\\' && j + 1 < b.len() {
+                        let e = b[j + 1];
+                        let decoded = match e {
+                            b'n' => Some('\n'),
+                            b't' => Some('\t'),
+                            b'r' => Some('\r'),
+                            b'\\' => Some('\\'),
+                            b'\'' => Some('\''),
+                            b'"' => Some('"'),
+                            b'$' => Some('$'),
+                            b'0' => Some('\0'),
+                            _ => None,
+                        };
+                        match decoded {
+                            Some(c) => s.push(c),
+                            None => {
+                                s.push('\\');
+                                s.push(e as char);
+                            }
+                        }
+                        j += 2;
+                    } else {
+                        s.push(b[j] as char);
+                        j += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.') {
+                    if b[j] == b'.' {
+                        if !b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &src[start..j];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float {text}"),
+                        position: start,
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad int {text}"),
+                        position: start,
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[start..j];
+                let tok = match word {
+                    "function" => Token::Kw(Kw::Function),
+                    "return" => Token::Kw(Kw::Return),
+                    "if" => Token::Kw(Kw::If),
+                    "else" => Token::Kw(Kw::Else),
+                    "while" => Token::Kw(Kw::While),
+                    "for" => Token::Kw(Kw::For),
+                    "foreach" => Token::Kw(Kw::Foreach),
+                    "as" => Token::Kw(Kw::As),
+                    "echo" => Token::Kw(Kw::Echo),
+                    "true" | "TRUE" => Token::Kw(Kw::True),
+                    "false" | "FALSE" => Token::Kw(Kw::False),
+                    "null" | "NULL" => Token::Kw(Kw::Null),
+                    "array" => Token::Kw(Kw::Array),
+                    "global" => Token::Kw(Kw::Global),
+                    "break" => Token::Kw(Kw::Break),
+                    "continue" => Token::Kw(Kw::Continue),
+                    _ => Token::Ident(word.to_owned()),
+                };
+                out.push(tok);
+                i = j;
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let (p, adv) = match two {
+                    "==" => (Punct::Eq, 2),
+                    "!=" => (Punct::Ne, 2),
+                    "<=" => (Punct::Le, 2),
+                    ">=" => (Punct::Ge, 2),
+                    "&&" => (Punct::AndAnd, 2),
+                    "||" => (Punct::OrOr, 2),
+                    "=>" => (Punct::FatArrow, 2),
+                    ".=" => (Punct::DotAssign, 2),
+                    "+=" => (Punct::PlusAssign, 2),
+                    "++" => (Punct::Incr, 2),
+                    "--" => (Punct::Decr, 2),
+                    _ => {
+                        let p = match c {
+                            b'(' => Punct::LParen,
+                            b')' => Punct::RParen,
+                            b'{' => Punct::LBrace,
+                            b'}' => Punct::RBrace,
+                            b'[' => Punct::LBracket,
+                            b']' => Punct::RBracket,
+                            b';' => Punct::Semi,
+                            b',' => Punct::Comma,
+                            b'=' => Punct::Assign,
+                            b'<' => Punct::Lt,
+                            b'>' => Punct::Gt,
+                            b'+' => Punct::Plus,
+                            b'-' => Punct::Minus,
+                            b'*' => Punct::Star,
+                            b'/' => Punct::Slash,
+                            b'%' => Punct::Percent,
+                            b'.' => Punct::Dot,
+                            b'!' => Punct::Not,
+                            b'?' => Punct::Question,
+                            b':' => Punct::Colon,
+                            other => {
+                                return Err(LexError {
+                                    message: format!("unexpected character {:?}", other as char),
+                                    position: i,
+                                })
+                            }
+                        };
+                        (p, 1)
+                    }
+                };
+                out.push(Token::Punct(p));
+                i += adv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_assignment() {
+        let t = lex("$x = 42;").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Variable("x".into()),
+                Token::Punct(Punct::Assign),
+                Token::Int(42),
+                Token::Punct(Punct::Semi),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let t = lex(r#"$s = "a\nb\"c";"#).unwrap();
+        assert_eq!(t[2], Token::Str("a\nb\"c".into()));
+        let t = lex(r"$s = 'it\'s';").unwrap();
+        assert_eq!(t[2], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn lexes_floats_and_member_dot() {
+        let t = lex("$a = 1.5 . 2;").unwrap();
+        assert_eq!(t[2], Token::Float(1.5));
+        assert_eq!(t[3], Token::Punct(Punct::Dot));
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let t = lex("foreach ($a as $k => $v) { strlen($v); }").unwrap();
+        assert_eq!(t[0], Token::Kw(Kw::Foreach));
+        assert!(t.contains(&Token::Ident("strlen".into())));
+        assert!(t.contains(&Token::Punct(Punct::FatArrow)));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("// line\n# hash\n/* block */ $x;").unwrap();
+        assert_eq!(t[0], Token::Variable("x".into()));
+    }
+
+    #[test]
+    fn two_char_ops() {
+        let t = lex("$a .= $b; $c++; $d == $e;").unwrap();
+        assert!(t.contains(&Token::Punct(Punct::DotAssign)));
+        assert!(t.contains(&Token::Punct(Punct::Incr)));
+        assert!(t.contains(&Token::Punct(Punct::Eq)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("$").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("$a = @;").is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! Recursive-descent parser for the mini-PHP subset.
+
+use crate::ast::*;
+use crate::lexer::{lex, Kw, LexError, Punct, Token};
+use std::fmt;
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Message.
+    pub message: String,
+    /// Token index where it happened.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, at: e.position }
+    }
+}
+
+/// Parses a program.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at_end() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(Program { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), at: self.pos }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == Some(&Token::Punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.peek() == Some(&Token::Kw(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut out = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::Kw(Kw::Function)) => {
+                self.bump();
+                let name = match self.bump() {
+                    Some(Token::Ident(n)) => n,
+                    other => return Err(self.err(format!("expected function name, got {other:?}"))),
+                };
+                self.expect_punct(Punct::LParen)?;
+                let mut params = Vec::new();
+                while !self.eat_punct(Punct::RParen) {
+                    match self.bump() {
+                        Some(Token::Variable(v)) => params.push(v),
+                        other => return Err(self.err(format!("expected parameter, got {other:?}"))),
+                    }
+                    if !self.eat_punct(Punct::Comma) && self.peek() != Some(&Token::Punct(Punct::RParen))
+                    {
+                        return Err(self.err("expected , or ) in parameter list"));
+                    }
+                }
+                let body = self.block()?;
+                Ok(Stmt::FuncDef(FuncDef { name, params, body }))
+            }
+            Some(Token::Kw(Kw::Return)) => {
+                self.bump();
+                if self.eat_punct(Punct::Semi) {
+                    return Ok(Stmt::Return(None));
+                }
+                let e = self.expr()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Return(Some(e)))
+            }
+            Some(Token::Kw(Kw::Echo)) => {
+                self.bump();
+                let mut parts = vec![self.expr()?];
+                while self.eat_punct(Punct::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Echo(parts))
+            }
+            Some(Token::Kw(Kw::Global)) => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Token::Variable(v)) => names.push(v),
+                        other => return Err(self.err(format!("expected variable, got {other:?}"))),
+                    }
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Global(names))
+            }
+            Some(Token::Kw(Kw::Break)) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Some(Token::Kw(Kw::Continue)) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Some(Token::Kw(Kw::If)) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let then = self.block()?;
+                let otherwise = if self.eat_kw(Kw::Else) {
+                    if self.peek() == Some(&Token::Kw(Kw::If)) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, otherwise })
+            }
+            Some(Token::Kw(Kw::While)) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Token::Kw(Kw::For)) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::Semi)?;
+                let step = self.simple_stmt()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For { init: Box::new(init), cond, step: Box::new(step), body })
+            }
+            Some(Token::Kw(Kw::Foreach)) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let array = self.expr()?;
+                if !self.eat_kw(Kw::As) {
+                    return Err(self.err("expected 'as' in foreach"));
+                }
+                let first = match self.bump() {
+                    Some(Token::Variable(v)) => v,
+                    other => return Err(self.err(format!("expected variable, got {other:?}"))),
+                };
+                let (key_var, value_var) = if self.eat_punct(Punct::FatArrow) {
+                    match self.bump() {
+                        Some(Token::Variable(v)) => (Some(first), v),
+                        other => return Err(self.err(format!("expected variable, got {other:?}"))),
+                    }
+                } else {
+                    (None, first)
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::Foreach { array, key_var, value_var, body })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment / expression statement without the trailing semicolon
+    /// (shared by `for (...)` headers).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Lookahead for `$var =`, `$var[...] =`, `.=`, `+=`, `++`, `--`.
+        let save = self.pos;
+        if let Some(Token::Variable(name)) = self.peek().cloned() {
+            self.bump();
+            // Optional single index.
+            let key = if self.eat_punct(Punct::LBracket) {
+                if self.eat_punct(Punct::RBracket) {
+                    Some(None) // $a[] =
+                } else {
+                    let k = self.expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    Some(Some(k))
+                }
+            } else {
+                None
+            };
+            let make_target = |key: &Option<Option<Expr>>| match key {
+                None => LValue::Var(name.clone()),
+                Some(k) => LValue::Index { var: name.clone(), key: k.clone() },
+            };
+            let read_expr = |key: &Option<Option<Expr>>| match key {
+                None => Expr::Var(name.clone()),
+                Some(Some(k)) => Expr::Index {
+                    base: Box::new(Expr::Var(name.clone())),
+                    key: Box::new(k.clone()),
+                },
+                Some(None) => Expr::Null,
+            };
+            if self.eat_punct(Punct::Assign) {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { target: make_target(&key), value });
+            }
+            if self.eat_punct(Punct::DotAssign) {
+                let rhs = self.expr()?;
+                return Ok(Stmt::Assign {
+                    target: make_target(&key),
+                    value: Expr::Bin {
+                        op: BinOp::Concat,
+                        lhs: Box::new(read_expr(&key)),
+                        rhs: Box::new(rhs),
+                    },
+                });
+            }
+            if self.eat_punct(Punct::PlusAssign) {
+                let rhs = self.expr()?;
+                return Ok(Stmt::Assign {
+                    target: make_target(&key),
+                    value: Expr::Bin {
+                        op: BinOp::Add,
+                        lhs: Box::new(read_expr(&key)),
+                        rhs: Box::new(rhs),
+                    },
+                });
+            }
+            if self.eat_punct(Punct::Incr) || self.tokens.get(self.pos - 1) == Some(&Token::Punct(Punct::Decr))
+            {
+                let op = if self.tokens[self.pos - 1] == Token::Punct(Punct::Incr) {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
+                return Ok(Stmt::Assign {
+                    target: make_target(&key),
+                    value: Expr::Bin {
+                        op,
+                        lhs: Box::new(read_expr(&key)),
+                        rhs: Box::new(Expr::Int(1)),
+                    },
+                });
+            }
+            if self.eat_punct(Punct::Decr) {
+                return Ok(Stmt::Assign {
+                    target: make_target(&key),
+                    value: Expr::Bin {
+                        op: BinOp::Sub,
+                        lhs: Box::new(read_expr(&key)),
+                        rhs: Box::new(Expr::Int(1)),
+                    },
+                });
+            }
+            // Not an assignment: rewind, parse as expression.
+            self.pos = save;
+        }
+        let e = self.expr()?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.or_expr()?;
+        if self.eat_punct(Punct::Question) {
+            let then = if self.eat_punct(Punct::Colon) {
+                None // elvis `?:`
+            } else {
+                let t = self.expr()?;
+                self.expect_punct(Punct::Colon)?;
+                Some(Box::new(t))
+            };
+            let otherwise = self.expr()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then,
+                otherwise: Box::new(otherwise),
+            });
+        }
+        Ok(cond)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct(Punct::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Punct(Punct::Eq)) => Some(BinOp::Eq),
+            Some(Token::Punct(Punct::Ne)) => Some(BinOp::Ne),
+            Some(Token::Punct(Punct::Lt)) => Some(BinOp::Lt),
+            Some(Token::Punct(Punct::Gt)) => Some(BinOp::Gt),
+            Some(Token::Punct(Punct::Le)) => Some(BinOp::Le),
+            Some(Token::Punct(Punct::Ge)) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct(Punct::Plus)) => BinOp::Add,
+                Some(Token::Punct(Punct::Minus)) => BinOp::Sub,
+                Some(Token::Punct(Punct::Dot)) => BinOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Punct(Punct::Star)) => BinOp::Mul,
+                Some(Token::Punct(Punct::Slash)) => BinOp::Div,
+                Some(Token::Punct(Punct::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct(Punct::Not) {
+            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct(Punct::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.eat_punct(Punct::LBracket) {
+            let key = self.expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            e = Expr::Index { base: Box::new(e), key: Box::new(key) };
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Expr::Int(i)),
+            Some(Token::Float(f)) => Ok(Expr::Float(f)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Variable(v)) => Ok(Expr::Var(v)),
+            Some(Token::Kw(Kw::True)) => Ok(Expr::Bool(true)),
+            Some(Token::Kw(Kw::False)) => Ok(Expr::Bool(false)),
+            Some(Token::Kw(Kw::Null)) => Ok(Expr::Null),
+            Some(Token::Kw(Kw::Array)) => {
+                self.expect_punct(Punct::LParen)?;
+                self.array_items(Punct::RParen)
+            }
+            Some(Token::Punct(Punct::LBracket)) => self.array_items(Punct::RBracket),
+            Some(Token::Punct(Punct::LParen)) => {
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                self.expect_punct(Punct::LParen)?;
+                let mut args = Vec::new();
+                while !self.eat_punct(Punct::RParen) {
+                    args.push(self.expr()?);
+                    if !self.eat_punct(Punct::Comma)
+                        && self.peek() != Some(&Token::Punct(Punct::RParen))
+                    {
+                        return Err(self.err("expected , or ) in call"));
+                    }
+                }
+                Ok(Expr::Call { name, args })
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn array_items(&mut self, close: Punct) -> Result<Expr, ParseError> {
+        let mut items = Vec::new();
+        while !self.eat_punct(close) {
+            let first = self.expr()?;
+            if self.eat_punct(Punct::FatArrow) {
+                let value = self.expr()?;
+                items.push((Some(first), value));
+            } else {
+                items.push((None, first));
+            }
+            if !self.eat_punct(Punct::Comma) && self.peek() != Some(&Token::Punct(close)) {
+                return Err(self.err("expected , or close in array literal"));
+            }
+        }
+        Ok(Expr::ArrayLit(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_assignment_and_echo() {
+        let p = parse("$x = 1 + 2 * 3; echo $x, 'done';").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert!(matches!(&p.stmts[0], Stmt::Assign { target: LValue::Var(v), .. } if v == "x"));
+        assert!(matches!(&p.stmts[1], Stmt::Echo(parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("$x = 1 + 2 * 3;").unwrap();
+        match &p.stmts[0] {
+            Stmt::Assign { value: Expr::Bin { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_and_control_flow() {
+        let src = r#"
+            function render($post, $n) {
+                $out = '';
+                for ($i = 0; $i < $n; $i++) {
+                    if ($i % 2 == 0) { $out .= 'even'; } else { $out .= 'odd'; }
+                }
+                while ($n > 0) { $n = $n - 1; }
+                return $out;
+            }
+            $r = render(array('title' => 'Hi'), 4);
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::FuncDef(f) if f.name == "render" && f.params.len() == 2));
+    }
+
+    #[test]
+    fn parses_foreach_variants() {
+        let p = parse("foreach ($a as $v) { echo $v; } foreach ($a as $k => $v) { echo $k; }")
+            .unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Foreach { key_var: None, .. }));
+        assert!(matches!(&p.stmts[1], Stmt::Foreach { key_var: Some(k), .. } if k == "k"));
+    }
+
+    #[test]
+    fn parses_array_literals_and_index() {
+        let p = parse("$a = ['x' => 1, 2, 'y' => 3]; $b = $a['x']; $a[] = 9; $a['z'] = 1;").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Assign { value: Expr::ArrayLit(items), .. } if items.len() == 3));
+        assert!(matches!(&p.stmts[2], Stmt::Assign { target: LValue::Index { key: None, .. }, .. }));
+        assert!(matches!(&p.stmts[3], Stmt::Assign { target: LValue::Index { key: Some(_), .. }, .. }));
+    }
+
+    #[test]
+    fn parses_compound_assign_desugar() {
+        let p = parse("$s .= 'x'; $n += 2; $n++;").unwrap();
+        for s in &p.stmts {
+            assert!(matches!(s, Stmt::Assign { value: Expr::Bin { .. }, .. }));
+        }
+    }
+
+    #[test]
+    fn parses_calls_and_nested_index() {
+        let p = parse("$x = strlen(trim($s)); $y = $m['a']['b'];").unwrap();
+        assert!(matches!(&p.stmts[0], Stmt::Assign { value: Expr::Call { .. }, .. }));
+        match &p.stmts[1] {
+            Stmt::Assign { value: Expr::Index { base, .. }, .. } => {
+                assert!(matches!(**base, Expr::Index { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("$x = ;").is_err());
+        assert!(parse("if ($x { }").is_err());
+        assert!(parse("function f( { }").is_err());
+        assert!(parse("foreach ($a $v) {}").is_err());
+        assert!(parse("$x = 1").is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! Leaf-function profiler.
+//!
+//! The paper's analysis rests on `perf`-style leaf-function profiles of the
+//! PHP applications (Figures 1, 3, 4, 5). Our substitution is an in-runtime
+//! profiler: every runtime library operation attributes its simulated cost
+//! (micro-ops, branches, loads, stores) to a named leaf function tagged with
+//! one of the paper's activity categories.
+//!
+//! Costs are *simulated micro-ops*, not wall-clock time; the
+//! `uarch-sim` crate converts them to cycles through a core model.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Activity category of a leaf function.
+///
+/// The first four are the paper's acceleration targets (§3, Figure 4); the
+/// rest cover abstraction overheads with known prior solutions and the
+/// remainder of the execution profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Hash map access (GET/SET/free/foreach walks).
+    HashMap,
+    /// Heap management (malloc/free slab paths).
+    Heap,
+    /// String manipulation (copy/match/modify library functions).
+    String,
+    /// Regular expression processing.
+    Regex,
+    /// Dynamic type checks (addressed by checked-load \[22\]).
+    TypeCheck,
+    /// Reference counting (addressed by hardware refcounting \[46\]).
+    RefCount,
+    /// JIT-compiled application code (the interpreter's own work here).
+    JitCode,
+    /// Everything else (VM plumbing, request handling, ...).
+    Other,
+}
+
+impl Category {
+    /// All categories in presentation order.
+    pub const ALL: [Category; 8] = [
+        Category::HashMap,
+        Category::Heap,
+        Category::String,
+        Category::Regex,
+        Category::TypeCheck,
+        Category::RefCount,
+        Category::JitCode,
+        Category::Other,
+    ];
+
+    /// Short label used by the figure harnesses.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::HashMap => "hash-map",
+            Category::Heap => "heap",
+            Category::String => "string",
+            Category::Regex => "regex",
+            Category::TypeCheck => "type-check",
+            Category::RefCount => "refcount",
+            Category::JitCode => "jit-code",
+            Category::Other => "other",
+        }
+    }
+
+    /// Is this one of the four acceleration targets of §4?
+    pub fn is_accel_target(self) -> bool {
+        matches!(
+            self,
+            Category::HashMap | Category::Heap | Category::String | Category::Regex
+        )
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cost of one invocation of a leaf function, in simulated micro-ops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Total micro-ops.
+    pub uops: u64,
+    /// Conditional/indirect branches among them.
+    pub branches: u64,
+    /// Data loads among them.
+    pub loads: u64,
+    /// Data stores among them.
+    pub stores: u64,
+}
+
+impl OpCost {
+    /// A pure-ALU cost.
+    pub fn alu(uops: u64) -> Self {
+        OpCost { uops, ..Default::default() }
+    }
+
+    /// A mixed cost with typical library-routine proportions:
+    /// ~22% branches (paper §2), ~30% loads, ~12% stores.
+    pub fn mixed(uops: u64) -> Self {
+        OpCost {
+            uops,
+            branches: uops * 22 / 100,
+            loads: uops * 30 / 100,
+            stores: uops * 12 / 100,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: OpCost) -> OpCost {
+        OpCost {
+            uops: self.uops + other.uops,
+            branches: self.branches + other.branches,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+        }
+    }
+
+    /// Scale every component by an integer factor.
+    pub fn scaled(self, k: u64) -> OpCost {
+        OpCost {
+            uops: self.uops * k,
+            branches: self.branches * k,
+            loads: self.loads * k,
+            stores: self.stores * k,
+        }
+    }
+}
+
+/// Accumulated statistics for one leaf function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuncStats {
+    /// Category tag.
+    pub category: Option<Category>,
+    /// Invocation count.
+    pub calls: u64,
+    /// Total cost across calls.
+    pub cost: OpCost,
+}
+
+/// A snapshot row of the profile, sorted hottest-first by [`Profiler::leaf_profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Leaf function name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Invocations.
+    pub calls: u64,
+    /// Total micro-ops.
+    pub uops: u64,
+    /// Fraction of total profile micro-ops, in \[0, 1\].
+    pub share: f64,
+}
+
+/// The profiler. Interior-mutable so that runtime operations can record
+/// through a shared reference (`&RuntimeContext`).
+#[derive(Debug, Default)]
+pub struct Profiler {
+    inner: RefCell<ProfilerInner>,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerInner {
+    funcs: HashMap<String, FuncStats>,
+    total: OpCost,
+    enabled_depth: u32,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one invocation of leaf function `name` in `category` with `cost`.
+    pub fn record(&self, name: &str, category: Category, cost: OpCost) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.enabled_depth > 0 {
+            return;
+        }
+        inner.total = inner.total.plus(cost);
+        let entry = inner.funcs.entry(name.to_owned()).or_default();
+        entry.category.get_or_insert(category);
+        entry.calls += 1;
+        entry.cost = entry.cost.plus(cost);
+    }
+
+    /// Temporarily disables recording (e.g. while replaying a trace).
+    /// Must be balanced with [`Profiler::resume`].
+    pub fn pause(&self) {
+        self.inner.borrow_mut().enabled_depth += 1;
+    }
+
+    /// Re-enables recording after a [`Profiler::pause`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching `pause`.
+    pub fn resume(&self) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.enabled_depth > 0, "resume without pause");
+        inner.enabled_depth -= 1;
+    }
+
+    /// Total micro-ops recorded so far.
+    pub fn total_uops(&self) -> u64 {
+        self.inner.borrow().total.uops
+    }
+
+    /// Total cost recorded so far.
+    pub fn total_cost(&self) -> OpCost {
+        self.inner.borrow().total
+    }
+
+    /// Number of distinct leaf functions observed.
+    pub fn function_count(&self) -> usize {
+        self.inner.borrow().funcs.len()
+    }
+
+    /// Stats for one function, if it was ever recorded.
+    pub fn function(&self, name: &str) -> Option<FuncStats> {
+        self.inner.borrow().funcs.get(name).cloned()
+    }
+
+    /// Aggregated micro-ops per category.
+    pub fn category_breakdown(&self) -> HashMap<Category, u64> {
+        let inner = self.inner.borrow();
+        let mut out = HashMap::new();
+        for stats in inner.funcs.values() {
+            if let Some(cat) = stats.category {
+                *out.entry(cat).or_insert(0) += stats.cost.uops;
+            }
+        }
+        out
+    }
+
+    /// The leaf-function profile, hottest first (Figure 1 / Figure 3 input).
+    pub fn leaf_profile(&self) -> Vec<ProfileRow> {
+        let inner = self.inner.borrow();
+        let total = inner.total.uops.max(1) as f64;
+        let mut rows: Vec<ProfileRow> = inner
+            .funcs
+            .iter()
+            .map(|(name, s)| ProfileRow {
+                name: name.clone(),
+                category: s.category.unwrap_or(Category::Other),
+                calls: s.calls,
+                uops: s.cost.uops,
+                share: s.cost.uops as f64 / total,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.uops.cmp(&a.uops).then_with(|| a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Cumulative share covered by the hottest `n` functions (Figure 1's
+    /// "about 100 functions account for about 65% of cycles").
+    pub fn cumulative_share(&self, n: usize) -> f64 {
+        self.leaf_profile().iter().take(n).map(|r| r.share).sum()
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.funcs.clear();
+        inner.total = OpCost::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_function() {
+        let p = Profiler::new();
+        p.record("zend_hash_find", Category::HashMap, OpCost::mixed(90));
+        p.record("zend_hash_find", Category::HashMap, OpCost::mixed(90));
+        p.record("php_trim", Category::String, OpCost::alu(30));
+        let f = p.function("zend_hash_find").unwrap();
+        assert_eq!(f.calls, 2);
+        assert_eq!(f.cost.uops, 180);
+        assert_eq!(p.total_uops(), 210);
+        assert_eq!(p.function_count(), 2);
+    }
+
+    #[test]
+    fn leaf_profile_is_sorted_hottest_first() {
+        let p = Profiler::new();
+        p.record("cold", Category::Other, OpCost::alu(1));
+        p.record("hot", Category::JitCode, OpCost::alu(100));
+        p.record("warm", Category::String, OpCost::alu(10));
+        let rows = p.leaf_profile();
+        assert_eq!(rows[0].name, "hot");
+        assert_eq!(rows[1].name, "warm");
+        assert_eq!(rows[2].name, "cold");
+        assert!((rows[0].share - 100.0 / 111.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_share_sums_top_n() {
+        let p = Profiler::new();
+        for i in 0..10 {
+            p.record(&format!("f{i}"), Category::Other, OpCost::alu(10));
+        }
+        assert!((p.cumulative_share(5) - 0.5).abs() < 1e-12);
+        assert!((p.cumulative_share(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_breakdown_aggregates() {
+        let p = Profiler::new();
+        p.record("a", Category::Heap, OpCost::alu(69));
+        p.record("b", Category::Heap, OpCost::alu(37));
+        p.record("c", Category::Regex, OpCost::alu(10));
+        let m = p.category_breakdown();
+        assert_eq!(m[&Category::Heap], 106);
+        assert_eq!(m[&Category::Regex], 10);
+        assert!(!m.contains_key(&Category::String));
+    }
+
+    #[test]
+    fn pause_suppresses_recording() {
+        let p = Profiler::new();
+        p.pause();
+        p.record("x", Category::Other, OpCost::alu(5));
+        p.resume();
+        assert_eq!(p.total_uops(), 0);
+        p.record("x", Category::Other, OpCost::alu(5));
+        assert_eq!(p.total_uops(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume without pause")]
+    fn unbalanced_resume_panics() {
+        Profiler::new().resume();
+    }
+
+    #[test]
+    fn mixed_cost_proportions() {
+        let c = OpCost::mixed(100);
+        assert_eq!(c.branches, 22);
+        assert_eq!(c.loads, 30);
+        assert_eq!(c.stores, 12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let p = Profiler::new();
+        p.record("a", Category::Other, OpCost::alu(5));
+        p.reset();
+        assert_eq!(p.total_uops(), 0);
+        assert_eq!(p.function_count(), 0);
+    }
+
+    #[test]
+    fn categories_expose_accel_targets() {
+        assert!(Category::HashMap.is_accel_target());
+        assert!(Category::Regex.is_accel_target());
+        assert!(!Category::RefCount.is_accel_target());
+        assert_eq!(Category::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,207 @@
+//! Symbol tables and `extract()`.
+//!
+//! §4.2: "the PHP `extract` command is commonly used to import key-value
+//! pairs from a hash map into a local symbol table [...] Populating such a
+//! symbol table always occurs using dynamic key names." A symbol table *is*
+//! a hash map, which is exactly why symbol-table traffic is hash-table
+//! accelerator traffic.
+
+use crate::array::{ArrayKey, PhpArray};
+use crate::context::RuntimeContext;
+use crate::value::PhpValue;
+
+/// A variable scope backed by a [`PhpArray`].
+#[derive(Debug)]
+pub struct SymbolTable {
+    table: PhpArray,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table registered with the context's heap (so
+    /// it has a base address the hardware hash table can key on).
+    pub fn new(ctx: &RuntimeContext) -> Self {
+        let mut table = PhpArray::new();
+        let block = ctx.alloc_scoped(table.heap_size());
+        table.set_base_addr(block.addr);
+        SymbolTable { table }
+    }
+
+    /// Defines or overwrites a variable (metered hash SET).
+    pub fn set(&mut self, ctx: &RuntimeContext, name: &str, value: PhpValue) {
+        ctx.array_set(&mut self.table, ArrayKey::from(name), value);
+    }
+
+    /// Reads a variable (metered hash GET).
+    pub fn get(&self, ctx: &RuntimeContext, name: &str) -> Option<PhpValue> {
+        ctx.array_get(&self.table, &ArrayKey::from(name))
+    }
+
+    /// Removes a variable.
+    pub fn unset(&mut self, ctx: &RuntimeContext, name: &str) -> bool {
+        ctx.array_remove(&mut self.table, &ArrayKey::from(name)).is_some()
+    }
+
+    /// PHP `extract($arr)`: imports every string-keyed pair of `source` as a
+    /// variable. Returns the number of variables imported.
+    pub fn extract(&mut self, ctx: &RuntimeContext, source: &PhpArray) -> usize {
+        let mut imported = 0;
+        let pairs: Vec<(ArrayKey, PhpValue)> =
+            source.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        ctx.charge_foreach(source);
+        for (key, value) in pairs {
+            if let ArrayKey::Str(_) = key {
+                ctx.refcount_on_copy(&value);
+                ctx.array_set(&mut self.table, key, value);
+                imported += 1;
+            }
+        }
+        imported
+    }
+
+    /// Number of defined variables.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the scope is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.len() == 0
+    }
+
+    /// Access to the backing array (e.g. for the hash-table accelerator).
+    pub fn as_array(&self) -> &PhpArray {
+        &self.table
+    }
+
+    /// Mutable access to the backing array.
+    pub fn as_array_mut(&mut self) -> &mut PhpArray {
+        &mut self.table
+    }
+}
+
+/// A stack of scopes: one global table plus function-local tables, mirroring
+/// how "these PHP applications often store key-value pairs in a global or
+/// local symbol table to communicate their values to other functions in the
+/// appropriate scope" (§4.2).
+#[derive(Debug)]
+pub struct Scopes {
+    global: SymbolTable,
+    locals: Vec<SymbolTable>,
+}
+
+impl Scopes {
+    /// Creates the scope stack with an empty global table.
+    pub fn new(ctx: &RuntimeContext) -> Self {
+        Scopes { global: SymbolTable::new(ctx), locals: Vec::new() }
+    }
+
+    /// Pushes a fresh function-local scope.
+    pub fn push_local(&mut self, ctx: &RuntimeContext) {
+        self.locals.push(SymbolTable::new(ctx));
+    }
+
+    /// Pops the innermost local scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no local scope.
+    pub fn pop_local(&mut self) {
+        self.locals.pop().expect("pop_local with no local scope");
+    }
+
+    /// The current (innermost) scope.
+    pub fn current(&mut self) -> &mut SymbolTable {
+        self.locals.last_mut().unwrap_or(&mut self.global)
+    }
+
+    /// The global scope.
+    pub fn global(&mut self) -> &mut SymbolTable {
+        &mut self.global
+    }
+
+    /// Variable lookup: current scope only (PHP has no scope chaining for
+    /// plain variables; globals need `global`/`$GLOBALS`).
+    pub fn get(&self, ctx: &RuntimeContext, name: &str) -> Option<PhpValue> {
+        match self.locals.last() {
+            Some(local) => local.get(ctx, name),
+            None => self.global.get(ctx, name),
+        }
+    }
+
+    /// Sets a variable in the current scope.
+    pub fn set(&mut self, ctx: &RuntimeContext, name: &str, value: PhpValue) {
+        self.current().set(ctx, name, value);
+    }
+
+    /// Depth of local scopes.
+    pub fn depth(&self) -> usize {
+        self.locals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PhpArray;
+
+    #[test]
+    fn set_get_unset() {
+        let ctx = RuntimeContext::new();
+        let mut t = SymbolTable::new(&ctx);
+        t.set(&ctx, "title", PhpValue::from("Hello"));
+        assert!(t.get(&ctx, "title").unwrap().loose_eq(&PhpValue::from("Hello")));
+        assert!(t.unset(&ctx, "title"));
+        assert!(!t.unset(&ctx, "title"));
+        assert!(t.get(&ctx, "title").is_none());
+    }
+
+    #[test]
+    fn extract_imports_string_keys_only() {
+        let ctx = RuntimeContext::new();
+        let mut t = SymbolTable::new(&ctx);
+        let src = PhpArray::from_pairs([
+            (ArrayKey::from("a"), PhpValue::from(1i64)),
+            (ArrayKey::Int(0), PhpValue::from(2i64)),
+            (ArrayKey::from("b"), PhpValue::from(3i64)),
+        ]);
+        let n = t.extract(&ctx, &src);
+        assert_eq!(n, 2);
+        assert!(t.get(&ctx, "a").is_some());
+        assert!(t.get(&ctx, "b").is_some());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn extract_charges_hash_category() {
+        let ctx = RuntimeContext::new();
+        let mut t = SymbolTable::new(&ctx);
+        let src = PhpArray::from_pairs([(ArrayKey::from("k"), PhpValue::from(1i64))]);
+        let before = ctx.profiler().total_uops();
+        t.extract(&ctx, &src);
+        assert!(ctx.profiler().total_uops() > before);
+        let breakdown = ctx.profiler().category_breakdown();
+        assert!(breakdown.contains_key(&crate::profile::Category::HashMap));
+    }
+
+    #[test]
+    fn scopes_isolate_locals() {
+        let ctx = RuntimeContext::new();
+        let mut scopes = Scopes::new(&ctx);
+        scopes.set(&ctx, "g", PhpValue::from(1i64));
+        scopes.push_local(&ctx);
+        assert!(scopes.get(&ctx, "g").is_none(), "locals don't see globals");
+        scopes.set(&ctx, "x", PhpValue::from(2i64));
+        assert!(scopes.get(&ctx, "x").is_some());
+        scopes.pop_local();
+        assert!(scopes.get(&ctx, "g").is_some());
+        assert!(scopes.get(&ctx, "x").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_local with no local scope")]
+    fn pop_empty_panics() {
+        let ctx = RuntimeContext::new();
+        let mut scopes = Scopes::new(&ctx);
+        scopes.pop_local();
+    }
+}

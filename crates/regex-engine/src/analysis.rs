@@ -1,0 +1,240 @@
+//! Pattern analysis for the content-filtering accelerators.
+//!
+//! Content Sifting (§4.5) only helps shadow regexps that "look for special
+//! characters" — if a pattern can match purely regular text, skipping
+//! special-character-free segments would be unsound. [`requires_special`]
+//! decides eligibility conservatively. [`literal_prefix`] extracts the
+//! mandatory literal prefix used by the Content Reuse example (the
+//! `https://localhost/?author=` prefix of Figure 13).
+
+use crate::parser::{Ast, ClassSet};
+
+/// The paper's regular-character set: `[A-Za-z0-9_.,-]` plus space. Every
+/// other byte is *special*.
+pub fn is_special_byte(b: u8) -> bool {
+    !(b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b',' | b'-' | b' '))
+}
+
+/// Does every string matched by the pattern necessarily contain at least one
+/// special character? (Sound skip condition for content sifting.)
+///
+/// Conservative: `false` means "cannot prove it", not "definitely no".
+pub fn requires_special(ast: &Ast) -> bool {
+    match ast {
+        Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => false,
+        Ast::Literal(b) => is_special_byte(*b),
+        Ast::Class(set) => class_all_special(set),
+        Ast::Group(inner) => requires_special(inner),
+        Ast::Concat(parts) => parts.iter().any(requires_special),
+        Ast::Alt(branches) => branches.iter().all(requires_special),
+        Ast::Repeat { node, min, .. } => *min >= 1 && requires_special(node),
+    }
+}
+
+fn class_all_special(set: &ClassSet) -> bool {
+    let mut any = false;
+    for b in set.bytes() {
+        any = true;
+        if !is_special_byte(b) {
+            return false;
+        }
+    }
+    any
+}
+
+/// The special characters a pattern *seeks*: special bytes that appear in a
+/// mandatory position. Used for reporting (Figure 11 highlights them) and by
+/// the sieve to build per-segment hints.
+pub fn sought_special_chars(ast: &Ast) -> Vec<u8> {
+    let mut out = Vec::new();
+    collect_sought(ast, &mut out);
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn collect_sought(ast: &Ast, out: &mut Vec<u8>) {
+    match ast {
+        Ast::Literal(b) if is_special_byte(*b) => out.push(*b),
+        Ast::Class(set) => {
+            if class_all_special(set) {
+                out.extend(set.bytes());
+            }
+        }
+        Ast::Group(inner) => collect_sought(inner, out),
+        Ast::Concat(parts) => {
+            for p in parts {
+                collect_sought(p, out);
+            }
+        }
+        Ast::Alt(branches) => {
+            for b in branches {
+                collect_sought(b, out);
+            }
+        }
+        Ast::Repeat { node, min, .. } if *min >= 1 => collect_sought(node, out),
+        _ => {}
+    }
+}
+
+/// Upper bound on the byte length of any match, or `None` when unbounded
+/// (`*`/`+`/`{m,}`). The shadow scanner widens dirty-segment windows by
+/// `max_match_len - 1` bytes so no boundary-spanning match is missed.
+pub fn max_match_len(ast: &Ast) -> Option<usize> {
+    match ast {
+        Ast::Empty | Ast::AnchorStart | Ast::AnchorEnd => Some(0),
+        Ast::Literal(_) | Ast::Class(_) => Some(1),
+        Ast::Group(inner) => max_match_len(inner),
+        Ast::Concat(parts) => {
+            let mut total = 0usize;
+            for p in parts {
+                total = total.checked_add(max_match_len(p)?)?;
+            }
+            Some(total)
+        }
+        Ast::Alt(branches) => {
+            let mut best = 0usize;
+            for b in branches {
+                best = best.max(max_match_len(b)?);
+            }
+            Some(best)
+        }
+        Ast::Repeat { node, max, .. } => {
+            let m = (*max)? as usize;
+            max_match_len(node)?.checked_mul(m)
+        }
+    }
+}
+
+/// The longest literal byte prefix every match must begin with (after an
+/// optional `^`). Empty when the pattern starts with a class/alternation.
+pub fn literal_prefix(ast: &Ast) -> Vec<u8> {
+    let mut out = Vec::new();
+    prefix_of(ast, &mut out);
+    out
+}
+
+/// Appends to `out`; returns `true` if the node is "exact" (every match of
+/// the node is exactly the appended literal, so scanning may continue).
+fn prefix_of(ast: &Ast, out: &mut Vec<u8>) -> bool {
+    match ast {
+        Ast::Empty | Ast::AnchorStart => true,
+        Ast::Literal(b) => {
+            out.push(*b);
+            true
+        }
+        Ast::Class(set) => {
+            // Single-byte class behaves like a literal.
+            let mut bytes = set.bytes();
+            match (bytes.next(), bytes.next()) {
+                (Some(b), None) => {
+                    out.push(b);
+                    true
+                }
+                _ => false,
+            }
+        }
+        Ast::Group(inner) => prefix_of(inner, out),
+        Ast::Concat(parts) => {
+            for p in parts {
+                if !prefix_of(p, out) {
+                    return false;
+                }
+            }
+            true
+        }
+        Ast::Repeat { node, min, max } => {
+            if *min == 0 {
+                return false;
+            }
+            let mut one = Vec::new();
+            if !prefix_of(node, &mut one) {
+                return false;
+            }
+            for _ in 0..*min {
+                out.extend_from_slice(&one);
+            }
+            *max == Some(*min)
+        }
+        Ast::Alt(_) | Ast::AnchorEnd => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn req(p: &str) -> bool {
+        requires_special(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn special_byte_class_matches_paper() {
+        for b in b"ABZaz09_.,- ".iter() {
+            assert!(!is_special_byte(*b), "{} should be regular", *b as char);
+        }
+        for b in b"'\"<>\n&;:/?!".iter() {
+            assert!(is_special_byte(*b), "{} should be special", *b as char);
+        }
+    }
+
+    #[test]
+    fn figure11_style_patterns_require_special() {
+        assert!(req("'")); // apostrophe seeker
+        assert!(req("\"[^\"]*\"")); // double-quote pair
+        assert!(req("\\n")); // newline
+        assert!(req("<[a-z]+>")); // opening angle bracket
+        assert!(req("'(s|t|ll)")); // contraction
+    }
+
+    #[test]
+    fn plain_word_patterns_do_not() {
+        assert!(!req("[a-z]+"));
+        assert!(!req("abc"));
+        assert!(!req("cat|dog"));
+        assert!(!req("a'?b")); // apostrophe optional ⇒ not required
+    }
+
+    #[test]
+    fn alternation_requires_all_branches() {
+        assert!(req("'|\"")); // both special
+        assert!(!req("'|a")); // one branch regular
+    }
+
+    #[test]
+    fn concat_requires_any_part() {
+        assert!(req("abc<def")); // '<' mandatory in the middle
+        assert!(req("[a-z]+='")); // '=' and '\'' both special
+    }
+
+    #[test]
+    fn sought_chars_reported() {
+        let chars = sought_special_chars(&parse("'|\"|\\n|<").unwrap());
+        assert_eq!(chars, vec![b'\n', b'"', b'\'', b'<']);
+    }
+
+    #[test]
+    fn max_len_bounds() {
+        let len = |p: &str| max_match_len(&parse(p).unwrap());
+        assert_eq!(len("abc"), Some(3));
+        assert_eq!(len("a|bcd"), Some(3));
+        assert_eq!(len("a{2,5}"), Some(5));
+        assert_eq!(len("a+"), None);
+        assert_eq!(len("x*y"), None);
+        assert_eq!(len("'(s|ll)?"), Some(3));
+        assert_eq!(len("^a$"), Some(1));
+    }
+
+    #[test]
+    fn literal_prefix_extraction() {
+        assert_eq!(
+            literal_prefix(&parse("https://localhost/\\?author=[a-z]+").unwrap()),
+            b"https://localhost/?author=".to_vec()
+        );
+        assert_eq!(literal_prefix(&parse("^abc.*").unwrap()), b"abc".to_vec());
+        assert_eq!(literal_prefix(&parse("[ab]x").unwrap()), b"".to_vec());
+        assert_eq!(literal_prefix(&parse("a{3}b").unwrap()), b"aaab".to_vec());
+        assert_eq!(literal_prefix(&parse("a+b").unwrap()), b"a".to_vec());
+    }
+}

@@ -1,0 +1,301 @@
+//! Lazy-DFA (subset construction) with an explicit, resumable FSM table.
+//!
+//! The content-reuse accelerator (§4.5) stores "the state in the FSM table
+//! that the regexp can advance to if the incoming content finds a match" and
+//! later *jumps* to that state. That requires an engine whose execution is a
+//! pure function of `(fsm_state, remaining input)` — which is exactly a DFA
+//! over an FSM table. States are materialized lazily, like PCRE's and RE2's
+//! hybrid engines.
+//!
+//! The alphabet has 257 symbols: 256 bytes plus an end-of-input (EOI) symbol
+//! that drives `$` assertions.
+
+use crate::nfa::{Nfa, NfaState, StateId};
+use std::collections::HashMap;
+
+/// DFA state id (index into the FSM table).
+pub type DfaStateId = u32;
+
+/// The EOI symbol index in the transition table.
+pub const EOI: usize = 256;
+
+/// Transition value: not yet computed.
+const UNCOMPUTED: i32 = -2;
+/// Transition value: dead (no NFA states survive).
+const DEAD: i32 = -1;
+
+/// Outcome of running the FSM over a byte slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Byte offset just past the last match seen (longest-match), if any.
+    /// Offsets are relative to the start of the supplied slice.
+    pub last_match_end: Option<usize>,
+    /// State after consuming the whole slice (`None` if the run died).
+    pub end_state: Option<DfaStateId>,
+    /// Bytes actually consumed before dying or finishing.
+    pub bytes_consumed: usize,
+}
+
+/// A lazily-built DFA.
+#[derive(Debug, Clone)]
+pub struct LazyDfa {
+    nfa: Nfa,
+    /// If true, the start-state closure is re-injected on every step,
+    /// giving unanchored ("search") semantics.
+    unanchored: bool,
+    /// One row of 257 transitions per materialized state.
+    table: Vec<[i32; 257]>,
+    /// Match flag per materialized state.
+    matches: Vec<bool>,
+    /// NFA state set per materialized state (sorted).
+    sets: Vec<Vec<StateId>>,
+    /// Dedup map from NFA set to DFA id.
+    ids: HashMap<Vec<StateId>, DfaStateId>,
+    start: DfaStateId,
+}
+
+impl LazyDfa {
+    /// Builds the (empty) DFA shell for `nfa`.
+    ///
+    /// `unanchored = true` gives search semantics (an implicit leading
+    /// `.*?`); `false` gives anchored-at-position semantics, the mode whose
+    /// state ids the content-reuse table stores.
+    pub fn new(nfa: Nfa, unanchored: bool) -> Self {
+        let mut dfa = LazyDfa {
+            nfa,
+            unanchored,
+            table: Vec::new(),
+            matches: Vec::new(),
+            sets: Vec::new(),
+            ids: HashMap::new(),
+            start: 0,
+        };
+        let mut set = Vec::new();
+        dfa.closure_into(dfa.nfa.start(), &mut set);
+        set.sort_unstable();
+        set.dedup();
+        dfa.start = dfa.intern(set);
+        dfa
+    }
+
+    /// Epsilon closure of `s` accumulated into `out` (unsorted, may dup).
+    fn closure_into(&self, s: StateId, out: &mut Vec<StateId>) {
+        // Iterative DFS over Split edges.
+        let mut stack = vec![s];
+        while let Some(id) = stack.pop() {
+            if out.contains(&id) {
+                continue;
+            }
+            out.push(id);
+            if let NfaState::Split(a, b) = &self.nfa.states()[id as usize] {
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+    }
+
+    fn intern(&mut self, set: Vec<StateId>) -> DfaStateId {
+        if let Some(&id) = self.ids.get(&set) {
+            return id;
+        }
+        let id = self.table.len() as DfaStateId;
+        let is_match = set
+            .iter()
+            .any(|&s| matches!(self.nfa.states()[s as usize], NfaState::Match));
+        self.table.push([UNCOMPUTED; 257]);
+        self.matches.push(is_match);
+        self.ids.insert(set.clone(), id);
+        self.sets.push(set);
+        id
+    }
+
+    /// The start state.
+    pub fn start_state(&self) -> DfaStateId {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_match(&self, state: DfaStateId) -> bool {
+        self.matches[state as usize]
+    }
+
+    /// Number of states materialized so far (FSM table height).
+    pub fn materialized_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Computes (or fetches) the transition `state --symbol--> next`.
+    /// `symbol` is a byte value or [`EOI`]. Returns `None` for dead.
+    pub fn transition(&mut self, state: DfaStateId, symbol: usize) -> Option<DfaStateId> {
+        debug_assert!(symbol <= EOI);
+        let cached = self.table[state as usize][symbol];
+        if cached >= 0 {
+            return Some(cached as DfaStateId);
+        }
+        if cached == DEAD {
+            return None;
+        }
+        // Materialize.
+        let mut next_set = Vec::new();
+        let src = self.sets[state as usize].clone();
+        for s in src {
+            match &self.nfa.states()[s as usize] {
+                NfaState::Bytes { class, next } if symbol < 256 => {
+                    if class.contains(symbol as u8) {
+                        self.closure_into(*next, &mut next_set);
+                    }
+                }
+                NfaState::AssertEnd(next) if symbol == EOI => {
+                    self.closure_into(*next, &mut next_set);
+                }
+                _ => {}
+            }
+        }
+        if self.unanchored && symbol < 256 {
+            // Re-inject the start closure: search semantics.
+            let start_set = self.sets[self.start as usize].clone();
+            next_set.extend(start_set);
+        }
+        if next_set.is_empty() {
+            self.table[state as usize][symbol] = DEAD;
+            return None;
+        }
+        next_set.sort_unstable();
+        next_set.dedup();
+        let id = self.intern(next_set);
+        self.table[state as usize][symbol] = id as i32;
+        Some(id)
+    }
+
+    /// Runs the FSM from `state` over `input`, tracking the longest match.
+    ///
+    /// `at_subject_end` says whether `input` ends the subject (so `$` can
+    /// fire via EOI).
+    pub fn run_from(&mut self, state: DfaStateId, input: &[u8], at_subject_end: bool) -> RunOutcome {
+        let mut cur = state;
+        let mut last_match_end = if self.is_match(cur) { Some(0) } else { None };
+        for (i, &b) in input.iter().enumerate() {
+            match self.transition(cur, b as usize) {
+                Some(next) => {
+                    cur = next;
+                    if self.is_match(cur) {
+                        last_match_end = Some(i + 1);
+                    }
+                }
+                None => {
+                    return RunOutcome {
+                        last_match_end,
+                        end_state: None,
+                        bytes_consumed: i,
+                    };
+                }
+            }
+        }
+        if at_subject_end {
+            if let Some(next) = self.transition(cur, EOI) {
+                if self.is_match(next) {
+                    last_match_end = Some(input.len());
+                }
+            }
+        }
+        RunOutcome { last_match_end, end_state: Some(cur), bytes_consumed: input.len() }
+    }
+
+    /// State reached after consuming `prefix` from the start (the value the
+    /// content-reuse table stores in its *Next FSM State* field), or `None`
+    /// if the FSM dies on the prefix.
+    pub fn state_after(&mut self, prefix: &[u8]) -> Option<DfaStateId> {
+        self.run_from(self.start, prefix, false).end_state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::parser::parse;
+
+    fn dfa(pat: &str, unanchored: bool) -> LazyDfa {
+        LazyDfa::new(Nfa::compile(&parse(pat).unwrap()), unanchored)
+    }
+
+    fn matches(pat: &str, input: &str) -> bool {
+        let mut d = dfa(pat, true);
+        let start = d.start_state();
+        d.run_from(start, input.as_bytes(), true).last_match_end.is_some()
+    }
+
+    #[test]
+    fn literal_search() {
+        assert!(matches("abc", "xxabcxx"));
+        assert!(!matches("abc", "xxabxcx"));
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        assert!(matches("[0-9]+", "order 42"));
+        assert!(!matches("[0-9]+", "no digits"));
+        assert!(matches("a?b", "b"));
+        assert!(matches("(ab)+", "xabab"));
+        assert!(matches("a{2,3}", "caaad"));
+        assert!(!matches("a{4}", "aaa"));
+    }
+
+    #[test]
+    fn alternation() {
+        assert!(matches("cat|dog", "hotdog"));
+        assert!(matches("cat|dog", "catfish"));
+        assert!(!matches("cat|dog", "bird"));
+    }
+
+    #[test]
+    fn end_anchor_via_eoi() {
+        assert!(matches("abc$", "xyzabc"));
+        assert!(!matches("abc$", "abcxyz"));
+        assert!(matches("^$", ""));
+    }
+
+    #[test]
+    fn anchored_run_longest_match() {
+        let mut d = dfa("a+", false);
+        let start = d.start_state();
+        let out = d.run_from(start, b"aaab", true);
+        assert_eq!(out.last_match_end, Some(3));
+        assert_eq!(out.end_state, None, "dies on 'b'");
+        assert_eq!(out.bytes_consumed, 3);
+    }
+
+    #[test]
+    fn resumable_state_after() {
+        let mut d = dfa("https://[a-z]+/fi", false);
+        let s = d.state_after(b"https://loc").unwrap();
+        let out = d.run_from(s, b"alhost/fi", true);
+        assert_eq!(out.last_match_end, Some(9));
+        // Jumping to the stored state must equal running from scratch.
+        let start = d.start_state();
+        let full = d.run_from(start, b"https://localhost/fi", true);
+        assert_eq!(full.last_match_end, Some(20));
+    }
+
+    #[test]
+    fn dead_prefix_reports_none() {
+        let mut d = dfa("abc", false);
+        assert!(d.state_after(b"zz").is_none());
+        assert!(d.state_after(b"ab").is_some());
+    }
+
+    #[test]
+    fn lazy_materialization_grows_on_demand() {
+        let mut d = dfa("[a-z]+[0-9]{2}", true);
+        let before = d.materialized_states();
+        let start = d.start_state();
+        d.run_from(start, b"hello42 world99", true);
+        assert!(d.materialized_states() > before);
+    }
+
+    #[test]
+    fn unanchored_restarts_after_mismatch() {
+        // "aab" then a fresh "ab..." occurrence later.
+        assert!(matches("ab+c", "aab abx abbbc"));
+    }
+}

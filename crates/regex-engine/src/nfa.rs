@@ -1,0 +1,299 @@
+//! Thompson NFA construction.
+//!
+//! The NFA is the intermediate between the parsed [`crate::parser::Ast`]
+//! and the lazy DFA whose FSM table the content-reuse accelerator jumps into.
+
+use crate::parser::{Ast, ClassSet};
+
+/// NFA state id.
+pub type StateId = u32;
+
+/// An NFA state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NfaState {
+    /// Epsilon split to two successors.
+    Split(StateId, StateId),
+    /// Byte-class transition.
+    Bytes {
+        /// Accepted byte set.
+        class: ClassSet,
+        /// Successor.
+        next: StateId,
+    },
+    /// End-of-input assertion (`$`): traversed only on the EOI symbol.
+    AssertEnd(StateId),
+    /// Accepting state.
+    Match,
+}
+
+/// A compiled NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<NfaState>,
+    start: StateId,
+    /// Whether the pattern is anchored at the subject start (`^...`).
+    anchored_start: bool,
+}
+
+/// Bound on repeat expansion to keep counted repeats from exploding.
+const MAX_REPEAT: u32 = 256;
+
+impl Nfa {
+    /// Compiles an AST into an NFA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a counted repeat exceeds 256 iterations (a guard against
+    /// pathological patterns; the workloads stay far below).
+    pub fn compile(ast: &Ast) -> Nfa {
+        let mut b = Builder { states: Vec::new() };
+        let anchored_start = starts_with_anchor(ast);
+        let frag = b.build(ast);
+        let m = b.push(NfaState::Match);
+        b.patch(frag.outs, m);
+        Nfa { states: b.states, start: frag.start, anchored_start }
+    }
+
+    /// The states.
+    pub fn states(&self) -> &[NfaState] {
+        &self.states
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Whether the pattern is `^`-anchored.
+    pub fn anchored_start(&self) -> bool {
+        self.anchored_start
+    }
+
+    /// Number of states (accelerator sizing / FSM table dimension input).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the NFA is empty (never: there is always a Match state).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+fn starts_with_anchor(ast: &Ast) -> bool {
+    match ast {
+        Ast::AnchorStart => true,
+        Ast::Concat(parts) => parts.first().is_some_and(starts_with_anchor),
+        Ast::Group(inner) => starts_with_anchor(inner),
+        Ast::Alt(branches) => branches.iter().all(starts_with_anchor),
+        _ => false,
+    }
+}
+
+/// A fragment: entry state + dangling out-edges to patch.
+struct Frag {
+    start: StateId,
+    /// (state, which-slot) pairs whose successor is unfilled.
+    outs: Vec<(StateId, u8)>,
+}
+
+struct Builder {
+    states: Vec<NfaState>,
+}
+
+impl Builder {
+    fn push(&mut self, s: NfaState) -> StateId {
+        self.states.push(s);
+        (self.states.len() - 1) as StateId
+    }
+
+    fn patch(&mut self, outs: Vec<(StateId, u8)>, target: StateId) {
+        for (id, slot) in outs {
+            match &mut self.states[id as usize] {
+                NfaState::Split(a, b) => {
+                    if slot == 0 {
+                        *a = target;
+                    } else {
+                        *b = target;
+                    }
+                }
+                NfaState::Bytes { next, .. } => *next = target,
+                NfaState::AssertEnd(next) => *next = target,
+                NfaState::Match => unreachable!("patching a match state"),
+            }
+        }
+    }
+
+    const DANGLING: StateId = u32::MAX;
+
+    fn build(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty | Ast::AnchorStart => {
+                // Anchor-start is handled by the DFA driver (anchored flag);
+                // inside the graph it is an epsilon.
+                let id = self.push(NfaState::Split(Self::DANGLING, Self::DANGLING));
+                // Make it a straight-through epsilon: both slots same target.
+                Frag { start: id, outs: vec![(id, 0), (id, 1)] }
+            }
+            Ast::AnchorEnd => {
+                let id = self.push(NfaState::AssertEnd(Self::DANGLING));
+                Frag { start: id, outs: vec![(id, 0)] }
+            }
+            Ast::Literal(b) => {
+                let mut class = ClassSet::new();
+                class.push_byte(*b);
+                let id = self.push(NfaState::Bytes { class, next: Self::DANGLING });
+                Frag { start: id, outs: vec![(id, 0)] }
+            }
+            Ast::Class(set) => {
+                let id = self.push(NfaState::Bytes { class: set.clone(), next: Self::DANGLING });
+                Frag { start: id, outs: vec![(id, 0)] }
+            }
+            Ast::Group(inner) => self.build(inner),
+            Ast::Concat(parts) => {
+                let mut iter = parts.iter();
+                let mut frag = self.build(iter.next().expect("nonempty concat"));
+                for part in iter {
+                    let next = self.build(part);
+                    self.patch(frag.outs, next.start);
+                    frag.outs = next.outs;
+                }
+                frag
+            }
+            Ast::Alt(branches) => {
+                let mut outs = Vec::new();
+                let mut starts = Vec::new();
+                for branch in branches {
+                    let f = self.build(branch);
+                    starts.push(f.start);
+                    outs.extend(f.outs);
+                }
+                // Chain of splits fanning out to every branch start.
+                let mut entry = *starts.last().unwrap();
+                for &s in starts.iter().rev().skip(1) {
+                    entry = self.push(NfaState::Split(s, entry));
+                }
+                Frag { start: entry, outs }
+            }
+            Ast::Repeat { node, min, max } => self.build_repeat(node, *min, *max),
+        }
+    }
+
+    fn build_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>) -> Frag {
+        assert!(
+            min <= MAX_REPEAT && max.unwrap_or(0) <= MAX_REPEAT,
+            "counted repeat too large (> {MAX_REPEAT})"
+        );
+        match (min, max) {
+            (0, None) => {
+                // star: split -> (node -> back to split) | out
+                let split = self.push(NfaState::Split(Self::DANGLING, Self::DANGLING));
+                let f = self.build(node);
+                match &mut self.states[split as usize] {
+                    NfaState::Split(a, _) => *a = f.start,
+                    _ => unreachable!(),
+                }
+                self.patch(f.outs, split);
+                Frag { start: split, outs: vec![(split, 1)] }
+            }
+            (min, None) => {
+                // min copies then a star.
+                let mut frag = self.build(node);
+                for _ in 1..min {
+                    let next = self.build(node);
+                    self.patch(frag.outs, next.start);
+                    frag.outs = next.outs;
+                }
+                let star = self.build_repeat(node, 0, None);
+                self.patch(frag.outs, star.start);
+                Frag { start: frag.start, outs: star.outs }
+            }
+            (0, Some(0)) => self.build(&Ast::Empty),
+            (min, Some(max)) => {
+                // min mandatory copies + (max-min) optional copies.
+                let mut start = None;
+                let mut outs: Vec<(StateId, u8)> = Vec::new();
+                for _ in 0..min {
+                    let f = self.build(node);
+                    if let Some(_s) = start {
+                        self.patch(std::mem::take(&mut outs), f.start);
+                    } else {
+                        start = Some(f.start);
+                    }
+                    outs = f.outs;
+                }
+                for _ in min..max {
+                    let split = self.push(NfaState::Split(Self::DANGLING, Self::DANGLING));
+                    let f = self.build(node);
+                    match &mut self.states[split as usize] {
+                        NfaState::Split(a, _) => *a = f.start,
+                        _ => unreachable!(),
+                    }
+                    if start.is_some() {
+                        self.patch(std::mem::take(&mut outs), split);
+                    } else {
+                        start = Some(split);
+                    }
+                    outs = f.outs;
+                    outs.push((split, 1));
+                }
+                Frag { start: start.expect("repeat with max=0 handled above"), outs }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn nfa(pat: &str) -> Nfa {
+        Nfa::compile(&parse(pat).unwrap())
+    }
+
+    #[test]
+    fn literal_chain_size() {
+        let n = nfa("abc");
+        // 3 byte states + 1 match.
+        assert_eq!(n.len(), 4);
+        assert!(!n.anchored_start());
+    }
+
+    #[test]
+    fn anchored_detection() {
+        assert!(nfa("^abc").anchored_start());
+        assert!(nfa("^a|^b").anchored_start());
+        assert!(!nfa("a|^b").anchored_start());
+        assert!(!nfa("abc$").anchored_start());
+    }
+
+    #[test]
+    fn star_structure() {
+        let n = nfa("a*");
+        // split + byte + match
+        assert_eq!(n.len(), 3);
+        assert!(matches!(n.states()[n.start() as usize], NfaState::Split(..)));
+    }
+
+    #[test]
+    fn counted_repeat_expands() {
+        let n3 = nfa("a{3}");
+        let n5 = nfa("a{5}");
+        assert!(n5.len() > n3.len());
+        let opt = nfa("a{1,3}");
+        assert!(opt.len() > n3.len() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "counted repeat too large")]
+    fn huge_repeat_panics() {
+        nfa("a{999}");
+    }
+
+    #[test]
+    fn assert_end_state_present() {
+        let n = nfa("a$");
+        assert!(n.states().iter().any(|s| matches!(s, NfaState::AssertEnd(_))));
+    }
+}

@@ -1,0 +1,538 @@
+//! PCRE-subset pattern parser.
+//!
+//! Supports the constructs the paper's PHP workloads exercise: literals,
+//! `.`, character classes (`[a-z0-9_]`, negation), escapes (`\d \w \s \D \W
+//! \S` and control escapes), quantifiers (`* + ? {m} {m,} {m,n}`, greedy),
+//! alternation, groups (capturing and `(?:...)` treated alike), and the
+//! anchors `^` / `$`.
+
+use std::fmt;
+
+/// A set of byte ranges (inclusive), e.g. `[a-z0-9_]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassSet {
+    ranges: Vec<(u8, u8)>,
+}
+
+impl ClassSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an inclusive range.
+    pub fn push_range(&mut self, lo: u8, hi: u8) {
+        assert!(lo <= hi, "invalid class range");
+        self.ranges.push((lo, hi));
+    }
+
+    /// Adds a single byte.
+    pub fn push_byte(&mut self, b: u8) {
+        self.ranges.push((b, b));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, b: u8) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi)
+    }
+
+    /// The complement set over all bytes.
+    pub fn negated(&self) -> ClassSet {
+        let mut out = ClassSet::new();
+        let mut covered = [false; 256];
+        for &(lo, hi) in &self.ranges {
+            for b in lo..=hi {
+                covered[b as usize] = true;
+            }
+        }
+        let mut b = 0usize;
+        while b < 256 {
+            if !covered[b] {
+                let start = b as u8;
+                while b < 256 && !covered[b] {
+                    b += 1;
+                }
+                out.push_range(start, (b - 1) as u8);
+            } else {
+                b += 1;
+            }
+        }
+        out
+    }
+
+    /// The normalized ranges.
+    pub fn ranges(&self) -> &[(u8, u8)] {
+        &self.ranges
+    }
+
+    /// Iterates all member bytes.
+    pub fn bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).map(|b| b as u8).filter(move |&b| self.contains(b))
+    }
+
+    /// `\d`
+    pub fn digit() -> Self {
+        let mut c = Self::new();
+        c.push_range(b'0', b'9');
+        c
+    }
+
+    /// `\w`
+    pub fn word() -> Self {
+        let mut c = Self::new();
+        c.push_range(b'a', b'z');
+        c.push_range(b'A', b'Z');
+        c.push_range(b'0', b'9');
+        c.push_byte(b'_');
+        c
+    }
+
+    /// `\s`
+    pub fn space() -> Self {
+        let mut c = Self::new();
+        for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+            c.push_byte(b);
+        }
+        c
+    }
+
+    /// `.` (any byte except newline, PCRE default).
+    pub fn dot() -> Self {
+        let mut c = Self::new();
+        c.push_byte(b'\n');
+        c.negated()
+    }
+}
+
+/// Parsed pattern AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A single literal byte.
+    Literal(u8),
+    /// A byte class.
+    Class(ClassSet),
+    /// Concatenation.
+    Concat(Vec<Ast>),
+    /// Alternation.
+    Alt(Vec<Ast>),
+    /// Repetition `{min, max}` (max `None` = unbounded), greedy.
+    Repeat {
+        /// Repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions, or unbounded.
+        max: Option<u32>,
+    },
+    /// Group (capture index ignored — the engine reports whole-match spans).
+    Group(Box<Ast>),
+    /// `^` start-of-subject anchor.
+    AnchorStart,
+    /// `$` end-of-subject anchor.
+    AnchorEnd,
+}
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the pattern.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    pat: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a pattern into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed patterns (unbalanced parens, bad
+/// quantifiers, dangling escapes, empty groups with quantifiers, ...).
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser { pat: pattern.as_bytes(), pos: 0 };
+    let ast = p.alternation()?;
+    if p.pos != p.pat.len() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(ast)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_owned(), position: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.pat.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat(b'|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alt(branches) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().unwrap(),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                (0, None)
+            }
+            Some(b'+') => {
+                self.bump();
+                (1, None)
+            }
+            Some(b'?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                let save = self.pos;
+                match self.counted_repeat() {
+                    Some(r) => r,
+                    None => {
+                        self.pos = save;
+                        return Ok(atom);
+                    }
+                }
+            }
+            _ => return Ok(atom),
+        };
+        // Lazy modifier `?` after a quantifier: accepted, same DFA language.
+        self.eat(b'?');
+        if matches!(atom, Ast::AnchorStart | Ast::AnchorEnd) {
+            return Err(self.err("quantifier on anchor"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(self.err("repeat max < min"));
+            }
+        }
+        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+    }
+
+    fn counted_repeat(&mut self) -> Option<(u32, Option<u32>)> {
+        // at '{'
+        self.bump();
+        let min = self.number()?;
+        if self.eat(b'}') {
+            return Some((min, Some(min)));
+        }
+        if !self.eat(b',') {
+            return None;
+        }
+        if self.eat(b'}') {
+            return Some((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat(b'}') {
+            return None;
+        }
+        Some((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.pat[start..self.pos]).ok()?.parse().ok()
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump().ok_or_else(|| self.err("unexpected end of pattern"))? {
+            b'(' => {
+                // Treat (?:...) and (?i)-less groups alike; reject lookaround
+                // explicitly so callers know it is unsupported.
+                if self.peek() == Some(b'?') {
+                    let save = self.pos;
+                    self.bump();
+                    match self.peek() {
+                        Some(b':') => {
+                            self.bump();
+                        }
+                        Some(b'=') | Some(b'!') | Some(b'<') => {
+                            return Err(self.err("lookaround is not supported"));
+                        }
+                        _ => self.pos = save,
+                    }
+                }
+                let inner = self.alternation()?;
+                if !self.eat(b')') {
+                    return Err(self.err("missing closing paren"));
+                }
+                Ok(Ast::Group(Box::new(inner)))
+            }
+            b'[' => self.class(),
+            b'.' => Ok(Ast::Class(ClassSet::dot())),
+            b'^' => Ok(Ast::AnchorStart),
+            b'$' => Ok(Ast::AnchorEnd),
+            b'\\' => self.escape(),
+            b'*' | b'+' | b'?' => Err(self.err("quantifier with nothing to repeat")),
+            b')' => Err(self.err("unmatched closing paren")),
+            lit => Ok(Ast::Literal(lit)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        let b = self.bump().ok_or_else(|| self.err("dangling escape"))?;
+        Ok(match b {
+            b'd' => Ast::Class(ClassSet::digit()),
+            b'D' => Ast::Class(ClassSet::digit().negated()),
+            b'w' => Ast::Class(ClassSet::word()),
+            b'W' => Ast::Class(ClassSet::word().negated()),
+            b's' => Ast::Class(ClassSet::space()),
+            b'S' => Ast::Class(ClassSet::space().negated()),
+            b'n' => Ast::Literal(b'\n'),
+            b'r' => Ast::Literal(b'\r'),
+            b't' => Ast::Literal(b'\t'),
+            b'0' => Ast::Literal(0),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                Ast::Literal(hi * 16 + lo)
+            }
+            other => Ast::Literal(other),
+        })
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, ParseError> {
+        let b = self.bump().ok_or_else(|| self.err("truncated \\x escape"))?;
+        (b as char).to_digit(16).map(|d| d as u8).ok_or_else(|| self.err("bad hex digit"))
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        let negate = self.eat(b'^');
+        let mut set = ClassSet::new();
+        let mut first = true;
+        loop {
+            let b = self.bump().ok_or_else(|| self.err("unterminated character class"))?;
+            match b {
+                b']' if !first => break,
+                b'\\' => {
+                    let e = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+                    match e {
+                        b'd' => set.ranges.extend_from_slice(ClassSet::digit().ranges()),
+                        b'w' => set.ranges.extend_from_slice(ClassSet::word().ranges()),
+                        b's' => set.ranges.extend_from_slice(ClassSet::space().ranges()),
+                        b'n' => self.class_atom(&mut set, b'\n')?,
+                        b'r' => self.class_atom(&mut set, b'\r')?,
+                        b't' => self.class_atom(&mut set, b'\t')?,
+                        other => self.class_atom(&mut set, other)?,
+                    }
+                }
+                b => self.class_atom(&mut set, b)?,
+            }
+            first = false;
+        }
+        Ok(Ast::Class(if negate { set.negated() } else { set }))
+    }
+
+    /// Adds `lo` or the range `lo-hi` if a dash follows.
+    fn class_atom(&mut self, set: &mut ClassSet, lo: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b'-') && self.pat.get(self.pos + 1).is_some_and(|&b| b != b']') {
+            self.bump(); // '-'
+            let hi = self.bump().ok_or_else(|| self.err("unterminated range"))?;
+            let hi = if hi == b'\\' {
+                self.bump().ok_or_else(|| self.err("dangling escape in range"))?
+            } else {
+                hi
+            };
+            if hi < lo {
+                return Err(self.err("inverted class range"));
+            }
+            set.push_range(lo, hi);
+        } else {
+            set.push_byte(lo);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_literals_and_concat() {
+        let ast = parse("abc").unwrap();
+        assert_eq!(
+            ast,
+            Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b'), Ast::Literal(b'c')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_precedence() {
+        let ast = parse("a|bc").unwrap();
+        match ast {
+            Ast::Alt(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[0], Ast::Literal(b'a'));
+            }
+            other => panic!("expected Alt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        assert!(matches!(parse("a*").unwrap(), Ast::Repeat { min: 0, max: None, .. }));
+        assert!(matches!(parse("a+").unwrap(), Ast::Repeat { min: 1, max: None, .. }));
+        assert!(matches!(parse("a?").unwrap(), Ast::Repeat { min: 0, max: Some(1), .. }));
+        assert!(matches!(parse("a{2,5}").unwrap(), Ast::Repeat { min: 2, max: Some(5), .. }));
+        assert!(matches!(parse("a{3}").unwrap(), Ast::Repeat { min: 3, max: Some(3), .. }));
+        assert!(matches!(parse("a{2,}").unwrap(), Ast::Repeat { min: 2, max: None, .. }));
+    }
+
+    #[test]
+    fn lazy_quantifier_accepted() {
+        assert!(matches!(parse("a*?").unwrap(), Ast::Repeat { .. }));
+    }
+
+    #[test]
+    fn brace_not_quantifier_is_literal() {
+        // `{x}` is a literal sequence in PCRE when not a valid quantifier.
+        let ast = parse("a{x}").unwrap();
+        assert!(matches!(ast, Ast::Concat(_)));
+    }
+
+    #[test]
+    fn parses_classes() {
+        let ast = parse("[a-c0\\d]").unwrap();
+        match ast {
+            Ast::Class(set) => {
+                assert!(set.contains(b'a'));
+                assert!(set.contains(b'c'));
+                assert!(set.contains(b'0'));
+                assert!(set.contains(b'7'));
+                assert!(!set.contains(b'd'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        let ast = parse("[^a]").unwrap();
+        match ast {
+            Ast::Class(set) => {
+                assert!(!set.contains(b'a'));
+                assert!(set.contains(b'b'));
+                assert!(set.contains(0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_leading_bracket_and_dash() {
+        let ast = parse("[]a-]").unwrap();
+        match ast {
+            Ast::Class(set) => {
+                assert!(set.contains(b']'));
+                assert!(set.contains(b'a'));
+                assert!(set.contains(b'-'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn anchors_and_groups() {
+        let ast = parse("^(ab|c)$").unwrap();
+        match ast {
+            Ast::Concat(parts) => {
+                assert_eq!(parts[0], Ast::AnchorStart);
+                assert!(matches!(parts[1], Ast::Group(_)));
+                assert_eq!(parts[2], Ast::AnchorEnd);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        assert!(parse("(?:ab)+").is_ok());
+    }
+
+    #[test]
+    fn lookaround_rejected() {
+        assert!(parse("(?=a)").is_err());
+        assert!(parse("(?<=a)b").is_err());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("(ab").is_err());
+        assert!(parse("ab)").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("a{5,2}").is_err());
+        assert!(parse("^*").is_err());
+        assert!(parse("\\x1").is_err());
+    }
+
+    #[test]
+    fn hex_escape() {
+        assert_eq!(parse("\\x41").unwrap(), Ast::Literal(b'A'));
+    }
+
+    #[test]
+    fn negated_negation_roundtrip() {
+        let d = ClassSet::digit();
+        let nn = d.negated().negated();
+        for b in 0..=255u8 {
+            assert_eq!(d.contains(b), nn.contains(b), "byte {b}");
+        }
+    }
+}

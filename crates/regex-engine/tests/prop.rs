@@ -1,0 +1,74 @@
+//! Property tests for the regex engine against a naive reference matcher.
+
+use proptest::prelude::*;
+use regex_engine::Regex;
+
+/// Naive reference: does `pattern` (a literal with optional single `[ab]`
+/// classes encoded as '?') match starting at `pos`? We generate patterns
+/// from a tiny constrained family so a trivially-correct oracle exists.
+fn oracle_find(hay: &[u8], lit: &[u8]) -> Option<usize> {
+    if lit.is_empty() || lit.len() > hay.len() {
+        return None;
+    }
+    hay.windows(lit.len()).position(|w| w == lit)
+}
+
+proptest! {
+    #[test]
+    fn literal_find_matches_oracle(
+        hay in prop::collection::vec(97u8..100, 0..120),
+        lit in prop::collection::vec(97u8..100, 1..4),
+    ) {
+        let pattern: String = lit.iter().map(|&b| b as char).collect();
+        let re = Regex::new(&pattern).unwrap();
+        let hay_bytes = hay.clone();
+        let (m, _) = re.find_at(&hay_bytes, 0);
+        prop_assert_eq!(m.map(|m| m.start), oracle_find(&hay_bytes, &lit));
+    }
+
+    #[test]
+    fn find_all_invariants(
+        hay in prop::collection::vec(prop::sample::select(b"ab'\"x".to_vec()), 0..200),
+    ) {
+        for pat in ["'", "a+", "'x?", "\"[ab]*\"", "(a|b)x"] {
+            let re = Regex::new(pat).unwrap();
+            let (ms, _) = re.find_all(&hay);
+            // In bounds, ordered, non-overlapping.
+            let mut prev_end = 0usize;
+            for m in &ms {
+                prop_assert!(m.start <= m.end);
+                prop_assert!(m.end <= hay.len());
+                prop_assert!(m.start >= prev_end || (m.is_empty() && m.start + 1 > prev_end));
+                prev_end = m.end.max(prev_end);
+                // Every reported non-empty match re-verifies via match_at.
+                if !m.is_empty() {
+                    let (again, _) = re.match_at(&hay, m.start);
+                    prop_assert!(again.is_some(), "match at {} must re-verify", m.start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replace_all_removes_all_matches(
+        hay in prop::collection::vec(prop::sample::select(b"abc'".to_vec()), 0..150),
+    ) {
+        let re = Regex::new("'").unwrap();
+        let (out, n, _) = re.replace_all(&hay, b"_");
+        prop_assert_eq!(n, hay.iter().filter(|&&b| b == b'\'').count());
+        prop_assert!(!out.contains(&b'\''));
+        prop_assert_eq!(out.len(), hay.len());
+    }
+
+    #[test]
+    fn is_match_consistent_with_find(
+        hay in prop::collection::vec(32u8..127, 0..150),
+    ) {
+        for pat in ["[0-9]+", "<[a-z]+>", "a.c"] {
+            let re = Regex::new(pat).unwrap();
+            let (b, _) = re.is_match(&hay);
+            let (m, _) = re.find_at(&hay, 0);
+            prop_assert_eq!(b, m.is_some(), "pattern {}", pat);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Core pipeline models and the trace-driven simulation driver.
+//!
+//! Figure 2(c) compares 2-wide in-order, 2/4/8-wide out-of-order cores. The
+//! model here is analytic-over-trace: structural events (mispredictions,
+//! BTB misses, cache misses) are simulated exactly by the component models;
+//! their latency contributions are combined with width- and
+//! window-dependent overlap factors.
+
+use crate::btb::{Btb, BtbConfig};
+use crate::cache::{Hierarchy, Latencies, LINE_BYTES};
+use crate::tage::{Tage, TageConfig};
+use crate::trace::Uop;
+
+/// The simulated core flavours of Figure 2(c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// 2-wide in-order.
+    InOrder2,
+    /// 2-wide out-of-order.
+    OoO2,
+    /// 4-wide out-of-order (the Xeon-like baseline, §5.1).
+    OoO4,
+    /// 8-wide out-of-order.
+    OoO8,
+}
+
+impl CoreKind {
+    /// All kinds, narrow to wide.
+    pub const ALL: [CoreKind; 4] = [CoreKind::InOrder2, CoreKind::OoO2, CoreKind::OoO4, CoreKind::OoO8];
+
+    /// Issue width.
+    pub fn width(self) -> u64 {
+        match self {
+            CoreKind::InOrder2 | CoreKind::OoO2 => 2,
+            CoreKind::OoO4 => 4,
+            CoreKind::OoO8 => 8,
+        }
+    }
+
+    /// Sustainable fraction of peak width on these workloads. In-order
+    /// cores stall on every RAW hazard; wider OoO cores run out of ILP —
+    /// §2: "increasing to an 8-wide OoO machine shows very little (< 3%)
+    /// performance increase".
+    pub fn utilization(self) -> f64 {
+        match self {
+            CoreKind::InOrder2 => 0.52,
+            CoreKind::OoO2 => 0.88,
+            CoreKind::OoO4 => 0.62,
+            CoreKind::OoO8 => 0.318,
+        }
+    }
+
+    /// Branch misprediction penalty (pipeline refill), cycles.
+    pub fn mispredict_penalty(self) -> u64 {
+        match self {
+            CoreKind::InOrder2 => 8,
+            _ => 14,
+        }
+    }
+
+    /// Memory-level parallelism: how many outstanding misses overlap.
+    pub fn mlp(self) -> f64 {
+        match self {
+            CoreKind::InOrder2 => 1.0,
+            CoreKind::OoO2 => 2.0,
+            CoreKind::OoO4 => 4.0,
+            CoreKind::OoO8 => 4.6,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreKind::InOrder2 => "2-wide in-order",
+            CoreKind::OoO2 => "2-wide OoO",
+            CoreKind::OoO4 => "4-wide OoO",
+            CoreKind::OoO8 => "8-wide OoO",
+        }
+    }
+}
+
+/// Machine configuration for a simulation run.
+#[derive(Debug)]
+pub struct Machine {
+    /// Core flavour.
+    pub core: CoreKind,
+    /// Cache hierarchy.
+    pub hierarchy: Hierarchy,
+    /// Branch target buffer.
+    pub btb: Btb,
+    /// Branch predictor.
+    pub tage: Tage,
+    /// Latency set.
+    pub latencies: Latencies,
+}
+
+impl Machine {
+    /// A Xeon-like server machine (§5.1 baseline).
+    pub fn server(core: CoreKind) -> Self {
+        Machine {
+            core,
+            hierarchy: Hierarchy::server(),
+            btb: Btb::new(BtbConfig::default()),
+            tage: Tage::new(TageConfig::default()),
+            latencies: Latencies::default(),
+        }
+    }
+}
+
+/// Cycle breakdown of a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimResult {
+    /// µops executed.
+    pub uops: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Issue-limited base cycles.
+    pub base_cycles: u64,
+    /// Branch-misprediction penalty cycles.
+    pub bp_cycles: u64,
+    /// BTB-miss fetch-bubble cycles.
+    pub btb_cycles: u64,
+    /// Instruction-fetch miss cycles.
+    pub icache_cycles: u64,
+    /// Data-miss cycles (after MLP overlap).
+    pub dcache_cycles: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// BTB misses (taken branches), both capacity and stale-target.
+    pub btb_misses: u64,
+    /// The capacity/conflict component of BTB misses (size-sensitive).
+    pub btb_capacity_misses: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch MPKI.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.uops == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 * 1000.0 / self.uops as f64
+        }
+    }
+}
+
+/// Fetch bubble on a BTB miss, cycles.
+const BTB_MISS_BUBBLE: u64 = 3;
+
+/// Runs a trace through a machine.
+pub fn simulate(trace: &[Uop], m: &mut Machine) -> SimResult {
+    let mut r = SimResult { uops: trace.len() as u64, ..Default::default() };
+    let mut icache_lat = 0u64;
+    let mut dcache_lat = 0u64;
+    let mut last_line = u64::MAX;
+
+    for u in trace {
+        let pc = u.pc();
+        let line = pc / LINE_BYTES;
+        if line != last_line {
+            icache_lat += m.hierarchy.fetch(pc, m.latencies);
+            last_line = line;
+        }
+        match *u {
+            Uop::Branch { pc, taken, target } => {
+                let correct = m.tage.observe(pc, taken);
+                if !correct {
+                    r.mispredicts += 1;
+                }
+                if taken {
+                    if !m.btb.lookup_update(pc, target) {
+                        r.btb_misses += 1;
+                    }
+                    last_line = u64::MAX; // redirect refetches the line
+                }
+            }
+            Uop::Load { addr, .. } | Uop::Store { addr, .. } => {
+                dcache_lat += m.hierarchy.data(addr, m.latencies);
+            }
+            Uop::Alu { .. } => {}
+        }
+    }
+
+    let width_eff = m.core.width() as f64 * m.core.utilization();
+    r.base_cycles = (r.uops as f64 / width_eff).ceil() as u64;
+    r.bp_cycles = r.mispredicts * m.core.mispredict_penalty();
+    r.btb_cycles = r.btb_misses * BTB_MISS_BUBBLE;
+    // Fetch-miss latency is partially hidden by the fetch queue/prefetch.
+    r.icache_cycles = icache_lat / 2;
+    r.dcache_cycles = (dcache_lat as f64 / m.core.mlp()) as u64;
+    r.btb_capacity_misses = m.btb.stats().capacity_misses;
+    r.cycles = r.base_cycles + r.bp_cycles + r.btb_cycles + r.icache_cycles + r.dcache_cycles;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{synthesize, TraceProfile};
+
+    fn run(kind: CoreKind, profile: &TraceProfile, n: usize) -> SimResult {
+        let trace = synthesize(profile, n);
+        let mut m = Machine::server(kind);
+        simulate(&trace, &mut m)
+    }
+
+    #[test]
+    fn php_mpki_far_above_spec() {
+        let php = run(CoreKind::OoO4, &TraceProfile::php_app(11), 400_000);
+        let spec = run(CoreKind::OoO4, &TraceProfile::specweb(11), 400_000);
+        assert!(php.branch_mpki() > 10.0, "php mpki {}", php.branch_mpki());
+        assert!(spec.branch_mpki() < 5.0, "spec mpki {}", spec.branch_mpki());
+    }
+
+    #[test]
+    fn figure_2c_width_ordering() {
+        let p = TraceProfile::php_app(21);
+        let io2 = run(CoreKind::InOrder2, &p, 300_000).cycles;
+        let ooo2 = run(CoreKind::OoO2, &p, 300_000).cycles;
+        let ooo4 = run(CoreKind::OoO4, &p, 300_000).cycles;
+        let ooo8 = run(CoreKind::OoO8, &p, 300_000).cycles;
+        assert!(io2 > ooo2, "in-order slower than OoO2");
+        assert!(ooo2 as f64 > ooo4 as f64 * 1.1, "4-wide clearly beats 2-wide");
+        let gain8 = 1.0 - ooo8 as f64 / ooo4 as f64;
+        assert!(gain8 < 0.06, "8-wide gains little: {gain8}");
+        assert!(ooo8 <= ooo4, "8-wide not slower");
+    }
+
+    #[test]
+    fn btb_pressure_from_flat_php_profiles() {
+        let p = TraceProfile::php_app(31);
+        let trace = synthesize(&p, 300_000);
+        let mut small = Machine::server(CoreKind::OoO4);
+        small.btb = Btb::new(BtbConfig { entries: 512, ways: 2 });
+        let r_small = simulate(&trace, &mut small);
+        let mut big = Machine::server(CoreKind::OoO4);
+        big.btb = Btb::new(BtbConfig { entries: 65536, ways: 2 });
+        let r_big = simulate(&trace, &mut big);
+        assert!(
+            r_small.btb_capacity_misses > r_big.btb_capacity_misses * 2,
+            "small {} vs big {}",
+            r_small.btb_capacity_misses,
+            r_big.btb_capacity_misses
+        );
+        assert!(r_small.cycles > r_big.cycles);
+    }
+
+    #[test]
+    fn ipc_sane() {
+        let r = run(CoreKind::OoO4, &TraceProfile::php_app(41), 200_000);
+        let ipc = r.ipc();
+        assert!((0.2..2.5).contains(&ipc), "ipc {ipc}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Instruction-trace model and synthetic trace synthesis.
+//!
+//! **Substitution note (DESIGN.md §2):** the paper drives gem5 with real
+//! HHVM binaries. We have no gem5 and no HHVM; instead, traces are
+//! *synthesized* from workload profiles: a population of leaf functions with
+//! code footprints, call frequencies, branch densities, and data-dependent
+//! branch shares measured from the paper's characterization (≈22 % branch
+//! instructions, flat function profiles, hundreds of leaf functions). The
+//! µarch conclusions of Figure 2 are about relative sensitivities, which
+//! this level of modelling preserves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One micro-op of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uop {
+    /// Plain ALU work at `pc`.
+    Alu {
+        /// Instruction address.
+        pc: u64,
+    },
+    /// A data load.
+    Load {
+        /// Instruction address.
+        pc: u64,
+        /// Effective address.
+        addr: u64,
+    },
+    /// A data store.
+    Store {
+        /// Instruction address.
+        pc: u64,
+        /// Effective address.
+        addr: u64,
+    },
+    /// A conditional or indirect branch.
+    Branch {
+        /// Instruction address.
+        pc: u64,
+        /// Outcome.
+        taken: bool,
+        /// Target address (meaningful when taken).
+        target: u64,
+    },
+}
+
+impl Uop {
+    /// The instruction address.
+    pub fn pc(&self) -> u64 {
+        match *self {
+            Uop::Alu { pc }
+            | Uop::Load { pc, .. }
+            | Uop::Store { pc, .. }
+            | Uop::Branch { pc, .. } => pc,
+        }
+    }
+}
+
+/// Parameters describing a workload's trace behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Distinct leaf functions (PHP apps: hundreds; SPECWeb: a handful).
+    pub functions: usize,
+    /// Code bytes per function (I-side footprint).
+    pub code_bytes_per_fn: usize,
+    /// Fraction of instructions that are branches (PHP ≈ 0.22, SPEC ≈ 0.12).
+    pub branch_fraction: f64,
+    /// Among branches, fraction that are *data-dependent* (outcomes driven
+    /// by unpredictable data — §2's misprediction culprit).
+    pub data_dep_branch_fraction: f64,
+    /// Taken probability of data-dependent branches (0.5 = coin flip).
+    pub data_dep_taken_prob: f64,
+    /// Fraction of instructions that are loads.
+    pub load_fraction: f64,
+    /// Fraction of instructions that are stores.
+    pub store_fraction: f64,
+    /// Data working-set size in bytes.
+    pub data_working_set: usize,
+    /// Zipf-ish locality: probability a memory access re-touches a hot line.
+    pub data_locality: f64,
+    /// Average dynamic instructions spent per function activation.
+    pub fn_activation_len: usize,
+    /// Minimum loop trip count of backward-branch sites.
+    pub loop_period_min: u32,
+    /// Spread added on top of the minimum trip count.
+    pub loop_period_spread: u32,
+    /// RNG seed (deterministic experiments).
+    pub seed: u64,
+}
+
+impl TraceProfile {
+    /// Profile shaped like the paper's real-world PHP applications.
+    pub fn php_app(seed: u64) -> Self {
+        TraceProfile {
+            functions: 700,
+            code_bytes_per_fn: 256,
+            branch_fraction: 0.105,
+            data_dep_branch_fraction: 0.38,
+            data_dep_taken_prob: 0.78,
+            load_fraction: 0.28,
+            store_fraction: 0.12,
+            data_working_set: 256 << 10,
+            data_locality: 0.985,
+            fn_activation_len: 90,
+            loop_period_min: 16,
+            loop_period_spread: 48,
+            seed,
+        }
+    }
+
+    /// Profile shaped like SPECWeb2005-style hotspot microbenchmarks.
+    pub fn specweb(seed: u64) -> Self {
+        TraceProfile {
+            functions: 12,
+            code_bytes_per_fn: 512,
+            branch_fraction: 0.032,
+            data_dep_branch_fraction: 0.04,
+            data_dep_taken_prob: 0.85,
+            load_fraction: 0.25,
+            store_fraction: 0.10,
+            data_working_set: 64 << 10,
+            data_locality: 0.99,
+            fn_activation_len: 400,
+            loop_period_min: 48,
+            loop_period_spread: 96,
+            seed,
+        }
+    }
+}
+
+/// Synthesizes a trace of `n` µops from a profile.
+///
+/// Functions are visited with a flat (uniform) distribution for PHP-like
+/// profiles; loop branches inside a function are strongly biased
+/// (predictable), data-dependent branches flip with the configured
+/// probability (unpredictable by construction).
+pub fn synthesize(profile: &TraceProfile, n: usize) -> Vec<Uop> {
+    use std::collections::HashMap;
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut out = Vec::with_capacity(n);
+    let fn_base = |f: usize| 0x40_0000u64 + (f * profile.code_bytes_per_fn) as u64;
+    let mut hot_lines: Vec<u64> = (0..64).map(|i| 0x10_0000 + i * 64).collect();
+
+    // Function bodies are *deterministic programs*: the instruction type at
+    // a given (function, offset) is a fixed hash of that position, so the
+    // global instruction/branch sequence repeats across activations — that
+    // is what makes loop branches learnable by history predictors while
+    // data-dependent branches stay noisy (§2).
+    let mix = |f: usize, off: usize, salt: u64| -> u64 {
+        let mut x =
+            (f as u64) ^ ((off as u64) << 20) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 31;
+        x
+    };
+    let seed_salt = profile.seed ^ 0xABCD_EF01;
+
+    // Per-site loop counters and per-call-site memoized callees.
+    let mut loop_counters: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut call_sites: HashMap<(usize, u64), usize> = HashMap::new();
+
+    let mut cur_fn = 0usize;
+    let mut pc_off = 0usize;
+    let mut remaining_in_fn = profile.fn_activation_len;
+
+    while out.len() < n {
+        if remaining_in_fn == 0 {
+            // Call/return: an unconditional taken branch from a fixed site.
+            // Function popularity is zipf-like: a hot head keeps the
+            // instruction footprint cacheable while the tail keeps the
+            // profile flat and the BTB pressured.
+            // Callers have several call sites; most are monomorphic (the
+            // same callee nearly every time — direct calls), a minority are
+            // megamorphic indirect dispatch.
+            let site = rng.gen_range(0..4u64);
+            let next_fn = match call_sites.get(&(cur_fn, site)) {
+                Some(&callee) if rng.gen_bool(0.9) => callee,
+                _ => {
+                    let callee = zipf_pick(&mut rng, profile.functions);
+                    call_sites.insert((cur_fn, site), callee);
+                    callee
+                }
+            };
+            let pc = fn_base(cur_fn) + (profile.code_bytes_per_fn - 8) as u64 - 16 * site;
+            out.push(Uop::Branch { pc, taken: true, target: fn_base(next_fn) });
+            cur_fn = next_fn;
+            pc_off = 0;
+            remaining_in_fn = (profile.fn_activation_len / 2).max(4)
+                + rng.gen_range(0..profile.fn_activation_len.max(1));
+            continue;
+        }
+        let off = pc_off % profile.code_bytes_per_fn;
+        let pc = fn_base(cur_fn) + off as u64;
+        pc_off += 4;
+        remaining_in_fn -= 1;
+
+        let h = mix(cur_fn, off, seed_salt);
+        let r = (h & 0xFFFF) as f64 / 65536.0;
+        if r < profile.branch_fraction {
+            let data_dep = ((h >> 16) & 0xFFFF) as f64 / 65536.0 < profile.data_dep_branch_fraction;
+            if data_dep {
+                // Forward data-dependent branch: outcome driven by data.
+                let taken = rng.gen_bool(profile.data_dep_taken_prob);
+                let target = pc + 16;
+                if taken {
+                    pc_off = off + 16;
+                }
+                out.push(Uop::Branch { pc, taken, target });
+            } else {
+                // Backward loop branch with a fixed trip count: taken
+                // (period-1) of period times — learnable.
+                let period = profile.loop_period_min + ((h >> 32) as u32 % profile.loop_period_spread);
+                let body = 16 + ((h >> 40) as usize % 4) * 16; // 4-16 instrs
+                let target_off = off.saturating_sub(body);
+                let counter = loop_counters.entry((cur_fn, off)).or_insert(0);
+                *counter = (*counter + 1) % period;
+                let taken = *counter != 0;
+                let target = fn_base(cur_fn) + target_off as u64;
+                if taken {
+                    pc_off = target_off;
+                }
+                out.push(Uop::Branch { pc, taken, target });
+            }
+        } else if r < profile.branch_fraction + profile.load_fraction {
+            out.push(Uop::Load { pc, addr: data_addr(&mut rng, profile, &mut hot_lines) });
+        } else if r < profile.branch_fraction + profile.load_fraction + profile.store_fraction {
+            out.push(Uop::Store { pc, addr: data_addr(&mut rng, profile, &mut hot_lines) });
+        } else {
+            out.push(Uop::Alu { pc });
+        }
+    }
+    out
+}
+
+/// Zipf-like pick over `n` items using the inverse-CDF of 1/(k+4).
+fn zipf_pick(rng: &mut StdRng, n: usize) -> usize {
+    let total: f64 = (0..n).map(|k| 1.0 / (k as f64 + 4.0)).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for k in 0..n {
+        let w = 1.0 / (k as f64 + 4.0);
+        if x < w {
+            return k;
+        }
+        x -= w;
+    }
+    n - 1
+}
+
+fn data_addr(rng: &mut StdRng, profile: &TraceProfile, hot: &mut Vec<u64>) -> u64 {
+    if rng.gen_bool(profile.data_locality) {
+        let i = rng.gen_range(0..hot.len());
+        hot[i]
+    } else {
+        let addr = 0x10_0000 + rng.gen_range(0..profile.data_working_set as u64 / 64) * 64;
+        let i = rng.gen_range(0..hot.len());
+        hot[i] = addr; // working set slowly rotates
+        addr
+    }
+}
+
+/// Summary counts of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Total µops.
+    pub uops: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Taken branches.
+    pub taken: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+}
+
+/// Counts a trace's composition.
+pub fn count(trace: &[Uop]) -> TraceCounts {
+    let mut c = TraceCounts { uops: trace.len() as u64, ..Default::default() };
+    for u in trace {
+        match u {
+            Uop::Branch { taken, .. } => {
+                c.branches += 1;
+                if *taken {
+                    c.taken += 1;
+                }
+            }
+            Uop::Load { .. } => c.loads += 1,
+            Uop::Store { .. } => c.stores += 1,
+            Uop::Alu { .. } => {}
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = TraceProfile::php_app(42);
+        let a = synthesize(&p, 5000);
+        let b = synthesize(&p, 5000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branch_fraction_respected() {
+        let p = TraceProfile::php_app(1);
+        let t = synthesize(&p, 200_000);
+        let c = count(&t);
+        let frac = c.branches as f64 / c.uops as f64;
+        assert!((0.19..0.27).contains(&frac), "php branch fraction {frac}");
+
+        let s = TraceProfile::specweb(1);
+        let t2 = synthesize(&s, 200_000);
+        let c2 = count(&t2);
+        let frac2 = c2.branches as f64 / c2.uops as f64;
+        assert!((0.09..0.19).contains(&frac2), "spec branch fraction {frac2}");
+    }
+
+    #[test]
+    fn php_touches_many_functions() {
+        let p = TraceProfile::php_app(7);
+        let t = synthesize(&p, 300_000);
+        let mut fns = std::collections::HashSet::new();
+        for u in &t {
+            fns.insert(u.pc() / p.code_bytes_per_fn as u64);
+        }
+        assert!(fns.len() > 300, "flat profile must touch most functions, got {}", fns.len());
+    }
+
+    #[test]
+    fn loads_and_stores_present() {
+        let t = synthesize(&TraceProfile::php_app(3), 50_000);
+        let c = count(&t);
+        assert!(c.loads > 0 && c.stores > 0);
+        assert!(c.loads > c.stores);
+    }
+}

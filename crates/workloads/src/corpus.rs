@@ -1,0 +1,244 @@
+//! Synthetic textual corpus.
+//!
+//! The paper's applications "process large volumes of unstructured textual
+//! data (such as social media updates, web documents, blog posts, news
+//! articles, and system logs)". This module generates deterministic text
+//! with controllable *special-character density* — the lever behind content
+//! sifting's opportunity (Figure 12) — plus URLs, markup, and comments.
+
+use php_runtime::string::PhpStr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Probability a word is followed by a special-character island
+    /// (quote, apostrophe, markup).
+    pub special_density: f64,
+    /// Words per paragraph.
+    pub words_per_paragraph: usize,
+    /// Paragraphs per post body.
+    pub paragraphs_per_post: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            special_density: 0.04,
+            words_per_paragraph: 60,
+            paragraphs_per_post: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+const WORDS: &[&str] = &[
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "server", "request",
+    "content", "article", "update", "system", "module", "theme", "plugin", "widget", "render",
+    "template", "cache", "database", "query", "index", "page", "post", "comment", "author",
+    "reader", "editor", "publish", "draft", "archive", "category", "network", "social", "media",
+    "document", "blog", "news", "log", "data", "value", "field", "table", "entry", "record",
+];
+
+const SPECIAL_ISLANDS: &[&str] = &[
+    "it's", "\"quoted\"", "<em>note</em>", "don't", "(aside)", "[ref]", "&copy;", "<br>",
+    "a:b", "x=1", "it's!", "\"say\"",
+];
+
+/// Deterministic corpus generator.
+#[derive(Debug)]
+pub struct Corpus {
+    cfg: CorpusConfig,
+    rng: StdRng,
+}
+
+impl Corpus {
+    /// Creates a generator.
+    pub fn new(cfg: CorpusConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Corpus { cfg, rng }
+    }
+
+    /// One paragraph of mostly-regular text with occasional special islands.
+    pub fn paragraph(&mut self) -> PhpStr {
+        let mut out = String::new();
+        for w in 0..self.cfg.words_per_paragraph {
+            if w > 0 {
+                out.push(' ');
+            }
+            if self.rng.gen_bool(self.cfg.special_density) {
+                out.push_str(SPECIAL_ISLANDS[self.rng.gen_range(0..SPECIAL_ISLANDS.len())]);
+            } else {
+                out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+            }
+        }
+        out.push('.');
+        PhpStr::from(out)
+    }
+
+    /// A multi-paragraph post body separated by newlines.
+    pub fn post_body(&mut self) -> PhpStr {
+        let mut out = PhpStr::new();
+        for p in 0..self.cfg.paragraphs_per_post {
+            if p > 0 {
+                out.push_bytes(b"\n\n");
+            }
+            out.push_bytes(self.paragraph().as_bytes());
+        }
+        out
+    }
+
+    /// A short comment (higher special density: people quote and emote).
+    pub fn comment(&mut self) -> PhpStr {
+        let saved = self.cfg.special_density;
+        self.cfg.special_density = (saved * 3.0).min(0.5);
+        let words = self.cfg.words_per_paragraph;
+        self.cfg.words_per_paragraph = 12 + self.rng.gen_range(0..20);
+        let out = self.paragraph();
+        self.cfg.special_density = saved;
+        self.cfg.words_per_paragraph = words;
+        out
+    }
+
+    /// A title: a few capitalized words.
+    pub fn title(&mut self) -> PhpStr {
+        let n = 3 + self.rng.gen_range(0..5);
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            let w = WORDS[self.rng.gen_range(0..WORDS.len())];
+            let mut c = w.chars();
+            if let Some(first) = c.next() {
+                out.push(first.to_ascii_uppercase());
+                out.push_str(c.as_str());
+            }
+        }
+        PhpStr::from(out)
+    }
+
+    /// An author handle (lowercase letters).
+    pub fn author(&mut self) -> PhpStr {
+        let n = 3 + self.rng.gen_range(0..6);
+        let s: String = (0..n).map(|_| (b'a' + self.rng.gen_range(0..26)) as char).collect();
+        PhpStr::from(s)
+    }
+
+    /// Figure-13-style author URL: only the name field varies.
+    pub fn author_url(&mut self, author: &PhpStr) -> PhpStr {
+        let mut out = PhpStr::from("https://localhost/?author=");
+        out.push_bytes(author.as_bytes());
+        out
+    }
+
+    /// MediaWiki-style markup: wiki links, bold, headings.
+    pub fn wiki_markup(&mut self) -> PhpStr {
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title().to_string_lossy());
+        out.push_str(" ==\n");
+        for _ in 0..self.cfg.paragraphs_per_post {
+            for w in 0..self.cfg.words_per_paragraph {
+                if w > 0 {
+                    out.push(' ');
+                }
+                let r: f64 = self.rng.gen();
+                if r < 0.03 {
+                    out.push_str("[[");
+                    out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+                    out.push_str("]]");
+                } else if r < 0.05 {
+                    out.push_str("'''");
+                    out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+                    out.push_str("'''");
+                } else {
+                    out.push_str(WORDS[self.rng.gen_range(0..WORDS.len())]);
+                }
+            }
+            out.push('\n');
+        }
+        PhpStr::from(out)
+    }
+
+    /// Zipf-ish popularity pick over `n` items (hot head, long tail).
+    pub fn zipf_pick(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        // Simple discrete approximation: rank ∝ 1/(k+1).
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        n - 1
+    }
+
+    /// Uniform random integer in `[0, n)`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_runtime::strfuncs::is_special_char;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Corpus::new(CorpusConfig::default());
+        let mut b = Corpus::new(CorpusConfig::default());
+        assert_eq!(a.paragraph(), b.paragraph());
+        assert_eq!(a.post_body(), b.post_body());
+    }
+
+    #[test]
+    fn special_density_controls_specials() {
+        let mut low = Corpus::new(CorpusConfig { special_density: 0.0, ..Default::default() });
+        let mut high = Corpus::new(CorpusConfig { special_density: 0.4, ..Default::default() });
+        let count = |s: &PhpStr| s.as_bytes().iter().filter(|&&b| is_special_char(b)).count();
+        let lp = low.paragraph();
+        let hp = high.paragraph();
+        // "." is regular in the paper's classification, so a 0-density
+        // paragraph has no specials at all.
+        assert_eq!(count(&lp), 0);
+        assert!(count(&hp) > 10);
+    }
+
+    #[test]
+    fn author_url_shares_prefix() {
+        let mut c = Corpus::new(CorpusConfig::default());
+        let a1 = c.author();
+        let a2 = c.author();
+        let u1 = c.author_url(&a1);
+        let u2 = c.author_url(&a2);
+        assert!(u1.to_string_lossy().starts_with("https://localhost/?author="));
+        assert_eq!(&u1.as_bytes()[..26], &u2.as_bytes()[..26]);
+    }
+
+    #[test]
+    fn wiki_markup_has_wiki_constructs() {
+        let mut c = Corpus::new(CorpusConfig { seed: 7, ..Default::default() });
+        let w = c.wiki_markup().to_string_lossy();
+        assert!(w.contains("=="));
+        assert!(w.contains("[[") || w.contains("'''"));
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut c = Corpus::new(CorpusConfig::default());
+        let mut counts = vec![0u32; 10];
+        for _ in 0..5000 {
+            counts[c.zipf_pick(10)] += 1;
+        }
+        assert!(counts[0] > counts[5] * 2, "{counts:?}");
+        assert!(counts[0] > counts[9] * 3, "{counts:?}");
+    }
+}

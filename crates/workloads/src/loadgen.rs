@@ -1,0 +1,95 @@
+//! Load generator.
+//!
+//! §5.1: "The load generator emulates load from a large pool of client
+//! clusters [...] It generates 300 warmup requests, then as many requests
+//! as possible in next one minute." Here time is simulated, so the measured
+//! phase is a fixed request count; warmup requests run with metrics
+//! suppressed and are discarded by a [`PhpMachine::reset_metrics`] before
+//! measurement begins.
+
+use phpaccel_core::PhpMachine;
+
+/// A server-side application under test.
+pub trait Workload {
+    /// Short identifier.
+    fn name(&self) -> &'static str;
+    /// Handles one request end-to-end (must call `end_request`).
+    fn handle_request(&mut self, m: &mut PhpMachine, req: u64);
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadGen {
+    /// Warmup requests (paper: 300; scaled down by default for test speed).
+    pub warmup: usize,
+    /// Measured requests.
+    pub measured: usize,
+    /// Inject an OS context switch every N requests (0 = never).
+    pub context_switch_every: usize,
+}
+
+impl Default for LoadGen {
+    fn default() -> Self {
+        LoadGen { warmup: 30, measured: 100, context_switch_every: 50 }
+    }
+}
+
+/// Summary of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Requests measured.
+    pub requests: usize,
+    /// Total µops in the measured phase.
+    pub total_uops: u64,
+    /// Accelerator cycles in the measured phase.
+    pub accel_cycles: u64,
+}
+
+impl LoadGen {
+    /// Runs `warmup + measured` requests of `app` on `machine`; metrics
+    /// cover only the measured phase.
+    pub fn run(&self, app: &mut dyn Workload, machine: &mut PhpMachine) -> RunSummary {
+        for r in 0..self.warmup {
+            app.handle_request(machine, r as u64);
+        }
+        machine.reset_metrics();
+        for r in 0..self.measured {
+            if self.context_switch_every > 0 && r > 0 && r % self.context_switch_every == 0 {
+                machine.context_switch();
+            }
+            app.handle_request(machine, (self.warmup + r) as u64);
+        }
+        RunSummary {
+            requests: self.measured,
+            total_uops: machine.ctx().profiler().total_uops(),
+            accel_cycles: machine.core().accel_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specweb::{SpecVariant, SpecWeb};
+
+    #[test]
+    fn warmup_excluded_from_metrics() {
+        let mut app = SpecWeb::new(SpecVariant::Banking);
+        let mut m = PhpMachine::baseline();
+        let lg = LoadGen { warmup: 10, measured: 5, context_switch_every: 0 };
+        let summary = lg.run(&mut app, &mut m);
+        assert_eq!(summary.requests, 5);
+        // ~5 requests worth of µops, not 15.
+        let per_request = summary.total_uops / 5;
+        assert!(summary.total_uops < per_request * 7, "warmup leaked into metrics");
+    }
+
+    #[test]
+    fn context_switches_fire() {
+        let mut app = SpecWeb::new(SpecVariant::Ecommerce);
+        let mut m = PhpMachine::specialized();
+        let lg = LoadGen { warmup: 0, measured: 10, context_switch_every: 3 };
+        lg.run(&mut app, &mut m);
+        assert!(m.core().context_switches >= 3);
+    }
+}

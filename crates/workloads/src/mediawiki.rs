@@ -1,0 +1,188 @@
+//! MediaWiki-like wiki workload.
+//!
+//! Wikitext parsing is regexp- and string-intensive: a cascade of markup
+//! regexps over the same article text, section splitting, title
+//! canonicalization, and link-table lookups. The paper reports MediaWiki
+//! getting modest regexp-accelerator benefit and solid string/heap benefit.
+
+use crate::corpus::{Corpus, CorpusConfig};
+use crate::loadgen::Workload;
+use crate::vmtail::VmTail;
+use php_runtime::array::ArrayKey;
+use php_runtime::string::PhpStr;
+use php_runtime::value::PhpValue;
+use phpaccel_core::PhpMachine;
+use regex_engine::Regex;
+
+/// The MediaWiki-like application.
+pub struct MediaWiki {
+    corpus: Corpus,
+    articles: Vec<PhpStr>,
+    titles: Vec<PhpStr>,
+    parse_rules: Vec<(Regex, Vec<u8>)>,
+    interwiki: Vec<(String, String)>,
+    parser_cache: Vec<Option<PhpStr>>,
+    tail: VmTail,
+}
+
+impl MediaWiki {
+    /// Builds the application.
+    pub fn new(seed: u64) -> Self {
+        let mut corpus = Corpus::new(CorpusConfig {
+            special_density: 0.04,
+            words_per_paragraph: 40,
+            paragraphs_per_post: 3,
+            seed,
+        });
+        let articles: Vec<PhpStr> = (0..25).map(|_| corpus.wiki_markup()).collect();
+        let titles: Vec<PhpStr> = (0..25).map(|_| corpus.title()).collect();
+        // The wikitext pipeline: all patterns seek special characters
+        // (brackets, quotes, '='), so shadows can skip sifted content.
+        let parse_rules = vec![
+            (Regex::new("'''").unwrap(), b"<b>".to_vec()),
+            (Regex::new("''").unwrap(), b"<i>".to_vec()),
+            (Regex::new("\\[\\[[a-z]+\\]\\]").unwrap(), b"<a>x</a>".to_vec()),
+            (Regex::new("== ").unwrap(), b"<h2>".to_vec()),
+            (Regex::new(" ==").unwrap(), b"</h2>".to_vec()),
+        ];
+        let interwiki =
+            (0..12).map(|i| (format!("wiki{i}"), format!("https://w{i}.example/"))).collect();
+        let parser_cache = vec![None; articles.len()];
+        MediaWiki {
+            corpus,
+            articles,
+            titles,
+            parse_rules,
+            interwiki,
+            parser_cache,
+            tail: VmTail { scale: 150, refcount_ops: 1300, type_checks: 800 },
+        }
+    }
+}
+
+impl Workload for MediaWiki {
+    fn name(&self) -> &'static str {
+        "mediawiki"
+    }
+
+    fn handle_request(&mut self, m: &mut PhpMachine, req: u64) {
+        let idx = self.corpus.zipf_pick(self.articles.len());
+        let article = self.articles[idx].clone();
+        let title = self.titles[idx].clone();
+
+        // 1. Title canonicalization: trim, case-fold, space→underscore.
+        let trimmed = m.trim(&title);
+        let lowered = m.strtolower(&trimmed);
+        let (canonical, _) = m.str_replace(b" ", b"_", &lowered);
+        let _v = m.transient_str(canonical.clone());
+
+        // 2. Page-cache and interwiki lookups.
+        let mut page_cache = m.new_array();
+        m.array_set(
+            &mut page_cache,
+            ArrayKey::from(format!("page:{}", canonical.to_string_lossy())),
+            PhpValue::from(idx as i64),
+        );
+        let mut iw = m.new_array();
+        for (k, v) in &self.interwiki {
+            m.array_set(&mut iw, ArrayKey::from(k.as_str()), PhpValue::from(v.as_str()));
+        }
+        for _pass in 0..2 {
+            for (k, _) in self.interwiki.iter().take(10) {
+                m.array_get(&iw, &ArrayKey::from(k.as_str()));
+            }
+        }
+
+        // 3. Section split: explode on newlines, scan for heading markers.
+        let sections = m.explode(b"\n", &article);
+        let mut heading_count = 0;
+        for s in &sections {
+            if m.strpos(s, b"==", 0).is_some() {
+                heading_count += 1;
+            }
+        }
+        let _ = heading_count;
+
+        // 4. The wikitext regexp cascade — through the parser cache, as in
+        //    production MediaWiki (full parse only on a cache miss or on
+        //    periodic invalidation).
+        let html = match (&self.parser_cache[idx], req % 32 == 0) {
+            (Some(cached), false) => cached.clone(),
+            _ => {
+                let parsed = m.texturize(&article, &self.parse_rules);
+                self.parser_cache[idx] = Some(parsed.clone());
+                parsed
+            }
+        };
+
+        // 5. Escape and assemble the skin: repeated small allocations.
+        let escaped = m.htmlspecialchars(&html);
+        for chunk in escaped.as_bytes().chunks(96).take(24) {
+            let piece = PhpStr::from_bytes(chunk.to_vec());
+            let _v = m.transient_str(piece);
+        }
+        let joined = m.implode(b"\n", &sections[..sections.len().min(8)]);
+        let _v = m.transient_str(joined);
+
+        // 6. Parser-object churn: token and node objects recycled heavily.
+        for i in 0..20u64 {
+            let b = m.alloc(16 + (i as usize % 8) * 16);
+            m.free(b);
+        }
+
+        // The VM tail (skin rendering plumbing, localisation, hooks).
+        self.tail.charge(m);
+
+        m.array_free(&iw);
+        m.array_free(&page_cache);
+        m.end_request();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_runtime::Category;
+
+    #[test]
+    fn string_and_regex_heavy() {
+        let mut app = MediaWiki::new(1);
+        let mut m = PhpMachine::baseline();
+        for r in 0..3 {
+            app.handle_request(&mut m, r);
+        }
+        let cats = m.ctx().profiler().category_breakdown();
+        assert!(cats[&Category::String] > 0);
+        assert!(cats[&Category::Regex] > 0);
+        assert!(
+            cats[&Category::String] + cats[&Category::Regex] > cats[&Category::HashMap],
+            "wikitext parsing dominates hash traffic"
+        );
+    }
+
+    #[test]
+    fn sifting_skips_wiki_content() {
+        let mut app = MediaWiki::new(2);
+        let mut m = PhpMachine::specialized();
+        for r in 0..3 {
+            app.handle_request(&mut m, r);
+        }
+        let stats = m.core().regex_stats;
+        assert!(stats.sieve_calls > 0);
+        assert!(stats.shadow_calls > 0);
+        assert!(stats.bytes_skipped_sift > 0);
+    }
+
+    #[test]
+    fn outputs_agree_between_modes() {
+        let mut a1 = MediaWiki::new(3);
+        let mut a2 = MediaWiki::new(3);
+        let mut base = PhpMachine::baseline();
+        let mut spec = PhpMachine::specialized();
+        a1.handle_request(&mut base, 0);
+        a2.handle_request(&mut spec, 0);
+        // Same request stream, both complete without leaks.
+        assert_eq!(base.ctx().with_allocator(|a| a.live_block_count()), 0);
+        assert_eq!(spec.ctx().with_allocator(|a| a.live_block_count()), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Application registry and per-app microarchitectural profiles.
+
+use crate::drupal::Drupal;
+use crate::loadgen::Workload;
+use crate::mediawiki::MediaWiki;
+use crate::specweb::{SpecVariant, SpecWeb};
+use crate::wordpress::WordPress;
+use uarch_sim::TraceProfile;
+
+/// The applications of the evaluation (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// WordPress-like blog platform.
+    WordPress,
+    /// Drupal-like CMS/forum.
+    Drupal,
+    /// MediaWiki-like wiki.
+    MediaWiki,
+    /// SPECWeb2005 banking (Figure 1 contrast).
+    SpecWebBanking,
+    /// SPECWeb2005 e-commerce (Figure 1 contrast).
+    SpecWebEcommerce,
+}
+
+impl AppKind {
+    /// The three real-world PHP applications.
+    pub const PHP_APPS: [AppKind; 3] = [AppKind::WordPress, AppKind::Drupal, AppKind::MediaWiki];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppKind::WordPress => "WordPress",
+            AppKind::Drupal => "Drupal",
+            AppKind::MediaWiki => "MediaWiki",
+            AppKind::SpecWebBanking => "SPECWeb-banking",
+            AppKind::SpecWebEcommerce => "SPECWeb-ecommerce",
+        }
+    }
+
+    /// Builds the workload.
+    pub fn build(self, seed: u64) -> Box<dyn Workload> {
+        match self {
+            AppKind::WordPress => Box::new(WordPress::new(seed)),
+            AppKind::Drupal => Box::new(Drupal::new(seed)),
+            AppKind::MediaWiki => Box::new(MediaWiki::new(seed)),
+            AppKind::SpecWebBanking => Box::new(SpecWeb::new(SpecVariant::Banking)),
+            AppKind::SpecWebEcommerce => Box::new(SpecWeb::new(SpecVariant::Ecommerce)),
+        }
+    }
+
+    /// The synthetic instruction-trace profile used by the §2 µarch
+    /// experiments (Figure 2) for this application.
+    pub fn trace_profile(self, seed: u64) -> TraceProfile {
+        match self {
+            AppKind::WordPress => TraceProfile::php_app(seed),
+            // Same family, slightly different pressure points.
+            AppKind::Drupal => {
+                let mut p = TraceProfile::php_app(seed ^ 0xD0);
+                p.functions = 460;
+                p.data_dep_branch_fraction = 0.33;
+                p
+            }
+            AppKind::MediaWiki => {
+                let mut p = TraceProfile::php_app(seed ^ 0x3E);
+                p.functions = 420;
+                p.data_dep_branch_fraction = 0.35;
+                p
+            }
+            AppKind::SpecWebBanking | AppKind::SpecWebEcommerce => TraceProfile::specweb(seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all() {
+        for kind in [
+            AppKind::WordPress,
+            AppKind::Drupal,
+            AppKind::MediaWiki,
+            AppKind::SpecWebBanking,
+            AppKind::SpecWebEcommerce,
+        ] {
+            let w = kind.build(1);
+            assert!(!w.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(AppKind::PHP_APPS.len(), 3);
+    }
+}

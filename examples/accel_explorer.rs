@@ -1,0 +1,55 @@
+//! Design-space explorer: sweep accelerator parameters and print how the
+//! headline improvement responds — hash-table size, heap free-list depth,
+//! string-block width, sifting segment size.
+//!
+//! ```sh
+//! cargo run --release --example accel_explorer
+//! ```
+
+use phpaccel::core::{compare, ExecMode, MachineConfig, PhpMachine};
+use phpaccel::htable::HtConfig;
+use phpaccel::uarch::EnergyModel;
+use phpaccel::workloads::{AppKind, LoadGen};
+
+fn improvement(cfg: MachineConfig) -> f64 {
+    let lg = LoadGen { warmup: 15, measured: 40, context_switch_every: 0 };
+    let mut base_app = AppKind::WordPress.build(3);
+    let mut spec_app = AppKind::WordPress.build(3);
+    let mut base = PhpMachine::new(ExecMode::Baseline, cfg.clone());
+    let mut spec = PhpMachine::new(ExecMode::Specialized, cfg);
+    lg.run(base_app.as_mut(), &mut base);
+    lg.run(spec_app.as_mut(), &mut spec);
+    compare("wp", &base, &spec, &EnergyModel::default()).improvement_over_priors()
+}
+
+fn main() {
+    println!("WordPress improvement over the +priors machine, by design point\n");
+
+    println!("hash table entries (paper default 512):");
+    for entries in [16usize, 64, 256, 512, 1024] {
+        let mut cfg = MachineConfig::default();
+        cfg.htable = HtConfig { entries, probe_width: 4, ..HtConfig::default() };
+        println!("  {entries:>5} entries: {:.2}%", improvement(cfg) * 100.0);
+    }
+
+    println!("\nheap free-list depth (paper default 32):");
+    for depth in [4usize, 8, 16, 32, 64] {
+        let mut cfg = MachineConfig::default();
+        cfg.heap.freelist_entries = depth;
+        println!("  {depth:>5} entries: {:.2}%", improvement(cfg) * 100.0);
+    }
+
+    println!("\nstring accelerator block width (paper default 64 B / 3 cycles):");
+    for width in [16usize, 32, 64] {
+        let mut cfg = MachineConfig::default();
+        cfg.straccel.block_width = width;
+        println!("  {width:>5} bytes : {:.2}%", improvement(cfg) * 100.0);
+    }
+
+    println!("\nsifting segment size (default 32 B):");
+    for seg in [16usize, 32, 64] {
+        let mut cfg = MachineConfig::default();
+        cfg.segment_size = seg;
+        println!("  {seg:>5} bytes : {:.2}%", improvement(cfg) * 100.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the same WordPress-like request stream on the software
+//! baseline and on the specialized core, and print the paper's headline
+//! comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use phpaccel::core::{compare, ExecMode, MachineConfig, PhpMachine};
+use phpaccel::uarch::EnergyModel;
+use phpaccel::workloads::{AppKind, LoadGen};
+
+fn main() {
+    let lg = LoadGen { warmup: 20, measured: 60, context_switch_every: 25 };
+    let cfg = MachineConfig::default();
+
+    let run = |mode: ExecMode| {
+        let mut app = AppKind::WordPress.build(7);
+        let mut machine = PhpMachine::new(mode, cfg.clone());
+        lg.run(app.as_mut(), &mut machine);
+        machine
+    };
+
+    println!("running WordPress-like workload ({} requests)...", lg.measured);
+    let baseline = run(ExecMode::Baseline);
+    let specialized = run(ExecMode::Specialized);
+
+    let cmp = compare("WordPress", &baseline, &specialized, &EnergyModel::default());
+    println!("\nnormalized execution time (baseline = 1.0):");
+    println!("  + prior optimizations : {:.4}", cmp.normalized_priors());
+    println!("  + specialized core    : {:.4}", cmp.normalized_specialized());
+    println!(
+        "  improvement over priors: {:.2}%  (paper: 17.93% average)",
+        cmp.improvement_over_priors() * 100.0
+    );
+    println!("  energy saving          : {:.2}%  (paper: 21.01% average)", cmp.energy_saving * 100.0);
+
+    let core = specialized.core();
+    println!("\naccelerator activity:");
+    println!(
+        "  hash table : {} GETs, {} SETs, hit rate {:.1}%",
+        core.htable.stats().gets,
+        core.htable.stats().sets,
+        core.htable.stats().hit_rate() * 100.0
+    );
+    println!(
+        "  heap mgr   : {} mallocs, hit rate {:.1}%",
+        core.heap.stats().mallocs,
+        core.heap.stats().hit_rate() * 100.0
+    );
+    println!(
+        "  string unit: {} ops, {:.1} bytes/cycle",
+        core.straccel.stats().ops,
+        core.straccel.stats().bytes_per_cycle()
+    );
+    println!(
+        "  regexp     : {:.1}% of content skipped (sift+reuse)",
+        core.regex_stats.skip_fraction() * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Drive the MediaWiki-like workload and show the content-sifting and
+//! content-reuse machinery at work (§4.5).
+//!
+//! ```sh
+//! cargo run --release --example wiki_render
+//! ```
+
+use phpaccel::core::PhpMachine;
+use phpaccel::regex::Regex;
+use phpaccel::regexaccel::{regexp_shadow, regexp_sieve, ShadowMode};
+use phpaccel::runtime::string::PhpStr;
+use phpaccel::straccel::StringAccel;
+use phpaccel::workloads::{AppKind, LoadGen};
+
+fn main() {
+    // 1. The mechanism, step by step, on a small article.
+    let article = PhpStr::from(
+        "plain words fill most of the article body here and continue for a while \
+         until a '''bold''' claim and a [[link]] appear and then more plain words \
+         carry on to the end of the text without any markup at all",
+    );
+    let sieve_re = Regex::new("'''").unwrap();
+    let shadow_re = Regex::new("\\[\\[[a-z]+\\]\\]").unwrap();
+    let mut straccel = StringAccel::default();
+
+    let sieve = regexp_sieve(&sieve_re, article.as_bytes(), 32, &mut straccel);
+    println!(
+        "sieve: {} matches; HV: {}/{} segments dirty",
+        sieve.matches.len(),
+        sieve.hv.dirty_count(),
+        sieve.hv.segments()
+    );
+    let shadow = regexp_shadow(&shadow_re, article.as_bytes(), &sieve.hv);
+    match shadow.mode {
+        ShadowMode::Skipping { lookback } => println!(
+            "shadow: skipped {} of {} bytes (lookback {}), found {} match(es)",
+            shadow.bytes_skipped,
+            article.len(),
+            lookback,
+            shadow.matches.len()
+        ),
+        other => println!("shadow fell back: {other:?}"),
+    }
+
+    // 2. The full wiki workload on the specialized machine.
+    let mut app = AppKind::MediaWiki.build(11);
+    let mut machine = PhpMachine::specialized();
+    let lg = LoadGen { warmup: 10, measured: 40, context_switch_every: 0 };
+    lg.run(app.as_mut(), &mut machine);
+    let stats = machine.core().regex_stats;
+    println!("\nMediaWiki-like workload, {} measured requests:", 40);
+    println!("  sieve passes     : {}", stats.sieve_calls);
+    println!("  shadow passes    : {} ({} skipping)", stats.shadow_calls, stats.shadow_skipping);
+    println!(
+        "  content skipped  : {:.1}% of {} bytes offered to regexps",
+        stats.skip_fraction() * 100.0,
+        stats.bytes_total
+    );
+    println!(
+        "  reuse table      : {} hits / {} lookups",
+        machine.core().reuse.stats().hits,
+        machine.core().reuse.stats().lookups
+    );
+}

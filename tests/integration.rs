@@ -1,0 +1,172 @@
+//! Cross-crate integration tests: full workloads through the runtime,
+//! interpreter, accelerators, and accounting.
+
+use phpaccel::core::{compare, ExecMode, MachineConfig, PhpMachine};
+use phpaccel::interp::Interp;
+use phpaccel::runtime::array::ArrayKey;
+use phpaccel::runtime::value::PhpValue;
+use phpaccel::runtime::Category;
+use phpaccel::uarch::EnergyModel;
+use phpaccel::workloads::{AppKind, LoadGen};
+
+fn small_load() -> LoadGen {
+    LoadGen { warmup: 6, measured: 18, context_switch_every: 7 }
+}
+
+#[test]
+fn every_app_runs_in_both_modes_without_leaks() {
+    for kind in [
+        AppKind::WordPress,
+        AppKind::Drupal,
+        AppKind::MediaWiki,
+        AppKind::SpecWebBanking,
+        AppKind::SpecWebEcommerce,
+    ] {
+        for mode in [ExecMode::Baseline, ExecMode::Specialized] {
+            let mut app = kind.build(9);
+            let mut m = PhpMachine::new(mode, MachineConfig::default());
+            let summary = small_load().run(app.as_mut(), &mut m);
+            assert!(summary.total_uops > 0, "{kind:?} {mode:?} did no work");
+            let live = m.ctx().with_allocator(|a| a.live_block_count());
+            assert_eq!(live, 0, "{kind:?} {mode:?} leaked {live} blocks");
+        }
+    }
+}
+
+#[test]
+fn figure14_ordering_holds_for_all_apps() {
+    let energy = EnergyModel::default();
+    let mut improvements = Vec::new();
+    for kind in AppKind::PHP_APPS {
+        let cfg = MachineConfig::default();
+        let mut base_app = kind.build(5);
+        let mut spec_app = kind.build(5);
+        let mut base = PhpMachine::new(ExecMode::Baseline, cfg.clone());
+        let mut spec = PhpMachine::new(ExecMode::Specialized, cfg);
+        small_load().run(base_app.as_mut(), &mut base);
+        small_load().run(spec_app.as_mut(), &mut spec);
+        let cmp = compare(kind.label(), &base, &spec, &energy);
+        assert!(cmp.normalized_priors() < 1.0, "{kind:?}: priors should help");
+        assert!(
+            cmp.normalized_specialized() < cmp.normalized_priors(),
+            "{kind:?}: accelerators should help beyond priors"
+        );
+        assert!(cmp.energy_saving > 0.0, "{kind:?}: energy should drop");
+        improvements.push((kind, cmp.improvement_over_priors()));
+    }
+    // Drupal benefits least (paper Figure 14).
+    let drupal = improvements.iter().find(|(k, _)| *k == AppKind::Drupal).unwrap().1;
+    assert!(
+        improvements.iter().all(|&(_, v)| drupal <= v + 1e-9),
+        "Drupal should benefit least: {improvements:?}"
+    );
+}
+
+#[test]
+fn specialized_outputs_match_baseline_through_interpreter() {
+    let script = r#"
+        function summarize($post) {
+            $s = strtoupper(substr($post['body'], 0, 20));
+            $count = 0;
+            foreach ($post['tags'] as $t) { $count = $count + 1; }
+            return $s . '|' . $count . '|' . htmlspecialchars($post['title']);
+        }
+        $post = array(
+            'title' => 'A & B <test>',
+            'body' => "it's a long body with plenty of words in it",
+            'tags' => array('x', 'y', 'z'),
+        );
+        echo summarize($post);
+        echo preg_replace('/o/', '0', 'foo boo');
+    "#;
+    let run = |mut m: PhpMachine| {
+        let mut i = Interp::new(&mut m);
+        i.run(script).unwrap();
+        String::from_utf8_lossy(i.output()).into_owned()
+    };
+    let b = run(PhpMachine::baseline());
+    let s = run(PhpMachine::specialized());
+    assert_eq!(b, s);
+    assert!(b.contains("A &amp; B &lt;test&gt;"));
+    assert!(b.contains("f00 b00"));
+}
+
+#[test]
+fn context_switches_preserve_correctness() {
+    let mut m = PhpMachine::specialized();
+    let mut arr = m.new_array();
+    for i in 0..30 {
+        m.array_set(&mut arr, ArrayKey::from(format!("k{i}")), PhpValue::from(i as i64));
+    }
+    let blocks: Vec<_> = (0..10).map(|_| m.alloc(64)).collect();
+    m.context_switch();
+    // All data still reachable afterwards.
+    for i in 0..30 {
+        let v = m.array_get(&arr, &ArrayKey::from(format!("k{i}"))).unwrap();
+        assert!(v.loose_eq(&PhpValue::from(i as i64)));
+    }
+    for b in blocks {
+        m.free(b);
+    }
+    m.end_request();
+    assert_eq!(m.ctx().with_allocator(|a| a.live_block_count()), 0);
+}
+
+#[test]
+fn profiler_categories_cover_the_paper_inventory() {
+    let mut app = AppKind::WordPress.build(4);
+    let mut m = PhpMachine::baseline();
+    small_load().run(app.as_mut(), &mut m);
+    let cats = m.ctx().profiler().category_breakdown();
+    for cat in Category::ALL {
+        assert!(cats.get(&cat).copied().unwrap_or(0) > 0, "category {cat:?} unexercised");
+    }
+}
+
+#[test]
+fn flat_profile_property_of_php_apps() {
+    let mut app = AppKind::MediaWiki.build(8);
+    let mut m = PhpMachine::baseline();
+    LoadGen { warmup: 5, measured: 30, context_switch_every: 0 }.run(app.as_mut(), &mut m);
+    let prof = m.ctx().profiler();
+    assert!(prof.function_count() > 120, "flat profile needs many leaves");
+    assert!(prof.cumulative_share(1) < 0.35, "hottest fn bounded");
+    assert!(prof.cumulative_share(100) > 0.60, "100 fns majority");
+}
+
+#[test]
+fn accelerator_statistics_are_consistent() {
+    let mut app = AppKind::WordPress.build(6);
+    let mut m = PhpMachine::specialized();
+    small_load().run(app.as_mut(), &mut m);
+    let ht = m.core().htable.stats();
+    assert!(ht.get_hits <= ht.gets);
+    assert!(ht.set_hits + ht.set_inserts <= ht.sets);
+    assert!(ht.hit_rate() <= 1.0 && ht.hit_rate() >= 0.0);
+    let heap = m.core().heap.stats();
+    assert_eq!(heap.mallocs, heap.malloc_hits + heap.malloc_misses);
+    assert_eq!(heap.frees, heap.free_hits + heap.free_spills);
+    let s = m.core().straccel.stats();
+    assert!(s.bytes >= s.blocks, "blocks process at least a byte each");
+    let r = m.core().regex_stats;
+    assert!(r.bytes_scanned + r.bytes_skipped_sift <= r.bytes_total + r.bytes_scanned);
+}
+
+#[test]
+fn machine_config_knobs_are_respected() {
+    let mut cfg = MachineConfig::default();
+    cfg.htable.entries = 16;
+    cfg.heap.freelist_entries = 4;
+    let mut m = PhpMachine::new(ExecMode::Specialized, cfg);
+    let mut arr = m.new_array();
+    for i in 0..100 {
+        m.array_set(&mut arr, ArrayKey::from(format!("key{i}")), PhpValue::from(i as i64));
+    }
+    // Tiny table: dirty evictions must have happened.
+    assert!(m.core().htable.stats().evict_dirty > 0);
+    for _ in 0..20 {
+        let b = m.alloc(32);
+        m.free(b);
+    }
+    m.end_request();
+}
