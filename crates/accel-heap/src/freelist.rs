@@ -20,7 +20,12 @@ impl HwFreeList {
     /// Creates a free list with `capacity` entries (paper default: 32).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        HwFreeList { slots: vec![0; capacity], head: 0, len: 0, capacity }
+        HwFreeList {
+            slots: vec![0; capacity],
+            head: 0,
+            len: 0,
+            capacity,
+        }
     }
 
     /// Entries currently held.

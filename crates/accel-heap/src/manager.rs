@@ -147,7 +147,9 @@ impl HwHeapManager {
     pub fn new(cfg: HeapConfig) -> Self {
         HwHeapManager {
             cfg,
-            lists: (0..HW_CLASS_COUNT).map(|_| HwFreeList::new(cfg.freelist_entries)).collect(),
+            lists: (0..HW_CLASS_COUNT)
+                .map(|_| HwFreeList::new(cfg.freelist_entries))
+                .collect(),
             prefetcher: Prefetcher::new(cfg.prefetch),
             stats: HeapStats::default(),
             now: 0,
@@ -189,7 +191,12 @@ impl HwHeapManager {
             prof.record(
                 "hm_eager_memory_update",
                 Category::Heap,
-                OpCost { uops: EAGER_UPDATE_UOPS, branches: 1, loads: 1, stores: 2 },
+                OpCost {
+                    uops: EAGER_UPDATE_UOPS,
+                    branches: 1,
+                    loads: 1,
+                    stores: 2,
+                },
             );
         }
     }
@@ -257,7 +264,12 @@ impl HwHeapManager {
             prof.record(
                 "hm_overflow_spill",
                 Category::Heap,
-                OpCost { uops: OVERFLOW_STORE_UOPS, branches: 1, loads: 1, stores: 1 },
+                OpCost {
+                    uops: OVERFLOW_STORE_UOPS,
+                    branches: 1,
+                    loads: 1,
+                    stores: 1,
+                },
             );
             alloc.return_segment(sw_class_for(class), addr);
             FreeOutcome::Spilled
@@ -301,7 +313,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (HwHeapManager, SlabAllocator, Profiler) {
-        (HwHeapManager::default(), SlabAllocator::new(), Profiler::new())
+        (
+            HwHeapManager::default(),
+            SlabAllocator::new(),
+            Profiler::new(),
+        )
     }
 
     #[test]
@@ -321,7 +337,10 @@ mod tests {
     fn too_large_goes_software() {
         let (mut hm, mut alloc, prof) = setup();
         assert_eq!(hm.hmmalloc(129, &mut alloc, &prof), MallocOutcome::TooLarge);
-        assert_eq!(hm.hmfree(0x1000, 4096, &mut alloc, &prof), FreeOutcome::TooLarge);
+        assert_eq!(
+            hm.hmfree(0x1000, 4096, &mut alloc, &prof),
+            FreeOutcome::TooLarge
+        );
         assert_eq!(hm.stats().too_large, 2);
     }
 
@@ -336,15 +355,20 @@ mod tests {
             hm.hmfree(a, 32, &mut alloc, &prof);
             hm.hmfree(b, 64, &mut alloc, &prof);
         }
-        assert!(hm.stats().hit_rate() > 0.95, "hit rate {}", hm.stats().hit_rate());
+        assert!(
+            hm.stats().hit_rate() > 0.95,
+            "hit rate {}",
+            hm.stats().hit_rate()
+        );
     }
 
     #[test]
     fn free_list_overflow_spills_to_software() {
         let (mut hm, mut alloc, prof) = setup();
         // Free 40 blocks of one class without allocating: 32 fit, rest spill.
-        let blocks: Vec<u64> =
-            (0..40).map(|_| alloc.carve_for_hardware(0, &prof)).collect();
+        let blocks: Vec<u64> = (0..40)
+            .map(|_| alloc.carve_for_hardware(0, &prof))
+            .collect();
         for &addr in &blocks {
             alloc.note_hardware_alloc(0, addr, 16);
         }
@@ -386,21 +410,31 @@ mod tests {
         // Subsequent operations land the prefetches; hit rate recovers.
         let mut hits = 0;
         for _ in 0..20 {
-            if matches!(hm.hmmalloc(16, &mut alloc, &prof), MallocOutcome::Hit { .. }) {
+            if matches!(
+                hm.hmmalloc(16, &mut alloc, &prof),
+                MallocOutcome::Hit { .. }
+            ) {
                 hits += 1;
             }
         }
-        assert!(hits > 10, "prefetcher should convert misses to hits, got {hits}");
+        assert!(
+            hits > 10,
+            "prefetcher should convert misses to hits, got {hits}"
+        );
         let (issued, landed, _) = hm.prefetch_counters();
         assert!(issued > 0 && landed > 0);
     }
 
     #[test]
     fn eager_policy_charges_update_cost() {
-        let mut lazy_cfg = HeapConfig::default();
-        lazy_cfg.update_policy = UpdatePolicy::Lazy;
-        let mut eager_cfg = HeapConfig::default();
-        eager_cfg.update_policy = UpdatePolicy::Eager;
+        let lazy_cfg = HeapConfig {
+            update_policy: UpdatePolicy::Lazy,
+            ..HeapConfig::default()
+        };
+        let eager_cfg = HeapConfig {
+            update_policy: UpdatePolicy::Eager,
+            ..HeapConfig::default()
+        };
 
         let run = |cfg: HeapConfig| {
             let mut hm = HwHeapManager::new(cfg);
@@ -412,7 +446,10 @@ mod tests {
             }
             prof.total_uops()
         };
-        assert!(run(eager_cfg) > run(lazy_cfg), "eager updates must cost more");
+        assert!(
+            run(eager_cfg) > run(lazy_cfg),
+            "eager updates must cost more"
+        );
     }
 
     #[test]
@@ -420,7 +457,10 @@ mod tests {
         let (mut hm, mut alloc, prof) = setup();
         let mut live = Vec::new();
         for i in 0..100 {
-            live.push((hm.hmmalloc(16 + i % 112, &mut alloc, &prof).addr().unwrap(), 16 + i % 112));
+            live.push((
+                hm.hmmalloc(16 + i % 112, &mut alloc, &prof).addr().unwrap(),
+                16 + i % 112,
+            ));
         }
         for (addr, size) in live {
             hm.hmfree(addr, size, &mut alloc, &prof);

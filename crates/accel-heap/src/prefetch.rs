@@ -39,7 +39,12 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { low_watermark: 8, high_watermark: 24, latency_ops: 4, max_inflight: 16 }
+        PrefetchConfig {
+            low_watermark: 8,
+            high_watermark: 24,
+            latency_ops: 4,
+            max_inflight: 16,
+        }
     }
 }
 
@@ -59,7 +64,14 @@ pub struct Prefetcher {
 impl Prefetcher {
     /// Creates a prefetcher.
     pub fn new(cfg: PrefetchConfig) -> Self {
-        Prefetcher { cfg, inflight: Vec::new(), issued: 0, landed: 0, dry_misses: 0, enabled: true }
+        Prefetcher {
+            cfg,
+            inflight: Vec::new(),
+            issued: 0,
+            landed: 0,
+            dry_misses: 0,
+            enabled: true,
+        }
     }
 
     /// Enables/disables prefetching (ablation hook).
@@ -170,7 +182,10 @@ mod tests {
 
     #[test]
     fn steals_from_software_free_list() {
-        let mut pf = Prefetcher::new(PrefetchConfig { latency_ops: 2, ..Default::default() });
+        let mut pf = Prefetcher::new(PrefetchConfig {
+            latency_ops: 2,
+            ..Default::default()
+        });
         let mut alloc = SlabAllocator::new();
         let prof = Profiler::new();
         // Populate the software free list for 16B class.
@@ -200,7 +215,10 @@ mod tests {
 
     #[test]
     fn inflight_bounded() {
-        let mut pf = Prefetcher::new(PrefetchConfig { max_inflight: 4, ..Default::default() });
+        let mut pf = Prefetcher::new(PrefetchConfig {
+            max_inflight: 4,
+            ..Default::default()
+        });
         let mut alloc = SlabAllocator::new();
         let prof = Profiler::new();
         let blocks: Vec<_> = (0..50).map(|_| alloc.malloc(16, &prof)).collect();

@@ -26,7 +26,10 @@ impl SmallKey {
         }
         let mut bytes = [0u8; MAX_KEY_BYTES];
         bytes[..key.len()].copy_from_slice(key);
-        Some(SmallKey { bytes, len: key.len() as u8 })
+        Some(SmallKey {
+            bytes,
+            len: key.len() as u8,
+        })
     }
 
     /// The key bytes.
@@ -47,7 +50,11 @@ impl SmallKey {
 
 impl fmt::Debug for SmallKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SmallKey({:?})", String::from_utf8_lossy(self.as_bytes()))
+        write!(
+            f,
+            "SmallKey({:?})",
+            String::from_utf8_lossy(self.as_bytes())
+        )
     }
 }
 

@@ -25,4 +25,6 @@ pub mod table;
 pub use entry::{Entry, SmallKey, MAX_KEY_BYTES};
 pub use rtt::{OrderReplay, Rtt};
 pub use stats::HtStats;
-pub use table::{Eviction, ForeachOutcome, GetOutcome, HtConfig, HwHashTable, SetOutcome};
+pub use table::{
+    Eviction, ForeachOutcome, GetOutcome, HtConfig, HwHashTable, KeyShapeHint, SetOutcome,
+};

@@ -39,7 +39,12 @@ struct RttEntry {
 
 impl RttEntry {
     fn new(capacity: usize) -> Self {
-        RttEntry { slots: vec![Slot::Empty; capacity], write_ptr: 0, next_seq: 0, order_lost: false }
+        RttEntry {
+            slots: vec![Slot::Empty; capacity],
+            write_ptr: 0,
+            next_seq: 0,
+            order_lost: false,
+        }
     }
 }
 
@@ -74,7 +79,11 @@ impl Rtt {
     /// back pointers each.
     pub fn new(capacity: usize, slots_per_entry: usize) -> Self {
         assert!(capacity > 0 && slots_per_entry > 0);
-        Rtt { entries: HashMap::new(), slots_per_entry, capacity }
+        Rtt {
+            entries: HashMap::new(),
+            slots_per_entry,
+            capacity,
+        }
     }
 
     /// Whether a map is currently tracked.
@@ -106,7 +115,10 @@ impl Rtt {
             displaced = Some(victim);
         }
         let slots = self.slots_per_entry;
-        let e = self.entries.entry(base).or_insert_with(|| RttEntry::new(slots));
+        let e = self
+            .entries
+            .entry(base)
+            .or_insert_with(|| RttEntry::new(slots));
         let seq = e.next_seq;
         e.next_seq += 1;
         let pos = e.write_ptr;
@@ -154,7 +166,12 @@ impl Rtt {
     /// Replays insertion order for a `foreach` of map `base`.
     pub fn replay_order(&self, base: u64) -> OrderReplay {
         match self.entries.get(&base) {
-            None => OrderReplay { live_in_order: Vec::new(), evicted: 0, live_seqs: Vec::new(), order_lost: false },
+            None => OrderReplay {
+                live_in_order: Vec::new(),
+                evicted: 0,
+                live_seqs: Vec::new(),
+                order_lost: false,
+            },
             Some(e) => {
                 let mut live: Vec<(u64, u32)> = Vec::new();
                 let mut evicted = 0;

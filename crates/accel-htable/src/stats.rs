@@ -44,6 +44,12 @@ pub struct HtStats {
     pub coherence_flushes: u64,
     /// Accelerator cycles consumed.
     pub accel_cycles: u64,
+    /// Accesses that skipped the hash stage (constant key, hash precomputed
+    /// at specialization time).
+    pub hinted_hash_skips: u64,
+    /// SETs that skipped the existence probe (integer-append key, proven
+    /// fresh by static analysis).
+    pub hinted_append_inserts: u64,
 }
 
 impl HtStats {
@@ -83,7 +89,12 @@ mod tests {
 
     #[test]
     fn hit_rate_counts_sets_as_hits() {
-        let s = HtStats { gets: 80, get_hits: 60, sets: 20, ..Default::default() };
+        let s = HtStats {
+            gets: 80,
+            get_hits: 60,
+            sets: 20,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.8).abs() < 1e-12);
         assert!((s.get_hit_rate() - 0.75).abs() < 1e-12);
         assert!((s.set_share() - 0.2).abs() < 1e-12);

@@ -26,8 +26,29 @@ pub struct HtConfig {
 
 impl Default for HtConfig {
     fn default() -> Self {
-        HtConfig { entries: 512, probe_width: 4, rtt_maps: 128, rtt_slots: 64 }
+        HtConfig {
+            entries: 512,
+            probe_width: 4,
+            rtt_maps: 128,
+            rtt_slots: 64,
+        }
     }
+}
+
+/// Static key-shape hint supplied by ahead-of-time analysis (the
+/// `php-analysis` crate). The hint never changes *what* an access returns —
+/// only which pipeline stages the hardware can skip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum KeyShapeHint {
+    /// Key is a compile-time string constant: its hash was precomputed at
+    /// specialization time, so the hash stage is skipped.
+    ConstStr,
+    /// Key is the array's next integer key (`$a[] = v` append): provably
+    /// fresh, so the existence probe on SET is skipped.
+    IntAppend,
+    /// No static information; full hash + probe.
+    #[default]
+    Unknown,
 }
 
 /// Result of a GET request.
@@ -111,7 +132,10 @@ impl HwHashTable {
     /// Panics if `entries` is not a power of two or `probe_width` is 0 or
     /// exceeds `entries`.
     pub fn new(cfg: HtConfig) -> Self {
-        assert!(cfg.entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
         assert!(cfg.probe_width >= 1 && cfg.probe_width <= cfg.entries);
         HwHashTable {
             cfg,
@@ -157,12 +181,24 @@ impl HwHashTable {
 
     /// GET request (`hashtableget`).
     pub fn get(&mut self, base: u64, key: &[u8]) -> GetOutcome {
+        self.get_hinted(base, key, KeyShapeHint::Unknown)
+    }
+
+    /// GET with a static key-shape hint: a `ConstStr` key skips the hash
+    /// stage (its hash was folded in at specialization time). Results are
+    /// identical to [`HwHashTable::get`]; only the cycle charge differs.
+    pub fn get_hinted(&mut self, base: u64, key: &[u8], hint: KeyShapeHint) -> GetOutcome {
         if key.len() > MAX_KEY_BYTES {
             self.stats.key_too_long += 1;
             return GetOutcome::Unsupported;
         }
         self.stats.gets += 1;
-        self.stats.accel_cycles += HASH_CYCLES + PROBE_CYCLES;
+        if hint == KeyShapeHint::ConstStr {
+            self.stats.hinted_hash_skips += 1;
+            self.stats.accel_cycles += PROBE_CYCLES;
+        } else {
+            self.stats.accel_cycles += HASH_CYCLES + PROBE_CYCLES;
+        }
         let key = SmallKey::new(key).expect("length checked");
         match self.probe(base, &key) {
             Some(idx) => {
@@ -170,7 +206,9 @@ impl HwHashTable {
                 let now = self.tick();
                 let e = &mut self.entries[idx];
                 e.last_access = now;
-                GetOutcome::Hit { value_ptr: e.value_ptr }
+                GetOutcome::Hit {
+                    value_ptr: e.value_ptr,
+                }
             }
             None => GetOutcome::Miss,
         }
@@ -192,22 +230,47 @@ impl HwHashTable {
     /// SET request (`hashtableset`). Never misses: an absent key is inserted
     /// dirty; memory is only updated lazily (write-back policy).
     pub fn set(&mut self, base: u64, key: &[u8], value_ptr: u64) -> SetOutcome {
+        self.set_hinted(base, key, value_ptr, KeyShapeHint::Unknown)
+    }
+
+    /// SET with a static key-shape hint. `ConstStr` skips the hash stage;
+    /// `IntAppend` additionally skips the existence probe — the analysis
+    /// proved the key fresh, so the entry is inserted directly.
+    pub fn set_hinted(
+        &mut self,
+        base: u64,
+        key: &[u8],
+        value_ptr: u64,
+        hint: KeyShapeHint,
+    ) -> SetOutcome {
         if key.len() > MAX_KEY_BYTES {
             self.stats.key_too_long += 1;
             self.stats.sets += 1;
             return SetOutcome::Unsupported;
         }
         self.stats.sets += 1;
-        self.stats.accel_cycles += HASH_CYCLES + PROBE_CYCLES;
+        self.stats.accel_cycles += match hint {
+            KeyShapeHint::ConstStr => {
+                self.stats.hinted_hash_skips += 1;
+                PROBE_CYCLES
+            }
+            KeyShapeHint::IntAppend => {
+                self.stats.hinted_append_inserts += 1;
+                HASH_CYCLES
+            }
+            KeyShapeHint::Unknown => HASH_CYCLES + PROBE_CYCLES,
+        };
         let key = SmallKey::new(key).expect("length checked");
-        if let Some(idx) = self.probe(base, &key) {
-            self.stats.set_hits += 1;
-            let now = self.tick();
-            let e = &mut self.entries[idx];
-            e.value_ptr = value_ptr;
-            e.dirty = true;
-            e.last_access = now;
-            return SetOutcome::Updated;
+        if hint != KeyShapeHint::IntAppend {
+            if let Some(idx) = self.probe(base, &key) {
+                self.stats.set_hits += 1;
+                let now = self.tick();
+                let e = &mut self.entries[idx];
+                e.value_ptr = value_ptr;
+                e.dirty = true;
+                e.last_access = now;
+                return SetOutcome::Updated;
+            }
         }
         self.stats.set_inserts += 1;
         let eviction = self.insert(base, key, value_ptr, true);
@@ -219,7 +282,9 @@ impl HwHashTable {
         let way = |i: usize| (start + i) & (self.cfg.entries - 1);
 
         // 1. Invalid entry?
-        let slot = (0..self.cfg.probe_width).map(way).find(|&i| !self.entries[i].valid);
+        let slot = (0..self.cfg.probe_width)
+            .map(way)
+            .find(|&i| !self.entries[i].valid);
         // 2. Otherwise prefer a clean entry (LRU among clean).
         let (slot, eviction) = match slot {
             Some(s) => {
@@ -253,8 +318,14 @@ impl HwHashTable {
             }
         };
         let now = self.tick();
-        self.entries[slot] =
-            Entry { key, base_addr: base, value_ptr, dirty, valid: true, last_access: now };
+        self.entries[slot] = Entry {
+            key,
+            base_addr: base,
+            value_ptr,
+            dirty,
+            valid: true,
+            last_access: now,
+        };
         if let Some(displaced_map) = self.rtt.record_insert(base, slot as u32) {
             // RTT capacity eviction: flush the displaced map's entries.
             self.flush_map_entries(displaced_map);
@@ -283,7 +354,12 @@ impl HwHashTable {
     /// dirty pairs back so the memory map is consistent for iteration.
     pub fn foreach(&mut self, base: u64) -> ForeachOutcome {
         self.stats.foreachs += 1;
-        let OrderReplay { live_in_order, evicted, order_lost, .. } = self.rtt.replay_order(base);
+        let OrderReplay {
+            live_in_order,
+            evicted,
+            order_lost,
+            ..
+        } = self.rtt.replay_order(base);
         let mut live_pairs = Vec::with_capacity(live_in_order.len());
         let mut written_back = 0;
         for idx in live_in_order {
@@ -296,13 +372,20 @@ impl HwHashTable {
         }
         self.stats.writebacks += written_back as u64;
         self.stats.accel_cycles += HASH_CYCLES + live_pairs.len() as u64;
-        ForeachOutcome { live_pairs, evicted_pairs: evicted, written_back, order_lost }
+        ForeachOutcome {
+            live_pairs,
+            evicted_pairs: evicted,
+            written_back,
+            order_lost,
+        }
     }
 
     /// Software-initiated invalidation of one key (a software `unset` of a
     /// key that may be cached in hardware). Returns whether it was present.
     pub fn invalidate_key(&mut self, base: u64, key: &[u8]) -> bool {
-        let Some(key) = SmallKey::new(key) else { return false };
+        let Some(key) = SmallKey::new(key) else {
+            return false;
+        };
         match self.probe(base, &key) {
             Some(idx) => {
                 self.rtt.invalidate_backpointer(base, idx as u32);
@@ -362,7 +445,10 @@ mod tests {
         let mut t = table();
         assert_eq!(t.get(0x100, b"title"), GetOutcome::Miss);
         t.fill(0x100, b"title", 0xDEAD);
-        assert_eq!(t.get(0x100, b"title"), GetOutcome::Hit { value_ptr: 0xDEAD });
+        assert_eq!(
+            t.get(0x100, b"title"),
+            GetOutcome::Hit { value_ptr: 0xDEAD }
+        );
         assert_eq!(t.stats().gets, 2);
         assert_eq!(t.stats().get_hits, 1);
     }
@@ -371,7 +457,9 @@ mod tests {
     fn set_never_misses_and_updates() {
         let mut t = table();
         match t.set(0x100, b"k", 1) {
-            SetOutcome::Inserted { eviction: Eviction::None } => {}
+            SetOutcome::Inserted {
+                eviction: Eviction::None,
+            } => {}
             other => panic!("{other:?}"),
         }
         assert_eq!(t.set(0x100, b"k", 2), SetOutcome::Updated);
@@ -428,30 +516,46 @@ mod tests {
 
     #[test]
     fn tiny_table_set_causes_dirty_writeback() {
-        let mut t = HwHashTable::new(HtConfig { entries: 4, probe_width: 4, rtt_maps: 8, rtt_slots: 8 });
+        let mut t = HwHashTable::new(HtConfig {
+            entries: 4,
+            probe_width: 4,
+            rtt_maps: 8,
+            rtt_slots: 8,
+        });
         // Fill all 4 ways dirty for one base, then one more insert.
         let mut writebacks = 0;
         for i in 0..5u64 {
-            if let SetOutcome::Inserted { eviction: Eviction::DirtyWriteback { .. } } =
-                t.set(0x10, format!("k{i}").as_bytes(), i)
+            if let SetOutcome::Inserted {
+                eviction: Eviction::DirtyWriteback { .. },
+            } = t.set(0x10, format!("k{i}").as_bytes(), i)
             {
                 writebacks += 1;
             }
         }
-        assert!(writebacks >= 1, "fifth dirty insert into 4-entry table must evict dirty");
+        assert!(
+            writebacks >= 1,
+            "fifth dirty insert into 4-entry table must evict dirty"
+        );
         assert_eq!(t.stats().evict_dirty as usize, writebacks);
     }
 
     #[test]
     fn clean_entries_preferred_over_dirty_for_replacement() {
-        let mut t = HwHashTable::new(HtConfig { entries: 4, probe_width: 4, rtt_maps: 8, rtt_slots: 8 });
+        let mut t = HwHashTable::new(HtConfig {
+            entries: 4,
+            probe_width: 4,
+            rtt_maps: 8,
+            rtt_slots: 8,
+        });
         t.set(0x10, b"d1", 1); // dirty
         t.fill(0x10, b"c1", 2); // clean
         t.set(0x10, b"d2", 3); // dirty
         t.set(0x10, b"d3", 4); // dirty
-        // Table full (4 entries). Next insert should evict the clean one.
+                               // Table full (4 entries). Next insert should evict the clean one.
         match t.set(0x10, b"new", 5) {
-            SetOutcome::Inserted { eviction: Eviction::Clean } => {}
+            SetOutcome::Inserted {
+                eviction: Eviction::Clean,
+            } => {}
             other => panic!("expected clean eviction, got {other:?}"),
         }
         assert_eq!(t.get(0x10, b"c1"), GetOutcome::Miss);
@@ -474,7 +578,12 @@ mod tests {
     fn hit_rate_reasonable_for_short_lived_maps() {
         // The paper's Figure 7: even small tables get decent hit rates
         // because short-lived maps are written and read before eviction.
-        let mut t = HwHashTable::new(HtConfig { entries: 256, probe_width: 4, rtt_maps: 64, rtt_slots: 32 });
+        let mut t = HwHashTable::new(HtConfig {
+            entries: 256,
+            probe_width: 4,
+            rtt_maps: 64,
+            rtt_slots: 32,
+        });
         for map in 0..200u64 {
             let base = 0x1000 + map * 0x100;
             for k in 0..8u64 {
@@ -491,7 +600,12 @@ mod tests {
 
     #[test]
     fn lru_updated_on_get() {
-        let mut t = HwHashTable::new(HtConfig { entries: 4, probe_width: 4, rtt_maps: 8, rtt_slots: 8 });
+        let mut t = HwHashTable::new(HtConfig {
+            entries: 4,
+            probe_width: 4,
+            rtt_maps: 8,
+            rtt_slots: 8,
+        });
         t.fill(0x10, b"a", 1);
         t.fill(0x10, b"b", 2);
         t.fill(0x10, b"c", 3);
@@ -504,8 +618,56 @@ mod tests {
     }
 
     #[test]
+    fn const_str_hint_skips_hash_cycles() {
+        let mut t = table();
+        t.set_hinted(0x100, b"title", 1, KeyShapeHint::ConstStr);
+        let after_set = t.stats().accel_cycles;
+        assert_eq!(after_set, PROBE_CYCLES);
+        assert_eq!(
+            t.get_hinted(0x100, b"title", KeyShapeHint::ConstStr),
+            GetOutcome::Hit { value_ptr: 1 }
+        );
+        assert_eq!(t.stats().accel_cycles, after_set + PROBE_CYCLES);
+        assert_eq!(t.stats().hinted_hash_skips, 2);
+    }
+
+    #[test]
+    fn append_hint_inserts_without_probe() {
+        let mut t = table();
+        for i in 0..5u64 {
+            let mut kb = vec![0xFF];
+            kb.extend_from_slice(&i.to_le_bytes());
+            match t.set_hinted(0x200, &kb, i, KeyShapeHint::IntAppend) {
+                SetOutcome::Inserted { .. } => {}
+                other => panic!("append must insert, got {other:?}"),
+            }
+        }
+        assert_eq!(t.stats().hinted_append_inserts, 5);
+        assert_eq!(t.stats().set_hits, 0);
+        assert_eq!(t.stats().accel_cycles, 5 * HASH_CYCLES);
+        // The inserted entries are real: unhinted GETs find them.
+        let mut kb = vec![0xFF];
+        kb.extend_from_slice(&3u64.to_le_bytes());
+        assert_eq!(t.get(0x200, &kb), GetOutcome::Hit { value_ptr: 3 });
+    }
+
+    #[test]
+    fn hinted_and_unhinted_sets_agree_on_contents() {
+        let (mut a, mut b) = (table(), table());
+        a.set(0x1, b"k", 7);
+        b.set_hinted(0x1, b"k", 7, KeyShapeHint::ConstStr);
+        assert_eq!(a.get(0x1, b"k"), b.get(0x1, b"k"));
+        assert!(a.stats().accel_cycles > b.stats().accel_cycles);
+    }
+
+    #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_rejected() {
-        HwHashTable::new(HtConfig { entries: 500, probe_width: 4, rtt_maps: 8, rtt_slots: 8 });
+        HwHashTable::new(HtConfig {
+            entries: 500,
+            probe_width: 4,
+            rtt_maps: 8,
+            rtt_slots: 8,
+        });
     }
 }

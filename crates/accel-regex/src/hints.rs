@@ -28,7 +28,11 @@ impl HintVector {
                 words[i / 64] |= 1 << (i % 64);
             }
         }
-        HintVector { words, segments: flags.len(), segment_size }
+        HintVector {
+            words,
+            segments: flags.len(),
+            segment_size,
+        }
     }
 
     /// An all-dirty HV (conservative fallback).

@@ -57,14 +57,18 @@ pub fn replace_padded(
         let pad = (seg - delta % seg) % seg;
         ((pad), (delta + pad) / seg)
     };
-    out.extend(std::iter::repeat(b' ').take(pad));
+    out.extend(std::iter::repeat_n(b' ', pad));
     out.extend_from_slice(&content[end..]);
 
     // HV maintenance: the touched segments become dirty (replacement text,
     // e.g. an HTML tag, typically contains special characters), and grown
     // edits splice extra dirty segments.
     let first_seg = start / seg;
-    let last_seg = if end > start { (end - 1) / seg } else { first_seg };
+    let last_seg = if end > start {
+        (end - 1) / seg
+    } else {
+        first_seg
+    };
     for s in first_seg..=last_seg.min(hv.segments().saturating_sub(1)) {
         hv.mark_dirty(s);
     }
@@ -72,7 +76,11 @@ pub fn replace_padded(
         hv.splice((last_seg + 1).min(hv.segments()), segments_added, true);
     }
 
-    PaddedEdit { content: out, pad_bytes: pad, segments_added }
+    PaddedEdit {
+        content: out,
+        pad_bytes: pad,
+        segments_added,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +109,10 @@ mod tests {
         assert_eq!(edit.pad_bytes, 4);
         assert!(edit.content.windows(3).any(|w| w == b"[w]"));
         // Tail is untouched and still aligned.
-        assert_eq!(&edit.content[content.len() - 5..], &content[content.len() - 5..]);
+        assert_eq!(
+            &edit.content[content.len() - 5..],
+            &content[content.len() - 5..]
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl ContentReuseTable {
     /// Builds a table with `capacity` entries (paper: 32).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        ContentReuseTable { entries: vec![None; capacity], clock: 0, stats: ReuseStats::default() }
+        ContentReuseTable {
+            entries: vec![None; capacity],
+            clock: 0,
+            stats: ReuseStats::default(),
+        }
     }
 
     /// Statistics.
@@ -160,7 +164,10 @@ impl ContentReuseTable {
                     if let Some(state) = e.next_state {
                         self.stats.hits += 1;
                         self.stats.bytes_skipped += match_len as u64;
-                        return LookupOutcome::Hit { skip: match_len, state };
+                        return LookupOutcome::Hit {
+                            skip: match_len,
+                            state,
+                        };
                     }
                 }
                 // Non-zero match of a different size (or size/state cleared):
@@ -232,7 +239,11 @@ pub fn run_with_reuse(
         }
         LookupOutcome::InvalidMiss => {
             let (m, scanned) = re.match_at(content, 0);
-            ReuseRun { match_end: m.map(|m| m.end), bytes_skipped: 0, bytes_scanned: scanned }
+            ReuseRun {
+                match_end: m.map(|m| m.end),
+                bytes_skipped: 0,
+                bytes_scanned: scanned,
+            }
         }
         LookupOutcome::Training { match_len } => {
             let (m, scanned) = re.match_at(content, 0);
@@ -241,7 +252,11 @@ pub fn run_with_reuse(
             if let Some(state) = re.fsm_state_after(&content[..match_len]) {
                 table.regexset(pc, asid, state);
             }
-            ReuseRun { match_end: m.map(|m| m.end), bytes_skipped: 0, bytes_scanned: scanned }
+            ReuseRun {
+                match_end: m.map(|m| m.end),
+                bytes_skipped: 0,
+                bytes_scanned: scanned,
+            }
         }
     }
 }
@@ -274,7 +289,11 @@ mod tests {
         // 3rd access with yet another name: HIT, skips the 26-byte prefix.
         let url_def = b"https://localhost/?author=def";
         let r3 = run_with_reuse(&re, 0x401000, 7, url_def, &mut table);
-        assert_eq!(r3.match_end, Some(29), "resumed run must agree with cold run");
+        assert_eq!(
+            r3.match_end,
+            Some(29),
+            "resumed run must agree with cold run"
+        );
         assert_eq!(r3.bytes_skipped, 26);
         assert_eq!(table.stats().hits, 1);
     }
@@ -310,7 +329,11 @@ mod tests {
         // PC 2 was evicted; PC 1 must still be resident (no new install).
         let misses_before = t.stats().invalid_misses;
         let _ = t.regexlookup(1, 0, b"a");
-        assert_eq!(t.stats().invalid_misses, misses_before, "pc 1 still resident");
+        assert_eq!(
+            t.stats().invalid_misses,
+            misses_before,
+            "pc 1 still resident"
+        );
     }
 
     #[test]
@@ -323,7 +346,10 @@ mod tests {
         let _ = run_with_reuse(&re, 9, 0, long_b, &mut t); // training: prefix capped at 32
         let long_c = b"https://example.com/very/long/path/cccc";
         let r = run_with_reuse(&re, 9, 0, long_c, &mut t);
-        assert_eq!(r.bytes_skipped, 32, "skip capped at the 32-byte content field");
+        assert_eq!(
+            r.bytes_skipped, 32,
+            "skip capped at the 32-byte content field"
+        );
         assert_eq!(r.match_end, Some(long_c.len()));
     }
 

@@ -190,9 +190,9 @@ mod tests {
         let mut c = Vec::new();
         c.extend_from_slice(b"The quick brown fox jumps over the lazy dog again and again ");
         c.extend_from_slice(b"while the narrator says it's fine to keep going with more ");
-        c.extend_from_slice(&vec![b'a'; 200]);
+        c.extend_from_slice(&[b'a'; 200]);
         c.extend_from_slice(b" and finally a <em>tag</em> closes the show with more text ");
-        c.extend_from_slice(&vec![b'b'; 200]);
+        c.extend_from_slice(&[b'b'; 200]);
         c
     }
 
@@ -202,7 +202,10 @@ mod tests {
         let (_, out) = sieve("'", &content, 32);
         assert_eq!(out.matches.len(), 1, "one apostrophe (it's)");
         assert!(out.hv.dirty_count() >= 1);
-        assert!(out.hv.clean_fraction() > 0.4, "long regular stretches are clean");
+        assert!(
+            out.hv.clean_fraction() > 0.4,
+            "long regular stretches are clean"
+        );
         assert!(out.hv_cost.cycles > 0);
     }
 
@@ -228,7 +231,11 @@ mod tests {
         let (full, _) = re.find_all(&content);
         assert_eq!(shadow.matches, full);
         assert_eq!(shadow.mode, ShadowMode::Skipping { lookback: 0 });
-        assert!(shadow.bytes_skipped > 300, "skipped {}", shadow.bytes_skipped);
+        assert!(
+            shadow.bytes_skipped > 300,
+            "skipped {}",
+            shadow.bytes_skipped
+        );
     }
 
     #[test]
@@ -291,9 +298,9 @@ mod tests {
         // '<' in a dirty segment, long [a-z]+ tail through clean segments.
         let mut content = vec![b' '; 32];
         content.extend_from_slice(b"<");
-        content.extend_from_slice(&vec![b'q'; 60]);
+        content.extend_from_slice(&[b'q'; 60]);
         content.extend_from_slice(b">");
-        content.extend_from_slice(&vec![b' '; 32]);
+        content.extend_from_slice(&[b' '; 32]);
         let (_, s) = sieve("'", &content, 32);
         let re = Regex::new("<[a-z]+>").unwrap();
         let shadow = regexp_shadow(&re, &content, &s.hv);

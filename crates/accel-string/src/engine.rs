@@ -29,7 +29,12 @@ pub struct StrAccelConfig {
 
 impl Default for StrAccelConfig {
     fn default() -> Self {
-        StrAccelConfig { block_width: 64, max_rows: 16, inequality_rows: 6, cycles_per_block: 3 }
+        StrAccelConfig {
+            block_width: 64,
+            max_rows: 16,
+            inequality_rows: 6,
+            cycles_per_block: 3,
+        }
     }
 }
 
@@ -60,7 +65,12 @@ impl StringAccel {
     pub fn new(cfg: StrAccelConfig) -> Self {
         assert!(cfg.block_width > 0 && cfg.block_width <= MAX_BLOCK_WIDTH);
         assert!(cfg.cycles_per_block > 0);
-        StringAccel { cfg, loaded: None, saved: None, stats: StrAccelStats::default() }
+        StringAccel {
+            cfg,
+            loaded: None,
+            saved: None,
+            stats: StrAccelStats::default(),
+        }
     }
 
     /// Geometry.
@@ -93,9 +103,13 @@ impl StringAccel {
 
     fn build_config(&self, rows: Vec<RowSpec>) -> Result<MatrixConfig, Unsupported> {
         MatrixConfig::new(rows, self.cfg.max_rows, self.cfg.inequality_rows).map_err(|e| match e {
-            ConfigError::TooManyRows { requested, available } => {
-                Unsupported::PatternTooLong { len: requested, rows: available }
-            }
+            ConfigError::TooManyRows {
+                requested,
+                available,
+            } => Unsupported::PatternTooLong {
+                len: requested,
+                rows: available,
+            },
             ConfigError::TooManyRanges { .. } => Unsupported::TooManyRanges,
         })
     }
@@ -185,10 +199,9 @@ impl StringAccel {
         let config = self.build_config(rows)?;
         let subject = &subject[from.min(subject.len())..];
         let plen = pattern.len();
-        let (found, cost) =
-            self.scan_blocks(subject, &config, plen - 1, |bm, blen, base| {
-                priority_encode(diagonal_and(bm, blen)).map(|c| base + c)
-            });
+        let (found, cost) = self.scan_blocks(subject, &config, plen - 1, |bm, blen, base| {
+            priority_encode(diagonal_and(bm, blen)).map(|c| base + c)
+        });
         Ok((found.map(|p| p + from), cost))
     }
 
@@ -204,7 +217,10 @@ impl StringAccel {
         from: usize,
     ) -> Result<(Option<usize>, AccelCost), Unsupported> {
         if set.len() > self.cfg.max_rows {
-            return Err(Unsupported::SetTooLarge { len: set.len(), rows: self.cfg.max_rows });
+            return Err(Unsupported::SetTooLarge {
+                len: set.len(),
+                rows: self.cfg.max_rows,
+            });
         }
         let rows: Vec<RowSpec> = set.iter().map(|&b| RowSpec::Equal(b)).collect();
         let config = self.build_config(rows)?;
@@ -264,9 +280,15 @@ impl StringAccel {
 
     /// `stringop[replace]`: substitutes every `from` byte with `to`.
     /// Returns `(result, replacements, cost)`.
-    pub fn replace_byte(&mut self, subject: &[u8], from: u8, to: u8) -> (Vec<u8>, usize, AccelCost) {
-        let config =
-            self.build_config(vec![RowSpec::Equal(from)]).expect("single row always fits");
+    pub fn replace_byte(
+        &mut self,
+        subject: &[u8],
+        from: u8,
+        to: u8,
+    ) -> (Vec<u8>, usize, AccelCost) {
+        let config = self
+            .build_config(vec![RowSpec::Equal(from)])
+            .expect("single row always fits");
         let mut out = subject.to_vec();
         let mut count = 0usize;
         let (_, cost) = self.scan_blocks(subject, &config, 0, |bm, blen, base| {
@@ -296,7 +318,10 @@ impl StringAccel {
         set: &[u8],
     ) -> Result<((usize, usize), AccelCost), Unsupported> {
         if set.len() > self.cfg.max_rows {
-            return Err(Unsupported::SetTooLarge { len: set.len(), rows: self.cfg.max_rows });
+            return Err(Unsupported::SetTooLarge {
+                len: set.len(),
+                rows: self.cfg.max_rows,
+            });
         }
         let rows: Vec<RowSpec> = set.iter().map(|&b| RowSpec::Equal(b)).collect();
         let config = self.build_config(rows)?;
@@ -342,8 +367,10 @@ impl StringAccel {
         subject: &[u8],
         ranges: &[(u8, u8)],
     ) -> Result<(usize, AccelCost), Unsupported> {
-        let rows: Vec<RowSpec> =
-            ranges.iter().map(|&(lo, hi)| RowSpec::Range { lo, hi }).collect();
+        let rows: Vec<RowSpec> = ranges
+            .iter()
+            .map(|&(lo, hi)| RowSpec::Range { lo, hi })
+            .collect();
         let config = self.build_config(rows)?;
         let (stop, cost) = self.scan_blocks(subject, &config, 0, |bm, blen, base| {
             let any = bm.masks.iter().fold(0u64, |a, &m| a | m);
@@ -452,7 +479,11 @@ mod tests {
         let mut a = accel();
         let subject = vec![b'a'; 4096];
         let _ = a.find(&subject, b"qq", 0).unwrap();
-        assert!(a.stats().bytes_per_cycle() > 8.0, "{}", a.stats().bytes_per_cycle());
+        assert!(
+            a.stats().bytes_per_cycle() > 8.0,
+            "{}",
+            a.stats().bytes_per_cycle()
+        );
     }
 
     #[test]
@@ -517,7 +548,9 @@ mod tests {
     #[test]
     fn span_ranges_prefix() {
         let mut a = accel();
-        let (n, _) = a.span_ranges(b"abc123!rest", &[(b'a', b'z'), (b'0', b'9')]).unwrap();
+        let (n, _) = a
+            .span_ranges(b"abc123!rest", &[(b'a', b'z'), (b'0', b'9')])
+            .unwrap();
         assert_eq!(n, 6);
         let (n, _) = a.span_ranges(b"!!!", &[(b'a', b'z')]).unwrap();
         assert_eq!(n, 0);

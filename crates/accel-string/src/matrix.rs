@@ -67,11 +67,20 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::TooManyRows { requested, available } => {
+            ConfigError::TooManyRows {
+                requested,
+                available,
+            } => {
                 write!(f, "pattern needs {requested} rows, matrix has {available}")
             }
-            ConfigError::TooManyRanges { requested, available } => {
-                write!(f, "pattern needs {requested} range rows, hardware has {available}")
+            ConfigError::TooManyRanges {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "pattern needs {requested} range rows, hardware has {available}"
+                )
             }
         }
     }
@@ -98,7 +107,10 @@ impl MatrixConfig {
         inequality_rows: usize,
     ) -> Result<MatrixConfig, ConfigError> {
         if rows.len() > max_rows {
-            return Err(ConfigError::TooManyRows { requested: rows.len(), available: max_rows });
+            return Err(ConfigError::TooManyRows {
+                requested: rows.len(),
+                available: max_rows,
+            });
         }
         let ranges = rows.iter().filter(|r| r.needs_inequality()).count();
         if ranges > inequality_rows {
@@ -117,7 +129,10 @@ impl MatrixConfig {
 
     /// Active (non-disabled) row count — drives the clock-gating energy model.
     pub fn active_rows(&self) -> usize {
-        self.rows.iter().filter(|r| !matches!(r, RowSpec::Disabled)).count()
+        self.rows
+            .iter()
+            .filter(|r| !matches!(r, RowSpec::Disabled))
+            .count()
     }
 }
 
@@ -149,7 +164,10 @@ pub fn ascii_compare(config: &MatrixConfig, block: &[u8]) -> BlockMatch {
         }
         masks.push(mask);
     }
-    BlockMatch { masks, active_cells }
+    BlockMatch {
+        masks,
+        active_cells,
+    }
 }
 
 /// Diagonal AND over the matrix (§4.4: "Operations that require matching of
@@ -220,14 +238,21 @@ mod tests {
     fn disabled_rows_are_clock_gated() {
         let c = cfg(vec![RowSpec::Equal(b'x'), RowSpec::Disabled]);
         let m = ascii_compare(&c, b"xxxx");
-        assert_eq!(m.active_cells, 4, "disabled row contributes no active cells");
+        assert_eq!(
+            m.active_cells, 4,
+            "disabled row contributes no active cells"
+        );
         assert_eq!(m.masks[1], 0);
     }
 
     #[test]
     fn diagonal_and_finds_consecutive_match() {
         // Figure 10's example: subject "babc", pattern "abc".
-        let c = cfg(vec![RowSpec::Equal(b'a'), RowSpec::Equal(b'b'), RowSpec::Equal(b'c')]);
+        let c = cfg(vec![
+            RowSpec::Equal(b'a'),
+            RowSpec::Equal(b'b'),
+            RowSpec::Equal(b'c'),
+        ]);
         let m = ascii_compare(&c, b"babc");
         let d = diagonal_and(&m, 4);
         assert_eq!(priority_encode(d), Some(1));
@@ -254,8 +279,7 @@ mod tests {
             MatrixConfig::new(rows, 16, 6),
             Err(ConfigError::TooManyRows { .. })
         ));
-        let ranges: Vec<RowSpec> =
-            (0..7).map(|_| RowSpec::Range { lo: 0, hi: 1 }).collect();
+        let ranges: Vec<RowSpec> = (0..7).map(|_| RowSpec::Range { lo: 0, hi: 1 }).collect();
         assert!(matches!(
             MatrixConfig::new(ranges, 16, 6),
             Err(ConfigError::TooManyRanges { .. })

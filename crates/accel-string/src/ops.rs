@@ -119,8 +119,16 @@ mod tests {
 
     #[test]
     fn cost_sums() {
-        let a = AccelCost { cycles: 3, bytes: 64, active_cells: 128 };
-        let b = AccelCost { cycles: 3, bytes: 10, active_cells: 20 };
+        let a = AccelCost {
+            cycles: 3,
+            bytes: 64,
+            active_cells: 128,
+        };
+        let b = AccelCost {
+            cycles: 3,
+            bytes: 10,
+            active_cells: 20,
+        };
         let c = a.plus(b);
         assert_eq!(c.cycles, 6);
         assert_eq!(c.bytes, 74);
@@ -129,7 +137,11 @@ mod tests {
 
     #[test]
     fn throughput_metric() {
-        let s = StrAccelStats { cycles: 30, bytes: 640, ..Default::default() };
+        let s = StrAccelStats {
+            cycles: 30,
+            bytes: 640,
+            ..Default::default()
+        };
         assert!((s.bytes_per_cycle() - 21.333).abs() < 0.01);
         assert_eq!(StrAccelStats::default().bytes_per_cycle(), 0.0);
     }

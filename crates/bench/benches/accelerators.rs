@@ -52,7 +52,9 @@ fn bench_string(c: &mut Criterion) {
     let mut hay = vec![b'a'; 4096];
     hay.extend_from_slice(b"needle");
 
-    g.bench_function("scalar", |b| b.iter(|| black_box(scalar_find(&hay, b"needle"))));
+    g.bench_function("scalar", |b| {
+        b.iter(|| black_box(scalar_find(&hay, b"needle")))
+    });
     g.bench_function("swar", |b| b.iter(|| black_box(swar_find(&hay, b"needle"))));
     g.bench_function("accel-model", |b| {
         let mut a = StringAccel::default();
@@ -109,7 +111,11 @@ fn bench_endtoend(c: &mut Criterion) {
                         (app, m)
                     },
                     |(mut app, mut m)| {
-                        let lg = LoadGen { warmup: 0, measured: 3, context_switch_every: 0 };
+                        let lg = LoadGen {
+                            warmup: 0,
+                            measured: 3,
+                            context_switch_every: 0,
+                        };
                         black_box(lg.run(app.as_mut(), &mut m));
                     },
                     BatchSize::SmallInput,
@@ -120,5 +126,11 @@ fn bench_endtoend(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_htable, bench_string, bench_regex, bench_endtoend);
+criterion_group!(
+    benches,
+    bench_htable,
+    bench_string,
+    bench_regex,
+    bench_endtoend
+);
 criterion_main!(benches);

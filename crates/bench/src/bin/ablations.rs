@@ -15,7 +15,11 @@ use regex_engine::Regex;
 use workloads::{AppKind, LoadGen};
 
 fn lg() -> LoadGen {
-    LoadGen { warmup: 15, measured: 50, context_switch_every: 0 }
+    LoadGen {
+        warmup: 15,
+        measured: 50,
+        context_switch_every: 0,
+    }
 }
 
 /// Replays recorded hash events into a table; `get_only` models the
@@ -59,14 +63,21 @@ fn hash_events() -> Vec<HashEvent> {
 }
 
 fn main() {
-    header("Ablations", "design-choice studies the paper's arguments rest on");
+    header(
+        "Ablations",
+        "design-choice studies the paper's arguments rest on",
+    );
 
     // ------------------------------------------------------------------
     println!("\n[1] GET+SET vs GET-only (memcached-style [55]) hash table");
     println!("    (WordPress hash-event replay; §4.2 argues SET support is essential)");
     let events = hash_events();
     for entries in [64usize, 256, 512] {
-        let cfg = HtConfig { entries, probe_width: 4, ..HtConfig::default() };
+        let cfg = HtConfig {
+            entries,
+            probe_width: 4,
+            ..HtConfig::default()
+        };
         let (get_hr_full, overall_full) = replay(&events, cfg, false);
         let (get_hr_go, overall_go) = replay(&events, cfg, true);
         println!(
@@ -81,9 +92,16 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n[2] Probe width (paper: 4 consecutive entries in parallel)");
     for width in [1usize, 2, 4, 8] {
-        let cfg = HtConfig { entries: 512, probe_width: width, ..HtConfig::default() };
+        let cfg = HtConfig {
+            entries: 512,
+            probe_width: width,
+            ..HtConfig::default()
+        };
         let (_, overall) = replay(&events, cfg, false);
-        println!("    width {width}: overall hit rate {:.2}%", overall * 100.0);
+        println!(
+            "    width {width}: overall hit rate {:.2}%",
+            overall * 100.0
+        );
     }
 
     // ------------------------------------------------------------------
@@ -168,11 +186,16 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n[7] Sifting segment size (default 32 B)");
     for seg in [16usize, 32, 64, 128] {
-        let mut cfg = MachineConfig::default();
-        cfg.segment_size = seg;
+        let cfg = MachineConfig {
+            segment_size: seg,
+            ..MachineConfig::default()
+        };
         let m = run_app(AppKind::WordPress, ExecMode::Specialized, cfg, lg(), 0xAB7);
         let s = m.core().regex_stats;
-        println!("    {seg:>3} B segments: {:.1}% content skipped", s.skip_fraction() * 100.0);
+        println!(
+            "    {seg:>3} B segments: {:.1}% content skipped",
+            s.skip_fraction() * 100.0
+        );
     }
 
     // ------------------------------------------------------------------

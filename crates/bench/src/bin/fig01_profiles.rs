@@ -38,7 +38,13 @@ fn main() {
         )
     );
     for kind in apps {
-        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xF01);
+        let m = run_app(
+            kind,
+            ExecMode::Baseline,
+            MachineConfig::default(),
+            standard_load(),
+            0xF01,
+        );
         let prof = m.ctx().profiler();
         let rows = prof.leaf_profile();
         println!(
@@ -59,10 +65,17 @@ fn main() {
     }
     println!("\nseries: cumulative share over hottest-N (PHP apps), N = 1..30");
     for kind in AppKind::PHP_APPS {
-        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xF01);
+        let m = run_app(
+            kind,
+            ExecMode::Baseline,
+            MachineConfig::default(),
+            standard_load(),
+            0xF01,
+        );
         let prof = m.ctx().profiler();
-        let series: Vec<String> =
-            (1..=30).map(|n| format!("{:.0}", prof.cumulative_share(n) * 100.0)).collect();
+        let series: Vec<String> = (1..=30)
+            .map(|n| format!("{:.0}", prof.cumulative_share(n) * 100.0))
+            .collect();
         println!("{:>12}: {}", kind.label(), series.join(" "));
     }
 }

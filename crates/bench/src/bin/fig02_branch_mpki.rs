@@ -17,7 +17,15 @@ fn main() {
     let widths = [18, 12, 10, 12];
     println!(
         "{}",
-        row(&["app".into(), "branch-frac".into(), "MPKI".into(), "BTB-hit".into()], &widths)
+        row(
+            &[
+                "app".into(),
+                "branch-frac".into(),
+                "MPKI".into(),
+                "BTB-hit".into()
+            ],
+            &widths
+        )
     );
     for kind in [
         AppKind::WordPress,

@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["BTB".into(), "32K-I$".into(), "128K-I$".into(), "512K-I$".into(), "BTB-hit".into()],
+            &[
+                "BTB".into(),
+                "32K-I$".into(),
+                "128K-I$".into(),
+                "512K-I$".into(),
+                "BTB-hit".into()
+            ],
             &widths
         )
     );
@@ -36,9 +42,16 @@ fn main() {
         let mut hit = 0.0;
         for &(ic, _) in &icache_sizes {
             let mut m = Machine::server(CoreKind::OoO4);
-            m.btb = Btb::new(BtbConfig { entries: btb, ways: 2 });
+            m.btb = Btb::new(BtbConfig {
+                entries: btb,
+                ways: 2,
+            });
             m.hierarchy = Hierarchy::new(
-                CacheConfig { capacity: ic << 10, ways: 8, next_line_prefetch: true },
+                CacheConfig {
+                    capacity: ic << 10,
+                    ways: 8,
+                    next_line_prefetch: true,
+                },
                 CacheConfig::l1_32k(),
                 CacheConfig::l2_1m(),
             );

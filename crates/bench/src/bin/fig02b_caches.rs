@@ -17,9 +17,22 @@ fn main() {
     let widths = [18, 10, 10, 10];
     println!(
         "{}",
-        row(&["app".into(), "L1I-MPKI".into(), "L1D-MPKI".into(), "L2-MPKI".into()], &widths)
+        row(
+            &[
+                "app".into(),
+                "L1I-MPKI".into(),
+                "L1D-MPKI".into(),
+                "L2-MPKI".into()
+            ],
+            &widths
+        )
     );
-    for kind in [AppKind::WordPress, AppKind::Drupal, AppKind::MediaWiki, AppKind::SpecWebBanking] {
+    for kind in [
+        AppKind::WordPress,
+        AppKind::Drupal,
+        AppKind::MediaWiki,
+        AppKind::SpecWebBanking,
+    ] {
         let trace = synthesize(&kind.trace_profile(0xCA), 600_000);
         let n = trace.len() as u64;
         let mut m = Machine::server(CoreKind::OoO4);

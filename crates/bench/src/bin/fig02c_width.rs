@@ -17,7 +17,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["app".into(), "in-order-2".into(), "OoO-2".into(), "OoO-4".into(), "OoO-8".into()],
+            &[
+                "app".into(),
+                "in-order-2".into(),
+                "OoO-2".into(),
+                "OoO-4".into(),
+                "OoO-8".into()
+            ],
             &widths
         )
     );

@@ -16,20 +16,54 @@ fn main() {
         "priors shrink targeted functions; refcounting saves the most (≈4.42%)",
     );
     let cfg = MachineConfig::default();
-    let m = run_app(AppKind::WordPress, ExecMode::Baseline, cfg.clone(), standard_load(), 0xF03);
+    let m = run_app(
+        AppKind::WordPress,
+        ExecMode::Baseline,
+        cfg.clone(),
+        standard_load(),
+        0xF03,
+    );
     let out = apply(m.ctx().profiler(), &cfg.priors);
-    println!("total µops: before={} after={} (remaining {})\n", out.uops_before, out.uops_after,
-        pct(out.remaining_fraction()));
+    println!(
+        "total µops: before={} after={} (remaining {})\n",
+        out.uops_before,
+        out.uops_after,
+        pct(out.remaining_fraction())
+    );
     println!("savings by optimization:");
-    for opt in [PriorOpt::HwRefcount, PriorOpt::CheckedLoad, PriorOpt::IcHmi, PriorOpt::AllocTuning] {
+    for opt in [
+        PriorOpt::HwRefcount,
+        PriorOpt::CheckedLoad,
+        PriorOpt::IcHmi,
+        PriorOpt::AllocTuning,
+    ] {
         let saved = out.saved_by.get(&opt).copied().unwrap_or(0);
-        println!("  {:22} {}", opt.label(), pct(saved as f64 / out.uops_before as f64));
+        println!(
+            "  {:22} {}",
+            opt.label(),
+            pct(saved as f64 / out.uops_before as f64)
+        );
     }
     println!("\ntop-15 leaf functions, share before → after:");
     let widths = [26, 10, 10, 8];
-    println!("{}", row(&["function".into(), "before".into(), "after".into(), "delta".into()], &widths));
+    println!(
+        "{}",
+        row(
+            &[
+                "function".into(),
+                "before".into(),
+                "after".into(),
+                "delta".into()
+            ],
+            &widths
+        )
+    );
     for r_before in out.before.iter().take(15) {
-        let r_after = out.after.iter().find(|r| r.name == r_before.name).expect("same set");
+        let r_after = out
+            .after
+            .iter()
+            .find(|r| r.name == r_before.name)
+            .expect("same set");
         let arrow = if r_after.share < r_before.share - 0.002 {
             "↓"
         } else if r_after.share > r_before.share + 0.002 {

@@ -13,18 +13,38 @@ fn main() {
         "many leaf functions fall into hash-map/heap/string/regex categories",
     );
     let cfg = MachineConfig::default();
-    let m = run_app(AppKind::WordPress, ExecMode::Baseline, cfg.clone(), standard_load(), 0xF04);
+    let m = run_app(
+        AppKind::WordPress,
+        ExecMode::Baseline,
+        cfg.clone(),
+        standard_load(),
+        0xF04,
+    );
     let out = apply(m.ctx().profiler(), &cfg.priors);
     let total = out.uops_after.max(1) as f64;
     let breakdown = out.category_breakdown_after();
     let widths = [14, 10, 8];
-    println!("{}", row(&["category".into(), "share".into(), "fns".into()], &widths));
+    println!(
+        "{}",
+        row(&["category".into(), "share".into(), "fns".into()], &widths)
+    );
     for cat in Category::ALL {
         let uops = breakdown.get(&cat).copied().unwrap_or(0);
-        let fns = out.after.iter().filter(|r| r.category == cat && r.uops > 0).count();
+        let fns = out
+            .after
+            .iter()
+            .filter(|r| r.category == cat && r.uops > 0)
+            .count();
         println!(
             "{}",
-            row(&[cat.label().into(), pct(uops as f64 / total), fns.to_string()], &widths)
+            row(
+                &[
+                    cat.label().into(),
+                    pct(uops as f64 / total),
+                    fns.to_string()
+                ],
+                &widths
+            )
         );
     }
     let accel: u64 = Category::ALL
@@ -32,5 +52,8 @@ fn main() {
         .filter(|c| c.is_accel_target())
         .map(|c| breakdown.get(c).copied().unwrap_or(0))
         .sum();
-    println!("\nfour accelerator categories combined: {}", pct(accel as f64 / total));
+    println!(
+        "\nfour accelerator categories combined: {}",
+        pct(accel as f64 / total)
+    );
 }

@@ -15,12 +15,18 @@ fn main() {
     let cfg = MachineConfig::default();
     let cats = Category::ALL;
     let mut widths = vec![12];
-    widths.extend(std::iter::repeat(11).take(cats.len()));
+    widths.extend(std::iter::repeat_n(11, cats.len()));
     let mut head = vec!["app".to_string()];
     head.extend(cats.iter().map(|c| c.label().to_string()));
     println!("{}", row(&head, &widths));
     for kind in AppKind::PHP_APPS {
-        let m = run_app(kind, ExecMode::Baseline, cfg.clone(), standard_load(), 0xF05);
+        let m = run_app(
+            kind,
+            ExecMode::Baseline,
+            cfg.clone(),
+            standard_load(),
+            0xF05,
+        );
         let out = apply(m.ctx().profiler(), &cfg.priors);
         let total = out.uops_after.max(1) as f64;
         let breakdown = out.category_breakdown_after();

@@ -5,8 +5,8 @@
 //! table with very few entries (1, 2 or 4) shows such a decent hit rate."
 //! Also §4.2: SET share is 15-25 %, and ~95 % of keys are ≤ 24 bytes.
 
-use bench::{header, row, standard_load};
 use accel_htable::HtConfig;
+use bench::{header, row, standard_load};
 use phpaccel_core::{ExecMode, MachineConfig, PhpMachine};
 use workloads::AppKind;
 
@@ -17,7 +17,7 @@ fn main() {
     );
     let sizes = [1usize, 2, 4, 16, 64, 256, 512, 1024];
     let mut widths = vec![12];
-    widths.extend(std::iter::repeat(8).take(sizes.len()));
+    widths.extend(std::iter::repeat_n(8, sizes.len()));
     widths.push(10);
     let mut head = vec!["app".to_string()];
     head.extend(sizes.iter().map(|s| s.to_string()));
@@ -27,11 +27,13 @@ fn main() {
         let mut cells = vec![kind.label().to_string()];
         let mut set_share = 0.0;
         for &entries in &sizes {
-            let mut cfg = MachineConfig::default();
-            cfg.htable = HtConfig {
-                entries,
-                probe_width: entries.min(4),
-                ..HtConfig::default()
+            let cfg = MachineConfig {
+                htable: HtConfig {
+                    entries,
+                    probe_width: entries.min(4),
+                    ..HtConfig::default()
+                },
+                ..MachineConfig::default()
             };
             let mut app = kind.build(0xF07);
             let mut m = PhpMachine::new(ExecMode::Specialized, cfg);

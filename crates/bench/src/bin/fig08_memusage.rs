@@ -17,12 +17,18 @@ fn main() {
     println!("(a) CDF of request sizes:");
     let marks = [32usize, 64, 96, 128, 256, 512, 1024, 4096];
     let mut widths = vec![12];
-    widths.extend(std::iter::repeat(8).take(marks.len()));
+    widths.extend(std::iter::repeat_n(8, marks.len()));
     let mut head = vec!["app".to_string()];
     head.extend(marks.iter().map(|m| format!("≤{m}")));
     println!("{}", row(&head, &widths));
     for kind in AppKind::PHP_APPS {
-        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xF08);
+        let m = run_app(
+            kind,
+            ExecMode::Baseline,
+            MachineConfig::default(),
+            standard_load(),
+            0xF08,
+        );
         let stats = m.ctx().with_allocator(|a| a.stats().clone());
         let mut cells = vec![kind.label().to_string()];
         for &b in &marks {
@@ -32,10 +38,23 @@ fn main() {
     }
     println!("\n(b)/(c) live bytes per 32-byte band over time (WordPress, MediaWiki):");
     for kind in [AppKind::WordPress, AppKind::MediaWiki] {
-        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xF08);
+        let m = run_app(
+            kind,
+            ExecMode::Baseline,
+            MachineConfig::default(),
+            standard_load(),
+            0xF08,
+        );
         let samples = m.ctx().with_allocator(|a| a.timeline().to_vec());
-        println!("{} ({} samples; showing every ~10th):", kind.label(), samples.len());
-        println!("{:>10} {:>9} {:>9} {:>9} {:>9}", "tick", "0-32B", "32-64B", "64-96B", "96-128B");
+        println!(
+            "{} ({} samples; showing every ~10th):",
+            kind.label(),
+            samples.len()
+        );
+        println!(
+            "{:>10} {:>9} {:>9} {:>9} {:>9}",
+            "tick", "0-32B", "32-64B", "64-96B", "96-128B"
+        );
         let step = (samples.len() / 10).max(1);
         for s in samples.iter().step_by(step) {
             let band = |a: usize, b: usize| s.live_small[a] + s.live_small[b];

@@ -30,8 +30,13 @@ fn main() {
         )
     );
     for kind in AppKind::PHP_APPS {
-        let m =
-            run_app(kind, ExecMode::Specialized, MachineConfig::default(), standard_load(), 0xF12);
+        let m = run_app(
+            kind,
+            ExecMode::Specialized,
+            MachineConfig::default(),
+            standard_load(),
+            0xF12,
+        );
         let s = m.core().regex_stats;
         let total = s.bytes_total.max(1) as f64;
         println!(

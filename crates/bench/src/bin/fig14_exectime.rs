@@ -17,7 +17,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["app".into(), "baseline".into(), "+priors".into(), "+specialized".into(), "impr/priors".into()],
+            &[
+                "app".into(),
+                "baseline".into(),
+                "+priors".into(),
+                "+specialized".into(),
+                "impr/priors".into()
+            ],
             &widths
         )
     );
@@ -56,9 +62,14 @@ fn main() {
             &widths
         )
     );
-    let drupal = cmps.iter().find(|c| c.app == "Drupal").expect("drupal present");
-    let min_impr =
-        cmps.iter().map(|c| c.improvement_over_priors()).fold(f64::INFINITY, f64::min);
+    let drupal = cmps
+        .iter()
+        .find(|c| c.app == "Drupal")
+        .expect("drupal present");
+    let min_impr = cmps
+        .iter()
+        .map(|c| c.improvement_over_priors())
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\ncheck: Drupal benefits least: {} (min improvement {})",
         drupal.improvement_over_priors() <= min_impr + 1e-9,

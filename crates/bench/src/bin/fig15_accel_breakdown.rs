@@ -15,8 +15,12 @@ fn main() {
         "avg: heap 7.29% > hash 6.45% > string 4.51% > regex 1.96%",
     );
     let cmps = all_comparisons(standard_load(), 0xF15);
-    let cats =
-        [Category::Heap, Category::HashMap, Category::String, Category::Regex];
+    let cats = [
+        Category::Heap,
+        Category::HashMap,
+        Category::String,
+        Category::Regex,
+    ];
     let widths = [12, 10, 10, 10, 10, 11];
     println!(
         "{}",

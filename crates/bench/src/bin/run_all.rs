@@ -6,19 +6,43 @@
 fn main() {
     println!("phpaccel experiment inventory (run with: cargo run --release -p bench --bin <name>)");
     for (bin, what) in [
-        ("fig01_profiles", "Figure 1 — leaf-function cycle distributions"),
+        (
+            "fig01_profiles",
+            "Figure 1 — leaf-function cycle distributions",
+        ),
         ("fig02_branch_mpki", "§2 — TAGE MPKI, PHP vs SPEC"),
         ("fig02a_btb", "Figure 2(a) — BTB sweep × I-cache sizes"),
         ("fig02b_caches", "Figure 2(b) — cache MPKI"),
         ("fig02c_width", "Figure 2(c) — in-order vs OoO width"),
-        ("fig03_priors", "Figure 3 — prior optimizations on WordPress leaves"),
-        ("fig04_categories", "Figure 4 — leaf-function categorization"),
-        ("fig05_breakdown", "Figure 5 — post-priors category breakdown"),
-        ("fig07_htable_hitrate", "Figure 7 — hash table hit rate vs entries"),
-        ("fig08_memusage", "Figure 8 — alloc-size CDF + live-memory timeline"),
-        ("fig12_sifting", "Figure 12 — sifting/reuse skip opportunity"),
+        (
+            "fig03_priors",
+            "Figure 3 — prior optimizations on WordPress leaves",
+        ),
+        (
+            "fig04_categories",
+            "Figure 4 — leaf-function categorization",
+        ),
+        (
+            "fig05_breakdown",
+            "Figure 5 — post-priors category breakdown",
+        ),
+        (
+            "fig07_htable_hitrate",
+            "Figure 7 — hash table hit rate vs entries",
+        ),
+        (
+            "fig08_memusage",
+            "Figure 8 — alloc-size CDF + live-memory timeline",
+        ),
+        (
+            "fig12_sifting",
+            "Figure 12 — sifting/reuse skip opportunity",
+        ),
         ("fig14_exectime", "Figure 14 — normalized execution time"),
-        ("fig15_accel_breakdown", "Figure 15 — per-accelerator benefit split"),
+        (
+            "fig15_accel_breakdown",
+            "Figure 15 — per-accelerator benefit split",
+        ),
         ("tab_energy", "§5.2 — energy savings"),
         ("tab_uops", "§5.2 — software µop costs"),
         ("tab_area", "§5.1 — area budget"),

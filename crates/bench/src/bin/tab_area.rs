@@ -7,7 +7,10 @@ use bench::header;
 use uarch_sim::AreaBudget;
 
 fn main() {
-    header("§5.1 — accelerator area budget (45nm, CACTI-like)", "Σ = 0.22 mm² = 0.89% of core");
+    header(
+        "§5.1 — accelerator area budget (45nm, CACTI-like)",
+        "Σ = 0.22 mm² = 0.89% of core",
+    );
     let a = AreaBudget::default();
     println!("{:24} {:>8}", "component", "mm²");
     for (name, v) in [
@@ -22,5 +25,9 @@ fn main() {
     }
     println!("{:24} {:>8.3}", "TOTAL", a.accel_total_mm2());
     println!("{:24} {:>8.1}", "reference core", a.core_mm2);
-    println!("{:24} {:>7.2}%", "fraction of core", a.fraction_of_core() * 100.0);
+    println!(
+        "{:24} {:>7.2}%",
+        "fraction of core",
+        a.fraction_of_core() * 100.0
+    );
 }

@@ -20,5 +20,8 @@ fn main() {
         println!("{}", row(&[c.app.clone(), pct(c.energy_saving)], &widths));
         sum += c.energy_saving;
     }
-    println!("{}", row(&["average".into(), pct(sum / cmps.len() as f64)], &widths));
+    println!(
+        "{}",
+        row(&["average".into(), pct(sum / cmps.len() as f64)], &widths)
+    );
 }

@@ -17,10 +17,24 @@ fn main() {
     let widths = [12, 12, 12, 12];
     println!(
         "{}",
-        row(&["app".into(), "malloc".into(), "free".into(), "hash-walk".into()], &widths)
+        row(
+            &[
+                "app".into(),
+                "malloc".into(),
+                "free".into(),
+                "hash-walk".into()
+            ],
+            &widths
+        )
     );
     for kind in AppKind::PHP_APPS {
-        let m = run_app(kind, ExecMode::Baseline, MachineConfig::default(), standard_load(), 0xAB);
+        let m = run_app(
+            kind,
+            ExecMode::Baseline,
+            MachineConfig::default(),
+            standard_load(),
+            0xAB,
+        );
         let stats = m.ctx().with_allocator(|a| a.stats().clone());
         // Hash walk: average µops per zend_hash_find/update invocation.
         let prof = m.ctx().profiler();

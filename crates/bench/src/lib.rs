@@ -13,17 +13,31 @@ use workloads::{AppKind, LoadGen};
 
 /// Standard load used by the end-to-end experiments.
 pub fn standard_load() -> LoadGen {
-    LoadGen { warmup: 40, measured: 120, context_switch_every: 50 }
+    LoadGen {
+        warmup: 40,
+        measured: 120,
+        context_switch_every: 50,
+    }
 }
 
 /// Quick load for smoke tests.
 pub fn quick_load() -> LoadGen {
-    LoadGen { warmup: 5, measured: 15, context_switch_every: 0 }
+    LoadGen {
+        warmup: 5,
+        measured: 15,
+        context_switch_every: 0,
+    }
 }
 
 /// Runs `kind` on a machine in `mode` with the given load; returns the
 /// machine post-run (metrics cover the measured phase).
-pub fn run_app(kind: AppKind, mode: ExecMode, cfg: MachineConfig, lg: LoadGen, seed: u64) -> PhpMachine {
+pub fn run_app(
+    kind: AppKind,
+    mode: ExecMode,
+    cfg: MachineConfig,
+    lg: LoadGen,
+    seed: u64,
+) -> PhpMachine {
     let mut app = kind.build(seed);
     let mut machine = PhpMachine::new(mode, cfg);
     lg.run(app.as_mut(), &mut machine);
@@ -41,7 +55,10 @@ pub fn comparison_for(kind: AppKind, lg: LoadGen, seed: u64) -> Comparison {
 
 /// Comparisons for the three PHP applications.
 pub fn all_comparisons(lg: LoadGen, seed: u64) -> Vec<Comparison> {
-    AppKind::PHP_APPS.iter().map(|&k| comparison_for(k, lg, seed)).collect()
+    AppKind::PHP_APPS
+        .iter()
+        .map(|&k| comparison_for(k, lg, seed))
+        .collect()
 }
 
 /// Prints a fixed-width table row.

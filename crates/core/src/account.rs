@@ -113,9 +113,18 @@ impl Comparison {
     /// fraction of priors cycles.
     pub fn benefit_by_category(&self) -> HashMap<Category, f64> {
         let mut out = HashMap::new();
-        for cat in [Category::HashMap, Category::Heap, Category::String, Category::Regex] {
+        for cat in [
+            Category::HashMap,
+            Category::Heap,
+            Category::String,
+            Category::Regex,
+        ] {
             let before = self.priors_by_category.get(&cat).copied().unwrap_or(0.0);
-            let after = self.specialized_by_category.get(&cat).copied().unwrap_or(0.0);
+            let after = self
+                .specialized_by_category
+                .get(&cat)
+                .copied()
+                .unwrap_or(0.0);
             out.insert(cat, (before - after).max(0.0) / self.priors_cycles);
         }
         out
@@ -150,15 +159,20 @@ pub fn compare(
     let mut specialized_by_category = to_cycles(priors_spec.category_breakdown_after());
     // Attribute accelerator cycles to their categories.
     let core = specialized.core();
-    *specialized_by_category.entry(Category::HashMap).or_insert(0.0) +=
-        core.htable.stats().accel_cycles as f64;
+    *specialized_by_category
+        .entry(Category::HashMap)
+        .or_insert(0.0) += core.htable.stats().accel_cycles as f64;
     *specialized_by_category.entry(Category::Heap).or_insert(0.0) +=
         core.heap.stats().accel_cycles as f64;
-    *specialized_by_category.entry(Category::String).or_insert(0.0) +=
-        core.straccel.stats().cycles as f64;
+    *specialized_by_category
+        .entry(Category::String)
+        .or_insert(0.0) += core.straccel.stats().cycles as f64;
 
-    let energy_saving =
-        energy.saving(priors_base.uops_after, priors_spec.uops_after, &spec_ledger.activity);
+    let energy_saving = energy.saving(
+        priors_base.uops_after,
+        priors_spec.uops_after,
+        &spec_ledger.activity,
+    );
 
     Comparison {
         app: app.to_owned(),
@@ -210,7 +224,10 @@ mod tests {
             }
             let rules = vec![
                 (regex_engine::Regex::new("'").unwrap(), b"&#8217;".to_vec()),
-                (regex_engine::Regex::new("<[a-z]+>").unwrap(), b"<TAG>".to_vec()),
+                (
+                    regex_engine::Regex::new("<[a-z]+>").unwrap(),
+                    b"<TAG>".to_vec(),
+                ),
             ];
             let _ = m.texturize(&text, &rules);
             m.array_free(&post);

@@ -83,12 +83,20 @@ pub struct InstrResult {
 impl InstrResult {
     /// A successful (flag-clear) result.
     pub fn ok(result: u64, cycles: u64) -> Self {
-        InstrResult { zero_flag: false, result, cycles }
+        InstrResult {
+            zero_flag: false,
+            result,
+            cycles,
+        }
     }
 
     /// A fallback (flag-set) result.
     pub fn fallback(cycles: u64) -> Self {
-        InstrResult { zero_flag: true, result: 0, cycles }
+        InstrResult {
+            zero_flag: true,
+            result: 0,
+            cycles,
+        }
     }
 }
 
@@ -107,7 +115,10 @@ mod tests {
 
     #[test]
     fn instr_variants_construct() {
-        let i = AccelInstr::HashTableGet { base: 0x10, key: b"k".to_vec() };
+        let i = AccelInstr::HashTableGet {
+            base: 0x10,
+            key: b"k".to_vec(),
+        };
         assert!(matches!(i, AccelInstr::HashTableGet { .. }));
         let i = AccelInstr::HmMalloc { size: 64 };
         assert!(matches!(i, AccelInstr::HmMalloc { size: 64 }));
@@ -123,7 +134,11 @@ mod exec_tests {
     use php_runtime::Profiler;
 
     fn setup() -> (SpecializedCore, SlabAllocator, Profiler) {
-        (SpecializedCore::new(&MachineConfig::default()), SlabAllocator::new(), Profiler::new())
+        (
+            SpecializedCore::new(&MachineConfig::default()),
+            SlabAllocator::new(),
+            Profiler::new(),
+        )
     }
 
     #[test]
@@ -131,21 +146,31 @@ mod exec_tests {
         let (mut core, mut alloc, prof) = setup();
         // GET miss → zero flag (branch to software handler).
         let r = core.execute(
-            &AccelInstr::HashTableGet { base: 0x10, key: b"k".to_vec() },
+            &AccelInstr::HashTableGet {
+                base: 0x10,
+                key: b"k".to_vec(),
+            },
             &mut alloc,
             &prof,
         );
         assert!(r.zero_flag);
         // SET never misses → flag clear.
         let r = core.execute(
-            &AccelInstr::HashTableSet { base: 0x10, key: b"k".to_vec(), value_ptr: 77 },
+            &AccelInstr::HashTableSet {
+                base: 0x10,
+                key: b"k".to_vec(),
+                value_ptr: 77,
+            },
             &mut alloc,
             &prof,
         );
         assert!(!r.zero_flag);
         // GET now hits and returns the value pointer.
         let r = core.execute(
-            &AccelInstr::HashTableGet { base: 0x10, key: b"k".to_vec() },
+            &AccelInstr::HashTableGet {
+                base: 0x10,
+                key: b"k".to_vec(),
+            },
             &mut alloc,
             &prof,
         );
@@ -196,10 +221,18 @@ mod exec_tests {
     #[test]
     fn regex_instructions() {
         let (mut core, mut alloc, prof) = setup();
-        let r = core.execute(&AccelInstr::RegexLookup { pc: 9, asid: 1 }, &mut alloc, &prof);
+        let r = core.execute(
+            &AccelInstr::RegexLookup { pc: 9, asid: 1 },
+            &mut alloc,
+            &prof,
+        );
         assert!(r.zero_flag, "cold lookup misses");
         let r = core.execute(
-            &AccelInstr::RegexSet { pc: 9, asid: 1, state: 5 },
+            &AccelInstr::RegexSet {
+                pc: 9,
+                asid: 1,
+                state: 5,
+            },
             &mut alloc,
             &prof,
         );

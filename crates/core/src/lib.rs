@@ -29,6 +29,7 @@ pub mod isa;
 pub mod priors;
 pub mod specialized;
 
+pub use accel_htable::KeyShapeHint;
 pub use account::{compare, cycles_of, Comparison, Ledger};
 pub use config::{MachineConfig, PriorsConfig};
 pub use isa::{AccelInstr, InstrResult};

@@ -107,7 +107,13 @@ pub fn apply_to_rows(rows: &[ProfileRow], cfg: &PriorsConfig) -> PriorsOutcome {
     for row in after.iter_mut() {
         row.share = row.uops as f64 / total_after;
     }
-    PriorsOutcome { before: rows.to_vec(), after, uops_before, uops_after, saved_by }
+    PriorsOutcome {
+        before: rows.to_vec(),
+        after,
+        uops_before,
+        uops_after,
+        saved_by,
+    }
 }
 
 /// Convenience: applies the priors to a live profiler's current profile.
@@ -124,7 +130,11 @@ mod tests {
         let p = Profiler::new();
         p.record("zend_hash_find", Category::HashMap, OpCost::mixed(10_000));
         p.record("zval_type_check", Category::TypeCheck, OpCost::mixed(5_000));
-        p.record("zval_refcount_inc", Category::RefCount, OpCost::mixed(4_000));
+        p.record(
+            "zval_refcount_inc",
+            Category::RefCount,
+            OpCost::mixed(4_000),
+        );
         p.record("kernel_mmap_alloc", Category::Heap, OpCost::mixed(2_000));
         p.record("slab_malloc", Category::Heap, OpCost::mixed(6_000));
         p.record("php_trim", Category::String, OpCost::mixed(3_000));
@@ -153,7 +163,10 @@ mod tests {
         let out = apply(&sample_profiler(), &PriorsConfig::default());
         let f = out.remaining_fraction();
         assert!(f < 1.0 && f > 0.5, "remaining {f}");
-        assert_eq!(out.uops_before - out.uops_after, out.saved_by.values().sum::<u64>());
+        assert_eq!(
+            out.uops_before - out.uops_after,
+            out.saved_by.values().sum::<u64>()
+        );
     }
 
     #[test]
@@ -168,9 +181,18 @@ mod tests {
         // Figure 3: "the contributions of the remaining functions in the
         // overall distribution have gone up."
         let out = apply(&sample_profiler(), &PriorsConfig::default());
-        let before_share =
-            out.before.iter().find(|r| r.name == "php_trim").unwrap().share;
-        let after_share = out.after.iter().find(|r| r.name == "php_trim").unwrap().share;
+        let before_share = out
+            .before
+            .iter()
+            .find(|r| r.name == "php_trim")
+            .unwrap()
+            .share;
+        let after_share = out
+            .after
+            .iter()
+            .find(|r| r.name == "php_trim")
+            .unwrap()
+            .share;
         assert!(after_share > before_share);
     }
 

@@ -8,7 +8,7 @@
 
 use crate::config::MachineConfig;
 use accel_heap::{FreeOutcome, HwHeapManager, MallocOutcome};
-use accel_htable::{Eviction, GetOutcome, HwHashTable, SetOutcome};
+use accel_htable::{Eviction, GetOutcome, HwHashTable, KeyShapeHint, SetOutcome};
 use accel_regex::{
     regexp_shadow, regexp_sieve, replace_padded, run_with_reuse, ContentReuseTable, HintVector,
     RegexAccelStats, ShadowMode,
@@ -19,7 +19,7 @@ use php_runtime::profile::{Category, OpCost};
 use php_runtime::strfuncs::StrLib;
 use php_runtime::string::PhpStr;
 use php_runtime::value::PhpValue;
-use php_runtime::RuntimeContext;
+use php_runtime::{AccessStatic, RuntimeContext};
 use regex_engine::Regex;
 
 /// Execution mode of the machine.
@@ -89,12 +89,22 @@ impl SpecializedCore {
                 GetOutcome::Hit { value_ptr } => InstrResult::ok(value_ptr, 3),
                 GetOutcome::Miss | GetOutcome::Unsupported => InstrResult::fallback(3),
             },
-            AccelInstr::HashTableSet { base, key, value_ptr } => {
+            AccelInstr::HashTableSet {
+                base,
+                key,
+                value_ptr,
+            } => {
                 match self.htable.set(*base, key, *value_ptr) {
                     SetOutcome::Updated => InstrResult::ok(0, 3),
-                    SetOutcome::Inserted { eviction: Eviction::DirtyWriteback { evicted } } => {
+                    SetOutcome::Inserted {
+                        eviction: Eviction::DirtyWriteback { evicted },
+                    } => {
                         // Overflow: zero flag — software writes the victim back.
-                        InstrResult { zero_flag: true, result: evicted.value_ptr, cycles: 3 }
+                        InstrResult {
+                            zero_flag: true,
+                            result: evicted.value_ptr,
+                            cycles: 3,
+                        }
                     }
                     SetOutcome::Inserted { .. } => InstrResult::ok(0, 3),
                     SetOutcome::Unsupported => InstrResult::fallback(1),
@@ -104,9 +114,11 @@ impl SpecializedCore {
                 MallocOutcome::Hit { addr } => InstrResult::ok(addr, 1),
                 // Zero flag: the handler already supplied the block; the
                 // result register still carries the address.
-                MallocOutcome::SoftwareRefill { addr } => {
-                    InstrResult { zero_flag: true, result: addr, cycles: 1 }
-                }
+                MallocOutcome::SoftwareRefill { addr } => InstrResult {
+                    zero_flag: true,
+                    result: addr,
+                    cycles: 1,
+                },
                 MallocOutcome::TooLarge => InstrResult::fallback(1),
             },
             AccelInstr::HmFree { addr, size } => {
@@ -242,7 +254,9 @@ impl PhpMachine {
     }
 
     fn dispatch(&self, name: &'static str, cat: Category) {
-        self.ctx.profiler().record(name, cat, OpCost::alu(DISPATCH_UOPS));
+        self.ctx
+            .profiler()
+            .record(name, cat, OpCost::alu(DISPATCH_UOPS));
     }
 
     /// Resets every metric (profiler, refcount/alloc counters are kept in
@@ -295,22 +309,39 @@ impl PhpMachine {
     pub fn alloc(&mut self, size: usize) -> MBlock {
         if self.is_specialized() {
             let prof = self.ctx.profiler();
-            let out = self.ctx.with_allocator(|a| self.core.heap.hmmalloc(size, a, prof));
+            let out = self
+                .ctx
+                .with_allocator(|a| self.core.heap.hmmalloc(size, a, prof));
             match out {
                 MallocOutcome::Hit { addr } => {
                     self.dispatch("hmmalloc", Category::Heap);
-                    return MBlock { addr, size, hw: true, sw_block: None };
+                    return MBlock {
+                        addr,
+                        size,
+                        hw: true,
+                        sw_block: None,
+                    };
                 }
                 MallocOutcome::SoftwareRefill { addr } => {
                     // Cost already charged by the software handler.
                     self.dispatch("hmmalloc", Category::Heap);
-                    return MBlock { addr, size, hw: true, sw_block: None };
+                    return MBlock {
+                        addr,
+                        size,
+                        hw: true,
+                        sw_block: None,
+                    };
                 }
                 MallocOutcome::TooLarge => {}
             }
         }
         let b = self.ctx.malloc(size);
-        MBlock { addr: b.addr, size, hw: false, sw_block: Some(b) }
+        MBlock {
+            addr: b.addr,
+            size,
+            hw: false,
+            sw_block: Some(b),
+        }
     }
 
     /// Frees a block.
@@ -356,47 +387,87 @@ impl PhpMachine {
 
     /// Hash GET.
     pub fn array_get(&mut self, arr: &PhpArray, key: &ArrayKey) -> Option<PhpValue> {
+        self.array_get_static(arr, key, AccessStatic::default(), KeyShapeHint::Unknown)
+    }
+
+    /// Hash GET with static-analysis facts: proven type checks and refcount
+    /// increments are skipped (and counted as avoided); a constant-key hint
+    /// lets the hardware table skip its hash stage. Returned values are
+    /// identical to [`PhpMachine::array_get`].
+    pub fn array_get_static(
+        &mut self,
+        arr: &PhpArray,
+        key: &ArrayKey,
+        facts: AccessStatic,
+        hint: KeyShapeHint,
+    ) -> Option<PhpValue> {
         if self.is_specialized() {
             let kb = key_bytes(key);
-            match self.core.htable.get(arr.base_addr(), &kb) {
+            match self.core.htable.get_hinted(arr.base_addr(), &kb, hint) {
                 GetOutcome::Hit { .. } => {
                     self.dispatch("hashtableget", Category::HashMap);
                     let out = arr.get(key).cloned();
                     if let Some(v) = &out {
-                        self.ctx.type_check(v);
-                        self.ctx.refcount_on_copy(v);
+                        self.ctx.type_check_elidable(v, facts.skip_type_check);
+                        self.ctx.refcount_on_copy_elidable(v, facts.elide_rc);
                     }
                     return out;
                 }
                 GetOutcome::Miss => {
                     // Zero flag: software walk, then fill the table.
-                    let out = self.ctx.array_get(arr, key);
+                    let out = self.ctx.array_get_static(arr, key, facts);
                     if out.is_some() {
-                        let ev =
-                            self.core.htable.fill(arr.base_addr(), &kb, value_token(arr.base_addr(), &kb));
+                        let ev = self.core.htable.fill(
+                            arr.base_addr(),
+                            &kb,
+                            value_token(arr.base_addr(), &kb),
+                        );
                         self.charge_eviction(ev);
                     }
                     return out;
                 }
-                GetOutcome::Unsupported => return self.ctx.array_get(arr, key),
+                GetOutcome::Unsupported => return self.ctx.array_get_static(arr, key, facts),
             }
         }
-        self.ctx.array_get(arr, key)
+        self.ctx.array_get_static(arr, key, facts)
     }
 
     /// Hash SET.
     pub fn array_set(&mut self, arr: &mut PhpArray, key: ArrayKey, value: PhpValue) {
+        self.array_set_static(
+            arr,
+            key,
+            value,
+            AccessStatic::default(),
+            KeyShapeHint::Unknown,
+        );
+    }
+
+    /// Hash SET with static-analysis facts (see
+    /// [`PhpMachine::array_get_static`]).
+    pub fn array_set_static(
+        &mut self,
+        arr: &mut PhpArray,
+        key: ArrayKey,
+        value: PhpValue,
+        facts: AccessStatic,
+        hint: KeyShapeHint,
+    ) {
         if self.is_specialized() {
             let kb = key_bytes(&key);
             let base = arr.base_addr();
-            self.ctx.refcount_on_copy(&value);
+            self.ctx.refcount_on_copy_elidable(&value, facts.elide_rc);
             // Ground truth stays in the software map (write-back happens
             // lazily in hardware; the model keeps contents exact).
             let old = arr.insert(key, value);
             if let Some(old) = old {
-                self.ctx.refcount_on_drop(&old);
+                self.ctx.refcount_on_drop_elidable(&old, facts.elide_rc);
             }
-            match self.core.htable.set(base, &kb, value_token(base, &kb)) {
+            match self
+                .core
+                .htable
+                .set_hinted(base, &kb, value_token(base, &kb), hint)
+            {
                 SetOutcome::Updated => self.dispatch("hashtableset", Category::HashMap),
                 SetOutcome::Inserted { eviction } => {
                     self.dispatch("hashtableset", Category::HashMap);
@@ -413,18 +484,40 @@ impl PhpMachine {
             }
             return;
         }
-        self.ctx.array_set(arr, key, value);
+        self.ctx.array_set_static(arr, key, value, facts);
     }
 
     /// Appends with the next integer key (PHP `$a[] = v`), going through
     /// the same SET path as [`PhpMachine::array_set`].
     pub fn array_push(&mut self, arr: &mut PhpArray, value: PhpValue) -> ArrayKey {
-        self.ctx.refcount_on_copy(&value);
+        self.array_push_static(arr, value, AccessStatic::default(), false)
+    }
+
+    /// Append with static-analysis facts. When `hinted_append` is set the
+    /// analysis proved this site only ever appends fresh integer keys, so
+    /// the hardware SET skips its existence probe.
+    pub fn array_push_static(
+        &mut self,
+        arr: &mut PhpArray,
+        value: PhpValue,
+        facts: AccessStatic,
+        hinted_append: bool,
+    ) -> ArrayKey {
+        self.ctx.refcount_on_copy_elidable(&value, facts.elide_rc);
         let key = arr.push(value);
         if self.is_specialized() {
             let kb = key_bytes(&key);
             let base = arr.base_addr();
-            match self.core.htable.set(base, &kb, value_token(base, &kb)) {
+            let hint = if hinted_append {
+                KeyShapeHint::IntAppend
+            } else {
+                KeyShapeHint::Unknown
+            };
+            match self
+                .core
+                .htable
+                .set_hinted(base, &kb, value_token(base, &kb), hint)
+            {
                 SetOutcome::Inserted { eviction } => {
                     self.dispatch("hashtableset", Category::HashMap);
                     self.charge_eviction(eviction);
@@ -467,7 +560,9 @@ impl PhpMachine {
             self.core.htable.free(arr.base_addr());
             self.dispatch("hashtable_free", Category::HashMap);
             // Software still frees the map structure itself.
-            self.ctx.profiler().record("zend_hash_destroy", Category::HashMap, OpCost::mixed(16));
+            self.ctx
+                .profiler()
+                .record("zend_hash_destroy", Category::HashMap, OpCost::mixed(16));
             return;
         }
         self.ctx.array_free(arr);
@@ -565,8 +660,10 @@ impl PhpMachine {
     /// `trim` with the default whitespace set.
     pub fn trim(&mut self, s: &PhpStr) -> PhpStr {
         if self.is_specialized() {
-            if let Ok(((start, end), _)) =
-                self.core.straccel.trim_range(s.as_bytes(), StrLib::WHITESPACE)
+            if let Ok(((start, end), _)) = self
+                .core
+                .straccel
+                .trim_range(s.as_bytes(), StrLib::WHITESPACE)
             {
                 self.dispatch("stringop_trim", Category::String);
                 return PhpStr::from_bytes(s.as_bytes()[start..end].to_vec());
@@ -577,9 +674,17 @@ impl PhpMachine {
     }
 
     /// Single-byte `str_replace` (accelerated); multi-byte falls back.
-    pub fn str_replace(&mut self, search: &[u8], replace: &[u8], subject: &PhpStr) -> (PhpStr, usize) {
+    pub fn str_replace(
+        &mut self,
+        search: &[u8],
+        replace: &[u8],
+        subject: &PhpStr,
+    ) -> (PhpStr, usize) {
         if self.is_specialized() && search.len() == 1 && replace.len() == 1 {
-            let (out, n, _) = self.core.straccel.replace_byte(subject.as_bytes(), search[0], replace[0]);
+            let (out, n, _) =
+                self.core
+                    .straccel
+                    .replace_byte(subject.as_bytes(), search[0], replace[0]);
             self.dispatch("stringop_replace", Category::String);
             return (PhpStr::from_bytes(out), n);
         }
@@ -679,7 +784,9 @@ impl PhpMachine {
     // -- regular expressions -----------------------------------------------------
 
     fn charge_regex(&self, name: &'static str, uops: u64) {
-        self.ctx.profiler().record(name, Category::Regex, OpCost::mixed(uops));
+        self.ctx
+            .profiler()
+            .record(name, Category::Regex, OpCost::mixed(uops));
     }
 
     /// `preg_match`-style boolean search (no sifting context).
@@ -794,7 +901,10 @@ mod tests {
                 .array_get(&a, &ArrayKey::from("title"))
                 .unwrap()
                 .loose_eq(&PhpValue::from("Hello")));
-            assert!(m.array_get(&a, &ArrayKey::Int(7)).unwrap().loose_eq(&PhpValue::from(7i64)));
+            assert!(m
+                .array_get(&a, &ArrayKey::Int(7))
+                .unwrap()
+                .loose_eq(&PhpValue::from(7i64)));
             assert!(m.array_get(&a, &ArrayKey::from("nope")).is_none());
             let keys: Vec<String> = m.foreach(&a).iter().map(|(k, _)| k.to_string()).collect();
             assert_eq!(keys, ["title", "views", "7"]);
@@ -810,7 +920,11 @@ mod tests {
         for m in [&mut base, &mut spec] {
             let mut a = m.new_array();
             for i in 0..50 {
-                m.array_set(&mut a, ArrayKey::from(format!("key{i}")), PhpValue::from(i as i64));
+                m.array_set(
+                    &mut a,
+                    ArrayKey::from(format!("key{i}")),
+                    PhpValue::from(i as i64),
+                );
             }
             for _ in 0..10 {
                 for i in 0..50 {
@@ -850,8 +964,14 @@ mod tests {
         let s = PhpStr::from("  The Quick <b>Brown</b> Fox's Tale  ");
         for m in [&mut base, &mut spec] {
             assert_eq!(m.strpos(&s, b"Quick", 0), Some(6));
-            assert_eq!(m.strtolower(&s).to_string_lossy(), s.to_string_lossy().to_lowercase());
-            assert_eq!(m.trim(&s).to_string_lossy(), "The Quick <b>Brown</b> Fox's Tale");
+            assert_eq!(
+                m.strtolower(&s).to_string_lossy(),
+                s.to_string_lossy().to_lowercase()
+            );
+            assert_eq!(
+                m.trim(&s).to_string_lossy(),
+                "The Quick <b>Brown</b> Fox's Tale"
+            );
             let (r, n) = m.str_replace(b"o", b"0", &s);
             assert_eq!(n, 2);
             assert!(r.to_string_lossy().contains("Br0wn"));
@@ -889,7 +1009,11 @@ mod tests {
         let out_s = spec.texturize(&content, &rules);
         // Padding may add whitespace; stripping spaces the outputs agree.
         let squash = |s: &PhpStr| {
-            s.as_bytes().iter().filter(|&&b| b != b' ').copied().collect::<Vec<u8>>()
+            s.as_bytes()
+                .iter()
+                .filter(|&&b| b != b' ')
+                .copied()
+                .collect::<Vec<u8>>()
         };
         assert_eq!(squash(&out_b), squash(&out_s));
         assert!(out_s.to_string_lossy().contains("&#8217;"));

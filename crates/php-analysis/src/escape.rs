@@ -1,0 +1,166 @@
+//! Intra-procedural escape analysis for refcount elision.
+//!
+//! A variable *escapes* its scope when its value may outlive the expression
+//! reading it: stored into another variable or array, returned, passed to a
+//! user function (or a builtin that keeps its argument), iterated by
+//! `foreach`, or bound `global`. Reads of variables that never escape are
+//! purely transient — the interpreter's refcount increment on the fetch and
+//! the matching decrement on drop cancel out within the statement, so the
+//! pair can be elided (metering-only; values still behave identically).
+
+use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
+use crate::knowledge::consumes_args_transiently;
+use php_interp::ast::{Expr, LValue, Stmt};
+use std::collections::BTreeSet;
+
+/// The variables of one scope that may escape it.
+#[derive(Debug, Default)]
+pub struct EscapeSet {
+    /// `extract()` was seen: every variable (present and future) escapes.
+    pub all: bool,
+    /// Individually escaping variables.
+    pub vars: BTreeSet<String>,
+}
+
+impl EscapeSet {
+    /// Whether `name` escapes.
+    pub fn contains(&self, name: &str) -> bool {
+        self.all || self.vars.contains(name)
+    }
+}
+
+/// The variables whose *values* an expression can yield directly (through
+/// ternaries), as opposed to values it constructs. `$a . $b` builds a new
+/// string — neither root escapes through it; `$c ? $a : $b` yields one of
+/// the two unchanged.
+fn root_vars(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Var(n) => {
+            out.insert(n.clone());
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            match then {
+                Some(t) => root_vars(t, out),
+                None => root_vars(cond, out), // elvis reuses the condition value
+            }
+            root_vars(otherwise, out);
+        }
+        _ => {}
+    }
+}
+
+/// Computes the escape set of one scope.
+pub fn escaping_vars(scope: &ScopeCfg<'_>) -> EscapeSet {
+    let mut esc = EscapeSet {
+        all: false,
+        vars: scope.globals.clone(),
+    };
+    for block in &scope.cfg.blocks {
+        for item in &block.items {
+            // Sub-expression rules: call arguments and array-literal
+            // elements store or retain the value.
+            for e in item_exprs(item) {
+                walk_exprs(e, &mut |x| match x {
+                    Expr::Call { name, args } => {
+                        if name == "extract" {
+                            esc.all = true;
+                        } else if !consumes_args_transiently(name) {
+                            for a in args {
+                                root_vars(a, &mut esc.vars);
+                            }
+                        }
+                    }
+                    Expr::ArrayLit(items) => {
+                        for (_, v) in items {
+                            root_vars(v, &mut esc.vars);
+                        }
+                    }
+                    _ => {}
+                });
+            }
+            // Statement-level rules.
+            match item {
+                Item::Stmt(Stmt::Assign { target, value }) => {
+                    match target {
+                        // `$b = $a` aliases: $a's value is now also held by
+                        // $b. Storing into an array keeps the value too.
+                        LValue::Var(_) | LValue::Index { .. } => {
+                            root_vars(value, &mut esc.vars);
+                        }
+                    }
+                }
+                Item::Stmt(Stmt::Return(Some(e))) => {
+                    root_vars(e, &mut esc.vars);
+                }
+                // `foreach` iterates (and snapshots) the array value.
+                Item::ForeachEnter(Stmt::Foreach { array, .. }) => {
+                    root_vars(array, &mut esc.vars);
+                }
+                _ => {}
+            }
+        }
+    }
+    esc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use php_interp::parse;
+
+    fn main_escapes(src: &str) -> EscapeSet {
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        escaping_vars(&scopes[0])
+    }
+
+    #[test]
+    fn echoed_and_builtin_read_vars_do_not_escape() {
+        let esc = main_escapes("$t = 'x'; echo $t, strlen($t), strtoupper($t); $u = $t . '!';");
+        assert!(!esc.contains("t"), "transient reads only");
+    }
+
+    #[test]
+    fn returned_and_aliased_vars_escape() {
+        let prog = parse("function f() { $r = 'x'; $keep = $r; return $r; }").unwrap();
+        let scopes = lower_program(&prog);
+        let f = scopes.iter().find(|s| s.name == "f").unwrap();
+        let esc = escaping_vars(f);
+        assert!(esc.contains("r"));
+    }
+
+    #[test]
+    fn array_stores_user_calls_and_globals_escape() {
+        let esc = main_escapes(
+            "$v = 1; $a[0] = $v; $w = 2; $lit = array($w); my_fn($x); global $g; $m = max($y, $z);",
+        );
+        assert!(esc.contains("v"), "stored into an array");
+        assert!(esc.contains("w"), "kept by an array literal");
+        assert!(esc.contains("x"), "passed to a user function");
+        assert!(esc.contains("g"), "global binding");
+        assert!(
+            esc.contains("y") && esc.contains("z"),
+            "max returns an argument"
+        );
+        assert!(!esc.contains("m") && !esc.contains("a"));
+    }
+
+    #[test]
+    fn extract_poisons_the_whole_scope() {
+        let esc = main_escapes("$t = 'x'; extract($req); echo $t;");
+        assert!(esc.contains("t"));
+        assert!(esc.contains("anything_at_all"));
+    }
+
+    #[test]
+    fn foreach_array_escapes_but_bindings_need_not() {
+        let esc = main_escapes("$rows = array(1, 2); foreach ($rows as $k => $v) { echo $k, $v; }");
+        assert!(esc.contains("rows"));
+        assert!(!esc.contains("k") && !esc.contains("v"));
+    }
+}

@@ -1,0 +1,133 @@
+//! What the analyses know about the interpreter's builtin functions:
+//! which names are builtins at all, which return a statically known type,
+//! and which consume their arguments transiently (so an argument's refcount
+//! increment/decrement pair is elidable).
+//!
+//! This table mirrors `php_interp::builtins` — a name missing here is
+//! treated as a user function, which is always the conservative direction.
+
+use crate::types::Ty;
+
+/// All builtin names the interpreter dispatches on.
+const BUILTINS: &[&str] = &[
+    "strlen",
+    "strtolower",
+    "strtoupper",
+    "ucfirst",
+    "ucwords",
+    "lcfirst",
+    "trim",
+    "strpos",
+    "str_replace",
+    "substr",
+    "str_repeat",
+    "sprintf",
+    "htmlspecialchars",
+    "strip_tags",
+    "str_word_count",
+    "nl2br",
+    "strcmp",
+    "implode",
+    "join",
+    "explode",
+    "count",
+    "array_keys",
+    "array_values",
+    "in_array",
+    "array_key_exists",
+    "isset_key",
+    "unset_key",
+    "extract",
+    "intval",
+    "floatval",
+    "strval",
+    "abs",
+    "max",
+    "min",
+    "preg_match",
+    "preg_replace",
+    "is_string",
+    "is_int",
+    "is_integer",
+    "is_long",
+    "is_float",
+    "is_double",
+    "is_bool",
+    "is_array",
+    "is_null",
+    "is_numeric",
+];
+
+/// Whether `name` is an interpreter builtin (anything else is a user call).
+pub fn is_builtin(name: &str) -> bool {
+    BUILTINS.contains(&name)
+}
+
+/// The statically known return type of a builtin, if any.
+pub fn builtin_ret_ty(name: &str) -> Option<Ty> {
+    Some(match name {
+        "strlen" | "str_word_count" | "strcmp" | "intval" | "preg_match" | "extract" | "count" => {
+            Ty::Int
+        }
+        "strtolower" | "strtoupper" | "ucfirst" | "ucwords" | "lcfirst" | "trim"
+        | "str_replace" | "substr" | "str_repeat" | "sprintf" | "htmlspecialchars"
+        | "strip_tags" | "nl2br" | "implode" | "join" | "strval" | "preg_replace" => Ty::Str,
+        "explode" | "array_keys" | "array_values" => Ty::Arr,
+        "in_array" | "array_key_exists" | "isset_key" | "unset_key" | "is_string" | "is_int"
+        | "is_integer" | "is_long" | "is_float" | "is_double" | "is_bool" | "is_array"
+        | "is_null" | "is_numeric" => Ty::Bool,
+        "floatval" => Ty::Float,
+        // strpos: Int | false. abs/max/min: Int | Float (max/min return an
+        // argument unchanged, so anything).
+        _ => return None,
+    })
+}
+
+/// Whether a builtin only *reads* its arguments for the duration of the
+/// call — the argument value never outlives it, so the inc/dec pair charged
+/// for passing it is elidable. `max`/`min` return an argument itself and
+/// `extract` rebinds the whole scope, so they are excluded.
+pub fn consumes_args_transiently(name: &str) -> bool {
+    !matches!(name, "max" | "min" | "extract") && is_builtin(name)
+}
+
+/// The type an `is_*` guard tests for, if `name` is such a predicate.
+pub fn guard_ty(name: &str) -> Option<Ty> {
+    Some(match name {
+        "is_string" => Ty::Str,
+        "is_int" | "is_integer" | "is_long" => Ty::Int,
+        "is_float" | "is_double" => Ty::Float,
+        "is_bool" => Ty::Bool,
+        "is_array" => Ty::Arr,
+        "is_null" => Ty::Null,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_functions_are_not_builtins() {
+        assert!(is_builtin("strlen"));
+        assert!(!is_builtin("render_header"));
+    }
+
+    #[test]
+    fn escape_exclusions() {
+        assert!(consumes_args_transiently("strlen"));
+        assert!(
+            !consumes_args_transiently("max"),
+            "max returns its argument"
+        );
+        assert!(!consumes_args_transiently("extract"));
+        assert!(!consumes_args_transiently("some_user_fn"));
+    }
+
+    #[test]
+    fn guard_types() {
+        assert_eq!(guard_ty("is_string"), Some(Ty::Str));
+        assert_eq!(guard_ty("is_numeric"), None, "numeric is not a single type");
+    }
+}

@@ -1,0 +1,147 @@
+//! Backward live-variable analysis, used by the dead-store lint.
+
+use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
+use crate::solver::{self, Direction, Lattice, NO_WIDENING};
+use php_interp::ast::{Expr, LValue, Stmt};
+use std::collections::BTreeSet;
+
+/// The set of variables live at a program point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LiveSet(pub BTreeSet<String>);
+
+impl Lattice for LiveSet {
+    fn bottom() -> Self {
+        Self::default()
+    }
+    fn join_with(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().cloned());
+        self.0.len() != before
+    }
+}
+
+/// Variables `item` reads.
+pub fn item_uses(item: &Item<'_>) -> BTreeSet<String> {
+    let mut uses = BTreeSet::new();
+    for e in item_exprs(item) {
+        walk_exprs(e, &mut |x| {
+            if let Expr::Var(n) = x {
+                uses.insert(n.clone());
+            }
+        });
+    }
+    // `$a[k] = v` reads (and modifies) the array held in `$a`.
+    if let Item::Stmt(Stmt::Assign {
+        target: LValue::Index { var, .. },
+        ..
+    }) = item
+    {
+        uses.insert(var.clone());
+    }
+    uses
+}
+
+/// Variables `item` (re)binds.
+pub fn item_defs(item: &Item<'_>) -> BTreeSet<String> {
+    let mut defs = BTreeSet::new();
+    match item {
+        Item::Stmt(Stmt::Assign {
+            target: LValue::Var(name),
+            ..
+        }) => {
+            defs.insert(name.clone());
+        }
+        Item::ForeachBind(Stmt::Foreach {
+            key_var, value_var, ..
+        }) => {
+            if let Some(k) = key_var {
+                defs.insert(k.clone());
+            }
+            defs.insert(value_var.clone());
+        }
+        _ => {}
+    }
+    defs
+}
+
+/// Transfers `live` backward across one item: `live = (live \ defs) ∪ uses`.
+pub fn apply_item_backward(item: &Item<'_>, live: &mut LiveSet) {
+    for d in item_defs(item) {
+        live.0.remove(&d);
+    }
+    live.0.extend(item_uses(item));
+}
+
+/// Every variable name the scope mentions (used for the `<main>` exit
+/// boundary, where all variables outlive the script body).
+fn all_vars(scope: &ScopeCfg<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for block in &scope.cfg.blocks {
+        for item in &block.items {
+            names.extend(item_uses(item));
+            names.extend(item_defs(item));
+        }
+    }
+    names
+}
+
+/// Solves liveness for one scope; returns the live set at the *exit* of
+/// every block.
+///
+/// Boundary: in a function, only `global`-declared variables are live at
+/// the exit (locals die at return); in `<main>`, every variable is — script
+/// globals persist for the whole request, so a trailing store is not dead.
+pub fn solve_liveness(scope: &ScopeCfg<'_>) -> Vec<LiveSet> {
+    let boundary = if scope.is_main {
+        LiveSet(all_vars(scope))
+    } else {
+        LiveSet(scope.globals.clone())
+    };
+    let succs = scope.cfg.succ_lists();
+    solver::solve(
+        &succs,
+        &[scope.cfg.exit],
+        &boundary,
+        Direction::Backward,
+        &mut |b, out| {
+            let mut live = out.clone();
+            for item in scope.cfg.blocks[b].items.iter().rev() {
+                apply_item_backward(item, &mut live);
+            }
+            live
+        },
+        NO_WIDENING,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use php_interp::parse;
+
+    #[test]
+    fn overwritten_store_is_not_live() {
+        let prog = parse("function f($a) { $x = $a; $x = 2; return $x; }").unwrap();
+        let scopes = lower_program(&prog);
+        let f = scopes.iter().find(|s| s.name == "f").unwrap();
+        let sol = solve_liveness(f);
+        // Walk the entry block backward to the point after `$x = $a;`: `$x`
+        // must not be live there (it is overwritten before any read).
+        let entry = &f.cfg.blocks[f.cfg.entry];
+        let mut live = sol[f.cfg.entry].clone();
+        for item in entry.items.iter().skip(1).rev() {
+            apply_item_backward(item, &mut live);
+        }
+        assert!(!live.0.contains("x"));
+        assert!(live.0.contains("a") || !live.0.contains("x"));
+    }
+
+    #[test]
+    fn main_exit_keeps_everything_live() {
+        let prog = parse("$x = 1;").unwrap();
+        let scopes = lower_program(&prog);
+        let sol = solve_liveness(&scopes[0]);
+        assert!(sol[scopes[0].cfg.entry].0.contains("x"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Human-readable results: per-scope statistics and lint diagnostics.
+
+use std::fmt;
+
+/// The four diagnostics the lint pass produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A variable is read on a path where it was never assigned.
+    UseBeforeAssign,
+    /// A value assigned to a variable is never read.
+    DeadStore,
+    /// An `is_*` type guard whose outcome is statically known.
+    AlwaysTrueGuard,
+    /// A branch or loop condition that folds to a constant.
+    ConstantCondition,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintKind::UseBeforeAssign => "use-before-assign",
+            LintKind::DeadStore => "dead-store",
+            LintKind::AlwaysTrueGuard => "type-guard",
+            LintKind::ConstantCondition => "constant-condition",
+        })
+    }
+}
+
+/// One diagnostic, attributed to the scope it was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Which lint fired.
+    pub kind: LintKind,
+    /// `"<main>"` or the function name.
+    pub scope: String,
+    /// What happened, mentioning the variable or expression involved.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.scope, self.message)
+    }
+}
+
+/// Per-scope analysis statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScopeReport {
+    /// `"<main>"` or the function name.
+    pub name: String,
+    /// Basic blocks in the scope's CFG.
+    pub blocks: usize,
+    /// `BinOp` nodes seen.
+    pub bin_ops: usize,
+    /// Operand slots (two per `BinOp`).
+    pub operand_slots: usize,
+    /// Operand slots whose type was proven.
+    pub typed_operands: usize,
+    /// Variable reads whose refcount increment is elidable.
+    pub rc_elided_reads: usize,
+    /// Stores (assignments / foreach bindings) whose refcount pair is
+    /// elidable.
+    pub rc_elided_stores: usize,
+    /// Array accesses with a proven constant-string key.
+    pub const_str_sites: usize,
+    /// Array appends proven to insert a fresh integer key.
+    pub int_append_sites: usize,
+}
+
+impl ScopeReport {
+    /// Fraction of `BinOp` operand slots with a proven type, in percent.
+    pub fn type_coverage_pct(&self) -> f64 {
+        if self.operand_slots == 0 {
+            100.0
+        } else {
+            100.0 * self.typed_operands as f64 / self.operand_slots as f64
+        }
+    }
+}
+
+impl fmt::Display for ScopeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} blocks={:<3} type-coverage={:>5.1}% ({}/{} operands) \
+             rc-elide reads={} stores={} keys const-str={} int-append={}",
+            self.name,
+            self.blocks,
+            self.type_coverage_pct(),
+            self.typed_operands,
+            self.operand_slots,
+            self.rc_elided_reads,
+            self.rc_elided_stores,
+            self.const_str_sites,
+            self.int_append_sites,
+        )
+    }
+}
+
+/// The whole program's report: one entry per scope plus all lints.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Per-scope statistics, `<main>` first.
+    pub scopes: Vec<ScopeReport>,
+    /// All diagnostics, in discovery order.
+    pub lints: Vec<Lint>,
+}
+
+impl Report {
+    /// Total proven operand slots across scopes.
+    pub fn typed_operands(&self) -> usize {
+        self.scopes.iter().map(|s| s.typed_operands).sum()
+    }
+
+    /// Total elidable refcount sites (reads + stores) across scopes.
+    pub fn rc_elided_sites(&self) -> usize {
+        self.scopes
+            .iter()
+            .map(|s| s.rc_elided_reads + s.rc_elided_stores)
+            .sum()
+    }
+}

@@ -1,0 +1,235 @@
+//! A generic monotone data-flow framework: join-semilattice trait plus a
+//! worklist solver with configurable direction and a widening threshold.
+//!
+//! The solver is deliberately graph-shaped rather than AST-shaped — it takes
+//! plain successor lists — so analyses over [`Cfg`](crate::cfg::Cfg)s and
+//! unit tests over hand-built graphs use the same code path.
+
+use std::collections::VecDeque;
+
+/// A join-semilattice element.
+///
+/// `bottom` is the identity of `join_with`; transfer functions must be
+/// monotone for the fixpoint to be the least solution. `widen_with` is used
+/// instead of `join_with` once a block's input has been updated more than
+/// the solver's `widen_after` threshold — lattices of infinite (or
+/// impractically tall) height override it to force convergence.
+pub trait Lattice: Clone {
+    /// The least element.
+    fn bottom() -> Self;
+    /// Joins `other` into `self`; returns whether `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+    /// Widens `self` by `other`; returns whether `self` changed.
+    /// Defaults to plain join (fine for finite-height lattices).
+    fn widen_with(&mut self, other: &Self) -> bool {
+        self.join_with(other)
+    }
+}
+
+/// Direction of a data-flow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along edges (e.g. type inference, reaching definitions).
+    Forward,
+    /// Facts flow against edges (e.g. liveness).
+    Backward,
+}
+
+/// Runs a worklist fixpoint over the graph given by `succs`.
+///
+/// * `boundary_blocks` get `boundary` as their initial input (the entry
+///   block for forward analyses, the exit block for backward ones); every
+///   other block starts at bottom.
+/// * `transfer(b, input)` maps a block's input fact to its output fact —
+///   entry→exit for forward, exit→entry for backward.
+/// * After a block's input has been updated `widen_after` times, further
+///   updates use [`Lattice::widen_with`].
+///
+/// Returns the fixpoint *input* fact of every block: the fact at block entry
+/// for forward analyses, the fact at block exit for backward ones.
+pub fn solve<L: Lattice>(
+    succs: &[Vec<usize>],
+    boundary_blocks: &[usize],
+    boundary: &L,
+    direction: Direction,
+    transfer: &mut dyn FnMut(usize, &L) -> L,
+    widen_after: u32,
+) -> Vec<L> {
+    let n = succs.len();
+    let edges: Vec<Vec<usize>> = match direction {
+        Direction::Forward => succs.to_vec(),
+        Direction::Backward => {
+            let mut preds = vec![Vec::new(); n];
+            for (b, ss) in succs.iter().enumerate() {
+                for &s in ss {
+                    preds[s].push(b);
+                }
+            }
+            preds
+        }
+    };
+
+    let mut input: Vec<L> = (0..n).map(|_| L::bottom()).collect();
+    for &b in boundary_blocks {
+        input[b] = boundary.clone();
+    }
+    let mut updates = vec![0u32; n];
+    let mut queued = vec![true; n];
+    let mut work: VecDeque<usize> = (0..n).collect();
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let out = transfer(b, &input[b]);
+        for &s in &edges[b] {
+            let changed = if updates[s] >= widen_after {
+                input[s].widen_with(&out)
+            } else {
+                input[s].join_with(&out)
+            };
+            if changed {
+                updates[s] = updates[s].saturating_add(1);
+                if !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    input
+}
+
+/// Never widen: for finite-height lattices the plain join converges.
+pub const NO_WIDENING: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Powerset-of-strings lattice (finite height).
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Names(std::collections::BTreeSet<&'static str>);
+
+    impl Lattice for Names {
+        fn bottom() -> Self {
+            Self::default()
+        }
+        fn join_with(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().copied());
+            self.0.len() != before
+        }
+    }
+
+    #[test]
+    fn forward_fixpoint_propagates_through_a_loop() {
+        // 0 -> 1 -> 2 -> 1 (back edge), 1 -> 3
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let boundary = Names(["seed"].into());
+        let sol = solve(
+            &succs,
+            &[0],
+            &boundary,
+            Direction::Forward,
+            &mut |b, input| {
+                let mut out = input.clone();
+                if b == 2 {
+                    out.0.insert("from_loop_body");
+                }
+                out
+            },
+            NO_WIDENING,
+        );
+        // The loop body's contribution reaches the header and the exit.
+        assert!(sol[1].0.contains("seed"));
+        assert!(sol[1].0.contains("from_loop_body"));
+        assert!(sol[3].0.contains("from_loop_body"));
+    }
+
+    #[test]
+    fn backward_direction_inverts_edges() {
+        // 0 -> 1 -> 2; facts injected at 2 must reach 0.
+        let succs = vec![vec![1], vec![2], vec![]];
+        let boundary = Names(["live_at_exit"].into());
+        let sol = solve(
+            &succs,
+            &[2],
+            &boundary,
+            Direction::Backward,
+            &mut |_, input| input.clone(),
+            NO_WIDENING,
+        );
+        assert!(sol[0].0.contains("live_at_exit"));
+    }
+
+    /// An interval lattice over i64 — unbounded ascending chains, so a loop
+    /// that keeps incrementing never converges under plain join. Widening
+    /// jumps straight to the infinite bound.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Interval {
+        Bot,
+        Range(i64, i64), // lo..=hi, i64::MAX as hi == +inf
+    }
+
+    impl Lattice for Interval {
+        fn bottom() -> Self {
+            Interval::Bot
+        }
+        fn join_with(&mut self, other: &Self) -> bool {
+            let joined = match (*self, *other) {
+                (x, Interval::Bot) => x,
+                (Interval::Bot, y) => y,
+                (Interval::Range(a, b), Interval::Range(c, d)) => {
+                    Interval::Range(a.min(c), b.max(d))
+                }
+            };
+            let changed = joined != *self;
+            *self = joined;
+            changed
+        }
+        fn widen_with(&mut self, other: &Self) -> bool {
+            let widened = match (*self, *other) {
+                (x, Interval::Bot) => x,
+                (Interval::Bot, y) => y,
+                (Interval::Range(a, b), Interval::Range(c, d)) => Interval::Range(
+                    if c < a { i64::MIN } else { a },
+                    if d > b { i64::MAX } else { b },
+                ),
+            };
+            let changed = widened != *self;
+            *self = widened;
+            changed
+        }
+    }
+
+    #[test]
+    fn widening_forces_convergence_on_an_unbounded_chain() {
+        // 0 -> 1 (header) -> 2 (body: x = x + 1) -> 1, 1 -> 3.
+        // Under plain join the header input ascends 0..=0, 0..=1, 0..=2, ...
+        // forever; with a widening threshold the solver must still terminate
+        // and over-approximate the bound to +inf.
+        let succs = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let boundary = Interval::Range(0, 0);
+        let sol = solve(
+            &succs,
+            &[0],
+            &boundary,
+            Direction::Forward,
+            &mut |b, input| match (b, *input) {
+                (2, Interval::Range(lo, hi)) => {
+                    Interval::Range(lo.saturating_add(1), hi.saturating_add(1))
+                }
+                _ => *input,
+            },
+            3,
+        );
+        // Terminated (we got here) and the header covers every iteration.
+        match sol[1] {
+            Interval::Range(lo, hi) => {
+                assert_eq!(lo, 0);
+                assert_eq!(hi, i64::MAX, "widening must blow the upper bound to +inf");
+            }
+            Interval::Bot => panic!("header unreachable"),
+        }
+        assert_ne!(sol[3], Interval::Bot);
+    }
+}

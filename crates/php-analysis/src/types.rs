@@ -1,0 +1,405 @@
+//! Flow-sensitive type inference over the PHP value-type lattice.
+//!
+//! Each scope is solved forward over its CFG with an environment lattice
+//! mapping variable names to `(type, definitely-assigned)` facts. The result
+//! is what lets the interpreter skip dynamic type checks on `BinOp` operands
+//! whose types are proven, and what the key-shape and lint passes consult.
+
+use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
+use crate::knowledge::{builtin_ret_ty, is_builtin};
+use crate::solver::{self, Direction, Lattice, NO_WIDENING};
+use php_interp::ast::{BinOp, Expr, LValue, Stmt};
+use std::collections::BTreeMap;
+
+/// The PHP value-type lattice: the six concrete runtime types plus `Mixed`
+/// as top. There is no bottom at this level — an unbound variable simply has
+/// no entry in the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// PHP `null`.
+    Null,
+    /// PHP `bool`.
+    Bool,
+    /// PHP `int`.
+    Int,
+    /// PHP `float`.
+    Float,
+    /// PHP `string`.
+    Str,
+    /// PHP `array`.
+    Arr,
+    /// Unknown / any (top).
+    Mixed,
+}
+
+impl Ty {
+    /// Least upper bound: equal types stay, anything else is `Mixed`.
+    pub fn join(self, other: Ty) -> Ty {
+        if self == other {
+            self
+        } else {
+            Ty::Mixed
+        }
+    }
+
+    /// Whether this is a concrete (provable) type, not top.
+    pub fn is_known(self) -> bool {
+        self != Ty::Mixed
+    }
+}
+
+/// What the environment knows about one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarFact {
+    /// The variable's type on every path where it is assigned.
+    pub ty: Ty,
+    /// Whether it is assigned on *every* path reaching here.
+    pub definite: bool,
+}
+
+/// The per-program-point type environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeEnv {
+    /// Whether this point is reachable at all (`false` is the lattice
+    /// bottom — the identity of join).
+    pub reachable: bool,
+    /// Set once the scope's bindings can no longer be tracked (`extract`,
+    /// or a user call in `<main>` whose callee may touch any global). All
+    /// lookups then answer `Mixed`/assigned, which also suppresses
+    /// use-before-assign diagnostics downstream.
+    pub any: bool,
+    /// Known variables. A missing entry means "never assigned on any path".
+    pub vars: BTreeMap<String, VarFact>,
+}
+
+impl TypeEnv {
+    /// The reachable empty environment.
+    pub fn root() -> Self {
+        TypeEnv {
+            reachable: true,
+            any: false,
+            vars: BTreeMap::new(),
+        }
+    }
+
+    /// What a read of `name` yields here.
+    pub fn read(&self, name: &str) -> Ty {
+        if self.any {
+            return Ty::Mixed;
+        }
+        match self.vars.get(name) {
+            Some(f) if f.definite => f.ty,
+            // Maybe-assigned: the value is either its assigned type or the
+            // null an unset read yields.
+            Some(f) => f.ty.join(Ty::Null),
+            None => Ty::Null,
+        }
+    }
+
+    fn bind(&mut self, name: &str, ty: Ty) {
+        self.vars
+            .insert(name.to_string(), VarFact { ty, definite: true });
+    }
+}
+
+impl Lattice for TypeEnv {
+    fn bottom() -> Self {
+        TypeEnv {
+            reachable: false,
+            any: false,
+            vars: BTreeMap::new(),
+        }
+    }
+
+    fn join_with(&mut self, other: &Self) -> bool {
+        if !other.reachable {
+            return false;
+        }
+        if !self.reachable {
+            *self = other.clone();
+            return true;
+        }
+        let mut changed = false;
+        if other.any && !self.any {
+            self.any = true;
+            changed = true;
+        }
+        for (name, fact) in self.vars.iter_mut() {
+            let merged = match other.vars.get(name) {
+                Some(of) => VarFact {
+                    ty: fact.ty.join(of.ty),
+                    definite: fact.definite && of.definite,
+                },
+                None => VarFact {
+                    ty: fact.ty,
+                    definite: false,
+                },
+            };
+            if merged != *fact {
+                *fact = merged;
+                changed = true;
+            }
+        }
+        for (name, of) in &other.vars {
+            if !self.vars.contains_key(name) {
+                self.vars.insert(
+                    name.clone(),
+                    VarFact {
+                        ty: of.ty,
+                        definite: false,
+                    },
+                );
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Infers the type of `e` under `env`. Total: unknown cases are `Mixed`.
+pub fn ty_of(e: &Expr, env: &TypeEnv) -> Ty {
+    match e {
+        Expr::Null => Ty::Null,
+        Expr::Bool(_) => Ty::Bool,
+        Expr::Int(_) => Ty::Int,
+        Expr::Float(_) => Ty::Float,
+        Expr::Str(_) => Ty::Str,
+        Expr::Var(name) => env.read(name),
+        Expr::Index { .. } => Ty::Mixed,
+        Expr::ArrayLit(_) => Ty::Arr,
+        Expr::Call { name, .. } => {
+            if is_builtin(name) {
+                builtin_ret_ty(name).unwrap_or(Ty::Mixed)
+            } else {
+                Ty::Mixed
+            }
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let (l, r) = (ty_of(lhs, env), ty_of(rhs, env));
+            match op {
+                BinOp::Concat => Ty::Str,
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Gt
+                | BinOp::Le
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or => Ty::Bool,
+                BinOp::Add | BinOp::Sub | BinOp::Mul => match (l, r) {
+                    (Ty::Int, Ty::Int) => Ty::Int,
+                    (Ty::Int | Ty::Float, Ty::Int | Ty::Float) => Ty::Float,
+                    _ => Ty::Mixed,
+                },
+                // `/` may yield Int, Float, or false (zero divisor); `%`
+                // yields Int unless the divisor is zero. Only a nonzero
+                // integer-literal divisor makes `%` provable.
+                BinOp::Div => Ty::Mixed,
+                BinOp::Mod => match **rhs {
+                    Expr::Int(n) if n != 0 => Ty::Int,
+                    _ => Ty::Mixed,
+                },
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let t = match then {
+                Some(t) => ty_of(t, env),
+                None => ty_of(cond, env),
+            };
+            t.join(ty_of(otherwise, env))
+        }
+        Expr::Not(_) => Ty::Bool,
+        Expr::Neg(inner) => match ty_of(inner, env) {
+            Ty::Int => Ty::Int,
+            Ty::Float => Ty::Float,
+            _ => Ty::Mixed,
+        },
+    }
+}
+
+/// Applies the side effects of every call inside `item`'s expressions:
+/// `extract` (and, in `<main>`, any user call) poisons the environment; in a
+/// function body a user call clobbers only the `global`-declared variables.
+pub fn apply_call_effects(item: &Item<'_>, scope: &ScopeCfg<'_>, env: &mut TypeEnv) {
+    for e in item_exprs(item) {
+        walk_exprs(e, &mut |x| {
+            if let Expr::Call { name, .. } = x {
+                if name == "extract" {
+                    env.any = true;
+                } else if !is_builtin(name) {
+                    if scope.is_main {
+                        // The callee may read or write any global — which in
+                        // the script scope is every variable.
+                        env.any = true;
+                    } else {
+                        for g in &scope.globals {
+                            env.bind(g, Ty::Mixed);
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Applies `item`'s binding effects (assignments, foreach bindings,
+/// `global` declarations) to `env`. Call effects must be applied first.
+pub fn apply_bindings(item: &Item<'_>, env: &mut TypeEnv) {
+    match item {
+        Item::Stmt(Stmt::Assign { target, value }) => {
+            let vt = ty_of(value, env);
+            match target {
+                LValue::Var(name) => env.bind(name, vt),
+                // Writing through `$a[...]` (auto-vivifying) proves `$a` is
+                // an array afterwards.
+                LValue::Index { var, .. } => env.bind(var, Ty::Arr),
+            }
+        }
+        Item::Stmt(Stmt::Global(names)) => {
+            for n in names {
+                env.bind(n, Ty::Mixed);
+            }
+        }
+        Item::ForeachBind(Stmt::Foreach {
+            key_var, value_var, ..
+        }) => {
+            if let Some(k) = key_var {
+                env.bind(k, Ty::Mixed);
+            }
+            env.bind(value_var, Ty::Mixed);
+        }
+        _ => {}
+    }
+}
+
+/// The full transfer function of one item.
+pub fn apply_item(item: &Item<'_>, scope: &ScopeCfg<'_>, env: &mut TypeEnv) {
+    if !env.reachable {
+        return;
+    }
+    apply_call_effects(item, scope, env);
+    apply_bindings(item, env);
+}
+
+/// Solves type inference for one scope; returns the environment at the
+/// *entry* of every block.
+pub fn solve_types(scope: &ScopeCfg<'_>) -> Vec<TypeEnv> {
+    let mut boundary = TypeEnv::root();
+    for p in &scope.params {
+        boundary.bind(p, Ty::Mixed);
+    }
+    let succs = scope.cfg.succ_lists();
+    solver::solve(
+        &succs,
+        &[scope.cfg.entry],
+        &boundary,
+        Direction::Forward,
+        &mut |b, input| {
+            let mut env = input.clone();
+            for item in &scope.cfg.blocks[b].items {
+                apply_item(item, scope, &mut env);
+            }
+            env
+        },
+        NO_WIDENING,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use php_interp::parse;
+
+    /// Runs inference and returns the environment at scope exit.
+    fn exit_env(src: &str) -> TypeEnv {
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let main = &scopes[0];
+        let sol = solve_types(main);
+        sol[main.cfg.exit].clone()
+    }
+
+    #[test]
+    fn literals_assign_concrete_types() {
+        let env = exit_env("$i = 1; $s = 'x'; $f = 1.5; $b = true; $n = null; $a = array(1);");
+        assert_eq!(env.read("i"), Ty::Int);
+        assert_eq!(env.read("s"), Ty::Str);
+        assert_eq!(env.read("f"), Ty::Float);
+        assert_eq!(env.read("b"), Ty::Bool);
+        assert_eq!(env.read("n"), Ty::Null);
+        assert_eq!(env.read("a"), Ty::Arr);
+    }
+
+    #[test]
+    fn branch_join_widens_to_mixed() {
+        let env = exit_env("if ($c) { $x = 1; } else { $x = 'one'; } $y = $x;");
+        assert_eq!(env.read("x"), Ty::Mixed);
+        // But a consistently-typed variable survives the join.
+        let env = exit_env("if ($c) { $x = 1; } else { $x = 2; }");
+        assert_eq!(env.read("x"), Ty::Int);
+    }
+
+    #[test]
+    fn one_armed_assignment_is_not_definite() {
+        let env = exit_env("if ($c) { $x = 'v'; }");
+        let f = env.vars.get("x").unwrap();
+        assert!(!f.definite);
+        // A maybe-assigned string reads as Str|Null = Mixed.
+        assert_eq!(env.read("x"), Ty::Mixed);
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        // `$n` flips Int -> stays Int through the back edge; `$s` grows a
+        // string each iteration.
+        let env = exit_env("$n = 0; $s = ''; while ($n < 3) { $n = $n + 1; $s = $s . 'x'; }");
+        assert_eq!(env.read("n"), Ty::Int);
+        assert_eq!(env.read("s"), Ty::Str);
+    }
+
+    #[test]
+    fn builtin_returns_are_typed_and_user_calls_poison_main() {
+        let env = exit_env("$n = strlen('abc'); $s = strtolower('A');");
+        assert_eq!(env.read("n"), Ty::Int);
+        assert_eq!(env.read("s"), Ty::Str);
+
+        let env = exit_env("function f() { global $g; $g = 1; } $x = 7; f();");
+        assert!(env.any, "a user call in <main> may rebind any variable");
+        assert_eq!(env.read("x"), Ty::Mixed);
+    }
+
+    #[test]
+    fn function_locals_survive_calls_but_globals_do_not() {
+        let prog = parse(
+            "function helper() {}\n\
+             function f() { global $g; $x = 1; helper(); $y = $x + $g; }",
+        )
+        .unwrap();
+        let scopes = lower_program(&prog);
+        let f = scopes.iter().find(|s| s.name == "f").unwrap();
+        let sol = solve_types(f);
+        let env = &sol[f.cfg.exit];
+        assert_eq!(
+            env.read("x"),
+            Ty::Int,
+            "locals are immune to callee effects"
+        );
+        assert_eq!(
+            env.read("g"),
+            Ty::Mixed,
+            "globals are clobbered by the call"
+        );
+    }
+
+    #[test]
+    fn concat_and_compare_are_typed_regardless_of_operands() {
+        let env = exit_env("$s = $u . 'x'; $b = $u < $v;");
+        assert_eq!(env.read("s"), Ty::Str);
+        assert_eq!(env.read("b"), Ty::Bool);
+    }
+}

@@ -20,7 +20,11 @@ fn str_arg(args: &[PhpValue], i: usize) -> PhpStr {
 /// # Errors
 ///
 /// Returns [`RuntimeError`] for unknown builtins or bad arguments.
-pub fn call(interp: &mut Interp<'_>, name: &str, args: Vec<PhpValue>) -> Result<PhpValue, RuntimeError> {
+pub fn call(
+    interp: &mut Interp<'_>,
+    name: &str,
+    args: Vec<PhpValue>,
+) -> Result<PhpValue, RuntimeError> {
     let m = interp.machine();
     match name {
         "strlen" => {
@@ -50,7 +54,11 @@ pub fn call(interp: &mut Interp<'_>, name: &str, args: Vec<PhpValue>) -> Result<
         "strpos" => {
             let hay = str_arg(&args, 0);
             let needle = str_arg(&args, 1);
-            let from = if args.len() > 2 { arg(&args, 2).to_int().max(0) as usize } else { 0 };
+            let from = if args.len() > 2 {
+                arg(&args, 2).to_int().max(0) as usize
+            } else {
+                0
+            };
             match m.strpos(&hay, needle.as_bytes(), from) {
                 Some(p) => Ok(PhpValue::Int(p as i64)),
                 None => Ok(PhpValue::Bool(false)),
@@ -112,8 +120,7 @@ pub fn call(interp: &mut Interp<'_>, name: &str, args: Vec<PhpValue>) -> Result<
             let PhpValue::Array(rc) = arg(&args, 1) else {
                 return Err(RuntimeError::new("implode expects an array"));
             };
-            let pieces: Vec<PhpStr> =
-                rc.borrow().values().map(|v| v.to_php_string()).collect();
+            let pieces: Vec<PhpStr> = rc.borrow().values().map(|v| v.to_php_string()).collect();
             Ok(PhpValue::str(m.implode(glue.as_bytes(), &pieces)))
         }
         "explode" => {
@@ -209,6 +216,26 @@ pub fn call(interp: &mut Interp<'_>, name: &str, args: Vec<PhpValue>) -> Result<
             }
             Ok(PhpValue::Int(n))
         }
+        "is_string" => Ok(PhpValue::Bool(matches!(arg(&args, 0), PhpValue::Str(_)))),
+        "is_int" | "is_integer" | "is_long" => {
+            Ok(PhpValue::Bool(matches!(arg(&args, 0), PhpValue::Int(_))))
+        }
+        "is_float" | "is_double" => Ok(PhpValue::Bool(matches!(arg(&args, 0), PhpValue::Float(_)))),
+        "is_bool" => Ok(PhpValue::Bool(matches!(arg(&args, 0), PhpValue::Bool(_)))),
+        "is_array" => Ok(PhpValue::Bool(matches!(arg(&args, 0), PhpValue::Array(_)))),
+        "is_null" => Ok(PhpValue::Bool(matches!(arg(&args, 0), PhpValue::Null))),
+        "is_numeric" => {
+            let v = arg(&args, 0);
+            let yes = match &v {
+                PhpValue::Int(_) | PhpValue::Float(_) => true,
+                PhpValue::Str(s) => {
+                    let t = s.to_string_lossy();
+                    !t.trim().is_empty() && t.trim().parse::<f64>().is_ok()
+                }
+                _ => false,
+            };
+            Ok(PhpValue::Bool(yes))
+        }
         "intval" => Ok(PhpValue::Int(arg(&args, 0).to_int())),
         "floatval" => Ok(PhpValue::Float(arg(&args, 0).to_float())),
         "strval" => Ok(PhpValue::str(arg(&args, 0).to_php_string())),
@@ -291,9 +318,30 @@ mod tests {
         assert_eq!(eval_expr("count(array(1, 2, 3))"), "3");
         assert_eq!(eval_expr("in_array(2, array(1, 2))"), "1");
         assert_eq!(eval_expr("in_array(9, array(1, 2))"), "");
-        assert_eq!(eval_expr("implode(',', array_keys(array('a' => 1, 'b' => 2)))"), "a,b");
-        assert_eq!(eval_expr("implode(',', array_values(array('a' => 9, 'b' => 8)))"), "9,8");
+        assert_eq!(
+            eval_expr("implode(',', array_keys(array('a' => 1, 'b' => 2)))"),
+            "a,b"
+        );
+        assert_eq!(
+            eval_expr("implode(',', array_values(array('a' => 9, 'b' => 8)))"),
+            "9,8"
+        );
         assert_eq!(eval_expr("array_key_exists('a', array('a' => 1))"), "1");
+    }
+
+    #[test]
+    fn type_predicate_builtins() {
+        assert_eq!(eval_expr("is_string('x')"), "1");
+        assert_eq!(eval_expr("is_string(1)"), "");
+        assert_eq!(eval_expr("is_int(3)"), "1");
+        assert_eq!(eval_expr("is_float(1.5)"), "1");
+        assert_eq!(eval_expr("is_bool(true)"), "1");
+        assert_eq!(eval_expr("is_array(array(1))"), "1");
+        assert_eq!(eval_expr("is_null(null)"), "1");
+        assert_eq!(eval_expr("is_numeric('42')"), "1");
+        assert_eq!(eval_expr("is_numeric(' 3.5 ')"), "1");
+        assert_eq!(eval_expr("is_numeric('4x')"), "");
+        assert_eq!(eval_expr("is_numeric(array(1))"), "");
     }
 
     #[test]

@@ -9,14 +9,17 @@
 
 use crate::ast::*;
 use crate::builtins;
+use crate::facts::{AnalysisFacts, KeyShape};
 use crate::parser::{parse, ParseError};
 use php_runtime::array::{ArrayKey, PhpArray};
 use php_runtime::string::PhpStr;
 use php_runtime::value::PhpValue;
-use phpaccel_core::PhpMachine;
+use php_runtime::AccessStatic;
+use phpaccel_core::{KeyShapeHint, PhpMachine};
 use regex_engine::Regex;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
 /// Runtime error.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,7 +31,9 @@ pub struct RuntimeError {
 impl RuntimeError {
     /// Creates an error.
     pub fn new(message: impl Into<String>) -> Self {
-        RuntimeError { message: message.into() }
+        RuntimeError {
+            message: message.into(),
+        }
     }
 }
 
@@ -62,12 +67,23 @@ struct Scope {
 /// The interpreter.
 pub struct Interp<'m> {
     machine: &'m mut PhpMachine,
-    funcs: HashMap<String, FuncDef>,
+    funcs: HashMap<String, Rc<FuncDef>>,
     scopes: Vec<Scope>,
     output: Vec<u8>,
     regex_cache: HashMap<String, Regex>,
     /// Recursion guard.
     depth: usize,
+    /// Static-analysis facts for the program being run (see
+    /// [`crate::facts`]). `None` = fully dynamic execution.
+    facts: Option<Rc<AnalysisFacts>>,
+}
+
+fn hint_of(shape: KeyShape) -> KeyShapeHint {
+    match shape {
+        KeyShape::ConstStr => KeyShapeHint::ConstStr,
+        KeyShape::IntAppend => KeyShapeHint::IntAppend,
+        KeyShape::Unknown => KeyShapeHint::Unknown,
+    }
 }
 
 /// µops charged to the JIT bucket per interpreted AST node.
@@ -82,10 +98,36 @@ impl<'m> Interp<'m> {
         Interp {
             machine,
             funcs: HashMap::new(),
-            scopes: vec![Scope { table, globals: HashSet::new() }],
+            scopes: vec![Scope {
+                table,
+                globals: HashSet::new(),
+            }],
             output: Vec::new(),
             regex_cache: HashMap::new(),
             depth: 0,
+            facts: None,
+        }
+    }
+
+    /// Attaches static-analysis facts. Facts are keyed by node identity, so
+    /// they only take effect when the exact analyzed [`Program`] instance is
+    /// run; any other program falls back to fully dynamic execution.
+    pub fn set_facts(&mut self, facts: Rc<AnalysisFacts>) {
+        self.facts = Some(facts);
+    }
+
+    /// Detaches static-analysis facts.
+    pub fn clear_facts(&mut self) {
+        self.facts = None;
+    }
+
+    /// Pre-registers shared function definitions. Hoisting in
+    /// [`Interp::run_program`] keeps an already-registered name instead of
+    /// cloning the program's definition, so facts interned over these exact
+    /// instances (via `php-analysis`) stay valid inside function bodies.
+    pub fn predefine_funcs<I: IntoIterator<Item = Rc<FuncDef>>>(&mut self, defs: I) {
+        for def in defs {
+            self.funcs.insert(def.name.clone(), def);
         }
     }
 
@@ -104,6 +146,13 @@ impl<'m> Interp<'m> {
         std::mem::take(&mut self.output)
     }
 
+    /// Emits a PHP `E_WARNING`-style diagnostic into the output stream.
+    fn warn(&mut self, msg: &str) {
+        self.output.extend_from_slice(b"Warning: ");
+        self.output.extend_from_slice(msg.as_bytes());
+        self.output.push(b'\n');
+    }
+
     /// Parses and runs a source string.
     ///
     /// # Errors
@@ -120,10 +169,14 @@ impl<'m> Interp<'m> {
     ///
     /// Returns [`RuntimeError`] on evaluation failure.
     pub fn run_program(&mut self, prog: &Program) -> Result<(), RuntimeError> {
-        // Hoist function definitions.
+        // Hoist function definitions. Pre-registered shared instances (see
+        // `predefine_funcs`) win over fresh clones so node-identity facts
+        // keep working inside bodies.
         for s in &prog.stmts {
             if let Stmt::FuncDef(f) = s {
-                self.funcs.insert(f.name.clone(), f.clone());
+                self.funcs
+                    .entry(f.name.clone())
+                    .or_insert_with(|| Rc::new(f.clone()));
             }
         }
         for s in &prog.stmts {
@@ -146,7 +199,11 @@ impl<'m> Interp<'m> {
     /// # Errors
     ///
     /// Returns [`RuntimeError`] if the function is unknown or fails.
-    pub fn call_function(&mut self, name: &str, args: Vec<PhpValue>) -> Result<PhpValue, RuntimeError> {
+    pub fn call_function(
+        &mut self,
+        name: &str,
+        args: Vec<PhpValue>,
+    ) -> Result<PhpValue, RuntimeError> {
         let def = self
             .funcs
             .get(name)
@@ -161,7 +218,10 @@ impl<'m> Interp<'m> {
         }
         self.depth += 1;
         let table = self.machine.new_array();
-        self.scopes.push(Scope { table, globals: HashSet::new() });
+        self.scopes.push(Scope {
+            table,
+            globals: HashSet::new(),
+        });
         for (i, p) in def.params.iter().enumerate() {
             let v = args.get(i).cloned().unwrap_or(PhpValue::Null);
             self.set_var(p, v);
@@ -203,17 +263,35 @@ impl<'m> Interp<'m> {
     }
 
     fn get_var(&mut self, name: &str) -> PhpValue {
+        self.get_var_static(name, AccessStatic::default(), KeyShapeHint::Unknown)
+    }
+
+    fn get_var_static(&mut self, name: &str, st: AccessStatic, hint: KeyShapeHint) -> PhpValue {
         let idx = self.scope_index_for(name);
         let table = std::mem::replace(&mut self.scopes[idx].table, PhpArray::new());
-        let v = self.machine.array_get(&table, &ArrayKey::from(name)).unwrap_or(PhpValue::Null);
+        let v = self
+            .machine
+            .array_get_static(&table, &ArrayKey::from(name), st, hint)
+            .unwrap_or(PhpValue::Null);
         self.scopes[idx].table = table;
         v
     }
 
     fn set_var(&mut self, name: &str, value: PhpValue) {
+        self.set_var_static(name, value, AccessStatic::default(), KeyShapeHint::Unknown);
+    }
+
+    fn set_var_static(
+        &mut self,
+        name: &str,
+        value: PhpValue,
+        st: AccessStatic,
+        hint: KeyShapeHint,
+    ) {
         let idx = self.scope_index_for(name);
         let mut table = std::mem::replace(&mut self.scopes[idx].table, PhpArray::new());
-        self.machine.array_set(&mut table, ArrayKey::from(name), value);
+        self.machine
+            .array_set_static(&mut table, ArrayKey::from(name), value, st, hint);
         self.scopes[idx].table = table;
     }
 
@@ -234,8 +312,29 @@ impl<'m> Interp<'m> {
             }
             Stmt::Assign { target, value } => {
                 let v = self.expr(value)?;
+                let (elide, shape, site_known) = match &self.facts {
+                    Some(f) => (
+                        f.rc_elide_store(s),
+                        f.key_shape_stmt(s),
+                        f.stmt_id(s).is_some(),
+                    ),
+                    None => (false, KeyShape::Unknown, false),
+                };
+                let st = AccessStatic {
+                    elide_rc: elide,
+                    skip_type_check: false,
+                };
                 match target {
-                    LValue::Var(name) => self.set_var(name, v),
+                    LValue::Var(name) => {
+                        // Symbol-table keys are literal variable names, so a
+                        // known site always carries a constant-key hint.
+                        let hint = if site_known {
+                            KeyShapeHint::ConstStr
+                        } else {
+                            KeyShapeHint::Unknown
+                        };
+                        self.set_var_static(name, v, st, hint);
+                    }
                     LValue::Index { var, key } => {
                         let arr_val = self.get_var(var);
                         let rc = match arr_val {
@@ -260,10 +359,21 @@ impl<'m> Interp<'m> {
                             Some(kexpr) => {
                                 let kv = self.expr(kexpr)?;
                                 let k = Self::key_of(&kv);
-                                self.machine.array_set(&mut rc.borrow_mut(), k, v);
+                                self.machine.array_set_static(
+                                    &mut rc.borrow_mut(),
+                                    k,
+                                    v,
+                                    st,
+                                    hint_of(shape),
+                                );
                             }
                             None => {
-                                self.machine.array_push(&mut rc.borrow_mut(), v);
+                                self.machine.array_push_static(
+                                    &mut rc.borrow_mut(),
+                                    v,
+                                    st,
+                                    shape == KeyShape::IntAppend,
+                                );
                             }
                         }
                     }
@@ -281,7 +391,11 @@ impl<'m> Interp<'m> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then, otherwise } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let c = self.expr(cond)?.to_bool();
                 let body = if c { then } else { otherwise };
                 for s in body {
@@ -307,7 +421,12 @@ impl<'m> Interp<'m> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.stmt(init)?;
                 let mut guard = 0u64;
                 while self.expr(cond)?.to_bool() {
@@ -324,7 +443,12 @@ impl<'m> Interp<'m> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Foreach { array, key_var, value_var, body } => {
+            Stmt::Foreach {
+                array,
+                key_var,
+                value_var,
+                body,
+            } => {
                 let arr = self.expr(array)?;
                 let PhpValue::Array(rc) = arr else {
                     return Err(RuntimeError::new("foreach over non-array"));
@@ -333,15 +457,28 @@ impl<'m> Interp<'m> {
                     let borrowed = rc.borrow();
                     self.machine.foreach(&borrowed)
                 };
+                let (elide, site_known) = match &self.facts {
+                    Some(f) => (f.rc_elide_store(s), f.stmt_id(s).is_some()),
+                    None => (false, false),
+                };
+                let st = AccessStatic {
+                    elide_rc: elide,
+                    skip_type_check: false,
+                };
+                let hint = if site_known {
+                    KeyShapeHint::ConstStr
+                } else {
+                    KeyShapeHint::Unknown
+                };
                 for (k, v) in pairs {
                     if let Some(kv) = key_var {
                         let key_value = match &k {
                             ArrayKey::Int(i) => PhpValue::Int(*i),
                             ArrayKey::Str(s) => PhpValue::str(s.clone()),
                         };
-                        self.set_var(kv, key_value);
+                        self.set_var_static(kv, key_value, st, hint);
                     }
-                    self.set_var(value_var, v);
+                    self.set_var_static(value_var, v, st, hint);
                     match self.run_loop_body(body)? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -351,7 +488,7 @@ impl<'m> Interp<'m> {
                 Ok(Flow::Normal)
             }
             Stmt::FuncDef(f) => {
-                self.funcs.insert(f.name.clone(), f.clone());
+                self.funcs.insert(f.name.clone(), Rc::new(f.clone()));
                 Ok(Flow::Normal)
             }
             Stmt::Return(e) => {
@@ -392,15 +529,41 @@ impl<'m> Interp<'m> {
             Expr::Int(i) => Ok(PhpValue::Int(*i)),
             Expr::Float(f) => Ok(PhpValue::Float(*f)),
             Expr::Str(s) => Ok(PhpValue::str(s.as_str())),
-            Expr::Var(name) => Ok(self.get_var(name)),
+            Expr::Var(name) => {
+                let (elide, site_known) = match &self.facts {
+                    Some(f) => (f.rc_elide_read(e), f.expr_id(e).is_some()),
+                    None => (false, false),
+                };
+                let st = AccessStatic {
+                    elide_rc: elide,
+                    skip_type_check: false,
+                };
+                let hint = if site_known {
+                    KeyShapeHint::ConstStr
+                } else {
+                    KeyShapeHint::Unknown
+                };
+                Ok(self.get_var_static(name, st, hint))
+            }
             Expr::Index { base, key } => {
                 let b = self.expr(base)?;
                 let kv = self.expr(key)?;
                 match b {
                     PhpValue::Array(rc) => {
                         let k = Self::key_of(&kv);
+                        let (elide, shape) = match &self.facts {
+                            Some(f) => (f.rc_elide_read(e), f.key_shape_expr(e)),
+                            None => (false, KeyShape::Unknown),
+                        };
+                        let st = AccessStatic {
+                            elide_rc: elide,
+                            skip_type_check: false,
+                        };
                         let borrowed = rc.borrow();
-                        Ok(self.machine.array_get(&borrowed, &k).unwrap_or(PhpValue::Null))
+                        Ok(self
+                            .machine
+                            .array_get_static(&borrowed, &k, st, hint_of(shape))
+                            .unwrap_or(PhpValue::Null))
                     }
                     PhpValue::Str(s) => {
                         let i = kv.to_int();
@@ -443,7 +606,11 @@ impl<'m> Interp<'m> {
                 }
                 builtins::call(self, name, vals)
             }
-            Expr::Ternary { cond, then, otherwise } => {
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let c = self.expr(cond)?;
                 if c.to_bool() {
                     match then {
@@ -474,8 +641,15 @@ impl<'m> Interp<'m> {
                 }
                 let l = self.expr(lhs)?;
                 let r = self.expr(rhs)?;
-                self.machine.ctx().type_check(&l);
-                self.machine.ctx().type_check(&r);
+                // Operand types proven by analysis skip the dynamic check —
+                // the checked-load elision the facts table exists for.
+                let (skip_l, skip_r) = self
+                    .facts
+                    .as_ref()
+                    .map(|f| f.bin_typed(e))
+                    .unwrap_or((false, false));
+                self.machine.ctx().type_check_elidable(&l, skip_l);
+                self.machine.ctx().type_check_elidable(&r, skip_r);
                 Ok(self.binop(*op, l, r)?)
             }
         }
@@ -511,7 +685,9 @@ impl<'m> Interp<'m> {
             Div => {
                 let d = r.to_float();
                 if d == 0.0 {
-                    return Err(RuntimeError::new("division by zero"));
+                    // PHP 7 semantics: E_WARNING, expression yields false.
+                    self.warn("Division by zero");
+                    return Ok(PhpValue::Bool(false));
                 }
                 let q = l.to_float() / d;
                 if q.fract() == 0.0 && !numeric(&l, &r) {
@@ -523,16 +699,18 @@ impl<'m> Interp<'m> {
             Mod => {
                 let d = r.to_int();
                 if d == 0 {
-                    return Err(RuntimeError::new("modulo by zero"));
+                    // PHP 7 emits the same warning for `%` with a 0 divisor.
+                    self.warn("Division by zero");
+                    return Ok(PhpValue::Bool(false));
                 }
-                PhpValue::Int(l.to_int() % d)
+                // wrapping_rem: i64::MIN % -1 is 0 in PHP, a Rust overflow.
+                PhpValue::Int(l.to_int().wrapping_rem(d))
             }
             Concat => {
                 let mut s = l.to_php_string();
                 s.push_bytes(r.to_php_string().as_bytes());
                 // Concatenation allocates the result string.
-                let v = self.machine.transient_str(s);
-                v
+                self.machine.transient_str(s)
             }
             Eq => PhpValue::Bool(l.loose_eq(&r)),
             Ne => PhpValue::Bool(!l.loose_eq(&r)),
@@ -544,7 +722,12 @@ impl<'m> Interp<'m> {
         })
     }
 
-    fn cmp(&mut self, l: PhpValue, r: PhpValue, f: impl Fn(std::cmp::Ordering) -> bool) -> PhpValue {
+    fn cmp(
+        &mut self,
+        l: PhpValue,
+        r: PhpValue,
+        f: impl Fn(std::cmp::Ordering) -> bool,
+    ) -> PhpValue {
         let ord = match (&l, &r) {
             (PhpValue::Str(a), PhpValue::Str(b)) => self.machine.strcmp(a, b),
             _ => l
@@ -561,8 +744,8 @@ impl<'m> Interp<'m> {
         if !self.regex_cache.contains_key(pattern) {
             let inner = strip_delimiters(pattern)
                 .ok_or_else(|| RuntimeError::new(format!("bad preg pattern {pattern:?}")))?;
-            let re = Regex::new(inner)
-                .map_err(|e| RuntimeError::new(format!("regex error: {e}")))?;
+            let re =
+                Regex::new(inner).map_err(|e| RuntimeError::new(format!("regex error: {e}")))?;
             self.regex_cache.insert(pattern.to_owned(), re);
         }
         Ok(self.regex_cache[pattern].clone())
@@ -691,9 +874,8 @@ mod tests {
 
     #[test]
     fn implode_explode() {
-        let (out, _) = run_src(
-            "$parts = explode(',', 'a,b,c'); echo count($parts), implode('-', $parts);",
-        );
+        let (out, _) =
+            run_src("$parts = explode(',', 'a,b,c'); echo count($parts), implode('-', $parts);");
         assert_eq!(out, "3a-b-c");
     }
 
@@ -741,10 +923,37 @@ mod tests {
     }
 
     #[test]
-    fn division_by_zero_errors() {
+    fn division_by_zero_warns_and_yields_false() {
+        // PHP 7: `1 / 0` raises E_WARNING and the expression evaluates to
+        // false — it is not a fatal error.
         let mut m = PhpMachine::baseline();
         let mut i = Interp::new(&mut m);
-        assert!(i.run("$x = 1 / 0;").is_err());
+        i.run("$x = 1 / 0; echo is_bool($x) && !$x ? 'F' : '?';")
+            .unwrap();
+        let out = String::from_utf8(i.take_output()).unwrap();
+        assert!(out.contains("Warning: Division by zero"), "{out}");
+        assert!(out.ends_with('F'), "{out}");
+    }
+
+    #[test]
+    fn modulo_by_zero_warns_and_yields_false() {
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        i.run("$x = 7 % 0; echo is_bool($x) && !$x ? 'F' : '?';")
+            .unwrap();
+        let out = String::from_utf8(i.take_output()).unwrap();
+        assert!(out.contains("Warning: Division by zero"), "{out}");
+        assert!(out.ends_with('F'), "{out}");
+    }
+
+    #[test]
+    fn modulo_int_min_by_negative_one_is_zero() {
+        // i64::MIN % -1 overflows in Rust; PHP yields 0.
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        i.run("$m = -9223372036854775807 - 1; echo $m % (0 - 1);")
+            .unwrap();
+        assert_eq!(i.output(), b"0");
     }
 
     #[test]
@@ -781,7 +990,10 @@ mod ternary_tests {
 
     #[test]
     fn ternary_nests_right_associative() {
-        assert_eq!(eval("$n = 5; echo $n < 3 ? 'low' : ($n < 7 ? 'mid' : 'high');"), "mid");
+        assert_eq!(
+            eval("$n = 5; echo $n < 3 ? 'low' : ($n < 7 ? 'mid' : 'high');"),
+            "mid"
+        );
     }
 
     #[test]
@@ -792,12 +1004,16 @@ mod ternary_tests {
 
     #[test]
     fn ternary_in_assignment_and_call() {
-        assert_eq!(eval("$t = strlen('abc') == 3 ? strtoupper('ok') : 'bad'; echo $t;"), "OK");
+        assert_eq!(
+            eval("$t = strlen('abc') == 3 ? strtoupper('ok') : 'bad'; echo $t;"),
+            "OK"
+        );
     }
 
     #[test]
     fn ternary_short_circuits() {
-        // The untaken branch must not execute (division by zero would error).
+        // The untaken branch must not execute (division by zero would emit a
+        // warning into the output).
         assert_eq!(eval("echo true ? 'safe' : 1 / 0;"), "safe");
     }
 }

@@ -179,7 +179,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { message: "empty variable name".into(), position: i });
+                    return Err(LexError {
+                        message: "empty variable name".into(),
+                        position: i,
+                    });
                 }
                 out.push(Token::Variable(src[start..j].to_owned()));
                 i = j;

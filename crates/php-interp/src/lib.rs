@@ -23,9 +23,11 @@
 pub mod ast;
 pub mod builtins;
 pub mod eval;
+pub mod facts;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{BinOp, Expr, FuncDef, Program, Stmt};
 pub use eval::{Interp, RuntimeError};
+pub use facts::{AnalysisFacts, KeyShape, NodeId};
 pub use parser::{parse, ParseError};

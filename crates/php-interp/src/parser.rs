@@ -23,7 +23,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, at: e.position }
+        ParseError {
+            message: e.message,
+            at: e.position,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), at: self.pos }
+        ParseError {
+            message: message.into(),
+            at: self.pos,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -121,7 +127,8 @@ impl Parser {
                         Some(Token::Variable(v)) => params.push(v),
                         other => return Err(self.err(format!("expected parameter, got {other:?}"))),
                     }
-                    if !self.eat_punct(Punct::Comma) && self.peek() != Some(&Token::Punct(Punct::RParen))
+                    if !self.eat_punct(Punct::Comma)
+                        && self.peek() != Some(&Token::Punct(Punct::RParen))
                     {
                         return Err(self.err("expected , or ) in parameter list"));
                     }
@@ -187,7 +194,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then, otherwise })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                })
             }
             Some(Token::Kw(Kw::While)) => {
                 self.bump();
@@ -207,7 +218,12 @@ impl Parser {
                 let step = self.simple_stmt()?;
                 self.expect_punct(Punct::RParen)?;
                 let body = self.block()?;
-                Ok(Stmt::For { init: Box::new(init), cond, step: Box::new(step), body })
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    cond,
+                    step: Box::new(step),
+                    body,
+                })
             }
             Some(Token::Kw(Kw::Foreach)) => {
                 self.bump();
@@ -230,7 +246,12 @@ impl Parser {
                 };
                 self.expect_punct(Punct::RParen)?;
                 let body = self.block()?;
-                Ok(Stmt::Foreach { array, key_var, value_var, body })
+                Ok(Stmt::Foreach {
+                    array,
+                    key_var,
+                    value_var,
+                    body,
+                })
             }
             _ => {
                 let s = self.simple_stmt()?;
@@ -261,7 +282,10 @@ impl Parser {
             };
             let make_target = |key: &Option<Option<Expr>>| match key {
                 None => LValue::Var(name.clone()),
-                Some(k) => LValue::Index { var: name.clone(), key: k.clone() },
+                Some(k) => LValue::Index {
+                    var: name.clone(),
+                    key: k.clone(),
+                },
             };
             let read_expr = |key: &Option<Option<Expr>>| match key {
                 None => Expr::Var(name.clone()),
@@ -273,7 +297,10 @@ impl Parser {
             };
             if self.eat_punct(Punct::Assign) {
                 let value = self.expr()?;
-                return Ok(Stmt::Assign { target: make_target(&key), value });
+                return Ok(Stmt::Assign {
+                    target: make_target(&key),
+                    value,
+                });
             }
             if self.eat_punct(Punct::DotAssign) {
                 let rhs = self.expr()?;
@@ -297,7 +324,8 @@ impl Parser {
                     },
                 });
             }
-            if self.eat_punct(Punct::Incr) || self.tokens.get(self.pos - 1) == Some(&Token::Punct(Punct::Decr))
+            if self.eat_punct(Punct::Incr)
+                || self.tokens.get(self.pos - 1) == Some(&Token::Punct(Punct::Decr))
             {
                 let op = if self.tokens[self.pos - 1] == Token::Punct(Punct::Incr) {
                     BinOp::Add
@@ -354,7 +382,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_punct(Punct::OrOr) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Bin { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -363,7 +395,11 @@ impl Parser {
         let mut lhs = self.cmp_expr()?;
         while self.eat_punct(Punct::AndAnd) {
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Bin { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -382,7 +418,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let rhs = self.add_expr()?;
-            return Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) });
+            return Ok(Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
         }
         Ok(lhs)
     }
@@ -398,7 +438,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -414,7 +458,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -434,7 +482,10 @@ impl Parser {
         while self.eat_punct(Punct::LBracket) {
             let key = self.expr()?;
             self.expect_punct(Punct::RBracket)?;
-            e = Expr::Index { base: Box::new(e), key: Box::new(key) };
+            e = Expr::Index {
+                base: Box::new(e),
+                key: Box::new(key),
+            };
         }
         Ok(e)
     }
@@ -509,7 +560,15 @@ mod tests {
     fn precedence() {
         let p = parse("$x = 1 + 2 * 3;").unwrap();
         match &p.stmts[0] {
-            Stmt::Assign { value: Expr::Bin { op: BinOp::Add, rhs, .. }, .. } => {
+            Stmt::Assign {
+                value:
+                    Expr::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
             }
             other => panic!("{other:?}"),
@@ -530,39 +589,71 @@ mod tests {
             $r = render(array('title' => 'Hi'), 4);
         "#;
         let p = parse(src).unwrap();
-        assert!(matches!(&p.stmts[0], Stmt::FuncDef(f) if f.name == "render" && f.params.len() == 2));
+        assert!(
+            matches!(&p.stmts[0], Stmt::FuncDef(f) if f.name == "render" && f.params.len() == 2)
+        );
     }
 
     #[test]
     fn parses_foreach_variants() {
-        let p = parse("foreach ($a as $v) { echo $v; } foreach ($a as $k => $v) { echo $k; }")
-            .unwrap();
+        let p =
+            parse("foreach ($a as $v) { echo $v; } foreach ($a as $k => $v) { echo $k; }").unwrap();
         assert!(matches!(&p.stmts[0], Stmt::Foreach { key_var: None, .. }));
         assert!(matches!(&p.stmts[1], Stmt::Foreach { key_var: Some(k), .. } if k == "k"));
     }
 
     #[test]
     fn parses_array_literals_and_index() {
-        let p = parse("$a = ['x' => 1, 2, 'y' => 3]; $b = $a['x']; $a[] = 9; $a['z'] = 1;").unwrap();
-        assert!(matches!(&p.stmts[0], Stmt::Assign { value: Expr::ArrayLit(items), .. } if items.len() == 3));
-        assert!(matches!(&p.stmts[2], Stmt::Assign { target: LValue::Index { key: None, .. }, .. }));
-        assert!(matches!(&p.stmts[3], Stmt::Assign { target: LValue::Index { key: Some(_), .. }, .. }));
+        let p =
+            parse("$a = ['x' => 1, 2, 'y' => 3]; $b = $a['x']; $a[] = 9; $a['z'] = 1;").unwrap();
+        assert!(
+            matches!(&p.stmts[0], Stmt::Assign { value: Expr::ArrayLit(items), .. } if items.len() == 3)
+        );
+        assert!(matches!(
+            &p.stmts[2],
+            Stmt::Assign {
+                target: LValue::Index { key: None, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.stmts[3],
+            Stmt::Assign {
+                target: LValue::Index { key: Some(_), .. },
+                ..
+            }
+        ));
     }
 
     #[test]
     fn parses_compound_assign_desugar() {
         let p = parse("$s .= 'x'; $n += 2; $n++;").unwrap();
         for s in &p.stmts {
-            assert!(matches!(s, Stmt::Assign { value: Expr::Bin { .. }, .. }));
+            assert!(matches!(
+                s,
+                Stmt::Assign {
+                    value: Expr::Bin { .. },
+                    ..
+                }
+            ));
         }
     }
 
     #[test]
     fn parses_calls_and_nested_index() {
         let p = parse("$x = strlen(trim($s)); $y = $m['a']['b'];").unwrap();
-        assert!(matches!(&p.stmts[0], Stmt::Assign { value: Expr::Call { .. }, .. }));
+        assert!(matches!(
+            &p.stmts[0],
+            Stmt::Assign {
+                value: Expr::Call { .. },
+                ..
+            }
+        ));
         match &p.stmts[1] {
-            Stmt::Assign { value: Expr::Index { base, .. }, .. } => {
+            Stmt::Assign {
+                value: Expr::Index { base, .. },
+                ..
+            } => {
                 assert!(matches!(**base, Expr::Index { .. }));
             }
             other => panic!("{other:?}"),

@@ -176,7 +176,13 @@ impl SlabAllocator {
     pub fn new() -> Self {
         let classes = CLASS_SIZES
             .iter()
-            .map(|&size| SizeClass { size, free: Vec::new(), bump: 0, chunk_end: 0, live: 0 })
+            .map(|&size| SizeClass {
+                size,
+                free: Vec::new(),
+                bump: 0,
+                chunk_end: 0,
+                live: 0,
+            })
             .collect();
         SlabAllocator {
             classes,
@@ -232,20 +238,32 @@ impl SlabAllocator {
                 self.classes[ci].live += self.classes[ci].size as u64;
                 self.total_live += self.classes[ci].size as u64;
                 self.live_blocks.insert(addr, (ci, size));
-                Block { addr, size, class: ci }
+                Block {
+                    addr,
+                    size,
+                    class: ci,
+                }
             }
             None => {
                 let addr = self.fresh_range(size as u64);
                 *self.stats.allocs_by_class.last_mut().unwrap() += 1;
                 self.stats.malloc_uops += cost::MALLOC_HUGE;
-                prof.record("kernel_mmap_alloc", Category::Heap, OpCost::mixed(cost::MALLOC_HUGE));
+                prof.record(
+                    "kernel_mmap_alloc",
+                    Category::Heap,
+                    OpCost::mixed(cost::MALLOC_HUGE),
+                );
                 self.total_live += size as u64;
                 self.live_blocks.insert(addr, (usize::MAX, size));
-                Block { addr, size, class: usize::MAX }
+                Block {
+                    addr,
+                    size,
+                    class: usize::MAX,
+                }
             }
         };
         self.stats.peak_live = self.stats.peak_live.max(self.total_live);
-        if self.tick % self.timeline_interval == 0 {
+        if self.tick.is_multiple_of(self.timeline_interval) {
             self.sample_timeline();
         }
         block
@@ -293,7 +311,11 @@ impl SlabAllocator {
         if ci == usize::MAX {
             *self.stats.frees_by_class.last_mut().unwrap() += 1;
             self.stats.free_uops += cost::FREE_HUGE;
-            prof.record("kernel_mmap_free", Category::Heap, OpCost::mixed(cost::FREE_HUGE));
+            prof.record(
+                "kernel_mmap_free",
+                Category::Heap,
+                OpCost::mixed(cost::FREE_HUGE),
+            );
             self.total_live -= size as u64;
         } else {
             self.stats.frees_by_class[ci] += 1;
@@ -303,7 +325,7 @@ impl SlabAllocator {
             self.classes[ci].live -= self.classes[ci].size as u64;
             self.total_live -= self.classes[ci].size as u64;
         }
-        if self.tick % self.timeline_interval == 0 {
+        if self.tick.is_multiple_of(self.timeline_interval) {
             self.sample_timeline();
         }
     }
@@ -344,7 +366,7 @@ impl SlabAllocator {
         self.total_live += self.classes[ci].size as u64;
         self.stats.peak_live = self.stats.peak_live.max(self.total_live);
         self.live_blocks.insert(addr, (ci, size));
-        if self.tick % self.timeline_interval == 0 {
+        if self.tick.is_multiple_of(self.timeline_interval) {
             self.sample_timeline();
         }
     }
@@ -358,7 +380,7 @@ impl SlabAllocator {
             }
         }
         self.tick += 1;
-        if self.tick % self.timeline_interval == 0 {
+        if self.tick.is_multiple_of(self.timeline_interval) {
             self.sample_timeline();
         }
     }
@@ -368,8 +390,15 @@ impl SlabAllocator {
         for (i, slot) in live_small.iter_mut().enumerate() {
             *slot = self.classes[i].live;
         }
-        let live_large: u64 = self.classes[SMALL_CLASS_COUNT..].iter().map(|c| c.live).sum();
-        self.timeline.push(TimelineSample { tick: self.tick, live_small, live_large });
+        let live_large: u64 = self.classes[SMALL_CLASS_COUNT..]
+            .iter()
+            .map(|c| c.live)
+            .sum();
+        self.timeline.push(TimelineSample {
+            tick: self.tick,
+            live_small,
+            live_large,
+        });
     }
 
     /// Live bytes right now.

@@ -236,7 +236,9 @@ impl PhpArray {
         let mut probes = 0;
         while idx != EMPTY {
             probes += 1;
-            let b = self.buckets[idx as usize].as_ref().expect("chain points at tombstone");
+            let b = self.buckets[idx as usize]
+                .as_ref()
+                .expect("chain points at tombstone");
             if b.hash == h && b.key == *key {
                 return (Some(idx as usize), probes);
             }
@@ -271,7 +273,11 @@ impl PhpArray {
 
     /// Inserts or overwrites `key`, reporting the walk cost (a SET walks the
     /// chain too before appending).
-    pub fn insert_with_cost(&mut self, key: ArrayKey, value: PhpValue) -> (Option<PhpValue>, WalkCost) {
+    pub fn insert_with_cost(
+        &mut self,
+        key: ArrayKey,
+        value: PhpValue,
+    ) -> (Option<PhpValue>, WalkCost) {
         if let ArrayKey::Int(i) = key {
             self.next_int_key = self.next_int_key.max(i + 1);
         }
@@ -284,7 +290,12 @@ impl PhpArray {
                 (Some(old), wc)
             }
             None => {
-                wc.cost = wc.cost.plus(OpCost { uops: 14, branches: 1, loads: 1, stores: 3 });
+                wc.cost = wc.cost.plus(OpCost {
+                    uops: 14,
+                    branches: 1,
+                    loads: 1,
+                    stores: 3,
+                });
                 self.append(key, value);
                 (None, wc)
             }
@@ -297,7 +308,12 @@ impl PhpArray {
         }
         let h = key.hash();
         let slot = (h & self.mask) as usize;
-        let bucket = Bucket { key, hash: h, value, next: self.index[slot] };
+        let bucket = Bucket {
+            key,
+            hash: h,
+            value,
+            next: self.index[slot],
+        };
         self.index[slot] = self.buckets.len() as i32;
         self.buckets.push(Some(bucket));
         self.len += 1;
@@ -306,7 +322,10 @@ impl PhpArray {
     fn rehash(&mut self, new_size: usize) {
         let new_size = new_size.next_power_of_two().max(8);
         // Compact tombstones while rebuilding.
-        let old: Vec<Bucket> = std::mem::take(&mut self.buckets).into_iter().flatten().collect();
+        let old: Vec<Bucket> = std::mem::take(&mut self.buckets)
+            .into_iter()
+            .flatten()
+            .collect();
         self.index = vec![EMPTY; new_size];
         self.mask = new_size as u64 - 1;
         self.buckets = Vec::with_capacity(old.len());
@@ -352,7 +371,12 @@ impl PhpArray {
                 let removed = self.buckets[idx as usize].take().unwrap();
                 self.len -= 1;
                 let mut wc = walk_cost(key, probes);
-                wc.cost = wc.cost.plus(OpCost { uops: 10, branches: 1, loads: 1, stores: 2 });
+                wc.cost = wc.cost.plus(OpCost {
+                    uops: 10,
+                    branches: 1,
+                    loads: 1,
+                    stores: 2,
+                });
                 return (Some(removed.value), wc);
             }
             prev = idx;
@@ -404,7 +428,9 @@ impl Extend<(ArrayKey, PhpValue)> for PhpArray {
 
 impl fmt::Debug for PhpArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map().entries(self.iter().map(|(k, v)| (k.to_string(), v))).finish()
+        f.debug_map()
+            .entries(self.iter().map(|(k, v)| (k.to_string(), v)))
+            .finish()
     }
 }
 
@@ -422,8 +448,14 @@ mod tests {
         a.insert(k("name"), PhpValue::from("alice"));
         a.insert(ArrayKey::Int(3), PhpValue::from(42i64));
         assert_eq!(a.len(), 2);
-        assert!(a.get(&k("name")).unwrap().loose_eq(&PhpValue::from("alice")));
-        assert!(a.get(&ArrayKey::Int(3)).unwrap().loose_eq(&PhpValue::from(42i64)));
+        assert!(a
+            .get(&k("name"))
+            .unwrap()
+            .loose_eq(&PhpValue::from("alice")));
+        assert!(a
+            .get(&ArrayKey::Int(3))
+            .unwrap()
+            .loose_eq(&PhpValue::from(42i64)));
         assert!(a.get(&k("missing")).is_none());
     }
 
@@ -472,10 +504,8 @@ mod tests {
 
     #[test]
     fn removed_key_reinserted_goes_to_end() {
-        let mut a = PhpArray::from_pairs([
-            ("a", PhpValue::from(1i64)),
-            ("b", PhpValue::from(2i64)),
-        ]);
+        let mut a =
+            PhpArray::from_pairs([("a", PhpValue::from(1i64)), ("b", PhpValue::from(2i64))]);
         a.remove(&k("a"));
         a.insert(k("a"), PhpValue::from(9i64));
         let keys: Vec<String> = a.keys().map(|x| x.to_string()).collect();
@@ -507,7 +537,10 @@ mod tests {
             a.insert(ArrayKey::Int(i * 1024), PhpValue::from(i));
         }
         for i in 0..64 {
-            assert!(a.get(&ArrayKey::Int(i * 1024)).unwrap().loose_eq(&PhpValue::from(i)));
+            assert!(a
+                .get(&ArrayKey::Int(i * 1024))
+                .unwrap()
+                .loose_eq(&PhpValue::from(i)));
         }
     }
 

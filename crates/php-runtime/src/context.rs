@@ -44,6 +44,17 @@ pub struct HashEvent {
     pub sw_uops: u64,
 }
 
+/// Static-analysis facts applying to one hash-map access: which parts of its
+/// dynamic bookkeeping were proven unnecessary ahead of time. The default is
+/// "no facts" — full dynamic metering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStatic {
+    /// Refcount traffic for the moved value is provably elidable.
+    pub elide_rc: bool,
+    /// The fetched value's type is statically proven (skip the type check).
+    pub skip_type_check: bool,
+}
+
 /// The runtime context.
 #[derive(Debug)]
 pub struct RuntimeContext {
@@ -164,7 +175,11 @@ impl RuntimeContext {
     /// Charges one dynamic type check (the overhead checked-load \[22\]
     /// removes).
     pub fn type_check(&self, _v: &PhpValue) {
-        self.profiler.record("zval_type_check", Category::TypeCheck, PhpValue::type_check_cost());
+        self.profiler.record(
+            "zval_type_check",
+            Category::TypeCheck,
+            PhpValue::type_check_cost(),
+        );
     }
 
     /// Charges refcount traffic for copying a value (inc) if refcounted.
@@ -178,6 +193,42 @@ impl RuntimeContext {
     pub fn refcount_on_drop(&self, v: &PhpValue) {
         if v.is_refcounted() {
             self.refcount.dec(&self.profiler);
+        }
+    }
+
+    /// Like [`RuntimeContext::refcount_on_copy`], but when `elide` is set the
+    /// increment was statically proven removable (non-escaping temporary):
+    /// nothing is charged and the avoided op is counted instead.
+    pub fn refcount_on_copy_elidable(&self, v: &PhpValue, elide: bool) {
+        if !v.is_refcounted() {
+            return;
+        }
+        if elide {
+            self.profiler.note_rc_inc_avoided();
+        } else {
+            self.refcount.inc(&self.profiler);
+        }
+    }
+
+    /// Like [`RuntimeContext::refcount_on_drop`], with static elision.
+    pub fn refcount_on_drop_elidable(&self, v: &PhpValue, elide: bool) {
+        if !v.is_refcounted() {
+            return;
+        }
+        if elide {
+            self.profiler.note_rc_dec_avoided();
+        } else {
+            self.refcount.dec(&self.profiler);
+        }
+    }
+
+    /// Charges a dynamic type check unless static analysis proved the value's
+    /// type (`skip`), in which case the avoided check is counted.
+    pub fn type_check_elidable(&self, v: &PhpValue, skip: bool) {
+        if skip {
+            self.profiler.note_type_check_avoided();
+        } else {
+            self.type_check(v);
         }
     }
 
@@ -218,6 +269,18 @@ impl RuntimeContext {
     /// Metered hash GET: charges the software walk (≈ 90.66 µops average),
     /// a type check on the fetched value, and refcount traffic for the copy.
     pub fn array_get(&self, arr: &PhpArray, key: &ArrayKey) -> Option<PhpValue> {
+        self.array_get_static(arr, key, AccessStatic::default())
+    }
+
+    /// [`RuntimeContext::array_get`] with static-analysis facts: the walk is
+    /// still charged, but proven-unnecessary type checks and refcount
+    /// increments are skipped (and counted as avoided).
+    pub fn array_get_static(
+        &self,
+        arr: &PhpArray,
+        key: &ArrayKey,
+        facts: AccessStatic,
+    ) -> Option<PhpValue> {
         if arr.index_stale() {
             // §4.2: stale index must be rebuilt before software access.
             // Caller-side mutation isn't possible through &PhpArray; the
@@ -230,32 +293,48 @@ impl RuntimeContext {
             );
         }
         let (found, wc) = arr.get_with_cost(key);
-        self.profiler.record("zend_hash_find", Category::HashMap, wc.cost);
+        self.profiler
+            .record("zend_hash_find", Category::HashMap, wc.cost);
         self.log_hash(HashOp::Get, arr.base_addr(), Some(key), Some(&wc));
         let out = found.cloned();
         if let Some(v) = &out {
-            self.type_check(v);
-            self.refcount_on_copy(v);
+            self.type_check_elidable(v, facts.skip_type_check);
+            self.refcount_on_copy_elidable(v, facts.elide_rc);
         }
         out
     }
 
     /// Metered hash SET.
     pub fn array_set(&self, arr: &mut PhpArray, key: ArrayKey, value: PhpValue) {
-        self.refcount_on_copy(&value);
+        self.array_set_static(arr, key, value, AccessStatic::default());
+    }
+
+    /// [`RuntimeContext::array_set`] with static-analysis facts: proven
+    /// refcount traffic (inc of the stored value, dec of the overwritten one)
+    /// is skipped and counted as avoided.
+    pub fn array_set_static(
+        &self,
+        arr: &mut PhpArray,
+        key: ArrayKey,
+        value: PhpValue,
+        facts: AccessStatic,
+    ) {
+        self.refcount_on_copy_elidable(&value, facts.elide_rc);
         let logged_key = key.clone();
         let (old, wc) = arr.insert_with_cost(key, value);
-        self.profiler.record("zend_hash_update", Category::HashMap, wc.cost);
+        self.profiler
+            .record("zend_hash_update", Category::HashMap, wc.cost);
         self.log_hash(HashOp::Set, arr.base_addr(), Some(&logged_key), Some(&wc));
         if let Some(old) = old {
-            self.refcount_on_drop(&old);
+            self.refcount_on_drop_elidable(&old, facts.elide_rc);
         }
     }
 
     /// Metered hash unset.
     pub fn array_remove(&self, arr: &mut PhpArray, key: &ArrayKey) -> Option<PhpValue> {
         let (old, wc) = arr.remove_with_cost(key);
-        self.profiler.record("zend_hash_del", Category::HashMap, wc.cost);
+        self.profiler
+            .record("zend_hash_del", Category::HashMap, wc.cost);
         self.log_hash(HashOp::Unset, arr.base_addr(), Some(key), Some(&wc));
         if let Some(v) = &old {
             self.refcount_on_drop(v);
@@ -276,19 +355,22 @@ impl RuntimeContext {
 
     /// Charges a metered ordered iteration (`foreach`).
     pub fn charge_foreach(&self, arr: &PhpArray) {
-        self.profiler.record("zend_hash_foreach", Category::HashMap, arr.foreach_cost());
+        self.profiler
+            .record("zend_hash_foreach", Category::HashMap, arr.foreach_cost());
         self.log_hash(HashOp::Foreach, arr.base_addr(), None, None);
     }
 
     /// Charges interpreter/JIT "compiled code" work not belonging to any
     /// library category.
     pub fn charge_jit(&self, uops: u64) {
-        self.profiler.record("jit_compiled_code", Category::JitCode, OpCost::mixed(uops));
+        self.profiler
+            .record("jit_compiled_code", Category::JitCode, OpCost::mixed(uops));
     }
 
     /// Charges miscellaneous VM work under the given leaf-function name.
     pub fn charge_other(&self, name: &str, uops: u64) {
-        self.profiler.record(name, Category::Other, OpCost::mixed(uops));
+        self.profiler
+            .record(name, Category::Other, OpCost::mixed(uops));
     }
 }
 

@@ -37,7 +37,7 @@ pub mod symtab;
 pub mod value;
 
 pub use array::{ArrayKey, PhpArray};
-pub use context::RuntimeContext;
-pub use profile::{Category, OpCost, Profiler};
+pub use context::{AccessStatic, RuntimeContext};
+pub use profile::{Category, OpCost, Profiler, StaticSavings};
 pub use string::PhpStr;
 pub use value::PhpValue;

@@ -96,7 +96,10 @@ pub struct OpCost {
 impl OpCost {
     /// A pure-ALU cost.
     pub fn alu(uops: u64) -> Self {
-        OpCost { uops, ..Default::default() }
+        OpCost {
+            uops,
+            ..Default::default()
+        }
     }
 
     /// A mixed cost with typical library-routine proportions:
@@ -157,6 +160,27 @@ pub struct ProfileRow {
     pub share: f64,
 }
 
+/// Work proven unnecessary by static analysis (the `php-analysis` crate) and
+/// skipped at run time. These are *avoided* costs: nothing is charged to the
+/// profile for them; the counters exist so experiments can report how much
+/// dynamic-type-check and refcount traffic specialization removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticSavings {
+    /// Dynamic type checks skipped because operand types were proven.
+    pub type_checks_avoided: u64,
+    /// Refcount increments skipped on proven-non-escaping temporaries.
+    pub rc_incs_avoided: u64,
+    /// Refcount decrements skipped on proven-non-escaping temporaries.
+    pub rc_decs_avoided: u64,
+}
+
+impl StaticSavings {
+    /// Total avoided operations.
+    pub fn total(&self) -> u64 {
+        self.type_checks_avoided + self.rc_incs_avoided + self.rc_decs_avoided
+    }
+}
+
 /// The profiler. Interior-mutable so that runtime operations can record
 /// through a shared reference (`&RuntimeContext`).
 #[derive(Debug, Default)]
@@ -169,6 +193,7 @@ struct ProfilerInner {
     funcs: HashMap<String, FuncStats>,
     total: OpCost,
     enabled_depth: u32,
+    savings: StaticSavings,
 }
 
 impl Profiler {
@@ -269,6 +294,29 @@ impl Profiler {
         let mut inner = self.inner.borrow_mut();
         inner.funcs.clear();
         inner.total = OpCost::default();
+        inner.savings = StaticSavings::default();
+    }
+
+    // -- statically avoided work ---------------------------------------------
+
+    /// Notes a dynamic type check proven unnecessary and skipped.
+    pub fn note_type_check_avoided(&self) {
+        self.inner.borrow_mut().savings.type_checks_avoided += 1;
+    }
+
+    /// Notes a refcount increment proven unnecessary and skipped.
+    pub fn note_rc_inc_avoided(&self) {
+        self.inner.borrow_mut().savings.rc_incs_avoided += 1;
+    }
+
+    /// Notes a refcount decrement proven unnecessary and skipped.
+    pub fn note_rc_dec_avoided(&self) {
+        self.inner.borrow_mut().savings.rc_decs_avoided += 1;
+    }
+
+    /// Work skipped thanks to static analysis so far.
+    pub fn static_savings(&self) -> StaticSavings {
+        self.inner.borrow().savings
     }
 }
 
@@ -353,9 +401,25 @@ mod tests {
     fn reset_clears_everything() {
         let p = Profiler::new();
         p.record("a", Category::Other, OpCost::alu(5));
+        p.note_type_check_avoided();
         p.reset();
         assert_eq!(p.total_uops(), 0);
         assert_eq!(p.function_count(), 0);
+        assert_eq!(p.static_savings(), StaticSavings::default());
+    }
+
+    #[test]
+    fn static_savings_accumulate() {
+        let p = Profiler::new();
+        p.note_type_check_avoided();
+        p.note_type_check_avoided();
+        p.note_rc_inc_avoided();
+        p.note_rc_dec_avoided();
+        let s = p.static_savings();
+        assert_eq!(s.type_checks_avoided, 2);
+        assert_eq!(s.rc_incs_avoided, 1);
+        assert_eq!(s.rc_decs_avoided, 1);
+        assert_eq!(s.total(), 4);
     }
 
     #[test]

@@ -35,7 +35,12 @@ impl RefcountMeter {
         prof.record(
             "zval_refcount_inc",
             Category::RefCount,
-            OpCost { uops: INC_UOPS, branches: 0, loads: 1, stores: 1 },
+            OpCost {
+                uops: INC_UOPS,
+                branches: 0,
+                loads: 1,
+                stores: 1,
+            },
         );
     }
 
@@ -45,7 +50,12 @@ impl RefcountMeter {
         prof.record(
             "zval_refcount_dec",
             Category::RefCount,
-            OpCost { uops: DEC_UOPS, branches: 1, loads: 1, stores: 1 },
+            OpCost {
+                uops: DEC_UOPS,
+                branches: 1,
+                loads: 1,
+                stores: 1,
+            },
         );
     }
 
@@ -55,7 +65,13 @@ impl RefcountMeter {
         prof.record(
             "zval_refcount_inc",
             Category::RefCount,
-            OpCost { uops: INC_UOPS, branches: 0, loads: 1, stores: 1 }.scaled(n),
+            OpCost {
+                uops: INC_UOPS,
+                branches: 0,
+                loads: 1,
+                stores: 1,
+            }
+            .scaled(n),
         );
     }
 

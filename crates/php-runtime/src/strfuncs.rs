@@ -71,7 +71,8 @@ impl<'p> StrLib<'p> {
 
     /// `strlen` — O(1) for counted strings.
     pub fn strlen(&self, s: &PhpStr) -> usize {
-        self.prof.record("php_strlen", Category::String, OpCost::alu(2));
+        self.prof
+            .record("php_strlen", Category::String, OpCost::alu(2));
         s.len()
     }
 
@@ -102,7 +103,11 @@ impl<'p> StrLib<'p> {
     /// `substr` with PHP semantics for negative `start`/`len`.
     pub fn substr(&self, s: &PhpStr, start: i64, len: Option<i64>) -> PhpStr {
         let n = s.len() as i64;
-        let start = if start < 0 { (n + start).max(0) } else { start.min(n) };
+        let start = if start < 0 {
+            (n + start).max(0)
+        } else {
+            start.min(n)
+        };
         let end = match len {
             None => n,
             Some(l) if l < 0 => (n + l).max(start),
@@ -117,7 +122,11 @@ impl<'p> StrLib<'p> {
     pub fn trim(&self, s: &PhpStr, set: &[u8]) -> PhpStr {
         let b = s.as_bytes();
         let start = b.iter().position(|c| !set.contains(c)).unwrap_or(b.len());
-        let end = b.iter().rposition(|c| !set.contains(c)).map(|i| i + 1).unwrap_or(start);
+        let end = b
+            .iter()
+            .rposition(|c| !set.contains(c))
+            .map(|i| i + 1)
+            .unwrap_or(start);
         let trimmed = (b.len() - (end - start)).max(1);
         scan_cost("php_trim", trimmed + 2, self.mode, self.prof);
         PhpStr::from_bytes(b[start..end].to_vec())
@@ -129,18 +138,32 @@ impl<'p> StrLib<'p> {
     /// `strtolower` — ASCII lowercase.
     pub fn strtolower(&self, s: &PhpStr) -> PhpStr {
         scan_cost("php_strtolower", s.len(), self.mode, self.prof);
-        PhpStr::from_bytes(s.as_bytes().iter().map(|b| b.to_ascii_lowercase()).collect::<Vec<_>>())
+        PhpStr::from_bytes(
+            s.as_bytes()
+                .iter()
+                .map(|b| b.to_ascii_lowercase())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// `strtoupper` — ASCII uppercase.
     pub fn strtoupper(&self, s: &PhpStr) -> PhpStr {
         scan_cost("php_strtoupper", s.len(), self.mode, self.prof);
-        PhpStr::from_bytes(s.as_bytes().iter().map(|b| b.to_ascii_uppercase()).collect::<Vec<_>>())
+        PhpStr::from_bytes(
+            s.as_bytes()
+                .iter()
+                .map(|b| b.to_ascii_uppercase())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// `ucfirst`.
     pub fn ucfirst(&self, s: &PhpStr) -> PhpStr {
-        self.prof.record("php_ucfirst", Category::String, OpCost::alu(CALL_FIXED_UOPS));
+        self.prof.record(
+            "php_ucfirst",
+            Category::String,
+            OpCost::alu(CALL_FIXED_UOPS),
+        );
         let mut out = s.as_bytes().to_vec();
         if let Some(first) = out.first_mut() {
             *first = first.to_ascii_uppercase();
@@ -415,7 +438,11 @@ impl<'p> StrLib<'p> {
 
     /// `lcfirst`.
     pub fn lcfirst(&self, s: &PhpStr) -> PhpStr {
-        self.prof.record("php_lcfirst", Category::String, OpCost::alu(CALL_FIXED_UOPS));
+        self.prof.record(
+            "php_lcfirst",
+            Category::String,
+            OpCost::alu(CALL_FIXED_UOPS),
+        );
         let mut out = s.as_bytes().to_vec();
         if let Some(first) = out.first_mut() {
             *first = first.to_ascii_lowercase();
@@ -441,7 +468,11 @@ impl<'p> StrLib<'p> {
     /// `ctype`-style span: length of the prefix whose bytes all satisfy the
     /// class predicate (used by sanitizers).
     pub fn span_class(&self, s: &PhpStr, class: CharClass) -> usize {
-        let n = s.as_bytes().iter().take_while(|&&b| class.matches(b)).count();
+        let n = s
+            .as_bytes()
+            .iter()
+            .take_while(|&&b| class.matches(b))
+            .count();
         scan_cost("php_ctype_span", n + 1, self.mode, self.prof);
         n
     }
@@ -580,7 +611,10 @@ mod tests {
         let hay = PhpStr::from("x".repeat(4096));
         StrLib::new(&p1, StrMode::Scalar).strpos(&hay, b"yy", 0);
         StrLib::new(&p2, StrMode::Swar).strpos(&hay, b"yy", 0);
-        assert!(p2.total_uops() < p1.total_uops() / 2, "SWAR should cut scan cost");
+        assert!(
+            p2.total_uops() < p1.total_uops() / 2,
+            "SWAR should cut scan cost"
+        );
     }
 
     #[test]
@@ -608,10 +642,22 @@ mod tests {
     fn case_functions() {
         let p = Profiler::new();
         let l = lib(&p);
-        assert_eq!(l.strtolower(&PhpStr::from("AbC9!")).to_string_lossy(), "abc9!");
-        assert_eq!(l.strtoupper(&PhpStr::from("AbC9!")).to_string_lossy(), "ABC9!");
-        assert_eq!(l.ucfirst(&PhpStr::from("hello world")).to_string_lossy(), "Hello world");
-        assert_eq!(l.ucwords(&PhpStr::from("hello my world")).to_string_lossy(), "Hello My World");
+        assert_eq!(
+            l.strtolower(&PhpStr::from("AbC9!")).to_string_lossy(),
+            "abc9!"
+        );
+        assert_eq!(
+            l.strtoupper(&PhpStr::from("AbC9!")).to_string_lossy(),
+            "ABC9!"
+        );
+        assert_eq!(
+            l.ucfirst(&PhpStr::from("hello world")).to_string_lossy(),
+            "Hello world"
+        );
+        assert_eq!(
+            l.ucwords(&PhpStr::from("hello my world")).to_string_lossy(),
+            "Hello My World"
+        );
     }
 
     #[test]
@@ -661,8 +707,14 @@ mod tests {
     fn nl2br_variants() {
         let p = Profiler::new();
         let l = lib(&p);
-        assert_eq!(l.nl2br(&PhpStr::from("a\nb")).to_string_lossy(), "a<br />\nb");
-        assert_eq!(l.nl2br(&PhpStr::from("a\r\nb")).to_string_lossy(), "a<br />\r\nb");
+        assert_eq!(
+            l.nl2br(&PhpStr::from("a\nb")).to_string_lossy(),
+            "a<br />\nb"
+        );
+        assert_eq!(
+            l.nl2br(&PhpStr::from("a\r\nb")).to_string_lossy(),
+            "a<br />\r\nb"
+        );
     }
 
     #[test]
@@ -671,7 +723,11 @@ mod tests {
         let l = lib(&p);
         let out = l.sprintf(
             &PhpStr::from("%s has %d items (%f%%)"),
-            &[PhpValue::from("cart"), PhpValue::from(3i64), PhpValue::from(1.5)],
+            &[
+                PhpValue::from("cart"),
+                PhpValue::from(3i64),
+                PhpValue::from(1.5),
+            ],
         );
         assert_eq!(out.to_string_lossy(), "cart has 3 items (1.500000%)");
     }
@@ -688,8 +744,14 @@ mod tests {
     fn pad_repeat_rev() {
         let p = Profiler::new();
         let l = lib(&p);
-        assert_eq!(l.str_pad(&PhpStr::from("ab"), 5, b"-=").to_string_lossy(), "ab-=-");
-        assert_eq!(l.str_repeat(&PhpStr::from("ab"), 3).to_string_lossy(), "ababab");
+        assert_eq!(
+            l.str_pad(&PhpStr::from("ab"), 5, b"-=").to_string_lossy(),
+            "ab-=-"
+        );
+        assert_eq!(
+            l.str_repeat(&PhpStr::from("ab"), 3).to_string_lossy(),
+            "ababab"
+        );
         assert_eq!(l.strrev(&PhpStr::from("abc")).to_string_lossy(), "cba");
     }
 
@@ -712,7 +774,9 @@ mod tests {
         // Deterministic pseudo-random cross-check of the two kernels.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u8 % 4 + b'a'
         };
         for trial in 0..200 {

@@ -22,7 +22,9 @@ impl PhpStr {
 
     /// Creates a string from raw bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        PhpStr { bytes: bytes.into() }
+        PhpStr {
+            bytes: bytes.into(),
+        }
     }
 
     /// Byte length.

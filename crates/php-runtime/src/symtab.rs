@@ -38,7 +38,8 @@ impl SymbolTable {
 
     /// Removes a variable.
     pub fn unset(&mut self, ctx: &RuntimeContext, name: &str) -> bool {
-        ctx.array_remove(&mut self.table, &ArrayKey::from(name)).is_some()
+        ctx.array_remove(&mut self.table, &ArrayKey::from(name))
+            .is_some()
     }
 
     /// PHP `extract($arr)`: imports every string-keyed pair of `source` as a
@@ -92,7 +93,10 @@ pub struct Scopes {
 impl Scopes {
     /// Creates the scope stack with an empty global table.
     pub fn new(ctx: &RuntimeContext) -> Self {
-        Scopes { global: SymbolTable::new(ctx), locals: Vec::new() }
+        Scopes {
+            global: SymbolTable::new(ctx),
+            locals: Vec::new(),
+        }
     }
 
     /// Pushes a fresh function-local scope.
@@ -149,7 +153,10 @@ mod tests {
         let ctx = RuntimeContext::new();
         let mut t = SymbolTable::new(&ctx);
         t.set(&ctx, "title", PhpValue::from("Hello"));
-        assert!(t.get(&ctx, "title").unwrap().loose_eq(&PhpValue::from("Hello")));
+        assert!(t
+            .get(&ctx, "title")
+            .unwrap()
+            .loose_eq(&PhpValue::from("Hello")));
         assert!(t.unset(&ctx, "title"));
         assert!(!t.unset(&ctx, "title"));
         assert!(t.get(&ctx, "title").is_none());

@@ -59,7 +59,12 @@ impl PhpValue {
     /// The µop cost of one dynamic type check on this value (tag load +
     /// compare + branch). Charged by the context around specialized code.
     pub fn type_check_cost() -> OpCost {
-        OpCost { uops: 3, branches: 1, loads: 1, stores: 0 }
+        OpCost {
+            uops: 3,
+            branches: 1,
+            loads: 1,
+            stores: 0,
+        }
     }
 
     /// PHP truthiness.
@@ -70,7 +75,7 @@ impl PhpValue {
             PhpValue::Int(i) => *i != 0,
             PhpValue::Float(f) => *f != 0.0,
             PhpValue::Str(s) => !s.is_empty() && s.as_bytes() != b"0",
-            PhpValue::Array(a) => a.borrow().len() > 0,
+            PhpValue::Array(a) => !a.borrow().is_empty(),
         }
     }
 
@@ -82,7 +87,7 @@ impl PhpValue {
             PhpValue::Int(i) => *i,
             PhpValue::Float(f) => *f as i64,
             PhpValue::Str(s) => parse_numeric_prefix(s.as_bytes()).0,
-            PhpValue::Array(a) => (a.borrow().len() > 0) as i64,
+            PhpValue::Array(a) => (!a.borrow().is_empty()) as i64,
         }
     }
 
@@ -134,7 +139,9 @@ impl PhpValue {
                 }
                 let (a, b) = (a.borrow(), b.borrow());
                 a.len() == b.len()
-                    && a.iter().zip(b.iter()).all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|((ka, va), (kb, vb))| ka == kb && va.loose_eq(vb))
             }
             (Array(_), _) | (_, Array(_)) => false,
         }
@@ -179,7 +186,11 @@ fn parse_numeric_prefix(b: &[u8]) -> (i64, f64) {
     }
     let prefix = &t[..end];
     let f: f64 = prefix.parse().unwrap_or(0.0);
-    let i: i64 = if seen_dot { f as i64 } else { prefix.parse().unwrap_or(f as i64) };
+    let i: i64 = if seen_dot {
+        f as i64
+    } else {
+        prefix.parse().unwrap_or(f as i64)
+    };
     (i, f)
 }
 
@@ -250,7 +261,10 @@ mod tests {
 
     #[test]
     fn string_coercion() {
-        assert_eq!(PhpValue::from(42i64).to_php_string().to_string_lossy(), "42");
+        assert_eq!(
+            PhpValue::from(42i64).to_php_string().to_string_lossy(),
+            "42"
+        );
         assert_eq!(PhpValue::Bool(true).to_php_string().to_string_lossy(), "1");
         assert_eq!(PhpValue::Bool(false).to_php_string().len(), 0);
         assert_eq!(PhpValue::from(2.0).to_php_string().to_string_lossy(), "2");

@@ -56,10 +56,8 @@ pub fn sought_special_chars(ast: &Ast) -> Vec<u8> {
 fn collect_sought(ast: &Ast, out: &mut Vec<u8>) {
     match ast {
         Ast::Literal(b) if is_special_byte(*b) => out.push(*b),
-        Ast::Class(set) => {
-            if class_all_special(set) {
-                out.extend(set.bytes());
-            }
+        Ast::Class(set) if class_all_special(set) => {
+            out.extend(set.bytes());
         }
         Ast::Group(inner) => collect_sought(inner, out),
         Ast::Concat(parts) => {

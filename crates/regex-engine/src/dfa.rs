@@ -140,10 +140,8 @@ impl LazyDfa {
         let src = self.sets[state as usize].clone();
         for s in src {
             match &self.nfa.states()[s as usize] {
-                NfaState::Bytes { class, next } if symbol < 256 => {
-                    if class.contains(symbol as u8) {
-                        self.closure_into(*next, &mut next_set);
-                    }
+                NfaState::Bytes { class, next } if symbol < 256 && class.contains(symbol as u8) => {
+                    self.closure_into(*next, &mut next_set);
                 }
                 NfaState::AssertEnd(next) if symbol == EOI => {
                     self.closure_into(*next, &mut next_set);
@@ -171,7 +169,12 @@ impl LazyDfa {
     ///
     /// `at_subject_end` says whether `input` ends the subject (so `$` can
     /// fire via EOI).
-    pub fn run_from(&mut self, state: DfaStateId, input: &[u8], at_subject_end: bool) -> RunOutcome {
+    pub fn run_from(
+        &mut self,
+        state: DfaStateId,
+        input: &[u8],
+        at_subject_end: bool,
+    ) -> RunOutcome {
         let mut cur = state;
         let mut last_match_end = if self.is_match(cur) { Some(0) } else { None };
         for (i, &b) in input.iter().enumerate() {
@@ -198,7 +201,11 @@ impl LazyDfa {
                 }
             }
         }
-        RunOutcome { last_match_end, end_state: Some(cur), bytes_consumed: input.len() }
+        RunOutcome {
+            last_match_end,
+            end_state: Some(cur),
+            bytes_consumed: input.len(),
+        }
     }
 
     /// State reached after consuming `prefix` from the start (the value the
@@ -222,7 +229,9 @@ mod tests {
     fn matches(pat: &str, input: &str) -> bool {
         let mut d = dfa(pat, true);
         let start = d.start_state();
-        d.run_from(start, input.as_bytes(), true).last_match_end.is_some()
+        d.run_from(start, input.as_bytes(), true)
+            .last_match_end
+            .is_some()
     }
 
     #[test]

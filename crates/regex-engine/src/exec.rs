@@ -48,7 +48,10 @@ pub struct ScanStats {
 
 impl ScanStats {
     fn from_bytes(bytes: u64) -> Self {
-        ScanStats { bytes_scanned: bytes, uops: SW_UOPS_PER_CALL + bytes * SW_UOPS_PER_BYTE }
+        ScanStats {
+            bytes_scanned: bytes,
+            uops: SW_UOPS_PER_CALL + bytes * SW_UOPS_PER_BYTE,
+        }
     }
 
     /// Component-wise sum.
@@ -138,7 +141,10 @@ impl Regex {
         let mut dfa = self.anchored.borrow_mut();
         let start = dfa.start_state();
         let out = dfa.run_from(start, &subject[pos..], true);
-        let m = out.last_match_end.map(|end| Match { start: pos, end: pos + end });
+        let m = out.last_match_end.map(|end| Match {
+            start: pos,
+            end: pos + end,
+        });
         (m, out.bytes_consumed as u64 + 1)
     }
 
@@ -328,7 +334,10 @@ mod tests {
         let state = r.fsm_state_after(&url[..split]).unwrap();
         let resumed = r.fsm_run_from(state, &url[split..], true);
         let (full, _) = r.match_at(url, 0);
-        assert_eq!(resumed.last_match_end.map(|e| e + split), full.map(|m| m.end));
+        assert_eq!(
+            resumed.last_match_end.map(|e| e + split),
+            full.map(|m| m.end)
+        );
     }
 
     #[test]

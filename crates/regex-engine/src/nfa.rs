@@ -51,7 +51,11 @@ impl Nfa {
         let frag = b.build(ast);
         let m = b.push(NfaState::Match);
         b.patch(frag.outs, m);
-        Nfa { states: b.states, start: frag.start, anchored_start }
+        Nfa {
+            states: b.states,
+            start: frag.start,
+            anchored_start,
+        }
     }
 
     /// The states.
@@ -133,21 +137,39 @@ impl Builder {
                 // inside the graph it is an epsilon.
                 let id = self.push(NfaState::Split(Self::DANGLING, Self::DANGLING));
                 // Make it a straight-through epsilon: both slots same target.
-                Frag { start: id, outs: vec![(id, 0), (id, 1)] }
+                Frag {
+                    start: id,
+                    outs: vec![(id, 0), (id, 1)],
+                }
             }
             Ast::AnchorEnd => {
                 let id = self.push(NfaState::AssertEnd(Self::DANGLING));
-                Frag { start: id, outs: vec![(id, 0)] }
+                Frag {
+                    start: id,
+                    outs: vec![(id, 0)],
+                }
             }
             Ast::Literal(b) => {
                 let mut class = ClassSet::new();
                 class.push_byte(*b);
-                let id = self.push(NfaState::Bytes { class, next: Self::DANGLING });
-                Frag { start: id, outs: vec![(id, 0)] }
+                let id = self.push(NfaState::Bytes {
+                    class,
+                    next: Self::DANGLING,
+                });
+                Frag {
+                    start: id,
+                    outs: vec![(id, 0)],
+                }
             }
             Ast::Class(set) => {
-                let id = self.push(NfaState::Bytes { class: set.clone(), next: Self::DANGLING });
-                Frag { start: id, outs: vec![(id, 0)] }
+                let id = self.push(NfaState::Bytes {
+                    class: set.clone(),
+                    next: Self::DANGLING,
+                });
+                Frag {
+                    start: id,
+                    outs: vec![(id, 0)],
+                }
             }
             Ast::Group(inner) => self.build(inner),
             Ast::Concat(parts) => {
@@ -194,7 +216,10 @@ impl Builder {
                     _ => unreachable!(),
                 }
                 self.patch(f.outs, split);
-                Frag { start: split, outs: vec![(split, 1)] }
+                Frag {
+                    start: split,
+                    outs: vec![(split, 1)],
+                }
             }
             (min, None) => {
                 // min copies then a star.
@@ -206,7 +231,10 @@ impl Builder {
                 }
                 let star = self.build_repeat(node, 0, None);
                 self.patch(frag.outs, star.start);
-                Frag { start: frag.start, outs: star.outs }
+                Frag {
+                    start: frag.start,
+                    outs: star.outs,
+                }
             }
             (0, Some(0)) => self.build(&Ast::Empty),
             (min, Some(max)) => {
@@ -237,7 +265,10 @@ impl Builder {
                     outs = f.outs;
                     outs.push((split, 1));
                 }
-                Frag { start: start.expect("repeat with max=0 handled above"), outs }
+                Frag {
+                    start: start.expect("repeat with max=0 handled above"),
+                    outs,
+                }
             }
         }
     }
@@ -273,7 +304,10 @@ mod tests {
         let n = nfa("a*");
         // split + byte + match
         assert_eq!(n.len(), 3);
-        assert!(matches!(n.states()[n.start() as usize], NfaState::Split(..)));
+        assert!(matches!(
+            n.states()[n.start() as usize],
+            NfaState::Split(..)
+        ));
     }
 
     #[test]
@@ -294,6 +328,9 @@ mod tests {
     #[test]
     fn assert_end_state_present() {
         let n = nfa("a$");
-        assert!(n.states().iter().any(|s| matches!(s, NfaState::AssertEnd(_))));
+        assert!(n
+            .states()
+            .iter()
+            .any(|s| matches!(s, NfaState::AssertEnd(_))));
     }
 }

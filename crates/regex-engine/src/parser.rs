@@ -67,7 +67,9 @@ impl ClassSet {
 
     /// Iterates all member bytes.
     pub fn bytes(&self) -> impl Iterator<Item = u8> + '_ {
-        (0u16..256).map(|b| b as u8).filter(move |&b| self.contains(b))
+        (0u16..256)
+            .map(|b| b as u8)
+            .filter(move |&b| self.contains(b))
     }
 
     /// `\d`
@@ -145,7 +147,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -163,7 +169,10 @@ struct Parser<'a> {
 /// Returns [`ParseError`] on malformed patterns (unbalanced parens, bad
 /// quantifiers, dangling escapes, empty groups with quantifiers, ...).
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p = Parser { pat: pattern.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        pat: pattern.as_bytes(),
+        pos: 0,
+    };
     let ast = p.alternation()?;
     if p.pos != p.pat.len() {
         return Err(p.err("unexpected trailing input"));
@@ -173,7 +182,10 @@ pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> ParseError {
-        ParseError { message: message.to_owned(), position: self.pos }
+        ParseError {
+            message: message.to_owned(),
+            position: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -200,7 +212,11 @@ impl<'a> Parser<'a> {
         while self.eat(b'|') {
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().unwrap() } else { Ast::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alt(branches)
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, ParseError> {
@@ -255,7 +271,11 @@ impl<'a> Parser<'a> {
                 return Err(self.err("repeat max < min"));
             }
         }
-        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
     }
 
     fn counted_repeat(&mut self) -> Option<(u32, Option<u32>)> {
@@ -286,11 +306,17 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return None;
         }
-        std::str::from_utf8(&self.pat[start..self.pos]).ok()?.parse().ok()
+        std::str::from_utf8(&self.pat[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
     }
 
     fn atom(&mut self) -> Result<Ast, ParseError> {
-        match self.bump().ok_or_else(|| self.err("unexpected end of pattern"))? {
+        match self
+            .bump()
+            .ok_or_else(|| self.err("unexpected end of pattern"))?
+        {
             b'(' => {
                 // Treat (?:...) and (?i)-less groups alike; reject lookaround
                 // explicitly so callers know it is unsupported.
@@ -347,8 +373,13 @@ impl<'a> Parser<'a> {
     }
 
     fn hex_digit(&mut self) -> Result<u8, ParseError> {
-        let b = self.bump().ok_or_else(|| self.err("truncated \\x escape"))?;
-        (b as char).to_digit(16).map(|d| d as u8).ok_or_else(|| self.err("bad hex digit"))
+        let b = self
+            .bump()
+            .ok_or_else(|| self.err("truncated \\x escape"))?;
+        (b as char)
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or_else(|| self.err("bad hex digit"))
     }
 
     fn class(&mut self) -> Result<Ast, ParseError> {
@@ -356,11 +387,15 @@ impl<'a> Parser<'a> {
         let mut set = ClassSet::new();
         let mut first = true;
         loop {
-            let b = self.bump().ok_or_else(|| self.err("unterminated character class"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated character class"))?;
             match b {
                 b']' if !first => break,
                 b'\\' => {
-                    let e = self.bump().ok_or_else(|| self.err("dangling escape in class"))?;
+                    let e = self
+                        .bump()
+                        .ok_or_else(|| self.err("dangling escape in class"))?;
                     match e {
                         b'd' => set.ranges.extend_from_slice(ClassSet::digit().ranges()),
                         b'w' => set.ranges.extend_from_slice(ClassSet::word().ranges()),
@@ -384,7 +419,8 @@ impl<'a> Parser<'a> {
             self.bump(); // '-'
             let hi = self.bump().ok_or_else(|| self.err("unterminated range"))?;
             let hi = if hi == b'\\' {
-                self.bump().ok_or_else(|| self.err("dangling escape in range"))?
+                self.bump()
+                    .ok_or_else(|| self.err("dangling escape in range"))?
             } else {
                 hi
             };
@@ -408,7 +444,11 @@ mod tests {
         let ast = parse("abc").unwrap();
         assert_eq!(
             ast,
-            Ast::Concat(vec![Ast::Literal(b'a'), Ast::Literal(b'b'), Ast::Literal(b'c')])
+            Ast::Concat(vec![
+                Ast::Literal(b'a'),
+                Ast::Literal(b'b'),
+                Ast::Literal(b'c')
+            ])
         );
     }
 
@@ -426,12 +466,54 @@ mod tests {
 
     #[test]
     fn parses_quantifiers() {
-        assert!(matches!(parse("a*").unwrap(), Ast::Repeat { min: 0, max: None, .. }));
-        assert!(matches!(parse("a+").unwrap(), Ast::Repeat { min: 1, max: None, .. }));
-        assert!(matches!(parse("a?").unwrap(), Ast::Repeat { min: 0, max: Some(1), .. }));
-        assert!(matches!(parse("a{2,5}").unwrap(), Ast::Repeat { min: 2, max: Some(5), .. }));
-        assert!(matches!(parse("a{3}").unwrap(), Ast::Repeat { min: 3, max: Some(3), .. }));
-        assert!(matches!(parse("a{2,}").unwrap(), Ast::Repeat { min: 2, max: None, .. }));
+        assert!(matches!(
+            parse("a*").unwrap(),
+            Ast::Repeat {
+                min: 0,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a+").unwrap(),
+            Ast::Repeat {
+                min: 1,
+                max: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a?").unwrap(),
+            Ast::Repeat {
+                min: 0,
+                max: Some(1),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{3}").unwrap(),
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("a{2,}").unwrap(),
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct BtbConfig {
 
 impl Default for BtbConfig {
     fn default() -> Self {
-        BtbConfig { entries: 4096, ways: 2 }
+        BtbConfig {
+            entries: 4096,
+            ways: 2,
+        }
     }
 }
 
@@ -65,10 +68,19 @@ impl Btb {
     ///
     /// Panics when `entries` is not a power of two or not divisible by `ways`.
     pub fn new(cfg: BtbConfig) -> Self {
-        assert!(cfg.entries.is_power_of_two(), "entries must be a power of two");
-        assert!(cfg.ways >= 1 && cfg.entries % cfg.ways == 0);
+        assert!(
+            cfg.entries.is_power_of_two(),
+            "entries must be a power of two"
+        );
+        assert!(cfg.ways >= 1 && cfg.entries.is_multiple_of(cfg.ways));
         let sets = cfg.entries / cfg.ways;
-        Btb { cfg, sets, entries: vec![Vec::new(); sets], clock: 0, stats: BtbStats::default() }
+        Btb {
+            cfg,
+            sets,
+            entries: vec![Vec::new(); sets],
+            clock: 0,
+            stats: BtbStats::default(),
+        }
     }
 
     /// Geometry.
@@ -105,8 +117,7 @@ impl Btb {
         }
         self.stats.capacity_misses += 1;
         if self.entries[set].len() >= self.cfg.ways {
-            let lru = self
-                .entries[set]
+            let lru = self.entries[set]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, _, s))| *s)
@@ -141,7 +152,10 @@ mod tests {
 
     #[test]
     fn small_btb_thrashes_with_many_branch_sites() {
-        let small = BtbConfig { entries: 64, ways: 2 };
+        let small = BtbConfig {
+            entries: 64,
+            ways: 2,
+        };
         let mut b = Btb::new(small);
         // 1000 distinct branch PCs round-robin: no reuse fits in 64 entries.
         for round in 0..3 {
@@ -150,20 +164,34 @@ mod tests {
             }
             let _ = round;
         }
-        assert!(b.stats().hit_rate() < 0.1, "hit rate {}", b.stats().hit_rate());
+        assert!(
+            b.stats().hit_rate() < 0.1,
+            "hit rate {}",
+            b.stats().hit_rate()
+        );
         // A big BTB captures the same stream fine.
-        let mut big = Btb::new(BtbConfig { entries: 4096, ways: 2 });
+        let mut big = Btb::new(BtbConfig {
+            entries: 4096,
+            ways: 2,
+        });
         for _ in 0..3 {
             for i in 0..1000u64 {
                 let _ = big.lookup_update(0x1000 + i * 8, 0x9000 + i);
             }
         }
-        assert!(big.stats().hit_rate() > 0.6, "hit rate {}", big.stats().hit_rate());
+        assert!(
+            big.stats().hit_rate() > 0.6,
+            "hit rate {}",
+            big.stats().hit_rate()
+        );
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_config_panics() {
-        Btb::new(BtbConfig { entries: 1000, ways: 2 });
+        Btb::new(BtbConfig {
+            entries: 1000,
+            ways: 2,
+        });
     }
 }

@@ -22,12 +22,20 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// 32 KB, 8-way — typical L1.
     pub fn l1_32k() -> Self {
-        CacheConfig { capacity: 32 << 10, ways: 8, next_line_prefetch: true }
+        CacheConfig {
+            capacity: 32 << 10,
+            ways: 8,
+            next_line_prefetch: true,
+        }
     }
 
     /// 1 MB, 16-way — typical private L2 slice.
     pub fn l2_1m() -> Self {
-        CacheConfig { capacity: 1 << 20, ways: 16, next_line_prefetch: true }
+        CacheConfig {
+            capacity: 1 << 20,
+            ways: 16,
+            next_line_prefetch: true,
+        }
     }
 }
 
@@ -84,10 +92,19 @@ impl Cache {
     /// power-of-two sets).
     pub fn new(cfg: CacheConfig) -> Self {
         let lines = cfg.capacity / LINE_BYTES as usize;
-        assert!(lines >= cfg.ways && lines % cfg.ways == 0, "bad geometry");
+        assert!(
+            lines >= cfg.ways && lines.is_multiple_of(cfg.ways),
+            "bad geometry"
+        );
         let sets = lines / cfg.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        Cache { cfg, sets, tags: vec![Vec::new(); sets], clock: 0, stats: CacheStats::default() }
+        Cache {
+            cfg,
+            sets,
+            tags: vec![Vec::new(); sets],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     fn set_of(&self, addr: u64) -> usize {
@@ -145,8 +162,7 @@ impl Cache {
         }
         if self.tags[set].len() >= self.cfg.ways {
             // Evict LRU.
-            let lru = self
-                .tags[set]
+            let lru = self.tags[set]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, stamp, _))| *stamp)
@@ -190,19 +206,30 @@ pub struct Latencies {
 
 impl Default for Latencies {
     fn default() -> Self {
-        Latencies { l2_hit: 12, memory: 200 }
+        Latencies {
+            l2_hit: 12,
+            memory: 200,
+        }
     }
 }
 
 impl Hierarchy {
     /// Builds a hierarchy.
     pub fn new(l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig) -> Self {
-        Hierarchy { l1i: Cache::new(l1i), l1d: Cache::new(l1d), l2: Cache::new(l2) }
+        Hierarchy {
+            l1i: Cache::new(l1i),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+        }
     }
 
     /// Default server-class hierarchy (32 KB L1s, 1 MB L2).
     pub fn server() -> Self {
-        Self::new(CacheConfig::l1_32k(), CacheConfig::l1_32k(), CacheConfig::l2_1m())
+        Self::new(
+            CacheConfig::l1_32k(),
+            CacheConfig::l1_32k(),
+            CacheConfig::l2_1m(),
+        )
     }
 
     /// Instruction fetch of `addr`: returns the added latency in cycles
@@ -246,7 +273,11 @@ mod tests {
 
     #[test]
     fn capacity_eviction() {
-        let mut c = Cache::new(CacheConfig { capacity: 1024, ways: 2, next_line_prefetch: false });
+        let mut c = Cache::new(CacheConfig {
+            capacity: 1024,
+            ways: 2,
+            next_line_prefetch: false,
+        });
         // 16 lines, 8 sets, 2 ways. Touch 3 lines mapping to the same set.
         let set_stride = 8 * 64;
         c.access(0);
@@ -258,7 +289,11 @@ mod tests {
 
     #[test]
     fn lru_order_respected() {
-        let mut c = Cache::new(CacheConfig { capacity: 1024, ways: 2, next_line_prefetch: false });
+        let mut c = Cache::new(CacheConfig {
+            capacity: 1024,
+            ways: 2,
+            next_line_prefetch: false,
+        });
         let s = 8 * 64;
         c.access(0);
         c.access(s);
@@ -270,9 +305,16 @@ mod tests {
 
     #[test]
     fn next_line_prefetch_helps_streams() {
-        let mut with = Cache::new(CacheConfig { capacity: 32 << 10, ways: 8, next_line_prefetch: true });
-        let mut without =
-            Cache::new(CacheConfig { capacity: 32 << 10, ways: 8, next_line_prefetch: false });
+        let mut with = Cache::new(CacheConfig {
+            capacity: 32 << 10,
+            ways: 8,
+            next_line_prefetch: true,
+        });
+        let mut without = Cache::new(CacheConfig {
+            capacity: 32 << 10,
+            ways: 8,
+            next_line_prefetch: false,
+        });
         for i in 0..512u64 {
             with.access(i * 64);
             without.access(i * 64);
@@ -282,7 +324,11 @@ mod tests {
 
     #[test]
     fn mpki_computation() {
-        let s = CacheStats { accesses: 1000, misses: 25, ..Default::default() };
+        let s = CacheStats {
+            accesses: 1000,
+            misses: 25,
+            ..Default::default()
+        };
         assert!((s.mpki(10_000) - 2.5).abs() < 1e-12);
         assert!((s.miss_rate() - 0.025).abs() < 1e-12);
     }
@@ -297,7 +343,11 @@ mod tests {
         assert_eq!(again, 0);
         // Evicted from a tiny L1 but present in L2 → l2_hit latency.
         let mut h2 = Hierarchy::new(
-            CacheConfig { capacity: 1024, ways: 2, next_line_prefetch: false },
+            CacheConfig {
+                capacity: 1024,
+                ways: 2,
+                next_line_prefetch: false,
+            },
             CacheConfig::l1_32k(),
             CacheConfig::l2_1m(),
         );
@@ -311,6 +361,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad geometry")]
     fn bad_geometry_panics() {
-        Cache::new(CacheConfig { capacity: 100, ways: 3, next_line_prefetch: false });
+        Cache::new(CacheConfig {
+            capacity: 100,
+            ways: 3,
+            next_line_prefetch: false,
+        });
     }
 }

@@ -26,7 +26,12 @@ pub enum CoreKind {
 
 impl CoreKind {
     /// All kinds, narrow to wide.
-    pub const ALL: [CoreKind; 4] = [CoreKind::InOrder2, CoreKind::OoO2, CoreKind::OoO4, CoreKind::OoO8];
+    pub const ALL: [CoreKind; 4] = [
+        CoreKind::InOrder2,
+        CoreKind::OoO2,
+        CoreKind::OoO4,
+        CoreKind::OoO8,
+    ];
 
     /// Issue width.
     pub fn width(self) -> u64 {
@@ -41,6 +46,7 @@ impl CoreKind {
     /// cores stall on every RAW hazard; wider OoO cores run out of ILP —
     /// §2: "increasing to an 8-wide OoO machine shows very little (< 3%)
     /// performance increase".
+    #[allow(clippy::approx_constant)] // 0.318 is a utilization figure, not 1/pi
     pub fn utilization(self) -> f64 {
         match self {
             CoreKind::InOrder2 => 0.52,
@@ -157,7 +163,10 @@ const BTB_MISS_BUBBLE: u64 = 3;
 
 /// Runs a trace through a machine.
 pub fn simulate(trace: &[Uop], m: &mut Machine) -> SimResult {
-    let mut r = SimResult { uops: trace.len() as u64, ..Default::default() };
+    let mut r = SimResult {
+        uops: trace.len() as u64,
+        ..Default::default()
+    };
     let mut icache_lat = 0u64;
     let mut dcache_lat = 0u64;
     let mut last_line = u64::MAX;
@@ -228,7 +237,10 @@ mod tests {
         let ooo4 = run(CoreKind::OoO4, &p, 300_000).cycles;
         let ooo8 = run(CoreKind::OoO8, &p, 300_000).cycles;
         assert!(io2 > ooo2, "in-order slower than OoO2");
-        assert!(ooo2 as f64 > ooo4 as f64 * 1.1, "4-wide clearly beats 2-wide");
+        assert!(
+            ooo2 as f64 > ooo4 as f64 * 1.1,
+            "4-wide clearly beats 2-wide"
+        );
         let gain8 = 1.0 - ooo8 as f64 / ooo4 as f64;
         assert!(gain8 < 0.06, "8-wide gains little: {gain8}");
         assert!(ooo8 <= ooo4, "8-wide not slower");
@@ -239,10 +251,16 @@ mod tests {
         let p = TraceProfile::php_app(31);
         let trace = synthesize(&p, 300_000);
         let mut small = Machine::server(CoreKind::OoO4);
-        small.btb = Btb::new(BtbConfig { entries: 512, ways: 2 });
+        small.btb = Btb::new(BtbConfig {
+            entries: 512,
+            ways: 2,
+        });
         let r_small = simulate(&trace, &mut small);
         let mut big = Machine::server(CoreKind::OoO4);
-        big.btb = Btb::new(BtbConfig { entries: 65536, ways: 2 });
+        big.btb = Btb::new(BtbConfig {
+            entries: 65536,
+            ways: 2,
+        });
         let r_big = simulate(&trace, &mut big);
         assert!(
             r_small.btb_capacity_misses > r_big.btb_capacity_misses * 2,

@@ -155,14 +155,25 @@ mod tests {
     #[test]
     fn area_matches_paper_budget() {
         let a = AreaBudget::default();
-        assert!((a.accel_total_mm2() - 0.22).abs() < 0.005, "{}", a.accel_total_mm2());
-        assert!((a.fraction_of_core() - 0.0089).abs() < 0.0005, "{}", a.fraction_of_core());
+        assert!(
+            (a.accel_total_mm2() - 0.22).abs() < 0.005,
+            "{}",
+            a.accel_total_mm2()
+        );
+        assert!(
+            (a.fraction_of_core() - 0.0089).abs() < 0.0005,
+            "{}",
+            a.fraction_of_core()
+        );
     }
 
     #[test]
     fn saving_monotone_in_uop_reduction() {
         let m = EnergyModel::default();
-        let act = AccelActivity { htable_accesses: 1000, ..Default::default() };
+        let act = AccelActivity {
+            htable_accesses: 1000,
+            ..Default::default()
+        };
         let s1 = m.saving(1_000_000, 900_000, &act);
         let s2 = m.saving(1_000_000, 700_000, &act);
         assert!(s2 > s1);
@@ -173,7 +184,10 @@ mod tests {
     fn accelerator_energy_charged() {
         let m = EnergyModel::default();
         let s_free = m.saving(1_000_000, 800_000, &AccelActivity::default());
-        let heavy = AccelActivity { string_blocks: 500_000, ..Default::default() };
+        let heavy = AccelActivity {
+            string_blocks: 500_000,
+            ..Default::default()
+        };
         let s_heavy = m.saving(1_000_000, 800_000, &heavy);
         assert!(s_heavy < s_free, "accelerator energy reduces the saving");
     }

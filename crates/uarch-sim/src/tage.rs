@@ -28,7 +28,13 @@ pub struct TageConfig {
 
 impl Default for TageConfig {
     fn default() -> Self {
-        TageConfig { bimodal_bits: 14, tagged_bits: 10, tables: 6, min_hist: 4, tag_bits: 11 }
+        TageConfig {
+            bimodal_bits: 14,
+            tagged_bits: 10,
+            tables: 6,
+            min_hist: 4,
+            tag_bits: 11,
+        }
     }
 }
 
@@ -140,7 +146,11 @@ impl Tage {
         // Hash pc, truncated global history, and path history. Not the exact
         // folded-CSR circuit, but a faithful function of the same inputs.
         let hl = self.hist_len(table);
-        let h = if hl >= 128 { self.hist } else { self.hist & ((1u128 << hl) - 1) };
+        let h = if hl >= 128 {
+            self.hist
+        } else {
+            self.hist & ((1u128 << hl) - 1)
+        };
         let mut x = pc ^ (pc >> 7) ^ self.path.rotate_left(table as u32);
         x ^= (h as u64) ^ ((h >> 64) as u64).rotate_left(31);
         x ^= (table as u64).wrapping_mul(0x517c_c1b7);
@@ -204,7 +214,11 @@ impl Tage {
             }
             None => {
                 let c = &mut self.bimodal[lk.bimodal_index];
-                *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+                *c = if taken {
+                    (*c + 1).min(3)
+                } else {
+                    c.saturating_sub(1)
+                };
             }
         }
 
@@ -234,7 +248,7 @@ impl Tage {
 
         // Periodic graceful usefulness reset.
         self.tick += 1;
-        if self.tick % (1 << 18) == 0 {
+        if self.tick.is_multiple_of(1 << 18) {
             for table in &mut self.tagged {
                 for e in table.iter_mut() {
                     e.useful >>= 1;
@@ -266,7 +280,11 @@ pub struct Bimodal {
 impl Bimodal {
     /// Builds a bimodal predictor with `1 << bits` 2-bit counters.
     pub fn new(bits: usize) -> Self {
-        Bimodal { table: vec![2; 1 << bits], mask: (1 << bits) - 1, stats: PredStats::default() }
+        Bimodal {
+            table: vec![2; 1 << bits],
+            mask: (1 << bits) - 1,
+            stats: PredStats::default(),
+        }
     }
 
     /// Predict + update; returns correctness.
@@ -278,8 +296,11 @@ impl Bimodal {
         if !correct {
             self.stats.mispredicts += 1;
         }
-        self.table[i] =
-            if taken { (self.table[i] + 1).min(3) } else { self.table[i].saturating_sub(1) };
+        self.table[i] = if taken {
+            (self.table[i] + 1).min(3)
+        } else {
+            self.table[i].saturating_sub(1)
+        };
         correct
     }
 
@@ -301,7 +322,11 @@ mod tests {
         for _ in 0..2000 {
             t.observe(0x400, true);
         }
-        assert!(t.stats().accuracy() > 0.98, "accuracy {}", t.stats().accuracy());
+        assert!(
+            t.stats().accuracy() > 0.98,
+            "accuracy {}",
+            t.stats().accuracy()
+        );
     }
 
     #[test]
@@ -360,7 +385,10 @@ mod tests {
 
     #[test]
     fn mpki_metric() {
-        let s = PredStats { predictions: 1000, mispredicts: 30 };
+        let s = PredStats {
+            predictions: 1000,
+            mispredicts: 30,
+        };
         assert!((s.mpki(10_000) - 3.0).abs() < 1e-12);
     }
 }

@@ -148,8 +148,7 @@ pub fn synthesize(profile: &TraceProfile, n: usize) -> Vec<Uop> {
     // is what makes loop branches learnable by history predictors while
     // data-dependent branches stay noisy (§2).
     let mix = |f: usize, off: usize, salt: u64| -> u64 {
-        let mut x =
-            (f as u64) ^ ((off as u64) << 20) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = (f as u64) ^ ((off as u64) << 20) ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x ^= x >> 31;
         x
@@ -183,7 +182,11 @@ pub fn synthesize(profile: &TraceProfile, n: usize) -> Vec<Uop> {
                 }
             };
             let pc = fn_base(cur_fn) + (profile.code_bytes_per_fn - 8) as u64 - 16 * site;
-            out.push(Uop::Branch { pc, taken: true, target: fn_base(next_fn) });
+            out.push(Uop::Branch {
+                pc,
+                taken: true,
+                target: fn_base(next_fn),
+            });
             cur_fn = next_fn;
             pc_off = 0;
             remaining_in_fn = (profile.fn_activation_len / 2).max(4)
@@ -210,7 +213,8 @@ pub fn synthesize(profile: &TraceProfile, n: usize) -> Vec<Uop> {
             } else {
                 // Backward loop branch with a fixed trip count: taken
                 // (period-1) of period times — learnable.
-                let period = profile.loop_period_min + ((h >> 32) as u32 % profile.loop_period_spread);
+                let period =
+                    profile.loop_period_min + ((h >> 32) as u32 % profile.loop_period_spread);
                 let body = 16 + ((h >> 40) as usize % 4) * 16; // 4-16 instrs
                 let target_off = off.saturating_sub(body);
                 let counter = loop_counters.entry((cur_fn, off)).or_insert(0);
@@ -223,9 +227,15 @@ pub fn synthesize(profile: &TraceProfile, n: usize) -> Vec<Uop> {
                 out.push(Uop::Branch { pc, taken, target });
             }
         } else if r < profile.branch_fraction + profile.load_fraction {
-            out.push(Uop::Load { pc, addr: data_addr(&mut rng, profile, &mut hot_lines) });
+            out.push(Uop::Load {
+                pc,
+                addr: data_addr(&mut rng, profile, &mut hot_lines),
+            });
         } else if r < profile.branch_fraction + profile.load_fraction + profile.store_fraction {
-            out.push(Uop::Store { pc, addr: data_addr(&mut rng, profile, &mut hot_lines) });
+            out.push(Uop::Store {
+                pc,
+                addr: data_addr(&mut rng, profile, &mut hot_lines),
+            });
         } else {
             out.push(Uop::Alu { pc });
         }
@@ -247,7 +257,7 @@ fn zipf_pick(rng: &mut StdRng, n: usize) -> usize {
     n - 1
 }
 
-fn data_addr(rng: &mut StdRng, profile: &TraceProfile, hot: &mut Vec<u64>) -> u64 {
+fn data_addr(rng: &mut StdRng, profile: &TraceProfile, hot: &mut [u64]) -> u64 {
     if rng.gen_bool(profile.data_locality) {
         let i = rng.gen_range(0..hot.len());
         hot[i]
@@ -276,7 +286,10 @@ pub struct TraceCounts {
 
 /// Counts a trace's composition.
 pub fn count(trace: &[Uop]) -> TraceCounts {
-    let mut c = TraceCounts { uops: trace.len() as u64, ..Default::default() };
+    let mut c = TraceCounts {
+        uops: trace.len() as u64,
+        ..Default::default()
+    };
     for u in trace {
         match u {
             Uop::Branch { taken, .. } => {
@@ -317,7 +330,10 @@ mod tests {
         let t2 = synthesize(&s, 200_000);
         let c2 = count(&t2);
         let frac2 = c2.branches as f64 / c2.uops as f64;
-        assert!((0.09..0.19).contains(&frac2), "spec branch fraction {frac2}");
+        assert!(
+            (0.09..0.19).contains(&frac2),
+            "spec branch fraction {frac2}"
+        );
     }
 
     #[test]
@@ -328,7 +344,11 @@ mod tests {
         for u in &t {
             fns.insert(u.pc() / p.code_bytes_per_fn as u64);
         }
-        assert!(fns.len() > 300, "flat profile must touch most functions, got {}", fns.len());
+        assert!(
+            fns.len() > 300,
+            "flat profile must touch most functions, got {}",
+            fns.len()
+        );
     }
 
     #[test]

@@ -36,16 +36,26 @@ impl Default for CorpusConfig {
 }
 
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "server", "request",
-    "content", "article", "update", "system", "module", "theme", "plugin", "widget", "render",
-    "template", "cache", "database", "query", "index", "page", "post", "comment", "author",
-    "reader", "editor", "publish", "draft", "archive", "category", "network", "social", "media",
-    "document", "blog", "news", "log", "data", "value", "field", "table", "entry", "record",
+    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "server", "request", "content",
+    "article", "update", "system", "module", "theme", "plugin", "widget", "render", "template",
+    "cache", "database", "query", "index", "page", "post", "comment", "author", "reader", "editor",
+    "publish", "draft", "archive", "category", "network", "social", "media", "document", "blog",
+    "news", "log", "data", "value", "field", "table", "entry", "record",
 ];
 
 const SPECIAL_ISLANDS: &[&str] = &[
-    "it's", "\"quoted\"", "<em>note</em>", "don't", "(aside)", "[ref]", "&copy;", "<br>",
-    "a:b", "x=1", "it's!", "\"say\"",
+    "it's",
+    "\"quoted\"",
+    "<em>note</em>",
+    "don't",
+    "(aside)",
+    "[ref]",
+    "&copy;",
+    "<br>",
+    "a:b",
+    "x=1",
+    "it's!",
+    "\"say\"",
 ];
 
 /// Deterministic corpus generator.
@@ -124,7 +134,9 @@ impl Corpus {
     /// An author handle (lowercase letters).
     pub fn author(&mut self) -> PhpStr {
         let n = 3 + self.rng.gen_range(0..6);
-        let s: String = (0..n).map(|_| (b'a' + self.rng.gen_range(0..26)) as char).collect();
+        let s: String = (0..n)
+            .map(|_| (b'a' + self.rng.gen_range(0..26)) as char)
+            .collect();
         PhpStr::from(s)
     }
 
@@ -201,8 +213,14 @@ mod tests {
 
     #[test]
     fn special_density_controls_specials() {
-        let mut low = Corpus::new(CorpusConfig { special_density: 0.0, ..Default::default() });
-        let mut high = Corpus::new(CorpusConfig { special_density: 0.4, ..Default::default() });
+        let mut low = Corpus::new(CorpusConfig {
+            special_density: 0.0,
+            ..Default::default()
+        });
+        let mut high = Corpus::new(CorpusConfig {
+            special_density: 0.4,
+            ..Default::default()
+        });
         let count = |s: &PhpStr| s.as_bytes().iter().filter(|&&b| is_special_char(b)).count();
         let lp = low.paragraph();
         let hp = high.paragraph();
@@ -219,13 +237,18 @@ mod tests {
         let a2 = c.author();
         let u1 = c.author_url(&a1);
         let u2 = c.author_url(&a2);
-        assert!(u1.to_string_lossy().starts_with("https://localhost/?author="));
+        assert!(u1
+            .to_string_lossy()
+            .starts_with("https://localhost/?author="));
         assert_eq!(&u1.as_bytes()[..26], &u2.as_bytes()[..26]);
     }
 
     #[test]
     fn wiki_markup_has_wiki_constructs() {
-        let mut c = Corpus::new(CorpusConfig { seed: 7, ..Default::default() });
+        let mut c = Corpus::new(CorpusConfig {
+            seed: 7,
+            ..Default::default()
+        });
         let w = c.wiki_markup().to_string_lossy();
         assert!(w.contains("=="));
         assert!(w.contains("[[") || w.contains("'''"));

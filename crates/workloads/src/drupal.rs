@@ -56,7 +56,11 @@ impl Drupal {
                 (Regex::new("\"").unwrap(), b"&quot;".to_vec()),
                 (Regex::new("\n").unwrap(), b"<br>".to_vec()),
             ],
-            tail: VmTail { scale: 215, refcount_ops: 1250, type_checks: 1050 },
+            tail: VmTail {
+                scale: 215,
+                refcount_ops: 1250,
+                type_checks: 1050,
+            },
         }
     }
 }
@@ -70,7 +74,11 @@ impl Workload for Drupal {
         // 1. Bootstrap: load configuration into a hash map, read it a lot.
         let mut config = m.new_array();
         for k in &self.config_keys {
-            m.array_set(&mut config, ArrayKey::from(k.as_str()), PhpValue::from(1i64));
+            m.array_set(
+                &mut config,
+                ArrayKey::from(k.as_str()),
+                PhpValue::from(1i64),
+            );
         }
         for _pass in 0..2 {
             for k in &self.config_keys {
@@ -81,7 +89,11 @@ impl Workload for Drupal {
         // 2. Routing: match the request path against the route table.
         let mut router = m.new_array();
         for (i, r) in self.routes.iter().enumerate() {
-            m.array_set(&mut router, ArrayKey::from(r.as_str()), PhpValue::from(i as i64));
+            m.array_set(
+                &mut router,
+                ArrayKey::from(r.as_str()),
+                PhpValue::from(i as i64),
+            );
         }
         let picked = self.corpus.zipf_pick(self.routes.len());
         let path = self.routes[picked].clone();
@@ -92,11 +104,23 @@ impl Workload for Drupal {
         let mut node = m.new_array();
         for f in &self.field_names {
             let mut field = m.new_array();
-            m.array_set(&mut field, ArrayKey::from("value"), PhpValue::from(req as i64));
-            m.array_set(&mut field, ArrayKey::from("format"), PhpValue::from("basic_html"));
+            m.array_set(
+                &mut field,
+                ArrayKey::from("value"),
+                PhpValue::from(req as i64),
+            );
+            m.array_set(
+                &mut field,
+                ArrayKey::from("format"),
+                PhpValue::from("basic_html"),
+            );
             let b = m.alloc(64); // field item object
             m.free(b);
-            m.array_set(&mut node, ArrayKey::from(f.as_str()), PhpValue::array(field));
+            m.array_set(
+                &mut node,
+                ArrayKey::from(f.as_str()),
+                PhpValue::array(field),
+            );
         }
         // Render traversal.
         let pairs = m.foreach(&node);
@@ -111,10 +135,14 @@ impl Workload for Drupal {
         //    one tag-strip regexp — Drupal spends little time here.
         let body = self.nodes[picked].clone();
         let escaped = m.htmlspecialchars(&body);
-        if req % 8 == 0 {
+        if req.is_multiple_of(8) {
             // Filter-cache miss: run the full text-filter pipeline.
             let mut rules = vec![(self.clean_re.clone(), b"".to_vec())];
-            rules.extend(self.filter_rules.iter().map(|(r, t)| (r.clone(), t.clone())));
+            rules.extend(
+                self.filter_rules
+                    .iter()
+                    .map(|(r, t)| (r.clone(), t.clone())),
+            );
             let _clean = m.texturize(&escaped, &rules);
         }
 

@@ -24,6 +24,7 @@ pub mod drupal;
 pub mod loadgen;
 pub mod mediawiki;
 pub mod mix;
+pub mod php_corpus;
 pub mod specweb;
 pub mod vmtail;
 pub mod wordpress;

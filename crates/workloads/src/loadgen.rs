@@ -15,6 +15,10 @@ pub trait Workload {
     fn name(&self) -> &'static str;
     /// Handles one request end-to-end (must call `end_request`).
     fn handle_request(&mut self, m: &mut PhpMachine, req: u64);
+    /// Runs the static analyzer over the application's interpreted PHP
+    /// templates so later requests skip statically provable work (type
+    /// checks, refcount pairs, hash stages). Default: no templates, no-op.
+    fn enable_static_analysis(&mut self) {}
 }
 
 /// Load-generation parameters.
@@ -30,7 +34,11 @@ pub struct LoadGen {
 
 impl Default for LoadGen {
     fn default() -> Self {
-        LoadGen { warmup: 30, measured: 100, context_switch_every: 50 }
+        LoadGen {
+            warmup: 30,
+            measured: 100,
+            context_switch_every: 50,
+        }
     }
 }
 
@@ -76,19 +84,30 @@ mod tests {
     fn warmup_excluded_from_metrics() {
         let mut app = SpecWeb::new(SpecVariant::Banking);
         let mut m = PhpMachine::baseline();
-        let lg = LoadGen { warmup: 10, measured: 5, context_switch_every: 0 };
+        let lg = LoadGen {
+            warmup: 10,
+            measured: 5,
+            context_switch_every: 0,
+        };
         let summary = lg.run(&mut app, &mut m);
         assert_eq!(summary.requests, 5);
         // ~5 requests worth of µops, not 15.
         let per_request = summary.total_uops / 5;
-        assert!(summary.total_uops < per_request * 7, "warmup leaked into metrics");
+        assert!(
+            summary.total_uops < per_request * 7,
+            "warmup leaked into metrics"
+        );
     }
 
     #[test]
     fn context_switches_fire() {
         let mut app = SpecWeb::new(SpecVariant::Ecommerce);
         let mut m = PhpMachine::specialized();
-        let lg = LoadGen { warmup: 0, measured: 10, context_switch_every: 3 };
+        let lg = LoadGen {
+            warmup: 0,
+            measured: 10,
+            context_switch_every: 3,
+        };
         lg.run(&mut app, &mut m);
         assert!(m.core().context_switches >= 3);
     }

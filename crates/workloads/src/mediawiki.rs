@@ -41,12 +41,16 @@ impl MediaWiki {
         let parse_rules = vec![
             (Regex::new("'''").unwrap(), b"<b>".to_vec()),
             (Regex::new("''").unwrap(), b"<i>".to_vec()),
-            (Regex::new("\\[\\[[a-z]+\\]\\]").unwrap(), b"<a>x</a>".to_vec()),
+            (
+                Regex::new("\\[\\[[a-z]+\\]\\]").unwrap(),
+                b"<a>x</a>".to_vec(),
+            ),
             (Regex::new("== ").unwrap(), b"<h2>".to_vec()),
             (Regex::new(" ==").unwrap(), b"</h2>".to_vec()),
         ];
-        let interwiki =
-            (0..12).map(|i| (format!("wiki{i}"), format!("https://w{i}.example/"))).collect();
+        let interwiki = (0..12)
+            .map(|i| (format!("wiki{i}"), format!("https://w{i}.example/")))
+            .collect();
         let parser_cache = vec![None; articles.len()];
         MediaWiki {
             corpus,
@@ -55,7 +59,11 @@ impl MediaWiki {
             parse_rules,
             interwiki,
             parser_cache,
-            tail: VmTail { scale: 150, refcount_ops: 1300, type_checks: 800 },
+            tail: VmTail {
+                scale: 150,
+                refcount_ops: 1300,
+                type_checks: 800,
+            },
         }
     }
 }
@@ -85,7 +93,11 @@ impl Workload for MediaWiki {
         );
         let mut iw = m.new_array();
         for (k, v) in &self.interwiki {
-            m.array_set(&mut iw, ArrayKey::from(k.as_str()), PhpValue::from(v.as_str()));
+            m.array_set(
+                &mut iw,
+                ArrayKey::from(k.as_str()),
+                PhpValue::from(v.as_str()),
+            );
         }
         for _pass in 0..2 {
             for (k, _) in self.interwiki.iter().take(10) {
@@ -106,7 +118,7 @@ impl Workload for MediaWiki {
         // 4. The wikitext regexp cascade — through the parser cache, as in
         //    production MediaWiki (full parse only on a cache miss or on
         //    periodic invalidation).
-        let html = match (&self.parser_cache[idx], req % 32 == 0) {
+        let html = match (&self.parser_cache[idx], req.is_multiple_of(32)) {
             (Some(cached), false) => cached.clone(),
             _ => {
                 let parsed = m.texturize(&article, &self.parse_rules);

@@ -1,0 +1,323 @@
+//! A corpus of mini-PHP scripts for the static-analysis tooling.
+//!
+//! Entries are grouped by application so `analyze --corpus wordpress`
+//! reports on just that app. The WordPress group includes the live page
+//! template ([`crate::wordpress::TEMPLATE`]) next to standalone snippets in
+//! each application's characteristic style; the WordPress group collectively
+//! triggers all four lint diagnostics.
+
+use php_interp::ast::{FuncDef, Stmt};
+use php_interp::{parse, AnalysisFacts, Interp, Program};
+use php_runtime::array::ArrayKey;
+use php_runtime::value::PhpValue;
+use phpaccel_core::PhpMachine;
+use std::rc::Rc;
+
+/// One mini-PHP script in the corpus.
+#[derive(Debug)]
+pub struct CorpusEntry {
+    /// Application the script belongs to.
+    pub app: &'static str,
+    /// Short script name.
+    pub name: &'static str,
+    /// The mini-PHP source.
+    pub source: &'static str,
+    /// Whether the script reads the request variables `$title`, `$tags`,
+    /// `$meta` from the environment ([`bind_request_vars`] provides them).
+    pub needs_request_vars: bool,
+}
+
+/// Exercises every lint: a dead store, an always-true `is_string` guard, a
+/// constant condition, and a use-before-assign read.
+const WP_LINT_DEMO: &str = r#"
+$status = 'publish';
+$status = 'draft';
+if (is_string($status)) {
+    echo 'status:', $status;
+}
+if (1 > 2) {
+    echo 'unreachable';
+}
+echo $missing;
+"#;
+
+/// Builtin-only loop work: proven operand types, const-string keys, and
+/// integer-append inserts.
+const WP_TAG_CLOUD: &str = r#"
+$counts = array();
+$counts['php'] = 10;
+$counts['perf'] = 7;
+$tags = array('php', 'perf', 'cache');
+$out = '';
+foreach ($tags as $t) {
+    $out = $out . '<a href="/tag/' . $t . '">' . $t . '</a> ';
+}
+$list = array();
+$list[] = strlen($out);
+$list[] = $counts['php'] + $counts['perf'];
+echo $out, 'total=', $list[1];
+"#;
+
+const DRUPAL_NODE_RENDER: &str = r#"
+$node = array();
+$node['title'] = 'About';
+$node['status'] = 1;
+$node['body'] = 'Company history.';
+$out = '<h2>' . htmlspecialchars($node['title']) . '</h2>';
+if ($node['status'] == 1) {
+    $out = $out . '<div>' . $node['body'] . '</div>';
+}
+echo $out;
+"#;
+
+const MEDIAWIKI_WORD_STATS: &str = r#"
+$lines = array('== History ==', 'The wiki grew quickly.', '* bullet item');
+$words = 0;
+$chars = 0;
+foreach ($lines as $line) {
+    $t = trim($line);
+    $words = $words + str_word_count($t);
+    $chars = $chars + strlen($t);
+}
+echo 'words=', $words, ' chars=', $chars;
+"#;
+
+const SPECWEB_BANKING: &str = r#"
+$balance = 1200;
+$rate = 3;
+$years = 4;
+$interest = 0;
+for ($y = 1; $y <= $years; $y = $y + 1) {
+    $interest = $interest + $balance * $rate / 100;
+}
+echo 'interest=', $interest;
+"#;
+
+const SPECWEB_SUPPORT: &str = r#"
+$docs = array('alpha manual', 'beta install guide', 'gamma faq');
+$total = 0;
+$longest = '';
+foreach ($docs as $d) {
+    $total = $total + str_word_count($d);
+    if (strlen($d) > strlen($longest)) {
+        $longest = $d;
+    }
+}
+echo 'words=', $total, ' longest=', $longest;
+"#;
+
+/// All corpus scripts, grouped by app.
+pub const ENTRIES: &[CorpusEntry] = &[
+    CorpusEntry {
+        app: "wordpress",
+        name: "page-template",
+        source: crate::wordpress::TEMPLATE,
+        needs_request_vars: true,
+    },
+    CorpusEntry {
+        app: "wordpress",
+        name: "lint-demo",
+        source: WP_LINT_DEMO,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "wordpress",
+        name: "tag-cloud",
+        source: WP_TAG_CLOUD,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "drupal",
+        name: "node-render",
+        source: DRUPAL_NODE_RENDER,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "mediawiki",
+        name: "word-stats",
+        source: MEDIAWIKI_WORD_STATS,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "specweb",
+        name: "banking-interest",
+        source: SPECWEB_BANKING,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "specweb",
+        name: "support-search",
+        source: SPECWEB_SUPPORT,
+        needs_request_vars: false,
+    },
+];
+
+/// Entries belonging to `app`.
+pub fn for_app(app: &str) -> Vec<&'static CorpusEntry> {
+    ENTRIES.iter().filter(|e| e.app == app).collect()
+}
+
+/// Distinct application names, in corpus order.
+pub fn apps() -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for e in ENTRIES {
+        if !out.contains(&e.app) {
+            out.push(e.app);
+        }
+    }
+    out
+}
+
+/// Binds the request variables the WordPress page template reads
+/// (`$title`, `$tags`, `$meta`) to fixed sample values.
+pub fn bind_request_vars(interp: &mut Interp<'_>) {
+    interp.set_var_public("title", PhpValue::from("Corpus & 'Sample' Title"));
+    let mut tags = interp.machine().new_array();
+    for t in ["  News ", "PHP", " Perf"] {
+        let v = PhpValue::from(t);
+        interp.machine().array_push(&mut tags, v);
+    }
+    interp.set_var_public("tags", PhpValue::array(tags));
+    let mut meta = interp.machine().new_array();
+    interp
+        .machine()
+        .array_set(&mut meta, ArrayKey::from("views"), PhpValue::from(42i64));
+    interp
+        .machine()
+        .array_set(&mut meta, ArrayKey::from("likes"), PhpValue::from(7i64));
+    interp.set_var_public("meta", PhpValue::array(meta));
+}
+
+/// A parsed and analyzed corpus script, ready to run with or without its
+/// proven facts attached.
+#[derive(Debug)]
+pub struct PreparedScript {
+    entry: &'static CorpusEntry,
+    program: Program,
+    /// Function definitions shared with the interpreter so facts stay valid
+    /// inside bodies (see [`Interp::predefine_funcs`]).
+    shared_funcs: Vec<Rc<FuncDef>>,
+    /// Facts proven over `program` and `shared_funcs`.
+    pub facts: Rc<AnalysisFacts>,
+    /// Per-scope statistics and lints.
+    pub report: php_analysis::Report,
+}
+
+/// Parses and analyzes one corpus entry.
+pub fn prepare(entry: &'static CorpusEntry) -> PreparedScript {
+    let program = parse(entry.source).unwrap_or_else(|e| {
+        panic!(
+            "corpus script {}/{} fails to parse: {e:?}",
+            entry.app, entry.name
+        )
+    });
+    let shared_funcs: Vec<Rc<FuncDef>> = program
+        .stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::FuncDef(f) => Some(Rc::new(f.clone())),
+            _ => None,
+        })
+        .collect();
+    let analysis = php_analysis::analyze_with_funcs(&program, &shared_funcs);
+    PreparedScript {
+        entry,
+        program,
+        shared_funcs,
+        facts: Rc::new(analysis.facts),
+        report: analysis.report,
+    }
+}
+
+impl PreparedScript {
+    /// Runs the script once on `m` and returns its output. `with_facts`
+    /// attaches the proven facts; either way the shared function instances
+    /// are pre-registered, so the two modes execute identical code.
+    pub fn run(&self, m: &mut PhpMachine, with_facts: bool) -> Vec<u8> {
+        let mut interp = Interp::new(m);
+        interp.predefine_funcs(self.shared_funcs.iter().cloned());
+        if with_facts {
+            interp.set_facts(self.facts.clone());
+        }
+        if self.entry.needs_request_vars {
+            bind_request_vars(&mut interp);
+        }
+        interp.run_program(&self.program).unwrap_or_else(|e| {
+            panic!(
+                "corpus script {}/{} fails: {e:?}",
+                self.entry.app, self.entry.name
+            )
+        });
+        interp.take_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_analysis::LintKind;
+
+    #[test]
+    fn every_entry_parses_and_runs() {
+        for entry in ENTRIES {
+            let p = prepare(entry);
+            let mut m = PhpMachine::baseline();
+            let out = p.run(&mut m, false);
+            assert!(
+                !out.is_empty(),
+                "{}/{} produced no output",
+                entry.app,
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn outputs_are_byte_identical_with_facts_on_and_off() {
+        for entry in ENTRIES {
+            let p = prepare(entry);
+            let mut off = PhpMachine::specialized();
+            let mut on = PhpMachine::specialized();
+            let plain = p.run(&mut off, false);
+            let specialized = p.run(&mut on, true);
+            assert_eq!(
+                plain, specialized,
+                "{}/{} output diverged with analysis enabled",
+                entry.app, entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn wordpress_corpus_triggers_all_four_lints() {
+        let mut kinds = Vec::new();
+        for entry in for_app("wordpress") {
+            kinds.extend(prepare(entry).report.lints.iter().map(|l| l.kind));
+        }
+        for kind in [
+            LintKind::UseBeforeAssign,
+            LintKind::DeadStore,
+            LintKind::AlwaysTrueGuard,
+            LintKind::ConstantCondition,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn corpus_covers_types_rc_and_key_shapes() {
+        let mut typed = 0;
+        let mut rc = 0;
+        let mut consts = 0;
+        let mut appends = 0;
+        for entry in ENTRIES {
+            let p = prepare(entry);
+            typed += p.report.typed_operands();
+            rc += p.report.rc_elided_sites();
+            let (c, a) = p.facts.key_shape_counts();
+            consts += c;
+            appends += a;
+        }
+        assert!(typed > 0 && rc > 0 && consts > 0 && appends > 0);
+    }
+}

@@ -30,7 +30,10 @@ pub struct SpecWeb {
 impl SpecWeb {
     /// Builds the chosen variant.
     pub fn new(variant: SpecVariant) -> Self {
-        SpecWeb { variant, accounts: (0..64).map(|i| i * 100).collect() }
+        SpecWeb {
+            variant,
+            accounts: (0..64).map(|i| i * 100).collect(),
+        }
     }
 }
 

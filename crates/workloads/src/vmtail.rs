@@ -69,7 +69,11 @@ mod tests {
     #[test]
     fn tail_is_flat_and_jit_topped() {
         let m = PhpMachine::baseline();
-        let tail = VmTail { scale: 100, refcount_ops: 400, type_checks: 300 };
+        let tail = VmTail {
+            scale: 100,
+            refcount_ops: 400,
+            type_checks: 300,
+        };
         tail.charge(&m);
         let rows = m.ctx().profiler().leaf_profile();
         assert!(rows.len() > 140);
@@ -91,7 +95,12 @@ mod tests {
     #[test]
     fn charges_refcount_and_typecheck() {
         let m = PhpMachine::baseline();
-        VmTail { scale: 10, refcount_ops: 100, type_checks: 80 }.charge(&m);
+        VmTail {
+            scale: 10,
+            refcount_ops: 100,
+            type_checks: 80,
+        }
+        .charge(&m);
         let cats = m.ctx().profiler().category_breakdown();
         assert!(cats[&Category::RefCount] > 0);
         assert!(cats[&Category::TypeCheck] > 0);

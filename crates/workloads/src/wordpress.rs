@@ -9,12 +9,14 @@
 use crate::corpus::{Corpus, CorpusConfig};
 use crate::loadgen::Workload;
 use crate::vmtail::VmTail;
-use php_interp::{parse, Interp, Program};
+use php_interp::ast::{FuncDef, Stmt};
+use php_interp::{parse, AnalysisFacts, Interp, Program};
 use php_runtime::array::ArrayKey;
 use php_runtime::string::PhpStr;
 use php_runtime::value::PhpValue;
 use phpaccel_core::PhpMachine;
 use regex_engine::Regex;
+use std::rc::Rc;
 
 struct Post {
     title: PhpStr,
@@ -31,6 +33,15 @@ pub struct WordPress {
     texturize_rules: Vec<(Regex, Vec<u8>)>,
     author_re: Regex,
     template: Program,
+    /// The template's function definitions as shared instances. Every
+    /// request pre-registers these with the interpreter, so facts interned
+    /// over them stay valid inside function bodies (the interpreter would
+    /// otherwise hoist private clones whose nodes have fresh addresses).
+    shared_funcs: Vec<Rc<FuncDef>>,
+    /// Facts proven over `template` and `shared_funcs` by
+    /// [`Workload::enable_static_analysis`]; keyed by node identity, so they
+    /// are valid only for those instances.
+    facts: Option<Rc<AnalysisFacts>>,
     tail: VmTail,
     requests_handled: u64,
 }
@@ -39,7 +50,7 @@ pub struct WordPress {
 const POST_COUNT: usize = 40;
 
 /// The page template (mini-PHP), interpreted on every request.
-const TEMPLATE: &str = r#"
+pub const TEMPLATE: &str = r#"
 function render_header($title) {
     return '<header><h1>' . htmlspecialchars($title) . '</h1></header>';
 }
@@ -92,13 +103,28 @@ impl WordPress {
             (Regex::new("<br>").unwrap(), b"<br/>".to_vec()),
         ];
         let author_re = Regex::new("https://localhost/\\?author=[a-z]+").unwrap();
+        let template = parse(TEMPLATE).expect("template parses");
+        let shared_funcs = template
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::FuncDef(f) => Some(Rc::new(f.clone())),
+                _ => None,
+            })
+            .collect();
         WordPress {
             corpus,
             posts,
             texturize_rules,
             author_re,
-            template: parse(TEMPLATE).expect("template parses"),
-            tail: VmTail { scale: 155, refcount_ops: 1500, type_checks: 900 },
+            template,
+            shared_funcs,
+            facts: None,
+            tail: VmTail {
+                scale: 155,
+                refcount_ops: 1500,
+                type_checks: 900,
+            },
             requests_handled: 0,
         }
     }
@@ -109,6 +135,11 @@ impl Workload for WordPress {
         "wordpress"
     }
 
+    fn enable_static_analysis(&mut self) {
+        let analysis = php_analysis::analyze_with_funcs(&self.template, &self.shared_funcs);
+        self.facts = Some(Rc::new(analysis.facts));
+    }
+
     fn handle_request(&mut self, m: &mut PhpMachine, req: u64) {
         self.requests_handled += 1;
         let idx = self.corpus.zipf_pick(self.posts.len());
@@ -117,11 +148,31 @@ impl Workload for WordPress {
         // 1. Materialize the post row as a hash map with dynamic keys and
         //    import it into a symbol table (extract).
         let mut row = m.new_array();
-        m.array_set(&mut row, ArrayKey::from("title"), PhpValue::str(post.title.clone()));
-        m.array_set(&mut row, ArrayKey::from("body"), PhpValue::str(post.body.clone()));
-        m.array_set(&mut row, ArrayKey::from("author"), PhpValue::str(post.author.clone()));
-        m.array_set(&mut row, ArrayKey::from("status"), PhpValue::from("publish"));
-        m.array_set(&mut row, ArrayKey::from("comment_count"), PhpValue::from(post.comments.len() as i64));
+        m.array_set(
+            &mut row,
+            ArrayKey::from("title"),
+            PhpValue::str(post.title.clone()),
+        );
+        m.array_set(
+            &mut row,
+            ArrayKey::from("body"),
+            PhpValue::str(post.body.clone()),
+        );
+        m.array_set(
+            &mut row,
+            ArrayKey::from("author"),
+            PhpValue::str(post.author.clone()),
+        );
+        m.array_set(
+            &mut row,
+            ArrayKey::from("status"),
+            PhpValue::from("publish"),
+        );
+        m.array_set(
+            &mut row,
+            ArrayKey::from("comment_count"),
+            PhpValue::from(post.comments.len() as i64),
+        );
         let mut symtab = m.new_array();
         m.extract(&mut symtab, &row);
 
@@ -147,7 +198,7 @@ impl Workload for WordPress {
         // 3. Texturize: the excerpt every request; the full body only on a
         //    texturize-cache miss (1 in 5), like production object caching.
         let excerpt = m.ctx().strlib().substr(&post.body, 0, Some(96));
-        let textured = if req % 24 == 0 {
+        let textured = if req.is_multiple_of(24) {
             m.texturize(&post.body, &self.texturize_rules)
         } else {
             m.texturize(&excerpt, &self.texturize_rules)
@@ -161,14 +212,26 @@ impl Workload for WordPress {
             m.array_push(&mut tags_arr, t);
         }
         let mut meta_view = m.new_array();
-        m.array_set(&mut meta_view, ArrayKey::from("views"), PhpValue::from(idx as i64 * 7));
-        m.array_set(&mut meta_view, ArrayKey::from("likes"), PhpValue::from(idx as i64));
+        m.array_set(
+            &mut meta_view,
+            ArrayKey::from("views"),
+            PhpValue::from(idx as i64 * 7),
+        );
+        m.array_set(
+            &mut meta_view,
+            ArrayKey::from("likes"),
+            PhpValue::from(idx as i64),
+        );
         {
             let mut interp = Interp::new(m);
+            interp.predefine_funcs(self.shared_funcs.iter().cloned());
+            if let Some(facts) = &self.facts {
+                interp.set_facts(facts.clone());
+            }
             interp.set_var_public("title", PhpValue::str(post.title.clone()));
             interp.set_var_public("tags", PhpValue::array_from(tags_arr));
             interp.set_var_public("meta", PhpValue::array_from(meta_view));
-            interp.run_program(&self.template.clone()).expect("template runs");
+            interp.run_program(&self.template).expect("template runs");
             let _page = interp.take_output();
         }
 
@@ -244,8 +307,13 @@ mod tests {
             app.handle_request(&mut m, r);
         }
         let cats = m.ctx().profiler().category_breakdown();
-        for cat in [Category::HashMap, Category::Heap, Category::String, Category::Regex, Category::JitCode]
-        {
+        for cat in [
+            Category::HashMap,
+            Category::Heap,
+            Category::String,
+            Category::Regex,
+            Category::JitCode,
+        ] {
             assert!(cats.get(&cat).copied().unwrap_or(0) > 0, "missing {cat:?}");
         }
     }
@@ -266,6 +334,77 @@ mod tests {
         assert!(spec.core().htable.stats().hit_rate() > 0.5);
         assert!(spec.core().regex_stats.bytes_skipped_sift > 0);
         assert!(spec.core().reuse.stats().lookups > 0);
+    }
+
+    /// Renders one request's template directly, with or without facts.
+    fn render_template_once(analyzed: bool, mode_spec: bool) -> (Vec<u8>, u64, u64) {
+        let mut app = WordPress::new(11);
+        if analyzed {
+            app.enable_static_analysis();
+        }
+        let mut m = if mode_spec {
+            PhpMachine::specialized()
+        } else {
+            PhpMachine::baseline()
+        };
+        let mut interp = Interp::new(&mut m);
+        interp.predefine_funcs(app.shared_funcs.iter().cloned());
+        if let Some(f) = &app.facts {
+            interp.set_facts(f.clone());
+        }
+        interp.set_var_public("title", PhpValue::from("A 'Title' & more"));
+        let mut tags = interp.machine().new_array();
+        for t in ["  News ", "PHP"] {
+            let v = PhpValue::from(t);
+            interp.machine().array_push(&mut tags, v);
+        }
+        interp.set_var_public("tags", PhpValue::array(tags));
+        let mut meta = interp.machine().new_array();
+        interp
+            .machine()
+            .array_set(&mut meta, ArrayKey::from("views"), PhpValue::from(3i64));
+        interp.set_var_public("meta", PhpValue::array(meta));
+        interp.run_program(&app.template).expect("template runs");
+        let out = interp.take_output();
+        let savings = m.ctx().profiler().static_savings();
+        (
+            out,
+            savings.type_checks_avoided,
+            savings.rc_incs_avoided + savings.rc_decs_avoided,
+        )
+    }
+
+    #[test]
+    fn analysis_preserves_template_output_exactly() {
+        for spec in [false, true] {
+            let (plain, tc0, rc0) = render_template_once(false, spec);
+            let (analyzed, tc1, rc1) = render_template_once(true, spec);
+            assert_eq!(
+                plain, analyzed,
+                "output must be byte-identical (spec={spec})"
+            );
+            assert_eq!((tc0, rc0), (0, 0), "no savings without facts");
+            assert!(tc1 > 0, "analysis must avoid some type checks");
+            assert!(rc1 > 0, "analysis must elide some refcount traffic");
+        }
+    }
+
+    #[test]
+    fn enable_static_analysis_accumulates_savings_across_requests() {
+        let mut app = WordPress::new(5);
+        app.enable_static_analysis();
+        let mut m = PhpMachine::specialized();
+        for r in 0..3 {
+            app.handle_request(&mut m, r);
+        }
+        let s = m.ctx().profiler().static_savings();
+        assert!(s.type_checks_avoided > 0);
+        assert!(s.rc_incs_avoided > 0);
+        assert!(s.rc_decs_avoided > 0);
+        // The proven const-string / append key shapes reach the hardware
+        // hash table as hints.
+        let ht = m.core().htable.stats();
+        assert!(ht.hinted_hash_skips > 0, "{ht:?}");
     }
 
     #[test]

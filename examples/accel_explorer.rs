@@ -12,7 +12,11 @@ use phpaccel::uarch::EnergyModel;
 use phpaccel::workloads::{AppKind, LoadGen};
 
 fn improvement(cfg: MachineConfig) -> f64 {
-    let lg = LoadGen { warmup: 15, measured: 40, context_switch_every: 0 };
+    let lg = LoadGen {
+        warmup: 15,
+        measured: 40,
+        context_switch_every: 0,
+    };
     let mut base_app = AppKind::WordPress.build(3);
     let mut spec_app = AppKind::WordPress.build(3);
     let mut base = PhpMachine::new(ExecMode::Baseline, cfg.clone());
@@ -27,8 +31,14 @@ fn main() {
 
     println!("hash table entries (paper default 512):");
     for entries in [16usize, 64, 256, 512, 1024] {
-        let mut cfg = MachineConfig::default();
-        cfg.htable = HtConfig { entries, probe_width: 4, ..HtConfig::default() };
+        let cfg = MachineConfig {
+            htable: HtConfig {
+                entries,
+                probe_width: 4,
+                ..HtConfig::default()
+            },
+            ..MachineConfig::default()
+        };
         println!("  {entries:>5} entries: {:.2}%", improvement(cfg) * 100.0);
     }
 
@@ -48,8 +58,10 @@ fn main() {
 
     println!("\nsifting segment size (default 32 B):");
     for seg in [16usize, 32, 64] {
-        let mut cfg = MachineConfig::default();
-        cfg.segment_size = seg;
+        let cfg = MachineConfig {
+            segment_size: seg,
+            ..MachineConfig::default()
+        };
         println!("  {seg:>5} bytes : {:.2}%", improvement(cfg) * 100.0);
     }
 }

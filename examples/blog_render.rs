@@ -48,7 +48,11 @@ fn main() {
 
     let core = machine.core();
     println!("what the accelerators did while rendering:");
-    println!("  hash table SETs/GETs : {}/{}", core.htable.stats().sets, core.htable.stats().gets);
+    println!(
+        "  hash table SETs/GETs : {}/{}",
+        core.htable.stats().sets,
+        core.htable.stats().gets
+    );
     println!("  string accel ops     : {}", core.straccel.stats().ops);
     println!("  regexp sieve passes  : {}", core.regex_stats.sieve_calls);
     println!(

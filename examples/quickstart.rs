@@ -11,7 +11,11 @@ use phpaccel::uarch::EnergyModel;
 use phpaccel::workloads::{AppKind, LoadGen};
 
 fn main() {
-    let lg = LoadGen { warmup: 20, measured: 60, context_switch_every: 25 };
+    let lg = LoadGen {
+        warmup: 20,
+        measured: 60,
+        context_switch_every: 25,
+    };
     let cfg = MachineConfig::default();
 
     let run = |mode: ExecMode| {
@@ -21,19 +25,33 @@ fn main() {
         machine
     };
 
-    println!("running WordPress-like workload ({} requests)...", lg.measured);
+    println!(
+        "running WordPress-like workload ({} requests)...",
+        lg.measured
+    );
     let baseline = run(ExecMode::Baseline);
     let specialized = run(ExecMode::Specialized);
 
-    let cmp = compare("WordPress", &baseline, &specialized, &EnergyModel::default());
+    let cmp = compare(
+        "WordPress",
+        &baseline,
+        &specialized,
+        &EnergyModel::default(),
+    );
     println!("\nnormalized execution time (baseline = 1.0):");
     println!("  + prior optimizations : {:.4}", cmp.normalized_priors());
-    println!("  + specialized core    : {:.4}", cmp.normalized_specialized());
+    println!(
+        "  + specialized core    : {:.4}",
+        cmp.normalized_specialized()
+    );
     println!(
         "  improvement over priors: {:.2}%  (paper: 17.93% average)",
         cmp.improvement_over_priors() * 100.0
     );
-    println!("  energy saving          : {:.2}%  (paper: 21.01% average)", cmp.energy_saving * 100.0);
+    println!(
+        "  energy saving          : {:.2}%  (paper: 21.01% average)",
+        cmp.energy_saving * 100.0
+    );
 
     let core = specialized.core();
     println!("\naccelerator activity:");

@@ -45,12 +45,19 @@ fn main() {
     // 2. The full wiki workload on the specialized machine.
     let mut app = AppKind::MediaWiki.build(11);
     let mut machine = PhpMachine::specialized();
-    let lg = LoadGen { warmup: 10, measured: 40, context_switch_every: 0 };
+    let lg = LoadGen {
+        warmup: 10,
+        measured: 40,
+        context_switch_every: 0,
+    };
     lg.run(app.as_mut(), &mut machine);
     let stats = machine.core().regex_stats;
     println!("\nMediaWiki-like workload, {} measured requests:", 40);
     println!("  sieve passes     : {}", stats.sieve_calls);
-    println!("  shadow passes    : {} ({} skipping)", stats.shadow_calls, stats.shadow_skipping);
+    println!(
+        "  shadow passes    : {} ({} skipping)",
+        stats.shadow_calls, stats.shadow_skipping
+    );
     println!(
         "  content skipped  : {:.1}% of {} bytes offered to regexps",
         stats.skip_fraction() * 100.0,

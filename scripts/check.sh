@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the full test suite.
+# Run from anywhere; everything executes at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -15,6 +15,7 @@ pub use accel_heap as heap;
 pub use accel_htable as htable;
 pub use accel_regex as regexaccel;
 pub use accel_string as straccel;
+pub use php_analysis as analysis;
 pub use php_interp as interp;
 pub use php_runtime as runtime;
 pub use phpaccel_core as core;

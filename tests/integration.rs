@@ -10,7 +10,11 @@ use phpaccel::uarch::EnergyModel;
 use phpaccel::workloads::{AppKind, LoadGen};
 
 fn small_load() -> LoadGen {
-    LoadGen { warmup: 6, measured: 18, context_switch_every: 7 }
+    LoadGen {
+        warmup: 6,
+        measured: 18,
+        context_switch_every: 7,
+    }
 }
 
 #[test]
@@ -46,7 +50,10 @@ fn figure14_ordering_holds_for_all_apps() {
         small_load().run(base_app.as_mut(), &mut base);
         small_load().run(spec_app.as_mut(), &mut spec);
         let cmp = compare(kind.label(), &base, &spec, &energy);
-        assert!(cmp.normalized_priors() < 1.0, "{kind:?}: priors should help");
+        assert!(
+            cmp.normalized_priors() < 1.0,
+            "{kind:?}: priors should help"
+        );
         assert!(
             cmp.normalized_specialized() < cmp.normalized_priors(),
             "{kind:?}: accelerators should help beyond priors"
@@ -55,7 +62,11 @@ fn figure14_ordering_holds_for_all_apps() {
         improvements.push((kind, cmp.improvement_over_priors()));
     }
     // Drupal benefits least (paper Figure 14).
-    let drupal = improvements.iter().find(|(k, _)| *k == AppKind::Drupal).unwrap().1;
+    let drupal = improvements
+        .iter()
+        .find(|(k, _)| *k == AppKind::Drupal)
+        .unwrap()
+        .1;
     assert!(
         improvements.iter().all(|&(_, v)| drupal <= v + 1e-9),
         "Drupal should benefit least: {improvements:?}"
@@ -96,7 +107,11 @@ fn context_switches_preserve_correctness() {
     let mut m = PhpMachine::specialized();
     let mut arr = m.new_array();
     for i in 0..30 {
-        m.array_set(&mut arr, ArrayKey::from(format!("k{i}")), PhpValue::from(i as i64));
+        m.array_set(
+            &mut arr,
+            ArrayKey::from(format!("k{i}")),
+            PhpValue::from(i as i64),
+        );
     }
     let blocks: Vec<_> = (0..10).map(|_| m.alloc(64)).collect();
     m.context_switch();
@@ -119,7 +134,10 @@ fn profiler_categories_cover_the_paper_inventory() {
     small_load().run(app.as_mut(), &mut m);
     let cats = m.ctx().profiler().category_breakdown();
     for cat in Category::ALL {
-        assert!(cats.get(&cat).copied().unwrap_or(0) > 0, "category {cat:?} unexercised");
+        assert!(
+            cats.get(&cat).copied().unwrap_or(0) > 0,
+            "category {cat:?} unexercised"
+        );
     }
 }
 
@@ -127,9 +145,17 @@ fn profiler_categories_cover_the_paper_inventory() {
 fn flat_profile_property_of_php_apps() {
     let mut app = AppKind::MediaWiki.build(8);
     let mut m = PhpMachine::baseline();
-    LoadGen { warmup: 5, measured: 30, context_switch_every: 0 }.run(app.as_mut(), &mut m);
+    LoadGen {
+        warmup: 5,
+        measured: 30,
+        context_switch_every: 0,
+    }
+    .run(app.as_mut(), &mut m);
     let prof = m.ctx().profiler();
-    assert!(prof.function_count() > 120, "flat profile needs many leaves");
+    assert!(
+        prof.function_count() > 120,
+        "flat profile needs many leaves"
+    );
     assert!(prof.cumulative_share(1) < 0.35, "hottest fn bounded");
     assert!(prof.cumulative_share(100) > 0.60, "100 fns majority");
 }
@@ -160,7 +186,11 @@ fn machine_config_knobs_are_respected() {
     let mut m = PhpMachine::new(ExecMode::Specialized, cfg);
     let mut arr = m.new_array();
     for i in 0..100 {
-        m.array_set(&mut arr, ArrayKey::from(format!("key{i}")), PhpValue::from(i as i64));
+        m.array_set(
+            &mut arr,
+            ArrayKey::from(format!("key{i}")),
+            PhpValue::from(i as i64),
+        );
     }
     // Tiny table: dirty evictions must have happened.
     assert!(m.core().htable.stats().evict_dirty > 0);
@@ -169,4 +199,55 @@ fn machine_config_knobs_are_respected() {
         m.free(b);
     }
     m.end_request();
+}
+
+#[test]
+fn static_analysis_preserves_corpus_outputs_exactly() {
+    use phpaccel::workloads::php_corpus;
+    for entry in php_corpus::ENTRIES {
+        let prepared = php_corpus::prepare(entry);
+        for mode in [ExecMode::Baseline, ExecMode::Specialized] {
+            let mut off = PhpMachine::new(mode, MachineConfig::default());
+            let mut on = PhpMachine::new(mode, MachineConfig::default());
+            let plain = prepared.run(&mut off, false);
+            let specialized = prepared.run(&mut on, true);
+            assert_eq!(
+                plain, specialized,
+                "{}/{} output diverged with analysis enabled ({mode:?})",
+                entry.app, entry.name
+            );
+            assert_eq!(off.ctx().profiler().static_savings().total(), 0);
+        }
+    }
+}
+
+#[test]
+fn static_analysis_saves_work_on_the_wordpress_workload() {
+    use phpaccel::workloads::{WordPress, Workload};
+    let mut on_app = WordPress::new(21);
+    on_app.enable_static_analysis();
+    let mut off_app = WordPress::new(21);
+    let mut on = PhpMachine::specialized();
+    let mut off = PhpMachine::specialized();
+    small_load().run(&mut on_app, &mut on);
+    small_load().run(&mut off_app, &mut off);
+
+    let s = on.ctx().profiler().static_savings();
+    assert!(s.type_checks_avoided > 0, "no type checks avoided");
+    assert!(s.rc_incs_avoided > 0, "no refcount increments elided");
+    assert!(s.rc_decs_avoided > 0, "no refcount decrements elided");
+    assert!(
+        on.core().htable.stats().hinted_hash_skips > 0,
+        "no hinted probes"
+    );
+    assert_eq!(off.ctx().profiler().static_savings().total(), 0);
+    // Analysis only ever removes metered work.
+    let (u_on, u_off) = (
+        on.ctx().profiler().total_uops(),
+        off.ctx().profiler().total_uops(),
+    );
+    assert!(
+        u_on < u_off,
+        "analysis must shrink the µop stream: {u_on} vs {u_off}"
+    );
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the criterion API for the workspace's
+//! `benches/` targets to compile and produce useful numbers offline:
+//! benchmark groups, `bench_function`, `Bencher::iter` /
+//! `Bencher::iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a simple median-of-samples wall-clock timer —
+//! adequate for relative comparisons, with none of criterion's statistics.
+
+use std::time::Instant;
+
+/// How batched inputs are sized (ignored; kept for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { name, samples: 30 }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let mut g = BenchmarkGroup {
+            name: String::new(),
+            samples: 30,
+        };
+        g.bench_function(name, f);
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            nanos_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        let mut ns = b.nanos_per_iter;
+        ns.sort_unstable();
+        let median = ns.get(ns.len() / 2).copied().unwrap_or(0);
+        let prefix = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("{}/", self.name)
+        };
+        println!(
+            "  {prefix}{name}: median {median} ns/iter ({} samples)",
+            ns.len()
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    nanos_per_iter: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate an iteration count that runs ≥ ~200 µs.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt.as_micros() >= 200 || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.nanos_per_iter
+                .push((t.elapsed().as_nanos() as u64) / iters.max(1));
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup not timed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.nanos_per_iter.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

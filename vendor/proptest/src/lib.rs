@@ -1,0 +1,432 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait (`prop_map`, boxing), integer-range and
+//! string-pattern strategies, `prop::collection::vec`, `prop::sample::select`,
+//! tuples, `prop_oneof!` (weighted and unweighted), `any::<T>()`, the
+//! `proptest!` macro (with optional `#![proptest_config(..)]`), and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic), failures panic immediately, and there is **no
+//! shrinking** — a failing case prints its inputs via the panic message of
+//! the underlying assertion instead.
+
+use rand::rngs::StdRng;
+
+/// Test-runner configuration (subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// A generation strategy: produces random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Full-range strategy for a primitive, as `any::<T>()`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// `any::<T>()` — draws from the whole domain of `T`.
+pub fn any<T: ArbitraryPrim>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Primitives supported by [`any`].
+pub trait ArbitraryPrim {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl ArbitraryPrim for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::Rng::gen::<u64>(rng) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryPrim for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::Rng::gen::<u64>(rng) & 1 == 1
+    }
+}
+
+impl<T: ArbitraryPrim> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// String-pattern strategy: `"[a-c]{0,40}"`-style patterns generate matching
+/// strings. Supported syntax: literal chars, `[..]` classes with ranges, and
+/// an optional `{m,n}` / `{n}` repetition suffix per atom.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let bytes = pattern.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Parse one atom: a char class or a literal byte.
+        let chars: Vec<char> = if bytes[i] == b'[' {
+            let close = pattern[i..].find(']').expect("unclosed [ in pattern") + i;
+            let inner = &pattern[i + 1..close];
+            i = close + 1;
+            expand_class(inner)
+        } else {
+            let c = pattern[i..].chars().next().expect("char");
+            i += c.len_utf8();
+            vec![c]
+        };
+        // Optional repetition.
+        let (lo, hi) = if i < bytes.len() && bytes[i] == b'{' {
+            let close = pattern[i..].find('}').expect("unclosed { in pattern") + i;
+            let spec = &pattern[i + 1..close];
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n: usize = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = if lo == hi {
+            lo
+        } else {
+            rand::Rng::gen_range(rng, lo..=hi)
+        };
+        for _ in 0..n {
+            let pick = rand::Rng::gen_range(rng, 0..chars.len());
+            out.push(chars[pick]);
+        }
+    }
+    out
+}
+
+fn expand_class(inner: &str) -> Vec<char> {
+    let cs: Vec<char> = inner.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i] as u32, cs[i + 2] as u32);
+            for v in a..=b {
+                out.push(char::from_u32(v).expect("class range"));
+            }
+            i += 3;
+        } else {
+            out.push(cs[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Namespaced strategy constructors, as `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            lo: usize,
+            hi: usize,
+        }
+
+        /// `vec(element, 1..20)` — vectors with lengths in the given range.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy {
+                element,
+                lo: size.start,
+                hi: size.end,
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rand::Rng::gen_range(rng, self.lo..self.hi);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+
+        /// Strategy choosing uniformly from a fixed set of values.
+        #[derive(Clone)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// `select(vec![..])` — picks one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select on empty set");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut StdRng) -> T {
+                let i = rand::Rng::gen_range(rng, 0..self.options.len());
+                self.options[i].clone()
+            }
+        }
+    }
+}
+
+/// Weighted union of boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new_weighted(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = variants.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof: zero total weight");
+        Union { variants, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rand::Rng::gen_range(rng, 0..self.total);
+        for (w, s) in &self.variants {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use super::{any, prop, BoxedStrategy, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// `prop_oneof![a, b]` / `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside `proptest!` bodies (panics immediately; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                // Seed differs per test name so tests don't share streams.
+                let mut __seed = 0xC0FF_EE00u64;
+                for b in stringify!($name).bytes() {
+                    __seed = __seed.wrapping_mul(131).wrapping_add(b as u64);
+                }
+                for __case in 0..cfg.cases as u64 {
+                    let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                        __seed ^ (__case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-c]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u8..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![3 => (0i64..10).prop_map(|v| v * 2), 1 => 100i64..110]) {
+            prop_assert!(x % 2 == 0 || (100..110).contains(&x));
+        }
+    }
+}
