@@ -84,6 +84,14 @@ impl HwFreeList {
         true
     }
 
+    /// Snapshot of the resident entries, newest (head) first — used by the
+    /// fault-injection hooks to pick a victim node deterministically.
+    pub fn snapshot(&self) -> Vec<u64> {
+        (0..self.len)
+            .map(|i| self.slots[(self.head + self.capacity - 1 - i) % self.capacity])
+            .collect()
+    }
+
     /// Drains all entries (hmflush) oldest-first.
     pub fn drain_all(&mut self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.len);

@@ -7,6 +7,7 @@ use crate::size_class::{SizeClassTable, HW_CLASS_COUNT};
 use php_runtime::alloc::SlabAllocator;
 use php_runtime::profile::{Category, OpCost};
 use php_runtime::Profiler;
+use std::collections::HashSet;
 
 /// Memory-update policy (design consideration vs. Mallacc \[48\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,6 +114,10 @@ pub struct HeapStats {
     pub flushed_blocks: u64,
     /// Accelerator cycles.
     pub accel_cycles: u64,
+    /// Free-list nodes poisoned by the fault-injection hook.
+    pub faults_injected: u64,
+    /// Poisoned nodes caught by the parity check on pop/flush.
+    pub faults_detected: u64,
 }
 
 impl HeapStats {
@@ -134,6 +139,9 @@ pub struct HwHeapManager {
     prefetcher: Prefetcher,
     stats: HeapStats,
     now: u64,
+    /// Free-list nodes whose stored metadata no longer passes parity
+    /// (injected faults); caught when the node is next popped or flushed.
+    poisoned: HashSet<u64>,
 }
 
 impl Default for HwHeapManager {
@@ -153,6 +161,7 @@ impl HwHeapManager {
             prefetcher: Prefetcher::new(cfg.prefetch),
             stats: HeapStats::default(),
             now: 0,
+            poisoned: HashSet::new(),
         }
     }
 
@@ -217,6 +226,17 @@ impl HwHeapManager {
         self.stats.mallocs += 1;
         self.stats.accel_cycles += 1; // §5.1: 1 cycle per hardware request
         let outcome = match self.lists[class].pop_head() {
+            Some(addr) if self.poisoned.remove(&addr) => {
+                // Parity caught a poisoned node: quarantine the block back
+                // to the software free list and let the software handler
+                // serve the request from a fresh carve.
+                self.stats.faults_detected += 1;
+                alloc.return_segment(sw_class_for(class), addr);
+                self.stats.malloc_misses += 1;
+                let fresh = alloc.carve_for_hardware(sw_class_for(class), prof);
+                alloc.note_hardware_alloc(sw_class_for(class), fresh, size);
+                MallocOutcome::SoftwareRefill { addr: fresh }
+            }
             Some(addr) => {
                 self.stats.malloc_hits += 1;
                 alloc.note_hardware_alloc(sw_class_for(class), addr, size);
@@ -284,6 +304,11 @@ impl HwHeapManager {
         let mut flushed = 0;
         for class in 0..HW_CLASS_COUNT {
             for addr in self.lists[class].drain_all() {
+                if self.poisoned.remove(&addr) {
+                    // Parity caught the node on the way out; the segment is
+                    // still reclaimed by software, so nothing leaks.
+                    self.stats.faults_detected += 1;
+                }
                 alloc.return_segment(sw_class_for(class), addr);
                 flushed += 1;
             }
@@ -295,6 +320,23 @@ impl HwHeapManager {
             OpCost::mixed(10 + 3 * flushed as u64),
         );
         flushed
+    }
+
+    /// Fault-injection hook: poisons the `nth` resident free-list node
+    /// (across all classes, newest first). The parity check catches it when
+    /// the node is next popped or flushed. Returns `false` when every
+    /// hardware free list is empty.
+    pub fn inject_freelist_fault(&mut self, nth: usize) -> bool {
+        let mut nodes = Vec::new();
+        for list in &self.lists {
+            nodes.extend(list.snapshot());
+        }
+        if nodes.is_empty() {
+            return false;
+        }
+        self.poisoned.insert(nodes[nth % nodes.len()]);
+        self.stats.faults_injected += 1;
+        true
     }
 
     /// Resets statistics counters (contents and free lists stay).
@@ -450,6 +492,44 @@ mod tests {
             run(eager_cfg) > run(lazy_cfg),
             "eager updates must cost more"
         );
+    }
+
+    #[test]
+    fn poisoned_node_detected_on_pop_and_quarantined() {
+        let (mut hm, mut alloc, prof) = setup();
+        let a = hm.hmmalloc(32, &mut alloc, &prof).addr().unwrap();
+        hm.hmfree(a, 32, &mut alloc, &prof);
+        assert!(hm.inject_freelist_fault(0));
+        assert_eq!(hm.stats().faults_injected, 1);
+        // Pop hits the poisoned node: detected, software refill serves it.
+        let m = hm.hmmalloc(32, &mut alloc, &prof);
+        assert!(matches!(m, MallocOutcome::SoftwareRefill { .. }));
+        assert_eq!(hm.stats().faults_detected, 1);
+        // Accounting stays balanced: the quarantined segment was returned.
+        hm.hmfree(m.addr().unwrap(), 32, &mut alloc, &prof);
+        let _ = hm.hmflush(&mut alloc, &prof);
+        assert_eq!(alloc.live_block_count(), 0);
+    }
+
+    #[test]
+    fn poisoned_node_detected_on_flush() {
+        let (mut hm, mut alloc, prof) = setup();
+        let a = hm.hmmalloc(16, &mut alloc, &prof).addr().unwrap();
+        hm.hmfree(a, 16, &mut alloc, &prof);
+        assert!(hm.inject_freelist_fault(0));
+        let flushed = hm.hmflush(&mut alloc, &prof);
+        assert_eq!(flushed, 1);
+        assert_eq!(hm.stats().faults_detected, 1);
+        // The block is reachable through software again.
+        let m = alloc.malloc(16, &prof);
+        assert_eq!(m.addr, a);
+    }
+
+    #[test]
+    fn inject_with_empty_lists_reports_nothing_to_poison() {
+        let (mut hm, _, _) = setup();
+        assert!(!hm.inject_freelist_fault(0));
+        assert_eq!(hm.stats().faults_injected, 0);
     }
 
     #[test]

@@ -96,6 +96,14 @@ impl Rtt {
         self.entries.len()
     }
 
+    /// Base addresses of all tracked maps, sorted (deterministic order for
+    /// fault-injection targeting).
+    pub fn tracked_bases(&self) -> Vec<u64> {
+        let mut bases: Vec<u64> = self.entries.keys().copied().collect();
+        bases.sort_unstable();
+        bases
+    }
+
     /// Records an insertion of hash-table entry `idx` for map `base`.
     /// Returns the map that had to be dropped to make room, if any (its
     /// hash-table entries must then be flushed by the caller).

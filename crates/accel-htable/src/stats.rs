@@ -50,6 +50,10 @@ pub struct HtStats {
     /// SETs that skipped the existence probe (integer-append key, proven
     /// fresh by static analysis).
     pub hinted_append_inserts: u64,
+    /// Faults injected into entries or the RTT (testing hook).
+    pub faults_injected: u64,
+    /// Faults caught by the parity/consistency check on access.
+    pub faults_detected: u64,
 }
 
 impl HtStats {

@@ -10,6 +10,7 @@
 use crate::entry::{Entry, SmallKey, MAX_KEY_BYTES};
 use crate::rtt::{OrderReplay, Rtt};
 use crate::stats::{HtStats, HASH_CYCLES, PROBE_CYCLES};
+use std::collections::HashSet;
 
 /// Configuration of the hardware hash table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +117,11 @@ pub struct HwHashTable {
     rtt: Rtt,
     clock: u64,
     stats: HtStats,
+    /// Entries whose parity no longer checks out (injected faults). The
+    /// corruption is caught on the next access; a full overwrite repairs it.
+    corrupt_entries: HashSet<usize>,
+    /// Maps whose RTT back-pointer buffer is untrusted (injected faults).
+    corrupt_rtt: HashSet<u64>,
 }
 
 impl Default for HwHashTable {
@@ -143,6 +149,8 @@ impl HwHashTable {
             rtt: Rtt::new(cfg.rtt_maps, cfg.rtt_slots),
             clock: 0,
             stats: HtStats::default(),
+            corrupt_entries: HashSet::new(),
+            corrupt_rtt: HashSet::new(),
         }
     }
 
@@ -202,6 +210,15 @@ impl HwHashTable {
         let key = SmallKey::new(key).expect("length checked");
         match self.probe(base, &key) {
             Some(idx) => {
+                if self.corrupt_entries.remove(&idx) {
+                    // Parity mismatch: drop the entry and report a miss so
+                    // the software walk re-fetches the true pair.
+                    self.stats.faults_detected += 1;
+                    self.rtt.invalidate_backpointer(base, idx as u32);
+                    self.entries[idx].valid = false;
+                    self.entries[idx].dirty = false;
+                    return GetOutcome::Miss;
+                }
                 self.stats.get_hits += 1;
                 let now = self.tick();
                 let e = &mut self.entries[idx];
@@ -263,6 +280,11 @@ impl HwHashTable {
         let key = SmallKey::new(key).expect("length checked");
         if hint != KeyShapeHint::IntAppend {
             if let Some(idx) = self.probe(base, &key) {
+                if self.corrupt_entries.remove(&idx) {
+                    // Parity mismatch on the probe read; the full overwrite
+                    // below repairs the entry in place.
+                    self.stats.faults_detected += 1;
+                }
                 self.stats.set_hits += 1;
                 let now = self.tick();
                 let e = &mut self.entries[idx];
@@ -317,6 +339,10 @@ impl HwHashTable {
                 }
             }
         };
+        if self.corrupt_entries.remove(&slot) {
+            // Replacement read the victim entry; parity flagged it.
+            self.stats.faults_detected += 1;
+        }
         let now = self.tick();
         self.entries[slot] = Entry {
             key,
@@ -340,9 +366,19 @@ impl HwHashTable {
     pub fn free(&mut self, base: u64) -> usize {
         self.stats.frees += 1;
         self.stats.accel_cycles += PROBE_CYCLES;
+        if self.corrupt_rtt.remove(&base) {
+            // Back pointers are untrusted: fall back to a full-table scan
+            // to invalidate the dying map's entries.
+            self.stats.faults_detected += 1;
+            let _ = self.rtt.free_map(base);
+            let n = self.scan_invalidate(base);
+            self.stats.freed_entries += n as u64;
+            return n;
+        }
         let idxs = self.rtt.free_map(base);
         let n = idxs.len();
         for idx in idxs {
+            self.corrupt_entries.remove(&(idx as usize));
             self.entries[idx as usize].valid = false;
             self.entries[idx as usize].dirty = false;
         }
@@ -354,15 +390,38 @@ impl HwHashTable {
     /// dirty pairs back so the memory map is consistent for iteration.
     pub fn foreach(&mut self, base: u64) -> ForeachOutcome {
         self.stats.foreachs += 1;
+        if self.corrupt_rtt.remove(&base) {
+            // The circular buffer is untrusted: invalidate the map's entries
+            // by scan and tell software to iterate the memory map instead.
+            self.stats.faults_detected += 1;
+            let _ = self.rtt.free_map(base);
+            self.scan_invalidate(base);
+            return ForeachOutcome {
+                live_pairs: Vec::new(),
+                evicted_pairs: 0,
+                written_back: 0,
+                order_lost: true,
+            };
+        }
         let OrderReplay {
             live_in_order,
             evicted,
-            order_lost,
+            mut order_lost,
             ..
         } = self.rtt.replay_order(base);
         let mut live_pairs = Vec::with_capacity(live_in_order.len());
         let mut written_back = 0;
         for idx in live_in_order {
+            if self.corrupt_entries.remove(&(idx as usize)) {
+                // Parity mismatch mid-replay: drop the entry and force the
+                // software iteration path for this foreach.
+                self.stats.faults_detected += 1;
+                self.rtt.invalidate_backpointer(base, idx);
+                self.entries[idx as usize].valid = false;
+                self.entries[idx as usize].dirty = false;
+                order_lost = true;
+                continue;
+            }
             let e = &mut self.entries[idx as usize];
             if e.dirty {
                 e.dirty = false;
@@ -388,6 +447,7 @@ impl HwHashTable {
         };
         match self.probe(base, &key) {
             Some(idx) => {
+                self.corrupt_entries.remove(&idx);
                 self.rtt.invalidate_backpointer(base, idx as u32);
                 self.entries[idx].valid = false;
                 self.entries[idx].dirty = false;
@@ -410,6 +470,7 @@ impl HwHashTable {
         let idxs = self.rtt.free_map(base);
         let mut dirty = Vec::new();
         for idx in idxs {
+            self.corrupt_entries.remove(&(idx as usize));
             let e = &mut self.entries[idx as usize];
             if e.dirty {
                 dirty.push(*e);
@@ -419,6 +480,73 @@ impl HwHashTable {
             e.dirty = false;
         }
         dirty
+    }
+
+    /// Invalidates every entry of `base` by a full-table scan (the recovery
+    /// path when the RTT cannot be trusted). Returns entries invalidated.
+    fn scan_invalidate(&mut self, base: u64) -> usize {
+        let mut n = 0;
+        for (idx, e) in self.entries.iter_mut().enumerate() {
+            if e.valid && e.base_addr == base {
+                self.corrupt_entries.remove(&idx);
+                e.valid = false;
+                e.dirty = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Fault-injection hook: flips bits in the `nth` valid entry's value
+    /// pointer, as a particle strike would. The corruption is caught by the
+    /// parity check on the entry's next access. Returns `false` when the
+    /// table holds no valid entry to corrupt.
+    pub fn inject_entry_fault(&mut self, nth: usize) -> bool {
+        let victims: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .map(|(i, _)| i)
+            .collect();
+        if victims.is_empty() {
+            return false;
+        }
+        let idx = victims[nth % victims.len()];
+        self.entries[idx].value_ptr ^= 0xDEAD_BEEF;
+        self.corrupt_entries.insert(idx);
+        self.stats.faults_injected += 1;
+        true
+    }
+
+    /// Fault-injection hook: marks the RTT back-pointer buffer of the `nth`
+    /// tracked map as corrupt. Detected on the map's next `foreach`/`Free`,
+    /// which then falls back to a full-table scan. Returns `false` when the
+    /// RTT tracks no map.
+    pub fn inject_rtt_fault(&mut self, nth: usize) -> bool {
+        let bases = self.rtt.tracked_bases();
+        if bases.is_empty() {
+            return false;
+        }
+        self.corrupt_rtt.insert(bases[nth % bases.len()]);
+        self.stats.faults_injected += 1;
+        true
+    }
+
+    /// Full hardware invalidation (the sandbox recovery path): drops every
+    /// entry and the whole RTT without write-back — the software maps are
+    /// the ground truth, so nothing is lost. Clears any latent corruption.
+    /// Returns the number of live entries dropped.
+    pub fn invalidate_all(&mut self) -> usize {
+        let n = self.occupancy();
+        for e in &mut self.entries {
+            e.valid = false;
+            e.dirty = false;
+        }
+        self.rtt = Rtt::new(self.cfg.rtt_maps, self.cfg.rtt_slots);
+        self.corrupt_entries.clear();
+        self.corrupt_rtt.clear();
+        n
     }
 
     /// Number of valid entries (occupancy).
@@ -658,6 +786,81 @@ mod tests {
         b.set_hinted(0x1, b"k", 7, KeyShapeHint::ConstStr);
         assert_eq!(a.get(0x1, b"k"), b.get(0x1, b"k"));
         assert!(a.stats().accel_cycles > b.stats().accel_cycles);
+    }
+
+    #[test]
+    fn injected_entry_fault_detected_on_get() {
+        let mut t = table();
+        t.set(0x100, b"k", 7);
+        assert!(t.inject_entry_fault(0));
+        assert_eq!(t.stats().faults_injected, 1);
+        // Parity catches the corruption; the access reports a miss so the
+        // software walk fetches the true value.
+        assert_eq!(t.get(0x100, b"k"), GetOutcome::Miss);
+        assert_eq!(t.stats().faults_detected, 1);
+        // Refill restores a clean, correct entry.
+        t.fill(0x100, b"k", 7);
+        assert_eq!(t.get(0x100, b"k"), GetOutcome::Hit { value_ptr: 7 });
+    }
+
+    #[test]
+    fn injected_entry_fault_repaired_by_set() {
+        let mut t = table();
+        t.set(0x100, b"k", 7);
+        assert!(t.inject_entry_fault(0));
+        assert_eq!(t.set(0x100, b"k", 9), SetOutcome::Updated);
+        assert_eq!(t.stats().faults_detected, 1);
+        assert_eq!(t.get(0x100, b"k"), GetOutcome::Hit { value_ptr: 9 });
+    }
+
+    #[test]
+    fn injected_rtt_fault_forces_software_iteration() {
+        let mut t = table();
+        t.set(0x100, b"a", 1);
+        t.set(0x100, b"b", 2);
+        assert!(t.inject_rtt_fault(0));
+        let out = t.foreach(0x100);
+        assert!(out.order_lost, "corrupt RTT must force software iteration");
+        assert!(out.live_pairs.is_empty());
+        assert_eq!(t.stats().faults_detected, 1);
+        // The map's entries were scan-invalidated; nothing stale remains.
+        assert_eq!(t.get(0x100, b"a"), GetOutcome::Miss);
+    }
+
+    #[test]
+    fn injected_rtt_fault_detected_on_free() {
+        let mut t = table();
+        t.set(0x100, b"a", 1);
+        t.set(0x100, b"b", 2);
+        assert!(t.inject_rtt_fault(0));
+        assert_eq!(t.free(0x100), 2, "scan fallback still frees both");
+        assert_eq!(t.stats().faults_detected, 1);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_clears_contents_and_corruption() {
+        let mut t = table();
+        t.set(0x100, b"a", 1);
+        t.set(0x200, b"b", 2);
+        t.inject_entry_fault(0);
+        t.inject_rtt_fault(0);
+        assert_eq!(t.invalidate_all(), 2);
+        assert_eq!(t.occupancy(), 0);
+        assert_eq!(t.get(0x100, b"a"), GetOutcome::Miss);
+        assert_eq!(t.get(0x200, b"b"), GetOutcome::Miss);
+        // No latent corruption to detect after the wipe.
+        t.set(0x100, b"a", 1);
+        assert_eq!(t.get(0x100, b"a"), GetOutcome::Hit { value_ptr: 1 });
+        assert_eq!(t.stats().faults_detected, 0);
+    }
+
+    #[test]
+    fn inject_on_empty_table_reports_nothing_to_corrupt() {
+        let mut t = table();
+        assert!(!t.inject_entry_fault(0));
+        assert!(!t.inject_rtt_fault(0));
+        assert_eq!(t.stats().faults_injected, 0);
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct HintVector {
     words: Vec<u64>,
     segments: usize,
     segment_size: usize,
+    /// Whether the stored words still match their parity bits. Hardware
+    /// writes keep parity in sync; an injected bit flip clears it, and
+    /// consumers must then fall back to a conservative all-dirty vector.
+    parity_ok: bool,
 }
 
 impl HintVector {
@@ -32,6 +36,7 @@ impl HintVector {
             words,
             segments: flags.len(),
             segment_size,
+            parity_ok: true,
         }
     }
 
@@ -129,6 +134,25 @@ impl HintVector {
         assert!(i < self.segments);
         self.words[i / 64] |= 1 << (i % 64);
     }
+
+    /// Fault-injection hook: flips the dirty bit of segment `i` without
+    /// updating parity. A dirty→clean flip would silently skip a segment, so
+    /// consumers must check [`HintVector::parity_ok`] and degrade to
+    /// [`HintVector::all_dirty`] when it fails.
+    pub fn inject_bit_flip(&mut self, i: usize) {
+        let i = if self.segments == 0 {
+            return;
+        } else {
+            i % self.segments
+        };
+        self.words[i / 64] ^= 1 << (i % 64);
+        self.parity_ok = false;
+    }
+
+    /// Whether the vector's parity check still passes.
+    pub fn parity_ok(&self) -> bool {
+        self.parity_ok
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +214,19 @@ mod tests {
         assert_eq!(v.segments(), 5);
         let flags: Vec<bool> = (0..5).map(|i| v.is_dirty(i)).collect();
         assert_eq!(flags, [true, true, true, false, true]);
+    }
+
+    #[test]
+    fn bit_flip_breaks_parity() {
+        let mut v = hv(&[true, false, true]);
+        assert!(v.parity_ok());
+        v.inject_bit_flip(0);
+        assert!(!v.parity_ok());
+        assert!(!v.is_dirty(0), "bit actually flipped");
+        // The conservative replacement scans everything.
+        let repaired = HintVector::all_dirty(v.segments(), v.segment_size());
+        assert!(repaired.parity_ok());
+        assert_eq!(repaired.clean_fraction(), 0.0);
     }
 
     #[test]

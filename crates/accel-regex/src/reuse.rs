@@ -64,6 +64,10 @@ pub struct ReuseStats {
     pub bytes_skipped: u64,
     /// Entries evicted for capacity.
     pub evictions: u64,
+    /// Entries corrupted by the fault-injection hook.
+    pub faults_injected: u64,
+    /// Corrupt entries caught by the parity check on lookup.
+    pub faults_detected: u64,
 }
 
 /// The 32-entry content reuse table.
@@ -72,6 +76,9 @@ pub struct ContentReuseTable {
     entries: Vec<Option<ReuseEntry>>,
     clock: u64,
     stats: ReuseStats,
+    /// Slots whose stored state no longer passes parity (injected faults);
+    /// caught on the slot's next lookup.
+    corrupt: Vec<bool>,
 }
 
 impl Default for ContentReuseTable {
@@ -88,6 +95,7 @@ impl ContentReuseTable {
             entries: vec![None; capacity],
             clock: 0,
             stats: ReuseStats::default(),
+            corrupt: vec![false; capacity],
         }
     }
 
@@ -130,6 +138,15 @@ impl ContentReuseTable {
         self.clock += 1;
         self.stats.lookups += 1;
         let now = self.clock;
+        if let Some(i) = self.find(pc, asid) {
+            if self.corrupt[i] {
+                // Parity mismatch: drop the entry; the reinstall below is an
+                // invalid-miss, so software traverses the content normally.
+                self.corrupt[i] = false;
+                self.entries[i] = None;
+                self.stats.faults_detected += 1;
+            }
+        }
         match self.find(pc, asid) {
             None => {
                 // PC/ASID miss → invalid-miss: install.
@@ -137,6 +154,7 @@ impl ContentReuseTable {
                 if self.entries[slot].is_some() {
                     self.stats.evictions += 1;
                 }
+                self.corrupt[slot] = false;
                 self.entries[slot] = Some(ReuseEntry {
                     pc,
                     asid,
@@ -194,10 +212,42 @@ impl ContentReuseTable {
 
     /// Flushes all entries for `asid` (process teardown).
     pub fn flush_asid(&mut self, asid: u32) {
-        for e in self.entries.iter_mut() {
+        for (i, e) in self.entries.iter_mut().enumerate() {
             if e.as_ref().is_some_and(|e| e.asid == asid) {
                 *e = None;
+                self.corrupt[i] = false;
             }
+        }
+    }
+
+    /// Fault-injection hook: corrupts the `nth` occupied slot. The parity
+    /// check catches it on that slot's next lookup, which then behaves as an
+    /// invalid-miss (software traverses normally). Returns `false` when the
+    /// table is empty.
+    pub fn inject_entry_fault(&mut self, nth: usize) -> bool {
+        let occupied: Vec<usize> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if occupied.is_empty() {
+            return false;
+        }
+        self.corrupt[occupied[nth % occupied.len()]] = true;
+        self.stats.faults_injected += 1;
+        true
+    }
+
+    /// Full reset (the sandbox recovery path): drops every entry and any
+    /// latent corruption. Statistics stay.
+    pub fn clear(&mut self) {
+        for e in self.entries.iter_mut() {
+            *e = None;
+        }
+        for c in self.corrupt.iter_mut() {
+            *c = false;
         }
     }
 }
@@ -368,6 +418,47 @@ mod tests {
         let r = run_with_reuse(&re, 5, 0, c, &mut t);
         assert!(r.bytes_skipped > 0);
         assert_eq!(r.match_end, Some(c.len()));
+    }
+
+    #[test]
+    fn corrupt_entry_detected_and_results_stay_correct() {
+        let re = Regex::new("https://localhost/\\?author=[a-z]+").unwrap();
+        let mut t = ContentReuseTable::default();
+        let a = b"https://localhost/?author=abc";
+        let b = b"https://localhost/?author=xyz";
+        let c = b"https://localhost/?author=def";
+        let _ = run_with_reuse(&re, 1, 0, a, &mut t);
+        let _ = run_with_reuse(&re, 1, 0, b, &mut t); // trained
+        assert!(t.inject_entry_fault(0));
+        // Instead of a (corrupt) hit, the lookup detects the fault and the
+        // run degrades to a full traversal with an identical result.
+        let r = run_with_reuse(&re, 1, 0, c, &mut t);
+        assert_eq!(r.match_end, Some(c.len()));
+        assert_eq!(r.bytes_skipped, 0, "no skip through a corrupt entry");
+        assert_eq!(t.stats().faults_detected, 1);
+        // The table re-trains and hits again afterwards.
+        let _ = run_with_reuse(&re, 1, 0, a, &mut t);
+        let r2 = run_with_reuse(&re, 1, 0, b, &mut t);
+        assert_eq!(r2.match_end, Some(b.len()));
+        assert!(r2.bytes_skipped > 0, "recovered to hitting");
+    }
+
+    #[test]
+    fn clear_drops_entries_and_corruption() {
+        let mut t = ContentReuseTable::default();
+        let _ = t.regexlookup(1, 0, b"abc");
+        t.inject_entry_fault(0);
+        t.clear();
+        assert_eq!(t.occupancy(), 0);
+        let _ = t.regexlookup(1, 0, b"abc");
+        assert_eq!(t.stats().faults_detected, 0);
+    }
+
+    #[test]
+    fn inject_on_empty_table_reports_nothing() {
+        let mut t = ContentReuseTable::default();
+        assert!(!t.inject_entry_fault(0));
+        assert_eq!(t.stats().faults_injected, 0);
     }
 
     #[test]

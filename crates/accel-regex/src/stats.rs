@@ -24,6 +24,10 @@ pub struct RegexAccelStats {
     pub bytes_skipped_reuse: u64,
     /// Software µops spent in regexp processing.
     pub uops: u64,
+    /// Hint-vector bit flips injected (testing hook).
+    pub hv_faults_injected: u64,
+    /// Hint-vector parity failures detected (vector degraded to all-dirty).
+    pub hv_faults_detected: u64,
 }
 
 impl RegexAccelStats {

@@ -47,6 +47,9 @@ pub struct StringAccel {
     loaded: Option<MatrixConfig>,
     /// Saved configuration (`strwriteconfig` destination).
     saved: Option<MatrixConfig>,
+    /// Configuration registers no longer pass parity (injected fault);
+    /// caught by [`StringAccel::config_fault_detected`] before the next op.
+    faulted: bool,
     stats: StrAccelStats,
 }
 
@@ -69,6 +72,7 @@ impl StringAccel {
             cfg,
             loaded: None,
             saved: None,
+            faulted: false,
             stats: StrAccelStats::default(),
         }
     }
@@ -99,6 +103,37 @@ impl StringAccel {
     /// Records a software fallback (for fair end-to-end accounting).
     pub fn note_fallback(&mut self) {
         self.stats.fallbacks += 1;
+    }
+
+    /// Fault-injection hook: flips bits in the matrix configuration
+    /// registers. The parity check catches it before the next operation.
+    pub fn inject_config_fault(&mut self) {
+        self.faulted = true;
+        self.stats.faults_injected += 1;
+    }
+
+    /// Register parity checkpoint, consulted before dispatching an
+    /// operation. On a latent fault this clears the untrusted configuration
+    /// registers, counts the detection plus a software fallback, and returns
+    /// `true` — the caller must run the software routine for this op.
+    pub fn config_fault_detected(&mut self) -> bool {
+        if !self.faulted {
+            return false;
+        }
+        self.faulted = false;
+        self.loaded = None;
+        self.saved = None;
+        self.stats.faults_detected += 1;
+        self.stats.fallbacks += 1;
+        true
+    }
+
+    /// Full state reset (the sandbox recovery path): drops both
+    /// configuration registers and any latent fault. Statistics stay.
+    pub fn reset_state(&mut self) {
+        self.loaded = None;
+        self.saved = None;
+        self.faulted = false;
     }
 
     fn build_config(&self, rows: Vec<RowSpec>) -> Result<MatrixConfig, Unsupported> {
@@ -429,6 +464,36 @@ mod tests {
 
     fn accel() -> StringAccel {
         StringAccel::default()
+    }
+
+    #[test]
+    fn config_fault_detected_once_then_clean() {
+        let mut a = accel();
+        let _ = a.find(b"subject text", b"tex", 0).unwrap();
+        assert!(a.configured());
+        a.inject_config_fault();
+        assert_eq!(a.stats().faults_injected, 1);
+        // The parity checkpoint catches the fault exactly once and drops
+        // the untrusted registers.
+        assert!(a.config_fault_detected());
+        assert!(!a.configured());
+        assert_eq!(a.stats().faults_detected, 1);
+        assert_eq!(a.stats().fallbacks, 1);
+        assert!(!a.config_fault_detected());
+        // Subsequent ops run clean and correct.
+        let (pos, _) = a.find(b"subject text", b"tex", 0).unwrap();
+        assert_eq!(pos, Some(8));
+    }
+
+    #[test]
+    fn reset_state_clears_registers_and_fault() {
+        let mut a = accel();
+        let _ = a.find(b"abc", b"b", 0).unwrap();
+        a.strwriteconfig();
+        a.inject_config_fault();
+        a.reset_state();
+        assert!(!a.configured());
+        assert!(!a.config_fault_detected());
     }
 
     #[test]

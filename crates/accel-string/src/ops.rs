@@ -100,6 +100,10 @@ pub struct StrAccelStats {
     pub config_loads: u64,
     /// Configuration saves (`strwriteconfig`).
     pub config_saves: u64,
+    /// Configuration-register faults injected (testing hook).
+    pub faults_injected: u64,
+    /// Faults caught by the register parity check before an operation.
+    pub faults_detected: u64,
 }
 
 impl StrAccelStats {

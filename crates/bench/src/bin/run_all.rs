@@ -43,6 +43,10 @@ fn main() {
             "fig15_accel_breakdown",
             "Figure 15 — per-accelerator benefit split",
         ),
+        (
+            "soak",
+            "robustness — fault-injection soak of the request server",
+        ),
         ("tab_energy", "§5.2 — energy savings"),
         ("tab_uops", "§5.2 — software µop costs"),
         ("tab_area", "§5.1 — area budget"),

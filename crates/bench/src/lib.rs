@@ -40,7 +40,16 @@ pub fn run_app(
 ) -> PhpMachine {
     let mut app = kind.build(seed);
     let mut machine = PhpMachine::new(mode, cfg);
-    lg.run(app.as_mut(), &mut machine);
+    let summary = lg.run(app.as_mut(), &mut machine);
+    if summary.failed_requests > 0 {
+        println!(
+            "!! {} ({mode:?}): {} of {} requests failed — first error: {}",
+            kind.label(),
+            summary.failed_requests,
+            summary.requests,
+            summary.first_error.as_deref().unwrap_or("<none>")
+        );
+    }
     machine
 }
 

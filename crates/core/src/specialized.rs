@@ -31,6 +31,45 @@ pub enum ExecMode {
     Specialized,
 }
 
+/// Identifies one of the four accelerator domains, for per-domain
+/// enable masks, fault counters, and circuit breakers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelId {
+    /// §4.2 hardware hash table.
+    Htable,
+    /// §4.3 hardware heap manager.
+    Heap,
+    /// §4.4 string accelerator.
+    Str,
+    /// §4.5 regexp acceleration (content reuse table + hint vectors).
+    Regex,
+}
+
+impl AccelId {
+    /// All four domains, in counter-array order.
+    pub const ALL: [AccelId; 4] = [AccelId::Htable, AccelId::Heap, AccelId::Str, AccelId::Regex];
+
+    /// Index into `[_; 4]` counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            AccelId::Htable => 0,
+            AccelId::Heap => 1,
+            AccelId::Str => 2,
+            AccelId::Regex => 3,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccelId::Htable => "htable",
+            AccelId::Heap => "heap",
+            AccelId::Str => "string",
+            AccelId::Regex => "regex",
+        }
+    }
+}
+
 /// µops to issue an accelerator instruction and consume its result.
 const DISPATCH_UOPS: u64 = 2;
 /// Software cost of writing one dirty hash-table entry back to its map.
@@ -200,6 +239,11 @@ pub struct PhpMachine {
     cfg: MachineConfig,
     mode: ExecMode,
     scoped: Vec<MBlock>,
+    /// Per-domain enable mask — a tripped circuit breaker clears an entry,
+    /// degrading that domain to its software path.
+    accel_enabled: [bool; 4],
+    /// HV bit flip armed for the next texturize sieve (fault injection).
+    pending_hv_flip: Option<usize>,
 }
 
 impl PhpMachine {
@@ -211,6 +255,8 @@ impl PhpMachine {
             cfg,
             mode,
             scoped: Vec::new(),
+            accel_enabled: [true; 4],
+            pending_hv_flip: None,
         }
     }
 
@@ -251,6 +297,78 @@ impl PhpMachine {
 
     fn is_specialized(&self) -> bool {
         self.mode == ExecMode::Specialized
+    }
+
+    /// Whether accesses in domain `id` take the hardware path right now.
+    fn use_accel(&self, id: AccelId) -> bool {
+        self.is_specialized() && self.accel_enabled[id.index()]
+    }
+
+    /// Enables or disables one accelerator domain. Disabled domains run
+    /// their software paths, which are byte-identical by construction
+    /// (ground truth lives in the software structures).
+    pub fn set_accel_enabled(&mut self, id: AccelId, on: bool) {
+        self.accel_enabled[id.index()] = on;
+    }
+
+    /// Whether domain `id` is currently enabled.
+    pub fn accel_enabled(&self, id: AccelId) -> bool {
+        self.accel_enabled[id.index()]
+    }
+
+    /// String-accelerator gate: hardware path only when the domain is
+    /// enabled AND the config registers pass their parity check. A detected
+    /// config fault falls back to software for this op and self-heals.
+    fn str_accel_ready(&mut self) -> bool {
+        self.use_accel(AccelId::Str) && !self.core.straccel.config_fault_detected()
+    }
+
+    /// Arms a hint-vector bit flip to be injected into the next texturize
+    /// sieve output (fault injection).
+    pub fn arm_hv_flip(&mut self, bit: usize) {
+        self.pending_hv_flip = Some(bit);
+    }
+
+    /// Detected faults per domain, in [`AccelId::index`] order.
+    pub fn detected_fault_counts(&self) -> [u64; 4] {
+        [
+            self.core.htable.stats().faults_detected,
+            self.core.heap.stats().faults_detected,
+            self.core.straccel.stats().faults_detected,
+            self.core.reuse.stats().faults_detected + self.core.regex_stats.hv_faults_detected,
+        ]
+    }
+
+    /// Injected faults per domain, in [`AccelId::index`] order.
+    pub fn injected_fault_counts(&self) -> [u64; 4] {
+        [
+            self.core.htable.stats().faults_injected,
+            self.core.heap.stats().faults_injected,
+            self.core.straccel.stats().faults_injected,
+            self.core.reuse.stats().faults_injected + self.core.regex_stats.hv_faults_injected,
+        ]
+    }
+
+    /// Restores machine invariants after an aborted request (panic, budget
+    /// exhaustion, OOM): frees request-scoped blocks, drains the hardware
+    /// free lists back to the software allocator (`hmflush`), invalidates
+    /// the hardware hash table, and resets string/regexp engine state.
+    /// Afterwards the software structures are exactly what a never-
+    /// accelerated machine would hold.
+    pub fn recover_request(&mut self) {
+        // Scoped frees first so hardware-freed segments are on the free
+        // lists when the flush drains them.
+        self.end_request();
+        if self.is_specialized() {
+            self.ctx.with_allocator(|a| {
+                let prof = self.ctx.profiler();
+                self.core.heap.hmflush(a, prof);
+            });
+            self.core.htable.invalidate_all();
+            self.core.straccel.reset_state();
+            self.core.reuse.clear();
+        }
+        self.pending_hv_flip = None;
     }
 
     fn dispatch(&self, name: &'static str, cat: Category) {
@@ -307,7 +425,7 @@ impl PhpMachine {
     /// Allocates `size` bytes (hardware path when ≤128 B in specialized
     /// mode).
     pub fn alloc(&mut self, size: usize) -> MBlock {
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Heap) {
             let prof = self.ctx.profiler();
             let out = self
                 .ctx
@@ -401,7 +519,7 @@ impl PhpMachine {
         facts: AccessStatic,
         hint: KeyShapeHint,
     ) -> Option<PhpValue> {
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Htable) {
             let kb = key_bytes(key);
             match self.core.htable.get_hinted(arr.base_addr(), &kb, hint) {
                 GetOutcome::Hit { .. } => {
@@ -453,7 +571,7 @@ impl PhpMachine {
         facts: AccessStatic,
         hint: KeyShapeHint,
     ) {
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Htable) {
             let kb = key_bytes(&key);
             let base = arr.base_addr();
             self.ctx.refcount_on_copy_elidable(&value, facts.elide_rc);
@@ -505,7 +623,7 @@ impl PhpMachine {
     ) -> ArrayKey {
         self.ctx.refcount_on_copy_elidable(&value, facts.elide_rc);
         let key = arr.push(value);
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Htable) {
             let kb = key_bytes(&key);
             let base = arr.base_addr();
             let hint = if hinted_append {
@@ -547,7 +665,7 @@ impl PhpMachine {
     /// Hash unset (software path; the hardware entry is invalidated for
     /// coherence).
     pub fn array_remove(&mut self, arr: &mut PhpArray, key: &ArrayKey) -> Option<PhpValue> {
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Htable) {
             let kb = key_bytes(key);
             self.core.htable.invalidate_key(arr.base_addr(), &kb);
         }
@@ -556,7 +674,7 @@ impl PhpMachine {
 
     /// Whole-map free.
     pub fn array_free(&mut self, arr: &PhpArray) {
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Htable) {
             self.core.htable.free(arr.base_addr());
             self.dispatch("hashtable_free", Category::HashMap);
             // Software still frees the map structure itself.
@@ -572,7 +690,7 @@ impl PhpMachine {
     pub fn foreach(&mut self, arr: &PhpArray) -> Vec<(ArrayKey, PhpValue)> {
         let pairs: Vec<(ArrayKey, PhpValue)> =
             arr.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Htable) {
             let out = self.core.htable.foreach(arr.base_addr());
             if out.order_lost || out.evicted_pairs > 0 || out.live_pairs.len() < pairs.len() {
                 // Hardware can't replay the full order: software iterates.
@@ -612,7 +730,7 @@ impl PhpMachine {
 
     /// `strpos`.
     pub fn strpos(&mut self, haystack: &PhpStr, needle: &[u8], from: usize) -> Option<usize> {
-        if self.is_specialized() {
+        if self.str_accel_ready() {
             match self.core.straccel.find(haystack.as_bytes(), needle, from) {
                 Ok((pos, _cost)) => {
                     self.dispatch("stringop_find", Category::String);
@@ -626,7 +744,7 @@ impl PhpMachine {
 
     /// `strcmp`.
     pub fn strcmp(&mut self, a: &PhpStr, b: &PhpStr) -> std::cmp::Ordering {
-        if self.is_specialized() {
+        if self.str_accel_ready() {
             let (ord, _) = self.core.straccel.compare(a.as_bytes(), b.as_bytes());
             self.dispatch("stringop_compare", Category::String);
             return ord;
@@ -645,7 +763,7 @@ impl PhpMachine {
     }
 
     fn case_convert(&mut self, s: &PhpStr, upper: bool) -> PhpStr {
-        if self.is_specialized() {
+        if self.str_accel_ready() {
             let (out, _) = self.core.straccel.translate_case(s.as_bytes(), upper);
             self.dispatch("stringop_translate", Category::String);
             return PhpStr::from_bytes(out);
@@ -659,7 +777,7 @@ impl PhpMachine {
 
     /// `trim` with the default whitespace set.
     pub fn trim(&mut self, s: &PhpStr) -> PhpStr {
-        if self.is_specialized() {
+        if self.str_accel_ready() {
             if let Ok(((start, end), _)) = self
                 .core
                 .straccel
@@ -680,7 +798,7 @@ impl PhpMachine {
         replace: &[u8],
         subject: &PhpStr,
     ) -> (PhpStr, usize) {
-        if self.is_specialized() && search.len() == 1 && replace.len() == 1 {
+        if search.len() == 1 && replace.len() == 1 && self.str_accel_ready() {
             let (out, n, _) =
                 self.core
                     .straccel
@@ -695,7 +813,7 @@ impl PhpMachine {
     /// clean strings pass through untouched; dirty strings pay software
     /// encoding from the first special byte on.
     pub fn htmlspecialchars(&mut self, s: &PhpStr) -> PhpStr {
-        if self.is_specialized() {
+        if self.str_accel_ready() {
             let (first, _) = self
                 .core
                 .straccel
@@ -720,7 +838,7 @@ impl PhpMachine {
     /// `strip_tags`: the accelerator scans for `<`; tag-free strings pass
     /// through untouched, otherwise software strips from the first tag on.
     pub fn strip_tags(&mut self, s: &PhpStr) -> PhpStr {
-        if self.is_specialized() {
+        if self.str_accel_ready() {
             let (first, _) = self
                 .core
                 .straccel
@@ -754,7 +872,7 @@ impl PhpMachine {
     /// `explode` (software; separators found via the accelerated find when
     /// specialized).
     pub fn explode(&mut self, sep: &[u8], s: &PhpStr) -> Vec<PhpStr> {
-        if self.is_specialized() && !sep.is_empty() && sep.len() < 16 {
+        if !sep.is_empty() && sep.len() < 16 && self.str_accel_ready() {
             let mut parts = Vec::new();
             let mut pos = 0;
             let b = s.as_bytes();
@@ -801,7 +919,7 @@ impl PhpMachine {
     /// as the sieve and the rest as shadows; replacements keep the HV
     /// aligned through whitespace padding.
     pub fn texturize(&mut self, content: &PhpStr, rules: &[(Regex, Vec<u8>)]) -> PhpStr {
-        if !self.is_specialized() {
+        if !self.use_accel(AccelId::Regex) {
             let mut cur = content.as_bytes().to_vec();
             for (re, repl) in rules {
                 let (out, _n, stats) = re.replace_all(&cur, repl);
@@ -822,9 +940,21 @@ impl PhpMachine {
                 self.core.regex_stats.note_sieve(&sieve, cur.len());
                 let mut hv_new = sieve.hv;
                 cur = apply_padded_replacements(&cur, &sieve.matches, repl, &mut hv_new);
+                if let Some(bit) = self.pending_hv_flip.take() {
+                    hv_new.inject_bit_flip(bit);
+                    self.core.regex_stats.hv_faults_injected += 1;
+                }
                 hv = Some(hv_new);
             } else {
                 let hv_ref = hv.as_mut().expect("sieve ran first");
+                if !hv_ref.parity_ok() {
+                    // Parity failure: a flipped dirty→clean bit would let a
+                    // shadow skip real matches. Degrade to the conservative
+                    // all-dirty vector — the shadow scans everything and
+                    // output stays correct.
+                    *hv_ref = HintVector::all_dirty(hv_ref.segments(), hv_ref.segment_size());
+                    self.core.regex_stats.hv_faults_detected += 1;
+                }
                 let shadow = regexp_shadow(re, &cur, hv_ref);
                 self.charge_regex("regexp_shadow", shadow.uops);
                 self.core.regex_stats.note_shadow(&shadow, cur.len());
@@ -842,7 +972,7 @@ impl PhpMachine {
     /// Anchored match through the content reuse table (`regexlookup`/
     /// `regexset`), e.g. repeated author-URL parsing (Figure 13).
     pub fn match_with_reuse(&mut self, pc: u64, re: &Regex, subject: &PhpStr) -> Option<usize> {
-        if self.is_specialized() {
+        if self.use_accel(AccelId::Regex) {
             let run = run_with_reuse(re, pc, 1, subject.as_bytes(), &mut self.core.reuse);
             self.dispatch("regexlookup", Category::Regex);
             self.charge_regex(
@@ -1053,6 +1183,92 @@ mod tests {
         spec.end_request();
         let live = spec.ctx().with_allocator(|a| a.live_block_count());
         assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn disabled_domains_degrade_to_software_with_identical_results() {
+        let mut base = PhpMachine::baseline();
+        let mut spec = PhpMachine::specialized();
+        for id in AccelId::ALL {
+            spec.set_accel_enabled(id, false);
+            assert!(!spec.accel_enabled(id));
+        }
+        let s = PhpStr::from("  Mixed <b>Case</b> Content  ");
+        for m in [&mut base, &mut spec] {
+            let mut a = m.new_array();
+            m.array_set(&mut a, ArrayKey::from("k"), PhpValue::from(1i64));
+            assert!(m.array_get(&a, &ArrayKey::from("k")).is_some());
+            assert_eq!(
+                m.strtolower(&s).as_bytes(),
+                s.to_string_lossy().to_lowercase().as_bytes()
+            );
+            let b = m.alloc(48);
+            m.free(b);
+        }
+        // No hardware traffic on the disabled machine.
+        assert_eq!(spec.core().htable.stats().gets, 0);
+        assert_eq!(spec.core().heap.stats().mallocs, 0);
+        assert_eq!(spec.core().straccel.stats().ops, 0);
+    }
+
+    #[test]
+    fn string_config_fault_falls_back_once_then_self_heals() {
+        let mut spec = PhpMachine::specialized();
+        let s = PhpStr::from("AbC");
+        spec.core_mut().straccel.inject_config_fault();
+        let out = spec.strtolower(&s);
+        assert_eq!(out.as_bytes(), b"abc", "software fallback is correct");
+        assert_eq!(spec.detected_fault_counts()[AccelId::Str.index()], 1);
+        // Next op runs accelerated again.
+        let before = spec.core().straccel.stats().ops;
+        spec.strtolower(&s);
+        assert!(spec.core().straccel.stats().ops > before);
+    }
+
+    #[test]
+    fn hv_flip_detected_and_texturize_output_unchanged() {
+        let rules = vec![
+            (Regex::new("'").unwrap(), b"&#8217;".to_vec()),
+            (Regex::new("\"").unwrap(), b"&#8221;".to_vec()),
+        ];
+        let content = PhpStr::from(
+            "It's a \"plain\" day with much clean trailing text that shadows would skip \
+             and even more filler text to make several clean segments here",
+        );
+        let mut clean = PhpMachine::specialized();
+        let expect = clean.texturize(&content, &rules);
+        let mut faulty = PhpMachine::specialized();
+        faulty.arm_hv_flip(3);
+        let got = faulty.texturize(&content, &rules);
+        assert_eq!(expect.as_bytes(), got.as_bytes());
+        assert_eq!(faulty.injected_fault_counts()[AccelId::Regex.index()], 1);
+        assert_eq!(faulty.detected_fault_counts()[AccelId::Regex.index()], 1);
+    }
+
+    #[test]
+    fn recover_request_restores_software_truth() {
+        let mut spec = PhpMachine::specialized();
+        let mut a = spec.new_array();
+        for i in 0..20 {
+            spec.array_set(
+                &mut a,
+                ArrayKey::from(format!("k{i}")),
+                PhpValue::from(i as i64),
+            );
+        }
+        let b = spec.alloc(64);
+        spec.free(b); // hardware free list holds a segment
+        spec.core_mut().htable.inject_entry_fault(0);
+        spec.recover_request();
+        // All scoped blocks freed, hardware lists drained, table empty.
+        assert_eq!(spec.ctx().with_allocator(|al| al.live_block_count()), 0);
+        assert!(spec.core().heap.occupancy().iter().all(|&n| n == 0));
+        let out = spec.core_mut().htable.foreach(u64::MAX); // arbitrary base: nothing live
+        assert!(out.live_pairs.is_empty());
+        // A fresh request works normally afterwards.
+        let mut a2 = spec.new_array();
+        spec.array_set(&mut a2, ArrayKey::from("x"), PhpValue::from(9i64));
+        assert!(spec.array_get(&a2, &ArrayKey::from("x")).is_some());
     }
 
     #[test]

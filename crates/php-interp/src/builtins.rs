@@ -80,6 +80,12 @@ pub fn call(
         "str_repeat" => {
             let s = str_arg(&args, 0);
             let n = arg(&args, 1).to_int().max(0) as usize;
+            // A script-controlled count must not be able to abort the
+            // process on a giant allocation.
+            const MAX_REPEAT_BYTES: usize = 64 << 20;
+            if s.as_bytes().len().saturating_mul(n) > MAX_REPEAT_BYTES {
+                return Err(RuntimeError::new("str_repeat result too large"));
+            }
             Ok(PhpValue::str(m.ctx().strlib().str_repeat(&s, n)))
         }
         "sprintf" => {
@@ -243,7 +249,8 @@ pub fn call(
             let v = arg(&args, 0);
             Ok(match v {
                 PhpValue::Float(f) => PhpValue::Float(f.abs()),
-                other => PhpValue::Int(other.to_int().abs()),
+                // wrapping_abs: plain `abs` overflows on i64::MIN.
+                other => PhpValue::Int(other.to_int().wrapping_abs()),
             })
         }
         "max" => {
@@ -355,6 +362,24 @@ mod tests {
         let mut m = PhpMachine::baseline();
         let mut i = Interp::new(&mut m);
         assert!(i.run("frobnicate(1);").is_err());
+    }
+
+    #[test]
+    fn abs_of_int_min_does_not_panic() {
+        assert_eq!(
+            eval_expr("abs(-9223372036854775807 - 1)"),
+            "-9223372036854775808"
+        );
+    }
+
+    #[test]
+    fn huge_str_repeat_errors_instead_of_aborting() {
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        let err = i
+            .run("echo str_repeat('aaaaaaaa', 9000000000);")
+            .expect_err("must refuse the allocation");
+        assert!(err.message.contains("too large"), "{err}");
     }
 }
 

@@ -21,19 +21,45 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 
+/// What class of failure a [`RuntimeError`] represents. The serving layer's
+/// sandbox maps each kind to a different request outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Ordinary evaluation failure (PHP fatal error).
+    Fatal,
+    /// The request's execution budget — step fuel or µop deadline — ran out.
+    Timeout,
+}
+
 /// Runtime error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeError {
     /// Message.
     pub message: String,
+    /// Failure class.
+    pub kind: ErrorKind,
 }
 
 impl RuntimeError {
-    /// Creates an error.
+    /// Creates an ordinary (fatal) error.
     pub fn new(message: impl Into<String>) -> Self {
         RuntimeError {
             message: message.into(),
+            kind: ErrorKind::Fatal,
         }
+    }
+
+    /// Creates a budget-exhaustion error.
+    pub fn timeout(message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+            kind: ErrorKind::Timeout,
+        }
+    }
+
+    /// Whether this error is a budget exhaustion rather than a PHP fatal.
+    pub fn is_timeout(&self) -> bool {
+        self.kind == ErrorKind::Timeout
     }
 }
 
@@ -303,7 +329,17 @@ impl<'m> Interp<'m> {
         }
     }
 
+    /// Charges one interpreter step against the armed execution budget.
+    fn fuel_step(&mut self) -> Result<(), RuntimeError> {
+        if self.machine.ctx().consume_fuel(1) {
+            Ok(())
+        } else {
+            Err(RuntimeError::timeout("maximum execution budget exceeded"))
+        }
+    }
+
     fn stmt(&mut self, s: &Stmt) -> Result<Flow, RuntimeError> {
+        self.fuel_step()?;
         self.machine.ctx().charge_jit(NODE_UOPS * 2);
         match s {
             Stmt::Expr(e) => {
@@ -522,6 +558,7 @@ impl<'m> Interp<'m> {
     }
 
     fn expr(&mut self, e: &Expr) -> Result<PhpValue, RuntimeError> {
+        self.fuel_step()?;
         self.machine.ctx().charge_jit(NODE_UOPS);
         match e {
             Expr::Null => Ok(PhpValue::Null),
@@ -968,6 +1005,45 @@ mod tests {
         let mut m = PhpMachine::baseline();
         let mut i = Interp::new(&mut m);
         assert!(i.run("function f($n) { return f($n + 1); } f(0);").is_err());
+    }
+
+    #[test]
+    fn fuel_exhaustion_yields_timeout_error() {
+        let mut m = PhpMachine::baseline();
+        m.ctx().set_fuel(Some(50));
+        let mut i = Interp::new(&mut m);
+        let err = i
+            .run("$s = 0; while (true) { $s = $s + 1; }")
+            .expect_err("must run out of fuel");
+        assert!(err.is_timeout(), "{err}");
+        assert_eq!(err.kind, ErrorKind::Timeout);
+    }
+
+    #[test]
+    fn uop_deadline_yields_timeout_error() {
+        let mut m = PhpMachine::baseline();
+        m.ctx().set_uop_deadline(Some(2_000));
+        let mut i = Interp::new(&mut m);
+        let err = i
+            .run("$s = ''; while (true) { $s = $s . 'x'; }")
+            .expect_err("must hit the deadline");
+        assert!(err.is_timeout(), "{err}");
+    }
+
+    #[test]
+    fn unmetered_run_is_unaffected() {
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        i.run("$s = 0; for ($i = 0; $i < 100; $i++) { $s += $i; } echo $s;")
+            .unwrap();
+        assert_eq!(i.output(), b"4950");
+    }
+
+    #[test]
+    fn fatal_errors_are_not_timeouts() {
+        let err = RuntimeError::new("boom");
+        assert!(!err.is_timeout());
+        assert_eq!(err.kind, ErrorKind::Fatal);
     }
 }
 

@@ -287,19 +287,22 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 i = j;
             }
             _ => {
-                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                // Compare raw bytes, not a `str` slice: `i + 2` may fall
+                // inside a multi-byte UTF-8 character and slicing would
+                // panic on arbitrary input.
+                let two = (c, b.get(i + 1).copied());
                 let (p, adv) = match two {
-                    "==" => (Punct::Eq, 2),
-                    "!=" => (Punct::Ne, 2),
-                    "<=" => (Punct::Le, 2),
-                    ">=" => (Punct::Ge, 2),
-                    "&&" => (Punct::AndAnd, 2),
-                    "||" => (Punct::OrOr, 2),
-                    "=>" => (Punct::FatArrow, 2),
-                    ".=" => (Punct::DotAssign, 2),
-                    "+=" => (Punct::PlusAssign, 2),
-                    "++" => (Punct::Incr, 2),
-                    "--" => (Punct::Decr, 2),
+                    (b'=', Some(b'=')) => (Punct::Eq, 2),
+                    (b'!', Some(b'=')) => (Punct::Ne, 2),
+                    (b'<', Some(b'=')) => (Punct::Le, 2),
+                    (b'>', Some(b'=')) => (Punct::Ge, 2),
+                    (b'&', Some(b'&')) => (Punct::AndAnd, 2),
+                    (b'|', Some(b'|')) => (Punct::OrOr, 2),
+                    (b'=', Some(b'>')) => (Punct::FatArrow, 2),
+                    (b'.', Some(b'=')) => (Punct::DotAssign, 2),
+                    (b'+', Some(b'=')) => (Punct::PlusAssign, 2),
+                    (b'+', Some(b'+')) => (Punct::Incr, 2),
+                    (b'-', Some(b'-')) => (Punct::Decr, 2),
                     _ => {
                         let p = match c {
                             b'(' => Punct::LParen,
@@ -343,6 +346,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multibyte_utf8_errors_instead_of_panicking() {
+        // `€` is a 3-byte character: the old two-char `str` slice landed
+        // mid-character and panicked. Bare multibyte input must lex-error.
+        assert!(lex("€").is_err());
+        assert!(lex("a €").is_err());
+        // Inside string literals multibyte bytes are carried through.
+        assert!(lex("$x = '€ ok';").is_ok());
+    }
 
     #[test]
     fn lexes_assignment() {

@@ -28,6 +28,6 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{BinOp, Expr, FuncDef, Program, Stmt};
-pub use eval::{Interp, RuntimeError};
+pub use eval::{ErrorKind, Interp, RuntimeError};
 pub use facts::{AnalysisFacts, KeyShape, NodeId};
 pub use parser::{parse, ParseError};

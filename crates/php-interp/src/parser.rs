@@ -37,7 +37,11 @@ impl From<LexError> for ParseError {
 /// Returns [`ParseError`] on malformed input.
 pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut stmts = Vec::new();
     while !p.at_end() {
         stmts.push(p.stmt()?);
@@ -45,9 +49,14 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     Ok(Program { stmts })
 }
 
+/// Maximum grammar-recursion depth. Without a cap, deeply nested input like
+/// `((((…1…))))` overflows the native stack — an abort no caller can catch.
+const MAX_PARSE_DEPTH: usize = 200;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -56,6 +65,20 @@ impl Parser {
             message: message.into(),
             at: self.pos,
         }
+    }
+
+    /// Runs one grammar-recursion step under the depth cap.
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
     }
 
     fn at_end(&self) -> bool {
@@ -113,6 +136,10 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.descend(Self::stmt_inner)
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek() {
             Some(Token::Kw(Kw::Function)) => {
                 self.bump();
@@ -359,6 +386,10 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.descend(Self::expr_inner)
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, ParseError> {
         let cond = self.or_expr()?;
         if self.eat_punct(Punct::Question) {
             let then = if self.eat_punct(Punct::Colon) {
@@ -468,13 +499,17 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
-        if self.eat_punct(Punct::Not) {
-            return Ok(Expr::Not(Box::new(self.unary_expr()?)));
-        }
-        if self.eat_punct(Punct::Minus) {
-            return Ok(Expr::Neg(Box::new(self.unary_expr()?)));
-        }
-        self.postfix_expr()
+        // Self-recursive (`!!!…`, `---…`) without passing through `expr`,
+        // so it needs its own depth accounting.
+        self.descend(|p| {
+            if p.eat_punct(Punct::Not) {
+                return Ok(Expr::Not(Box::new(p.unary_expr()?)));
+            }
+            if p.eat_punct(Punct::Minus) {
+                return Ok(Expr::Neg(Box::new(p.unary_expr()?)));
+            }
+            p.postfix_expr()
+        })
     }
 
     fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
@@ -547,6 +582,30 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = format!("echo {}1{};", "(".repeat(5_000), ")".repeat(5_000));
+        let err = parse(&deep).expect_err("must hit the depth cap");
+        assert!(err.message.contains("nesting too deep"), "{err}");
+        // Unary chains recurse without passing through `expr`.
+        assert!(parse(&format!("echo {}1;", "!".repeat(5_000))).is_err());
+        assert!(parse(&format!("echo {}1;", "-".repeat(5_000))).is_err());
+        // Deep *blocks* recurse through `stmt`.
+        let blocks = format!(
+            "if (1) {} echo 1; {}",
+            "{ ".repeat(5_000),
+            "}".repeat(5_000)
+        );
+        assert!(parse(&blocks).is_err());
+    }
+
+    #[test]
+    fn reasonable_nesting_still_parses() {
+        let ok = format!("echo {}1{};", "(".repeat(50), ")".repeat(50));
+        assert!(parse(&ok).is_ok());
+        assert!(parse("echo !!!!!true;").is_ok());
+    }
 
     #[test]
     fn parses_assignment_and_echo() {

@@ -153,6 +153,9 @@ pub struct SlabAllocator {
     timeline_interval: u64,
     tick: u64,
     total_live: u64,
+    /// Per-request memory ceiling (the `memory_limit` ini analogue). `None`
+    /// means unlimited.
+    memory_limit: Option<u64>,
 }
 
 impl std::fmt::Debug for SlabAllocator {
@@ -198,6 +201,33 @@ impl SlabAllocator {
             timeline_interval: 64,
             tick: 0,
             total_live: 0,
+            memory_limit: None,
+        }
+    }
+
+    /// Sets the per-request memory ceiling (`None` = unlimited). When an
+    /// allocation would push live bytes past the ceiling, [`malloc`] panics
+    /// with an "Allowed memory size ... exhausted" message the request
+    /// sandbox catches and converts into an OOM outcome.
+    ///
+    /// [`malloc`]: SlabAllocator::malloc
+    pub fn set_memory_limit(&mut self, limit: Option<u64>) {
+        self.memory_limit = limit;
+    }
+
+    /// The configured memory ceiling, if any.
+    pub fn memory_limit(&self) -> Option<u64> {
+        self.memory_limit
+    }
+
+    fn check_memory_limit(&self, incoming: usize) {
+        if let Some(limit) = self.memory_limit {
+            if self.total_live + incoming as u64 > limit {
+                panic!(
+                    "Allowed memory size of {limit} bytes exhausted \
+                     (tried to allocate {incoming} bytes)"
+                );
+            }
         }
     }
 
@@ -224,6 +254,7 @@ impl SlabAllocator {
     /// simulated block. Zero-size requests are rounded up to 1 byte.
     pub fn malloc(&mut self, size: usize, prof: &Profiler) -> Block {
         let size = size.max(1);
+        self.check_memory_limit(size);
         self.tick += 1;
         self.stats.mallocs += 1;
         let bin = (size / SMALL_CLASS_GRANULARITY).min(256);
@@ -359,6 +390,7 @@ impl SlabAllocator {
     /// stays correct (the hardware manager serves the request, but the block
     /// is logically part of the heap).
     pub fn note_hardware_alloc(&mut self, ci: usize, addr: u64, size: usize) {
+        self.check_memory_limit(size);
         self.tick += 1;
         let bin = (size / SMALL_CLASS_GRANULARITY).min(256);
         self.stats.size_histogram[bin] += 1;
@@ -475,6 +507,27 @@ mod tests {
         let b = a.malloc(16, &p);
         a.free(b, &p);
         a.free(b, &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "Allowed memory size")]
+    fn memory_limit_exceeded_panics() {
+        let mut a = SlabAllocator::new();
+        let p = prof();
+        a.set_memory_limit(Some(64));
+        let _ = a.malloc(32, &p);
+        let _ = a.malloc(64, &p); // 32 (rounded) + 64 > 64 → OOM
+    }
+
+    #[test]
+    fn memory_limit_cleared_allows_allocation() {
+        let mut a = SlabAllocator::new();
+        let p = prof();
+        a.set_memory_limit(Some(16));
+        a.set_memory_limit(None);
+        let b = a.malloc(4096, &p);
+        a.free(b, &p);
+        assert_eq!(a.live_bytes(), 0);
     }
 
     #[test]

@@ -67,6 +67,8 @@ pub struct RuntimeContext {
     record_hash_events: Cell<bool>,
     get_count: Cell<u64>,
     set_count: Cell<u64>,
+    fuel: Cell<Option<u64>>,
+    uop_deadline: Cell<Option<u64>>,
 }
 
 impl Default for RuntimeContext {
@@ -88,7 +90,54 @@ impl RuntimeContext {
             record_hash_events: Cell::new(false),
             get_count: Cell::new(0),
             set_count: Cell::new(0),
+            fuel: Cell::new(None),
+            uop_deadline: Cell::new(None),
         }
+    }
+
+    // -- execution budget ----------------------------------------------------
+
+    /// Arms (or with `None`, disarms) the step-count fuel budget. Each
+    /// interpreter step consumes one unit via
+    /// [`RuntimeContext::consume_fuel`]; exhaustion makes that call report
+    /// `false` so callers can abort the request cleanly.
+    pub fn set_fuel(&self, fuel: Option<u64>) {
+        self.fuel.set(fuel);
+    }
+
+    /// Remaining fuel, or `None` when unmetered.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel.get()
+    }
+
+    /// Arms (or disarms) the wall-clock-equivalent deadline, expressed as a
+    /// ceiling on the profiler's cumulative µop count.
+    pub fn set_uop_deadline(&self, deadline: Option<u64>) {
+        self.uop_deadline.set(deadline);
+    }
+
+    /// The armed µop deadline, if any.
+    pub fn uop_deadline(&self) -> Option<u64> {
+        self.uop_deadline.get()
+    }
+
+    /// Consumes `n` units of fuel. Returns `false` once the fuel budget is
+    /// exhausted or the µop deadline has passed — the caller must then stop
+    /// executing. With no budget armed this always returns `true`.
+    pub fn consume_fuel(&self, n: u64) -> bool {
+        if let Some(f) = self.fuel.get() {
+            if f < n {
+                self.fuel.set(Some(0));
+                return false;
+            }
+            self.fuel.set(Some(f - n));
+        }
+        if let Some(deadline) = self.uop_deadline.get() {
+            if self.profiler.total_uops() >= deadline {
+                return false;
+            }
+        }
+        true
     }
 
     /// The profiler.
@@ -440,6 +489,31 @@ mod tests {
         let b = ctx.new_array();
         assert_ne!(a.base_addr(), 0);
         assert_ne!(a.base_addr(), b.base_addr());
+    }
+
+    #[test]
+    fn fuel_budget_exhausts() {
+        let ctx = RuntimeContext::new();
+        assert!(ctx.consume_fuel(1_000_000), "unmetered by default");
+        ctx.set_fuel(Some(3));
+        assert!(ctx.consume_fuel(2));
+        assert_eq!(ctx.fuel_remaining(), Some(1));
+        assert!(!ctx.consume_fuel(2), "over budget");
+        assert_eq!(ctx.fuel_remaining(), Some(0));
+        assert!(!ctx.consume_fuel(1), "stays exhausted");
+        ctx.set_fuel(None);
+        assert!(ctx.consume_fuel(1), "disarmed");
+    }
+
+    #[test]
+    fn uop_deadline_trips_after_charges() {
+        let ctx = RuntimeContext::new();
+        ctx.set_uop_deadline(Some(10));
+        assert!(ctx.consume_fuel(1));
+        ctx.charge_jit(50);
+        assert!(!ctx.consume_fuel(1), "deadline passed");
+        ctx.set_uop_deadline(None);
+        assert!(ctx.consume_fuel(1), "disarmed");
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Per-accelerator circuit breakers.
+//!
+//! Time is the *request index*, which keeps the whole robustness layer
+//! deterministic: a breaker trips after `fault_threshold` detected faults
+//! within a `window`-request sliding window, stays open (domain degraded to
+//! software) for an exponentially growing backoff, then admits one
+//! half-open trial request. A clean trial closes the breaker; a faulty one
+//! re-opens it with doubled backoff.
+
+use std::collections::VecDeque;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Detected faults within `window` that trip the breaker.
+    pub fault_threshold: u64,
+    /// Sliding-window length in requests.
+    pub window: u64,
+    /// Requests the breaker stays open after its first trip.
+    pub base_backoff: u64,
+    /// Backoff ceiling (exponential growth stops here).
+    pub max_backoff: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            fault_threshold: 3,
+            window: 50,
+            base_backoff: 8,
+            max_backoff: 128,
+        }
+    }
+}
+
+/// Breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Hardware path in use; faults are being counted.
+    Closed,
+    /// Domain degraded to software until the given request index.
+    Open {
+        /// First request index at which a half-open trial is admitted.
+        until: u64,
+    },
+    /// A trial request is running on the hardware path.
+    HalfOpen,
+}
+
+/// A deterministic, request-indexed circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Request indexes of recently detected faults.
+    marks: VecDeque<u64>,
+    /// Consecutive trips without an intervening recovery (backoff exponent).
+    streak: u32,
+    /// Request index of the most recent trip.
+    last_trip_at: Option<u64>,
+    /// Total trips.
+    pub trips: u64,
+    /// Total recoveries (half-open trial succeeded).
+    pub recoveries: u64,
+    /// Request-index latency of the most recent recovery (trip → closed).
+    pub last_recovery_latency: Option<u64>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            marks: VecDeque::new(),
+            streak: 0,
+            last_trip_at: None,
+            trips: 0,
+            recoveries: 0,
+            last_recovery_latency: None,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the hardware path is admitted for the request at index
+    /// `now`. An open breaker whose backoff has elapsed transitions to
+    /// half-open and admits this request as the trial.
+    pub fn allows(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records `n` detected faults observed while serving request `now`.
+    pub fn record_faults(&mut self, now: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.state {
+            BreakerState::Closed => {
+                for _ in 0..n {
+                    self.marks.push_back(now);
+                }
+                while let Some(&front) = self.marks.front() {
+                    if front + self.cfg.window <= now {
+                        self.marks.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if self.marks.len() as u64 >= self.cfg.fault_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Trial failed: re-open with doubled backoff.
+                self.trip(now);
+            }
+            BreakerState::Open { .. } => {
+                // Degraded already; software path faults are impossible,
+                // but late counters are ignored rather than double-tripping.
+            }
+        }
+    }
+
+    /// Records a fault-free completion of request `now`. Only meaningful in
+    /// half-open state, where it closes the breaker (recovery).
+    pub fn record_success(&mut self, now: u64) {
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.marks.clear();
+            self.streak = 0;
+            self.recoveries += 1;
+            self.last_recovery_latency = self.last_trip_at.map(|t| now.saturating_sub(t));
+        }
+    }
+
+    fn trip(&mut self, now: u64) {
+        let backoff = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u64 << self.streak.min(32))
+            .min(self.cfg.max_backoff);
+        self.state = BreakerState::Open {
+            until: now + backoff,
+        };
+        self.streak = self.streak.saturating_add(1);
+        self.trips += 1;
+        self.last_trip_at = Some(now);
+        self.marks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            fault_threshold: 3,
+            window: 10,
+            base_backoff: 4,
+            max_backoff: 16,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_in_window() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert!(b.allows(0));
+        b.record_faults(0, 1);
+        b.record_faults(1, 1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_faults(2, 1);
+        assert_eq!(b.state(), BreakerState::Open { until: 6 });
+        assert!(!b.allows(3));
+        assert_eq!(b.trips, 1);
+    }
+
+    #[test]
+    fn stale_faults_age_out_of_window() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_faults(0, 2);
+        // 10 requests later the two old marks have aged out.
+        b.record_faults(10, 1);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_recovery_closes() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_faults(5, 3); // trip at 5, open until 9
+        assert!(!b.allows(8));
+        assert!(b.allows(9), "half-open trial admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(9);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+        assert_eq!(b.last_recovery_latency, Some(4));
+        // Streak reset: next trip uses base backoff again.
+        b.record_faults(20, 3);
+        assert_eq!(b.state(), BreakerState::Open { until: 24 });
+    }
+
+    #[test]
+    fn failed_trial_doubles_backoff_up_to_cap() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_faults(0, 3); // open until 4 (backoff 4)
+        assert!(b.allows(4));
+        b.record_faults(4, 1); // trial fails: backoff 8
+        assert_eq!(b.state(), BreakerState::Open { until: 12 });
+        assert!(b.allows(12));
+        b.record_faults(12, 1); // backoff 16 (cap)
+        assert_eq!(b.state(), BreakerState::Open { until: 28 });
+        assert!(b.allows(28));
+        b.record_faults(28, 1); // capped at 16
+        assert_eq!(b.state(), BreakerState::Open { until: 44 });
+        assert_eq!(b.trips, 4);
+    }
+
+    #[test]
+    fn success_while_closed_is_a_no_op() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record_success(3);
+        assert_eq!(b.recoveries, 0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] schedules faults against specific request indexes, so a
+//! soak run with a given seed is exactly reproducible. The faults model the
+//! hardware failure modes each accelerator is built to detect (§4.2 parity
+//! on hash-table entries and RTT back-pointers, §4.3 free-list node
+//! corruption, §4.4 config-register parity, §4.5/§4.6 hint-vector and
+//! reuse-entry bit flips) plus resource exhaustion in the allocator.
+
+use phpaccel_core::AccelId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Corrupt the nth live hardware hash-table entry.
+    HtableEntry {
+        /// Index into the table's live entries.
+        nth: usize,
+    },
+    /// Corrupt the nth reverse-translation-table back-pointer.
+    HtableRtt {
+        /// Index into the RTT.
+        nth: usize,
+    },
+    /// Poison the nth node across the heap manager's free lists.
+    HeapFreelist {
+        /// Index across the free lists.
+        nth: usize,
+    },
+    /// Flip a bit in the string accelerator's config registers.
+    StringConfig,
+    /// Corrupt the nth content-reuse-table entry.
+    RegexReuse {
+        /// Index into the reuse table.
+        nth: usize,
+    },
+    /// Flip one bit of the next texturize hint vector.
+    RegexHvFlip {
+        /// Bit position to flip.
+        bit: usize,
+    },
+    /// Clamp the allocator's memory ceiling so the request OOMs.
+    AllocatorOom,
+}
+
+impl FaultKind {
+    /// The accelerator domain this fault lands in, or `None` for faults
+    /// outside the accelerators (allocator exhaustion).
+    pub fn domain(self) -> Option<AccelId> {
+        match self {
+            FaultKind::HtableEntry { .. } | FaultKind::HtableRtt { .. } => Some(AccelId::Htable),
+            FaultKind::HeapFreelist { .. } => Some(AccelId::Heap),
+            FaultKind::StringConfig => Some(AccelId::Str),
+            FaultKind::RegexReuse { .. } | FaultKind::RegexHvFlip { .. } => Some(AccelId::Regex),
+            FaultKind::AllocatorOom => None,
+        }
+    }
+}
+
+/// A fault scheduled for a particular request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Request index at which the fault is injected (before the request runs).
+    pub at_request: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// An ordered schedule of faults, consumed as the request stream advances.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Builds a plan from an explicit list (sorted by request index).
+    pub fn new(mut faults: Vec<PlannedFault>) -> Self {
+        faults.sort_by_key(|f| f.at_request);
+        FaultPlan { faults, cursor: 0 }
+    }
+
+    /// Builds a seeded plan hitting every accelerator domain: `per_domain`
+    /// faults per domain, spread over requests `[burn_in, horizon)`. The
+    /// same seed always yields the same plan.
+    pub fn seeded(seed: u64, per_domain: usize, burn_in: u64, horizon: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let span = horizon.saturating_sub(burn_in).max(1);
+        let mut faults = Vec::new();
+        let at = |rng: &mut StdRng| burn_in + rng.gen_range(0..span);
+        for _ in 0..per_domain {
+            let kinds = [
+                if rng.gen_bool(0.5) {
+                    FaultKind::HtableEntry {
+                        nth: rng.gen_range(0..8),
+                    }
+                } else {
+                    FaultKind::HtableRtt {
+                        nth: rng.gen_range(0..8),
+                    }
+                },
+                FaultKind::HeapFreelist {
+                    nth: rng.gen_range(0..4),
+                },
+                FaultKind::StringConfig,
+                if rng.gen_bool(0.5) {
+                    FaultKind::RegexReuse {
+                        nth: rng.gen_range(0..4),
+                    }
+                } else {
+                    FaultKind::RegexHvFlip {
+                        bit: rng.gen_range(0..32),
+                    }
+                },
+            ];
+            for kind in kinds {
+                faults.push(PlannedFault {
+                    at_request: at(&mut rng),
+                    kind,
+                });
+            }
+        }
+        FaultPlan::new(faults)
+    }
+
+    /// Every scheduled fault (injected or not).
+    pub fn all(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// Removes and returns the faults due at request `req`. Faults scheduled
+    /// for earlier, already-passed requests are also drained (and returned)
+    /// so a sparse request stream cannot strand them.
+    pub fn take_due(&mut self, req: u64) -> Vec<PlannedFault> {
+        let start = self.cursor;
+        while self.cursor < self.faults.len() && self.faults[self.cursor].at_request <= req {
+            self.cursor += 1;
+        }
+        self.faults[start..self.cursor].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_faults_drain_in_order() {
+        let mut plan = FaultPlan::new(vec![
+            PlannedFault {
+                at_request: 7,
+                kind: FaultKind::StringConfig,
+            },
+            PlannedFault {
+                at_request: 3,
+                kind: FaultKind::AllocatorOom,
+            },
+        ]);
+        assert!(plan.take_due(2).is_empty());
+        let due = plan.take_due(5);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::AllocatorOom);
+        let due = plan.take_due(7);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, FaultKind::StringConfig);
+        assert!(plan.take_due(100).is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_cover_all_domains() {
+        let a = FaultPlan::seeded(42, 2, 10, 100);
+        let b = FaultPlan::seeded(42, 2, 10, 100);
+        assert_eq!(a.all(), b.all());
+        assert_eq!(a.all().len(), 8);
+        for id in AccelId::ALL {
+            assert!(
+                a.all().iter().any(|f| f.kind.domain() == Some(id)),
+                "domain {} uncovered",
+                id.name()
+            );
+        }
+        for f in a.all() {
+            assert!((10..100).contains(&f.at_request));
+        }
+        let c = FaultPlan::seeded(43, 2, 10, 100);
+        assert_ne!(a.all(), c.all(), "different seeds should differ");
+    }
+}

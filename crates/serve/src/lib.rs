@@ -1,0 +1,31 @@
+//! Fault-tolerant request serving.
+//!
+//! This crate wraps a [`phpaccel_core::PhpMachine`] in the robustness layer
+//! a production server needs around accelerated PHP processing:
+//!
+//! * **Sandboxing** ([`sandbox`]): per-request step fuel, a µop deadline,
+//!   and a memory ceiling; panics are caught, classified
+//!   ([`RequestOutcome`]), and followed by full machine recovery.
+//! * **Fault injection** ([`fault`]): deterministic, seeded schedules of
+//!   the hardware failure modes the accelerators detect — hash-table
+//!   entry/RTT corruption (§4.2), heap free-list poisoning (§4.3), string
+//!   config-register faults (§4.4), regexp reuse-entry and hint-vector bit
+//!   flips (§4.5/§4.6) — plus allocator exhaustion.
+//! * **Circuit breakers** ([`breaker`]): per-accelerator trip/backoff/
+//!   half-open state machines keyed on the request index, so a faulting
+//!   unit degrades to the software path and is retried later.
+//! * **The server loop** ([`server`]): ties the above together and can
+//!   byte-compare every successful response against an all-software
+//!   reference machine, making the degradation guarantee testable.
+
+pub mod breaker;
+pub mod fault;
+pub mod outcome;
+pub mod sandbox;
+pub mod server;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use fault::{FaultKind, FaultPlan, PlannedFault};
+pub use outcome::{classify_panic, RequestOutcome};
+pub use sandbox::{run_sandboxed, SandboxConfig};
+pub use server::{RequestRecord, ServeStats, Server};

@@ -1,0 +1,413 @@
+//! The fault-tolerant request server.
+//!
+//! [`Server`] ties the robustness layer together: before each request it
+//! injects any scheduled faults, consults the four per-accelerator circuit
+//! breakers to decide hardware vs. software paths, runs the handler inside
+//! the sandbox, and feeds detected-fault deltas back into the breakers.
+//! Optionally it replays every successful request against an all-software
+//! reference machine and checks the response bytes are identical — the
+//! degradation guarantee made measurable.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::outcome::RequestOutcome;
+use crate::sandbox::{run_sandboxed, SandboxConfig};
+use phpaccel_core::{AccelId, PhpMachine};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Heap ceiling used to realize [`FaultKind::AllocatorOom`]: low enough that
+/// any real request trips it, high enough that the sandbox's own bookkeeping
+/// does not.
+const OOM_CLAMP_BYTES: u64 = 512;
+
+/// Aggregate serving statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests served (any outcome).
+    pub requests: u64,
+    /// Requests that completed normally.
+    pub ok: u64,
+    /// Requests killed by the execution budget.
+    pub timeouts: u64,
+    /// Requests killed by the memory ceiling.
+    pub ooms: u64,
+    /// Requests that panicked for other reasons.
+    pub panics: u64,
+    /// Requests served with the given domain degraded to software.
+    pub degraded_requests: [u64; 4],
+    /// Successful responses whose bytes differed from the all-software
+    /// reference (must stay 0).
+    pub mismatches: u64,
+}
+
+impl ServeStats {
+    /// Fraction of requests that produced a response (non-5xx), in [0, 1].
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.requests as f64
+        }
+    }
+}
+
+/// What happened to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request index.
+    pub request: u64,
+    /// How the sandbox classified the exit.
+    pub outcome: RequestOutcome,
+    /// Response bytes (empty on abnormal outcomes).
+    pub response: Vec<u8>,
+    /// Domains that ran on the software path for this request.
+    pub degraded: [bool; 4],
+    /// Detected-fault delta per domain during this request.
+    pub fault_delta: [u64; 4],
+}
+
+/// A single-machine request server with sandboxing, fault injection,
+/// circuit breaking, and optional byte-identity checking.
+pub struct Server {
+    machine: PhpMachine,
+    /// All-software reference replaying successful requests, if checking.
+    reference: Option<PhpMachine>,
+    breakers: [CircuitBreaker; 4],
+    plan: FaultPlan,
+    sandbox: SandboxConfig,
+    stats: ServeStats,
+    next_request: u64,
+}
+
+impl Server {
+    /// Creates a server around `machine`.
+    pub fn new(machine: PhpMachine, breaker_cfg: BreakerConfig, sandbox: SandboxConfig) -> Self {
+        Server {
+            machine,
+            reference: None,
+            breakers: std::array::from_fn(|_| CircuitBreaker::new(breaker_cfg)),
+            plan: FaultPlan::default(),
+            sandbox,
+            stats: ServeStats::default(),
+            next_request: 0,
+        }
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replays each successful request on `reference` (normally
+    /// [`PhpMachine::baseline`]) and counts byte mismatches. Only valid for
+    /// handlers that are deterministic given `(machine, request index)`.
+    pub fn with_reference(mut self, reference: PhpMachine) -> Self {
+        self.reference = Some(reference);
+        self
+    }
+
+    /// The machine under test.
+    pub fn machine(&self) -> &PhpMachine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine under test (setup/teardown).
+    pub fn machine_mut(&mut self) -> &mut PhpMachine {
+        &mut self.machine
+    }
+
+    /// One domain's breaker.
+    pub fn breaker(&self, id: AccelId) -> &CircuitBreaker {
+        &self.breakers[id.index()]
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    fn inject(&mut self, kind: FaultKind) -> bool {
+        let core = self.machine.core_mut();
+        match kind {
+            FaultKind::HtableEntry { nth } => core.htable.inject_entry_fault(nth),
+            FaultKind::HtableRtt { nth } => core.htable.inject_rtt_fault(nth),
+            FaultKind::HeapFreelist { nth } => core.heap.inject_freelist_fault(nth),
+            FaultKind::StringConfig => {
+                core.straccel.inject_config_fault();
+                true
+            }
+            FaultKind::RegexReuse { nth } => core.reuse.inject_entry_fault(nth),
+            FaultKind::RegexHvFlip { bit } => {
+                self.machine.arm_hv_flip(bit);
+                true
+            }
+            FaultKind::AllocatorOom => true, // realized as a sandbox ceiling below
+        }
+    }
+
+    /// Serves one request: injects due faults, applies breaker decisions,
+    /// runs `handler` in the sandbox, feeds fault deltas back into the
+    /// breakers, and (if configured) byte-compares against the reference.
+    pub fn serve(
+        &mut self,
+        handler: &mut dyn FnMut(&mut PhpMachine, u64) -> Vec<u8>,
+    ) -> RequestRecord {
+        let req = self.next_request;
+        self.next_request += 1;
+
+        let mut force_oom = false;
+        for fault in self.plan.take_due(req) {
+            if fault.kind == FaultKind::AllocatorOom {
+                force_oom = true;
+            }
+            self.inject(fault.kind);
+        }
+
+        let mut degraded = [false; 4];
+        for id in AccelId::ALL {
+            let allowed = self.breakers[id.index()].allows(req);
+            self.machine.set_accel_enabled(id, allowed);
+            degraded[id.index()] = !allowed;
+            if !allowed {
+                self.stats.degraded_requests[id.index()] += 1;
+            }
+        }
+
+        let before = self.machine.detected_fault_counts();
+        let mut sandbox = self.sandbox;
+        if force_oom {
+            sandbox.memory_limit =
+                Some(OOM_CLAMP_BYTES.min(sandbox.memory_limit.unwrap_or(u64::MAX)));
+        }
+        let mut response = Vec::new();
+        let outcome = run_sandboxed(&mut self.machine, sandbox, |m| {
+            response = handler(m, req);
+        });
+        let after = self.machine.detected_fault_counts();
+
+        let mut fault_delta = [0u64; 4];
+        for id in AccelId::ALL {
+            let i = id.index();
+            fault_delta[i] = after[i] - before[i];
+            if fault_delta[i] > 0 {
+                self.breakers[i].record_faults(req, fault_delta[i]);
+            } else if outcome.is_ok() {
+                self.breakers[i].record_success(req);
+            }
+        }
+
+        self.stats.requests += 1;
+        match &outcome {
+            RequestOutcome::Ok => self.stats.ok += 1,
+            RequestOutcome::Timeout => self.stats.timeouts += 1,
+            RequestOutcome::OomKilled => self.stats.ooms += 1,
+            RequestOutcome::Panicked { .. } => self.stats.panics += 1,
+        }
+
+        if outcome.is_ok() {
+            if let Some(reference) = self.reference.as_mut() {
+                let expected = catch_unwind(AssertUnwindSafe(|| handler(reference, req)));
+                match expected {
+                    Ok(bytes) if bytes == response => {}
+                    Ok(_) => self.stats.mismatches += 1,
+                    Err(_) => {
+                        reference.recover_request();
+                        self.stats.mismatches += 1;
+                    }
+                }
+            }
+        } else {
+            response.clear();
+        }
+
+        RequestRecord {
+            request: req,
+            outcome,
+            response,
+            degraded,
+            fault_delta,
+        }
+    }
+
+    /// Serves `n` requests, returning the records.
+    pub fn serve_many(
+        &mut self,
+        n: u64,
+        handler: &mut dyn FnMut(&mut PhpMachine, u64) -> Vec<u8>,
+    ) -> Vec<RequestRecord> {
+        (0..n).map(|_| self.serve(handler)).collect()
+    }
+
+    /// Whether any breaker is currently open or half-open.
+    pub fn any_breaker_degraded(&self) -> bool {
+        self.breakers
+            .iter()
+            .any(|b| b.state() != BreakerState::Closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::PlannedFault;
+    use php_runtime::{ArrayKey, PhpValue};
+
+    /// A handler exercising the hash-table domain: a persistent map is
+    /// mutated and read every request; the response is the rendered map.
+    fn htable_handler() -> impl FnMut(&mut PhpMachine, u64) -> Vec<u8> {
+        let mut arrays = std::collections::HashMap::new();
+        move |m: &mut PhpMachine, req: u64| {
+            let arr = arrays
+                .entry(m as *const PhpMachine as usize)
+                .or_insert_with(|| m.new_array());
+            for k in 0..4u64 {
+                m.array_set(
+                    arr,
+                    ArrayKey::Str(format!("k{k}").into()),
+                    PhpValue::Int((req * 10 + k) as i64),
+                );
+            }
+            let mut out = Vec::new();
+            for k in 0..4u64 {
+                let v = m.array_get(arr, &ArrayKey::Str(format!("k{k}").into()));
+                out.extend_from_slice(format!("{v:?};").as_bytes());
+            }
+            m.end_request();
+            out
+        }
+    }
+
+    fn breaker_cfg() -> BreakerConfig {
+        BreakerConfig {
+            fault_threshold: 2,
+            window: 20,
+            base_backoff: 3,
+            max_backoff: 12,
+        }
+    }
+
+    #[test]
+    fn faults_trip_breaker_then_recover_with_identical_output() {
+        let plan = FaultPlan::new(vec![
+            PlannedFault {
+                at_request: 2,
+                kind: FaultKind::HtableEntry { nth: 0 },
+            },
+            PlannedFault {
+                at_request: 3,
+                kind: FaultKind::HtableEntry { nth: 1 },
+            },
+        ]);
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            breaker_cfg(),
+            SandboxConfig::unlimited(),
+        )
+        .with_fault_plan(plan)
+        .with_reference(PhpMachine::baseline());
+
+        let mut handler = htable_handler();
+        let records = server.serve_many(20, &mut handler);
+
+        // Every request completed; every byte matched the software run.
+        assert!(records.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(server.stats().mismatches, 0);
+        assert_eq!(server.stats().availability(), 1.0);
+
+        // Both injected faults were detected and tripped the breaker.
+        let b = server.breaker(AccelId::Htable);
+        assert!(b.trips >= 1, "breaker never tripped");
+        assert!(
+            server.stats().degraded_requests[AccelId::Htable.index()] >= 1,
+            "no degraded requests recorded"
+        );
+        // ... and the half-open trial succeeded within the backoff window.
+        assert!(b.recoveries >= 1, "breaker never recovered");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.last_recovery_latency.unwrap() <= 12 + 1);
+        // Other domains untouched.
+        assert_eq!(server.breaker(AccelId::Heap).trips, 0);
+        assert_eq!(server.breaker(AccelId::Regex).trips, 0);
+    }
+
+    #[test]
+    fn forced_oom_is_contained_and_stream_continues() {
+        let plan = FaultPlan::new(vec![PlannedFault {
+            at_request: 1,
+            kind: FaultKind::AllocatorOom,
+        }]);
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        )
+        .with_fault_plan(plan);
+
+        // Allocate more than the clamp so the OOM actually fires.
+        let mut handler = |m: &mut PhpMachine, _req: u64| {
+            let b = m.alloc(2048);
+            m.free(b);
+            m.end_request();
+            b"done".to_vec()
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let records = server.serve_many(3, &mut handler);
+        std::panic::set_hook(hook);
+
+        assert_eq!(records[0].outcome, RequestOutcome::Ok);
+        assert_eq!(records[1].outcome, RequestOutcome::OomKilled);
+        assert_eq!(records[2].outcome, RequestOutcome::Ok, "stream resumed");
+        assert_eq!(server.stats().ooms, 1);
+        assert_eq!(
+            server
+                .machine()
+                .ctx()
+                .with_allocator(|a| a.live_block_count()),
+            0,
+            "recovery leaked blocks"
+        );
+    }
+
+    #[test]
+    fn string_config_fault_degrades_without_byte_changes() {
+        let plan = FaultPlan::new(vec![
+            PlannedFault {
+                at_request: 1,
+                kind: FaultKind::StringConfig,
+            },
+            PlannedFault {
+                at_request: 2,
+                kind: FaultKind::StringConfig,
+            },
+        ]);
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            breaker_cfg(),
+            SandboxConfig::unlimited(),
+        )
+        .with_fault_plan(plan)
+        .with_reference(PhpMachine::baseline());
+
+        let mut handler = |m: &mut PhpMachine, req: u64| {
+            let s = m.transient_str(format!("  Request {req} <Body> "));
+            let s = match s {
+                PhpValue::Str(s) => s,
+                _ => unreachable!(),
+            };
+            let t = m.trim(&s);
+            let lower = m.strtolower(&t);
+            let esc = m.htmlspecialchars(&lower);
+            let out = esc.as_bytes().to_vec();
+            m.end_request();
+            out
+        };
+        let records = server.serve_many(12, &mut handler);
+        assert!(records.iter().all(|r| r.outcome.is_ok()));
+        assert_eq!(server.stats().mismatches, 0);
+        let b = server.breaker(AccelId::Str);
+        assert!(b.trips >= 1);
+        assert_eq!(b.state(), BreakerState::Closed, "should have recovered");
+    }
+}

@@ -8,6 +8,7 @@
 //! measurement begins.
 
 use phpaccel_core::PhpMachine;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A server-side application under test.
 pub trait Workload {
@@ -43,7 +44,7 @@ impl Default for LoadGen {
 }
 
 /// Summary of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSummary {
     /// Requests measured.
     pub requests: usize,
@@ -51,26 +52,58 @@ pub struct RunSummary {
     pub total_uops: u64,
     /// Accelerator cycles in the measured phase.
     pub accel_cycles: u64,
+    /// Requests (warmup or measured) that panicked instead of completing.
+    pub failed_requests: usize,
+    /// Message of the first failure, if any.
+    pub first_error: Option<String>,
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 impl LoadGen {
     /// Runs `warmup + measured` requests of `app` on `machine`; metrics
-    /// cover only the measured phase.
+    /// cover only the measured phase. A request that panics is *recorded*
+    /// (count + first message), the machine's invariants are restored via
+    /// [`PhpMachine::recover_request`], and the run continues — one bad
+    /// request must not take down the stream.
     pub fn run(&self, app: &mut dyn Workload, machine: &mut PhpMachine) -> RunSummary {
+        let mut failed_requests = 0;
+        let mut first_error = None;
+        let mut serve = |machine: &mut PhpMachine, req: u64| {
+            let out = catch_unwind(AssertUnwindSafe(|| app.handle_request(machine, req)));
+            if let Err(payload) = out {
+                failed_requests += 1;
+                if first_error.is_none() {
+                    first_error = Some(panic_message(payload.as_ref()));
+                }
+                machine.recover_request();
+            }
+        };
         for r in 0..self.warmup {
-            app.handle_request(machine, r as u64);
+            serve(machine, r as u64);
         }
         machine.reset_metrics();
         for r in 0..self.measured {
             if self.context_switch_every > 0 && r > 0 && r % self.context_switch_every == 0 {
                 machine.context_switch();
             }
-            app.handle_request(machine, (self.warmup + r) as u64);
+            serve(machine, (self.warmup + r) as u64);
         }
         RunSummary {
             requests: self.measured,
             total_uops: machine.ctx().profiler().total_uops(),
             accel_cycles: machine.core().accel_cycles(),
+            failed_requests,
+            first_error,
         }
     }
 }
@@ -97,6 +130,48 @@ mod tests {
             summary.total_uops < per_request * 7,
             "warmup leaked into metrics"
         );
+    }
+
+    #[test]
+    fn failures_recorded_not_propagated() {
+        struct Flaky;
+        impl Workload for Flaky {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn handle_request(&mut self, m: &mut PhpMachine, req: u64) {
+                let b = m.alloc(32);
+                m.free(b);
+                if req % 3 == 2 {
+                    panic!("simulated request crash at {req}");
+                }
+                m.end_request();
+            }
+        }
+        let mut app = Flaky;
+        let mut m = PhpMachine::specialized();
+        let lg = LoadGen {
+            warmup: 0,
+            measured: 9,
+            context_switch_every: 0,
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let summary = lg.run(&mut app, &mut m);
+        std::panic::set_hook(hook);
+        assert_eq!(summary.requests, 9);
+        assert_eq!(summary.failed_requests, 3);
+        assert!(
+            summary
+                .first_error
+                .as_deref()
+                .unwrap()
+                .contains("simulated request crash"),
+            "{:?}",
+            summary.first_error
+        );
+        // Machine still consistent: no leaked live blocks.
+        assert_eq!(m.ctx().with_allocator(|a| a.live_block_count()), 0);
     }
 
     #[test]

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== fault-injection soak =="
+scripts/soak.sh
+
 echo "All checks passed."

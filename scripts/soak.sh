@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Fault-injection soak: seeded faults against all four accelerators, full
+# availability and byte-identity required. Exits nonzero on any regression.
+# Usage: scripts/soak.sh [seed ...]   (default: a fixed seed set)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seeds=("$@")
+if [ ${#seeds[@]} -eq 0 ]; then
+  seeds=(20170613 1 12345)
+fi
+
+cargo build --release -q -p bench --bin soak
+
+for seed in "${seeds[@]}"; do
+  echo "== soak seed $seed =="
+  ./target/release/soak "$seed"
+done
+
+echo "Soak passed for seeds: ${seeds[*]}"

@@ -20,5 +20,6 @@ pub use php_interp as interp;
 pub use php_runtime as runtime;
 pub use phpaccel_core as core;
 pub use regex_engine as regex;
+pub use serve;
 pub use uarch_sim as uarch;
 pub use workloads;

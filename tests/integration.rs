@@ -251,3 +251,87 @@ fn static_analysis_saves_work_on_the_wordpress_workload() {
         "analysis must shrink the µop stream: {u_on} vs {u_off}"
     );
 }
+
+#[test]
+fn mid_request_panic_recovery_matches_never_accelerated_run() {
+    use phpaccel::runtime::PhpStr;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // The same request sequence — including one request that panics midway
+    // and is recovered — on a baseline and a specialized machine. After
+    // `recover_request` (hmflush, hash-table invalidate, engine resets) the
+    // software map contents, the rendered follow-up output, and the slab
+    // allocator accounting must be indistinguishable between the modes.
+    let run = |mode: ExecMode| -> (Vec<u8>, u64, usize) {
+        let mut m = PhpMachine::new(mode, MachineConfig::default());
+        let mut arr = m.new_array();
+
+        // Request 0: normal traffic across all domains.
+        for k in 0..8u64 {
+            m.array_set(
+                &mut arr,
+                ArrayKey::Str(format!("k{k}").into()),
+                PhpValue::Int(k as i64 * 3),
+            );
+        }
+        let s: PhpStr = "  Mixed CASE <tag>  ".into();
+        let t = m.trim(&s);
+        let _ = m.strtolower(&t);
+        m.end_request();
+
+        // Doomed request: mutates the map, allocates, touches the string
+        // unit — then dies mid-flight.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            for k in 0..5u64 {
+                m.array_set(
+                    &mut arr,
+                    ArrayKey::Str(format!("k{k}").into()),
+                    PhpValue::Int(1000 + k as i64),
+                );
+            }
+            m.alloc_scoped(256);
+            m.alloc_scoped(512);
+            let s: PhpStr = "half-done request".into();
+            let _ = m.strtoupper(&s);
+            panic!("simulated mid-request crash");
+        }));
+        std::panic::set_hook(hook);
+        assert!(crashed.is_err());
+        m.recover_request();
+
+        // Follow-up request: render everything that survived.
+        let mut out = Vec::new();
+        for (k, v) in m.foreach(&arr) {
+            out.extend_from_slice(format!("{k:?}={v:?};").as_bytes());
+        }
+        for k in 0..8u64 {
+            let v = m.array_get(&arr, &ArrayKey::Str(format!("k{k}").into()));
+            out.extend_from_slice(format!("{v:?},").as_bytes());
+        }
+        let s: PhpStr = "  After & Recovery  ".into();
+        let t = m.trim(&s);
+        let esc = m.htmlspecialchars(&t);
+        out.extend_from_slice(esc.as_bytes());
+        m.end_request();
+
+        let (live_bytes, live_blocks) = m
+            .ctx()
+            .with_allocator(|a| (a.live_bytes(), a.live_block_count()));
+        (out, live_bytes, live_blocks)
+    };
+
+    let (base_out, base_bytes, base_blocks) = run(ExecMode::Baseline);
+    let (spec_out, spec_bytes, spec_blocks) = run(ExecMode::Specialized);
+    assert_eq!(
+        base_out, spec_out,
+        "post-recovery output diverged between modes"
+    );
+    assert_eq!(
+        (base_bytes, base_blocks),
+        (spec_bytes, spec_blocks),
+        "slab allocator accounting diverged after recovery"
+    );
+    assert_eq!(base_blocks, 0, "recovery must leave no live blocks");
+}

@@ -237,3 +237,103 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Robustness: the front end never panics, and budgets fail cleanly
+// ---------------------------------------------------------------------------
+
+use phpaccel::core::PhpMachine;
+use phpaccel::interp::{parse, Interp};
+
+/// PHP-ish token soup: syntactically broken in every way real traffic is,
+/// including multi-byte UTF-8 and stray backslashes.
+fn php_soup() -> impl Strategy<Value = String> {
+    let frag = prop::sample::select(vec![
+        "$x",
+        "$y",
+        "=",
+        "1",
+        "99999999999999999999",
+        "+",
+        "-",
+        "*",
+        "/",
+        "(",
+        ")",
+        "{",
+        "}",
+        ";",
+        "while",
+        "if",
+        "else",
+        "function",
+        "echo",
+        "return",
+        "'s'",
+        "\"d\"",
+        "'unterminated",
+        ".",
+        "==",
+        "!=",
+        "!",
+        "<",
+        ">",
+        "[",
+        "]",
+        ",",
+        "foreach",
+        "as",
+        "=>",
+        "€",
+        "日本",
+        "\\",
+        "<?php",
+        "&&",
+        "||",
+        "$",
+        "0x",
+        "1.5e",
+        "#",
+    ])
+    .prop_map(str::to_owned);
+    prop::collection::vec(frag, 0..60).prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn frontend_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        // Lexing + parsing arbitrary (lossily decoded) bytes must return
+        // Ok or Err — any panic fails the test.
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn frontend_never_panics_on_php_soup(src in php_soup()) {
+        let _ = parse(&src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn fuel_exhaustion_is_a_clean_timeout(fuel in 1u64..400) {
+        let mut m = PhpMachine::specialized();
+        m.ctx().set_fuel(Some(fuel));
+        let err = {
+            let mut i = Interp::new(&mut m);
+            i.run("$i = 0; while (true) { $a = []; $i = $i + 1; }").unwrap_err()
+        };
+        prop_assert!(err.is_timeout(), "expected timeout, got {:?}", err);
+        // The machine is fully recoverable afterwards.
+        m.ctx().set_fuel(None);
+        m.recover_request();
+        prop_assert_eq!(m.ctx().with_allocator(|a| a.live_block_count()), 0);
+        let out = {
+            let mut i = Interp::new(&mut m);
+            i.run("echo 'alive';").unwrap();
+            i.take_output()
+        };
+        prop_assert_eq!(out, b"alive".to_vec());
+    }
+}
