@@ -30,12 +30,14 @@
 
 pub mod hints;
 pub mod padding;
+pub mod prebuilt;
 pub mod reuse;
 pub mod sieve;
 pub mod stats;
 
 pub use hints::{HintVector, DEFAULT_SEGMENT_SIZE};
 pub use padding::{replace_padded, PaddedEdit};
+pub use prebuilt::{PrebuiltPattern, ShadowPlan};
 pub use reuse::{run_with_reuse, ContentReuseTable, LookupOutcome, ReuseRun, ReuseStats};
 pub use sieve::{regexp_shadow, regexp_sieve, ShadowMode, ShadowOutcome, SieveOutcome};
 pub use stats::RegexAccelStats;

@@ -7,19 +7,38 @@
 //! outputs are byte-identical and to measure what the facts save (skipped
 //! type checks, elided refcount ops, hinted hash-table operations).
 //!
-//! Usage: `analyze [--corpus APP]` where APP is one of the corpus
-//! applications (e.g. `wordpress`); default is all of them. For
+//! Usage: `analyze [--corpus APP] [--gate ALLOWLIST]` where APP is one of
+//! the corpus applications (e.g. `wordpress`); default is all of them. For
 //! `wordpress` the full request workload is also driven through the load
 //! generator with analysis enabled, showing the per-request savings.
+//!
+//! `--gate FILE` turns lints into errors: every lint must be covered by a
+//! substring line in FILE (blank lines and `#` comments ignored), and the
+//! run exits 1 listing any uncovered lint. `scripts/check.sh` uses this to
+//! keep the corpus lint-clean modulo the intentional examples.
 
 use bench::{header, quick_load};
 use phpaccel_core::PhpMachine;
 use workloads::php_corpus;
 use workloads::{WordPress, Workload};
 
+/// Loads the gate allowlist: one substring per line, `#` comments allowed.
+fn load_allowlist(path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read allowlist {path}: {e}");
+        std::process::exit(2);
+    });
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut filter: Option<String> = None;
+    let mut gate: Option<Vec<String>> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--corpus" => {
@@ -28,9 +47,16 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--gate" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--gate requires an allowlist file");
+                    std::process::exit(2);
+                });
+                gate = Some(load_allowlist(&path));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: analyze [--corpus APP]");
+                eprintln!("usage: analyze [--corpus APP] [--gate ALLOWLIST]");
                 std::process::exit(2);
             }
         }
@@ -56,6 +82,7 @@ fn main() {
          accelerators ever see them",
     );
 
+    let mut unallowed: Vec<String> = Vec::new();
     for app in &apps {
         for entry in php_corpus::for_app(app) {
             let prepared = php_corpus::prepare(entry);
@@ -68,8 +95,19 @@ fn main() {
             } else {
                 for lint in &prepared.report.lints {
                     println!("  {lint}");
+                    if let Some(allow) = &gate {
+                        let line = lint.to_string();
+                        if !allow.iter().any(|a| line.contains(a.as_str())) {
+                            unallowed.push(format!("{}/{}: {line}", entry.app, entry.name));
+                        }
+                    }
                 }
             }
+            println!(
+                "  interproc: summarized-calls={} preg-precompiled={}",
+                prepared.report.summarized_calls(),
+                prepared.report.preg_precompiled(),
+            );
 
             // Execute twice — facts off, facts on — and verify equivalence.
             let mut off = PhpMachine::specialized();
@@ -98,6 +136,29 @@ fn main() {
                 ht.hinted_hash_skips,
                 ht.hinted_append_inserts,
             );
+            println!(
+                "  saved:  summaries-applied={} regex-compiles-avoided={} \
+                 heap-classes-preseeded={} taint-lints={}",
+                s.summaries_applied,
+                s.regex_compiles_avoided,
+                s.heap_classes_preseeded,
+                s.taint_lints_flagged,
+            );
+        }
+    }
+
+    if let Some(allow) = &gate {
+        if unallowed.is_empty() {
+            println!(
+                "\ngate: all lints covered by the allowlist ({} patterns)",
+                allow.len()
+            );
+        } else {
+            eprintln!("\ngate: {} lint(s) not in the allowlist:", unallowed.len());
+            for line in &unallowed {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
         }
     }
 
@@ -119,6 +180,14 @@ fn main() {
             s.rc_incs_avoided,
             s.rc_decs_avoided,
             s.total(),
+        );
+        println!(
+            "  saved:  summaries-applied={} regex-compiles-avoided={} \
+             heap-classes-preseeded={} taint-lints={}",
+            s.summaries_applied,
+            s.regex_compiles_avoided,
+            s.heap_classes_preseeded,
+            s.taint_lints_flagged,
         );
         println!(
             "  htable: hinted-hash-skips={} hinted-append-inserts={}",

@@ -1,0 +1,216 @@
+//! Call graph over the lowered scopes, with SCC condensation.
+//!
+//! Nodes are scopes (`<main>` plus every function); edges are direct
+//! caller → callee references discovered syntactically. Builtins are not
+//! nodes — their effects come from [`crate::knowledge`] tables. Calls whose
+//! name matches neither a builtin nor a defined function are recorded per
+//! caller as *unknown*: they poison the caller's summary to ⊤.
+//!
+//! Tarjan's algorithm emits strongly connected components in reverse
+//! topological order — callees before callers — which is exactly the
+//! bottom-up order the summary pass ([`crate::summary`]) iterates in.
+//! Components of more than one scope (or a self-loop) mark recursion.
+
+use crate::cfg::{item_exprs, walk_exprs, ScopeCfg};
+use crate::knowledge::is_builtin;
+use php_interp::ast::Expr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The call graph of one lowered program.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Scope index (into the `ScopeCfg` slice) by function name. `<main>`
+    /// is present under its own name but never a call target.
+    pub index: BTreeMap<String, usize>,
+    /// Per-scope callee sets (indices into the scope slice).
+    pub callees: Vec<BTreeSet<usize>>,
+    /// Per-scope: does the scope call a name that is neither a builtin nor
+    /// a defined function?
+    pub calls_unknown: Vec<bool>,
+    /// Strongly connected components in reverse topological order
+    /// (callees first). Singleton components without a self-loop are
+    /// non-recursive.
+    pub sccs: Vec<Vec<usize>>,
+    /// Per-scope recursion flag: the scope sits in a cycle (including a
+    /// direct self-call).
+    pub recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for `scopes` (as produced by
+    /// [`crate::cfg::lower_program_with`]).
+    pub fn build(scopes: &[ScopeCfg<'_>]) -> CallGraph {
+        let index: BTreeMap<String, usize> = scopes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        let mut callees = vec![BTreeSet::new(); scopes.len()];
+        let mut calls_unknown = vec![false; scopes.len()];
+        for (i, scope) in scopes.iter().enumerate() {
+            for block in &scope.cfg.blocks {
+                for item in &block.items {
+                    for e in item_exprs(item) {
+                        walk_exprs(e, &mut |x| {
+                            if let Expr::Call { name, .. } = x {
+                                if is_builtin(name) {
+                                    return;
+                                }
+                                match index.get(name) {
+                                    Some(&j) => {
+                                        callees[i].insert(j);
+                                    }
+                                    None => calls_unknown[i] = true,
+                                }
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        let sccs = tarjan(&callees);
+        let mut recursive = vec![false; scopes.len()];
+        for scc in &sccs {
+            let cyclic = scc.len() > 1 || callees[scc[0]].contains(&scc[0]);
+            if cyclic {
+                for &n in scc {
+                    recursive[n] = true;
+                }
+            }
+        }
+        CallGraph {
+            index,
+            callees,
+            calls_unknown,
+            sccs,
+            recursive,
+        }
+    }
+}
+
+/// Iterative Tarjan SCC; components come out in reverse topological order.
+fn tarjan(adj: &[BTreeSet<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNSEEN: usize = usize::MAX;
+    let mut idx = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next = 0usize;
+    let mut out = Vec::new();
+
+    // Explicit DFS frames: (node, iterator position over its callees).
+    for root in 0..n {
+        if idx[root] != UNSEEN {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        idx[root] = next;
+        low[root] = next;
+        next += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, adj[root].iter().copied().collect(), 0));
+        while let Some((v, succs, pos)) = frames.last_mut() {
+            if let Some(&w) = succs.get(*pos) {
+                *pos += 1;
+                if idx[w] == UNSEEN {
+                    idx[w] = next;
+                    low[w] = next;
+                    next += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, adj[w].iter().copied().collect(), 0));
+                } else if on_stack[w] {
+                    let v = *v;
+                    low[v] = low[v].min(idx[w]);
+                }
+            } else {
+                let v = *v;
+                frames.pop();
+                if let Some((parent, _, _)) = frames.last() {
+                    let p = *parent;
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == idx[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use php_interp::parse;
+
+    fn graph(src: &str) -> (Vec<String>, CallGraph) {
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let names = scopes.iter().map(|s| s.name.clone()).collect();
+        let cg = CallGraph::build(&scopes);
+        (names, cg)
+    }
+
+    #[test]
+    fn direct_calls_become_edges_and_builtins_do_not() {
+        let (names, cg) = graph(
+            "function leaf() { return 1; }\n\
+             function mid() { return leaf() + strlen('x'); }\n\
+             mid();",
+        );
+        let at = |n: &str| names.iter().position(|s| s == n).unwrap();
+        assert!(cg.callees[at("<main>")].contains(&at("mid")));
+        assert!(cg.callees[at("mid")].contains(&at("leaf")));
+        assert!(cg.callees[at("mid")].len() == 1, "strlen is not a node");
+        assert!(!cg.calls_unknown.iter().any(|&u| u));
+    }
+
+    #[test]
+    fn unknown_callees_are_flagged_per_caller() {
+        let (names, cg) = graph("function f() { mystery(); } echo 1;");
+        let at = |n: &str| names.iter().position(|s| s == n).unwrap();
+        assert!(cg.calls_unknown[at("f")]);
+        assert!(!cg.calls_unknown[at("<main>")]);
+    }
+
+    #[test]
+    fn sccs_come_out_bottom_up_and_mark_recursion() {
+        let (names, cg) = graph(
+            "function a() { return b(); }\n\
+             function b() { return a(); }\n\
+             function leaf() { return 3; }\n\
+             function top() { return a() + leaf(); }\n\
+             top();",
+        );
+        let at = |n: &str| names.iter().position(|s| s == n).unwrap();
+        assert!(cg.recursive[at("a")] && cg.recursive[at("b")]);
+        assert!(!cg.recursive[at("leaf")] && !cg.recursive[at("top")]);
+        // Bottom-up: the {a, b} component and leaf precede top; top
+        // precedes <main>.
+        let pos = |n: &str| cg.sccs.iter().position(|c| c.contains(&at(n))).unwrap();
+        assert!(pos("a") < pos("top"));
+        assert!(pos("leaf") < pos("top"));
+        assert!(pos("top") < pos("<main>"));
+        assert_eq!(pos("a"), pos("b"), "mutual recursion is one component");
+    }
+
+    #[test]
+    fn self_recursion_is_a_singleton_cycle() {
+        let (names, cg) = graph("function f($n) { return $n ? f($n - 1) : 0; } f(3);");
+        let at = |n: &str| names.iter().position(|s| s == n).unwrap();
+        assert!(cg.recursive[at("f")]);
+    }
+}

@@ -7,13 +7,22 @@
 
 use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
 use crate::escape::EscapeSet;
-use crate::knowledge::guard_ty;
+use crate::knowledge::{guard_ty, is_builtin};
 use crate::liveness::{apply_item_backward, LiveSet};
 use crate::report::{Lint, LintKind, ScopeReport};
-use crate::types::{apply_bindings, apply_call_effects, ty_of, Ty, TypeEnv};
+use crate::summary::CallerView;
+use crate::types::{apply_bindings, apply_call_effects, const_of, ty_of, ConstVal, Ty, TypeEnv};
 use php_interp::ast::{BinOp, Expr, LValue, Stmt};
-use php_interp::{AnalysisFacts, KeyShape};
+use php_interp::{strip_delimiters, AnalysisFacts, KeyShape};
+use regex_engine::Regex;
 use std::collections::BTreeSet;
+
+/// Bytes a transient string of `len` content bytes occupies on the heap
+/// (mirrors `PhpStr::heap_size`: header + payload).
+const STR_HEADER_BYTES: usize = 16;
+
+/// Bytes `PhpMachine::new_array` allocates for an array shell.
+const ARRAY_SHELL_BYTES: usize = 64;
 
 /// Statically evaluates the truthiness of a constant expression.
 fn const_truth(e: &Expr) -> Option<bool> {
@@ -55,6 +64,7 @@ fn const_int(e: &Expr) -> Option<i64> {
 struct Committer<'a, 'f> {
     scope: &'a ScopeCfg<'a>,
     escapes: &'a EscapeSet,
+    view: CallerView<'a>,
     facts: &'f mut AnalysisFacts,
     lints: &'f mut Vec<Lint>,
     report: ScopeReport,
@@ -99,15 +109,50 @@ impl Committer<'_, '_> {
                         self.report.rc_elided_reads += 1;
                     }
                 }
-                Expr::Bin { lhs, rhs, .. } => {
+                Expr::Bin { op, lhs, rhs } => {
                     self.report.bin_ops += 1;
                     self.report.operand_slots += 2;
-                    let (lt, rt) = (ty_of(lhs, env), ty_of(rhs, env));
+                    let (lt, rt) = (ty_of(lhs, env, &self.view), ty_of(rhs, env, &self.view));
                     let (lk, rk) = (lt.is_known(), rt.is_known());
                     self.report.typed_operands += lk as usize + rk as usize;
                     if lk || rk {
                         let id = self.facts.intern_expr(e);
                         self.facts.set_bin_typed(id, lk, rk);
+                    }
+                    // A constant-folded concatenation still allocates its
+                    // transient result at runtime — but with a statically
+                    // known size, which feeds heap free-list pre-seeding.
+                    if *op == BinOp::Concat {
+                        if let Some(ConstVal::Str(s)) = const_of(e, env, &self.view) {
+                            self.facts.add_alloc_size_hint(STR_HEADER_BYTES + s.len());
+                        }
+                    }
+                }
+                Expr::ArrayLit(_) => {
+                    self.facts.add_alloc_size_hint(ARRAY_SHELL_BYTES);
+                }
+                Expr::Call { name, args } => {
+                    if is_builtin(name) {
+                        // `preg_*` with a constant-propagated pattern:
+                        // compile at analysis time, through the exact same
+                        // path the interpreter would use per request.
+                        if name == "preg_match" || name == "preg_replace" {
+                            if let Some(ConstVal::Str(pat)) =
+                                args.first().and_then(|a| const_of(a, env, &self.view))
+                            {
+                                if let Some(re) =
+                                    strip_delimiters(&pat).and_then(|p| Regex::new(p).ok())
+                                {
+                                    let id = self.facts.intern_expr(e);
+                                    self.facts.set_precompiled_regex(id, re);
+                                    self.report.preg_precompiled += 1;
+                                }
+                            }
+                        }
+                    } else if self.view.call_benefits(name) {
+                        let id = self.facts.intern_expr(e);
+                        self.facts.mark_call_summarized(id);
+                        self.report.summarized_calls += 1;
                     }
                 }
                 // `$a['lit']`: the key's hash folds at specialization.
@@ -213,10 +258,13 @@ impl Committer<'_, '_> {
 }
 
 /// Replays `scope` under its type and liveness solutions, filling `facts`
-/// and appending to `lints`; returns the scope's statistics.
-pub fn commit_scope(
-    scope: &ScopeCfg<'_>,
-    escapes: &EscapeSet,
+/// and appending to `lints`; returns the scope's statistics. Call
+/// boundaries are judged through `view` — pass [`CallerView::EMPTY`] for
+/// intraprocedural behavior.
+pub fn commit_scope<'a>(
+    scope: &'a ScopeCfg<'a>,
+    escapes: &'a EscapeSet,
+    view: CallerView<'a>,
     type_in: &[TypeEnv],
     live_out: &[LiveSet],
     facts: &mut AnalysisFacts,
@@ -225,6 +273,7 @@ pub fn commit_scope(
     let mut c = Committer {
         scope,
         escapes,
+        view,
         facts,
         lints,
         report: ScopeReport {
@@ -248,13 +297,13 @@ pub fn commit_scope(
         for (item, live_after) in block.items.iter().zip(&after) {
             // Mirror the transfer function's order: call effects first, so
             // expression types are judged in the post-call environment.
-            apply_call_effects(item, scope, &mut env);
+            apply_call_effects(item, scope, &mut env, &view);
             c.visit_exprs(item, &env);
             if let Item::Cond(cond) = item {
                 c.visit_cond(cond, &env);
             }
             c.visit_stmt(item, &env, live_after);
-            apply_bindings(item, &mut env);
+            apply_bindings(item, &mut env, &view);
         }
     }
     c.report

@@ -9,7 +9,8 @@
 //! pair can be elided (metering-only; values still behave identically).
 
 use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
-use crate::knowledge::consumes_args_transiently;
+use crate::knowledge::{consumes_args_transiently, is_builtin};
+use crate::summary::CallerView;
 use php_interp::ast::{Expr, LValue, Stmt};
 use std::collections::BTreeSet;
 
@@ -53,8 +54,17 @@ fn root_vars(e: &Expr, out: &mut BTreeSet<String>) {
     }
 }
 
-/// Computes the escape set of one scope.
+/// Computes the escape set of one scope with no interprocedural knowledge:
+/// every user-call argument is assumed retained.
 pub fn escaping_vars(scope: &ScopeCfg<'_>) -> EscapeSet {
+    escaping_vars_with(scope, &CallerView::EMPTY)
+}
+
+/// Like [`escaping_vars`], but arguments passed to a summarized user
+/// function only escape at the positions the callee actually retains
+/// (stores, returns, or writes to a global — see
+/// [`crate::summary::FuncSummary::param_retained`]).
+pub fn escaping_vars_with(scope: &ScopeCfg<'_>, view: &CallerView<'_>) -> EscapeSet {
     let mut esc = EscapeSet {
         all: false,
         vars: scope.globals.clone(),
@@ -68,9 +78,17 @@ pub fn escaping_vars(scope: &ScopeCfg<'_>) -> EscapeSet {
                     Expr::Call { name, args } => {
                         if name == "extract" {
                             esc.all = true;
-                        } else if !consumes_args_transiently(name) {
-                            for a in args {
-                                root_vars(a, &mut esc.vars);
+                        } else if is_builtin(name) {
+                            if !consumes_args_transiently(name) {
+                                for a in args {
+                                    root_vars(a, &mut esc.vars);
+                                }
+                            }
+                        } else {
+                            for (i, a) in args.iter().enumerate() {
+                                if view.arg_retained(name, i) {
+                                    root_vars(a, &mut esc.vars);
+                                }
                             }
                         }
                     }

@@ -91,6 +91,55 @@ pub fn consumes_args_transiently(name: &str) -> bool {
     !matches!(name, "max" | "min" | "extract") && is_builtin(name)
 }
 
+/// Variable names the hosting server binds from the incoming request before
+/// the script runs (see `workloads::php_corpus::bind_request_vars` and PHP's
+/// superglobals). Reads of these in `<main>` are the taint *sources* of the
+/// Yama-style taint analysis ([`crate::taint`]).
+pub const REQUEST_SOURCES: &[&str] = &[
+    "title", "tags", "meta", "query", "request", "input", "_GET", "_POST", "_REQUEST", "_COOKIE",
+    "_SERVER",
+];
+
+/// Whether `name` is treated as a request-input source variable in `<main>`.
+pub fn is_request_source(name: &str) -> bool {
+    REQUEST_SOURCES.contains(&name)
+}
+
+/// Builtins whose return value is safe regardless of argument taint —
+/// either they encode/strip dangerous bytes (`htmlspecialchars`,
+/// `strip_tags`) or they reduce to a number/boolean that carries no
+/// attacker-controlled bytes.
+pub fn builtin_sanitizes(name: &str) -> bool {
+    matches!(
+        name,
+        "htmlspecialchars"
+            | "strip_tags"
+            | "intval"
+            | "floatval"
+            | "strlen"
+            | "str_word_count"
+            | "strcmp"
+            | "strpos"
+            | "count"
+            | "abs"
+            | "in_array"
+            | "array_key_exists"
+            | "isset_key"
+            | "unset_key"
+            | "preg_match"
+            | "is_string"
+            | "is_int"
+            | "is_integer"
+            | "is_long"
+            | "is_float"
+            | "is_double"
+            | "is_bool"
+            | "is_array"
+            | "is_null"
+            | "is_numeric"
+    )
+}
+
 /// The type an `is_*` guard tests for, if `name` is such a predicate.
 pub fn guard_ty(name: &str) -> Option<Ty> {
     Some(match name {
@@ -129,5 +178,37 @@ mod tests {
     fn guard_types() {
         assert_eq!(guard_ty("is_string"), Some(Ty::Str));
         assert_eq!(guard_ty("is_numeric"), None, "numeric is not a single type");
+    }
+
+    /// The table must mirror the interpreter's dispatch exactly: a builtin
+    /// missing here would be analyzed as a user function (losing precision
+    /// and — worse — treating its return as tainted-by-default), while a
+    /// stale extra name would mis-type calls that actually hit user code.
+    #[test]
+    fn builtin_table_matches_interpreter_dispatch() {
+        use std::collections::BTreeSet;
+        let ours: BTreeSet<&str> = BUILTINS.iter().copied().collect();
+        let theirs: BTreeSet<&str> = php_interp::BUILTIN_NAMES.iter().copied().collect();
+        let missing: Vec<_> = theirs.difference(&ours).collect();
+        let stale: Vec<_> = ours.difference(&theirs).collect();
+        assert!(
+            missing.is_empty(),
+            "builtins unknown to analysis: {missing:?}"
+        );
+        assert!(stale.is_empty(), "names no longer dispatched: {stale:?}");
+    }
+
+    /// Every sanitizer and every typed return must name a real builtin.
+    #[test]
+    fn derived_tables_only_name_builtins() {
+        for name in BUILTINS {
+            // Exercise the derived tables; unknown names must answer None/false.
+            let _ = builtin_ret_ty(name);
+            let _ = builtin_sanitizes(name);
+        }
+        assert_eq!(builtin_ret_ty("not_a_builtin"), None);
+        assert!(!builtin_sanitizes("not_a_builtin"));
+        assert!(!is_request_source("not_a_source"));
+        assert!(is_request_source("title"));
     }
 }

@@ -13,14 +13,22 @@
 //!    control-flow graph of basic blocks, referencing AST nodes by address.
 //! 2. [`solver`] is a generic monotone framework — join-semilattice trait,
 //!    forward/backward worklist solver, widening threshold.
-//! 3. Four analyses run on it: type inference ([`types`]), refcount-elision
-//!    escape analysis ([`escape`]), liveness ([`liveness`]), and the
-//!    key-shape/lint work folded into the commit pass ([`commit`]).
-//! 4. Results land in a [`php_interp::AnalysisFacts`] side-table keyed by
+//! 3. [`callgraph`] builds the direct-call graph and condenses it into
+//!    SCCs; [`summary`] computes bottom-up function summaries over it
+//!    (return type/constant, transitive global writes, per-parameter
+//!    retention), which the intraprocedural analyses consume through a
+//!    [`summary::CallerView`].
+//! 4. The per-scope analyses run on the solver: type inference with
+//!    constant propagation ([`types`]), refcount-elision escape analysis
+//!    ([`escape`]), liveness ([`liveness`]), whole-program taint
+//!    ([`taint`]), and the key-shape/lint work folded into the commit pass
+//!    ([`commit`]).
+//! 5. Results land in a [`php_interp::AnalysisFacts`] side-table keyed by
 //!    node identity — the AST is never mutated, and a missing entry always
 //!    means "fall back to fully dynamic". The interpreter consults the table
-//!    to skip metered type checks and refcount pairs and to pass
-//!    key-shape hints to the hardware hash table.
+//!    to skip metered type checks and refcount pairs, pass key-shape hints
+//!    to the hardware hash table, reuse analysis-time-compiled `preg_*`
+//!    patterns, and pre-seed the hardware heap's free lists.
 //!
 //! ```
 //! use php_analysis::analyze;
@@ -34,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod commit;
 pub mod escape;
@@ -41,15 +50,36 @@ pub mod knowledge;
 pub mod liveness;
 pub mod report;
 pub mod solver;
+pub mod summary;
+pub mod taint;
 pub mod types;
 
 use php_interp::ast::{FuncDef, Program};
 use php_interp::AnalysisFacts;
 use std::rc::Rc;
 
+pub use callgraph::CallGraph;
 pub use report::{Lint, LintKind, Report, ScopeReport};
 pub use solver::{Direction, Lattice};
-pub use types::{Ty, TypeEnv};
+pub use summary::{CallerView, FuncSummary, Summaries};
+pub use types::{ConstVal, Ty, TypeEnv};
+
+/// Knobs for [`analyze_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Compute call-graph summaries, thread them through every pass, and run
+    /// the whole-program taint analysis. Off reproduces the intraprocedural
+    /// pipeline exactly (every call boundary treated as opaque).
+    pub interprocedural: bool,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            interprocedural: true,
+        }
+    }
+}
 
 /// Everything the analysis produced for one program.
 #[derive(Debug)]
@@ -81,22 +111,44 @@ pub fn analyze(prog: &Program) -> Analysis {
 /// [`Interp::predefine_funcs`](php_interp::Interp::predefine_funcs) and
 /// analyzing with them here keeps node identities aligned end to end.
 pub fn analyze_with_funcs(prog: &Program, shared: &[Rc<FuncDef>]) -> Analysis {
+    analyze_with_options(prog, shared, AnalyzeOptions::default())
+}
+
+/// Like [`analyze_with_funcs`], with explicit [`AnalyzeOptions`].
+pub fn analyze_with_options(
+    prog: &Program,
+    shared: &[Rc<FuncDef>],
+    opts: AnalyzeOptions,
+) -> Analysis {
     let scopes = cfg::lower_program_with(prog, shared);
+    let cg = callgraph::CallGraph::build(&scopes);
+    let sums = opts
+        .interprocedural
+        .then(|| summary::compute_summaries(&scopes, &cg));
+    let view = match &sums {
+        Some(s) => CallerView::of(s),
+        None => CallerView::EMPTY,
+    };
     let mut facts = AnalysisFacts::new();
     let mut report = Report::default();
     for scope in &scopes {
-        let escapes = escape::escaping_vars(scope);
-        let type_in = types::solve_types(scope);
+        let escapes = escape::escaping_vars_with(scope, &view);
+        let type_in = types::solve_types_with(scope, &view);
         let live_out = liveness::solve_liveness(scope);
         let scope_report = commit::commit_scope(
             scope,
             &escapes,
+            view,
             &type_in,
             &live_out,
             &mut facts,
             &mut report.lints,
         );
         report.scopes.push(scope_report);
+    }
+    if opts.interprocedural {
+        let n = taint::taint_lints(&scopes, &cg, &view, &mut report.lints);
+        facts.set_taint_lint_count(n);
     }
     Analysis { facts, report }
 }

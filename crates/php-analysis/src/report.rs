@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The four diagnostics the lint pass produces.
+/// The diagnostics the lint passes produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LintKind {
     /// A variable is read on a path where it was never assigned.
@@ -13,6 +13,9 @@ pub enum LintKind {
     AlwaysTrueGuard,
     /// A branch or loop condition that folds to a constant.
     ConstantCondition,
+    /// Unsanitized request input reaches an echo/regex/hash-table sink
+    /// (see [`crate::taint`]).
+    TaintedSink,
 }
 
 impl fmt::Display for LintKind {
@@ -22,6 +25,7 @@ impl fmt::Display for LintKind {
             LintKind::DeadStore => "dead-store",
             LintKind::AlwaysTrueGuard => "type-guard",
             LintKind::ConstantCondition => "constant-condition",
+            LintKind::TaintedSink => "tainted-sink",
         })
     }
 }
@@ -65,6 +69,10 @@ pub struct ScopeReport {
     pub const_str_sites: usize,
     /// Array appends proven to insert a fresh integer key.
     pub int_append_sites: usize,
+    /// User-call sites resolved through an interprocedural summary.
+    pub summarized_calls: usize,
+    /// `preg_*` sites whose constant pattern was compiled at analysis time.
+    pub preg_precompiled: usize,
 }
 
 impl ScopeReport {
@@ -118,5 +126,20 @@ impl Report {
             .iter()
             .map(|s| s.rc_elided_reads + s.rc_elided_stores)
             .sum()
+    }
+
+    /// Total call sites resolved through a function summary.
+    pub fn summarized_calls(&self) -> usize {
+        self.scopes.iter().map(|s| s.summarized_calls).sum()
+    }
+
+    /// Total `preg_*` patterns compiled at analysis time.
+    pub fn preg_precompiled(&self) -> usize {
+        self.scopes.iter().map(|s| s.preg_precompiled).sum()
+    }
+
+    /// Lints of one kind.
+    pub fn lint_count(&self, kind: LintKind) -> usize {
+        self.lints.iter().filter(|l| l.kind == kind).count()
     }
 }

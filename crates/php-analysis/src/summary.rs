@@ -1,0 +1,373 @@
+//! Bottom-up function summaries over the condensed call graph.
+//!
+//! Each function gets a [`FuncSummary`]: its return type and (when provable)
+//! constant return value, the set of globals it may write transitively, an
+//! opacity flag for `extract`/unknown callees, and a per-parameter retention
+//! vector for the escape analysis. Summaries are computed by running the
+//! existing monotone solver ([`crate::types::solve_types_with`]) over each
+//! scope in the call graph's reverse topological (callee-first) order; the
+//! scopes of a recursive component are iterated to a fixpoint from an
+//! optimistic seed, with value facts (return type/constant) pinned to ⊤ so
+//! only the monotone boolean/set facts benefit from the iteration.
+//!
+//! Callers consume summaries through a [`CallerView`], which the type,
+//! escape, taint, and commit passes thread through their transfer functions.
+//! An empty view reproduces the original intraprocedural behavior exactly.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
+use crate::escape::escaping_vars_with;
+use crate::knowledge::is_builtin;
+use crate::types::{const_of, solve_types_with, ty_of, ConstVal, Ty};
+use php_interp::ast::{Expr, LValue, Stmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one function does to its caller's world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSummary {
+    /// Join of the types of every value the function can return (including
+    /// the implicit `null` of falling off the end).
+    pub ret_ty: Ty,
+    /// The exact return value, when every return path yields the same
+    /// constant. `None` is ⊤ (unknown), not "returns null".
+    pub const_ret: Option<ConstVal>,
+    /// Globals the function (or anything it calls) may write.
+    pub writes_globals: BTreeSet<String>,
+    /// The function (transitively) runs `extract` or calls an undefined
+    /// name — its effects cannot be bounded and callers must assume the
+    /// worst.
+    pub opaque_effects: bool,
+    /// Per-parameter: may the argument's value outlive the call (stored,
+    /// returned, written to a global)? `false` lets callers elide the
+    /// refcount pair on the argument fetch.
+    pub param_retained: Vec<bool>,
+}
+
+/// Summaries for every function scope, by name.
+#[derive(Debug, Default, PartialEq)]
+pub struct Summaries {
+    /// One summary per defined function (never `<main>`).
+    pub by_name: BTreeMap<String, FuncSummary>,
+}
+
+/// How a call mutates the caller-visible environment.
+pub enum CallEffect<'a> {
+    /// Only these globals may be rebound.
+    Writes(&'a BTreeSet<String>),
+    /// Anything may happen (unknown callee or opaque summary).
+    Opaque,
+}
+
+/// A caller's read-only window onto the computed summaries. The empty view
+/// knows nothing and reproduces intraprocedural behavior.
+#[derive(Clone, Copy, Default)]
+pub struct CallerView<'a> {
+    sums: Option<&'a Summaries>,
+}
+
+impl<'a> CallerView<'a> {
+    /// The view with no interprocedural knowledge.
+    pub const EMPTY: CallerView<'static> = CallerView { sums: None };
+
+    /// A view over `sums`.
+    pub fn of(sums: &'a Summaries) -> CallerView<'a> {
+        CallerView { sums: Some(sums) }
+    }
+
+    /// The summary for `name`, if one was computed.
+    pub fn summary(&self, name: &str) -> Option<&'a FuncSummary> {
+        self.sums.and_then(|s| s.by_name.get(name))
+    }
+
+    /// Return type of a user call to `name` (⊤ when unknown).
+    pub fn ret_ty(&self, name: &str) -> Ty {
+        self.summary(name).map_or(Ty::Mixed, |s| s.ret_ty)
+    }
+
+    /// Constant return value of `name`, when proven.
+    pub fn const_ret(&self, name: &str) -> Option<&'a ConstVal> {
+        self.summary(name).and_then(|s| s.const_ret.as_ref())
+    }
+
+    /// Environment damage of a call to `name`.
+    pub fn effect(&self, name: &str) -> CallEffect<'a> {
+        match self.summary(name) {
+            Some(s) if !s.opaque_effects => CallEffect::Writes(&s.writes_globals),
+            _ => CallEffect::Opaque,
+        }
+    }
+
+    /// May argument `i` of a call to `name` outlive the call? Unknown
+    /// callees and surplus arguments answer conservatively.
+    pub fn arg_retained(&self, name: &str, i: usize) -> bool {
+        match self.summary(name) {
+            Some(s) if !s.opaque_effects => s.param_retained.get(i).copied().unwrap_or(false),
+            _ => true,
+        }
+    }
+
+    /// Does a call site of `name` gain anything from the summary (a typed
+    /// return or bounded effects)? Used to mark sites for the
+    /// summaries-applied savings counter.
+    pub fn call_benefits(&self, name: &str) -> bool {
+        self.summary(name)
+            .is_some_and(|s| s.ret_ty.is_known() || !s.opaque_effects)
+    }
+}
+
+/// Computes summaries for every function scope, bottom-up over `cg`.
+pub fn compute_summaries(scopes: &[ScopeCfg<'_>], cg: &CallGraph) -> Summaries {
+    let mut sums = Summaries::default();
+    for scc in &cg.sccs {
+        let members: Vec<usize> = scc
+            .iter()
+            .copied()
+            .filter(|&i| !scopes[i].is_main)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cyclic = cg.recursive[members[0]];
+        // Optimistic seed so in-component callees resolve during iteration.
+        for &i in &members {
+            sums.by_name.insert(
+                scopes[i].name.clone(),
+                FuncSummary {
+                    ret_ty: if cyclic { Ty::Mixed } else { Ty::Null },
+                    const_ret: None,
+                    writes_globals: BTreeSet::new(),
+                    opaque_effects: false,
+                    param_retained: vec![false; scopes[i].params.len()],
+                },
+            );
+        }
+        loop {
+            let mut changed = false;
+            for &i in &members {
+                let mut s = summarize_scope(&scopes[i], cg, i, &sums);
+                if cyclic {
+                    // Value facts through a cycle would need a per-component
+                    // fixpoint over the value lattice; pin them to ⊤ and keep
+                    // only the monotone boolean/set facts precise.
+                    s.ret_ty = Ty::Mixed;
+                    s.const_ret = None;
+                }
+                if sums.by_name.get(&scopes[i].name) != Some(&s) {
+                    sums.by_name.insert(scopes[i].name.clone(), s);
+                    changed = true;
+                }
+            }
+            if !cyclic || !changed {
+                break;
+            }
+        }
+    }
+    sums
+}
+
+/// One pass over a single scope under the current summary state.
+fn summarize_scope(
+    scope: &ScopeCfg<'_>,
+    cg: &CallGraph,
+    scope_idx: usize,
+    sums: &Summaries,
+) -> FuncSummary {
+    let view = CallerView::of(sums);
+    let type_in = solve_types_with(scope, &view);
+    let succs = scope.cfg.succ_lists();
+
+    // Return type and constant: join over every reachable return point,
+    // plus the implicit null of any fall-off path into the exit block.
+    let mut ret_ty: Option<Ty> = None;
+    let mut const_ret = ConstJoin::Unset;
+    let mut join_ret = |ty: Ty, cv: Option<ConstVal>| {
+        ret_ty = Some(ret_ty.map_or(ty, |t| t.join(ty)));
+        const_ret.join(cv);
+    };
+    for (b, block) in scope.cfg.blocks.iter().enumerate() {
+        if b == scope.cfg.exit {
+            continue;
+        }
+        let mut env = type_in[b].clone();
+        let mut ends_with_return = false;
+        for item in &block.items {
+            ends_with_return = false;
+            if let Item::Stmt(Stmt::Return(v)) = item {
+                ends_with_return = true;
+                if env.reachable {
+                    match v {
+                        Some(e) => join_ret(ty_of(e, &env, &view), const_of(e, &env, &view)),
+                        None => join_ret(Ty::Null, Some(ConstVal::Null)),
+                    }
+                }
+            }
+            crate::types::apply_item(item, scope, &mut env, &view);
+        }
+        if env.reachable && !ends_with_return && succs[b].contains(&scope.cfg.exit) {
+            join_ret(Ty::Null, Some(ConstVal::Null));
+        }
+    }
+
+    // Effects: global writes and opacity, merged transitively from callees.
+    let mut writes_globals = BTreeSet::new();
+    let mut opaque_effects = cg.calls_unknown[scope_idx];
+    fn note_write(scope: &ScopeCfg<'_>, writes: &mut BTreeSet<String>, name: &str) {
+        if scope.globals.contains(name) {
+            writes.insert(name.to_string());
+        }
+    }
+    for block in &scope.cfg.blocks {
+        for item in &block.items {
+            match item {
+                Item::Stmt(Stmt::Assign { target, .. }) => match target {
+                    LValue::Var(n) => note_write(scope, &mut writes_globals, n),
+                    LValue::Index { var, .. } => note_write(scope, &mut writes_globals, var),
+                },
+                Item::ForeachBind(Stmt::Foreach {
+                    key_var, value_var, ..
+                }) => {
+                    if let Some(k) = key_var {
+                        note_write(scope, &mut writes_globals, k);
+                    }
+                    note_write(scope, &mut writes_globals, value_var);
+                }
+                _ => {}
+            }
+            for e in item_exprs(item) {
+                walk_exprs(e, &mut |x| {
+                    if let Expr::Call { name, .. } = x {
+                        if name == "extract" {
+                            opaque_effects = true;
+                        } else if !is_builtin(name) {
+                            match sums.by_name.get(name) {
+                                Some(cs) => {
+                                    opaque_effects |= cs.opaque_effects;
+                                    writes_globals.extend(cs.writes_globals.iter().cloned());
+                                }
+                                None => opaque_effects = true,
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    // Parameter retention comes straight from the escape analysis.
+    let esc = escaping_vars_with(scope, &view);
+    let param_retained = scope.params.iter().map(|p| esc.contains(p)).collect();
+
+    FuncSummary {
+        ret_ty: ret_ty.unwrap_or(Ty::Null),
+        const_ret: const_ret.into_option(),
+        writes_globals,
+        opaque_effects,
+        param_retained,
+    }
+}
+
+/// Three-state join for the constant-return lattice: unset ⊑ known ⊑ ⊤.
+enum ConstJoin {
+    Unset,
+    Known(ConstVal),
+    Top,
+}
+
+impl ConstJoin {
+    fn join(&mut self, v: Option<ConstVal>) {
+        match (&*self, v) {
+            (ConstJoin::Top, _) | (_, None) => *self = ConstJoin::Top,
+            (ConstJoin::Unset, Some(v)) => *self = ConstJoin::Known(v),
+            (ConstJoin::Known(a), Some(b)) => {
+                if *a != b {
+                    *self = ConstJoin::Top;
+                }
+            }
+        }
+    }
+
+    fn into_option(self) -> Option<ConstVal> {
+        match self {
+            ConstJoin::Known(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use php_interp::parse;
+
+    fn summaries(src: &str) -> Summaries {
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let cg = CallGraph::build(&scopes);
+        compute_summaries(&scopes, &cg)
+    }
+
+    #[test]
+    fn return_types_and_constants_propagate_bottom_up() {
+        let s = summaries(
+            "function pat() { return '/[a-z]+/'; }\n\
+             function wrap() { return pat(); }\n\
+             function len($x) { return strlen($x); }\n\
+             echo wrap();",
+        );
+        let pat = &s.by_name["pat"];
+        assert_eq!(pat.ret_ty, Ty::Str);
+        assert_eq!(pat.const_ret, Some(ConstVal::Str("/[a-z]+/".to_string())));
+        let wrap = &s.by_name["wrap"];
+        assert_eq!(
+            wrap.const_ret,
+            Some(ConstVal::Str("/[a-z]+/".to_string())),
+            "constant returns flow through the condensed graph"
+        );
+        assert_eq!(s.by_name["len"].ret_ty, Ty::Int);
+    }
+
+    #[test]
+    fn implicit_null_paths_widen_the_return_type() {
+        let s = summaries("function f($c) { if ($c) { return 1; } } f(0);");
+        assert_eq!(s.by_name["f"].ret_ty, Ty::Mixed, "Int join Null");
+        assert_eq!(s.by_name["f"].const_ret, None);
+    }
+
+    #[test]
+    fn global_writes_are_transitive_and_extract_is_opaque() {
+        let s = summaries(
+            "function w() { global $g; $g = 1; }\n\
+             function t() { w(); }\n\
+             function x($a) { extract($a); }\n\
+             t(); x(array());",
+        );
+        assert!(s.by_name["t"].writes_globals.contains("g"));
+        assert!(!s.by_name["t"].opaque_effects);
+        assert!(s.by_name["x"].opaque_effects);
+    }
+
+    #[test]
+    fn param_retention_distinguishes_transient_from_stored() {
+        let s = summaries(
+            "function t($a, $b) { echo $a; return strlen($b); }\n\
+             function k($v) { global $keep; $keep = $v; }\n\
+             t(1, 2); k(3);",
+        );
+        assert_eq!(s.by_name["t"].param_retained, vec![false, false]);
+        assert_eq!(s.by_name["k"].param_retained, vec![true]);
+    }
+
+    #[test]
+    fn recursion_pins_value_facts_but_keeps_effect_facts() {
+        let s = summaries(
+            "function f($n) { return $n ? f($n - 1) : 0; }\n\
+             f(3);",
+        );
+        let f = &s.by_name["f"];
+        assert_eq!(f.ret_ty, Ty::Mixed);
+        assert_eq!(f.const_ret, None);
+        assert!(!f.opaque_effects, "recursion alone is not opaque");
+        assert!(f.writes_globals.is_empty());
+    }
+}

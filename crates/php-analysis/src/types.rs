@@ -8,6 +8,7 @@
 use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
 use crate::knowledge::{builtin_ret_ty, is_builtin};
 use crate::solver::{self, Direction, Lattice, NO_WIDENING};
+use crate::summary::{CallEffect, CallerView};
 use php_interp::ast::{BinOp, Expr, LValue, Stmt};
 use std::collections::BTreeMap;
 
@@ -48,13 +49,58 @@ impl Ty {
     }
 }
 
+/// A compile-time-known PHP scalar, used for constant propagation. The
+/// constant lattice over these is flat: unknown (`None` in
+/// [`VarFact::constv`]) above, exactly-this-value below.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstVal {
+    /// `null`.
+    Null,
+    /// A known boolean.
+    Bool(bool),
+    /// A known integer.
+    Int(i64),
+    /// A known float.
+    Float(f64),
+    /// A known string.
+    Str(String),
+}
+
+impl ConstVal {
+    /// The runtime type of this constant.
+    pub fn ty(&self) -> Ty {
+        match self {
+            ConstVal::Null => Ty::Null,
+            ConstVal::Bool(_) => Ty::Bool,
+            ConstVal::Int(_) => Ty::Int,
+            ConstVal::Float(_) => Ty::Float,
+            ConstVal::Str(_) => Ty::Str,
+        }
+    }
+
+    /// The exact bytes `to_php_string` would produce at runtime, for the
+    /// conversions that are trivially deterministic (floats are excluded —
+    /// their formatting is not worth replicating here).
+    fn php_string(&self) -> Option<String> {
+        match self {
+            ConstVal::Null | ConstVal::Bool(false) => Some(String::new()),
+            ConstVal::Bool(true) => Some("1".to_string()),
+            ConstVal::Int(i) => Some(i.to_string()),
+            ConstVal::Str(s) => Some(s.clone()),
+            ConstVal::Float(_) => None,
+        }
+    }
+}
+
 /// What the environment knows about one variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VarFact {
     /// The variable's type on every path where it is assigned.
     pub ty: Ty,
     /// Whether it is assigned on *every* path reaching here.
     pub definite: bool,
+    /// The exact value on every path, when constant-propagation proved one.
+    pub constv: Option<ConstVal>,
 }
 
 /// The per-program-point type environment.
@@ -97,8 +143,31 @@ impl TypeEnv {
     }
 
     fn bind(&mut self, name: &str, ty: Ty) {
-        self.vars
-            .insert(name.to_string(), VarFact { ty, definite: true });
+        self.bind_const(name, ty, None);
+    }
+
+    fn bind_const(&mut self, name: &str, ty: Ty, constv: Option<ConstVal>) {
+        self.vars.insert(
+            name.to_string(),
+            VarFact {
+                ty,
+                definite: true,
+                constv,
+            },
+        );
+    }
+
+    /// A callee *may* have rebound `name`: its type degrades to `Mixed` and
+    /// any constant is lost, but definiteness is unchanged (the write is not
+    /// guaranteed to happen).
+    fn clobber(&mut self, name: &str) {
+        let fact = self.vars.entry(name.to_string()).or_insert(VarFact {
+            ty: Ty::Mixed,
+            definite: false,
+            constv: None,
+        });
+        fact.ty = Ty::Mixed;
+        fact.constv = None;
     }
 }
 
@@ -129,10 +198,15 @@ impl Lattice for TypeEnv {
                 Some(of) => VarFact {
                     ty: fact.ty.join(of.ty),
                     definite: fact.definite && of.definite,
+                    constv: match (&fact.constv, &of.constv) {
+                        (Some(a), Some(b)) if a == b => Some(a.clone()),
+                        _ => None,
+                    },
                 },
                 None => VarFact {
                     ty: fact.ty,
                     definite: false,
+                    constv: None,
                 },
             };
             if merged != *fact {
@@ -147,6 +221,7 @@ impl Lattice for TypeEnv {
                     VarFact {
                         ty: of.ty,
                         definite: false,
+                        constv: None,
                     },
                 );
                 changed = true;
@@ -156,8 +231,9 @@ impl Lattice for TypeEnv {
     }
 }
 
-/// Infers the type of `e` under `env`. Total: unknown cases are `Mixed`.
-pub fn ty_of(e: &Expr, env: &TypeEnv) -> Ty {
+/// Infers the type of `e` under `env`, consulting `view` for the return
+/// types of summarized user functions. Total: unknown cases are `Mixed`.
+pub fn ty_of(e: &Expr, env: &TypeEnv, view: &CallerView<'_>) -> Ty {
     match e {
         Expr::Null => Ty::Null,
         Expr::Bool(_) => Ty::Bool,
@@ -171,11 +247,11 @@ pub fn ty_of(e: &Expr, env: &TypeEnv) -> Ty {
             if is_builtin(name) {
                 builtin_ret_ty(name).unwrap_or(Ty::Mixed)
             } else {
-                Ty::Mixed
+                view.ret_ty(name)
             }
         }
         Expr::Bin { op, lhs, rhs } => {
-            let (l, r) = (ty_of(lhs, env), ty_of(rhs, env));
+            let (l, r) = (ty_of(lhs, env, view), ty_of(rhs, env, view));
             match op {
                 BinOp::Concat => Ty::Str,
                 BinOp::Eq
@@ -207,13 +283,13 @@ pub fn ty_of(e: &Expr, env: &TypeEnv) -> Ty {
             otherwise,
         } => {
             let t = match then {
-                Some(t) => ty_of(t, env),
-                None => ty_of(cond, env),
+                Some(t) => ty_of(t, env, view),
+                None => ty_of(cond, env, view),
             };
-            t.join(ty_of(otherwise, env))
+            t.join(ty_of(otherwise, env, view))
         }
         Expr::Not(_) => Ty::Bool,
-        Expr::Neg(inner) => match ty_of(inner, env) {
+        Expr::Neg(inner) => match ty_of(inner, env, view) {
             Ty::Int => Ty::Int,
             Ty::Float => Ty::Float,
             _ => Ty::Mixed,
@@ -221,23 +297,91 @@ pub fn ty_of(e: &Expr, env: &TypeEnv) -> Ty {
     }
 }
 
-/// Applies the side effects of every call inside `item`'s expressions:
-/// `extract` (and, in `<main>`, any user call) poisons the environment; in a
-/// function body a user call clobbers only the `global`-declared variables.
-pub fn apply_call_effects(item: &Item<'_>, scope: &ScopeCfg<'_>, env: &mut TypeEnv) {
+/// Evaluates `e` to a compile-time constant when every input is proven.
+///
+/// Only foldings whose runtime semantics are trivially replicated are
+/// attempted: literals, definite constant variables, string concatenation
+/// (with the exact `to_php_string` coercions for null/bool/int), wrapping
+/// integer arithmetic (matching the interpreter's `wrapping_*` ops), integer
+/// negation, and calls to summarized functions with a proven constant
+/// return. Everything else is `None` — never guessed.
+pub fn const_of(e: &Expr, env: &TypeEnv, view: &CallerView<'_>) -> Option<ConstVal> {
+    match e {
+        Expr::Null => Some(ConstVal::Null),
+        Expr::Bool(b) => Some(ConstVal::Bool(*b)),
+        Expr::Int(i) => Some(ConstVal::Int(*i)),
+        Expr::Float(f) => Some(ConstVal::Float(*f)),
+        Expr::Str(s) => Some(ConstVal::Str(s.clone())),
+        Expr::Var(name) => {
+            if env.any {
+                return None;
+            }
+            env.vars
+                .get(name)
+                .filter(|f| f.definite)
+                .and_then(|f| f.constv.clone())
+        }
+        Expr::Neg(x) => match const_of(x, env, view)? {
+            ConstVal::Int(i) => Some(ConstVal::Int(i.wrapping_neg())),
+            _ => None,
+        },
+        Expr::Bin { op, lhs, rhs } => {
+            let l = const_of(lhs, env, view)?;
+            let r = const_of(rhs, env, view)?;
+            match op {
+                BinOp::Concat => Some(ConstVal::Str(l.php_string()? + &r.php_string()?)),
+                BinOp::Add | BinOp::Sub | BinOp::Mul => match (l, r) {
+                    (ConstVal::Int(a), ConstVal::Int(b)) => Some(ConstVal::Int(match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        _ => a.wrapping_mul(b),
+                    })),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        Expr::Call { name, .. } if !is_builtin(name) => view.const_ret(name).cloned(),
+        _ => None,
+    }
+}
+
+/// Applies the side effects of every call inside `item`'s expressions.
+/// `extract` poisons the environment; a user call's damage depends on what
+/// `view` knows about the callee: with a precise effect summary only the
+/// globals it (transitively) writes are clobbered, otherwise the original
+/// conservative rule applies — in `<main>` everything, in a function body
+/// the `global`-declared variables.
+pub fn apply_call_effects(
+    item: &Item<'_>,
+    scope: &ScopeCfg<'_>,
+    env: &mut TypeEnv,
+    view: &CallerView<'_>,
+) {
     for e in item_exprs(item) {
         walk_exprs(e, &mut |x| {
             if let Expr::Call { name, .. } = x {
                 if name == "extract" {
                     env.any = true;
                 } else if !is_builtin(name) {
-                    if scope.is_main {
-                        // The callee may read or write any global — which in
-                        // the script scope is every variable.
-                        env.any = true;
-                    } else {
-                        for g in &scope.globals {
-                            env.bind(g, Ty::Mixed);
+                    match view.effect(name) {
+                        CallEffect::Writes(globals) => {
+                            for g in globals {
+                                if scope.is_main || scope.globals.contains(g) {
+                                    env.clobber(g);
+                                }
+                            }
+                        }
+                        CallEffect::Opaque => {
+                            if scope.is_main {
+                                // The callee may read or write any global —
+                                // which in the script scope is every variable.
+                                env.any = true;
+                            } else {
+                                for g in &scope.globals {
+                                    env.bind(g, Ty::Mixed);
+                                }
+                            }
                         }
                     }
                 }
@@ -248,12 +392,15 @@ pub fn apply_call_effects(item: &Item<'_>, scope: &ScopeCfg<'_>, env: &mut TypeE
 
 /// Applies `item`'s binding effects (assignments, foreach bindings,
 /// `global` declarations) to `env`. Call effects must be applied first.
-pub fn apply_bindings(item: &Item<'_>, env: &mut TypeEnv) {
+pub fn apply_bindings(item: &Item<'_>, env: &mut TypeEnv, view: &CallerView<'_>) {
     match item {
         Item::Stmt(Stmt::Assign { target, value }) => {
-            let vt = ty_of(value, env);
+            let vt = ty_of(value, env, view);
             match target {
-                LValue::Var(name) => env.bind(name, vt),
+                LValue::Var(name) => {
+                    let cv = const_of(value, env, view);
+                    env.bind_const(name, vt, cv);
+                }
                 // Writing through `$a[...]` (auto-vivifying) proves `$a` is
                 // an array afterwards.
                 LValue::Index { var, .. } => env.bind(var, Ty::Arr),
@@ -277,17 +424,23 @@ pub fn apply_bindings(item: &Item<'_>, env: &mut TypeEnv) {
 }
 
 /// The full transfer function of one item.
-pub fn apply_item(item: &Item<'_>, scope: &ScopeCfg<'_>, env: &mut TypeEnv) {
+pub fn apply_item(item: &Item<'_>, scope: &ScopeCfg<'_>, env: &mut TypeEnv, view: &CallerView<'_>) {
     if !env.reachable {
         return;
     }
-    apply_call_effects(item, scope, env);
-    apply_bindings(item, env);
+    apply_call_effects(item, scope, env, view);
+    apply_bindings(item, env, view);
 }
 
-/// Solves type inference for one scope; returns the environment at the
-/// *entry* of every block.
+/// Solves type inference for one scope with no interprocedural knowledge;
+/// returns the environment at the *entry* of every block.
 pub fn solve_types(scope: &ScopeCfg<'_>) -> Vec<TypeEnv> {
+    solve_types_with(scope, &CallerView::EMPTY)
+}
+
+/// Like [`solve_types`], but user-call boundaries are interpreted through
+/// the function summaries behind `view`.
+pub fn solve_types_with(scope: &ScopeCfg<'_>, view: &CallerView<'_>) -> Vec<TypeEnv> {
     let mut boundary = TypeEnv::root();
     for p in &scope.params {
         boundary.bind(p, Ty::Mixed);
@@ -301,7 +454,7 @@ pub fn solve_types(scope: &ScopeCfg<'_>) -> Vec<TypeEnv> {
         &mut |b, input| {
             let mut env = input.clone();
             for item in &scope.cfg.blocks[b].items {
-                apply_item(item, scope, &mut env);
+                apply_item(item, scope, &mut env, view);
             }
             env
         },

@@ -15,7 +15,61 @@ fn str_arg(args: &[PhpValue], i: usize) -> PhpStr {
     arg(args, i).to_php_string()
 }
 
-/// Calls builtin `name`.
+/// Every name this module dispatches on, including aliases. `php-analysis`
+/// cross-checks its builtin knowledge table against this list so a new
+/// builtin can't silently be treated as an unknown user call (which would
+/// poison interprocedural summaries to ⊤).
+pub const NAMES: &[&str] = &[
+    "strlen",
+    "strtolower",
+    "strtoupper",
+    "ucfirst",
+    "ucwords",
+    "trim",
+    "strpos",
+    "str_replace",
+    "substr",
+    "str_repeat",
+    "sprintf",
+    "htmlspecialchars",
+    "strip_tags",
+    "lcfirst",
+    "str_word_count",
+    "nl2br",
+    "strcmp",
+    "implode",
+    "join",
+    "explode",
+    "count",
+    "array_keys",
+    "array_values",
+    "in_array",
+    "array_key_exists",
+    "isset_key",
+    "unset_key",
+    "extract",
+    "is_string",
+    "is_int",
+    "is_integer",
+    "is_long",
+    "is_float",
+    "is_double",
+    "is_bool",
+    "is_array",
+    "is_null",
+    "is_numeric",
+    "intval",
+    "floatval",
+    "strval",
+    "abs",
+    "max",
+    "min",
+    "preg_match",
+    "preg_replace",
+];
+
+/// Calls builtin `name`. `site` is the `Expr::Call` node being evaluated,
+/// when known — `preg_*` consult it for analysis-time-compiled patterns.
 ///
 /// # Errors
 ///
@@ -24,6 +78,7 @@ pub fn call(
     interp: &mut Interp<'_>,
     name: &str,
     args: Vec<PhpValue>,
+    site: Option<&crate::ast::Expr>,
 ) -> Result<PhpValue, RuntimeError> {
     let m = interp.machine();
     match name {
@@ -266,7 +321,7 @@ pub fn call(
         "preg_match" => {
             let pattern = str_arg(&args, 0).to_string_lossy();
             let subject = str_arg(&args, 1);
-            let re = interp.compile_regex(&pattern)?;
+            let re = interp.regex_for(site, &pattern)?;
             let matched = interp.machine().preg_match(&re, &subject);
             Ok(PhpValue::Int(matched as i64))
         }
@@ -274,7 +329,7 @@ pub fn call(
             let pattern = str_arg(&args, 0).to_string_lossy();
             let replacement = str_arg(&args, 1);
             let subject = str_arg(&args, 2);
-            let re = interp.compile_regex(&pattern)?;
+            let re = interp.regex_for(site, &pattern)?;
             let rules = vec![(re, replacement.as_bytes().to_vec())];
             let out = interp.machine().texturize(&subject, &rules);
             Ok(PhpValue::str(out))

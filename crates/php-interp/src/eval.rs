@@ -97,6 +97,8 @@ pub struct Interp<'m> {
     scopes: Vec<Scope>,
     output: Vec<u8>,
     regex_cache: HashMap<String, Regex>,
+    /// Runtime regex compiles performed (regex-cache misses).
+    regex_compiles: u64,
     /// Recursion guard.
     depth: usize,
     /// Static-analysis facts for the program being run (see
@@ -130,6 +132,7 @@ impl<'m> Interp<'m> {
             }],
             output: Vec::new(),
             regex_cache: HashMap::new(),
+            regex_compiles: 0,
             depth: 0,
             facts: None,
         }
@@ -138,7 +141,21 @@ impl<'m> Interp<'m> {
     /// Attaches static-analysis facts. Facts are keyed by node identity, so
     /// they only take effect when the exact analyzed [`Program`] instance is
     /// run; any other program falls back to fully dynamic execution.
+    ///
+    /// Attaching also forwards the analysis' static pre-configuration to the
+    /// machine (heap free-list pre-seeding from known allocation sizes,
+    /// string-engine sieve config preloading when regexes were precompiled)
+    /// and books the taint lints into the savings counters. All of it is
+    /// work-elision only — program output is unchanged.
     pub fn set_facts(&mut self, facts: Rc<AnalysisFacts>) {
+        self.machine.apply_prebuilt(
+            facts.alloc_size_hints(),
+            facts.precompiled_regex_count() > 0,
+        );
+        self.machine
+            .ctx()
+            .profiler()
+            .note_taint_lints(facts.taint_lint_count() as u64);
         self.facts = Some(facts);
     }
 
@@ -639,9 +656,14 @@ impl<'m> Interp<'m> {
                     vals.push(self.expr(a)?);
                 }
                 if let Some(def) = self.funcs.get(name).cloned() {
+                    // A summarized site: the analysis kept facts alive across
+                    // this call boundary instead of dropping to ⊤.
+                    if self.facts.as_ref().is_some_and(|f| f.call_summarized(e)) {
+                        self.machine.ctx().profiler().note_summary_applied();
+                    }
                     return self.invoke(&def, vals);
                 }
-                builtins::call(self, name, vals)
+                builtins::call(self, name, vals, Some(e))
             }
             Expr::Ternary {
                 cond,
@@ -783,9 +805,36 @@ impl<'m> Interp<'m> {
                 .ok_or_else(|| RuntimeError::new(format!("bad preg pattern {pattern:?}")))?;
             let re =
                 Regex::new(inner).map_err(|e| RuntimeError::new(format!("regex error: {e}")))?;
+            self.regex_compiles += 1;
             self.regex_cache.insert(pattern.to_owned(), re);
         }
         Ok(self.regex_cache[pattern].clone())
+    }
+
+    /// The compiled regex for a `preg_*` pattern argument: the analysis-time
+    /// handle recorded for this call site when one exists (counted as an
+    /// avoided compile), otherwise a runtime compile through the per-request
+    /// cache.
+    pub(crate) fn regex_for(
+        &mut self,
+        site: Option<&Expr>,
+        pattern: &str,
+    ) -> Result<Regex, RuntimeError> {
+        if let (Some(site), Some(f)) = (site, self.facts.as_ref()) {
+            if let Some(re) = f.precompiled_regex(site) {
+                let re = re.clone();
+                self.machine.ctx().profiler().note_regex_compile_avoided();
+                return Ok(re);
+            }
+        }
+        self.compile_regex(pattern)
+    }
+
+    /// How many runtime regex compiles this interpreter performed (cache
+    /// misses in [`Interp::compile_regex`]; analysis-precompiled patterns
+    /// never count).
+    pub fn regex_compile_count(&self) -> u64 {
+        self.regex_compiles
     }
 
     /// Sets a variable in the current scope (used by builtins like
@@ -796,7 +845,10 @@ impl<'m> Interp<'m> {
 }
 
 /// Strips PCRE delimiters (`/.../mods`); returns the inner pattern.
-fn strip_delimiters(p: &str) -> Option<&str> {
+///
+/// Public so `php-analysis` can compile constant patterns at analysis time
+/// through the exact same path the interpreter uses at runtime.
+pub fn strip_delimiters(p: &str) -> Option<&str> {
     let b = p.as_bytes();
     let delim = *b.first()?;
     if delim.is_ascii_alphanumeric() {

@@ -19,6 +19,7 @@
 //! attached or not.
 
 use crate::ast::{Expr, Stmt};
+use regex_engine::Regex;
 use std::collections::{HashMap, HashSet};
 
 /// Identifier of an AST node, assigned in lowering order by `php-analysis`.
@@ -55,6 +56,19 @@ pub struct AnalysisFacts {
     rc_elide_store: HashSet<NodeId>,
     /// Key shape proven for `Expr::Index` reads and `Stmt::Assign` writes.
     key_shape: HashMap<NodeId, KeyShape>,
+    /// Per-`Expr::Call` node: the regex compiled at analysis time from a
+    /// constant-propagated `preg_*` pattern argument. The interpreter clones
+    /// the handle instead of compiling per request.
+    precompiled_regex: HashMap<NodeId, Regex>,
+    /// `Expr::Call` nodes of user functions resolved through an
+    /// interprocedural summary (counted at runtime as a savings win).
+    call_summarized: HashSet<NodeId>,
+    /// Byte sizes of statically known allocation sites (constant-string
+    /// transients, fresh arrays): fed to the hardware heap's free-list
+    /// pre-seeding when the facts are attached.
+    alloc_size_hints: Vec<usize>,
+    /// Number of tainted-sink lints the analysis raised for this program.
+    taint_lint_count: usize,
 }
 
 fn expr_addr(e: &Expr) -> usize {
@@ -117,6 +131,26 @@ impl AnalysisFacts {
         }
     }
 
+    /// Stores the analysis-time-compiled regex for a `preg_*` call site.
+    pub fn set_precompiled_regex(&mut self, id: NodeId, re: Regex) {
+        self.precompiled_regex.insert(id, re);
+    }
+
+    /// Marks a user-call site as resolved through a function summary.
+    pub fn mark_call_summarized(&mut self, id: NodeId) {
+        self.call_summarized.insert(id);
+    }
+
+    /// Records one statically known allocation size (bytes).
+    pub fn add_alloc_size_hint(&mut self, size: usize) {
+        self.alloc_size_hints.push(size);
+    }
+
+    /// Records how many tainted-sink lints the analysis raised.
+    pub fn set_taint_lint_count(&mut self, n: usize) {
+        self.taint_lint_count = n;
+    }
+
     // -- queries (used by the interpreter) -----------------------------------
 
     /// The id of an expression node, if it belongs to the analyzed program.
@@ -160,6 +194,33 @@ impl AnalysisFacts {
         self.stmt_id(s)
             .and_then(|id| self.key_shape.get(&id).copied())
             .unwrap_or_default()
+    }
+
+    /// The analysis-time-compiled regex for a `preg_*` call site, if any.
+    pub fn precompiled_regex(&self, e: &Expr) -> Option<&Regex> {
+        self.expr_id(e)
+            .and_then(|id| self.precompiled_regex.get(&id))
+    }
+
+    /// Whether a user-call site was resolved through a function summary.
+    pub fn call_summarized(&self, e: &Expr) -> bool {
+        self.expr_id(e)
+            .is_some_and(|id| self.call_summarized.contains(&id))
+    }
+
+    /// Statically known allocation sizes (bytes), for heap pre-seeding.
+    pub fn alloc_size_hints(&self) -> &[usize] {
+        &self.alloc_size_hints
+    }
+
+    /// Number of tainted-sink lints the analysis raised.
+    pub fn taint_lint_count(&self) -> usize {
+        self.taint_lint_count
+    }
+
+    /// Number of `preg_*` sites with an analysis-time-compiled pattern.
+    pub fn precompiled_regex_count(&self) -> usize {
+        self.precompiled_regex.len()
     }
 
     // -- summary counts (used by reports) ------------------------------------

@@ -28,6 +28,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{BinOp, Expr, FuncDef, Program, Stmt};
-pub use eval::{ErrorKind, Interp, RuntimeError};
+pub use builtins::NAMES as BUILTIN_NAMES;
+pub use eval::{strip_delimiters, ErrorKind, Interp, RuntimeError};
 pub use facts::{AnalysisFacts, KeyShape, NodeId};
 pub use parser::{parse, ParseError};

@@ -172,6 +172,17 @@ pub struct StaticSavings {
     pub rc_incs_avoided: u64,
     /// Refcount decrements skipped on proven-non-escaping temporaries.
     pub rc_decs_avoided: u64,
+    /// User-call boundaries crossed with an interprocedural summary in hand
+    /// (facts survived instead of dropping to ⊤).
+    pub summaries_applied: u64,
+    /// `preg_*` compiles skipped because the analysis compiled the constant
+    /// pattern ahead of time.
+    pub regex_compiles_avoided: u64,
+    /// Hardware heap size classes whose free lists were pre-seeded from
+    /// statically known allocation sizes.
+    pub heap_classes_preseeded: u64,
+    /// Tainted-sink lints the attached analysis raised for the program.
+    pub taint_lints_flagged: u64,
 }
 
 impl StaticSavings {
@@ -312,6 +323,26 @@ impl Profiler {
     /// Notes a refcount decrement proven unnecessary and skipped.
     pub fn note_rc_dec_avoided(&self) {
         self.inner.borrow_mut().savings.rc_decs_avoided += 1;
+    }
+
+    /// Notes a call evaluated with an interprocedural summary attached.
+    pub fn note_summary_applied(&self) {
+        self.inner.borrow_mut().savings.summaries_applied += 1;
+    }
+
+    /// Notes a regex compile skipped thanks to analysis-time compilation.
+    pub fn note_regex_compile_avoided(&self) {
+        self.inner.borrow_mut().savings.regex_compiles_avoided += 1;
+    }
+
+    /// Notes `n` heap size classes pre-seeded from static allocation sizes.
+    pub fn note_heap_classes_preseeded(&self, n: u64) {
+        self.inner.borrow_mut().savings.heap_classes_preseeded += n;
+    }
+
+    /// Notes `n` tainted-sink lints flagged by the attached analysis.
+    pub fn note_taint_lints(&self, n: u64) {
+        self.inner.borrow_mut().savings.taint_lints_flagged += n;
     }
 
     /// Work skipped thanks to static analysis so far.

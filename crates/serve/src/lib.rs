@@ -20,12 +20,14 @@
 
 pub mod breaker;
 pub mod fault;
+pub mod lintgate;
 pub mod outcome;
 pub mod sandbox;
 pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultKind, FaultPlan, PlannedFault};
+pub use lintgate::{GateRejection, GateStats, LintGate, LintGateConfig};
 pub use outcome::{classify_panic, RequestOutcome};
 pub use sandbox::{run_sandboxed, SandboxConfig};
 pub use server::{RequestRecord, ServeStats, Server};

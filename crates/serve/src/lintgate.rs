@@ -1,0 +1,171 @@
+//! Optional static-analysis admission gate for scripts.
+//!
+//! The robustness layer sandboxes *runtime* misbehavior; the lint gate
+//! refuses known-bad scripts before they ever reach the sandbox. A
+//! [`LintGate`] parses and analyzes a script source and rejects it when the
+//! interprocedural analysis raises a lint of a gated kind — by default the
+//! taint lint, i.e. request input reaching an echo/regex/hash sink without
+//! passing a sanitizer. An allowlist of substrings mirrors
+//! `scripts/taint-allowlist.txt` for intentionally-dirty scripts.
+
+use php_analysis::{analyze, Lint, LintKind};
+use php_interp::parse;
+
+/// What the gate rejects and what it forgives.
+#[derive(Debug, Clone)]
+pub struct LintGateConfig {
+    /// Lint kinds that block admission.
+    pub reject_kinds: Vec<LintKind>,
+    /// Substrings that excuse an otherwise-blocking lint.
+    pub allowlist: Vec<String>,
+}
+
+impl Default for LintGateConfig {
+    fn default() -> Self {
+        LintGateConfig {
+            reject_kinds: vec![LintKind::TaintedSink],
+            allowlist: Vec::new(),
+        }
+    }
+}
+
+/// Why a script was refused.
+#[derive(Debug, Clone)]
+pub enum GateRejection {
+    /// The script does not parse at all.
+    Parse(String),
+    /// Blocking lints not covered by the allowlist.
+    Lints(Vec<Lint>),
+}
+
+/// Admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Scripts checked.
+    pub checked: u64,
+    /// Scripts admitted.
+    pub admitted: u64,
+    /// Scripts rejected (parse failure or blocking lints).
+    pub rejected: u64,
+}
+
+/// The admission gate itself.
+#[derive(Debug, Default)]
+pub struct LintGate {
+    cfg: LintGateConfig,
+    stats: GateStats,
+}
+
+impl LintGate {
+    /// Creates a gate with the given policy.
+    pub fn new(cfg: LintGateConfig) -> Self {
+        LintGate {
+            cfg,
+            stats: GateStats::default(),
+        }
+    }
+
+    /// Checks one script source. `Ok(())` admits it; `Err` explains the
+    /// refusal. Analysis facts are discarded — the gate only wants lints,
+    /// and real deployments re-analyze against the interpreter's own shared
+    /// function instances (see `workloads::php_corpus::prepare`).
+    pub fn admit(&mut self, source: &str) -> Result<(), GateRejection> {
+        self.stats.checked += 1;
+        let prog = match parse(source) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.rejected += 1;
+                return Err(GateRejection::Parse(format!("{e:?}")));
+            }
+        };
+        let analysis = analyze(&prog);
+        let blocking: Vec<Lint> = analysis
+            .report
+            .lints
+            .into_iter()
+            .filter(|l| self.cfg.reject_kinds.contains(&l.kind))
+            .filter(|l| {
+                let line = l.to_string();
+                !self.cfg.allowlist.iter().any(|a| line.contains(a.as_str()))
+            })
+            .collect();
+        if blocking.is_empty() {
+            self.stats.admitted += 1;
+            Ok(())
+        } else {
+            self.stats.rejected += 1;
+            Err(GateRejection::Lints(blocking))
+        }
+    }
+
+    /// Admission counters so far.
+    pub fn stats(&self) -> GateStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::php_corpus;
+
+    fn entry_source(name: &str) -> &'static str {
+        php_corpus::ENTRIES
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap()
+            .source
+    }
+
+    #[test]
+    fn tainted_script_is_rejected_and_counted() {
+        let mut gate = LintGate::default();
+        match gate.admit(entry_source("search-echo")) {
+            Err(GateRejection::Lints(lints)) => {
+                assert!(lints.iter().all(|l| l.kind == LintKind::TaintedSink));
+                assert!(lints[0].to_string().contains("($q)"), "{lints:?}");
+            }
+            other => panic!("expected taint rejection, got {other:?}"),
+        }
+        assert_eq!(
+            gate.stats(),
+            GateStats {
+                checked: 1,
+                admitted: 0,
+                rejected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn sanitized_and_computational_scripts_are_admitted() {
+        let mut gate = LintGate::default();
+        // search-echo's sanitized sibling: everything echoed goes through
+        // htmlspecialchars first.
+        gate.admit("$q = htmlspecialchars($title); echo $q;")
+            .expect("sanitized echo is clean");
+        gate.admit(entry_source("price-helpers"))
+            .expect("no request input at all");
+        assert_eq!(gate.stats().admitted, 2);
+    }
+
+    #[test]
+    fn allowlist_excuses_intentional_taint() {
+        let mut gate = LintGate::new(LintGateConfig {
+            allowlist: vec!["($q)".into()],
+            ..LintGateConfig::default()
+        });
+        gate.admit(entry_source("search-echo"))
+            .expect("allowlisted taint admits");
+    }
+
+    #[test]
+    fn parse_failures_are_rejections_not_panics() {
+        let mut gate = LintGate::default();
+        assert!(matches!(
+            gate.admit("function {{{"),
+            Err(GateRejection::Parse(_))
+        ));
+        assert_eq!(gate.stats().rejected, 1);
+    }
+}

@@ -58,6 +58,59 @@ $list[] = $counts['php'] + $counts['perf'];
 echo $out, 'total=', $list[1];
 "#;
 
+/// Call-heavy comment pipeline: helper functions whose summaries carry
+/// types, constants, and purity across call boundaries — including a
+/// constant `preg_*` pattern returned *from a function*, which only the
+/// interprocedural constant propagation can pre-compile.
+const WP_COMMENT_FILTER: &str = r#"
+function shout_pattern() {
+    return '/[A-Z][A-Z]+/';
+}
+function clean($text) {
+    return trim(strip_tags($text));
+}
+function format_comment($author, $text) {
+    $t = clean($text);
+    if (preg_match(shout_pattern(), $t)) {
+        $t = strtolower($t);
+    }
+    $t = preg_replace('/!!+/', '!', $t);
+    return '<p><b>' . $author . '</b>: ' . $t . '</p>';
+}
+$comments = array('Great <em>post</em>!', '  FIRST comment!!! ', 'measured take');
+$out = '';
+foreach ($comments as $c) {
+    $out = $out . format_comment('reader', $c);
+}
+echo $out;
+"#;
+
+/// Leaf helpers called from `<main>`: with summaries the callers keep
+/// concrete types (and locals survive the calls); without them every call
+/// poisons the whole script scope.
+const SPECWEB_PRICE_HELPERS: &str = r#"
+function add_fee($n) {
+    return $n + 25;
+}
+function label($s) {
+    return '[' . $s . ']';
+}
+$name = 'cart';
+$subtotal = 100;
+$fee = add_fee($subtotal);
+$total = $fee + add_fee(80);
+$line = label($name) . ' total=' . $total;
+echo $line, ' fee=', $fee, ' for ', $name;
+"#;
+
+/// Intentional tainted-sink demo: raw request input reaches an echo before
+/// the sanitized copy does. The taint allowlist in `scripts/` names it.
+const WP_SEARCH_ECHO: &str = r#"
+$q = trim($title);
+echo '<h1>Results for ', $q, '</h1>';
+echo '<p class="safe">', htmlspecialchars($q), '</p>';
+"#;
+
 const DRUPAL_NODE_RENDER: &str = r#"
 $node = array();
 $node['title'] = 'About';
@@ -127,6 +180,18 @@ pub const ENTRIES: &[CorpusEntry] = &[
         needs_request_vars: false,
     },
     CorpusEntry {
+        app: "wordpress",
+        name: "comment-filter",
+        source: WP_COMMENT_FILTER,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "wordpress",
+        name: "search-echo",
+        source: WP_SEARCH_ECHO,
+        needs_request_vars: true,
+    },
+    CorpusEntry {
         app: "drupal",
         name: "node-render",
         source: DRUPAL_NODE_RENDER,
@@ -148,6 +213,12 @@ pub const ENTRIES: &[CorpusEntry] = &[
         app: "specweb",
         name: "support-search",
         source: SPECWEB_SUPPORT,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "specweb",
+        name: "price-helpers",
+        source: SPECWEB_PRICE_HELPERS,
         needs_request_vars: false,
     },
 ];
@@ -302,6 +373,130 @@ mod tests {
         ] {
             assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
         }
+    }
+
+    /// Acceptance: turning on the interprocedural layer must *strictly*
+    /// increase both proven operand types and elidable refcount pairs over
+    /// the corpus — summaries keep caller environments alive across calls
+    /// and release arguments the callee provably never retains.
+    #[test]
+    fn interprocedural_mode_strictly_improves_precision() {
+        use php_analysis::{analyze_with_options, AnalyzeOptions};
+        let mut typed = (0usize, 0usize);
+        let mut rc = (0usize, 0usize);
+        let mut summarized = 0;
+        let mut precompiled = 0;
+        for entry in ENTRIES {
+            let program = parse(entry.source).unwrap();
+            let intra = analyze_with_options(
+                &program,
+                &[],
+                AnalyzeOptions {
+                    interprocedural: false,
+                },
+            );
+            let inter = analyze_with_options(&program, &[], AnalyzeOptions::default());
+            typed.0 += intra.report.typed_operands();
+            typed.1 += inter.report.typed_operands();
+            rc.0 += intra.report.rc_elided_sites();
+            rc.1 += inter.report.rc_elided_sites();
+            summarized += inter.report.summarized_calls();
+            precompiled += inter.report.preg_precompiled();
+            assert_eq!(
+                intra.report.summarized_calls(),
+                0,
+                "intraprocedural mode must not claim summary wins"
+            );
+        }
+        assert!(typed.1 > typed.0, "typed operands: {typed:?}");
+        assert!(rc.1 > rc.0, "rc-elidable sites: {rc:?}");
+        assert!(summarized > 0, "no call site used a summary");
+        assert!(precompiled > 0, "no constant preg pattern was precompiled");
+    }
+
+    /// The comment-filter entry's flagship win: its `preg_match` pattern
+    /// comes out of a *function call*, so only constant-return propagation
+    /// through the call graph can compile it at analysis time.
+    #[test]
+    fn const_return_pattern_is_precompiled_across_the_call() {
+        let entry = ENTRIES.iter().find(|e| e.name == "comment-filter").unwrap();
+        let p = prepare(entry);
+        assert!(
+            p.facts.precompiled_regex_count() >= 2,
+            "literal and const-return patterns both precompile, got {}",
+            p.facts.precompiled_regex_count()
+        );
+        assert!(p.report.summarized_calls() > 0);
+    }
+
+    /// Acceptance: with facts attached the comment-filter entry performs
+    /// *zero* runtime regex compiles — both `preg_*` sites reuse handles
+    /// compiled once at analysis time.
+    #[test]
+    fn precompiled_patterns_remove_all_runtime_regex_compiles() {
+        let entry = ENTRIES.iter().find(|e| e.name == "comment-filter").unwrap();
+        let p = prepare(entry);
+
+        let mut m = PhpMachine::specialized();
+        let mut interp = Interp::new(&mut m);
+        interp.predefine_funcs(p.shared_funcs.iter().cloned());
+        interp.run_program(&p.program).unwrap();
+        assert!(
+            interp.regex_compile_count() > 0,
+            "fully dynamic mode must compile per request"
+        );
+
+        let mut m = PhpMachine::specialized();
+        let mut interp = Interp::new(&mut m);
+        interp.predefine_funcs(p.shared_funcs.iter().cloned());
+        interp.set_facts(p.facts.clone());
+        interp.run_program(&p.program).unwrap();
+        assert_eq!(
+            interp.regex_compile_count(),
+            0,
+            "precompiled handles must cover every preg_* site"
+        );
+    }
+
+    /// Every one of the interprocedural savings counters fires somewhere in
+    /// the corpus, so `analyze` never reports a structurally-zero column.
+    #[test]
+    fn interprocedural_savings_counters_all_fire() {
+        let mut summaries = 0u64;
+        let mut regex_avoided = 0u64;
+        let mut preseeded = 0u64;
+        let mut taint = 0u64;
+        for entry in ENTRIES {
+            let p = prepare(entry);
+            let mut m = PhpMachine::specialized();
+            p.run(&mut m, true);
+            let s = m.ctx().profiler().static_savings();
+            summaries += s.summaries_applied;
+            regex_avoided += s.regex_compiles_avoided;
+            preseeded += s.heap_classes_preseeded;
+            taint += s.taint_lints_flagged;
+        }
+        assert!(summaries > 0, "no summarized call executed");
+        assert!(regex_avoided > 0, "no precompiled regex was reused");
+        assert!(preseeded > 0, "no heap size class was preseeded");
+        assert!(taint > 0, "no taint lint reached the profiler");
+    }
+
+    /// The search-echo entry exists to keep the taint lint (and its
+    /// allowlist entry) exercised end to end.
+    #[test]
+    fn search_echo_raises_a_tainted_sink_lint() {
+        let entry = ENTRIES.iter().find(|e| e.name == "search-echo").unwrap();
+        let p = prepare(entry);
+        assert!(
+            p.report
+                .lints
+                .iter()
+                .any(|l| l.kind == LintKind::TaintedSink && l.message.contains("($q)")),
+            "{:?}",
+            p.report.lints
+        );
+        assert_eq!(p.facts.taint_lint_count(), 1, "the sanitized echo is clean");
     }
 
     #[test]

@@ -13,6 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== interprocedural analysis =="
+# Lints are errors: every corpus lint must be covered by the allowlist.
+cargo run -q -p bench --bin analyze -- --gate scripts/taint-allowlist.txt >/dev/null
+
 echo "== fault-injection soak =="
 scripts/soak.sh
 
