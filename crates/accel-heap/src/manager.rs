@@ -394,6 +394,14 @@ impl HwHeapManager {
 mod tests {
     use super::*;
 
+    /// Send-audit: per-core accelerator state must be movable into a worker
+    /// thread (it stays worker-private, so `Sync` is not required).
+    #[test]
+    fn hw_heap_manager_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HwHeapManager>();
+    }
+
     fn setup() -> (HwHeapManager, SlabAllocator, Profiler) {
         (
             HwHeapManager::default(),

@@ -568,6 +568,14 @@ mod tests {
         HwHashTable::default()
     }
 
+    /// Send-audit: per-core accelerator state must be movable into a worker
+    /// thread (it stays worker-private, so `Sync` is not required).
+    #[test]
+    fn hw_hash_table_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<HwHashTable>();
+    }
+
     #[test]
     fn get_miss_fill_then_hit() {
         let mut t = table();

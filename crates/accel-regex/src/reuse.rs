@@ -315,6 +315,14 @@ pub fn run_with_reuse(
 mod tests {
     use super::*;
 
+    /// Send-audit: per-core accelerator state must be movable into a worker
+    /// thread (it stays worker-private, so `Sync` is not required).
+    #[test]
+    fn content_reuse_table_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ContentReuseTable>();
+    }
+
     #[test]
     fn figure13_author_url_scenario() {
         // Figure 13: scanning two author URLs where only the name changes;

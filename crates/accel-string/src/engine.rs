@@ -481,6 +481,14 @@ mod tests {
         StringAccel::default()
     }
 
+    /// Send-audit: per-core accelerator state must be movable into a worker
+    /// thread (it stays worker-private, so `Sync` is not required).
+    #[test]
+    fn string_accel_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<StringAccel>();
+    }
+
     #[test]
     fn config_fault_detected_once_then_clean() {
         let mut a = accel();

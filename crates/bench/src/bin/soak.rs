@@ -14,14 +14,23 @@
 //! * each breaker recovered (half-open trial succeeded) and ends closed;
 //! * every successful response is byte-identical to the software baseline.
 //!
-//! Usage: `soak [seed]` (default seed 20170613).
+//! With `--workers N` the same stream is sharded across an N-worker
+//! [`serve::WorkerPool`] — each worker gets a private machine, its slice of
+//! the (N×-denser) fault plan, and its own breakers — and the pass criteria
+//! are asserted on the merged pool totals. Machines are *not* reset between
+//! requests in either mode: faults must land in live accelerator state.
+//! Response bodies are dropped from the per-request records in both modes
+//! (`keep_bodies = false`) so long soaks run in bounded memory; outcomes,
+//! byte-identity replay, and fault deltas are computed before the drop.
+//!
+//! Usage: `soak [seed] [--workers N]` (default seed 20170613, 1 worker).
 
 use php_runtime::{ArrayKey, PhpArray, PhpStr, PhpValue};
 use phpaccel_core::{AccelId, PhpMachine};
 use regex_engine::Regex;
 use serve::{
-    BreakerConfig, BreakerState, FaultKind, FaultPlan, PlannedFault, RequestOutcome, SandboxConfig,
-    Server,
+    BreakerConfig, BreakerState, FaultKind, FaultPlan, PlannedFault, PoolConfig, RequestOutcome,
+    SandboxConfig, Server, WorkerPool,
 };
 use std::collections::HashMap;
 
@@ -111,14 +120,11 @@ impl SoakApp {
     }
 }
 
-fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_170_613);
-
-    // Seeded plan over every accelerator domain, plus two forced OOMs.
-    let mut faults = FaultPlan::seeded(seed, 4, BURN_IN, LAST_FAULT)
+/// Seeded plan over every accelerator domain, plus two forced OOMs.
+/// `per_domain` scales with the worker count so each worker's shard still
+/// carries enough faults to trip its breakers.
+fn build_plan(seed: u64, per_domain: usize) -> FaultPlan {
+    let mut faults = FaultPlan::seeded(seed, per_domain, BURN_IN, LAST_FAULT)
         .all()
         .to_vec();
     for at in OOM_REQUESTS {
@@ -127,26 +133,55 @@ fn main() {
             kind: FaultKind::AllocatorOom,
         });
     }
-    let plan = FaultPlan::new(faults);
-    let planned = plan.all().len();
+    FaultPlan::new(faults)
+}
 
-    // Window spans the whole fault phase so every domain accumulates enough
-    // marks to trip; backoff is short enough to recover well before the end.
-    let breaker_cfg = BreakerConfig {
+/// Window spans the whole fault phase so every domain accumulates enough
+/// marks to trip; backoff is short enough to recover well before the end.
+fn breaker_cfg() -> BreakerConfig {
+    BreakerConfig {
         fault_threshold: 2,
         window: LAST_FAULT,
         base_backoff: 10,
         max_backoff: 40,
-    };
-    let sandbox = SandboxConfig {
+    }
+}
+
+fn sandbox() -> SandboxConfig {
+    SandboxConfig {
         fuel: None,
         uop_budget: Some(50_000_000),
         memory_limit: Some(64 << 20),
-    };
+    }
+}
 
-    let mut server = Server::new(PhpMachine::specialized(), breaker_cfg, sandbox)
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers: usize = 1;
+    let mut seed: u64 = 20_170_613;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--workers" {
+            workers = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--workers takes a positive integer");
+        } else {
+            seed = a.parse().expect("seed must be an integer");
+        }
+    }
+
+    if workers > 1 {
+        run_pool(seed, workers);
+        return;
+    }
+
+    let plan = build_plan(seed, 4);
+    let planned = plan.all().len();
+    let mut server = Server::new(PhpMachine::specialized(), breaker_cfg(), sandbox())
         .with_fault_plan(plan)
-        .with_reference(PhpMachine::baseline());
+        .with_reference(PhpMachine::baseline())
+        .with_keep_bodies(false);
 
     let mut app = SoakApp::new();
     let mut handler = |m: &mut PhpMachine, req: u64| app.handle(m, req);
@@ -243,6 +278,124 @@ fn main() {
 
     if failures.is_empty() {
         println!("SOAK PASS: all requests served, all breakers tripped and recovered, output byte-identical");
+    } else {
+        for f in &failures {
+            println!("SOAK FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The threaded soak: the same request stream sharded across a worker pool,
+/// with the fault plan densified so each worker's shard still trips its
+/// breakers, and the pass criteria asserted on the merged totals.
+fn run_pool(seed: u64, workers: usize) {
+    let plan = build_plan(seed, 4 * workers);
+    let planned = plan.all().len();
+    let cfg = PoolConfig {
+        workers,
+        requests: TOTAL_REQUESTS,
+        breaker_cfg: breaker_cfg(),
+        sandbox: sandbox(),
+        plan,
+        reference: true,
+        // Faults must land in live accelerator state, so machines keep their
+        // history across requests (unlike the deterministic bench mode).
+        reset_between_requests: false,
+        keep_bodies: false,
+    };
+    let pool = WorkerPool::new(cfg);
+
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = pool.run(
+        |_| PhpMachine::specialized(),
+        |_w| {
+            let mut app = SoakApp::new();
+            move |m: &mut PhpMachine, req: u64| app.handle(m, req)
+        },
+    );
+    let _ = std::panic::take_hook();
+
+    let stats = &report.stats;
+    println!("== soak: fault-tolerant serving (seed {seed}, {workers} workers) ==");
+    println!(
+        "requests {}  ok {}  timeouts {}  ooms {}  panics {}  planned faults {}",
+        stats.requests, stats.ok, stats.timeouts, stats.ooms, stats.panics, planned
+    );
+    println!(
+        "availability {:.2}% (expected {:.2}%)  byte mismatches vs software baseline: {}",
+        stats.availability() * 100.0,
+        (TOTAL_REQUESTS - OOM_REQUESTS.len() as u64) as f64 / TOTAL_REQUESTS as f64 * 100.0,
+        stats.mismatches
+    );
+    println!(
+        "{:8} {:>8} {:>8} {:>6} {:>10} {:>9}",
+        "domain", "injected", "detected", "trips", "recoveries", "degraded"
+    );
+    let mut failures = Vec::new();
+    for id in AccelId::ALL {
+        let i = id.index();
+        println!(
+            "{:8} {:>8} {:>8} {:>6} {:>10} {:>9}",
+            id.name(),
+            report.injected[i],
+            report.detected[i],
+            report.trips[i],
+            report.recoveries[i],
+            stats.degraded_requests[i],
+        );
+        if report.detected[i] == 0 {
+            failures.push(format!("{}: no faults detected on any worker", id.name()));
+        }
+        if report.trips[i] == 0 {
+            failures.push(format!("{}: no breaker tripped on any worker", id.name()));
+        }
+        if report.recoveries[i] == 0 {
+            failures.push(format!("{}: no breaker recovered on any worker", id.name()));
+        }
+    }
+    if !report.all_breakers_closed {
+        failures.push("a breaker is not closed at end of run".into());
+    }
+
+    if !stats.outcomes_partition_requests() {
+        failures.push("outcome counters do not partition the request count".into());
+    }
+    let expected_ok = TOTAL_REQUESTS - OOM_REQUESTS.len() as u64;
+    if stats.ok != expected_ok {
+        failures.push(format!(
+            "availability: {} ok, expected {}",
+            stats.ok, expected_ok
+        ));
+    }
+    if stats.mismatches != 0 {
+        failures.push(format!(
+            "{} degraded responses differed from baseline",
+            stats.mismatches
+        ));
+    }
+    for at in OOM_REQUESTS {
+        if report.records[at as usize].outcome != RequestOutcome::OomKilled {
+            failures.push(format!(
+                "request {at}: expected OomKilled, got {:?}",
+                report.records[at as usize].outcome
+            ));
+        }
+    }
+    if report.records.iter().any(|r| !r.response.is_empty()) {
+        failures.push("response bodies retained despite keep_bodies = false".into());
+    }
+    if report.live_blocks != 0 {
+        failures.push(format!(
+            "worker machines leaked {} live blocks",
+            report.live_blocks
+        ));
+    }
+
+    if failures.is_empty() {
+        println!(
+            "SOAK PASS ({workers} workers): merged stats clean, every domain detected, tripped and recovered"
+        );
     } else {
         for f in &failures {
             println!("SOAK FAIL: {f}");

@@ -936,6 +936,28 @@ impl PhpMachine {
         m
     }
 
+    /// A single-pattern `preg_replace`: sieve-accelerated matching with
+    /// *exact* splicing. Whitespace-padded replacements exist only to keep
+    /// the hint vector aligned for later shadow passes of a texturize
+    /// pipeline; a lone replace has no downstream consumer, so its output
+    /// must be byte-identical to the software path.
+    pub fn preg_replace(&mut self, re: &Regex, subject: &PhpStr, replacement: &[u8]) -> PhpStr {
+        if !self.use_accel(AccelId::Regex) {
+            let (out, _n, stats) = re.replace_all(subject.as_bytes(), replacement);
+            self.charge_regex("pcre_replace", stats.uops);
+            return PhpStr::from_bytes(out);
+        }
+        let bytes = subject.as_bytes();
+        let sieve = regexp_sieve(re, bytes, self.cfg.segment_size, &mut self.core.straccel);
+        self.charge_regex("regexp_sieve", sieve.uops);
+        self.core.regex_stats.note_sieve(&sieve, bytes.len());
+        let mut cur = bytes.to_vec();
+        for m in sieve.matches.iter().rev() {
+            cur.splice(m.start..m.end, replacement.iter().copied());
+        }
+        PhpStr::from_bytes(cur)
+    }
+
     /// Runs a *texturize pipeline*: a series of consecutive regexps over the
     /// same content (Figure 11). In specialized mode the first regexp acts
     /// as the sieve and the rest as shadows; replacements keep the HV
@@ -1039,6 +1061,18 @@ mod tests {
 
     fn machines() -> (PhpMachine, PhpMachine) {
         (PhpMachine::baseline(), PhpMachine::specialized())
+    }
+
+    /// Send-audit for the worker pool: a `PhpMachine` (the whole per-core
+    /// state bundle — runtime context plus all four accelerators) must be
+    /// movable into a worker thread. It is deliberately *not* `Sync`:
+    /// accelerator state mirrors private per-core hardware and is never
+    /// shared between workers.
+    #[test]
+    fn php_machine_is_send_for_worker_ownership() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PhpMachine>();
+        assert_send::<SpecializedCore>();
     }
 
     #[test]
@@ -1170,6 +1204,34 @@ mod tests {
         assert_eq!(squash(&out_b), squash(&out_s));
         assert!(out_s.to_string_lossy().contains("&#8217;"));
         assert!(spec.core().regex_stats.bytes_skipped_sift > 0);
+    }
+
+    /// Regression: a lone `preg_replace` must splice exactly — the padded
+    /// replacement trick is only valid inside a texturize pipeline, and it
+    /// used to leak trailing spaces into specialized-mode output whenever
+    /// the replacement was shorter than the match.
+    #[test]
+    fn preg_replace_is_byte_exact_across_modes() {
+        let (mut base, mut spec) = machines();
+        let cases = [
+            ("!!+", "!", "first comment!!!"),
+            ("o+", "0", "foo boo oooo"),
+            ("ab", "xyz", "drab slab"), // growing replacement
+            ("z+", "-", "no match here"),
+        ];
+        for (pat, repl, subject) in cases {
+            let re = Regex::new(pat).unwrap();
+            let s = PhpStr::from(subject);
+            let out_b = base.preg_replace(&re, &s, repl.as_bytes());
+            let out_s = spec.preg_replace(&re, &s, repl.as_bytes());
+            assert_eq!(
+                out_b.as_bytes(),
+                out_s.as_bytes(),
+                "{pat} on {subject:?} diverged"
+            );
+            let (sw, _, _) = re.replace_all(s.as_bytes(), repl.as_bytes());
+            assert_eq!(out_s.as_bytes(), &sw[..], "not byte-exact vs software");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use php_interp::ast::{Expr, FuncDef, Program, Stmt};
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a basic block within a [`Cfg`].
 pub type BlockId = usize;
@@ -247,7 +247,7 @@ pub fn lower_program(prog: &Program) -> Vec<ScopeCfg<'_>> {
 /// pre-registered shared definitions
 /// ([`Interp::predefine_funcs`](php_interp::Interp::predefine_funcs)), so the
 /// node identities the facts are keyed by match what actually runs.
-pub fn lower_program_with<'a>(prog: &'a Program, shared: &'a [Rc<FuncDef>]) -> Vec<ScopeCfg<'a>> {
+pub fn lower_program_with<'a>(prog: &'a Program, shared: &'a [Arc<FuncDef>]) -> Vec<ScopeCfg<'a>> {
     let overrides: BTreeMap<&str, &FuncDef> =
         shared.iter().map(|f| (f.name.as_str(), &**f)).collect();
     let (main, mut pending) = lower_scope("<main>".into(), Vec::new(), &prog.stmts, true);

@@ -56,7 +56,7 @@ pub mod types;
 
 use php_interp::ast::{FuncDef, Program};
 use php_interp::AnalysisFacts;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use callgraph::CallGraph;
 pub use report::{Lint, LintKind, Report, ScopeReport};
@@ -107,17 +107,17 @@ pub fn analyze(prog: &Program) -> Analysis {
 ///
 /// The interpreter clones hoisted function definitions into its own table, so
 /// facts keyed on `prog`'s nodes can never match inside function bodies.
-/// Pre-registering the same `Rc<FuncDef>` instances with
+/// Pre-registering the same `Arc<FuncDef>` instances with
 /// [`Interp::predefine_funcs`](php_interp::Interp::predefine_funcs) and
 /// analyzing with them here keeps node identities aligned end to end.
-pub fn analyze_with_funcs(prog: &Program, shared: &[Rc<FuncDef>]) -> Analysis {
+pub fn analyze_with_funcs(prog: &Program, shared: &[Arc<FuncDef>]) -> Analysis {
     analyze_with_options(prog, shared, AnalyzeOptions::default())
 }
 
 /// Like [`analyze_with_funcs`], with explicit [`AnalyzeOptions`].
 pub fn analyze_with_options(
     prog: &Program,
-    shared: &[Rc<FuncDef>],
+    shared: &[Arc<FuncDef>],
     opts: AnalyzeOptions,
 ) -> Analysis {
     let scopes = cfg::lower_program_with(prog, shared);

@@ -330,8 +330,12 @@ pub fn call(
             let replacement = str_arg(&args, 1);
             let subject = str_arg(&args, 2);
             let re = interp.regex_for(site, &pattern)?;
-            let rules = vec![(re, replacement.as_bytes().to_vec())];
-            let out = interp.machine().texturize(&subject, &rules);
+            // Not `texturize`: its HV-preserving whitespace padding would
+            // leak into the result when the replacement is shorter than the
+            // match. A lone replace needs exact splicing.
+            let out = interp
+                .machine()
+                .preg_replace(&re, &subject, replacement.as_bytes());
             Ok(PhpValue::str(out))
         }
         other => Err(RuntimeError::new(format!("undefined builtin {other}"))),

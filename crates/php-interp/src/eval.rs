@@ -19,7 +19,7 @@ use phpaccel_core::{KeyShapeHint, PhpMachine};
 use regex_engine::Regex;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What class of failure a [`RuntimeError`] represents. The serving layer's
 /// sandbox maps each kind to a different request outcome.
@@ -93,7 +93,7 @@ struct Scope {
 /// The interpreter.
 pub struct Interp<'m> {
     machine: &'m mut PhpMachine,
-    funcs: HashMap<String, Rc<FuncDef>>,
+    funcs: HashMap<String, Arc<FuncDef>>,
     scopes: Vec<Scope>,
     output: Vec<u8>,
     regex_cache: HashMap<String, Regex>,
@@ -103,7 +103,7 @@ pub struct Interp<'m> {
     depth: usize,
     /// Static-analysis facts for the program being run (see
     /// [`crate::facts`]). `None` = fully dynamic execution.
-    facts: Option<Rc<AnalysisFacts>>,
+    facts: Option<Arc<AnalysisFacts>>,
 }
 
 fn hint_of(shape: KeyShape) -> KeyShapeHint {
@@ -147,7 +147,7 @@ impl<'m> Interp<'m> {
     /// string-engine sieve config preloading when regexes were precompiled)
     /// and books the taint lints into the savings counters. All of it is
     /// work-elision only — program output is unchanged.
-    pub fn set_facts(&mut self, facts: Rc<AnalysisFacts>) {
+    pub fn set_facts(&mut self, facts: Arc<AnalysisFacts>) {
         self.machine.apply_prebuilt(
             facts.alloc_size_hints(),
             facts.precompiled_regex_count() > 0,
@@ -168,7 +168,7 @@ impl<'m> Interp<'m> {
     /// [`Interp::run_program`] keeps an already-registered name instead of
     /// cloning the program's definition, so facts interned over these exact
     /// instances (via `php-analysis`) stay valid inside function bodies.
-    pub fn predefine_funcs<I: IntoIterator<Item = Rc<FuncDef>>>(&mut self, defs: I) {
+    pub fn predefine_funcs<I: IntoIterator<Item = Arc<FuncDef>>>(&mut self, defs: I) {
         for def in defs {
             self.funcs.insert(def.name.clone(), def);
         }
@@ -219,7 +219,7 @@ impl<'m> Interp<'m> {
             if let Stmt::FuncDef(f) = s {
                 self.funcs
                     .entry(f.name.clone())
-                    .or_insert_with(|| Rc::new(f.clone()));
+                    .or_insert_with(|| Arc::new(f.clone()));
             }
         }
         for s in &prog.stmts {
@@ -541,7 +541,7 @@ impl<'m> Interp<'m> {
                 Ok(Flow::Normal)
             }
             Stmt::FuncDef(f) => {
-                self.funcs.insert(f.name.clone(), Rc::new(f.clone()));
+                self.funcs.insert(f.name.clone(), Arc::new(f.clone()));
                 Ok(Flow::Normal)
             }
             Stmt::Return(e) => {

@@ -7,6 +7,11 @@
 //! are never mutated: nodes are identified by address, so the facts are only
 //! valid for the exact `Program` instance that was analyzed (templates are
 //! parsed once and interpreted per-request, so that instance is long-lived).
+//! Once built, the table is read-only, `Send + Sync`, and identity-stable:
+//! wrapping the analyzed `Program` and its facts in `Arc`s and handing clones
+//! of those `Arc`s to worker threads preserves every node address, so all
+//! workers see the same facts without re-parsing or re-analyzing — the
+//! software analogue of a shared bytecode cache.
 //! A missing entry always means "no facts" — the interpreter falls back to
 //! fully dynamic behaviour, which keeps attachment of stale or foreign facts
 //! harmless for correctness.
@@ -299,6 +304,36 @@ mod tests {
         let b = f.intern_stmt(s);
         assert_eq!(a, b);
         assert_eq!(f.stmt_id(s), Some(a));
+    }
+
+    #[test]
+    fn facts_are_send_and_sync_for_arc_sharing() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisFacts>();
+    }
+
+    #[test]
+    fn arc_sharing_preserves_node_identity() {
+        use std::sync::Arc;
+        let prog = Arc::new(parse("$a = 1 + 2;").unwrap());
+        let Stmt::Assign { value, .. } = &prog.stmts[0] else {
+            panic!()
+        };
+        let mut f = AnalysisFacts::new();
+        let id = f.intern_expr(value);
+        f.set_bin_typed(id, true, true);
+        let facts = Arc::new(f);
+        // Another thread holding clones of the same Arcs resolves the same
+        // node to the same facts: addresses survive the Arc round-trip.
+        let (p2, f2) = (Arc::clone(&prog), Arc::clone(&facts));
+        std::thread::spawn(move || {
+            let Stmt::Assign { value, .. } = &p2.stmts[0] else {
+                panic!()
+            };
+            assert_eq!(f2.bin_typed(value), (true, true));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -190,6 +190,18 @@ impl StaticSavings {
     pub fn total(&self) -> u64 {
         self.type_checks_avoided + self.rc_incs_avoided + self.rc_decs_avoided
     }
+
+    /// Adds another tally into this one, counter by counter. Server pools
+    /// use this to fold per-worker savings into a lossless total.
+    pub fn accumulate(&mut self, other: &StaticSavings) {
+        self.type_checks_avoided += other.type_checks_avoided;
+        self.rc_incs_avoided += other.rc_incs_avoided;
+        self.rc_decs_avoided += other.rc_decs_avoided;
+        self.summaries_applied += other.summaries_applied;
+        self.regex_compiles_avoided += other.regex_compiles_avoided;
+        self.heap_classes_preseeded += other.heap_classes_preseeded;
+        self.taint_lints_flagged += other.taint_lints_flagged;
+    }
 }
 
 /// The profiler. Interior-mutable so that runtime operations can record

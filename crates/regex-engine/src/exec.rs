@@ -8,7 +8,7 @@
 use crate::dfa::{DfaStateId, LazyDfa, RunOutcome};
 use crate::nfa::Nfa;
 use crate::parser::{parse, Ast, ParseError};
-use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
 
 /// µops charged per byte stepped through the software FSM (table load,
 /// index arithmetic, branch).
@@ -64,17 +64,39 @@ impl ScanStats {
 }
 
 /// A compiled regular expression.
-#[derive(Debug, Clone)]
+///
+/// Interior caches (the lazily materialized DFA and the first-byte
+/// prefilter) sit behind a `Mutex`/`OnceLock`, so a compiled handle is
+/// `Send + Sync` and can be shared across worker threads — analysis-time
+/// precompiled patterns live in an `Arc`'d facts table that every worker
+/// reads.
+#[derive(Debug)]
 pub struct Regex {
     pattern: String,
     ast: Ast,
     /// Anchored-at-position DFA (its state ids are the FSM-table states the
     /// content-reuse accelerator stores).
-    anchored: RefCell<LazyDfa>,
+    anchored: Mutex<LazyDfa>,
     /// Whether the pattern began with `^`.
     anchored_start: bool,
     /// Lazily computed set of viable first bytes (prefilter).
-    first_bytes: RefCell<Option<Box<[bool; 256]>>>,
+    first_bytes: OnceLock<Box<[bool; 256]>>,
+}
+
+impl Clone for Regex {
+    fn clone(&self) -> Regex {
+        let cloned_first = OnceLock::new();
+        if let Some(table) = self.first_bytes.get() {
+            let _ = cloned_first.set(table.clone());
+        }
+        Regex {
+            pattern: self.pattern.clone(),
+            ast: self.ast.clone(),
+            anchored: Mutex::new(self.dfa().clone()),
+            anchored_start: self.anchored_start,
+            first_bytes: cloned_first,
+        }
+    }
 }
 
 impl Regex {
@@ -90,10 +112,17 @@ impl Regex {
         Ok(Regex {
             pattern: pattern.to_owned(),
             ast,
-            anchored: RefCell::new(LazyDfa::new(nfa, false)),
+            anchored: Mutex::new(LazyDfa::new(nfa, false)),
             anchored_start,
-            first_bytes: RefCell::new(None),
+            first_bytes: OnceLock::new(),
         })
+    }
+
+    /// Locks the DFA cache (poisoning is tolerated: the cache is always in a
+    /// consistent state between public calls, so a panicking thread cannot
+    /// leave it half-written in a way later matches would observe).
+    fn dfa(&self) -> std::sync::MutexGuard<'_, LazyDfa> {
+        self.anchored.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The source pattern.
@@ -112,17 +141,17 @@ impl Regex {
     }
 
     fn first_byte_ok(&self, b: u8) -> bool {
-        if self.first_bytes.borrow().is_none() {
+        let table = self.first_bytes.get_or_init(|| {
             let mut table = Box::new([false; 256]);
-            let mut dfa = self.anchored.borrow_mut();
+            let mut dfa = self.dfa();
             let start = dfa.start_state();
             let start_is_match = dfa.is_match(start);
             for byte in 0..256usize {
                 table[byte] = start_is_match || dfa.transition(start, byte).is_some();
             }
-            *self.first_bytes.borrow_mut() = Some(table);
-        }
-        self.first_bytes.borrow().as_ref().unwrap()[b as usize]
+            table
+        });
+        table[b as usize]
     }
 
     /// The set of bytes that can begin a match (false ⇒ no match can start
@@ -138,7 +167,7 @@ impl Regex {
 
     /// Longest match starting exactly at `pos`. Also reports bytes scanned.
     pub fn match_at(&self, subject: &[u8], pos: usize) -> (Option<Match>, u64) {
-        let mut dfa = self.anchored.borrow_mut();
+        let mut dfa = self.dfa();
         let start = dfa.start_state();
         let out = dfa.run_from(start, &subject[pos..], true);
         let m = out.last_match_end.map(|end| Match {
@@ -224,23 +253,23 @@ impl Regex {
 
     /// The anchored FSM's start state.
     pub fn fsm_start(&self) -> DfaStateId {
-        self.anchored.borrow().start_state()
+        self.dfa().start_state()
     }
 
     /// FSM state after consuming `prefix` from the start (`None` if dead) —
     /// the value `regexset` stores in the reuse table.
     pub fn fsm_state_after(&self, prefix: &[u8]) -> Option<DfaStateId> {
-        self.anchored.borrow_mut().state_after(prefix)
+        self.dfa().state_after(prefix)
     }
 
     /// Resumes the anchored FSM from a stored state over `rest`.
     pub fn fsm_run_from(&self, state: DfaStateId, rest: &[u8], at_end: bool) -> RunOutcome {
-        self.anchored.borrow_mut().run_from(state, rest, at_end)
+        self.dfa().run_from(state, rest, at_end)
     }
 
     /// Number of FSM states materialized (table footprint).
     pub fn fsm_states(&self) -> usize {
-        self.anchored.borrow().materialized_states()
+        self.dfa().materialized_states()
     }
 }
 
@@ -345,6 +374,37 @@ mod tests {
         let r = re("\\.php$");
         assert!(r.is_match(b"index.php").0);
         assert!(!r.is_match(b"index.php.bak").0);
+    }
+
+    #[test]
+    fn regex_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Regex>();
+    }
+
+    #[test]
+    fn shared_handle_matches_identically_across_threads() {
+        let r = std::sync::Arc::new(re("wor[a-z]+"));
+        let (expect, _) = r.find_at(b"hello world", 0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = std::sync::Arc::clone(&r);
+                std::thread::spawn(move || r.find_at(b"hello world", 0).0)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn clone_preserves_materialized_caches() {
+        let r = re("ab+c");
+        assert!(r.is_match(b"xxabbc").0); // materialize DFA + prefilter
+        let c = r.clone();
+        assert_eq!(c.fsm_states(), r.fsm_states());
+        assert!(c.is_match(b"xxabbc").0);
+        assert_eq!(c.viable_first_bytes(), r.viable_first_bytes());
     }
 
     #[test]

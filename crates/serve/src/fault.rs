@@ -129,6 +129,20 @@ impl FaultPlan {
         &self.faults
     }
 
+    /// Splits the plan across `workers` shards: shard `w` receives exactly
+    /// the faults whose `at_request % workers == w`, with *global* request
+    /// indices kept intact. Under the pool's modulo sharding, each fault
+    /// therefore fires on the worker that actually serves its request, and
+    /// the shards' union is the original plan.
+    pub fn partition(&self, workers: usize) -> Vec<FaultPlan> {
+        assert!(workers > 0, "at least one worker shard");
+        let mut shards = vec![Vec::new(); workers];
+        for f in &self.faults {
+            shards[(f.at_request % workers as u64) as usize].push(*f);
+        }
+        shards.into_iter().map(FaultPlan::new).collect()
+    }
+
     /// Removes and returns the faults due at request `req`. Faults scheduled
     /// for earlier, already-passed requests are also drained (and returned)
     /// so a sparse request stream cannot strand them.
@@ -165,6 +179,32 @@ mod tests {
         assert_eq!(due.len(), 1);
         assert_eq!(due[0].kind, FaultKind::StringConfig);
         assert!(plan.take_due(100).is_empty());
+    }
+
+    #[test]
+    fn partition_preserves_every_fault_with_global_indices() {
+        let plan = FaultPlan::seeded(7, 3, 5, 60);
+        for workers in [1usize, 2, 4, 8] {
+            let shards = plan.partition(workers);
+            assert_eq!(shards.len(), workers);
+            let mut union: Vec<PlannedFault> = shards
+                .iter()
+                .flat_map(|s| s.all().iter().copied())
+                .collect();
+            union.sort_by_key(|f| f.at_request);
+            let mut expected = plan.all().to_vec();
+            expected.sort_by_key(|f| f.at_request);
+            assert_eq!(union, expected, "shard union must equal the plan");
+            for (w, shard) in shards.iter().enumerate() {
+                for f in shard.all() {
+                    assert_eq!(
+                        f.at_request % workers as u64,
+                        w as u64,
+                        "fault landed on the wrong shard"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

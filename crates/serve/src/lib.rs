@@ -17,11 +17,16 @@
 //! * **The server loop** ([`server`]): ties the above together and can
 //!   byte-compare every successful response against an all-software
 //!   reference machine, making the degradation guarantee testable.
+//! * **The worker pool** ([`pool`]): shards a request stream across N
+//!   workers, each with a private machine (per-core accelerator state), its
+//!   own fault-plan slice, and its own breakers; pool statistics are the
+//!   lossless sum of the workers'.
 
 pub mod breaker;
 pub mod fault;
 pub mod lintgate;
 pub mod outcome;
+pub mod pool;
 pub mod sandbox;
 pub mod server;
 
@@ -29,5 +34,6 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultKind, FaultPlan, PlannedFault};
 pub use lintgate::{GateRejection, GateStats, LintGate, LintGateConfig};
 pub use outcome::{classify_panic, RequestOutcome};
+pub use pool::{PoolConfig, PoolReport, WorkerPool, WorkerReport};
 pub use sandbox::{run_sandboxed, SandboxConfig};
 pub use server::{RequestRecord, ServeStats, Server};

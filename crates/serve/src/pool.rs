@@ -1,0 +1,343 @@
+//! Multi-worker request serving.
+//!
+//! [`WorkerPool`] shards a request stream across N workers, mirroring the
+//! paper's per-core deployment: each worker owns a private [`PhpMachine`]
+//! (accelerator state is per-core hardware and is never shared), its own
+//! slice of the global [`FaultPlan`], and its own circuit breakers. Requests
+//! are sharded by index — worker `w` of `W` serves requests `w, w+W, w+2W, …`
+//! — so the union of the workers' streams is exactly the single-server
+//! stream, and [`ServeStats::merge`] makes the pool totals the lossless sum
+//! of the workers'.
+//!
+//! What *is* shared is read-only: callers typically drive every worker from
+//! one `Arc`-held compile cache (`workloads::php_corpus::CorpusCache`), the
+//! software analogue of a bytecode cache shared across server processes.
+
+use crate::breaker::{BreakerConfig, BreakerState};
+use crate::fault::FaultPlan;
+use crate::sandbox::SandboxConfig;
+use crate::server::{RequestRecord, ServeStats, Server};
+use php_runtime::StaticSavings;
+use phpaccel_core::{AccelId, PhpMachine};
+
+/// Configuration for one pool run.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of workers (≥ 1).
+    pub workers: usize,
+    /// Total number of requests across the pool.
+    pub requests: u64,
+    /// Breaker configuration applied to every worker's four breakers.
+    pub breaker_cfg: BreakerConfig,
+    /// Sandbox limits applied to every request.
+    pub sandbox: SandboxConfig,
+    /// Global fault plan; partitioned so each fault fires on the worker
+    /// that serves its request (see [`FaultPlan::partition`]).
+    pub plan: FaultPlan,
+    /// Replay each successful request on a per-worker all-software
+    /// [`PhpMachine::baseline`] reference and count byte mismatches.
+    pub reference: bool,
+    /// Restore machines (and references) to a pristine request boundary
+    /// after every request. This makes each request's result independent of
+    /// machine history, so responses and per-request counters are identical
+    /// at any worker count — the mode the determinism tests and the bench
+    /// run in. Soaks leave it off so faults land in live state.
+    pub reset_between_requests: bool,
+    /// Retain response bytes in the per-request records.
+    pub keep_bodies: bool,
+}
+
+impl PoolConfig {
+    /// A deterministic, reference-checked configuration with no faults.
+    pub fn deterministic(workers: usize, requests: u64) -> Self {
+        PoolConfig {
+            workers,
+            requests,
+            breaker_cfg: BreakerConfig::default(),
+            sandbox: SandboxConfig::unlimited(),
+            plan: FaultPlan::default(),
+            reference: true,
+            reset_between_requests: true,
+            keep_bodies: true,
+        }
+    }
+}
+
+/// What one worker did: its server statistics plus the counters that live
+/// on the machine rather than in [`ServeStats`].
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// Worker index in `0..workers`.
+    pub worker: usize,
+    /// The worker's serving statistics.
+    pub stats: ServeStats,
+    /// Per-request records, in this worker's serving order (global indices).
+    pub records: Vec<RequestRecord>,
+    /// Simulated service time of each request in µops, parallel to
+    /// `records` (delta of the machine profiler's `total_uops`).
+    pub service_uops: Vec<u64>,
+    /// Total metered µops this worker executed.
+    pub total_uops: u64,
+    /// Injected-fault counters per accelerator domain.
+    pub injected: [u64; 4],
+    /// Detected-fault counters per accelerator domain.
+    pub detected: [u64; 4],
+    /// Static-analysis savings accumulated by this worker's machine.
+    pub savings: StaticSavings,
+    /// Breaker trips per domain.
+    pub trips: [u64; 4],
+    /// Breaker recoveries per domain.
+    pub recoveries: [u64; 4],
+    /// Whether every breaker ended the run closed.
+    pub all_breakers_closed: bool,
+    /// Live allocator blocks on the worker's machine after the run (leak
+    /// check — should be 0 once every request ended or recovered).
+    pub live_blocks: usize,
+}
+
+/// The merged result of a pool run.
+#[derive(Debug)]
+pub struct PoolReport {
+    /// Number of workers that served the stream.
+    pub workers: usize,
+    /// Lossless sum of the workers' statistics.
+    pub stats: ServeStats,
+    /// All request records, sorted by global request index.
+    pub records: Vec<RequestRecord>,
+    /// Simulated per-request service times in µops, parallel to `records`.
+    pub service_uops: Vec<u64>,
+    /// Each worker's total metered µops: the pool's simulated elapsed time
+    /// is the maximum entry (workers run in parallel on their own cores).
+    pub worker_uops: Vec<u64>,
+    /// Summed injected-fault counters per domain.
+    pub injected: [u64; 4],
+    /// Summed detected-fault counters per domain.
+    pub detected: [u64; 4],
+    /// Summed static-analysis savings.
+    pub savings: StaticSavings,
+    /// Summed breaker trips per domain.
+    pub trips: [u64; 4],
+    /// Summed breaker recoveries per domain.
+    pub recoveries: [u64; 4],
+    /// Whether every breaker on every worker ended the run closed.
+    pub all_breakers_closed: bool,
+    /// Summed live allocator blocks across worker machines after the run.
+    pub live_blocks: usize,
+}
+
+impl PoolReport {
+    /// The pool's simulated elapsed time in µops: the busiest worker's
+    /// total, since workers execute concurrently on private cores.
+    pub fn simulated_elapsed_uops(&self) -> u64 {
+        self.worker_uops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// A pool of request-serving workers, each wrapping its own [`Server`].
+#[derive(Debug)]
+pub struct WorkerPool {
+    cfg: PoolConfig,
+}
+
+impl WorkerPool {
+    /// Creates a pool from `cfg`. Panics if `cfg.workers == 0`.
+    pub fn new(cfg: PoolConfig) -> Self {
+        assert!(cfg.workers > 0, "a pool needs at least one worker");
+        WorkerPool { cfg }
+    }
+
+    /// Number of requests worker `w` serves under modulo sharding.
+    fn requests_for(&self, w: usize) -> u64 {
+        let (total, stride, w) = (self.cfg.requests, self.cfg.workers as u64, w as u64);
+        if total > w {
+            (total - w).div_ceil(stride)
+        } else {
+            0
+        }
+    }
+
+    /// Runs the whole request stream across the workers and merges the
+    /// results.
+    ///
+    /// `make_machine(w)` builds worker `w`'s private machine and
+    /// `make_handler(w)` builds its request handler — both are called *on
+    /// the worker's thread*, so the handler itself needs no `Send` bound and
+    /// may own thread-local state. Handlers see global request indices.
+    pub fn run<M, F, H>(&self, make_machine: M, make_handler: F) -> PoolReport
+    where
+        M: Fn(usize) -> PhpMachine + Sync,
+        F: Fn(usize) -> H + Sync,
+        H: FnMut(&mut PhpMachine, u64) -> Vec<u8>,
+    {
+        let shards = self.cfg.plan.partition(self.cfg.workers);
+        let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(w, shard)| {
+                    let n = self.requests_for(w);
+                    let cfg = &self.cfg;
+                    let make_machine = &make_machine;
+                    let make_handler = &make_handler;
+                    scope.spawn(move || {
+                        run_worker(w, n, shard, cfg, make_machine(w), make_handler(w))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        merge_reports(self.cfg.workers, reports)
+    }
+}
+
+/// One worker's serving loop (runs on the worker's thread).
+fn run_worker<H>(
+    worker: usize,
+    requests: u64,
+    shard: FaultPlan,
+    cfg: &PoolConfig,
+    machine: PhpMachine,
+    mut handler: H,
+) -> WorkerReport
+where
+    H: FnMut(&mut PhpMachine, u64) -> Vec<u8>,
+{
+    let mut server = Server::new(machine, cfg.breaker_cfg, cfg.sandbox)
+        .with_fault_plan(shard)
+        .with_request_numbering(worker as u64, cfg.workers as u64)
+        .with_keep_bodies(cfg.keep_bodies);
+    if cfg.reference {
+        server = server.with_reference(PhpMachine::baseline());
+    }
+
+    let mut records = Vec::with_capacity(requests as usize);
+    let mut service_uops = Vec::with_capacity(requests as usize);
+    for _ in 0..requests {
+        let before = server.machine().ctx().profiler().total_uops();
+        let record = server.serve(&mut handler);
+        let after = server.machine().ctx().profiler().total_uops();
+        service_uops.push(after.saturating_sub(before));
+        records.push(record);
+        if cfg.reset_between_requests {
+            server.recover_between_requests();
+        }
+    }
+
+    let machine = server.machine();
+    let mut trips = [0u64; 4];
+    let mut recoveries = [0u64; 4];
+    let mut all_closed = true;
+    for id in AccelId::ALL {
+        let b = server.breaker(id);
+        trips[id.index()] = b.trips;
+        recoveries[id.index()] = b.recoveries;
+        all_closed &= b.state() == BreakerState::Closed;
+    }
+    WorkerReport {
+        worker,
+        stats: server.stats().clone(),
+        total_uops: machine.ctx().profiler().total_uops(),
+        injected: machine.injected_fault_counts(),
+        detected: machine.detected_fault_counts(),
+        savings: machine.ctx().profiler().static_savings(),
+        trips,
+        recoveries,
+        all_breakers_closed: all_closed,
+        live_blocks: machine.ctx().with_allocator(|a| a.live_block_count()),
+        records,
+        service_uops,
+    }
+}
+
+/// Folds the per-worker reports into a pool total, re-interleaving the
+/// records into global request order.
+fn merge_reports(workers: usize, reports: Vec<WorkerReport>) -> PoolReport {
+    let mut stats = ServeStats::default();
+    let mut injected = [0u64; 4];
+    let mut detected = [0u64; 4];
+    let mut savings = StaticSavings::default();
+    let mut trips = [0u64; 4];
+    let mut recoveries = [0u64; 4];
+    let mut worker_uops = Vec::with_capacity(workers);
+    let mut all_closed = true;
+    let mut live_blocks = 0usize;
+    let mut tagged: Vec<(RequestRecord, u64)> = Vec::new();
+    for report in reports {
+        stats.merge(&report.stats);
+        savings.accumulate(&report.savings);
+        for i in 0..4 {
+            injected[i] += report.injected[i];
+            detected[i] += report.detected[i];
+            trips[i] += report.trips[i];
+            recoveries[i] += report.recoveries[i];
+        }
+        worker_uops.push(report.total_uops);
+        all_closed &= report.all_breakers_closed;
+        live_blocks += report.live_blocks;
+        tagged.extend(report.records.into_iter().zip(report.service_uops));
+    }
+    tagged.sort_by_key(|(r, _)| r.request);
+    let (records, service_uops) = tagged.into_iter().unzip();
+    PoolReport {
+        workers,
+        stats,
+        records,
+        service_uops,
+        worker_uops,
+        injected,
+        detected,
+        savings,
+        trips,
+        recoveries,
+        all_breakers_closed: all_closed,
+        live_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_handler(_w: usize) -> impl FnMut(&mut PhpMachine, u64) -> Vec<u8> {
+        |m: &mut PhpMachine, req: u64| {
+            let s = m.transient_str(format!("req {req}"));
+            let out = match s {
+                php_runtime::PhpValue::Str(s) => m.strtoupper(&s).as_bytes().to_vec(),
+                _ => unreachable!(),
+            };
+            m.end_request();
+            out
+        }
+    }
+
+    #[test]
+    fn sharding_covers_every_request_exactly_once() {
+        for workers in [1usize, 2, 3, 4, 8] {
+            let pool = WorkerPool::new(PoolConfig::deterministic(workers, 21));
+            let report = pool.run(|_| PhpMachine::specialized(), echo_handler);
+            assert_eq!(report.stats.requests, 21);
+            assert!(report.stats.outcomes_partition_requests());
+            let indices: Vec<u64> = report.records.iter().map(|r| r.request).collect();
+            assert_eq!(indices, (0..21).collect::<Vec<_>>(), "{workers} workers");
+            assert_eq!(report.service_uops.len(), 21);
+            assert_eq!(report.worker_uops.len(), workers);
+        }
+    }
+
+    #[test]
+    fn pool_totals_equal_sum_of_workers() {
+        let pool = WorkerPool::new(PoolConfig::deterministic(4, 20));
+        let report = pool.run(|_| PhpMachine::specialized(), echo_handler);
+        assert_eq!(report.stats.ok, 20);
+        assert_eq!(report.stats.mismatches, 0);
+        // Worker totals cover the per-request deltas plus the inter-request
+        // recovery work metered between them.
+        assert!(report.worker_uops.iter().sum::<u64>() >= report.service_uops.iter().sum::<u64>());
+        assert!(report.service_uops.iter().all(|&u| u > 0));
+        assert!(report.simulated_elapsed_uops() < report.worker_uops.iter().sum::<u64>());
+        assert!(report.all_breakers_closed);
+    }
+}

@@ -41,13 +41,39 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Fraction of requests that produced a response (non-5xx), in [0, 1].
+    /// Fraction of requests that completed normally, in [0, 1].
+    ///
+    /// Every abnormal outcome maps to a 5xx (`Timeout` → 504, OOM and panic
+    /// → 500), so this is exactly the non-5xx fraction: `ok / requests`.
+    /// The outcome counters partition the stream — see
+    /// [`ServeStats::outcomes_partition_requests`].
     pub fn availability(&self) -> f64 {
         if self.requests == 0 {
             1.0
         } else {
             self.ok as f64 / self.requests as f64
         }
+    }
+
+    /// Whether the per-outcome counters exactly partition the request count
+    /// (`ok + timeouts + ooms + panics == requests`). Holds for any stats
+    /// produced by [`Server`], including merged pool totals.
+    pub fn outcomes_partition_requests(&self) -> bool {
+        self.ok + self.timeouts + self.ooms + self.panics == self.requests
+    }
+
+    /// Losslessly folds another worker's statistics into this one: every
+    /// counter is summed, so pool totals equal the sum of the workers'.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.timeouts += other.timeouts;
+        self.ooms += other.ooms;
+        self.panics += other.panics;
+        for i in 0..4 {
+            self.degraded_requests[i] += other.degraded_requests[i];
+        }
+        self.mismatches += other.mismatches;
     }
 }
 
@@ -77,6 +103,8 @@ pub struct Server {
     sandbox: SandboxConfig,
     stats: ServeStats,
     next_request: u64,
+    request_stride: u64,
+    keep_bodies: bool,
 }
 
 impl Server {
@@ -90,12 +118,33 @@ impl Server {
             sandbox,
             stats: ServeStats::default(),
             next_request: 0,
+            request_stride: 1,
+            keep_bodies: true,
         }
     }
 
     /// Installs a fault-injection plan.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Numbers requests `base, base + stride, base + 2·stride, …` instead of
+    /// `0, 1, 2, …`. A pool worker `w` of `W` uses `(w, W)` so its breakers,
+    /// fault plan, and handler all see *global* request indices.
+    pub fn with_request_numbering(mut self, base: u64, stride: u64) -> Self {
+        assert!(stride > 0, "request stride must be positive");
+        self.next_request = base;
+        self.request_stride = stride;
+        self
+    }
+
+    /// Controls whether [`RequestRecord::response`] retains the response
+    /// bytes (default `true`). Long soaks set `false` so memory stays
+    /// bounded; statistics, breaker feedback, and reference replay are
+    /// computed before the bytes are dropped and are unaffected.
+    pub fn with_keep_bodies(mut self, keep: bool) -> Self {
+        self.keep_bodies = keep;
         self
     }
 
@@ -154,7 +203,7 @@ impl Server {
         handler: &mut dyn FnMut(&mut PhpMachine, u64) -> Vec<u8>,
     ) -> RequestRecord {
         let req = self.next_request;
-        self.next_request += 1;
+        self.next_request += self.request_stride;
 
         let mut force_oom = false;
         for fault in self.plan.take_due(req) {
@@ -189,7 +238,10 @@ impl Server {
         let mut fault_delta = [0u64; 4];
         for id in AccelId::ALL {
             let i = id.index();
-            fault_delta[i] = after[i] - before[i];
+            // Saturating: abnormal-exit recovery (or a metrics reset inside
+            // the handler) may shrink a detected-fault counter mid-request;
+            // a plain subtraction would underflow and panic the server.
+            fault_delta[i] = after[i].saturating_sub(before[i]);
             if fault_delta[i] > 0 {
                 self.breakers[i].record_faults(req, fault_delta[i]);
             } else if outcome.is_ok() {
@@ -220,6 +272,9 @@ impl Server {
         } else {
             response.clear();
         }
+        if !self.keep_bodies {
+            response = Vec::new();
+        }
 
         RequestRecord {
             request: req,
@@ -237,6 +292,17 @@ impl Server {
         handler: &mut dyn FnMut(&mut PhpMachine, u64) -> Vec<u8>,
     ) -> Vec<RequestRecord> {
         (0..n).map(|_| self.serve(handler)).collect()
+    }
+
+    /// Restores the machine — and the reference, if one is attached — to a
+    /// pristine request boundary. The pool's deterministic mode calls this
+    /// between requests so every request observes identical machine history
+    /// regardless of which worker serves it. Statistics are kept.
+    pub fn recover_between_requests(&mut self) {
+        self.machine.recover_request();
+        if let Some(r) = self.reference.as_mut() {
+            r.recover_request();
+        }
     }
 
     /// Whether any breaker is currently open or half-open.
@@ -368,6 +434,185 @@ mod tests {
             0,
             "recovery leaked blocks"
         );
+    }
+
+    /// Regression for the `fault_delta` underflow: the string accelerator
+    /// detects an injected config fault on request 0, then request 1 resets
+    /// the machine metrics mid-stream (a load generator's warmup boundary
+    /// does exactly this). The server's pre-request snapshot is then larger
+    /// than the post-request counter, and the old `after - before` panicked
+    /// the server itself with a subtract overflow.
+    #[test]
+    fn mid_request_counter_reset_does_not_underflow_fault_delta() {
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        );
+        let mut handler = |m: &mut PhpMachine, req: u64| {
+            if req == 0 {
+                m.core_mut().straccel.inject_config_fault();
+                let s = match m.transient_str("Fault Probe".to_string()) {
+                    PhpValue::Str(s) => s,
+                    _ => unreachable!(),
+                };
+                let _ = m.strtolower(&s);
+            } else {
+                m.reset_metrics();
+            }
+            m.end_request();
+            b"ok".to_vec()
+        };
+        let records = server.serve_many(2, &mut handler);
+        assert!(
+            records[0].fault_delta[AccelId::Str.index()] >= 1,
+            "request 0 must detect the injected fault"
+        );
+        assert_eq!(records[1].outcome, RequestOutcome::Ok);
+        assert_eq!(
+            records[1].fault_delta, [0u64; 4],
+            "a shrunken counter clamps to zero, it does not underflow"
+        );
+        assert!(server.stats().outcomes_partition_requests());
+    }
+
+    /// `availability()` counts exactly the non-5xx requests, and the outcome
+    /// counters partition the stream.
+    #[test]
+    fn availability_counts_non_5xx_and_outcomes_partition() {
+        let plan = FaultPlan::new(vec![PlannedFault {
+            at_request: 1,
+            kind: FaultKind::AllocatorOom,
+        }]);
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        )
+        .with_fault_plan(plan);
+        let mut handler = |m: &mut PhpMachine, _req: u64| {
+            let b = m.alloc(2048);
+            m.free(b);
+            m.end_request();
+            b"done".to_vec()
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        server.serve_many(4, &mut handler);
+        std::panic::set_hook(hook);
+
+        let s = server.stats();
+        assert_eq!(
+            s.ok + s.timeouts + s.ooms + s.panics,
+            s.requests,
+            "outcome counters must partition the request count"
+        );
+        assert!(s.outcomes_partition_requests());
+        // One OOM (a 504/500-class exit) out of four: availability is the
+        // non-5xx fraction, not merely "produced bytes".
+        assert_eq!(s.ooms, 1);
+        assert_eq!(s.availability(), 3.0 / 4.0);
+    }
+
+    /// Dropping response bodies changes nothing except the retained bytes:
+    /// stats (including reference-replay mismatches), outcomes, degradation
+    /// flags, and fault deltas are identical.
+    #[test]
+    fn dropping_bodies_leaves_stats_and_replay_unchanged() {
+        let plan = || {
+            FaultPlan::new(vec![
+                PlannedFault {
+                    at_request: 2,
+                    kind: FaultKind::HtableEntry { nth: 0 },
+                },
+                PlannedFault {
+                    at_request: 3,
+                    kind: FaultKind::HtableEntry { nth: 1 },
+                },
+            ])
+        };
+        let run = |keep: bool| {
+            let mut server = Server::new(
+                PhpMachine::specialized(),
+                breaker_cfg(),
+                SandboxConfig::unlimited(),
+            )
+            .with_fault_plan(plan())
+            .with_reference(PhpMachine::baseline())
+            .with_keep_bodies(keep);
+            let mut handler = htable_handler();
+            let records = server.serve_many(12, &mut handler);
+            (records, server.stats().clone())
+        };
+        let (kept, stats_kept) = run(true);
+        let (dropped, stats_dropped) = run(false);
+
+        assert_eq!(stats_kept, stats_dropped);
+        assert_eq!(stats_dropped.mismatches, 0, "replay ran before the drop");
+        assert!(kept.iter().any(|r| !r.response.is_empty()));
+        for (k, d) in kept.iter().zip(&dropped) {
+            assert!(d.response.is_empty(), "bodies must not be retained");
+            assert_eq!(k.request, d.request);
+            assert_eq!(k.outcome, d.outcome);
+            assert_eq!(k.degraded, d.degraded);
+            assert_eq!(k.fault_delta, d.fault_delta);
+        }
+    }
+
+    /// Strided numbering hands the handler, plan, and breakers global
+    /// request indices: worker 1 of 4 sees requests 1, 5, 9, …
+    #[test]
+    fn request_numbering_follows_base_and_stride() {
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        )
+        .with_request_numbering(1, 4);
+        let mut seen = Vec::new();
+        let mut handler = |m: &mut PhpMachine, req: u64| {
+            seen.push(req);
+            m.end_request();
+            req.to_string().into_bytes()
+        };
+        let records = server.serve_many(3, &mut handler);
+        assert_eq!(seen, vec![1, 5, 9]);
+        assert_eq!(
+            records.iter().map(|r| r.request).collect::<Vec<_>>(),
+            vec![1, 5, 9]
+        );
+    }
+
+    #[test]
+    fn merged_stats_equal_sum_of_parts() {
+        let a = ServeStats {
+            requests: 10,
+            ok: 8,
+            timeouts: 1,
+            ooms: 1,
+            panics: 0,
+            degraded_requests: [1, 2, 3, 4],
+            mismatches: 0,
+        };
+        let b = ServeStats {
+            requests: 5,
+            ok: 4,
+            timeouts: 0,
+            ooms: 0,
+            panics: 1,
+            degraded_requests: [4, 3, 2, 1],
+            mismatches: 1,
+        };
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.requests, 15);
+        assert_eq!(merged.ok, 12);
+        assert_eq!(merged.timeouts, 1);
+        assert_eq!(merged.ooms, 1);
+        assert_eq!(merged.panics, 1);
+        assert_eq!(merged.degraded_requests, [5, 5, 5, 5]);
+        assert_eq!(merged.mismatches, 1);
+        assert!(merged.outcomes_partition_requests());
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Pool determinism: the same corpus and fault seed must produce the same
+//! results at any worker count.
+//!
+//! Every worker executes scripts out of one shared, `Arc`-held
+//! [`CorpusCache`] (parse + analyze once — the shared compile cache), on its
+//! own private machine, with the global fault plan partitioned so each fault
+//! fires on the worker that serves its request. In the pool's deterministic
+//! mode (machines restored to a pristine request boundary between requests)
+//! every request's result depends only on its global index, so sharding the
+//! stream across 1, 2, 4, or 8 workers must change nothing observable:
+//! byte-identical per-request responses, identical merged `StaticSavings`
+//! and fault counters, and zero reference-replay mismatches.
+
+use phpaccel_core::{AccelId, PhpMachine};
+use serve::{FaultPlan, PoolConfig, PoolReport, WorkerPool};
+use std::sync::Arc;
+use workloads::php_corpus::CorpusCache;
+
+const REQUESTS: u64 = 40;
+const SEED: u64 = 20_170_613;
+
+fn run_pool(cache: &Arc<CorpusCache>, workers: usize) -> PoolReport {
+    let mut cfg = PoolConfig::deterministic(workers, REQUESTS);
+    // Two faults per domain: enough to exercise detection on every shard
+    // layout, few enough that no breaker reaches its trip threshold (which
+    // would make degradation flags depend on the sharding).
+    cfg.plan = FaultPlan::seeded(SEED, 2, 4, 36);
+    let pool = WorkerPool::new(cfg);
+    let cache = Arc::clone(cache);
+    pool.run(
+        |_| PhpMachine::specialized(),
+        move |_w| {
+            let cache = Arc::clone(&cache);
+            move |m: &mut PhpMachine, req: u64| cache.script_for_request(req).run(m, true)
+        },
+    )
+}
+
+#[test]
+fn pool_results_are_identical_at_any_worker_count() {
+    let cache = Arc::new(CorpusCache::build());
+    let reference = run_pool(&cache, 1);
+
+    assert_eq!(reference.stats.requests, REQUESTS);
+    assert_eq!(reference.stats.ok, REQUESTS);
+    assert_eq!(reference.stats.mismatches, 0);
+    assert!(reference.records.iter().all(|r| !r.response.is_empty()));
+    assert!(
+        reference.detected[AccelId::Str.index()] > 0,
+        "the seeded plan must actually exercise fault detection"
+    );
+    assert!(reference.savings.total() > 0, "facts must be applied");
+
+    for workers in [2usize, 4, 8] {
+        let got = run_pool(&cache, workers);
+        assert_eq!(got.stats, reference.stats, "{workers} workers: stats");
+        assert_eq!(
+            got.savings, reference.savings,
+            "{workers} workers: merged StaticSavings"
+        );
+        assert_eq!(
+            got.injected, reference.injected,
+            "{workers} workers: injected faults"
+        );
+        assert_eq!(
+            got.detected, reference.detected,
+            "{workers} workers: detected faults"
+        );
+        assert_eq!(got.stats.mismatches, 0, "{workers} workers: replay");
+        // Record-for-record equality covers response bytes, outcomes,
+        // degradation flags, and per-request fault deltas at once.
+        assert_eq!(
+            got.records, reference.records,
+            "{workers} workers: per-request records"
+        );
+    }
+}

@@ -11,7 +11,7 @@ use php_interp::{parse, AnalysisFacts, Interp, Program};
 use php_runtime::array::ArrayKey;
 use php_runtime::value::PhpValue;
 use phpaccel_core::PhpMachine;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One mini-PHP script in the corpus.
 #[derive(Debug)]
@@ -261,15 +261,21 @@ pub fn bind_request_vars(interp: &mut Interp<'_>) {
 
 /// A parsed and analyzed corpus script, ready to run with or without its
 /// proven facts attached.
+///
+/// Both the program and its facts live behind `Arc`s, so a `PreparedScript`
+/// (itself usually `Arc`-wrapped via [`CorpusCache`]) can be shared across
+/// worker threads: the facts key on node addresses inside the program's
+/// statement buffer, and that buffer is never moved or cloned once prepared,
+/// so every worker resolves the same facts for the same sites.
 #[derive(Debug)]
 pub struct PreparedScript {
     entry: &'static CorpusEntry,
-    program: Program,
+    program: Arc<Program>,
     /// Function definitions shared with the interpreter so facts stay valid
     /// inside bodies (see [`Interp::predefine_funcs`]).
-    shared_funcs: Vec<Rc<FuncDef>>,
+    shared_funcs: Vec<Arc<FuncDef>>,
     /// Facts proven over `program` and `shared_funcs`.
-    pub facts: Rc<AnalysisFacts>,
+    pub facts: Arc<AnalysisFacts>,
     /// Per-scope statistics and lints.
     pub report: php_analysis::Report,
 }
@@ -282,25 +288,75 @@ pub fn prepare(entry: &'static CorpusEntry) -> PreparedScript {
             entry.app, entry.name
         )
     });
-    let shared_funcs: Vec<Rc<FuncDef>> = program
+    let shared_funcs: Vec<Arc<FuncDef>> = program
         .stmts
         .iter()
         .filter_map(|s| match s {
-            Stmt::FuncDef(f) => Some(Rc::new(f.clone())),
+            Stmt::FuncDef(f) => Some(Arc::new(f.clone())),
             _ => None,
         })
         .collect();
     let analysis = php_analysis::analyze_with_funcs(&program, &shared_funcs);
+    // Wrapping after analysis is sound: the move relocates only the `Program`
+    // struct itself, while the statement nodes the facts point at live in its
+    // heap-allocated `stmts` buffer, whose address is stable.
     PreparedScript {
         entry,
-        program,
+        program: Arc::new(program),
         shared_funcs,
-        facts: Rc::new(analysis.facts),
+        facts: Arc::new(analysis.facts),
         report: analysis.report,
     }
 }
 
+/// Shared compile cache: every corpus entry parsed and analyzed exactly once,
+/// the software analogue of a bytecode cache shared by server workers.
+///
+/// Build it once, wrap it in an `Arc`, and hand clones to worker threads —
+/// each worker executes the cached `Arc<Program>`/`Arc<AnalysisFacts>` pairs
+/// on its own private `PhpMachine` without re-parsing or re-analyzing.
+#[derive(Debug)]
+pub struct CorpusCache {
+    scripts: Vec<Arc<PreparedScript>>,
+}
+
+impl CorpusCache {
+    /// Parses and analyzes the whole corpus ([`ENTRIES`], in order).
+    pub fn build() -> Self {
+        CorpusCache {
+            scripts: ENTRIES.iter().map(|e| Arc::new(prepare(e))).collect(),
+        }
+    }
+
+    /// The cached scripts, in corpus order.
+    pub fn scripts(&self) -> &[Arc<PreparedScript>] {
+        &self.scripts
+    }
+
+    /// Number of cached scripts.
+    pub fn len(&self) -> usize {
+        self.scripts.len()
+    }
+
+    /// Whether the cache is empty (it never is after [`CorpusCache::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.scripts.is_empty()
+    }
+
+    /// The script a request cycles onto: request `n` runs script
+    /// `n % len()`, so any contiguous block of requests covers the corpus
+    /// round-robin regardless of how requests are sharded across workers.
+    pub fn script_for_request(&self, request: u64) -> &Arc<PreparedScript> {
+        &self.scripts[(request % self.scripts.len() as u64) as usize]
+    }
+}
+
 impl PreparedScript {
+    /// The corpus entry this script was prepared from.
+    pub fn entry(&self) -> &'static CorpusEntry {
+        self.entry
+    }
+
     /// Runs the script once on `m` and returns its output. `with_facts`
     /// attaches the proven facts; either way the shared function instances
     /// are pre-registered, so the two modes execute identical code.
@@ -497,6 +553,53 @@ mod tests {
             p.report.lints
         );
         assert_eq!(p.facts.taint_lint_count(), 1, "the sanitized echo is clean");
+    }
+
+    /// Tentpole invariant: one shared cache, many threads, byte-identical
+    /// output. Each thread runs every cached script (facts attached) on its
+    /// own machine and must reproduce the single-threaded reference exactly —
+    /// proving the facts stay identity-stable under `Arc` sharing.
+    #[test]
+    fn shared_cache_is_byte_identical_across_threads() {
+        let cache = std::sync::Arc::new(CorpusCache::build());
+        assert_eq!(cache.len(), ENTRIES.len());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CorpusCache>();
+        assert_send_sync::<PreparedScript>();
+
+        let reference: Vec<Vec<u8>> = cache
+            .scripts()
+            .iter()
+            .map(|p| p.run(&mut PhpMachine::specialized(), true))
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    cache
+                        .scripts()
+                        .iter()
+                        .map(|p| {
+                            let out = p.run(&mut PhpMachine::specialized(), true);
+                            // Facts resolved, not just tolerated: the regex
+                            // sites this entry precompiled must be visible
+                            // through the shared Arc on this thread too.
+                            (out, p.facts.precompiled_regex_count())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            for (i, (out, precompiled)) in got.iter().enumerate() {
+                assert_eq!(out, &reference[i], "{} diverged", ENTRIES[i].name);
+                assert_eq!(
+                    *precompiled,
+                    cache.scripts()[i].facts.precompiled_regex_count()
+                );
+            }
+        }
     }
 
     #[test]

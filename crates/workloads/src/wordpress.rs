@@ -16,7 +16,7 @@ use php_runtime::string::PhpStr;
 use php_runtime::value::PhpValue;
 use phpaccel_core::PhpMachine;
 use regex_engine::Regex;
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct Post {
     title: PhpStr,
@@ -37,11 +37,11 @@ pub struct WordPress {
     /// request pre-registers these with the interpreter, so facts interned
     /// over them stay valid inside function bodies (the interpreter would
     /// otherwise hoist private clones whose nodes have fresh addresses).
-    shared_funcs: Vec<Rc<FuncDef>>,
+    shared_funcs: Vec<Arc<FuncDef>>,
     /// Facts proven over `template` and `shared_funcs` by
     /// [`Workload::enable_static_analysis`]; keyed by node identity, so they
     /// are valid only for those instances.
-    facts: Option<Rc<AnalysisFacts>>,
+    facts: Option<Arc<AnalysisFacts>>,
     tail: VmTail,
     requests_handled: u64,
 }
@@ -108,7 +108,7 @@ impl WordPress {
             .stmts
             .iter()
             .filter_map(|s| match s {
-                Stmt::FuncDef(f) => Some(Rc::new(f.clone())),
+                Stmt::FuncDef(f) => Some(Arc::new(f.clone())),
                 _ => None,
             })
             .collect();
@@ -137,7 +137,7 @@ impl Workload for WordPress {
 
     fn enable_static_analysis(&mut self) {
         let analysis = php_analysis::analyze_with_funcs(&self.template, &self.shared_funcs);
-        self.facts = Some(Rc::new(analysis.facts));
+        self.facts = Some(Arc::new(analysis.facts));
     }
 
     fn handle_request(&mut self, m: &mut PhpMachine, req: u64) {

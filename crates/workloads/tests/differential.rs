@@ -14,7 +14,7 @@ use php_interp::{parse, Interp};
 use phpaccel_core::PhpMachine;
 use proptest::prelude::*;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 use workloads::php_corpus;
 
 /// Runs `src` on a fresh specialized machine, returning the output bytes and
@@ -24,16 +24,16 @@ use workloads::php_corpus;
 fn run_generated(src: &str, with_facts: bool) -> (Vec<u8>, usize) {
     let program =
         parse(src).unwrap_or_else(|e| panic!("generated program fails to parse: {e:?}\n{src}"));
-    let shared: Vec<Rc<FuncDef>> = program
+    let shared: Vec<Arc<FuncDef>> = program
         .stmts
         .iter()
         .filter_map(|s| match s {
-            Stmt::FuncDef(f) => Some(Rc::new(f.clone())),
+            Stmt::FuncDef(f) => Some(Arc::new(f.clone())),
             _ => None,
         })
         .collect();
     let analysis = analyze_with_funcs(&program, &shared);
-    let facts = Rc::new(analysis.facts);
+    let facts = Arc::new(analysis.facts);
     let mut m = PhpMachine::specialized();
     let out = {
         let mut interp = Interp::new(&mut m);

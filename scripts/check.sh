@@ -20,4 +20,21 @@ cargo run -q -p bench --bin analyze -- --gate scripts/taint-allowlist.txt >/dev/
 echo "== fault-injection soak =="
 scripts/soak.sh
 
+echo "== serve bench smoke (release) =="
+cargo build --release -q -p bench --bin serve_bench
+./target/release/serve_bench --smoke --out target/BENCH_serve_smoke.json
+# The smoke run must emit parseable JSON with the acceptance fields.
+python3 - <<'EOF'
+import json
+with open("target/BENCH_serve_smoke.json") as f:
+    doc = json.load(f)
+assert doc["mismatches"] == 0, doc["mismatches"]
+assert doc["speedup_at_4_workers"] >= 1.5, doc["speedup_at_4_workers"]
+assert len(doc["runs"]) == 4 and [r["workers"] for r in doc["runs"]] == [1, 2, 4, 8]
+for r in doc["runs"]:
+    for key in ("req_per_s", "p50_us", "p95_us", "p99_us"):
+        assert r[key] > 0, (r["workers"], key)
+print("BENCH_serve_smoke.json is valid")
+EOF
+
 echo "All checks passed."

@@ -1,20 +1,51 @@
 #!/usr/bin/env bash
 # Fault-injection soak: seeded faults against all four accelerators, full
 # availability and byte-identity required. Exits nonzero on any regression.
-# Usage: scripts/soak.sh [seed ...]   (default: a fixed seed set)
+# Response bodies are dropped inside the soak binary (keep_bodies = false),
+# so long seed lists run in bounded memory.
+# Usage: scripts/soak.sh [--workers N] [seed ...]
+#   --workers N  run each seed through an N-worker pool (threaded mode)
+#   default: a fixed seed set, single worker plus a 4-worker pool pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-seeds=("$@")
+workers=1
+seeds=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --workers)
+      workers="$2"
+      shift 2
+      ;;
+    *)
+      seeds+=("$1")
+      shift
+      ;;
+  esac
+done
+
+default_seeds=0
 if [ ${#seeds[@]} -eq 0 ]; then
   seeds=(20170613 1 12345)
+  default_seeds=1
 fi
 
 cargo build --release -q -p bench --bin soak
 
 for seed in "${seeds[@]}"; do
-  echo "== soak seed $seed =="
-  ./target/release/soak "$seed"
+  if [ "$workers" -gt 1 ]; then
+    echo "== soak seed $seed ($workers workers) =="
+    ./target/release/soak "$seed" --workers "$workers"
+  else
+    echo "== soak seed $seed =="
+    ./target/release/soak "$seed"
+  fi
 done
 
-echo "Soak passed for seeds: ${seeds[*]}"
+# With the default seed set, also exercise the threaded pool once.
+if [ "$workers" -eq 1 ] && [ "$default_seeds" -eq 1 ]; then
+  echo "== soak seed ${seeds[0]} (4 workers) =="
+  ./target/release/soak "${seeds[0]}" --workers 4
+fi
+
+echo "Soak passed for seeds: ${seeds[*]} (workers: $workers)"
