@@ -23,7 +23,12 @@
 //! (`keep_bodies = false`) so long soaks run in bounded memory; outcomes,
 //! byte-identity replay, and fault deltas are computed before the drop.
 //!
-//! Usage: `soak [seed] [--workers N]` (default seed 20170613, 1 worker).
+//! Usage: `soak [seed] [--workers N] [--arena]` (default seed 20170613,
+//! 1 worker). `--arena` enables the allocator's arena/epoch mode on every
+//! primary machine and routes the request-scoped heap churn through the
+//! arena-safe entry point — the reference machines stay on the classic
+//! free-list path, so byte-identity also cross-checks the two allocators
+//! under fault injection and forced OOM kills.
 
 use php_runtime::{ArrayKey, PhpArray, PhpStr, PhpValue};
 use phpaccel_core::{AccelId, PhpMachine};
@@ -45,6 +50,9 @@ const OOM_REQUESTS: [u64; 2] = [60, 150];
 struct SoakApp {
     rules: Vec<(Regex, Vec<u8>)>,
     author_re: Regex,
+    /// Route the request-scoped heap churn through the arena-safe entry
+    /// point (a no-op on machines with arena mode off, e.g. references).
+    arena: bool,
     /// One persistent array per machine (primary and reference), keyed by
     /// machine address: entries stay live in the hardware hash table across
     /// requests so injected corruption has something to land on.
@@ -52,8 +60,9 @@ struct SoakApp {
 }
 
 impl SoakApp {
-    fn new() -> Self {
+    fn new(arena: bool) -> Self {
         SoakApp {
+            arena,
             rules: vec![
                 (Regex::new("'").unwrap(), b"&#8217;".to_vec()),
                 (Regex::new("\"").unwrap(), b"&#8221;".to_vec()),
@@ -69,9 +78,13 @@ impl SoakApp {
 
         // Heap churn: varied request-scoped sizes so free lists stay
         // populated (scoped blocks are reclaimed even when the request is
-        // OOM-killed mid-churn).
+        // OOM-killed mid-churn). In arena mode only even slots go to the
+        // arena: the odd ones keep the free lists busy so HeapFreelist
+        // faults still have nodes to poison and the heap breaker still
+        // gets exercised.
         for i in 0..6 {
-            m.alloc_scoped(48 + ((req as usize * 13 + i * 37) % 200));
+            let arena_safe = self.arena && i % 2 == 0;
+            m.alloc_scoped_static(48 + ((req as usize * 13 + i * 37) % 200), arena_safe);
         }
 
         // Hash-table traffic against the persistent map.
@@ -159,6 +172,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workers: usize = 1;
     let mut seed: u64 = 20_170_613;
+    let mut arena = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--workers" {
@@ -166,24 +180,30 @@ fn main() {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .expect("--workers takes a positive integer");
+        } else if a == "--arena" {
+            arena = true;
         } else {
             seed = a.parse().expect("seed must be an integer");
         }
     }
 
     if workers > 1 {
-        run_pool(seed, workers);
+        run_pool(seed, workers, arena);
         return;
     }
 
     let plan = build_plan(seed, 4);
     let planned = plan.all().len();
-    let mut server = Server::new(PhpMachine::specialized(), breaker_cfg(), sandbox())
+    let machine = PhpMachine::specialized();
+    if arena {
+        machine.ctx().set_arena_enabled(true);
+    }
+    let mut server = Server::new(machine, breaker_cfg(), sandbox())
         .with_fault_plan(plan)
         .with_reference(PhpMachine::baseline())
         .with_keep_bodies(false);
 
-    let mut app = SoakApp::new();
+    let mut app = SoakApp::new(arena);
     let mut handler = |m: &mut PhpMachine, req: u64| app.handle(m, req);
 
     // Expected panics (forced OOMs) would otherwise spam stderr.
@@ -289,7 +309,7 @@ fn main() {
 /// The threaded soak: the same request stream sharded across a worker pool,
 /// with the fault plan densified so each worker's shard still trips its
 /// breakers, and the pass criteria asserted on the merged totals.
-fn run_pool(seed: u64, workers: usize) {
+fn run_pool(seed: u64, workers: usize, arena: bool) {
     let plan = build_plan(seed, 4 * workers);
     let planned = plan.all().len();
     let cfg = PoolConfig {
@@ -303,6 +323,7 @@ fn run_pool(seed: u64, workers: usize) {
         // history across requests (unlike the deterministic bench mode).
         reset_between_requests: false,
         keep_bodies: false,
+        arena,
     };
     let pool = WorkerPool::new(cfg);
 
@@ -310,7 +331,7 @@ fn run_pool(seed: u64, workers: usize) {
     let report = pool.run(
         |_| PhpMachine::specialized(),
         |_w| {
-            let mut app = SoakApp::new();
+            let mut app = SoakApp::new(arena);
             move |m: &mut PhpMachine, req: u64| app.handle(m, req)
         },
     );

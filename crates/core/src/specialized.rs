@@ -506,6 +506,19 @@ impl PhpMachine {
         addr
     }
 
+    /// [`PhpMachine::alloc_scoped`] with a region-analysis verdict. An
+    /// arena-safe site (and arena mode on) bump-allocates through the
+    /// context's request arena — bypassing both the hardware heap manager
+    /// and this machine's scoped free list — so the end-of-request epoch
+    /// reset reclaims it in O(1). Everything else takes the normal path,
+    /// keeping the hardware heap's live-count invariants untouched.
+    pub fn alloc_scoped_static(&mut self, size: usize, arena_safe: bool) -> u64 {
+        if arena_safe && self.ctx.arena_enabled() {
+            return self.ctx.alloc_scoped_static(size, true).addr;
+        }
+        self.alloc_scoped(size)
+    }
+
     /// Creates a transient string value: its backing allocation is taken and
     /// immediately recycled (the paper's HTML-tag churn pattern).
     pub fn transient_str(&mut self, s: impl Into<PhpStr>) -> PhpValue {
@@ -515,12 +528,28 @@ impl PhpMachine {
         PhpValue::str(s)
     }
 
+    /// [`PhpMachine::transient_str`] with a region-analysis verdict:
+    /// arena-safe transient churn goes through the bump arena instead of
+    /// the (hardware or free-list) malloc/free pair.
+    pub fn transient_str_static(&mut self, s: impl Into<PhpStr>, arena_safe: bool) -> PhpValue {
+        if arena_safe && self.ctx.arena_enabled() {
+            return self.ctx.make_transient_str_static(s, true);
+        }
+        self.transient_str(s)
+    }
+
     // -- hash maps -------------------------------------------------------------
 
     /// Creates an array registered with the heap.
     pub fn new_array(&mut self) -> PhpArray {
+        self.new_array_static(false)
+    }
+
+    /// [`PhpMachine::new_array`] with a region-analysis verdict for the
+    /// descriptor allocation.
+    pub fn new_array_static(&mut self, arena_safe: bool) -> PhpArray {
         let mut a = PhpArray::new();
-        let addr = self.alloc_scoped(64);
+        let addr = self.alloc_scoped_static(64, arena_safe);
         a.set_base_addr(addr);
         a
     }
@@ -1267,6 +1296,56 @@ mod tests {
         spec.end_request();
         let live = spec.ctx().with_allocator(|a| a.live_block_count());
         assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn arena_mode_end_request_releases_all_blocks() {
+        let mut spec = PhpMachine::specialized();
+        spec.ctx().set_arena_enabled(true);
+        spec.alloc_scoped_static(64, true); // arena
+        spec.alloc_scoped_static(64, false); // hardware/scoped path
+        let _arr = spec.new_array_static(true);
+        let _ = spec.transient_str_static(PhpStr::from("churned html tag"), true);
+        assert!(spec.ctx().with_allocator(|a| a.arena_block_count()) >= 2);
+        spec.end_request();
+        assert_eq!(spec.ctx().with_allocator(|a| a.live_block_count()), 0);
+        let savings = spec.ctx().profiler().static_savings();
+        assert!(savings.arena_bytes_reclaimed >= 64 * 2);
+    }
+
+    #[test]
+    fn arena_mode_recover_request_restores_software_truth() {
+        // The recovery invariant must hold with arena mode on: scoped and
+        // arena blocks all reclaimed, hardware free lists drained.
+        let mut spec = PhpMachine::specialized();
+        spec.ctx().set_arena_enabled(true);
+        let mut a = spec.new_array_static(true);
+        for i in 0..10 {
+            spec.array_set(&mut a, ArrayKey::from(format!("k{i}")), PhpValue::from(i));
+        }
+        let b = spec.alloc(64);
+        spec.free(b); // hardware free list holds a segment
+        spec.recover_request();
+        assert_eq!(spec.ctx().with_allocator(|al| al.live_block_count()), 0);
+        assert_eq!(spec.ctx().with_allocator(|al| al.arena_block_count()), 0);
+        assert!(spec.core().heap.occupancy().iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn arena_verdicts_are_inert_when_arena_disabled() {
+        // Call sites pass verdicts unconditionally; with arena mode off the
+        // *_static entry points must behave exactly like their plain twins.
+        let mut spec = PhpMachine::specialized();
+        spec.alloc_scoped_static(64, true);
+        let _ = spec.transient_str_static(PhpStr::from("x"), true);
+        let _arr = spec.new_array_static(true);
+        assert_eq!(spec.ctx().with_allocator(|a| a.arena_block_count()), 0);
+        spec.end_request();
+        assert_eq!(spec.ctx().with_allocator(|a| a.live_block_count()), 0);
+        assert_eq!(
+            spec.ctx().profiler().static_savings().arena_bytes_reclaimed,
+            0
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl EscapeSet {
 /// ternaries), as opposed to values it constructs. `$a . $b` builds a new
 /// string — neither root escapes through it; `$c ? $a : $b` yields one of
 /// the two unchanged.
-fn root_vars(e: &Expr, out: &mut BTreeSet<String>) {
+pub(crate) fn root_vars(e: &Expr, out: &mut BTreeSet<String>) {
     match e {
         Expr::Var(n) => {
             out.insert(n.clone());
@@ -64,6 +64,22 @@ pub fn escaping_vars(scope: &ScopeCfg<'_>) -> EscapeSet {
 /// function only escape at the positions the callee actually retains
 /// (stores, returns, or writes to a global — see
 /// [`crate::summary::FuncSummary::param_retained`]).
+///
+/// # Missing-summary fallback (the EMPTY contract)
+///
+/// Summaries are an *optimization*, never a soundness requirement. When the
+/// view has no summary for a callee — because the view is
+/// [`CallerView::EMPTY`], the callee was never defined, or the summary pass
+/// was skipped — [`CallerView::arg_retained`] answers `true` for every
+/// position, and a summarized callee with `opaque_effects` degrades the same
+/// way. The result is that **every argument of an unknown call escapes**:
+/// exactly the assumption [`escaping_vars`] bakes in. Downstream passes
+/// (refcount elision here, region/arena classification in
+/// [`crate::region`]) therefore only ever lose precision when knowledge is
+/// missing — an un-summarized call can keep a value alive, never prove it
+/// dead. This direction matters: over-approximating the escape set merely
+/// keeps a refcount pair or routes an allocation through the free-list
+/// path; under-approximating it would elide work the program needed.
 pub fn escaping_vars_with(scope: &ScopeCfg<'_>, view: &CallerView<'_>) -> EscapeSet {
     let mut esc = EscapeSet {
         all: false,
@@ -180,5 +196,43 @@ mod tests {
         let esc = main_escapes("$rows = array(1, 2); foreach ($rows as $k => $v) { echo $k, $v; }");
         assert!(esc.contains("rows"));
         assert!(!esc.contains("k") && !esc.contains("v"));
+    }
+
+    // The EMPTY contract: a view with no summary for a callee must degrade
+    // to "every argument retained", matching `escaping_vars` exactly.
+
+    #[test]
+    fn empty_view_retains_every_user_call_argument() {
+        let src = "function shout($x) { echo $x; } $t = 'x'; shout($t);";
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let main = scopes.iter().position(|s| s.is_main).unwrap();
+
+        // No knowledge: the argument must be assumed kept.
+        let blind = escaping_vars_with(&scopes[main], &CallerView::EMPTY);
+        assert!(blind.contains("t"), "EMPTY view must retain call args");
+
+        // With a summary, `shout` provably only echoes its parameter, so
+        // the same argument no longer escapes — summaries refine, the
+        // fallback stays sound.
+        let cg = crate::callgraph::CallGraph::build(&scopes);
+        let sums = crate::summary::compute_summaries(&scopes, &cg);
+        let informed = escaping_vars_with(&scopes[main], &CallerView::of(&sums));
+        assert!(!informed.contains("t"), "summary proves the arg transient");
+    }
+
+    #[test]
+    fn unsummarized_callee_in_a_populated_view_still_escapes() {
+        // `mystery` has no definition, so even a view that summarizes other
+        // functions has nothing for it: its arguments must escape.
+        let src = "function shout($x) { echo $x; } $t = 'x'; mystery($t); shout($u);";
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let main = scopes.iter().position(|s| s.is_main).unwrap();
+        let cg = crate::callgraph::CallGraph::build(&scopes);
+        let sums = crate::summary::compute_summaries(&scopes, &cg);
+        let esc = escaping_vars_with(&scopes[main], &CallerView::of(&sums));
+        assert!(esc.contains("t"), "missing summary falls back to retained");
+        assert!(!esc.contains("u"), "the summarized callee still refines");
     }
 }

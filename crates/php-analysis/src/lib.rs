@@ -48,6 +48,7 @@ pub mod commit;
 pub mod escape;
 pub mod knowledge;
 pub mod liveness;
+pub mod region;
 pub mod report;
 pub mod solver;
 pub mod summary;
@@ -59,6 +60,7 @@ use php_interp::AnalysisFacts;
 use std::sync::Arc;
 
 pub use callgraph::CallGraph;
+pub use region::{CrossSet, RegionInfo, RegionStats};
 pub use report::{Lint, LintKind, Report, ScopeReport};
 pub use solver::{Direction, Lattice};
 pub use summary::{CallerView, FuncSummary, Summaries};
@@ -129,13 +131,14 @@ pub fn analyze_with_options(
         Some(s) => CallerView::of(s),
         None => CallerView::EMPTY,
     };
+    let regions = region::analyze_regions(&scopes, &view);
     let mut facts = AnalysisFacts::new();
     let mut report = Report::default();
-    for scope in &scopes {
+    for (i, scope) in scopes.iter().enumerate() {
         let escapes = escape::escaping_vars_with(scope, &view);
         let type_in = types::solve_types_with(scope, &view);
         let live_out = liveness::solve_liveness(scope);
-        let scope_report = commit::commit_scope(
+        let mut scope_report = commit::commit_scope(
             scope,
             &escapes,
             view,
@@ -144,6 +147,22 @@ pub fn analyze_with_options(
             &mut facts,
             &mut report.lints,
         );
+        let stats = region::commit_regions(
+            scope,
+            &regions.cross[i],
+            regions.ret_cross.contains(&scope.name),
+            &view,
+            &mut facts,
+            &mut report.lints,
+        );
+        scope_report.arena_safe_sites = stats.arena_safe_sites;
+        scope_report.cross_request_sites = stats.cross_request_sites;
+        // The function's own symbol table is an allocation site too: its
+        // hash map dies when the frame pops, so it is arena-eligible unless
+        // the scope's lifetimes are unprovable (`extract` poisoning).
+        if !scope.is_main {
+            facts.set_symtab_arena_safe(&scope.name, !regions.cross[i].all);
+        }
         report.scopes.push(scope_report);
     }
     if opts.interprocedural {

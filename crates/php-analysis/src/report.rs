@@ -16,6 +16,10 @@ pub enum LintKind {
     /// Unsanitized request input reaches an echo/regex/hash-table sink
     /// (see [`crate::taint`]).
     TaintedSink,
+    /// An allocation site whose value may outlive the request (reaches a
+    /// global, a cross-request consumer, or an `extract`-poisoned scope) —
+    /// excluded from arena allocation (see [`crate::region`]).
+    CrossRequestEscape,
 }
 
 impl fmt::Display for LintKind {
@@ -26,6 +30,7 @@ impl fmt::Display for LintKind {
             LintKind::AlwaysTrueGuard => "type-guard",
             LintKind::ConstantCondition => "constant-condition",
             LintKind::TaintedSink => "tainted-sink",
+            LintKind::CrossRequestEscape => "cross-request-escape",
         })
     }
 }
@@ -73,6 +78,10 @@ pub struct ScopeReport {
     pub summarized_calls: usize,
     /// `preg_*` sites whose constant pattern was compiled at analysis time.
     pub preg_precompiled: usize,
+    /// Allocation sites proven to die with the request (arena-eligible).
+    pub arena_safe_sites: usize,
+    /// Allocation sites that may outlive the request (free-list path).
+    pub cross_request_sites: usize,
 }
 
 impl ScopeReport {
@@ -91,7 +100,8 @@ impl fmt::Display for ScopeReport {
         write!(
             f,
             "{:<16} blocks={:<3} type-coverage={:>5.1}% ({}/{} operands) \
-             rc-elide reads={} stores={} keys const-str={} int-append={}",
+             rc-elide reads={} stores={} keys const-str={} int-append={} \
+             arena safe={} escaping={}",
             self.name,
             self.blocks,
             self.type_coverage_pct(),
@@ -101,6 +111,8 @@ impl fmt::Display for ScopeReport {
             self.rc_elided_stores,
             self.const_str_sites,
             self.int_append_sites,
+            self.arena_safe_sites,
+            self.cross_request_sites,
         )
     }
 }
@@ -136,6 +148,16 @@ impl Report {
     /// Total `preg_*` patterns compiled at analysis time.
     pub fn preg_precompiled(&self) -> usize {
         self.scopes.iter().map(|s| s.preg_precompiled).sum()
+    }
+
+    /// Total arena-safe allocation sites across scopes.
+    pub fn arena_safe_sites(&self) -> usize {
+        self.scopes.iter().map(|s| s.arena_safe_sites).sum()
+    }
+
+    /// Total cross-request-escaping allocation sites across scopes.
+    pub fn cross_request_sites(&self) -> usize {
+        self.scopes.iter().map(|s| s.cross_request_sites).sum()
     }
 
     /// Lints of one kind.

@@ -156,6 +156,10 @@ impl<'m> Interp<'m> {
             .ctx()
             .profiler()
             .note_taint_lints(facts.taint_lint_count() as u64);
+        self.machine
+            .ctx()
+            .profiler()
+            .note_arena_safe_sites(facts.arena_safe_count() as u64);
         self.facts = Some(facts);
     }
 
@@ -260,7 +264,13 @@ impl<'m> Interp<'m> {
             return Err(RuntimeError::new("maximum call depth exceeded"));
         }
         self.depth += 1;
-        let table = self.machine.new_array();
+        // The frame's symbol table dies when the scope pops — arena-eligible
+        // when the region analysis cleared the function.
+        let symtab_arena = self
+            .facts
+            .as_ref()
+            .is_some_and(|f| f.symtab_arena_safe(&def.name));
+        let table = self.machine.new_array_static(symtab_arena);
         self.scopes.push(Scope {
             table,
             globals: HashSet::new(),
@@ -393,7 +403,9 @@ impl<'m> Interp<'m> {
                         let rc = match arr_val {
                             PhpValue::Array(rc) => rc,
                             PhpValue::Null => {
-                                let a = self.machine.new_array();
+                                let arena =
+                                    self.facts.as_ref().is_some_and(|f| f.arena_safe_stmt(s));
+                                let a = self.machine.new_array_static(arena);
                                 let v2 = PhpValue::array(a);
                                 self.set_var(var, v2.clone());
                                 match v2 {
@@ -438,7 +450,8 @@ impl<'m> Interp<'m> {
                     let v = self.expr(p)?;
                     let s = v.to_php_string();
                     // echo materializes output bytes: allocator churn.
-                    let tv = self.machine.transient_str(s.clone());
+                    let arena = self.facts.as_ref().is_some_and(|f| f.arena_safe_expr(p));
+                    let tv = self.machine.transient_str_static(s.clone(), arena);
                     let _ = tv;
                     self.output.extend_from_slice(s.as_bytes());
                 }
@@ -635,7 +648,8 @@ impl<'m> Interp<'m> {
                 }
             }
             Expr::ArrayLit(items) => {
-                let mut a = self.machine.new_array();
+                let arena = self.facts.as_ref().is_some_and(|f| f.arena_safe_expr(e));
+                let mut a = self.machine.new_array_static(arena);
                 for (k, vexpr) in items {
                     let v = self.expr(vexpr)?;
                     match k {
@@ -709,12 +723,21 @@ impl<'m> Interp<'m> {
                     .unwrap_or((false, false));
                 self.machine.ctx().type_check_elidable(&l, skip_l);
                 self.machine.ctx().type_check_elidable(&r, skip_r);
-                Ok(self.binop(*op, l, r)?)
+                // `binop` never sees the AST node, so the concat site's
+                // arena verdict is resolved here and passed down.
+                let arena = self.facts.as_ref().is_some_and(|f| f.arena_safe_expr(e));
+                Ok(self.binop(*op, l, r, arena)?)
             }
         }
     }
 
-    fn binop(&mut self, op: BinOp, l: PhpValue, r: PhpValue) -> Result<PhpValue, RuntimeError> {
+    fn binop(
+        &mut self,
+        op: BinOp,
+        l: PhpValue,
+        r: PhpValue,
+        arena_safe: bool,
+    ) -> Result<PhpValue, RuntimeError> {
         use BinOp::*;
         let numeric = |l: &PhpValue, r: &PhpValue| {
             matches!(l, PhpValue::Float(_)) || matches!(r, PhpValue::Float(_))
@@ -769,7 +792,7 @@ impl<'m> Interp<'m> {
                 let mut s = l.to_php_string();
                 s.push_bytes(r.to_php_string().as_bytes());
                 // Concatenation allocates the result string.
-                self.machine.transient_str(s)
+                self.machine.transient_str_static(s, arena_safe)
             }
             Eq => PhpValue::Bool(l.loose_eq(&r)),
             Ne => PhpValue::Bool(!l.loose_eq(&r)),

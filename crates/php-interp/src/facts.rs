@@ -74,6 +74,15 @@ pub struct AnalysisFacts {
     alloc_size_hints: Vec<usize>,
     /// Number of tainted-sink lints the analysis raised for this program.
     taint_lint_count: usize,
+    /// Allocation sites (echo materializations, concat transients, array
+    /// literals, autovivified arrays) the region analysis proved die with
+    /// the request: eligible for arena/epoch allocation. Expression and
+    /// statement sites share one id space, so one set covers both.
+    arena_safe: HashSet<NodeId>,
+    /// Functions whose symbol-table array is provably request-scoped (no
+    /// `extract` poisoning). A missing name means "not proven" — the
+    /// interpreter keeps the free-list path.
+    symtab_arena_safe: HashSet<String>,
 }
 
 fn expr_addr(e: &Expr) -> usize {
@@ -156,6 +165,20 @@ impl AnalysisFacts {
         self.taint_lint_count = n;
     }
 
+    /// Marks an allocation site (expression or statement id) as arena-safe:
+    /// the region analysis proved the allocation never outlives the request.
+    pub fn mark_arena_safe(&mut self, id: NodeId) {
+        self.arena_safe.insert(id);
+    }
+
+    /// Records whether `name`'s symbol-table array is arena-safe. Only
+    /// positive verdicts are stored; absence means "use the free list".
+    pub fn set_symtab_arena_safe(&mut self, name: &str, safe: bool) {
+        if safe {
+            self.symtab_arena_safe.insert(name.to_string());
+        }
+    }
+
     // -- queries (used by the interpreter) -----------------------------------
 
     /// The id of an expression node, if it belongs to the analyzed program.
@@ -221,6 +244,30 @@ impl AnalysisFacts {
     /// Number of tainted-sink lints the analysis raised.
     pub fn taint_lint_count(&self) -> usize {
         self.taint_lint_count
+    }
+
+    /// Whether an expression's allocation site is proven arena-safe.
+    pub fn arena_safe_expr(&self, e: &Expr) -> bool {
+        self.expr_id(e)
+            .is_some_and(|id| self.arena_safe.contains(&id))
+    }
+
+    /// Whether a statement's allocation site (autovivified array) is proven
+    /// arena-safe.
+    pub fn arena_safe_stmt(&self, s: &Stmt) -> bool {
+        self.stmt_id(s)
+            .is_some_and(|id| self.arena_safe.contains(&id))
+    }
+
+    /// Whether `name`'s symbol-table array is proven arena-safe.
+    pub fn symtab_arena_safe(&self, name: &str) -> bool {
+        self.symtab_arena_safe.contains(name)
+    }
+
+    /// Number of proven arena-safe allocation sites (node sites plus
+    /// symbol-table verdicts), for the savings counters.
+    pub fn arena_safe_count(&self) -> usize {
+        self.arena_safe.len() + self.symtab_arena_safe.len()
     }
 
     /// Number of `preg_*` sites with an analysis-time-compiled pattern.

@@ -32,6 +32,11 @@ pub const CLASS_SIZES: [usize; 14] = [
 /// Simulated chunk size carved into slab segments.
 const CHUNK_BYTES: u64 = 256 * 1024;
 
+/// Pseudo-class index marking a block served by the request arena (see
+/// [`SlabAllocator::arena_malloc`]). Distinct from `usize::MAX`, which marks
+/// huge kernel-path blocks.
+pub const ARENA_CLASS: usize = usize::MAX - 1;
+
 /// Micro-op costs of the software paths (calibrated so that the measured
 /// averages land near the paper's 69 / 37 µops; see `tab_uops`).
 mod cost {
@@ -47,6 +52,15 @@ mod cost {
     pub const FREE_FAST: u64 = 36;
     /// free of a huge block.
     pub const FREE_HUGE: u64 = 700;
+    /// arena bump allocation: limit check + pointer increment.
+    pub const ARENA_BUMP: u64 = 10;
+    /// arena needing a new chunk from the kernel.
+    pub const ARENA_REFILL: u64 = 900;
+    /// logical free of an arena block: live-byte accounting only, the
+    /// memory itself is reclaimed wholesale at epoch reset.
+    pub const ARENA_FREE: u64 = 4;
+    /// O(1) epoch reset: rewind the bump pointer, zero the counters.
+    pub const ARENA_RESET: u64 = 40;
 }
 
 /// A live allocation handle.
@@ -93,6 +107,13 @@ pub struct AllocStats {
     pub free_uops: u64,
     /// Peak live bytes.
     pub peak_live: u64,
+    /// Allocations served by the request arena (bump path).
+    pub arena_allocs: u64,
+    /// Arena epoch resets performed.
+    pub arena_resets: u64,
+    /// Bytes reclaimed wholesale by epoch resets (blocks that were still
+    /// live when the epoch ended).
+    pub arena_bytes_reclaimed: u64,
 }
 
 impl AllocStats {
@@ -115,7 +136,14 @@ impl AllocStats {
     }
 
     /// Fraction of mallocs requesting at most `bytes` (Figure 8a).
+    ///
+    /// Total zero — no allocations recorded, or a default-constructed stats
+    /// value whose histogram is empty — yields `0.0` rather than dividing
+    /// by (or indexing into) nothing.
     pub fn cdf_at(&self, bytes: usize) -> f64 {
+        if self.size_histogram.is_empty() {
+            return 0.0;
+        }
         let total: u64 = self.size_histogram.iter().sum();
         if total == 0 {
             return 0.0;
@@ -123,6 +151,51 @@ impl AllocStats {
         let bin = (bytes / SMALL_CLASS_GRANULARITY).min(self.size_histogram.len() - 1);
         let cum: u64 = self.size_histogram[..=bin].iter().sum();
         cum as f64 / total as f64
+    }
+}
+
+/// Summary of one arena epoch reset (see [`SlabAllocator::reset_arena_epoch`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaEpochReport {
+    /// Arena blocks still live when the epoch ended, reclaimed wholesale.
+    pub blocks_reclaimed: u64,
+    /// Bytes those blocks occupied.
+    pub bytes_reclaimed: u64,
+    /// µops the free-list teardown of those blocks would have cost, minus
+    /// the constant reset cost actually charged.
+    pub uops_saved: u64,
+}
+
+/// Per-request bump arena. Arena blocks are never entered into
+/// `live_blocks` or any free list — their liveness is a handful of counters,
+/// which is what makes the end-of-epoch reset O(1).
+struct ArenaState {
+    /// Bump pointer within the current arena chunk.
+    bump: u64,
+    /// Start of the current chunk (the reset target).
+    chunk_start: u64,
+    /// End of the current chunk.
+    chunk_end: u64,
+    /// Live arena blocks (allocated minus logically freed) this epoch.
+    block_count: u64,
+    /// Live arena bytes per slab class this epoch. Fixed-size, so zeroing
+    /// it at reset is a constant-time operation.
+    live_by_class: [u64; CLASS_SIZES.len()],
+}
+
+impl ArenaState {
+    fn new() -> Self {
+        ArenaState {
+            bump: 0,
+            chunk_start: 0,
+            chunk_end: 0,
+            block_count: 0,
+            live_by_class: [0; CLASS_SIZES.len()],
+        }
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live_by_class.iter().sum()
     }
 }
 
@@ -156,6 +229,14 @@ pub struct SlabAllocator {
     /// Per-request memory ceiling (the `memory_limit` ini analogue). `None`
     /// means unlimited.
     memory_limit: Option<u64>,
+    /// Request arena (epoch) state.
+    arena: ArenaState,
+    /// Whether [`arena_malloc`] bump-allocates or falls through to the
+    /// free-list path. Off by default; flipped per-machine by callers that
+    /// trust the region analysis.
+    ///
+    /// [`arena_malloc`]: SlabAllocator::arena_malloc
+    arena_enabled: bool,
 }
 
 impl std::fmt::Debug for SlabAllocator {
@@ -202,7 +283,22 @@ impl SlabAllocator {
             tick: 0,
             total_live: 0,
             memory_limit: None,
+            arena: ArenaState::new(),
+            arena_enabled: false,
         }
+    }
+
+    /// Turns the request-arena mode on or off. Affects only
+    /// [`arena_malloc`]; `malloc` always uses the free-list path.
+    ///
+    /// [`arena_malloc`]: SlabAllocator::arena_malloc
+    pub fn set_arena_enabled(&mut self, enabled: bool) {
+        self.arena_enabled = enabled;
+    }
+
+    /// Whether arena mode is on.
+    pub fn arena_enabled(&self) -> bool {
+        self.arena_enabled
     }
 
     /// Sets the per-request memory ceiling (`None` = unlimited). When an
@@ -319,6 +415,139 @@ impl SlabAllocator {
         (addr, cost::MALLOC_CARVE)
     }
 
+    /// Allocates `size` bytes from the request arena when arena mode is on
+    /// and the size fits a slab class; otherwise behaves exactly like
+    /// [`malloc`](SlabAllocator::malloc).
+    ///
+    /// Arena blocks bump-allocate at a fraction of the free-list cost and
+    /// are reclaimed wholesale by [`reset_arena_epoch`]. They charge the
+    /// same rounded (class) size against `total_live` as the free-list path
+    /// would, so memory-limit behaviour is identical in both modes. Huge
+    /// (>4096 B) requests always take the kernel path: they are not
+    /// request-churn, and keeping them out of the arena keeps the epoch
+    /// cheap to reason about.
+    ///
+    /// [`reset_arena_epoch`]: SlabAllocator::reset_arena_epoch
+    pub fn arena_malloc(&mut self, size: usize, prof: &Profiler) -> Block {
+        if !self.arena_enabled {
+            return self.malloc(size, prof);
+        }
+        let size = size.max(1);
+        let Some(ci) = Self::class_for(size) else {
+            return self.malloc(size, prof);
+        };
+        let rounded = CLASS_SIZES[ci] as u64;
+        self.check_memory_limit(size);
+        self.tick += 1;
+        self.stats.mallocs += 1;
+        self.stats.arena_allocs += 1;
+        let bin = (size / SMALL_CLASS_GRANULARITY).min(256);
+        self.stats.size_histogram[bin] += 1;
+        self.stats.allocs_by_class[ci] += 1;
+        let uops = if self.arena.bump + rounded > self.arena.chunk_end {
+            let start = self.fresh_range(CHUNK_BYTES);
+            self.arena.chunk_start = start;
+            self.arena.bump = start;
+            self.arena.chunk_end = start + CHUNK_BYTES;
+            cost::ARENA_REFILL
+        } else {
+            cost::ARENA_BUMP
+        };
+        let addr = self.arena.bump;
+        self.arena.bump += rounded;
+        self.stats.malloc_uops += uops;
+        prof.record("arena_bump_alloc", Category::Heap, OpCost::mixed(uops));
+        self.arena.block_count += 1;
+        self.arena.live_by_class[ci] += rounded;
+        self.total_live += rounded;
+        self.stats.peak_live = self.stats.peak_live.max(self.total_live);
+        if self.tick.is_multiple_of(self.timeline_interval) {
+            self.sample_timeline();
+        }
+        Block {
+            addr,
+            size,
+            class: ARENA_CLASS,
+        }
+    }
+
+    /// Logical free of an arena block: cheap counter updates so live-byte
+    /// and live-block accounting stay in lockstep with free-list mode. The
+    /// address itself is not recycled until [`reset_arena_epoch`].
+    ///
+    /// [`reset_arena_epoch`]: SlabAllocator::reset_arena_epoch
+    fn arena_free(&mut self, block: Block, prof: &Profiler) {
+        let ci = Self::class_for(block.size).expect("arena block with non-slab size");
+        let rounded = CLASS_SIZES[ci] as u64;
+        assert!(
+            self.arena.block_count > 0 && self.arena.live_by_class[ci] >= rounded,
+            "arena free without a matching live arena block"
+        );
+        self.tick += 1;
+        self.stats.frees += 1;
+        self.stats.frees_by_class[ci] += 1;
+        self.stats.free_uops += cost::ARENA_FREE;
+        prof.record(
+            "arena_logical_free",
+            Category::Heap,
+            OpCost::mixed(cost::ARENA_FREE),
+        );
+        self.arena.block_count -= 1;
+        self.arena.live_by_class[ci] -= rounded;
+        self.total_live -= rounded;
+        if self.tick.is_multiple_of(self.timeline_interval) {
+            self.sample_timeline();
+        }
+    }
+
+    /// Ends the current arena epoch in O(1): every arena block still live is
+    /// reclaimed by rewinding the bump pointer and zeroing the (fixed-size)
+    /// counters — no per-block walk, no free-list pushes. Charges a single
+    /// constant reset cost and reports what a free-list teardown of the same
+    /// blocks would have cost instead.
+    ///
+    /// Sound only if no arena block is referenced after the reset — the
+    /// contract the region analysis (`php-analysis::region`) certifies per
+    /// allocation site.
+    pub fn reset_arena_epoch(&mut self, prof: &Profiler) -> ArenaEpochReport {
+        let blocks = self.arena.block_count;
+        let bytes = self.arena.live_bytes();
+        if blocks == 0 && bytes == 0 && self.arena.bump == self.arena.chunk_start {
+            return ArenaEpochReport::default();
+        }
+        self.tick += 1;
+        self.stats.arena_resets += 1;
+        self.stats.arena_bytes_reclaimed += bytes;
+        self.stats.free_uops += cost::ARENA_RESET;
+        prof.record(
+            "arena_epoch_reset",
+            Category::Heap,
+            OpCost::mixed(cost::ARENA_RESET),
+        );
+        self.total_live -= bytes;
+        self.arena.block_count = 0;
+        self.arena.live_by_class = [0; CLASS_SIZES.len()];
+        self.arena.bump = self.arena.chunk_start;
+        if self.tick.is_multiple_of(self.timeline_interval) {
+            self.sample_timeline();
+        }
+        ArenaEpochReport {
+            blocks_reclaimed: blocks,
+            bytes_reclaimed: bytes,
+            uops_saved: (blocks * cost::FREE_FAST).saturating_sub(cost::ARENA_RESET),
+        }
+    }
+
+    /// Live arena blocks this epoch.
+    pub fn arena_block_count(&self) -> usize {
+        self.arena.block_count as usize
+    }
+
+    /// Live arena bytes this epoch.
+    pub fn arena_live_bytes(&self) -> u64 {
+        self.arena.live_bytes()
+    }
+
     fn fresh_range(&mut self, bytes: u64) -> u64 {
         let addr = self.next_addr;
         self.next_addr += (bytes + 15) & !15;
@@ -332,6 +561,10 @@ impl SlabAllocator {
     /// Panics on double free or on a block this allocator never produced —
     /// those are simulation bugs, not recoverable conditions.
     pub fn free(&mut self, block: Block, prof: &Profiler) {
+        if block.class == ARENA_CLASS {
+            self.arena_free(block, prof);
+            return;
+        }
         let (ci, size) = self
             .live_blocks
             .remove(&block.addr)
@@ -420,12 +653,15 @@ impl SlabAllocator {
     fn sample_timeline(&mut self) {
         let mut live_small = [0u64; SMALL_CLASS_COUNT];
         for (i, slot) in live_small.iter_mut().enumerate() {
-            *slot = self.classes[i].live;
+            *slot = self.classes[i].live + self.arena.live_by_class[i];
         }
         let live_large: u64 = self.classes[SMALL_CLASS_COUNT..]
             .iter()
             .map(|c| c.live)
-            .sum();
+            .sum::<u64>()
+            + self.arena.live_by_class[SMALL_CLASS_COUNT..]
+                .iter()
+                .sum::<u64>();
         self.timeline.push(TimelineSample {
             tick: self.tick,
             live_small,
@@ -438,9 +674,11 @@ impl SlabAllocator {
         self.total_live
     }
 
-    /// Number of live blocks.
+    /// Number of live blocks, counting arena blocks not yet reclaimed —
+    /// kept in lockstep with free-list mode so differential live-block
+    /// checks see identical counts whether arena mode is on or off.
     pub fn live_block_count(&self) -> usize {
-        self.live_blocks.len()
+        self.live_blocks.len() + self.arena.block_count as usize
     }
 
     /// Aggregate statistics (Figure 8a, §5.2 µop table).
@@ -593,6 +831,136 @@ mod tests {
         // Live memory for the 32B class stays bounded (strong reuse ⇒ flat).
         let max_live = tl.iter().map(|s| s.live_small[1]).max().unwrap();
         assert!(max_live <= 4 * 32);
+    }
+
+    #[test]
+    fn zero_request_stats_are_all_zero() {
+        // Satellite: division-by-zero / empty-state hardening. A freshly
+        // built allocator and a default-constructed AllocStats (empty
+        // histogram!) must both answer without panicking.
+        let a = SlabAllocator::new();
+        assert_eq!(a.stats().avg_malloc_uops(), 0.0);
+        assert_eq!(a.stats().avg_free_uops(), 0.0);
+        assert_eq!(a.stats().cdf_at(0), 0.0);
+        assert_eq!(a.stats().cdf_at(128), 0.0);
+        assert_eq!(a.stats().cdf_at(usize::MAX), 0.0);
+        assert!(a.timeline().is_empty());
+
+        let empty = AllocStats::default();
+        assert!(empty.size_histogram.is_empty());
+        assert_eq!(empty.cdf_at(64), 0.0);
+        assert_eq!(empty.avg_malloc_uops(), 0.0);
+        assert_eq!(empty.avg_free_uops(), 0.0);
+    }
+
+    #[test]
+    fn arena_disabled_falls_through_to_freelist() {
+        let mut a = SlabAllocator::new();
+        let p = prof();
+        let b = a.arena_malloc(32, &p);
+        assert_ne!(b.class, ARENA_CLASS);
+        assert_eq!(a.arena_block_count(), 0);
+        a.free(b, &p);
+        assert_eq!(a.live_block_count(), 0);
+    }
+
+    #[test]
+    fn arena_alloc_and_logical_free_balance() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        let b1 = a.arena_malloc(24, &p); // class 1 → 32 B
+        let b2 = a.arena_malloc(100, &p); // class 6 → 112 B
+        assert_eq!(b1.class, ARENA_CLASS);
+        assert_eq!(a.arena_block_count(), 2);
+        assert_eq!(a.live_block_count(), 2);
+        assert_eq!(a.live_bytes(), 32 + 112);
+        assert_eq!(a.arena_live_bytes(), 32 + 112);
+        a.free(b1, &p);
+        assert_eq!(a.arena_block_count(), 1);
+        assert_eq!(a.live_bytes(), 112);
+        a.free(b2, &p);
+        assert_eq!(a.live_block_count(), 0);
+        assert_eq!(a.live_bytes(), 0);
+        assert_eq!(a.stats().arena_allocs, 2);
+    }
+
+    #[test]
+    fn arena_epoch_reset_reclaims_everything_in_one_op() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        for _ in 0..50 {
+            let _ = a.arena_malloc(48, &p);
+        }
+        assert_eq!(a.arena_block_count(), 50);
+        let frees_before = a.stats().frees;
+        let report = a.reset_arena_epoch(&p);
+        assert_eq!(report.blocks_reclaimed, 50);
+        assert_eq!(report.bytes_reclaimed, 50 * 48);
+        assert_eq!(report.uops_saved, 50 * cost::FREE_FAST - cost::ARENA_RESET);
+        assert_eq!(a.arena_block_count(), 0);
+        assert_eq!(a.live_block_count(), 0);
+        assert_eq!(a.live_bytes(), 0);
+        // O(1): the reset retires no per-block free events.
+        assert_eq!(a.stats().frees, frees_before);
+        assert_eq!(a.stats().arena_resets, 1);
+        assert_eq!(a.stats().arena_bytes_reclaimed, 50 * 48);
+        // An empty epoch resets to a no-op report.
+        let empty = a.reset_arena_epoch(&p);
+        assert_eq!(empty, ArenaEpochReport::default());
+    }
+
+    #[test]
+    fn arena_reset_recycles_chunk_addresses() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        let first = a.arena_malloc(64, &p);
+        let _ = a.arena_malloc(64, &p);
+        a.reset_arena_epoch(&p);
+        let again = a.arena_malloc(64, &p);
+        assert_eq!(again.addr, first.addr, "reset rewinds the bump pointer");
+    }
+
+    #[test]
+    fn arena_huge_requests_take_kernel_path() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        let b = a.arena_malloc(100_000, &p);
+        assert_eq!(b.class, usize::MAX);
+        assert_eq!(a.arena_block_count(), 0);
+        a.free(b, &p);
+        assert_eq!(a.live_bytes(), 0);
+    }
+
+    #[test]
+    fn arena_respects_memory_limit_like_freelist_mode() {
+        // Arena charges the same rounded class size against total_live as
+        // the free-list path, so OOM behaviour is mode-independent.
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        a.set_memory_limit(Some(64));
+        let p = prof();
+        let _ = a.arena_malloc(32, &p);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.arena_malloc(64, &p);
+        }));
+        assert!(r.is_err(), "32 (rounded) + 64 > 64 must OOM in arena mode");
+    }
+
+    #[test]
+    fn arena_timeline_includes_arena_live_bytes() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        a.set_timeline_interval(1);
+        let p = prof();
+        let _ = a.arena_malloc(32, &p); // small class 1
+        let _ = a.arena_malloc(600, &p); // large class (1024)
+        let last = a.timeline().last().unwrap().clone();
+        assert_eq!(last.live_small[1], 32);
+        assert_eq!(last.live_large, 1024);
     }
 
     #[test]

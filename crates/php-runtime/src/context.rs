@@ -5,7 +5,7 @@
 //! attributed to the right leaf function and category. Workloads and the
 //! interpreter hold a single context per simulated request stream.
 
-use crate::alloc::{Block, SlabAllocator};
+use crate::alloc::{Block, SlabAllocator, ARENA_CLASS};
 use crate::array::{ArrayKey, PhpArray, WalkCost};
 use crate::profile::{Category, OpCost, Profiler};
 use crate::refcount::RefcountMeter;
@@ -172,6 +172,25 @@ impl RuntimeContext {
         self.allocator.borrow_mut().malloc(size, &self.profiler)
     }
 
+    /// Turns the allocator's request-arena mode on or off for this context.
+    pub fn set_arena_enabled(&self, enabled: bool) {
+        self.allocator.borrow_mut().set_arena_enabled(enabled);
+    }
+
+    /// Whether arena mode is on.
+    pub fn arena_enabled(&self) -> bool {
+        self.allocator.borrow().arena_enabled()
+    }
+
+    /// Allocates `size` bytes from the request arena when arena mode is on
+    /// (falling back to the free-list path otherwise). Callers must only use
+    /// this for allocations the region analysis proved arena-safe.
+    pub fn arena_malloc(&self, size: usize) -> Block {
+        self.allocator
+            .borrow_mut()
+            .arena_malloc(size, &self.profiler)
+    }
+
     /// Frees a block.
     pub fn free(&self, block: Block) {
         self.allocator.borrow_mut().free(block, &self.profiler);
@@ -185,12 +204,38 @@ impl RuntimeContext {
         b
     }
 
-    /// Frees all request-scoped blocks (end of a simulated request).
+    /// [`RuntimeContext::alloc_scoped`] with a region-analysis verdict:
+    /// arena-safe sites bump-allocate into the request arena and skip the
+    /// scoped free list entirely — the epoch reset in
+    /// [`RuntimeContext::end_request`] reclaims them in O(1).
+    pub fn alloc_scoped_static(&self, size: usize, arena_safe: bool) -> Block {
+        if arena_safe {
+            let b = self.arena_malloc(size);
+            if b.class == ARENA_CLASS {
+                return b;
+            }
+            // Arena off (or huge request): fell through to the free-list
+            // path, so the block must be torn down per-block as usual.
+            self.scoped_blocks.borrow_mut().push(b);
+            return b;
+        }
+        self.alloc_scoped(size)
+    }
+
+    /// Frees all request-scoped blocks (end of a simulated request), then
+    /// resets the arena epoch: every arena block still live is reclaimed in
+    /// one constant-cost operation, and the saved teardown work is booked
+    /// into the static-savings counters.
     pub fn end_request(&self) {
         let blocks: Vec<Block> = std::mem::take(&mut *self.scoped_blocks.borrow_mut());
         let mut alloc = self.allocator.borrow_mut();
         for b in blocks {
             alloc.free(b, &self.profiler);
+        }
+        let report = alloc.reset_arena_epoch(&self.profiler);
+        if report.blocks_reclaimed > 0 {
+            self.profiler
+                .note_arena_reset(report.bytes_reclaimed, report.uops_saved);
         }
     }
 
@@ -204,6 +249,19 @@ impl RuntimeContext {
         PhpValue::str(s)
     }
 
+    /// [`RuntimeContext::make_transient_str`] with a region-analysis
+    /// verdict: an arena-safe transient string churns through the bump
+    /// arena (cheap alloc, logical free) instead of the free lists.
+    pub fn make_transient_str_static(&self, s: impl Into<PhpStr>, arena_safe: bool) -> PhpValue {
+        if !arena_safe {
+            return self.make_transient_str(s);
+        }
+        let s: PhpStr = s.into();
+        let b = self.arena_malloc(s.heap_size());
+        self.free(b);
+        PhpValue::str(s)
+    }
+
     /// Creates a string value whose backing allocation lives for the request.
     pub fn make_str(&self, s: impl Into<PhpStr>) -> PhpValue {
         let s: PhpStr = s.into();
@@ -213,8 +271,14 @@ impl RuntimeContext {
 
     /// Creates a new array with a simulated base address (request-scoped).
     pub fn new_array(&self) -> PhpArray {
+        self.new_array_static(false)
+    }
+
+    /// [`RuntimeContext::new_array`] with a region-analysis verdict for the
+    /// descriptor allocation.
+    pub fn new_array_static(&self, arena_safe: bool) -> PhpArray {
         let mut a = PhpArray::new();
-        let b = self.alloc_scoped(64); // descriptor allocation
+        let b = self.alloc_scoped_static(64, arena_safe); // descriptor allocation
         a.set_base_addr(b.addr);
         a
     }
@@ -470,6 +534,33 @@ mod tests {
         ctx.end_request();
         let live = ctx.with_allocator(|a| a.live_block_count());
         assert_eq!(live, 0);
+    }
+
+    #[test]
+    fn arena_scoped_blocks_reclaimed_at_end_request() {
+        let ctx = RuntimeContext::new();
+        ctx.set_arena_enabled(true);
+        ctx.alloc_scoped_static(32, true); // arena
+        ctx.alloc_scoped_static(64, false); // free list
+        assert_eq!(ctx.with_allocator(|a| a.live_block_count()), 2);
+        assert_eq!(ctx.with_allocator(|a| a.arena_block_count()), 1);
+        ctx.end_request();
+        assert_eq!(ctx.with_allocator(|a| a.live_block_count()), 0);
+        let s = ctx.profiler().static_savings();
+        assert_eq!(s.arena_bytes_reclaimed, 32);
+    }
+
+    #[test]
+    fn arena_safe_verdict_is_inert_with_arena_off() {
+        // Verdicts flow unconditionally from call sites; with arena mode
+        // off they must change nothing versus the plain scoped path.
+        let ctx = RuntimeContext::new();
+        ctx.alloc_scoped_static(32, true);
+        let _ = ctx.make_transient_str_static("abcdef", true);
+        assert_eq!(ctx.with_allocator(|a| a.arena_block_count()), 0);
+        ctx.end_request();
+        assert_eq!(ctx.with_allocator(|a| a.live_block_count()), 0);
+        assert_eq!(ctx.profiler().static_savings().arena_bytes_reclaimed, 0);
     }
 
     #[test]

@@ -183,6 +183,15 @@ pub struct StaticSavings {
     pub heap_classes_preseeded: u64,
     /// Tainted-sink lints the attached analysis raised for the program.
     pub taint_lints_flagged: u64,
+    /// Allocation sites the region analysis proved arena-safe (die at
+    /// request end; served by the bump arena instead of free lists).
+    pub arena_safe_sites: u64,
+    /// Bytes reclaimed wholesale by O(1) arena epoch resets instead of
+    /// per-block free-list teardown.
+    pub arena_bytes_reclaimed: u64,
+    /// µops the per-block end-of-request teardown would have cost, saved by
+    /// arena epoch resets.
+    pub teardown_uops_saved: u64,
 }
 
 impl StaticSavings {
@@ -201,6 +210,9 @@ impl StaticSavings {
         self.regex_compiles_avoided += other.regex_compiles_avoided;
         self.heap_classes_preseeded += other.heap_classes_preseeded;
         self.taint_lints_flagged += other.taint_lints_flagged;
+        self.arena_safe_sites += other.arena_safe_sites;
+        self.arena_bytes_reclaimed += other.arena_bytes_reclaimed;
+        self.teardown_uops_saved += other.teardown_uops_saved;
     }
 }
 
@@ -355,6 +367,19 @@ impl Profiler {
     /// Notes `n` tainted-sink lints flagged by the attached analysis.
     pub fn note_taint_lints(&self, n: u64) {
         self.inner.borrow_mut().savings.taint_lints_flagged += n;
+    }
+
+    /// Notes `n` allocation sites the region analysis proved arena-safe.
+    pub fn note_arena_safe_sites(&self, n: u64) {
+        self.inner.borrow_mut().savings.arena_safe_sites += n;
+    }
+
+    /// Notes one arena epoch reset: `bytes` reclaimed in O(1) and the
+    /// `uops_saved` a per-block free-list teardown would have cost instead.
+    pub fn note_arena_reset(&self, bytes: u64, uops_saved: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.savings.arena_bytes_reclaimed += bytes;
+        inner.savings.teardown_uops_saved += uops_saved;
     }
 
     /// Work skipped thanks to static analysis so far.

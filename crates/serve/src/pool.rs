@@ -45,6 +45,13 @@ pub struct PoolConfig {
     pub reset_between_requests: bool,
     /// Retain response bytes in the per-request records.
     pub keep_bodies: bool,
+    /// Enable the allocator's arena/epoch mode on every worker machine:
+    /// allocation sites the region analysis proved request-scoped
+    /// bump-allocate into a per-request epoch reclaimed in O(1) at the
+    /// request boundary. Reference machines stay on the free-list path, so
+    /// the replay check also compares arena mode against classic
+    /// allocation byte-for-byte.
+    pub arena: bool,
 }
 
 impl PoolConfig {
@@ -59,7 +66,14 @@ impl PoolConfig {
             reference: true,
             reset_between_requests: true,
             keep_bodies: true,
+            arena: false,
         }
+    }
+
+    /// The same configuration with arena/epoch allocation enabled.
+    pub fn with_arena(mut self, arena: bool) -> Self {
+        self.arena = arena;
+        self
     }
 }
 
@@ -205,6 +219,9 @@ fn run_worker<H>(
 where
     H: FnMut(&mut PhpMachine, u64) -> Vec<u8>,
 {
+    if cfg.arena {
+        machine.ctx().set_arena_enabled(true);
+    }
     let mut server = Server::new(machine, cfg.breaker_cfg, cfg.sandbox)
         .with_fault_plan(shard)
         .with_request_numbering(worker as u64, cfg.workers as u64)

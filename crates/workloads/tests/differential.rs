@@ -18,10 +18,11 @@ use std::sync::Arc;
 use workloads::php_corpus;
 
 /// Runs `src` on a fresh specialized machine, returning the output bytes and
-/// the post-run live-block count. Mirrors `php_corpus::prepare`: function
+/// the *end-of-request* live-block count (after the request boundary, so an
+/// arena epoch has been reclaimed). Mirrors `php_corpus::prepare`: function
 /// bodies are shared between the analysis and the interpreter so facts stay
 /// valid inside them.
-fn run_generated(src: &str, with_facts: bool) -> (Vec<u8>, usize) {
+fn run_generated_on(src: &str, with_facts: bool, arena: bool) -> (Vec<u8>, usize) {
     let program =
         parse(src).unwrap_or_else(|e| panic!("generated program fails to parse: {e:?}\n{src}"));
     let shared: Vec<Arc<FuncDef>> = program
@@ -35,6 +36,9 @@ fn run_generated(src: &str, with_facts: bool) -> (Vec<u8>, usize) {
     let analysis = analyze_with_funcs(&program, &shared);
     let facts = Arc::new(analysis.facts);
     let mut m = PhpMachine::specialized();
+    if arena {
+        m.ctx().set_arena_enabled(true);
+    }
     let out = {
         let mut interp = Interp::new(&mut m);
         interp.predefine_funcs(shared.iter().cloned());
@@ -46,8 +50,13 @@ fn run_generated(src: &str, with_facts: bool) -> (Vec<u8>, usize) {
             .unwrap_or_else(|e| panic!("generated program fails: {e:?}\n{src}"));
         interp.take_output()
     };
+    m.end_request();
     let live = m.ctx().with_allocator(|a| a.live_block_count());
     (out, live)
+}
+
+fn run_generated(src: &str, with_facts: bool) -> (Vec<u8>, usize) {
+    run_generated_on(src, with_facts, false)
 }
 
 #[test]
@@ -68,6 +77,40 @@ fn corpus_programs_are_facts_invariant() {
         assert_eq!(
             live_dyn, live_facts,
             "{}/{}: facts changed the live-block count",
+            entry.app, entry.name
+        );
+    }
+}
+
+/// Arena/epoch mode is a pure allocation-policy change: with the same facts
+/// attached, routing region-proven sites through the bump arena must not
+/// change a byte of output, and after the request-boundary epoch reset both
+/// machines must hold the same number of live blocks (escaping allocations
+/// only — the arena's were reclaimed in O(1), the free lists' one by one).
+#[test]
+fn corpus_programs_are_arena_invariant() {
+    for entry in php_corpus::ENTRIES {
+        let p = php_corpus::prepare(entry);
+
+        let mut m_off = PhpMachine::specialized();
+        let out_off = p.run(&mut m_off, true);
+        m_off.end_request();
+
+        let mut m_on = PhpMachine::specialized();
+        m_on.ctx().set_arena_enabled(true);
+        let out_on = p.run(&mut m_on, true);
+        m_on.end_request();
+
+        assert_eq!(
+            out_off, out_on,
+            "{}/{}: arena mode changed the output",
+            entry.app, entry.name
+        );
+        let live_off = m_off.ctx().with_allocator(|a| a.live_block_count());
+        let live_on = m_on.ctx().with_allocator(|a| a.live_block_count());
+        assert_eq!(
+            live_off, live_on,
+            "{}/{}: arena mode changed the end-of-request live-block count",
             entry.app, entry.name
         );
     }
@@ -183,7 +226,15 @@ proptest! {
         let src = render(&segs);
         let (out_dyn, live_dyn) = run_generated(&src, false);
         let (out_facts, live_facts) = run_generated(&src, true);
-        prop_assert_eq!(out_dyn, out_facts, "facts changed the output of:\n{}", src);
+        prop_assert_eq!(&out_dyn, &out_facts, "facts changed the output of:\n{}", src);
         prop_assert_eq!(live_dyn, live_facts, "facts changed live blocks of:\n{}", src);
+
+        // Same facts, arena mode on: the allocation policy must be invisible.
+        let (out_arena, live_arena) = run_generated_on(&src, true, true);
+        prop_assert_eq!(&out_dyn, &out_arena, "arena mode changed the output of:\n{}", src);
+        prop_assert_eq!(
+            live_dyn, live_arena,
+            "arena mode changed end-of-request live blocks of:\n{}", src
+        );
     }
 }

@@ -15,10 +15,28 @@ cargo test -q --workspace
 
 echo "== interprocedural analysis =="
 # Lints are errors: every corpus lint must be covered by the allowlist.
-cargo run -q -p bench --bin analyze -- --gate scripts/taint-allowlist.txt >/dev/null
+# (Covers the taint lints and the region pass's [cross-request-escape]
+# findings alike — any new escaping site fails here until allowlisted.)
+cargo run -q -p bench --bin analyze -- --gate scripts/taint-allowlist.txt \
+  >target/analyze-gate.out
+
+echo "== taint-allowlist drift check =="
+# Every allowlist pattern must still match a real corpus finding; a stale
+# entry would silently waive a lint that no longer exists.
+while IFS= read -r line; do
+  case "$line" in ''|'#'*) continue ;; esac
+  if ! grep -qF -- "$line" target/analyze-gate.out; then
+    echo "stale allowlist entry (matches no corpus lint): $line" >&2
+    exit 1
+  fi
+done <scripts/taint-allowlist.txt
+echo "all allowlist entries resolve to live corpus lints"
 
 echo "== fault-injection soak =="
 scripts/soak.sh
+
+echo "== arena-epoch soak smoke (4 workers) =="
+scripts/soak.sh --workers 4 --arena 20170613
 
 echo "== serve bench smoke (release) =="
 cargo build --release -q -p bench --bin serve_bench
@@ -35,6 +53,23 @@ for r in doc["runs"]:
     for key in ("req_per_s", "p50_us", "p95_us", "p99_us"):
         assert r[key] > 0, (r["workers"], key)
 print("BENCH_serve_smoke.json is valid")
+EOF
+
+echo "== alloc bench smoke (release) =="
+cargo build --release -q -p bench --bin alloc_bench
+./target/release/alloc_bench --smoke --out target/BENCH_alloc_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/BENCH_alloc_smoke.json") as f:
+    doc = json.load(f)
+assert doc["mismatches"] == 0, doc["mismatches"]
+assert len(doc["runs"]) == 4 and [r["workers"] for r in doc["runs"]] == [1, 2, 4, 8]
+for r in doc["runs"]:
+    assert r["ok"] == r["requests"], (r["workers"], r["ok"])
+    assert r["teardown_uops_saved"] > 0, r["workers"]
+    assert r["arena_bytes_reclaimed"] > 0, r["workers"]
+    assert r["elapsed_uops_arena"] < r["elapsed_uops_free_list"], r["workers"]
+print("BENCH_alloc_smoke.json is valid")
 EOF
 
 echo "All checks passed."

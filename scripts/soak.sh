@@ -3,19 +3,27 @@
 # availability and byte-identity required. Exits nonzero on any regression.
 # Response bodies are dropped inside the soak binary (keep_bodies = false),
 # so long seed lists run in bounded memory.
-# Usage: scripts/soak.sh [--workers N] [seed ...]
+# Usage: scripts/soak.sh [--workers N] [--arena] [seed ...]
 #   --workers N  run each seed through an N-worker pool (threaded mode)
+#   --arena      arena/epoch allocation for the request-scoped heap churn
+#                (reference machines stay on free lists, so replay
+#                cross-checks the two allocators under fault injection)
 #   default: a fixed seed set, single worker plus a 4-worker pool pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workers=1
+arena=()
 seeds=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --workers)
       workers="$2"
       shift 2
+      ;;
+    --arena)
+      arena=(--arena)
+      shift
       ;;
     *)
       seeds+=("$1")
@@ -34,18 +42,18 @@ cargo build --release -q -p bench --bin soak
 
 for seed in "${seeds[@]}"; do
   if [ "$workers" -gt 1 ]; then
-    echo "== soak seed $seed ($workers workers) =="
-    ./target/release/soak "$seed" --workers "$workers"
+    echo "== soak seed $seed ($workers workers${arena:+, arena}) =="
+    ./target/release/soak "$seed" --workers "$workers" ${arena[@]+"${arena[@]}"}
   else
-    echo "== soak seed $seed =="
-    ./target/release/soak "$seed"
+    echo "== soak seed $seed${arena:+ (arena)} =="
+    ./target/release/soak "$seed" ${arena[@]+"${arena[@]}"}
   fi
 done
 
 # With the default seed set, also exercise the threaded pool once.
 if [ "$workers" -eq 1 ] && [ "$default_seeds" -eq 1 ]; then
-  echo "== soak seed ${seeds[0]} (4 workers) =="
-  ./target/release/soak "${seeds[0]}" --workers 4
+  echo "== soak seed ${seeds[0]} (4 workers${arena:+, arena}) =="
+  ./target/release/soak "${seeds[0]}" --workers 4 ${arena[@]+"${arena[@]}"}
 fi
 
-echo "Soak passed for seeds: ${seeds[*]} (workers: $workers)"
+echo "Soak passed for seeds: ${seeds[*]} (workers: $workers${arena:+, arena})"
