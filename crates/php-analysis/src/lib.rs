@@ -147,14 +147,8 @@ pub fn analyze_with_options(
             &mut facts,
             &mut report.lints,
         );
-        let stats = region::commit_regions(
-            scope,
-            &regions.cross[i],
-            regions.ret_cross.contains(&scope.name),
-            &view,
-            &mut facts,
-            &mut report.lints,
-        );
+        let stats =
+            region::commit_regions(scope, &regions, i, &view, &mut facts, &mut report.lints);
         scope_report.arena_safe_sites = stats.arena_safe_sites;
         scope_report.cross_request_sites = stats.cross_request_sites;
         // The function's own symbol table is an allocation site too: its

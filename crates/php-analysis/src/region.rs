@@ -14,8 +14,11 @@
 //! concat temporaries), `Request` values die by end of request (locals,
 //! callee frames, returned values consumed by request-scoped code), and
 //! `CrossRequest` values may survive the request: stored into a `global`,
-//! retained by a callee that writes globals, swallowed by an
-//! `extract`-poisoned scope, or returned into a cross-request consumer.
+//! passed to a callee whose matching parameter is itself cross-request
+//! (stored into a global the callee writes, forwarded onward, or returned
+//! into a cross-request consumer — `$g = id($x)` poisons `$x` through
+//! `id`'s return), swallowed by an `extract`-poisoned scope, or returned
+//! into a cross-request consumer.
 //! Only the `CrossRequest` point matters for allocation policy: a site is
 //! **arena-safe** iff its value's region is below `CrossRequest`, because
 //! the arena epoch spans the whole request — within-request escapes
@@ -39,13 +42,12 @@
 //! failure unless allowlisted.
 
 use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
-use crate::escape::root_vars;
-use crate::knowledge::is_builtin;
+use crate::knowledge::{consumes_args_transiently, is_builtin};
 use crate::report::{Lint, LintKind};
 use crate::summary::CallerView;
 use php_interp::ast::{BinOp, Expr, LValue, Stmt};
 use php_interp::AnalysisFacts;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The variables of one scope whose values may outlive the request.
 #[derive(Debug, Default)]
@@ -64,14 +66,46 @@ impl CrossSet {
 }
 
 /// Whole-program region results: one [`CrossSet`] per scope (parallel to
-/// the lowered scope list) plus the functions whose return value reaches a
-/// cross-request consumer in some caller.
+/// the lowered scope list), the functions whose return value reaches a
+/// cross-request consumer in some caller, and per-function parameter
+/// cross-request vectors.
 #[derive(Debug, Default)]
 pub struct RegionInfo {
     /// Per-scope cross-request variable sets, in scope order.
     pub cross: Vec<CrossSet>,
     /// Functions whose returned value may be stored cross-request.
     pub ret_cross: BTreeSet<String>,
+    /// Per function: which parameters' values may outlive the request —
+    /// i.e. the parameter variable is in the function's own cross set. A
+    /// call argument at such a position inherits cross-request-ness: the
+    /// argument's value aliases the parameter (and, when the callee
+    /// returns it, the call result).
+    pub param_cross: BTreeMap<String, Vec<bool>>,
+}
+
+impl RegionInfo {
+    /// May argument `i` of a call to `name` outlive the *request* (not
+    /// merely the call)? With a non-opaque summary, the callee's own cross
+    /// set answers: the argument aliases the callee's parameter, so it can
+    /// outlive the request exactly when the parameter can — stored into a
+    /// global the callee writes, forwarded to a retaining sub-callee, or
+    /// returned into a cross-request consumer (`global $g; $g = id($x)`
+    /// poisons `$x` through `id`'s return, even though `id` writes no
+    /// globals). Unknown or opaque callees, and names the fixpoint has no
+    /// row for, degrade to `true`; surplus arguments are discarded by the
+    /// callee and answer `false`. Builtins never retain values across
+    /// requests in this runtime (the regex cache clones pattern bytes
+    /// rather than keeping the value); argument-returning builtins are
+    /// handled by [`value_sources`] instead.
+    pub fn arg_crosses_request(&self, view: &CallerView<'_>, name: &str, i: usize) -> bool {
+        match view.summary(name) {
+            Some(s) if !s.opaque_effects => self
+                .param_cross
+                .get(name)
+                .is_none_or(|p| p.get(i).copied().unwrap_or(false)),
+            _ => true,
+        }
+    }
 }
 
 /// Per-scope site statistics from [`commit_regions`].
@@ -83,28 +117,18 @@ pub struct RegionStats {
     pub cross_request_sites: usize,
 }
 
-/// May argument `i` of a call to `name` outlive the *request* (not merely
-/// the call)? Retention by a summarized callee that never writes globals is
-/// only `Request`-level — the callee's frame dies with the request — but an
-/// unknown or opaque callee, or one that both retains the argument and
-/// writes globals, must be assumed `CrossRequest`. Builtins never retain
-/// values across requests in this runtime (the regex cache clones pattern
-/// bytes rather than keeping the value), so they are handled by the caller.
-fn arg_crosses_request(view: &CallerView<'_>, name: &str, i: usize) -> bool {
-    match view.summary(name) {
-        Some(s) if !s.opaque_effects => {
-            s.param_retained.get(i).copied().unwrap_or(false) && !s.writes_globals.is_empty()
-        }
-        _ => true,
-    }
-}
-
-/// Function names whose return value an expression can yield directly
-/// (through ternary branches).
-fn call_roots<'a>(e: &'a Expr, out: &mut BTreeSet<&'a str>) {
+/// The variables whose values an expression's result can alias: plain
+/// variable reads, ternary branches, array-literal elements (the literal's
+/// value holds them), indexed reads (the element shares the array's
+/// storage), and arguments of builtins that can return an argument
+/// (`max($a, $b)` yields one of the two unchanged). User-call results are
+/// handled by the fixpoint instead — the seed pass poisons retained
+/// arguments through [`RegionInfo::param_cross`] and [`call_roots`] feeds
+/// `ret_cross` — so user calls contribute no variable roots here.
+fn value_sources(e: &Expr, out: &mut BTreeSet<String>) {
     match e {
-        Expr::Call { name, .. } => {
-            out.insert(name);
+        Expr::Var(n) => {
+            out.insert(n.clone());
         }
         Expr::Ternary {
             cond,
@@ -112,28 +136,80 @@ fn call_roots<'a>(e: &'a Expr, out: &mut BTreeSet<&'a str>) {
             otherwise,
         } => {
             match then {
-                Some(t) => call_roots(t, out),
-                None => call_roots(cond, out),
+                Some(t) => value_sources(t, out),
+                None => value_sources(cond, out), // elvis reuses the condition value
             }
-            call_roots(otherwise, out);
+            value_sources(otherwise, out);
+        }
+        Expr::ArrayLit(items) => {
+            for (_, v) in items {
+                value_sources(v, out);
+            }
+        }
+        Expr::Index { base, .. } => value_sources(base, out),
+        Expr::Call { name, args } if is_builtin(name) && !consumes_args_transiently(name) => {
+            for a in args {
+                value_sources(a, out);
+            }
         }
         _ => {}
     }
 }
 
-/// Computes the cross-request variable set of one scope. `returns_cross`
-/// says some caller stores this function's result cross-request, making
-/// returned value roots cross-request too.
-fn cross_request_vars(
-    scope: &ScopeCfg<'_>,
-    view: &CallerView<'_>,
-    returns_cross: bool,
-) -> CrossSet {
+/// Function names whose return value an expression can yield — directly,
+/// through ternary branches, out of array-literal elements and indexed
+/// reads, or forwarded through a callee that retains the corresponding
+/// argument (`$g = wrap(id($x))` can store `id`'s result when `wrap`
+/// returns its parameter).
+fn call_roots<'a>(e: &'a Expr, view: &CallerView<'_>, out: &mut BTreeSet<&'a str>) {
+    match e {
+        Expr::Call { name, args } => {
+            out.insert(name);
+            for (i, a) in args.iter().enumerate() {
+                let forwards = if is_builtin(name) {
+                    !consumes_args_transiently(name)
+                } else {
+                    view.arg_retained(name, i)
+                };
+                if forwards {
+                    call_roots(a, view, out);
+                }
+            }
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            match then {
+                Some(t) => call_roots(t, view, out),
+                None => call_roots(cond, view, out),
+            }
+            call_roots(otherwise, view, out);
+        }
+        Expr::ArrayLit(items) => {
+            for (_, v) in items {
+                call_roots(v, view, out);
+            }
+        }
+        Expr::Index { base, .. } => call_roots(base, view, out),
+        _ => {}
+    }
+}
+
+/// Computes the cross-request variable set of one scope under the current
+/// fixpoint state: `info.ret_cross` says whether some caller stores this
+/// function's result cross-request (making returned value sources
+/// cross-request too), and `info.param_cross` refines which call arguments
+/// the callees can carry past the request.
+fn cross_request_vars(scope: &ScopeCfg<'_>, view: &CallerView<'_>, info: &RegionInfo) -> CrossSet {
+    let returns_cross = info.ret_cross.contains(&scope.name);
     let mut cross = CrossSet {
         all: false,
         vars: scope.globals.clone(),
     };
-    // Seed: extract poisoning and arguments retained past the request.
+    // Seed: extract poisoning and arguments whose values a callee can
+    // carry past the request (see `RegionInfo::arg_crosses_request`).
     for block in &scope.cfg.blocks {
         for item in &block.items {
             for e in item_exprs(item) {
@@ -143,8 +219,8 @@ fn cross_request_vars(
                             cross.all = true;
                         } else if !is_builtin(name) {
                             for (i, a) in args.iter().enumerate() {
-                                if arg_crosses_request(view, name, i) {
-                                    root_vars(a, &mut cross.vars);
+                                if info.arg_crosses_request(view, name, i) {
+                                    value_sources(a, &mut cross.vars);
                                 }
                             }
                         }
@@ -170,11 +246,11 @@ fn cross_request_vars(
                             LValue::Index { var, .. } => var,
                         };
                         if cross.contains(t) {
-                            root_vars(value, &mut cross.vars);
+                            value_sources(value, &mut cross.vars);
                         }
                     }
                     Item::Stmt(Stmt::Return(Some(e))) if returns_cross => {
-                        root_vars(e, &mut cross.vars);
+                        value_sources(e, &mut cross.vars);
                     }
                     Item::ForeachBind(Stmt::Foreach {
                         key_var,
@@ -184,7 +260,7 @@ fn cross_request_vars(
                     }) if cross.contains(value_var)
                         || key_var.as_deref().is_some_and(|k| cross.contains(k)) =>
                     {
-                        root_vars(array, &mut cross.vars);
+                        value_sources(array, &mut cross.vars);
                     }
                     _ => {}
                 }
@@ -196,18 +272,49 @@ fn cross_request_vars(
     }
 }
 
-/// Computes cross-request sets for every scope plus the set of functions
-/// returning into cross-request consumers, iterating the two to a joint
-/// fixpoint (a cross assignment `$g = f()` makes `f` return-cross, which
-/// can grow `f`'s own cross set, which can make further callees
-/// return-cross).
+/// Computes cross-request sets for every scope, the set of functions
+/// returning into cross-request consumers, and the per-function parameter
+/// cross vectors, iterating the three to a joint fixpoint: a cross
+/// assignment `$g = f()` makes `f` return-cross, which can grow `f`'s own
+/// cross set, which can poison `f`'s parameters — making arguments at
+/// `f`'s call sites cross-request in *their* scopes, and so on. All three
+/// states only ever grow, so the iteration terminates.
 pub fn analyze_regions(scopes: &[ScopeCfg<'_>], view: &CallerView<'_>) -> RegionInfo {
     let mut info = RegionInfo::default();
+    // Optimistic seed rows so the fixpoint grows monotonically from ⊥; a
+    // *missing* row means "unknown function" and degrades to cross.
+    for s in scopes {
+        if !s.is_main {
+            info.param_cross
+                .insert(s.name.clone(), vec![false; s.params.len()]);
+        }
+    }
     loop {
-        info.cross = scopes
+        let cross: Vec<CrossSet> = scopes
             .iter()
-            .map(|s| cross_request_vars(s, view, info.ret_cross.contains(&s.name)))
+            .map(|s| cross_request_vars(s, view, &info))
             .collect();
+        info.cross = cross;
+        let mut changed = false;
+        // Parameter verdicts follow directly from the new cross sets.
+        for (scope, cross) in scopes.iter().zip(&info.cross) {
+            if scope.is_main {
+                continue;
+            }
+            let row: Vec<bool> = scope.params.iter().map(|p| cross.contains(p)).collect();
+            let entry = info
+                .param_cross
+                .get_mut(&scope.name)
+                .expect("param_cross row seeded for every function scope");
+            if *entry != row {
+                *entry = row;
+                changed = true;
+            }
+        }
+        // Return-cross discovery: any call whose result can flow into a
+        // cross-request holder — a cross assignment target, the return of
+        // an already-return-cross function, or a foreach whose bindings
+        // are cross-request.
         let before = info.ret_cross.len();
         for (scope, cross) in scopes.iter().zip(&info.cross) {
             for block in &scope.cfg.blocks {
@@ -223,17 +330,28 @@ pub fn analyze_regions(scopes: &[ScopeCfg<'_>], view: &CallerView<'_>) -> Region
                         Item::Stmt(Stmt::Return(Some(e))) => {
                             (info.ret_cross.contains(&scope.name), e)
                         }
+                        Item::ForeachBind(Stmt::Foreach {
+                            key_var,
+                            value_var,
+                            array,
+                            ..
+                        }) => (
+                            cross.contains(value_var)
+                                || key_var.as_deref().is_some_and(|k| cross.contains(k)),
+                            array,
+                        ),
                         _ => continue,
                     };
                     if store_crosses {
                         let mut roots = BTreeSet::new();
-                        call_roots(value, &mut roots);
+                        call_roots(value, view, &mut roots);
                         info.ret_cross.extend(roots.into_iter().map(String::from));
                     }
                 }
             }
         }
-        if info.ret_cross.len() == before {
+        changed |= info.ret_cross.len() > before;
+        if !changed {
             return info;
         }
     }
@@ -242,6 +360,7 @@ pub fn analyze_regions(scopes: &[ScopeCfg<'_>], view: &CallerView<'_>) -> Region
 /// One scope's region commit state.
 struct RegionCommitter<'a, 'f> {
     scope: &'a ScopeCfg<'a>,
+    info: &'a RegionInfo,
     cross: &'a CrossSet,
     returns_cross: bool,
     view: &'a CallerView<'a>,
@@ -310,7 +429,9 @@ impl RegionCommitter<'_, '_> {
                     let owned;
                     let arg_esc = match esc {
                         Some(r) => Some(r),
-                        None if !is_builtin(name) && arg_crosses_request(self.view, name, i) => {
+                        None if !is_builtin(name)
+                            && self.info.arg_crosses_request(self.view, name, i) =>
+                        {
                             owned =
                                 format!("argument {i} of {name}() may be retained across requests");
                             Some(owned.as_str())
@@ -386,21 +507,23 @@ impl RegionCommitter<'_, '_> {
     }
 }
 
-/// Replays `scope` under its cross-request solution, marking arena-safe
-/// sites in `facts` and raising `[cross-request-escape]` lints for the
-/// rest; returns the site counts.
+/// Replays `scope` (the `idx`-th entry of the scope list `info` was solved
+/// over) under its cross-request solution, marking arena-safe sites in
+/// `facts` and raising `[cross-request-escape]` lints for the rest;
+/// returns the site counts.
 pub fn commit_regions(
     scope: &ScopeCfg<'_>,
-    cross: &CrossSet,
-    returns_cross: bool,
+    info: &RegionInfo,
+    idx: usize,
     view: &CallerView<'_>,
     facts: &mut AnalysisFacts,
     lints: &mut Vec<Lint>,
 ) -> RegionStats {
     let mut c = RegionCommitter {
         scope,
-        cross,
-        returns_cross,
+        info,
+        cross: &info.cross[idx],
+        returns_cross: info.ret_cross.contains(&scope.name),
         view,
         facts,
         lints,
@@ -488,6 +611,73 @@ mod tests {
         );
     }
 
+    #[test]
+    fn identity_return_into_global_poisons_the_argument() {
+        // `id` writes no globals, but returns its argument — storing the
+        // result into a global keeps $x alive past the request.
+        let c = main_cross(
+            "function id($v) { return $v; }\n\
+             global $g; $x = 'a' . 'b'; $g = id($x);",
+        );
+        assert!(c.contains("x"), "argument escapes through id's return");
+    }
+
+    #[test]
+    fn retained_return_chain_poisons_through_nested_calls() {
+        let c = main_cross(
+            "function id($v) { return $v; }\n\
+             function wrap($p) { return $p; }\n\
+             global $g; $x = 'a' . 'b'; $g = wrap(id($x));",
+        );
+        assert!(c.contains("x"), "two retained returns deep");
+    }
+
+    #[test]
+    fn frame_local_stash_keeps_argument_request_scoped() {
+        // Retention into the callee's own frame is only Request-level: the
+        // frame dies with the request, so the argument stays arena-safe.
+        let c = main_cross(
+            "function stash($v) { $l = $v; return 1; }\n\
+             $x = 'a' . 'b'; stash($x);",
+        );
+        assert!(
+            !c.contains("x"),
+            "frame-local retention dies with the request"
+        );
+    }
+
+    #[test]
+    fn array_literal_flow_into_global_poisons_elements() {
+        let c = main_cross("global $g; $x = 'a' . 'b'; $a = array($x); $g = $a;");
+        assert!(c.contains("a"), "flows into the global");
+        assert!(c.contains("x"), "element of a cross-request array");
+    }
+
+    #[test]
+    fn indexed_read_into_global_poisons_the_array() {
+        // `$g = $a[0]` shares $a's element storage with the global.
+        let c = main_cross("global $g; $g = $a[0];");
+        assert!(c.contains("a"));
+    }
+
+    #[test]
+    fn builtin_returning_an_argument_forwards_cross_request() {
+        // `max` can yield either argument unchanged.
+        let c = main_cross("global $g; $g = max($x, $y);");
+        assert!(c.contains("x") && c.contains("y"), "{c:?}");
+    }
+
+    #[test]
+    fn foreach_consumed_call_result_marks_ret_cross() {
+        let (names, info) = regions_of(
+            "function mk() { $r = array(1); return $r; }\n\
+             global $g; foreach (mk() as $v) { $g[0] = $v; }",
+        );
+        assert!(info.ret_cross.contains("mk"), "{:?}", info.ret_cross);
+        let i = names.iter().position(|n| n == "mk").unwrap();
+        assert!(info.cross[i].contains("r"));
+    }
+
     fn commit(src: &str) -> (Vec<Lint>, RegionStats, php_interp::AnalysisFacts) {
         let prog = parse(src).unwrap();
         let scopes = lower_program(&prog);
@@ -499,14 +689,7 @@ mod tests {
         let mut lints = Vec::new();
         let mut total = RegionStats::default();
         for (i, scope) in scopes.iter().enumerate() {
-            let s = commit_regions(
-                scope,
-                &info.cross[i],
-                info.ret_cross.contains(&scope.name),
-                &view,
-                &mut facts,
-                &mut lints,
-            );
+            let s = commit_regions(scope, &info, i, &view, &mut facts, &mut lints);
             total.arena_safe_sites += s.arena_safe_sites;
             total.cross_request_sites += s.cross_request_sites;
         }
@@ -535,6 +718,24 @@ mod tests {
     }
 
     #[test]
+    fn identity_return_site_stays_off_the_arena() {
+        // The allocation behind $x must keep the free-list path: its value
+        // reaches $g through id's return, so reclaiming it at the epoch
+        // reset would free memory still reachable cross-request.
+        let (lints, stats, _) = commit(
+            "function id($v) { return $v; }\n\
+             global $g; $x = 'a' . 'b'; $g = id($x);",
+        );
+        assert!(stats.cross_request_sites >= 1, "{stats:?}");
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.to_string().contains("stored into cross-request $x")),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
     fn verdicts_land_on_the_exact_nodes() {
         let src = "$safe = 'a' . 'b'; global $g; $g = 'c' . 'd';";
         let prog = parse(src).unwrap();
@@ -543,14 +744,7 @@ mod tests {
         let info = analyze_regions(&scopes, &view);
         let mut facts = php_interp::AnalysisFacts::new();
         let mut lints = Vec::new();
-        commit_regions(
-            &scopes[0],
-            &info.cross[0],
-            false,
-            &view,
-            &mut facts,
-            &mut lints,
-        );
+        commit_regions(&scopes[0], &info, 0, &view, &mut facts, &mut lints);
         let php_interp::ast::Stmt::Assign { value: safe, .. } = &prog.stmts[0] else {
             panic!()
         };
@@ -576,8 +770,8 @@ mod tests {
         let mut lints = Vec::new();
         let stats = commit_regions(
             &scopes[0],
-            &info.cross[0],
-            false,
+            &info,
+            0,
             &CallerView::EMPTY,
             &mut facts,
             &mut lints,

@@ -12,7 +12,7 @@
 //! live-memory timeline.
 
 use crate::profile::{Category, OpCost, Profiler};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Granularity of the small size classes, in bytes (§4.3: 8 slabs cover
 /// requests up to 128 B).
@@ -72,6 +72,11 @@ pub struct Block {
     pub size: usize,
     /// Index into [`CLASS_SIZES`], or `usize::MAX` for huge blocks.
     pub class: usize,
+    /// Arena epoch that produced this block ([`ARENA_CLASS`] blocks only;
+    /// 0 for free-list and huge blocks, whose validity is tracked through
+    /// the allocator's live-block map instead). Lets [`SlabAllocator::free`]
+    /// reject a stale handle whose address was recycled by an epoch reset.
+    pub epoch: u64,
 }
 
 /// One sample of the per-slab live-memory timeline (Figure 8b/8c).
@@ -172,10 +177,24 @@ pub struct ArenaEpochReport {
 struct ArenaState {
     /// Bump pointer within the current arena chunk.
     bump: u64,
-    /// Start of the current chunk (the reset target).
-    chunk_start: u64,
+    /// Starts of every chunk the arena owns, in acquisition order. Chunks
+    /// are retained across epochs: a reset rewinds to `chunks[0]` and later
+    /// refills walk this list before asking the kernel for a fresh range,
+    /// so multi-chunk epochs recycle their whole address space too.
+    chunks: Vec<u64>,
+    /// Index into `chunks` of the chunk `bump` points into.
+    cur_chunk: usize,
     /// End of the current chunk.
     chunk_end: u64,
+    /// Monotonically increasing epoch id (starts at 1), stamped into every
+    /// arena [`Block`] so frees can reject stale handles from an earlier
+    /// epoch whose addresses have been recycled.
+    epoch: u64,
+    /// Addresses logically freed this epoch — double-free detection for
+    /// the arena path, mirroring the free-list path's `live_blocks` panic.
+    /// Simulator integrity state only (like `live_blocks` itself): its
+    /// maintenance charges no simulated µops.
+    freed: HashSet<u64>,
     /// Live arena blocks (allocated minus logically freed) this epoch.
     block_count: u64,
     /// Live arena bytes per slab class this epoch. Fixed-size, so zeroing
@@ -187,8 +206,11 @@ impl ArenaState {
     fn new() -> Self {
         ArenaState {
             bump: 0,
-            chunk_start: 0,
+            chunks: Vec::new(),
+            cur_chunk: 0,
             chunk_end: 0,
+            epoch: 1,
+            freed: HashSet::new(),
             block_count: 0,
             live_by_class: [0; CLASS_SIZES.len()],
         }
@@ -196,6 +218,15 @@ impl ArenaState {
 
     fn live_bytes(&self) -> u64 {
         self.live_by_class.iter().sum()
+    }
+
+    /// Whether the bump state is already fully rewound (nothing allocated
+    /// since the last reset).
+    fn rewound(&self) -> bool {
+        match self.chunks.first() {
+            Some(&first) => self.cur_chunk == 0 && self.bump == first,
+            None => true,
+        }
     }
 }
 
@@ -369,6 +400,7 @@ impl SlabAllocator {
                     addr,
                     size,
                     class: ci,
+                    epoch: 0,
                 }
             }
             None => {
@@ -386,6 +418,7 @@ impl SlabAllocator {
                     addr,
                     size,
                     class: usize::MAX,
+                    epoch: 0,
                 }
             }
         };
@@ -445,11 +478,22 @@ impl SlabAllocator {
         self.stats.size_histogram[bin] += 1;
         self.stats.allocs_by_class[ci] += 1;
         let uops = if self.arena.bump + rounded > self.arena.chunk_end {
-            let start = self.fresh_range(CHUNK_BYTES);
-            self.arena.chunk_start = start;
-            self.arena.bump = start;
-            self.arena.chunk_end = start + CHUNK_BYTES;
-            cost::ARENA_REFILL
+            if self.arena.cur_chunk + 1 < self.arena.chunks.len() {
+                // Advance into a chunk the arena already owns (recycled by
+                // an earlier epoch reset) — a pointer swap, no kernel trip.
+                self.arena.cur_chunk += 1;
+                let start = self.arena.chunks[self.arena.cur_chunk];
+                self.arena.bump = start;
+                self.arena.chunk_end = start + CHUNK_BYTES;
+                cost::ARENA_BUMP
+            } else {
+                let start = self.fresh_range(CHUNK_BYTES);
+                self.arena.chunks.push(start);
+                self.arena.cur_chunk = self.arena.chunks.len() - 1;
+                self.arena.bump = start;
+                self.arena.chunk_end = start + CHUNK_BYTES;
+                cost::ARENA_REFILL
+            }
         } else {
             cost::ARENA_BUMP
         };
@@ -468,6 +512,7 @@ impl SlabAllocator {
             addr,
             size,
             class: ARENA_CLASS,
+            epoch: self.arena.epoch,
         }
     }
 
@@ -475,10 +520,25 @@ impl SlabAllocator {
     /// and live-block accounting stay in lockstep with free-list mode. The
     /// address itself is not recycled until [`reset_arena_epoch`].
     ///
+    /// # Panics
+    ///
+    /// Like the free-list path, panics on double free or on a stale handle
+    /// from a previous epoch (whose address an epoch reset may have handed
+    /// to a different block) — simulation bugs, not recoverable conditions.
+    ///
     /// [`reset_arena_epoch`]: SlabAllocator::reset_arena_epoch
     fn arena_free(&mut self, block: Block, prof: &Profiler) {
         let ci = Self::class_for(block.size).expect("arena block with non-slab size");
         let rounded = CLASS_SIZES[ci] as u64;
+        assert_eq!(
+            block.epoch, self.arena.epoch,
+            "arena free of a stale block from a previous epoch"
+        );
+        assert!(
+            self.arena.freed.insert(block.addr),
+            "arena double free at {:#x}",
+            block.addr
+        );
         assert!(
             self.arena.block_count > 0 && self.arena.live_by_class[ci] >= rounded,
             "arena free without a matching live arena block"
@@ -512,7 +572,9 @@ impl SlabAllocator {
     pub fn reset_arena_epoch(&mut self, prof: &Profiler) -> ArenaEpochReport {
         let blocks = self.arena.block_count;
         let bytes = self.arena.live_bytes();
-        if blocks == 0 && bytes == 0 && self.arena.bump == self.arena.chunk_start {
+        if blocks == 0 && bytes == 0 && self.arena.rewound() {
+            // Nothing allocated since the last reset: no handles to
+            // invalidate, so the epoch id need not advance either.
             return ArenaEpochReport::default();
         }
         self.tick += 1;
@@ -527,7 +589,16 @@ impl SlabAllocator {
         self.total_live -= bytes;
         self.arena.block_count = 0;
         self.arena.live_by_class = [0; CLASS_SIZES.len()];
-        self.arena.bump = self.arena.chunk_start;
+        // Rewind to the *first* owned chunk: chunks acquired by a spilling
+        // epoch stay owned and are reused by later refills, so the epoch's
+        // whole address range recycles, not just its last chunk.
+        self.arena.cur_chunk = 0;
+        if let Some(&first) = self.arena.chunks.first() {
+            self.arena.bump = first;
+            self.arena.chunk_end = first + CHUNK_BYTES;
+        }
+        self.arena.epoch += 1;
+        self.arena.freed.clear();
         if self.tick.is_multiple_of(self.timeline_interval) {
             self.sample_timeline();
         }
@@ -921,6 +992,50 @@ mod tests {
         a.reset_arena_epoch(&p);
         let again = a.arena_malloc(64, &p);
         assert_eq!(again.addr, first.addr, "reset rewinds the bump pointer");
+    }
+
+    #[test]
+    #[should_panic(expected = "arena double free")]
+    fn arena_double_free_panics() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        let b = a.arena_malloc(32, &p);
+        // A second live block of the same class keeps the aggregate
+        // counters satisfied — only the per-address check can catch this.
+        let _live = a.arena_malloc(32, &p);
+        a.free(b, &p);
+        a.free(b, &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale block from a previous epoch")]
+    fn arena_stale_epoch_free_panics() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        let stale = a.arena_malloc(32, &p);
+        a.reset_arena_epoch(&p);
+        // The reset recycled the address: this block now owns it.
+        let fresh = a.arena_malloc(32, &p);
+        assert_eq!(stale.addr, fresh.addr);
+        a.free(stale, &p);
+    }
+
+    #[test]
+    fn arena_multi_chunk_epoch_recycles_every_chunk() {
+        let mut a = SlabAllocator::new();
+        a.set_arena_enabled(true);
+        let p = prof();
+        // 64 blocks of the 4096-byte class fill one 256 KiB chunk; the
+        // 65th spills into a second. Both chunks must recycle on reset.
+        let first: Vec<u64> = (0..65).map(|_| a.arena_malloc(4096, &p).addr).collect();
+        a.reset_arena_epoch(&p);
+        let second: Vec<u64> = (0..65).map(|_| a.arena_malloc(4096, &p).addr).collect();
+        assert_eq!(
+            first, second,
+            "reset must rewind to the epoch's first chunk"
+        );
     }
 
     #[test]
