@@ -18,7 +18,9 @@
 //! keep the corpus lint-clean modulo the intentional examples.
 
 use bench::{header, quick_load};
+use php_interp::Vm;
 use phpaccel_core::PhpMachine;
+use std::sync::Arc;
 use workloads::php_corpus;
 use workloads::{WordPress, Workload};
 
@@ -144,6 +146,48 @@ fn main() {
                 s.heap_classes_preseeded,
                 s.taint_lints_flagged,
             );
+
+            // Execute once more on the compiled-VM engine: verify the
+            // bytes again and report the dynamic opcode mix — the top-10
+            // opcodes and statically adjacent pairs are the data the
+            // superinstruction selection in `php_interp::compile` is
+            // grounded in.
+            let mut vm_machine = PhpMachine::specialized();
+            let unit = Arc::clone(prepared.vm_unit(true, true));
+            let mut vm = Vm::new(&mut vm_machine, unit);
+            if entry.needs_request_vars {
+                php_corpus::bind_request_vars_vm(&mut vm);
+            }
+            if let Err(e) = vm.run() {
+                eprintln!("FAIL: {}/{} vm run errored: {e:?}", entry.app, entry.name);
+                std::process::exit(1);
+            }
+            if vm.take_output() != plain {
+                eprintln!(
+                    "FAIL: {}/{} output diverged on the vm engine",
+                    entry.app, entry.name
+                );
+                std::process::exit(1);
+            }
+            let tally = vm.tally();
+            println!(
+                "  vm:     ops-executed={} fused-ops={} transients-elided={}",
+                tally.total, tally.fused, tally.transients_elided,
+            );
+            let ops: Vec<String> = tally
+                .top_ops()
+                .into_iter()
+                .take(10)
+                .map(|(k, n)| format!("{}={n}", k.name()))
+                .collect();
+            println!("  vm-ops: {}", ops.join(" "));
+            let pairs: Vec<String> = tally
+                .top_pairs()
+                .into_iter()
+                .take(10)
+                .map(|((a, b), n)| format!("{}+{}={n}", a.name(), b.name()))
+                .collect();
+            println!("  vm-pairs: {}", pairs.join(" "));
         }
     }
 

@@ -23,21 +23,28 @@
 //! (`keep_bodies = false`) so long soaks run in bounded memory; outcomes,
 //! byte-identity replay, and fault deltas are computed before the drop.
 //!
-//! Usage: `soak [seed] [--workers N] [--arena]` (default seed 20170613,
-//! 1 worker). `--arena` enables the allocator's arena/epoch mode on every
-//! primary machine and routes the request-scoped heap churn through the
-//! arena-safe entry point — the reference machines stay on the classic
-//! free-list path, so byte-identity also cross-checks the two allocators
-//! under fault injection and forced OOM kills.
+//! Usage: `soak [seed] [--workers N] [--arena] [--engine tree|vm]`
+//! (default seed 20170613, 1 worker). `--arena` enables the allocator's
+//! arena/epoch mode on every primary machine and routes the request-scoped
+//! heap churn through the arena-safe entry point — the reference machines
+//! stay on the classic free-list path, so byte-identity also cross-checks
+//! the two allocators under fault injection and forced OOM kills.
+//! `--engine` additionally runs one corpus script per request through the
+//! machine's engine dispatch (`tree` = tree-walking evaluator, `vm` = the
+//! compiled opcode VM); the reference machines stay on the default
+//! tree-walk engine, so with `--engine vm` the byte-identity replay is a
+//! cross-engine differential under live fault injection.
 
 use php_runtime::{ArrayKey, PhpArray, PhpStr, PhpValue};
-use phpaccel_core::{AccelId, PhpMachine};
+use phpaccel_core::{AccelId, Engine, PhpMachine};
 use regex_engine::Regex;
 use serve::{
     BreakerConfig, BreakerState, FaultKind, FaultPlan, PlannedFault, PoolConfig, RequestOutcome,
     SandboxConfig, Server, WorkerPool,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
+use workloads::php_corpus::CorpusCache;
 
 const TOTAL_REQUESTS: u64 = 300;
 const BURN_IN: u64 = 20;
@@ -53,6 +60,9 @@ struct SoakApp {
     /// Route the request-scoped heap churn through the arena-safe entry
     /// point (a no-op on machines with arena mode off, e.g. references).
     arena: bool,
+    /// When set, run one corpus script per request through the machine's
+    /// engine dispatch (primaries may be on the VM; references tree-walk).
+    scripts: Option<Arc<CorpusCache>>,
     /// One persistent array per machine (primary and reference), keyed by
     /// machine address: entries stay live in the hardware hash table across
     /// requests so injected corruption has something to land on.
@@ -60,9 +70,10 @@ struct SoakApp {
 }
 
 impl SoakApp {
-    fn new(arena: bool) -> Self {
+    fn new(arena: bool, scripts: Option<Arc<CorpusCache>>) -> Self {
         SoakApp {
             arena,
+            scripts,
             rules: vec![
                 (Regex::new("'").unwrap(), b"&#8217;".to_vec()),
                 (Regex::new("\"").unwrap(), b"&#8221;".to_vec()),
@@ -128,6 +139,13 @@ impl SoakApp {
         let hit = m.match_with_reuse(0x4010_0000, &self.author_re, &url);
         out.extend_from_slice(format!(";a={hit:?}").as_bytes());
 
+        // Engine-dispatch phase: the script runs on whatever engine the
+        // machine is set to, so primaries may execute compiled opcodes
+        // while the replay reference tree-walks the same source.
+        if let Some(cache) = &self.scripts {
+            out.extend_from_slice(&cache.script_for_request(req).run(m, true));
+        }
+
         m.end_request();
         out
     }
@@ -173,6 +191,7 @@ fn main() {
     let mut workers: usize = 1;
     let mut seed: u64 = 20_170_613;
     let mut arena = false;
+    let mut engine: Option<Engine> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--workers" {
@@ -182,19 +201,29 @@ fn main() {
                 .expect("--workers takes a positive integer");
         } else if a == "--arena" {
             arena = true;
+        } else if a == "--engine" {
+            engine = Some(match it.next().map(String::as_str) {
+                Some("tree") => Engine::TreeWalk,
+                Some("vm") => Engine::Vm,
+                other => panic!("--engine takes 'tree' or 'vm', got {other:?}"),
+            });
         } else {
             seed = a.parse().expect("seed must be an integer");
         }
     }
+    let scripts = engine.map(|_| Arc::new(CorpusCache::build()));
 
     if workers > 1 {
-        run_pool(seed, workers, arena);
+        run_pool(seed, workers, arena, engine, scripts);
         return;
     }
 
     let plan = build_plan(seed, 4);
     let planned = plan.all().len();
-    let machine = PhpMachine::specialized();
+    let mut machine = PhpMachine::specialized();
+    if let Some(e) = engine {
+        machine.set_engine(e);
+    }
     if arena {
         machine.ctx().set_arena_enabled(true);
     }
@@ -203,7 +232,7 @@ fn main() {
         .with_reference(PhpMachine::baseline())
         .with_keep_bodies(false);
 
-    let mut app = SoakApp::new(arena);
+    let mut app = SoakApp::new(arena, scripts);
     let mut handler = |m: &mut PhpMachine, req: u64| app.handle(m, req);
 
     // Expected panics (forced OOMs) would otherwise spam stderr.
@@ -309,7 +338,13 @@ fn main() {
 /// The threaded soak: the same request stream sharded across a worker pool,
 /// with the fault plan densified so each worker's shard still trips its
 /// breakers, and the pass criteria asserted on the merged totals.
-fn run_pool(seed: u64, workers: usize, arena: bool) {
+fn run_pool(
+    seed: u64,
+    workers: usize,
+    arena: bool,
+    engine: Option<Engine>,
+    scripts: Option<Arc<CorpusCache>>,
+) {
     let plan = build_plan(seed, 4 * workers);
     let planned = plan.all().len();
     let cfg = PoolConfig {
@@ -329,9 +364,15 @@ fn run_pool(seed: u64, workers: usize, arena: bool) {
 
     std::panic::set_hook(Box::new(|_| {}));
     let report = pool.run(
-        |_| PhpMachine::specialized(),
+        |_| {
+            let mut m = PhpMachine::specialized();
+            if let Some(e) = engine {
+                m.set_engine(e);
+            }
+            m
+        },
         |_w| {
-            let mut app = SoakApp::new(arena);
+            let mut app = SoakApp::new(arena, scripts.clone());
             move |m: &mut PhpMachine, req: u64| app.handle(m, req)
         },
     );

@@ -231,6 +231,20 @@ fn value_token(base: u64, key: &[u8]) -> u64 {
     hash_bytes(key) ^ base.rotate_left(17)
 }
 
+/// Which execution engine drives PHP scripts on a machine. The machine
+/// itself never interprets anything — this is a mode flag script runners
+/// (the tree-walking `Interp`, the compiled opcode VM) consult, carried
+/// here so serve/pool/soak handlers can switch engines per machine without
+/// changing any handler plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Tree-walking evaluator (`php_interp::Interp`).
+    #[default]
+    TreeWalk,
+    /// Compiled bytecode VM over a fact-specialized `CompiledUnit`.
+    Vm,
+}
+
 /// The machine workloads run on.
 #[derive(Debug)]
 pub struct PhpMachine {
@@ -238,6 +252,7 @@ pub struct PhpMachine {
     core: SpecializedCore,
     cfg: MachineConfig,
     mode: ExecMode,
+    engine: Engine,
     scoped: Vec<MBlock>,
     /// Per-domain enable mask — a tripped circuit breaker clears an entry,
     /// degrading that domain to its software path.
@@ -254,6 +269,7 @@ impl PhpMachine {
             core: SpecializedCore::new(&cfg),
             cfg,
             mode,
+            engine: Engine::default(),
             scoped: Vec::new(),
             accel_enabled: [true; 4],
             pending_hv_flip: None,
@@ -288,6 +304,18 @@ impl PhpMachine {
     /// Execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The script engine this machine asks runners to use. Sticky across
+    /// requests and request-boundary recovery — an engine choice is part of
+    /// the machine's deployment configuration, not per-request state.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Selects the script engine for this machine.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// The configuration.

@@ -6,6 +6,22 @@ use crate::eval::{Interp, RuntimeError};
 use php_runtime::array::ArrayKey;
 use php_runtime::string::PhpStr;
 use php_runtime::value::PhpValue;
+use phpaccel_core::PhpMachine;
+use regex_engine::Regex;
+
+/// What a builtin needs from the engine running it. Both the tree-walking
+/// [`Interp`] and the compiled VM implement this, so every builtin has
+/// exactly one definition and cannot diverge between engines.
+pub trait Host {
+    /// The machine all metered work flows through.
+    fn machine(&mut self) -> &mut PhpMachine;
+    /// Sets a variable in the current scope (`extract`).
+    fn set_var(&mut self, name: &str, value: PhpValue);
+    /// The compiled regex for a `preg_*` pattern argument: an
+    /// analysis-time-compiled handle when the engine has one for the current
+    /// call site, otherwise a runtime compile through the engine's cache.
+    fn regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError>;
+}
 
 fn arg(args: &[PhpValue], i: usize) -> PhpValue {
     args.get(i).cloned().unwrap_or(PhpValue::Null)
@@ -68,8 +84,9 @@ pub const NAMES: &[&str] = &[
     "preg_replace",
 ];
 
-/// Calls builtin `name`. `site` is the `Expr::Call` node being evaluated,
-/// when known — `preg_*` consult it for analysis-time-compiled patterns.
+/// Calls builtin `name` through the tree-walking interpreter. `site` is the
+/// `Expr::Call` node being evaluated, when known — `preg_*` consult it for
+/// analysis-time-compiled patterns.
 ///
 /// # Errors
 ///
@@ -80,7 +97,36 @@ pub fn call(
     args: Vec<PhpValue>,
     site: Option<&crate::ast::Expr>,
 ) -> Result<PhpValue, RuntimeError> {
-    let m = interp.machine();
+    struct InterpHost<'a, 'm> {
+        interp: &'a mut Interp<'m>,
+        site: Option<&'a crate::ast::Expr>,
+    }
+    impl Host for InterpHost<'_, '_> {
+        fn machine(&mut self) -> &mut PhpMachine {
+            self.interp.machine()
+        }
+        fn set_var(&mut self, name: &str, value: PhpValue) {
+            self.interp.set_var_public(name, value);
+        }
+        fn regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError> {
+            self.interp.regex_for(self.site, pattern)
+        }
+    }
+    dispatch(&mut InterpHost { interp, site }, name, args)
+}
+
+/// Calls builtin `name` on any [`Host`] — the single engine-agnostic
+/// implementation of every builtin.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] for unknown builtins or bad arguments.
+pub fn dispatch<H: Host>(
+    host: &mut H,
+    name: &str,
+    args: Vec<PhpValue>,
+) -> Result<PhpValue, RuntimeError> {
+    let m = host.machine();
     match name {
         "strlen" => {
             let s = str_arg(&args, 0);
@@ -271,7 +317,7 @@ pub fn call(
             let mut n = 0;
             for (k, v) in pairs {
                 if let ArrayKey::Str(name) = k {
-                    interp_set_var(interp, &name.to_string_lossy(), v);
+                    host.set_var(&name.to_string_lossy(), v);
                     n += 1;
                 }
             }
@@ -321,30 +367,25 @@ pub fn call(
         "preg_match" => {
             let pattern = str_arg(&args, 0).to_string_lossy();
             let subject = str_arg(&args, 1);
-            let re = interp.regex_for(site, &pattern)?;
-            let matched = interp.machine().preg_match(&re, &subject);
+            let re = host.regex(&pattern)?;
+            let matched = host.machine().preg_match(&re, &subject);
             Ok(PhpValue::Int(matched as i64))
         }
         "preg_replace" => {
             let pattern = str_arg(&args, 0).to_string_lossy();
             let replacement = str_arg(&args, 1);
             let subject = str_arg(&args, 2);
-            let re = interp.regex_for(site, &pattern)?;
+            let re = host.regex(&pattern)?;
             // Not `texturize`: its HV-preserving whitespace padding would
             // leak into the result when the replacement is shorter than the
             // match. A lone replace needs exact splicing.
-            let out = interp
+            let out = host
                 .machine()
                 .preg_replace(&re, &subject, replacement.as_bytes());
             Ok(PhpValue::str(out))
         }
         other => Err(RuntimeError::new(format!("undefined builtin {other}"))),
     }
-}
-
-/// Sets a variable in the interpreter's current scope (used by `extract`).
-fn interp_set_var(interp: &mut Interp<'_>, name: &str, value: PhpValue) {
-    interp.set_var_public(name, value);
 }
 
 #[cfg(test)]

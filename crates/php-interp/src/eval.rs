@@ -106,7 +106,7 @@ pub struct Interp<'m> {
     facts: Option<Arc<AnalysisFacts>>,
 }
 
-fn hint_of(shape: KeyShape) -> KeyShapeHint {
+pub(crate) fn hint_of(shape: KeyShape) -> KeyShapeHint {
     match shape {
         KeyShape::ConstStr => KeyShapeHint::ConstStr,
         KeyShape::IntAppend => KeyShapeHint::IntAppend,
@@ -116,8 +116,153 @@ fn hint_of(shape: KeyShape) -> KeyShapeHint {
 
 /// µops charged to the JIT bucket per interpreted AST node.
 const NODE_UOPS: u64 = 3;
-/// Maximum call depth.
-const MAX_DEPTH: usize = 64;
+/// Maximum call depth (shared with the compiled VM so recursion behaves
+/// identically on both engines).
+pub(crate) const MAX_DEPTH: usize = 64;
+
+/// The PHP array key a value coerces to (shared by both engines).
+pub(crate) fn key_of(v: &PhpValue) -> ArrayKey {
+    match v {
+        PhpValue::Int(i) => ArrayKey::Int(*i),
+        PhpValue::Bool(b) => ArrayKey::Int(*b as i64),
+        other => ArrayKey::Str(other.to_php_string()),
+    }
+}
+
+/// Emits a PHP `E_WARNING`-style diagnostic into an output stream.
+pub(crate) fn warn_into(out: &mut Vec<u8>, msg: &str) {
+    out.extend_from_slice(b"Warning: ");
+    out.extend_from_slice(msg.as_bytes());
+    out.push(b'\n');
+}
+
+/// Evaluates a non-short-circuit binary operation on already-evaluated
+/// operands. One definition shared by the tree-walker and the compiled VM so
+/// PHP's numeric promotion, division-by-zero warnings, and concat allocation
+/// behavior cannot diverge between engines. Operand type checks are the
+/// caller's job (they depend on per-engine fact plumbing).
+pub(crate) fn binop_eval(
+    machine: &mut PhpMachine,
+    out: &mut Vec<u8>,
+    op: BinOp,
+    l: PhpValue,
+    r: PhpValue,
+    arena_safe: bool,
+) -> Result<PhpValue, RuntimeError> {
+    use BinOp::*;
+    let numeric = |l: &PhpValue, r: &PhpValue| {
+        matches!(l, PhpValue::Float(_)) || matches!(r, PhpValue::Float(_))
+    };
+    Ok(match op {
+        Add => {
+            if numeric(&l, &r) {
+                PhpValue::Float(l.to_float() + r.to_float())
+            } else {
+                PhpValue::Int(l.to_int().wrapping_add(r.to_int()))
+            }
+        }
+        Sub => {
+            if numeric(&l, &r) {
+                PhpValue::Float(l.to_float() - r.to_float())
+            } else {
+                PhpValue::Int(l.to_int().wrapping_sub(r.to_int()))
+            }
+        }
+        Mul => {
+            if numeric(&l, &r) {
+                PhpValue::Float(l.to_float() * r.to_float())
+            } else {
+                PhpValue::Int(l.to_int().wrapping_mul(r.to_int()))
+            }
+        }
+        Div => {
+            let d = r.to_float();
+            if d == 0.0 {
+                // PHP 7 semantics: E_WARNING, expression yields false.
+                warn_into(out, "Division by zero");
+                return Ok(PhpValue::Bool(false));
+            }
+            let q = l.to_float() / d;
+            if q.fract() == 0.0 && !numeric(&l, &r) {
+                PhpValue::Int(q as i64)
+            } else {
+                PhpValue::Float(q)
+            }
+        }
+        Mod => {
+            let d = r.to_int();
+            if d == 0 {
+                // PHP 7 emits the same warning for `%` with a 0 divisor.
+                warn_into(out, "Division by zero");
+                return Ok(PhpValue::Bool(false));
+            }
+            // wrapping_rem: i64::MIN % -1 is 0 in PHP, a Rust overflow.
+            PhpValue::Int(l.to_int().wrapping_rem(d))
+        }
+        Concat => {
+            let mut s = l.to_php_string();
+            s.push_bytes(r.to_php_string().as_bytes());
+            // Concatenation allocates the result string.
+            machine.transient_str_static(s, arena_safe)
+        }
+        Eq => PhpValue::Bool(l.loose_eq(&r)),
+        Ne => PhpValue::Bool(!l.loose_eq(&r)),
+        Lt => cmp_eval(machine, l, r, |o| o == std::cmp::Ordering::Less),
+        Gt => cmp_eval(machine, l, r, |o| o == std::cmp::Ordering::Greater),
+        Le => cmp_eval(machine, l, r, |o| o != std::cmp::Ordering::Greater),
+        Ge => cmp_eval(machine, l, r, |o| o != std::cmp::Ordering::Less),
+        And | Or => unreachable!("handled by short-circuit"),
+    })
+}
+
+pub(crate) fn cmp_eval(
+    machine: &mut PhpMachine,
+    l: PhpValue,
+    r: PhpValue,
+    f: impl Fn(std::cmp::Ordering) -> bool,
+) -> PhpValue {
+    let ord = match (&l, &r) {
+        (PhpValue::Str(a), PhpValue::Str(b)) => machine.strcmp(a, b),
+        _ => l
+            .to_float()
+            .partial_cmp(&r.to_float())
+            .unwrap_or(std::cmp::Ordering::Equal),
+    };
+    PhpValue::Bool(f(ord))
+}
+
+/// Reads `base[key]` with PHP coercions: hash lookup on arrays, byte
+/// indexing on strings, error otherwise. Shared by both engines.
+pub(crate) fn index_read(
+    machine: &mut PhpMachine,
+    base: PhpValue,
+    key: &PhpValue,
+    st: AccessStatic,
+    hint: KeyShapeHint,
+) -> Result<PhpValue, RuntimeError> {
+    match base {
+        PhpValue::Array(rc) => {
+            let k = key_of(key);
+            let borrowed = rc.borrow();
+            Ok(machine
+                .array_get_static(&borrowed, &k, st, hint)
+                .unwrap_or(PhpValue::Null))
+        }
+        PhpValue::Str(s) => {
+            let i = key.to_int();
+            let b = s.as_bytes();
+            if i >= 0 && (i as usize) < b.len() {
+                Ok(PhpValue::str(PhpStr::from_bytes(vec![b[i as usize]])))
+            } else {
+                Ok(PhpValue::str(""))
+            }
+        }
+        other => Err(RuntimeError::new(format!(
+            "cannot index {}",
+            other.type_name()
+        ))),
+    }
+}
 
 impl<'m> Interp<'m> {
     /// Creates an interpreter over a machine.
@@ -191,13 +336,6 @@ impl<'m> Interp<'m> {
     /// Takes the output buffer.
     pub fn take_output(&mut self) -> Vec<u8> {
         std::mem::take(&mut self.output)
-    }
-
-    /// Emits a PHP `E_WARNING`-style diagnostic into the output stream.
-    fn warn(&mut self, msg: &str) {
-        self.output.extend_from_slice(b"Warning: ");
-        self.output.extend_from_slice(msg.as_bytes());
-        self.output.push(b'\n');
     }
 
     /// Parses and runs a source string.
@@ -349,11 +487,7 @@ impl<'m> Interp<'m> {
     }
 
     fn key_of(v: &PhpValue) -> ArrayKey {
-        match v {
-            PhpValue::Int(i) => ArrayKey::Int(*i),
-            PhpValue::Bool(b) => ArrayKey::Int(*b as i64),
-            other => ArrayKey::Str(other.to_php_string()),
-        }
+        key_of(v)
     }
 
     /// Charges one interpreter step against the armed execution budget.
@@ -615,37 +749,15 @@ impl<'m> Interp<'m> {
             Expr::Index { base, key } => {
                 let b = self.expr(base)?;
                 let kv = self.expr(key)?;
-                match b {
-                    PhpValue::Array(rc) => {
-                        let k = Self::key_of(&kv);
-                        let (elide, shape) = match &self.facts {
-                            Some(f) => (f.rc_elide_read(e), f.key_shape_expr(e)),
-                            None => (false, KeyShape::Unknown),
-                        };
-                        let st = AccessStatic {
-                            elide_rc: elide,
-                            skip_type_check: false,
-                        };
-                        let borrowed = rc.borrow();
-                        Ok(self
-                            .machine
-                            .array_get_static(&borrowed, &k, st, hint_of(shape))
-                            .unwrap_or(PhpValue::Null))
-                    }
-                    PhpValue::Str(s) => {
-                        let i = kv.to_int();
-                        let b = s.as_bytes();
-                        if i >= 0 && (i as usize) < b.len() {
-                            Ok(PhpValue::str(PhpStr::from_bytes(vec![b[i as usize]])))
-                        } else {
-                            Ok(PhpValue::str(""))
-                        }
-                    }
-                    other => Err(RuntimeError::new(format!(
-                        "cannot index {}",
-                        other.type_name()
-                    ))),
-                }
+                let (elide, shape) = match &self.facts {
+                    Some(f) => (f.rc_elide_read(e), f.key_shape_expr(e)),
+                    None => (false, KeyShape::Unknown),
+                };
+                let st = AccessStatic {
+                    elide_rc: elide,
+                    skip_type_check: false,
+                };
+                index_read(self.machine, b, &kv, st, hint_of(shape))
             }
             Expr::ArrayLit(items) => {
                 let arena = self.facts.as_ref().is_some_and(|f| f.arena_safe_expr(e));
@@ -738,86 +850,7 @@ impl<'m> Interp<'m> {
         r: PhpValue,
         arena_safe: bool,
     ) -> Result<PhpValue, RuntimeError> {
-        use BinOp::*;
-        let numeric = |l: &PhpValue, r: &PhpValue| {
-            matches!(l, PhpValue::Float(_)) || matches!(r, PhpValue::Float(_))
-        };
-        Ok(match op {
-            Add => {
-                if numeric(&l, &r) {
-                    PhpValue::Float(l.to_float() + r.to_float())
-                } else {
-                    PhpValue::Int(l.to_int().wrapping_add(r.to_int()))
-                }
-            }
-            Sub => {
-                if numeric(&l, &r) {
-                    PhpValue::Float(l.to_float() - r.to_float())
-                } else {
-                    PhpValue::Int(l.to_int().wrapping_sub(r.to_int()))
-                }
-            }
-            Mul => {
-                if numeric(&l, &r) {
-                    PhpValue::Float(l.to_float() * r.to_float())
-                } else {
-                    PhpValue::Int(l.to_int().wrapping_mul(r.to_int()))
-                }
-            }
-            Div => {
-                let d = r.to_float();
-                if d == 0.0 {
-                    // PHP 7 semantics: E_WARNING, expression yields false.
-                    self.warn("Division by zero");
-                    return Ok(PhpValue::Bool(false));
-                }
-                let q = l.to_float() / d;
-                if q.fract() == 0.0 && !numeric(&l, &r) {
-                    PhpValue::Int(q as i64)
-                } else {
-                    PhpValue::Float(q)
-                }
-            }
-            Mod => {
-                let d = r.to_int();
-                if d == 0 {
-                    // PHP 7 emits the same warning for `%` with a 0 divisor.
-                    self.warn("Division by zero");
-                    return Ok(PhpValue::Bool(false));
-                }
-                // wrapping_rem: i64::MIN % -1 is 0 in PHP, a Rust overflow.
-                PhpValue::Int(l.to_int().wrapping_rem(d))
-            }
-            Concat => {
-                let mut s = l.to_php_string();
-                s.push_bytes(r.to_php_string().as_bytes());
-                // Concatenation allocates the result string.
-                self.machine.transient_str_static(s, arena_safe)
-            }
-            Eq => PhpValue::Bool(l.loose_eq(&r)),
-            Ne => PhpValue::Bool(!l.loose_eq(&r)),
-            Lt => self.cmp(l, r, |o| o == std::cmp::Ordering::Less),
-            Gt => self.cmp(l, r, |o| o == std::cmp::Ordering::Greater),
-            Le => self.cmp(l, r, |o| o != std::cmp::Ordering::Greater),
-            Ge => self.cmp(l, r, |o| o != std::cmp::Ordering::Less),
-            And | Or => unreachable!("handled by short-circuit"),
-        })
-    }
-
-    fn cmp(
-        &mut self,
-        l: PhpValue,
-        r: PhpValue,
-        f: impl Fn(std::cmp::Ordering) -> bool,
-    ) -> PhpValue {
-        let ord = match (&l, &r) {
-            (PhpValue::Str(a), PhpValue::Str(b)) => self.machine.strcmp(a, b),
-            _ => l
-                .to_float()
-                .partial_cmp(&r.to_float())
-                .unwrap_or(std::cmp::Ordering::Equal),
-        };
-        PhpValue::Bool(f(ord))
+        binop_eval(self.machine, &mut self.output, op, l, r, arena_safe)
     }
 
     /// Compiles (and caches) a `/pattern/`-delimited preg pattern,

@@ -1,0 +1,1028 @@
+//! The compiled-bytecode VM: executes a [`CompiledUnit`] over a
+//! [`PhpMachine`].
+//!
+//! Dispatch charges one µop per opcode to the `jit_compiled_code` bucket
+//! (the tree-walker charges three per AST node visit, six per statement), so
+//! the same script costs measurably less interpreter overhead — and a fused
+//! unit additionally skips the transient string allocations the generic
+//! lowering performs. Program *output* is byte-identical to
+//! [`crate::Interp`] on every program: the differential harness and the
+//! serving layer's replay machinery gate exactly that.
+//!
+//! The VM mirrors the tree-walker's observable structure one-for-one:
+//! symbol tables are [`PhpArray`]s (hash-map traffic), function frames free
+//! their tables on scope exit, loop iteration caps and the recursion limit
+//! use the same constants and messages, and builtins run through the shared
+//! [`builtins::Host`] dispatch.
+
+use crate::builtins;
+use crate::compile::{CompiledUnit, Op, OpKind, OP_KIND_COUNT};
+use crate::eval::{binop_eval, index_read, key_of, RuntimeError, MAX_DEPTH};
+use php_runtime::array::{ArrayKey, PhpArray};
+use php_runtime::value::PhpValue;
+use php_runtime::AccessStatic;
+use phpaccel_core::{KeyShapeHint, PhpMachine};
+use regex_engine::Regex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// µops charged to the JIT bucket per executed opcode (vs 3 per AST node in
+/// the tree-walker). A fused superinstruction is still one opcode: one
+/// charge.
+pub const VM_OP_UOPS: u64 = 1;
+
+/// Per-opcode and adjacent-pair execution counters for one VM run.
+#[derive(Debug, Clone)]
+pub struct OpcodeTally {
+    counts: [u64; OP_KIND_COUNT],
+    /// Dynamic (prev, next) pairs for *statically adjacent* opcodes — the
+    /// population the superinstruction selection was measured from.
+    pairs: HashMap<(OpKind, OpKind), u64>,
+    /// Total opcodes executed.
+    pub total: u64,
+    /// Fused superinstructions executed.
+    pub fused: u64,
+    /// Transient string allocations elided by fused opcodes.
+    pub transients_elided: u64,
+}
+
+impl Default for OpcodeTally {
+    fn default() -> Self {
+        OpcodeTally {
+            counts: [0; OP_KIND_COUNT],
+            pairs: HashMap::new(),
+            total: 0,
+            fused: 0,
+            transients_elided: 0,
+        }
+    }
+}
+
+impl OpcodeTally {
+    /// Executions of one opcode kind.
+    pub fn count(&self, k: OpKind) -> u64 {
+        self.counts[k as usize]
+    }
+
+    /// Opcode kinds by execution count, descending.
+    pub fn top_ops(&self) -> Vec<(OpKind, u64)> {
+        let mut v: Vec<(OpKind, u64)> = OpKind::all()
+            .into_iter()
+            .map(|k| (k, self.counts[k as usize]))
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.name().cmp(b.0.name())));
+        v
+    }
+
+    /// Statically adjacent opcode pairs by execution count, descending.
+    pub fn top_pairs(&self) -> Vec<((OpKind, OpKind), u64)> {
+        let mut v: Vec<((OpKind, OpKind), u64)> =
+            self.pairs.iter().map(|(k, n)| (*k, *n)).collect();
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0 .0.name().cmp(b.0 .0.name()))
+                .then(a.0 .1.name().cmp(b.0 .1.name()))
+        });
+        v
+    }
+
+    fn note(&mut self, kind: OpKind, adjacent_prev: Option<OpKind>) {
+        self.counts[kind as usize] += 1;
+        self.total += 1;
+        if kind.is_fused() {
+            self.fused += 1;
+        }
+        if let Some(prev) = adjacent_prev {
+            *self.pairs.entry((prev, kind)).or_insert(0) += 1;
+        }
+    }
+}
+
+/// How one body's execution ended.
+enum ChunkExit {
+    /// Ran off the end.
+    Finished,
+    /// Hit a `Return` opcode.
+    Returned(PhpValue),
+}
+
+struct Scope {
+    table: PhpArray,
+    globals: HashSet<String>,
+}
+
+/// The VM. Holds the same per-request state as [`crate::Interp`] (scope
+/// stack of symbol-table arrays, output buffer, regex cache, recursion
+/// depth) plus the bytecode machine state (value/iterator/guard stacks and
+/// the runtime function-binding table).
+pub struct Vm<'m> {
+    machine: &'m mut PhpMachine,
+    unit: Arc<CompiledUnit>,
+    scopes: Vec<Scope>,
+    stack: Vec<PhpValue>,
+    iters: Vec<(Vec<(ArrayKey, PhpValue)>, usize)>,
+    guards: Vec<u64>,
+    /// Live name → function-table bindings (seeded from the hoisted table,
+    /// updated by `DefineFunc`).
+    funcs: HashMap<String, u32>,
+    output: Vec<u8>,
+    regex_cache: HashMap<String, Regex>,
+    regex_compiles: u64,
+    depth: usize,
+    tally: OpcodeTally,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM for one request over `unit`.
+    pub fn new(machine: &'m mut PhpMachine, unit: Arc<CompiledUnit>) -> Self {
+        let table = machine.new_array();
+        let funcs = unit.func_index.clone();
+        Vm {
+            machine,
+            unit,
+            scopes: vec![Scope {
+                table,
+                globals: HashSet::new(),
+            }],
+            stack: Vec::new(),
+            iters: Vec::new(),
+            guards: Vec::new(),
+            funcs,
+            output: Vec::new(),
+            regex_cache: HashMap::new(),
+            regex_compiles: 0,
+            depth: 0,
+            tally: OpcodeTally::default(),
+        }
+    }
+
+    /// The machine.
+    pub fn machine(&mut self) -> &mut PhpMachine {
+        self.machine
+    }
+
+    /// Everything `echo`ed so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Takes the output buffer.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.output)
+    }
+
+    /// The opcode execution counters accumulated so far.
+    pub fn tally(&self) -> &OpcodeTally {
+        &self.tally
+    }
+
+    /// Runtime regex compiles performed (cache misses; precompiled patterns
+    /// never count).
+    pub fn regex_compile_count(&self) -> u64 {
+        self.regex_compiles
+    }
+
+    /// Sets a variable in the current scope (workload drivers bind request
+    /// variables through this, mirroring [`crate::Interp::set_var_public`]).
+    pub fn set_var_public(&mut self, name: &str, value: PhpValue) {
+        self.set_var(name, value);
+    }
+
+    /// Runs the unit's main body.
+    ///
+    /// Attaching the unit's facts side-channel mirrors
+    /// [`crate::Interp::set_facts`]: heap free-list pre-seeding, sieve
+    /// preloading, and the taint/arena savings bookkeeping happen before the
+    /// first opcode, and the per-opcode execution counters are flushed into
+    /// the profiler afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on evaluation failure, exactly as the
+    /// tree-walker would for the same program.
+    pub fn run(&mut self) -> Result<(), RuntimeError> {
+        let unit = Arc::clone(&self.unit);
+        if unit.specialized {
+            self.machine
+                .apply_prebuilt(&unit.alloc_size_hints, unit.has_precompiled_regex);
+            self.machine
+                .ctx()
+                .profiler()
+                .note_taint_lints(unit.taint_lints);
+            self.machine
+                .ctx()
+                .profiler()
+                .note_arena_safe_sites(unit.arena_safe_sites);
+        }
+        let result = self.run_chunk(&unit.main).map(|_| ());
+        // Main never unwinds its stacks on error; clear them so a reused VM
+        // (not a pattern today, but cheap insurance) starts clean.
+        self.stack.clear();
+        self.iters.clear();
+        self.guards.clear();
+        self.machine.ctx().profiler().note_vm_execution(
+            self.tally.total,
+            self.tally.fused,
+            self.tally.transients_elided,
+        );
+        result
+    }
+
+    fn fuel_step(&mut self) -> Result<(), RuntimeError> {
+        if self.machine.ctx().consume_fuel(1) {
+            Ok(())
+        } else {
+            Err(RuntimeError::timeout("maximum execution budget exceeded"))
+        }
+    }
+
+    fn scope_index_for(&self, name: &str) -> usize {
+        let cur = self.scopes.len() - 1;
+        if cur > 0 && self.scopes[cur].globals.contains(name) {
+            0
+        } else {
+            cur
+        }
+    }
+
+    fn get_var_static(&mut self, name: &str, st: AccessStatic, hint: KeyShapeHint) -> PhpValue {
+        let idx = self.scope_index_for(name);
+        let table = std::mem::replace(&mut self.scopes[idx].table, PhpArray::new());
+        let v = self
+            .machine
+            .array_get_static(&table, &ArrayKey::from(name), st, hint)
+            .unwrap_or(PhpValue::Null);
+        self.scopes[idx].table = table;
+        v
+    }
+
+    fn set_var_static(
+        &mut self,
+        name: &str,
+        value: PhpValue,
+        st: AccessStatic,
+        hint: KeyShapeHint,
+    ) {
+        let idx = self.scope_index_for(name);
+        let mut table = std::mem::replace(&mut self.scopes[idx].table, PhpArray::new());
+        self.machine
+            .array_set_static(&mut table, ArrayKey::from(name), value, st, hint);
+        self.scopes[idx].table = table;
+    }
+
+    fn set_var(&mut self, name: &str, value: PhpValue) {
+        self.set_var_static(name, value, AccessStatic::default(), KeyShapeHint::Unknown);
+    }
+
+    fn get_var(&mut self, name: &str) -> PhpValue {
+        self.get_var_static(name, AccessStatic::default(), KeyShapeHint::Unknown)
+    }
+
+    fn pop(&mut self) -> PhpValue {
+        self.stack
+            .pop()
+            .expect("compiler-verified stack discipline")
+    }
+
+    fn pop_args(&mut self, argc: u32) -> Vec<PhpValue> {
+        let at = self.stack.len() - argc as usize;
+        self.stack.split_off(at)
+    }
+
+    fn compile_regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError> {
+        if !self.regex_cache.contains_key(pattern) {
+            let inner = crate::eval::strip_delimiters(pattern)
+                .ok_or_else(|| RuntimeError::new(format!("bad preg pattern {pattern:?}")))?;
+            let re =
+                Regex::new(inner).map_err(|e| RuntimeError::new(format!("regex error: {e}")))?;
+            self.regex_compiles += 1;
+            self.regex_cache.insert(pattern.to_owned(), re);
+        }
+        Ok(self.regex_cache[pattern].clone())
+    }
+
+    fn call_builtin(
+        &mut self,
+        name: &str,
+        args: Vec<PhpValue>,
+        regex: Option<u32>,
+    ) -> Result<PhpValue, RuntimeError> {
+        struct VmHost<'a, 'm> {
+            vm: &'a mut Vm<'m>,
+            regex: Option<u32>,
+        }
+        impl builtins::Host for VmHost<'_, '_> {
+            fn machine(&mut self) -> &mut PhpMachine {
+                self.vm.machine
+            }
+            fn set_var(&mut self, name: &str, value: PhpValue) {
+                self.vm.set_var(name, value);
+            }
+            fn regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError> {
+                if let Some(i) = self.regex {
+                    let re = self.vm.unit.regexes[i as usize].clone();
+                    self.vm
+                        .machine
+                        .ctx()
+                        .profiler()
+                        .note_regex_compile_avoided();
+                    return Ok(re);
+                }
+                self.vm.compile_regex(pattern)
+            }
+        }
+        builtins::dispatch(&mut VmHost { vm: self, regex }, name, args)
+    }
+
+    fn invoke(&mut self, func: u32, args: Vec<PhpValue>) -> Result<PhpValue, RuntimeError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(RuntimeError::new("maximum call depth exceeded"));
+        }
+        self.depth += 1;
+        let unit = Arc::clone(&self.unit);
+        let f = &unit.funcs[func as usize];
+        let table = self.machine.new_array_static(f.symtab_arena);
+        self.scopes.push(Scope {
+            table,
+            globals: HashSet::new(),
+        });
+        for (i, p) in f.params.iter().enumerate() {
+            let v = args.get(i).cloned().unwrap_or(PhpValue::Null);
+            self.set_var(p, v);
+        }
+        let stack_mark = self.stack.len();
+        let iter_mark = self.iters.len();
+        let guard_mark = self.guards.len();
+        let result = self.run_chunk(&f.code);
+        // A mid-body `Return` or error leaves partial frames behind; drop
+        // everything this call pushed.
+        self.stack.truncate(stack_mark);
+        self.iters.truncate(iter_mark);
+        self.guards.truncate(guard_mark);
+        // Function scope ends: its symbol table (a short-lived hash map!)
+        // is freed — the pattern the hardware hash table exploits.
+        let scope = self.scopes.pop().expect("scope pushed above");
+        self.machine.array_free(&scope.table);
+        self.depth -= 1;
+        match result? {
+            ChunkExit::Returned(v) => Ok(v),
+            ChunkExit::Finished => Ok(PhpValue::Null),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_chunk(&mut self, code: &[Op]) -> Result<ChunkExit, RuntimeError> {
+        let unit = Arc::clone(&self.unit);
+        let mut pc = 0usize;
+        let mut prev_pc = usize::MAX;
+        while pc < code.len() {
+            self.fuel_step()?;
+            self.machine.ctx().charge_jit(VM_OP_UOPS);
+            let op = &code[pc];
+            let adjacent =
+                (prev_pc != usize::MAX && pc == prev_pc + 1).then(|| code[prev_pc].kind());
+            self.tally.note(op.kind(), adjacent);
+            prev_pc = pc;
+            pc += 1;
+            match op {
+                Op::PushNull => self.stack.push(PhpValue::Null),
+                Op::PushBool(b) => self.stack.push(PhpValue::Bool(*b)),
+                Op::PushInt(i) => self.stack.push(PhpValue::Int(*i)),
+                Op::PushFloat(f) => self.stack.push(PhpValue::Float(*f)),
+                Op::PushStr(i) => self
+                    .stack
+                    .push(PhpValue::str(unit.consts[*i as usize].clone())),
+                Op::Pop => {
+                    self.pop();
+                }
+                Op::LoadVar {
+                    name,
+                    elide_rc,
+                    const_key,
+                } => {
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    let hint = if *const_key {
+                        KeyShapeHint::ConstStr
+                    } else {
+                        KeyShapeHint::Unknown
+                    };
+                    let name = unit.names[*name as usize].clone();
+                    let v = self.get_var_static(&name, st, hint);
+                    self.stack.push(v);
+                }
+                Op::StoreVar {
+                    name,
+                    elide_rc,
+                    const_key,
+                } => {
+                    let v = self.pop();
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    let hint = if *const_key {
+                        KeyShapeHint::ConstStr
+                    } else {
+                        KeyShapeHint::Unknown
+                    };
+                    let name = unit.names[*name as usize].clone();
+                    self.set_var_static(&name, v, st, hint);
+                }
+                Op::IndexGet { elide_rc, hint } => {
+                    let key = self.pop();
+                    let base = self.pop();
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    let v = index_read(self.machine, base, &key, st, *hint)?;
+                    self.stack.push(v);
+                }
+                Op::IndexConst {
+                    key,
+                    elide_rc,
+                    hint,
+                } => {
+                    let base = self.pop();
+                    let kv = PhpValue::str(unit.consts[*key as usize].clone());
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    let v = index_read(self.machine, base, &kv, st, *hint)?;
+                    self.stack.push(v);
+                }
+                Op::LoadIndexBase { name, arena } => {
+                    let name = unit.names[*name as usize].clone();
+                    let base = self.get_var(&name);
+                    let v = match base {
+                        PhpValue::Array(_) => base,
+                        PhpValue::Null => {
+                            let a = self.machine.new_array_static(*arena);
+                            let v2 = PhpValue::array(a);
+                            self.set_var(&name, v2.clone());
+                            v2
+                        }
+                        other => {
+                            return Err(RuntimeError::new(format!(
+                                "cannot index into {}",
+                                other.type_name()
+                            )))
+                        }
+                    };
+                    self.stack.push(v);
+                }
+                Op::StoreIndexKeyed { elide_rc, hint } => {
+                    let key = self.pop();
+                    let base = self.pop();
+                    let value = self.pop();
+                    let PhpValue::Array(rc) = base else {
+                        unreachable!("LoadIndexBase always pushes an array");
+                    };
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    let k = key_of(&key);
+                    self.machine
+                        .array_set_static(&mut rc.borrow_mut(), k, value, st, *hint);
+                }
+                Op::StoreAppend {
+                    elide_rc,
+                    int_append,
+                } => {
+                    let base = self.pop();
+                    let value = self.pop();
+                    let PhpValue::Array(rc) = base else {
+                        unreachable!("LoadIndexBase always pushes an array");
+                    };
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    self.machine
+                        .array_push_static(&mut rc.borrow_mut(), value, st, *int_append);
+                }
+                Op::NewArray { arena } => {
+                    let a = self.machine.new_array_static(*arena);
+                    self.stack.push(PhpValue::array(a));
+                }
+                Op::ArrayInsert => {
+                    let key = self.pop();
+                    let value = self.pop();
+                    let PhpValue::Array(rc) = self.stack.last().expect("array under insert") else {
+                        unreachable!("NewArray pushed an array");
+                    };
+                    let rc = rc.clone();
+                    let k = key_of(&key);
+                    self.machine.array_set(&mut rc.borrow_mut(), k, value);
+                }
+                Op::ArrayAppend => {
+                    let value = self.pop();
+                    let PhpValue::Array(rc) = self.stack.last().expect("array under append") else {
+                        unreachable!("NewArray pushed an array");
+                    };
+                    let rc = rc.clone();
+                    self.machine.array_push(&mut rc.borrow_mut(), value);
+                }
+                Op::Bin {
+                    op,
+                    skip_lhs,
+                    skip_rhs,
+                    arena,
+                } => {
+                    let r = self.pop();
+                    let l = self.pop();
+                    self.machine.ctx().type_check_elidable(&l, *skip_lhs);
+                    self.machine.ctx().type_check_elidable(&r, *skip_rhs);
+                    let v = binop_eval(self.machine, &mut self.output, *op, l, r, *arena)?;
+                    self.stack.push(v);
+                }
+                Op::ConcatN {
+                    n,
+                    skip_mask,
+                    arena,
+                } => {
+                    let at = self.stack.len() - *n as usize;
+                    let parts = self.stack.split_off(at);
+                    let mut s = php_runtime::string::PhpStr::default();
+                    for (i, v) in parts.iter().enumerate() {
+                        self.machine
+                            .ctx()
+                            .type_check_elidable(v, skip_mask & (1 << i) != 0);
+                        s.push_bytes(v.to_php_string().as_bytes());
+                    }
+                    // One transient for the whole chain: the n-2 intermediate
+                    // allocations the nested lowering performs are elided.
+                    self.tally.transients_elided += *n as u64 - 2;
+                    let v = self.machine.transient_str_static(s, *arena);
+                    self.stack.push(v);
+                }
+                Op::Not => {
+                    let v = self.pop();
+                    self.stack.push(PhpValue::Bool(!v.to_bool()));
+                }
+                Op::Neg => {
+                    let v = self.pop();
+                    self.stack.push(match v {
+                        PhpValue::Float(f) => PhpValue::Float(-f),
+                        other => PhpValue::Int(-other.to_int()),
+                    });
+                }
+                Op::ToBool => {
+                    let v = self.pop();
+                    self.stack.push(PhpValue::Bool(v.to_bool()));
+                }
+                Op::Jump(t) => pc = *t as usize,
+                Op::JumpIfFalsePop(t) => {
+                    let v = self.pop();
+                    if !v.to_bool() {
+                        pc = *t as usize;
+                    }
+                }
+                Op::JumpIfTruePeek(t) => {
+                    if self.stack.last().expect("peek").to_bool() {
+                        pc = *t as usize;
+                    }
+                }
+                Op::JumpIfFalsePeek(t) => {
+                    if !self.stack.last().expect("peek").to_bool() {
+                        pc = *t as usize;
+                    }
+                }
+                Op::PushGuard => self.guards.push(0),
+                Op::GuardTick { msg } => {
+                    let g = self.guards.last_mut().expect("guard pushed");
+                    *g += 1;
+                    if *g > 1_000_000 {
+                        return Err(RuntimeError::new(unit.msgs[*msg as usize].clone()));
+                    }
+                }
+                Op::PopGuard => {
+                    self.guards.pop();
+                }
+                Op::IterInit => {
+                    let v = self.pop();
+                    let PhpValue::Array(rc) = v else {
+                        return Err(RuntimeError::new("foreach over non-array"));
+                    };
+                    let pairs = {
+                        let borrowed = rc.borrow();
+                        self.machine.foreach(&borrowed)
+                    };
+                    self.iters.push((pairs, 0));
+                }
+                Op::IterNext {
+                    value,
+                    key,
+                    elide_rc,
+                    const_key,
+                    end,
+                } => {
+                    let (pairs, pos) = self.iters.last_mut().expect("iter pushed");
+                    if *pos >= pairs.len() {
+                        pc = *end as usize;
+                    } else {
+                        let (k, v) = pairs[*pos].clone();
+                        *pos += 1;
+                        let st = AccessStatic {
+                            elide_rc: *elide_rc,
+                            skip_type_check: false,
+                        };
+                        let hint = if *const_key {
+                            KeyShapeHint::ConstStr
+                        } else {
+                            KeyShapeHint::Unknown
+                        };
+                        if let Some(kn) = key {
+                            let key_value = match &k {
+                                ArrayKey::Int(i) => PhpValue::Int(*i),
+                                ArrayKey::Str(s) => PhpValue::str(s.clone()),
+                            };
+                            let kn = unit.names[*kn as usize].clone();
+                            self.set_var_static(&kn, key_value, st, hint);
+                        }
+                        let vn = unit.names[*value as usize].clone();
+                        self.set_var_static(&vn, v, st, hint);
+                    }
+                }
+                Op::IterPop => {
+                    self.iters.pop();
+                }
+                Op::DefineFunc { func } => {
+                    let name = unit.funcs[*func as usize].name.clone();
+                    self.funcs.insert(name, *func);
+                }
+                Op::CallUser {
+                    func,
+                    argc,
+                    summarized,
+                } => {
+                    let args = self.pop_args(*argc);
+                    if *summarized {
+                        self.machine.ctx().profiler().note_summary_applied();
+                    }
+                    let v = self.invoke(*func, args)?;
+                    self.stack.push(v);
+                }
+                Op::CallBuiltin { name, argc, regex } => {
+                    let args = self.pop_args(*argc);
+                    let name = unit.names[*name as usize].clone();
+                    let v = self.call_builtin(&name, args, *regex)?;
+                    self.stack.push(v);
+                }
+                Op::CallDynamic {
+                    name,
+                    argc,
+                    regex,
+                    summarized,
+                } => {
+                    let args = self.pop_args(*argc);
+                    let name = unit.names[*name as usize].clone();
+                    let v = match self.funcs.get(&name).copied() {
+                        Some(func) => {
+                            // Summaries only apply when the call resolves to
+                            // a user function, as in the tree-walker.
+                            if *summarized {
+                                self.machine.ctx().profiler().note_summary_applied();
+                            }
+                            self.invoke(func, args)?
+                        }
+                        None => self.call_builtin(&name, args, *regex)?,
+                    };
+                    self.stack.push(v);
+                }
+                Op::Return => {
+                    let v = self.pop();
+                    return Ok(ChunkExit::Returned(v));
+                }
+                Op::Echo { arena } => {
+                    let v = self.pop();
+                    let s = v.to_php_string();
+                    // echo materializes output bytes: allocator churn
+                    // (identical to the tree-walker's charging).
+                    let tv = self.machine.transient_str_static(s.clone(), *arena);
+                    let _ = tv;
+                    self.output.extend_from_slice(s.as_bytes());
+                }
+                Op::EchoValue { arena } => {
+                    let v = self.pop();
+                    self.echo_fast(v, *arena);
+                }
+                Op::EchoConst { s } => {
+                    self.output
+                        .extend_from_slice(unit.consts[*s as usize].as_bytes());
+                    self.tally.transients_elided += 1;
+                }
+                Op::EchoVar {
+                    name,
+                    elide_rc,
+                    const_key,
+                    arena,
+                } => {
+                    let st = AccessStatic {
+                        elide_rc: *elide_rc,
+                        skip_type_check: false,
+                    };
+                    let hint = if *const_key {
+                        KeyShapeHint::ConstStr
+                    } else {
+                        KeyShapeHint::Unknown
+                    };
+                    let name = unit.names[*name as usize].clone();
+                    let v = self.get_var_static(&name, st, hint);
+                    let arena = *arena;
+                    self.echo_fast(v, arena);
+                }
+                Op::Global { name } => {
+                    let name = unit.names[*name as usize].clone();
+                    let cur = self.scopes.len() - 1;
+                    self.scopes[cur].globals.insert(name);
+                }
+                Op::Fail { msg } => {
+                    return Err(RuntimeError::new(unit.msgs[*msg as usize].clone()));
+                }
+            }
+        }
+        Ok(ChunkExit::Finished)
+    }
+
+    /// Fused echo: strings go straight to the output buffer (the transient
+    /// copy the generic path materializes is elided); everything else still
+    /// converts through a transient.
+    fn echo_fast(&mut self, v: PhpValue, arena: bool) {
+        if let PhpValue::Str(s) = &v {
+            self.output.extend_from_slice(s.as_bytes());
+            self.tally.transients_elided += 1;
+        } else {
+            let s = v.to_php_string();
+            let tv = self.machine.transient_str_static(s.clone(), arena);
+            let _ = tv;
+            self.output.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Compiles and runs `src` on `machine` with default options — the VM
+/// counterpart of [`crate::Interp::run`], for tests and small drivers.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError`] on parse or evaluation failure.
+pub fn run_src(machine: &mut PhpMachine, src: &str) -> Result<Vec<u8>, RuntimeError> {
+    let prog = crate::parse(src)?;
+    let unit = Arc::new(crate::compile::compile(
+        &prog,
+        &[],
+        None,
+        crate::compile::CompileOptions::default(),
+    ));
+    let mut vm = Vm::new(machine, unit);
+    let r = vm.run();
+    let out = vm.take_output();
+    r.map(|()| out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::parse;
+
+    /// Runs `src` on both engines (VM fused and unfused) and asserts all
+    /// three outputs (or errors) agree byte-for-byte.
+    fn both(src: &str) -> Result<String, RuntimeError> {
+        let mut m = PhpMachine::specialized();
+        let tree = {
+            let mut i = crate::Interp::new(&mut m);
+            let r = i.run(src);
+            r.map(|()| String::from_utf8_lossy(i.output()).into_owned())
+        };
+        for fuse in [false, true] {
+            let prog = parse(src).unwrap();
+            let unit = Arc::new(compile(&prog, &[], None, CompileOptions { fuse }));
+            let mut m2 = PhpMachine::specialized();
+            let mut vm = Vm::new(&mut m2, unit);
+            let r = vm.run();
+            let vm_out = r.map(|()| String::from_utf8_lossy(vm.output()).into_owned());
+            match (&tree, &vm_out) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "fuse={fuse} src={src}"),
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.message, b.message, "fuse={fuse} src={src}")
+                }
+                (a, b) => panic!("engines disagree (fuse={fuse}): tree={a:?} vm={b:?}"),
+            }
+        }
+        tree
+    }
+
+    #[test]
+    fn arithmetic_and_echo() {
+        assert_eq!(both("$x = 2 + 3 * 4; echo $x;").unwrap(), "14");
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(
+            both("$name = 'World'; echo 'Hello, ' . $name . '!';").unwrap(),
+            "Hello, World!"
+        );
+    }
+
+    #[test]
+    fn arrays_and_foreach_order() {
+        assert_eq!(
+            both(
+                "$a = array('b' => 2, 'a' => 1); $a['c'] = 3; \
+                 foreach ($a as $k => $v) { echo $k, '=', $v, ';'; }"
+            )
+            .unwrap(),
+            "b=2;a=1;c=3;"
+        );
+    }
+
+    #[test]
+    fn append_and_autovivify() {
+        assert_eq!(
+            both(
+                "$a = []; $a[] = 'x'; $a[] = 'y'; echo count($a), $a[1]; \
+                  $b['k'] = 5; echo $b['k'];"
+            )
+            .unwrap(),
+            "2y5"
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            both(
+                "function fib($n) { if ($n < 2) { return $n; } \
+                 return fib($n - 1) + fib($n - 2); } echo fib(10);"
+            )
+            .unwrap(),
+            "55"
+        );
+    }
+
+    #[test]
+    fn loops_break_continue() {
+        assert_eq!(
+            both(
+                "$s = ''; for ($i = 0; $i < 10; $i++) { \
+                 if ($i == 2) { continue; } if ($i == 5) { break; } $s .= $i; } \
+                 $n = 3; while ($n > 0) { $s .= 'w'; $n--; } echo $s;"
+            )
+            .unwrap(),
+            "0134www"
+        );
+    }
+
+    #[test]
+    fn globals() {
+        assert_eq!(
+            both(
+                "$config = 'prod'; function env() { global $config; return $config; } \
+                 echo env();"
+            )
+            .unwrap(),
+            "prod"
+        );
+    }
+
+    #[test]
+    fn division_by_zero_warns_inline() {
+        assert_eq!(
+            both("echo 'a'; $x = 1 / 0; echo 'b', $x ? 't' : 'f';").unwrap(),
+            "aWarning: Division by zero\nbf"
+        );
+    }
+
+    #[test]
+    fn ternary_and_elvis_short_circuit() {
+        assert_eq!(both("echo true ? 'safe' : 1 / 0;").unwrap(), "safe");
+        assert_eq!(both("$x = ''; echo $x ?: 'default';").unwrap(), "default");
+        assert_eq!(both("$x = 'set'; echo $x ?: 'default';").unwrap(), "set");
+    }
+
+    #[test]
+    fn and_or_return_bools_and_short_circuit() {
+        assert_eq!(
+            both(
+                "echo (false && 1 / 0) ? 'y' : 'n'; echo (true || 1 / 0) ? 'y' : 'n'; \
+                  $v = 3 && 2; echo is_bool($v) ? 'B' : '?';"
+            )
+            .unwrap(),
+            "nyB"
+        );
+    }
+
+    #[test]
+    fn builtins_and_preg() {
+        assert_eq!(
+            both(
+                "echo strtoupper('abc'), '|', substr('abcdef', 1, 3), '|'; \
+                 if (preg_match('/[0-9]+/', 'order 42')) { echo 'yes'; } \
+                 echo preg_replace('/o/', '0', 'foo');"
+            )
+            .unwrap(),
+            "ABC|bcd|yesf00"
+        );
+    }
+
+    #[test]
+    fn extract_sets_vars() {
+        assert_eq!(
+            both("$d = array('t' => 'Hi', 'n' => 7); extract($d); echo $t, $n;").unwrap(),
+            "Hi7"
+        );
+    }
+
+    #[test]
+    fn nested_function_redefinition() {
+        assert_eq!(
+            both(
+                "function f() { return 1; } echo f(); \
+                 if (true) { function f() { return 2; } } echo f();"
+            )
+            .unwrap(),
+            "12"
+        );
+    }
+
+    #[test]
+    fn errors_match_tree_walker() {
+        for src in [
+            "mystery();",
+            "function f($n) { return f($n + 1); } f(0);",
+            "foreach (42 as $v) { echo $v; }",
+            "$x = 'str'; $x['k'] = 1;",
+            "$n = 5; echo $n['k'];",
+            "break;",
+        ] {
+            assert!(both(src).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn main_level_return_stops_execution() {
+        assert_eq!(both("echo 'a'; return; echo 'b';").unwrap(), "a");
+    }
+
+    #[test]
+    fn string_byte_indexing() {
+        assert_eq!(both("$s = 'abc'; echo $s[1], $s[9];").unwrap(), "b");
+    }
+
+    #[test]
+    fn fuel_exhaustion_yields_timeout() {
+        let mut m = PhpMachine::baseline();
+        m.ctx().set_fuel(Some(50));
+        let err = run_src(&mut m, "$s = 0; while (true) { $s = $s + 1; }")
+            .expect_err("must run out of fuel");
+        assert!(err.is_timeout(), "{err}");
+    }
+
+    #[test]
+    fn vm_charges_fewer_jit_uops_than_tree() {
+        let src = "$s = ''; for ($i = 0; $i < 50; $i++) { $s = $s . 'x' . $i; } echo $s;";
+        let jit = |m: &PhpMachine| {
+            m.ctx()
+                .profiler()
+                .category_breakdown()
+                .get(&php_runtime::Category::JitCode)
+                .copied()
+                .unwrap_or(0)
+        };
+        let mut mt = PhpMachine::specialized();
+        let mut i = crate::Interp::new(&mut mt);
+        i.run(src).unwrap();
+        let tree_jit = jit(&mt);
+        let mut mv = PhpMachine::specialized();
+        run_src(&mut mv, src).unwrap();
+        let vm_jit = jit(&mv);
+        assert!(
+            vm_jit * 2 < tree_jit,
+            "vm jit {vm_jit} not well under tree jit {tree_jit}"
+        );
+    }
+
+    #[test]
+    fn tally_counts_ops_and_pairs() {
+        let mut m = PhpMachine::specialized();
+        let prog = parse("echo 'a'; echo 'b'; $x = 1 + 2; echo $x;").unwrap();
+        let unit = Arc::new(compile(&prog, &[], None, CompileOptions { fuse: true }));
+        let mut vm = Vm::new(&mut m, unit);
+        vm.run().unwrap();
+        let t = vm.tally();
+        assert_eq!(t.count(OpKind::EchoConst), 2);
+        assert!(t.total > 0);
+        assert!(t.fused >= 2);
+        assert!(!t.top_ops().is_empty());
+        assert!(!t.top_pairs().is_empty());
+    }
+}

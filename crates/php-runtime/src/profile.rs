@@ -192,6 +192,14 @@ pub struct StaticSavings {
     /// µops the per-block end-of-request teardown would have cost, saved by
     /// arena epoch resets.
     pub teardown_uops_saved: u64,
+    /// Opcodes executed by the compiled-bytecode VM (zero under the
+    /// tree-walking engine).
+    pub vm_ops_executed: u64,
+    /// Fused superinstructions among the executed opcodes.
+    pub vm_fused_ops: u64,
+    /// Transient string allocations elided by fused opcodes (concat
+    /// intermediates, echo-of-string materializations).
+    pub vm_transients_elided: u64,
 }
 
 impl StaticSavings {
@@ -213,6 +221,9 @@ impl StaticSavings {
         self.arena_safe_sites += other.arena_safe_sites;
         self.arena_bytes_reclaimed += other.arena_bytes_reclaimed;
         self.teardown_uops_saved += other.teardown_uops_saved;
+        self.vm_ops_executed += other.vm_ops_executed;
+        self.vm_fused_ops += other.vm_fused_ops;
+        self.vm_transients_elided += other.vm_transients_elided;
     }
 }
 
@@ -380,6 +391,15 @@ impl Profiler {
         let mut inner = self.inner.borrow_mut();
         inner.savings.arena_bytes_reclaimed += bytes;
         inner.savings.teardown_uops_saved += uops_saved;
+    }
+
+    /// Notes one compiled-VM run: opcodes executed, fused superinstructions
+    /// among them, and transient allocations those superinstructions elided.
+    pub fn note_vm_execution(&self, ops: u64, fused: u64, transients_elided: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.savings.vm_ops_executed += ops;
+        inner.savings.vm_fused_ops += fused;
+        inner.savings.vm_transients_elided += transients_elided;
     }
 
     /// Work skipped thanks to static analysis so far.

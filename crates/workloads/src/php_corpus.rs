@@ -7,10 +7,10 @@
 //! triggers all four lint diagnostics.
 
 use php_interp::ast::{FuncDef, Stmt};
-use php_interp::{parse, AnalysisFacts, Interp, Program};
+use php_interp::{parse, AnalysisFacts, CompileOptions, CompiledUnit, Interp, Program, Vm};
 use php_runtime::array::ArrayKey;
 use php_runtime::value::PhpValue;
-use phpaccel_core::PhpMachine;
+use phpaccel_core::{Engine, PhpMachine};
 use std::sync::Arc;
 
 /// One mini-PHP script in the corpus.
@@ -239,24 +239,39 @@ pub fn apps() -> Vec<&'static str> {
     out
 }
 
+/// Builds the request-variable sample values (`$title`, `$tags`, `$meta`)
+/// on `m` — shared by both engines so the allocations they charge are
+/// identical.
+fn request_var_values(m: &mut PhpMachine) -> Vec<(&'static str, PhpValue)> {
+    let title = PhpValue::from("Corpus & 'Sample' Title");
+    let mut tags = m.new_array();
+    for t in ["  News ", "PHP", " Perf"] {
+        let v = PhpValue::from(t);
+        m.array_push(&mut tags, v);
+    }
+    let mut meta = m.new_array();
+    m.array_set(&mut meta, ArrayKey::from("views"), PhpValue::from(42i64));
+    m.array_set(&mut meta, ArrayKey::from("likes"), PhpValue::from(7i64));
+    vec![
+        ("title", title),
+        ("tags", PhpValue::array(tags)),
+        ("meta", PhpValue::array(meta)),
+    ]
+}
+
 /// Binds the request variables the WordPress page template reads
 /// (`$title`, `$tags`, `$meta`) to fixed sample values.
 pub fn bind_request_vars(interp: &mut Interp<'_>) {
-    interp.set_var_public("title", PhpValue::from("Corpus & 'Sample' Title"));
-    let mut tags = interp.machine().new_array();
-    for t in ["  News ", "PHP", " Perf"] {
-        let v = PhpValue::from(t);
-        interp.machine().array_push(&mut tags, v);
+    for (name, v) in request_var_values(interp.machine()) {
+        interp.set_var_public(name, v);
     }
-    interp.set_var_public("tags", PhpValue::array(tags));
-    let mut meta = interp.machine().new_array();
-    interp
-        .machine()
-        .array_set(&mut meta, ArrayKey::from("views"), PhpValue::from(42i64));
-    interp
-        .machine()
-        .array_set(&mut meta, ArrayKey::from("likes"), PhpValue::from(7i64));
-    interp.set_var_public("meta", PhpValue::array(meta));
+}
+
+/// [`bind_request_vars`] for the compiled-VM engine.
+pub fn bind_request_vars_vm(vm: &mut Vm<'_>) {
+    for (name, v) in request_var_values(vm.machine()) {
+        vm.set_var_public(name, v);
+    }
 }
 
 /// A parsed and analyzed corpus script, ready to run with or without its
@@ -278,6 +293,11 @@ pub struct PreparedScript {
     pub facts: Arc<AnalysisFacts>,
     /// Per-scope statistics and lints.
     pub report: php_analysis::Report,
+    /// Compiled bytecode, one unit per (facts on/off, fusion on/off)
+    /// combination, indexed `[with_facts as usize][fused as usize]`. Shared
+    /// `Arc`s: workers on the VM engine execute cached bytecode the same way
+    /// tree-walking workers execute the cached `Arc<Program>`.
+    vm_units: [[Arc<CompiledUnit>; 2]; 2],
 }
 
 /// Parses and analyzes one corpus entry.
@@ -297,6 +317,21 @@ pub fn prepare(entry: &'static CorpusEntry) -> PreparedScript {
         })
         .collect();
     let analysis = php_analysis::analyze_with_funcs(&program, &shared_funcs);
+    let unit = |facts: Option<&AnalysisFacts>, fuse: bool| {
+        Arc::new(php_interp::compile(
+            &program,
+            &shared_funcs,
+            facts,
+            CompileOptions { fuse },
+        ))
+    };
+    let vm_units = [
+        [unit(None, false), unit(None, true)],
+        [
+            unit(Some(&analysis.facts), false),
+            unit(Some(&analysis.facts), true),
+        ],
+    ];
     // Wrapping after analysis is sound: the move relocates only the `Program`
     // struct itself, while the statement nodes the facts point at live in its
     // heap-allocated `stmts` buffer, whose address is stable.
@@ -306,6 +341,7 @@ pub fn prepare(entry: &'static CorpusEntry) -> PreparedScript {
         shared_funcs,
         facts: Arc::new(analysis.facts),
         report: analysis.report,
+        vm_units,
     }
 }
 
@@ -357,25 +393,54 @@ impl PreparedScript {
         self.entry
     }
 
-    /// Runs the script once on `m` and returns its output. `with_facts`
-    /// attaches the proven facts; either way the shared function instances
-    /// are pre-registered, so the two modes execute identical code.
+    /// The cached bytecode for one (facts, fusion) combination.
+    pub fn vm_unit(&self, with_facts: bool, fused: bool) -> &Arc<CompiledUnit> {
+        &self.vm_units[with_facts as usize][fused as usize]
+    }
+
+    /// Runs the script once on `m` and returns its output, dispatching on
+    /// the machine's configured [`Engine`]: the tree-walker executes the
+    /// cached `Arc<Program>`, the VM the cached (fused) `Arc<CompiledUnit>`.
+    /// `with_facts` selects specialized execution on either engine. Output
+    /// is byte-identical across all four combinations.
     pub fn run(&self, m: &mut PhpMachine, with_facts: bool) -> Vec<u8> {
-        let mut interp = Interp::new(m);
-        interp.predefine_funcs(self.shared_funcs.iter().cloned());
-        if with_facts {
-            interp.set_facts(self.facts.clone());
+        match m.engine() {
+            Engine::TreeWalk => {
+                let mut interp = Interp::new(m);
+                interp.predefine_funcs(self.shared_funcs.iter().cloned());
+                if with_facts {
+                    interp.set_facts(self.facts.clone());
+                }
+                if self.entry.needs_request_vars {
+                    bind_request_vars(&mut interp);
+                }
+                interp.run_program(&self.program).unwrap_or_else(|e| {
+                    panic!(
+                        "corpus script {}/{} fails: {e:?}",
+                        self.entry.app, self.entry.name
+                    )
+                });
+                interp.take_output()
+            }
+            Engine::Vm => self.run_vm(m, with_facts, true),
         }
+    }
+
+    /// Runs the script once on the compiled-VM engine with an explicit
+    /// fusion choice (the benchmark measures fused vs unfused).
+    pub fn run_vm(&self, m: &mut PhpMachine, with_facts: bool, fused: bool) -> Vec<u8> {
+        let unit = Arc::clone(self.vm_unit(with_facts, fused));
+        let mut vm = Vm::new(m, unit);
         if self.entry.needs_request_vars {
-            bind_request_vars(&mut interp);
+            bind_request_vars_vm(&mut vm);
         }
-        interp.run_program(&self.program).unwrap_or_else(|e| {
+        vm.run().unwrap_or_else(|e| {
             panic!(
-                "corpus script {}/{} fails: {e:?}",
+                "corpus script {}/{} fails on vm: {e:?}",
                 self.entry.app, self.entry.name
             )
         });
-        interp.take_output()
+        vm.take_output()
     }
 }
 

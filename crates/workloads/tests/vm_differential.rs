@@ -1,0 +1,395 @@
+//! Cross-engine differential harness: the compiled opcode VM must be
+//! observationally identical to the tree-walking evaluator.
+//!
+//! The VM is only allowed to remove *metered* work — dispatch overhead,
+//! transient intermediates, fact-checked guards. It must never change what
+//! a script prints, which error it raises, or how many heap blocks survive
+//! the request boundary. This harness runs every corpus program and a
+//! family of generated programs through the tree walker and through the VM
+//! (fusion on and off × facts on and off × arena on and off) and demands
+//! byte-identical output plus identical end-of-request live-block counts.
+//!
+//! The pinned tests at the bottom each encode an evaluation-order or
+//! short-circuit rule the differential flushed out while the VM codegen was
+//! being brought into line with the tree walker; they assert the exact
+//! expected bytes so a regression fails with a readable diff rather than a
+//! generated-program dump.
+
+use php_analysis::analyze_with_funcs;
+use php_interp::ast::{FuncDef, Stmt};
+use php_interp::{compile, parse, CompileOptions, Interp, Vm};
+use phpaccel_core::{Engine, PhpMachine};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use workloads::php_corpus;
+
+/// Which execution engine to run a generated source through.
+#[derive(Debug, Clone, Copy)]
+enum Runner {
+    Tree,
+    Vm { fused: bool },
+}
+
+/// Runs `src` on a fresh specialized machine under `runner`, returning the
+/// output bytes and the end-of-request live-block count. Mirrors
+/// `php_corpus::prepare`: function bodies are shared between the analysis
+/// and the engines so facts keyed on node identity stay valid inside them.
+fn run_src_on(src: &str, runner: Runner, with_facts: bool, arena: bool) -> (Vec<u8>, usize) {
+    let program =
+        parse(src).unwrap_or_else(|e| panic!("generated program fails to parse: {e:?}\n{src}"));
+    let shared: Vec<Arc<FuncDef>> = program
+        .stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::FuncDef(f) => Some(Arc::new(f.clone())),
+            _ => None,
+        })
+        .collect();
+    let analysis = analyze_with_funcs(&program, &shared);
+    let facts = Arc::new(analysis.facts);
+    let mut m = PhpMachine::specialized();
+    if arena {
+        m.ctx().set_arena_enabled(true);
+    }
+    let out = match runner {
+        Runner::Tree => {
+            let mut interp = Interp::new(&mut m);
+            interp.predefine_funcs(shared.iter().cloned());
+            if with_facts {
+                interp.set_facts(Arc::clone(&facts));
+            }
+            interp
+                .run_program(&program)
+                .unwrap_or_else(|e| panic!("tree walk fails: {e:?}\n{src}"));
+            interp.take_output()
+        }
+        Runner::Vm { fused } => {
+            let unit = Arc::new(compile(
+                &program,
+                &shared,
+                with_facts.then_some(&*facts),
+                CompileOptions { fuse: fused },
+            ));
+            let mut vm = Vm::new(&mut m, unit);
+            vm.run()
+                .unwrap_or_else(|e| panic!("vm (fused={fused}) fails: {e:?}\n{src}"));
+            vm.take_output()
+        }
+    };
+    m.end_request();
+    let live = m.ctx().with_allocator(|a| a.live_block_count());
+    (out, live)
+}
+
+/// Runs `src` through the tree walker and both VM variants across the full
+/// facts × arena matrix, asserting byte-identical output and identical
+/// end-of-request live blocks everywhere. Returns the (unique) output.
+fn assert_engines_agree(src: &str) -> Vec<u8> {
+    let (reference, _) = run_src_on(src, Runner::Tree, false, false);
+    for with_facts in [false, true] {
+        for arena in [false, true] {
+            let (out_tree, live_tree) = run_src_on(src, Runner::Tree, with_facts, arena);
+            assert_eq!(
+                out_tree, reference,
+                "tree walk (facts={with_facts}, arena={arena}) diverged from itself:\n{src}"
+            );
+            for fused in [false, true] {
+                let (out_vm, live_vm) = run_src_on(src, Runner::Vm { fused }, with_facts, arena);
+                assert_eq!(
+                    out_vm,
+                    out_tree,
+                    "vm (fused={fused}, facts={with_facts}, arena={arena}) changed the output of:\n{src}\n\
+                     tree: {:?}\nvm:   {:?}",
+                    String::from_utf8_lossy(&out_tree),
+                    String::from_utf8_lossy(&out_vm),
+                );
+                assert_eq!(
+                    live_vm, live_tree,
+                    "vm (fused={fused}, facts={with_facts}, arena={arena}) changed live blocks of:\n{src}"
+                );
+            }
+        }
+    }
+    reference
+}
+
+// -- corpus ------------------------------------------------------------------
+
+/// Every corpus program, tree walk vs VM, across facts × fusion × arena.
+/// This is the acceptance gate for the compile pass: the prepared script
+/// caches all four `CompiledUnit` variants, and each must reproduce the
+/// tree walker's bytes and leave the allocator in the same state.
+#[test]
+fn corpus_programs_are_engine_invariant() {
+    for entry in php_corpus::ENTRIES {
+        let p = php_corpus::prepare(entry);
+        for with_facts in [false, true] {
+            for arena in [false, true] {
+                let mut m_tree = PhpMachine::specialized();
+                if arena {
+                    m_tree.ctx().set_arena_enabled(true);
+                }
+                let out_tree = p.run(&mut m_tree, with_facts);
+                m_tree.end_request();
+                let live_tree = m_tree.ctx().with_allocator(|a| a.live_block_count());
+
+                for fused in [false, true] {
+                    let mut m_vm = PhpMachine::specialized();
+                    if arena {
+                        m_vm.ctx().set_arena_enabled(true);
+                    }
+                    let out_vm = p.run_vm(&mut m_vm, with_facts, fused);
+                    m_vm.end_request();
+                    let live_vm = m_vm.ctx().with_allocator(|a| a.live_block_count());
+                    assert_eq!(
+                        out_vm, out_tree,
+                        "{}/{} (facts={with_facts}, fused={fused}, arena={arena}): \
+                         vm changed the output",
+                        entry.app, entry.name
+                    );
+                    assert_eq!(
+                        live_vm, live_tree,
+                        "{}/{} (facts={with_facts}, fused={fused}, arena={arena}): \
+                         vm changed the end-of-request live-block count",
+                        entry.app, entry.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The engine seam itself: a machine switched to [`Engine::Vm`] must make
+/// `PreparedScript::run` — the entry point the server, pool, soak, and
+/// bench all use — produce the same bytes the default tree-walk engine
+/// does, with no caller-side changes.
+#[test]
+fn engine_dispatch_on_machine_is_transparent() {
+    for entry in php_corpus::ENTRIES {
+        let p = php_corpus::prepare(entry);
+        let mut m_tree = PhpMachine::specialized();
+        assert_eq!(m_tree.engine(), Engine::TreeWalk);
+        let out_tree = p.run(&mut m_tree, true);
+
+        let mut m_vm = PhpMachine::specialized();
+        m_vm.set_engine(Engine::Vm);
+        let out_vm = p.run(&mut m_vm, true);
+        assert_eq!(
+            out_vm, out_tree,
+            "{}/{}: Engine::Vm dispatch changed the output",
+            entry.app, entry.name
+        );
+    }
+}
+
+// -- generated programs ------------------------------------------------------
+//
+// Each segment contributes one helper function `segN(..)` plus main-scope
+// statements exercising it. Unlike the facts-differential generator (which
+// targets the interprocedural analyses), these segments target the VM
+// codegen paths where evaluation order is easiest to get wrong: operand
+// order around side-effecting calls, short-circuit evaluation, loop
+// control flow, indexed assignment, and array iteration.
+
+#[derive(Debug, Clone)]
+enum Seg {
+    /// `segN($x) = $x * k + c`, called with literal `a`.
+    Arith { k: i64, c: i64, a: i64 },
+    /// Appends a tag to a global log and returns `v` — the probe other
+    /// segments use to observe evaluation order.
+    Probe { v: i64 },
+    /// A `for` loop with `continue` on multiples of `skip` and `break`
+    /// past `stop`.
+    Loop { n: i64, skip: i64, stop: i64 },
+    /// Builds an array with literal and computed keys, writes through a
+    /// probed index, and reads it back.
+    Index { base: i64 },
+    /// `&&` / `||` chains whose right-hand sides are probed calls: the
+    /// log shows exactly which operands were evaluated.
+    Short { a: i64, b: i64 },
+    /// Ternary and elvis over probed operands.
+    Cond { c: i64 },
+    /// A foreach over a literal array concatenating key:value pairs.
+    Each { len: usize },
+}
+
+fn seg_strategy() -> impl Strategy<Value = Seg> {
+    prop_oneof![
+        (1i64..9, 0i64..50, 0i64..60).prop_map(|(k, c, a)| Seg::Arith { k, c, a }),
+        (0i64..40).prop_map(|v| Seg::Probe { v }),
+        (1i64..12, 2i64..5, 1i64..10).prop_map(|(n, skip, stop)| Seg::Loop { n, skip, stop }),
+        (0i64..30).prop_map(|base| Seg::Index { base }),
+        (0i64..3, 0i64..3).prop_map(|(a, b)| Seg::Short { a, b }),
+        (0i64..4).prop_map(|c| Seg::Cond { c }),
+        (1usize..5).prop_map(|len| Seg::Each { len }),
+    ]
+}
+
+/// Renders the segments into one mini-PHP source: helper functions first,
+/// then the main-scope driver. Every program starts a `$log` global so the
+/// probe segments can record evaluation order into the output.
+fn render(segs: &[Seg]) -> String {
+    let mut funcs = String::new();
+    let mut main = String::from("$log = '';\n");
+    for (i, seg) in segs.iter().enumerate() {
+        match seg {
+            Seg::Arith { k, c, a } => {
+                let _ = writeln!(funcs, "function seg{i}($x) {{ return $x * {k} + {c}; }}");
+                let _ = writeln!(main, "echo 'a{i}:', seg{i}({a}), ';';");
+            }
+            Seg::Probe { v } => {
+                let _ = writeln!(
+                    funcs,
+                    "function seg{i}($x) {{ global $log; $log = $log . 'p{i}'; return $x + {v}; }}"
+                );
+                let _ = writeln!(main, "echo 'p{i}:', seg{i}({v}), ';';");
+            }
+            Seg::Loop { n, skip, stop } => {
+                let _ = writeln!(
+                    funcs,
+                    "function seg{i}($n) {{ $acc = ''; \
+                     for ($j = 0; $j < $n; $j = $j + 1) {{ \
+                     if ($j % {skip} == 0) {{ continue; }} \
+                     if ($j > {stop}) {{ break; }} \
+                     $acc = $acc . $j; }} return $acc; }}"
+                );
+                let _ = writeln!(main, "echo 'l{i}:', seg{i}({n}), ';';");
+            }
+            Seg::Index { base } => {
+                let _ = writeln!(
+                    funcs,
+                    "function seg{i}($x) {{ global $log; $log = $log . 'i{i}'; return $x; }}"
+                );
+                let _ = writeln!(
+                    main,
+                    "$arr{i} = array('k' => {base}, 1, 2); \
+                     $arr{i}[seg{i}(0)] = seg{i}(7) + 1; \
+                     echo 'x{i}:', $arr{i}[0], $arr{i}['k'], ';';"
+                );
+            }
+            Seg::Short { a, b } => {
+                let _ = writeln!(
+                    funcs,
+                    "function seg{i}($x) {{ global $log; $log = $log . 's{i}'; return $x; }}"
+                );
+                let _ = writeln!(
+                    main,
+                    "$u{i} = {a} && seg{i}(1); $v{i} = {b} || seg{i}(0); \
+                     echo 'b{i}:', $u{i} ? 'T' : 'F', $v{i} ? 'T' : 'F', ';';"
+                );
+            }
+            Seg::Cond { c } => {
+                let _ = writeln!(
+                    funcs,
+                    "function seg{i}($x) {{ global $log; $log = $log . 'c{i}'; return $x; }}"
+                );
+                let _ = writeln!(
+                    main,
+                    "echo 'q{i}:', {c} ? seg{i}(1) : seg{i}(2), ';', seg{i}({c}) ?: 9, ';';"
+                );
+            }
+            Seg::Each { len } => {
+                let items: Vec<String> = (0..*len).map(|j| format!("'v{j}'")).collect();
+                let _ = writeln!(
+                    funcs,
+                    "function seg{i}($a) {{ $s = ''; foreach ($a as $k => $v) \
+                     {{ $s = $s . $k . ':' . $v . ','; }} return $s; }}"
+                );
+                let _ = writeln!(
+                    main,
+                    "echo 'e{i}:', seg{i}(array({})), ';';",
+                    items.join(", ")
+                );
+            }
+        }
+    }
+    main.push_str("echo 'log:', $log;\n");
+    format!("{funcs}{main}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn generated_programs_are_engine_invariant(
+        segs in prop::collection::vec(seg_strategy(), 1..6),
+    ) {
+        let src = render(&segs);
+        // assert_engines_agree covers the full facts × fusion × arena matrix.
+        assert_engines_agree(&src);
+    }
+}
+
+// -- pinned evaluation-order regressions -------------------------------------
+
+/// Indexed assignment evaluates the assigned *value* before the base is
+/// loaded or the key is evaluated. A VM that naively emits base, key, value
+/// in syntactic order logs "KV" here and reads a stale global.
+#[test]
+fn pinned_indexed_assign_value_before_base_and_key() {
+    let src = "function v() { global $log; $log = $log . 'V'; return 7; }\n\
+               function k() { global $log; $log = $log . 'K'; return 1; }\n\
+               $log = '';\n\
+               $a = array(0, 0);\n\
+               $a[k()] = v();\n\
+               echo $log, ':', $a[1];";
+    assert_eq!(assert_engines_agree(src), b"VK:7");
+}
+
+/// Array-literal entries evaluate the value before the key, entry by entry.
+#[test]
+fn pinned_array_literal_value_before_key() {
+    let src = "function v() { global $log; $log = $log . 'V'; return 'x'; }\n\
+               function k() { global $log; $log = $log . 'K'; return 'kk'; }\n\
+               $log = '';\n\
+               $a = array(k() => v(), 1 => 'y');\n\
+               echo $log, ':', $a['kk'], $a[1];";
+    assert_eq!(assert_engines_agree(src), b"VK:xy");
+}
+
+/// `?:` (elvis) returns the *condition's value* when truthy — not a
+/// re-evaluation, not a bool — and never touches the fallback.
+#[test]
+fn pinned_elvis_returns_condition_and_skips_fallback() {
+    let src = "function f() { global $log; $log = $log . 'F'; return 'fb'; }\n\
+               function c() { global $log; $log = $log . 'C'; return 'hi'; }\n\
+               $log = '';\n\
+               echo c() ?: f(), ':', $log;";
+    assert_eq!(assert_engines_agree(src), b"hi:C");
+}
+
+/// `&&` and `||` short-circuit: the right operand must not run when the
+/// left decides the result, and the result is a bool either way.
+#[test]
+fn pinned_and_or_short_circuit_and_return_bool() {
+    let src = "function t() { global $log; $log = $log . 'T'; return 1; }\n\
+               $log = '';\n\
+               $a = 0 && t();\n\
+               $b = 1 || t();\n\
+               $c = 1 && t();\n\
+               echo $log, ':', $a ? 'y' : 'n', $b ? 'y' : 'n', $c ? 'y' : 'n';";
+    assert_eq!(assert_engines_agree(src), b"T:nyy");
+}
+
+/// Division by zero emits its warning *into the output stream* at the point
+/// of evaluation — fused echo paths must preserve the interleaving.
+#[test]
+fn pinned_div_by_zero_warning_interleaves_with_echo() {
+    let src = "echo 'before;';\n\
+               echo 10 % 0 ? 'y' : 'n';\n\
+               echo ';after';";
+    assert_eq!(
+        assert_engines_agree(src),
+        b"before;Warning: Division by zero\nn;after"
+    );
+}
+
+/// String concatenation evaluates left-to-right even when fusion flattens
+/// the tree into one `ConcatN` superinstruction.
+#[test]
+fn pinned_concat_chain_evaluates_left_to_right() {
+    let src = "function p($t) { global $log; $log = $log . $t; return $t; }\n\
+               $log = '';\n\
+               echo p('a') . p('b') . p('c') . p('d'), ':', $log;";
+    assert_eq!(assert_engines_agree(src), b"abcd:abcd");
+}

@@ -38,6 +38,12 @@ scripts/soak.sh
 echo "== arena-epoch soak smoke (4 workers) =="
 scripts/soak.sh --workers 4 --arena 20170613
 
+echo "== compiled-VM soak smoke (4 workers, engine=vm) =="
+# Primaries execute compiled opcodes, references tree-walk the same source:
+# the byte-identity replay is a cross-engine differential under fault
+# injection.
+scripts/soak.sh --workers 4 --engine vm 20170613
+
 echo "== serve bench smoke (release) =="
 cargo build --release -q -p bench --bin serve_bench
 ./target/release/serve_bench --smoke --out target/BENCH_serve_smoke.json
@@ -70,6 +76,25 @@ for r in doc["runs"]:
     assert r["arena_bytes_reclaimed"] > 0, r["workers"]
     assert r["elapsed_uops_arena"] < r["elapsed_uops_free_list"], r["workers"]
 print("BENCH_alloc_smoke.json is valid")
+EOF
+
+echo "== vm bench smoke (release) =="
+cargo build --release -q -p bench --bin vm_bench
+./target/release/vm_bench --smoke --out target/BENCH_vm_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/BENCH_vm_smoke.json") as f:
+    doc = json.load(f)
+assert doc["mismatches"] == 0, doc["mismatches"]
+assert doc["reduction_pct_at_1_worker"] >= 25.0, doc["reduction_pct_at_1_worker"]
+assert doc["fusion_delta_pct_at_1_worker"] > 0, doc["fusion_delta_pct_at_1_worker"]
+assert len(doc["runs"]) == 4 and [r["workers"] for r in doc["runs"]] == [1, 2, 4, 8]
+for r in doc["runs"]:
+    assert r["ok"] == r["requests"], (r["workers"], r["ok"])
+    assert r["replay_mismatches"] == 0, r["workers"]
+    assert r["elapsed_uops_vm_fused"] < r["elapsed_uops_vm"] < r["elapsed_uops_tree"], r["workers"]
+    assert r["vm_ops_executed"] > 0 and r["vm_fused_ops"] > 0, r["workers"]
+print("BENCH_vm_smoke.json is valid")
 EOF
 
 echo "All checks passed."

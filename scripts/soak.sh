@@ -3,17 +3,21 @@
 # availability and byte-identity required. Exits nonzero on any regression.
 # Response bodies are dropped inside the soak binary (keep_bodies = false),
 # so long seed lists run in bounded memory.
-# Usage: scripts/soak.sh [--workers N] [--arena] [seed ...]
+# Usage: scripts/soak.sh [--workers N] [--arena] [--engine tree|vm] [seed ...]
 #   --workers N  run each seed through an N-worker pool (threaded mode)
 #   --arena      arena/epoch allocation for the request-scoped heap churn
 #                (reference machines stay on free lists, so replay
 #                cross-checks the two allocators under fault injection)
+#   --engine E   additionally run one corpus script per request on engine E
+#                (vm = compiled opcode VM; references stay on the tree
+#                walker, so replay is a cross-engine differential)
 #   default: a fixed seed set, single worker plus a 4-worker pool pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workers=1
 arena=()
+engine=()
 seeds=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -24,6 +28,10 @@ while [ $# -gt 0 ]; do
     --arena)
       arena=(--arena)
       shift
+      ;;
+    --engine)
+      engine=(--engine "$2")
+      shift 2
       ;;
     *)
       seeds+=("$1")
@@ -42,18 +50,18 @@ cargo build --release -q -p bench --bin soak
 
 for seed in "${seeds[@]}"; do
   if [ "$workers" -gt 1 ]; then
-    echo "== soak seed $seed ($workers workers${arena:+, arena}) =="
-    ./target/release/soak "$seed" --workers "$workers" ${arena[@]+"${arena[@]}"}
+    echo "== soak seed $seed ($workers workers${arena:+, arena}${engine:+, engine ${engine[1]}}) =="
+    ./target/release/soak "$seed" --workers "$workers" ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
   else
-    echo "== soak seed $seed${arena:+ (arena)} =="
-    ./target/release/soak "$seed" ${arena[@]+"${arena[@]}"}
+    echo "== soak seed $seed${arena:+ (arena)}${engine:+ (engine ${engine[1]})} =="
+    ./target/release/soak "$seed" ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
   fi
 done
 
 # With the default seed set, also exercise the threaded pool once.
 if [ "$workers" -eq 1 ] && [ "$default_seeds" -eq 1 ]; then
-  echo "== soak seed ${seeds[0]} (4 workers${arena:+, arena}) =="
-  ./target/release/soak "${seeds[0]}" --workers 4 ${arena[@]+"${arena[@]}"}
+  echo "== soak seed ${seeds[0]} (4 workers${arena:+, arena}${engine:+, engine ${engine[1]}}) =="
+  ./target/release/soak "${seeds[0]}" --workers 4 ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
 fi
 
-echo "Soak passed for seeds: ${seeds[*]} (workers: $workers${arena:+, arena})"
+echo "Soak passed for seeds: ${seeds[*]} (workers: $workers${arena:+, arena}${engine:+, engine ${engine[1]}})"
