@@ -23,7 +23,19 @@
 //! (`keep_bodies = false`) so long soaks run in bounded memory; outcomes,
 //! byte-identity replay, and fault deltas are computed before the drop.
 //!
-//! Usage: `soak [seed] [--workers N] [--arena] [--engine tree|vm]`
+//! With `--shed --shape S` the same fault-injected request mix is driven
+//! through the overload simulator instead: arrivals follow shape `S`
+//! (`steady|diurnal|burst|flash-crowd`) at ~2× the calibrated capacity, a
+//! deadline-aware admission controller sheds what would miss the latency
+//! budget, and the pass criteria become the overload-survival contract —
+//! shedding happened, every *admitted* request succeeded (except the
+//! planned OOM kills), replay stayed byte-identical, and every breaker
+//! still tripped and recovered. Machines are not reset between requests
+//! here either, and `--workers N` selects the *simulated* worker count
+//! draining the queue (execution stays single-threaded and deterministic).
+//!
+//! Usage: `soak [seed] [--workers N] [--arena] [--engine tree|vm]
+//! [--shed] [--shape steady|diurnal|burst|flash-crowd]`
 //! (default seed 20170613, 1 worker). `--arena` enables the allocator's
 //! arena/epoch mode on every primary machine and routes the request-scoped
 //! heap churn through the arena-safe entry point — the reference machines
@@ -39,12 +51,14 @@ use php_runtime::{ArrayKey, PhpArray, PhpStr, PhpValue};
 use phpaccel_core::{AccelId, Engine, PhpMachine};
 use regex_engine::Regex;
 use serve::{
-    BreakerConfig, BreakerState, FaultKind, FaultPlan, PlannedFault, PoolConfig, RequestOutcome,
-    SandboxConfig, Server, WorkerPool,
+    AdmissionConfig, AdmissionController, BreakerConfig, BreakerState, FaultKind, FaultPlan,
+    OverloadConfig, OverloadSim, PlannedFault, PoolConfig, RequestOutcome, SandboxConfig, Server,
+    WorkerPool,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
 use workloads::php_corpus::CorpusCache;
+use workloads::{ArrivalConfig, ArrivalShape};
 
 const TOTAL_REQUESTS: u64 = 300;
 const BURN_IN: u64 = 20;
@@ -192,6 +206,8 @@ fn main() {
     let mut seed: u64 = 20_170_613;
     let mut arena = false;
     let mut engine: Option<Engine> = None;
+    let mut shed = false;
+    let mut shape = ArrivalShape::Steady;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--workers" {
@@ -207,11 +223,23 @@ fn main() {
                 Some("vm") => Engine::Vm,
                 other => panic!("--engine takes 'tree' or 'vm', got {other:?}"),
             });
+        } else if a == "--shed" {
+            shed = true;
+        } else if a == "--shape" {
+            let name = it.next().expect("--shape takes an arrival shape name");
+            shape = ArrivalShape::parse(name).unwrap_or_else(|| {
+                panic!("unknown arrival shape {name:?} (steady|diurnal|burst|flash-crowd)")
+            });
         } else {
             seed = a.parse().expect("seed must be an integer");
         }
     }
     let scripts = engine.map(|_| Arc::new(CorpusCache::build()));
+
+    if shed {
+        run_overload(seed, workers, arena, engine, scripts, shape);
+        return;
+    }
 
     if workers > 1 {
         run_pool(seed, workers, arena, engine, scripts);
@@ -327,6 +355,191 @@ fn main() {
 
     if failures.is_empty() {
         println!("SOAK PASS: all requests served, all breakers tripped and recovered, output byte-identical");
+    } else {
+        for f in &failures {
+            println!("SOAK FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The overload soak: the same fault-injected request mix pushed through
+/// the admission-controlled queue at ~2× calibrated capacity with a shaped
+/// arrival schedule. Machines are not reset between requests (faults land
+/// in live state); `workers` is the *simulated* drain capacity.
+fn run_overload(
+    seed: u64,
+    workers: usize,
+    arena: bool,
+    engine: Option<Engine>,
+    scripts: Option<Arc<CorpusCache>>,
+    shape: ArrivalShape,
+) {
+    let make_machine = || {
+        let mut m = PhpMachine::specialized();
+        if let Some(e) = engine {
+            m.set_engine(e);
+        }
+        if arena {
+            m.ctx().set_arena_enabled(true);
+        }
+        m
+    };
+
+    // Calibrate steady-state service cost of the soak mix (no faults, warm
+    // requests only) to scale the arrival gaps and the latency budget.
+    let (mean, smax) = {
+        let mut server = Server::new(make_machine(), breaker_cfg(), sandbox());
+        let mut app = SoakApp::new(arena, scripts.clone());
+        let mut h = |m: &mut PhpMachine, req: u64| app.handle(m, req);
+        let (mut total, mut max, mut n) = (0u64, 0u64, 0u64);
+        for i in 0..12u64 {
+            let before = server.machine().ctx().profiler().total_uops();
+            server.serve(&mut h);
+            let after = server.machine().ctx().profiler().total_uops();
+            if i >= 2 {
+                let s = after - before;
+                total += s;
+                max = max.max(s);
+                n += 1;
+            }
+        }
+        (total / n.max(1), max)
+    };
+
+    let plan = build_plan(seed, 4);
+    let planned = plan.all().len();
+    let server = Server::new(make_machine(), breaker_cfg(), sandbox())
+        .with_fault_plan(plan)
+        .with_reference(PhpMachine::baseline())
+        .with_keep_bodies(false);
+    // The budget tolerates a short queue above the conservative service
+    // envelope; faults degrade requests to the software path, so leave
+    // more headroom than the deterministic bench does.
+    let budget = (6 * mean).max(3 * smax);
+    let controller = AdmissionController::new(AdmissionConfig {
+        budget_uops: budget,
+        queue_capacity: 4 * workers,
+        release_ratio: 0.5,
+        service_prior_uops: smax,
+    });
+    // Warmup indices 0..8 stay below the fault burn-in (20), so the fault
+    // schedule lands entirely in the measured arrival stream.
+    let warmup = 8usize;
+    let mut sim = OverloadSim::new(
+        OverloadConfig {
+            workers,
+            warmup,
+            slo_windows: 10,
+            reset_between_requests: false,
+        },
+        server,
+        controller,
+    );
+    // ~2× offered load on average; the shape modulates the instantaneous
+    // rate around that (flash-crowd spikes to ~10×).
+    let schedule = ArrivalConfig {
+        shape,
+        requests: (TOTAL_REQUESTS - warmup as u64) as usize,
+        mean_gap_uops: (mean / (2 * workers as u64)).max(1),
+        seed,
+    }
+    .times();
+
+    let mut app = SoakApp::new(arena, scripts);
+    let mut handler = |m: &mut PhpMachine, req: u64| app.handle(m, req);
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = sim.run(&schedule, &mut handler);
+    let _ = std::panic::take_hook();
+
+    let stats = &report.stats;
+    let admitted = stats.requests - stats.shed;
+    println!(
+        "== soak: overload survival (seed {seed}, shape {}, {workers} simulated workers) ==",
+        shape.name()
+    );
+    println!(
+        "arrivals {}  admitted {}  shed {} ({:.1}%)  ok {}  ooms {}  planned faults {}",
+        stats.requests,
+        admitted,
+        stats.shed,
+        report.shed_fraction() * 100.0,
+        stats.ok,
+        stats.ooms,
+        planned
+    );
+    println!(
+        "admitted availability {:.2}%  SLO attainment {:.3}  p50 {}  p99 {} uops (budget {budget})",
+        stats.availability() * 100.0,
+        report.slo_attainment(),
+        report.latency_percentile(50.0),
+        report.latency_percentile(99.0),
+    );
+    println!(
+        "admission: engages {}  releases {}  shed over-budget {}  shed queue-full {}  \
+         min window attainment {:.3}",
+        report.admission.engages,
+        report.admission.releases,
+        report.admission.shed_over_budget,
+        report.admission.shed_queue_full,
+        report
+            .windows
+            .iter()
+            .map(|w| w.attainment())
+            .fold(f64::INFINITY, f64::min)
+    );
+
+    let mut failures = Vec::new();
+    if stats.shed == 0 {
+        failures.push("2x offered load never shed anything".to_string());
+    }
+    if !stats.outcomes_partition_requests() {
+        failures.push("outcome counters do not partition the arrivals".into());
+    }
+    if stats.mismatches != 0 {
+        failures.push(format!(
+            "{} degraded responses differed from baseline",
+            stats.mismatches
+        ));
+    }
+    // Every admitted request must succeed except the planned OOM kills
+    // (shed arrivals postpone a due fault to the next *admitted* request,
+    // so both OOMs still land).
+    if stats.ooms != OOM_REQUESTS.len() as u64 {
+        failures.push(format!(
+            "planned OOM kills: {} landed, expected {}",
+            stats.ooms,
+            OOM_REQUESTS.len()
+        ));
+    }
+    if stats.ok + stats.ooms != admitted {
+        failures.push(format!(
+            "admitted requests must all serve or OOM-kill: ok {} + ooms {} != admitted {admitted}",
+            stats.ok, stats.ooms
+        ));
+    }
+    let detected = sim.server().machine().detected_fault_counts();
+    for id in AccelId::ALL {
+        let b = sim.server().breaker(id);
+        if detected[id.index()] == 0 {
+            failures.push(format!("{}: no faults detected under shedding", id.name()));
+        }
+        if b.trips == 0 {
+            failures.push(format!("{}: breaker never tripped", id.name()));
+        }
+        if b.recoveries == 0 {
+            failures.push(format!("{}: breaker never recovered", id.name()));
+        }
+        if b.state() != BreakerState::Closed {
+            failures.push(format!("{}: breaker not closed at end", id.name()));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "SOAK PASS (overload): shed early, admitted requests all served, \
+             breakers recovered, output byte-identical"
+        );
     } else {
         for f in &failures {
             println!("SOAK FAIL: {f}");

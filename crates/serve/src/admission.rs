@@ -1,0 +1,280 @@
+//! Deadline-aware admission control with hysteresis.
+//!
+//! Overloaded servers fail badly by default: every request is accepted,
+//! queues grow without bound, and *all* requests blow their latency budget
+//! — a timeout storm. The fix (ROADMAP item 4, following the bounded-queue
+//! layering of the `tokio_php` exemplar) is to refuse work at the front
+//! door while refusal is still cheap: each arrival carries a deadline
+//! (arrival time + latency budget), and the controller sheds it when the
+//! *predicted* queue wait plus a conservative service estimate would miss
+//! that deadline.
+//!
+//! Two refinements make this production-shaped rather than a bare
+//! threshold:
+//!
+//! * **Hysteresis.** Shedding engages when predicted latency exceeds the
+//!   full budget and releases only once it falls below a lower watermark
+//!   (`release_ratio · budget`). Without the band, the controller would
+//!   flip admit/shed on every arrival as the queue hovers at the boundary.
+//! * **A conservative service estimate.** The controller tracks the
+//!   *maximum* observed service time (seeded with a calibration prior), so
+//!   "predicted wait + estimate ≤ budget" genuinely implies the admitted
+//!   request meets its deadline whenever its service time stays within the
+//!   observed envelope — which is what makes the overload bench's
+//!   "admitted p99 within budget" assertion provable rather than lucky.
+//!
+//! The controller is pure bookkeeping over integers (simulated µops): no
+//! clocks, no randomness — byte-identical replays of an arrival schedule
+//! make byte-identical decisions.
+
+/// Admission-control parameters. All times are simulated µops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Per-request latency budget: an arrival's deadline is
+    /// `arrival + budget_uops`.
+    pub budget_uops: u64,
+    /// Maximum admitted-but-not-yet-started requests; arrivals beyond it
+    /// are shed outright ([`ShedCause::QueueFull`]).
+    pub queue_capacity: usize,
+    /// Hysteresis low watermark as a fraction of the budget: once engaged,
+    /// shedding releases only when predicted latency falls to
+    /// `release_ratio · budget_uops`.
+    pub release_ratio: f64,
+    /// Initial conservative per-request service estimate (a calibration
+    /// prior); the controller only ever raises it to observed maxima.
+    pub service_prior_uops: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            budget_uops: 1_000_000,
+            queue_capacity: 64,
+            release_ratio: 0.5,
+            service_prior_uops: 50_000,
+        }
+    }
+}
+
+/// Why an arrival was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// Predicted wait + conservative service estimate exceeded the budget
+    /// (or shedding was engaged and had not yet released).
+    OverBudget,
+    /// The bounded admission queue was at capacity.
+    QueueFull,
+}
+
+/// The controller's verdict on one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Hand the request to a worker.
+    Admit,
+    /// Refuse it with a 503 ([`crate::RequestOutcome::Shed`]).
+    Shed(ShedCause),
+}
+
+/// Aggregate controller counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Arrivals evaluated.
+    pub considered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals shed for predicted deadline misses.
+    pub shed_over_budget: u64,
+    /// Arrivals shed because the queue was full.
+    pub shed_queue_full: u64,
+    /// Times shedding engaged (admit → shed transition).
+    pub engages: u64,
+    /// Times shedding released (shed → admit transition).
+    pub releases: u64,
+}
+
+/// Deadline-aware admission controller with hysteresis (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    cfg: AdmissionConfig,
+    /// Conservative per-request service envelope: max(prior, observed).
+    service_max_uops: u64,
+    /// Hysteresis state: whether shedding is currently engaged.
+    shedding: bool,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// Creates a controller in the admitting state.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        assert!(cfg.budget_uops > 0, "latency budget must be positive");
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        assert!(
+            (0.0..=1.0).contains(&cfg.release_ratio),
+            "release ratio must be a fraction of the budget"
+        );
+        AdmissionController {
+            service_max_uops: cfg.service_prior_uops,
+            shedding: false,
+            cfg,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// The configuration the controller was built with.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Whether shedding is currently engaged.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Current conservative per-request service envelope in µops.
+    pub fn service_envelope_uops(&self) -> u64 {
+        self.service_max_uops
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Decides one arrival given the predicted queue wait (time until a
+    /// worker frees up) and the current admitted-but-unstarted queue depth.
+    pub fn decide(&mut self, predicted_wait_uops: u64, queue_depth: usize) -> AdmissionDecision {
+        self.stats.considered += 1;
+
+        // A full queue sheds unconditionally but does *not* flip the
+        // hysteresis state: capacity is a hard resource bound, not a
+        // deadline prediction, and must not cause admit/shed flapping.
+        if queue_depth >= self.cfg.queue_capacity {
+            self.stats.shed_queue_full += 1;
+            return AdmissionDecision::Shed(ShedCause::QueueFull);
+        }
+
+        let predicted_latency = predicted_wait_uops.saturating_add(self.service_max_uops);
+        let release_at = (self.cfg.budget_uops as f64 * self.cfg.release_ratio) as u64;
+        if self.shedding {
+            // Release at the low watermark — or whenever the queue has
+            // fully drained. The drain escape matters when the service
+            // envelope alone exceeds the watermark (e.g. after one
+            // pathologically slow request): without it the controller
+            // could wedge in the shedding state forever on an idle system.
+            if predicted_latency <= release_at || predicted_wait_uops == 0 {
+                self.shedding = false;
+                self.stats.releases += 1;
+                self.stats.admitted += 1;
+                AdmissionDecision::Admit
+            } else {
+                self.stats.shed_over_budget += 1;
+                AdmissionDecision::Shed(ShedCause::OverBudget)
+            }
+        } else if predicted_latency > self.cfg.budget_uops {
+            self.shedding = true;
+            self.stats.engages += 1;
+            self.stats.shed_over_budget += 1;
+            AdmissionDecision::Shed(ShedCause::OverBudget)
+        } else {
+            self.stats.admitted += 1;
+            AdmissionDecision::Admit
+        }
+    }
+
+    /// Feeds back an admitted request's measured service time; the envelope
+    /// only ever grows, keeping the admit condition conservative.
+    pub fn observe_service(&mut self, service_uops: u64) {
+        self.service_max_uops = self.service_max_uops.max(service_uops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            budget_uops: 1_000,
+            queue_capacity: 4,
+            release_ratio: 0.5,
+            service_prior_uops: 100,
+        }
+    }
+
+    #[test]
+    fn admits_under_budget_and_sheds_over_it() {
+        let mut c = AdmissionController::new(cfg());
+        // wait 100 + envelope 100 = 200 ≤ 1000 → admit.
+        assert_eq!(c.decide(100, 0), AdmissionDecision::Admit);
+        assert!(!c.is_shedding());
+        // wait 950 + envelope 100 = 1050 > 1000 → engage shedding.
+        assert_eq!(
+            c.decide(950, 0),
+            AdmissionDecision::Shed(ShedCause::OverBudget)
+        );
+        assert!(c.is_shedding());
+        assert_eq!(c.stats().engages, 1);
+    }
+
+    #[test]
+    fn hysteresis_holds_until_the_low_watermark() {
+        let mut c = AdmissionController::new(cfg());
+        assert_eq!(
+            c.decide(1_000, 0),
+            AdmissionDecision::Shed(ShedCause::OverBudget)
+        );
+        // Back under the budget (700 + 100 = 800 ≤ 1000) but still above
+        // the release watermark (500): keep shedding — no flapping.
+        assert_eq!(
+            c.decide(700, 0),
+            AdmissionDecision::Shed(ShedCause::OverBudget)
+        );
+        assert!(c.is_shedding());
+        // At or below the watermark (300 + 100 = 400 ≤ 500): release.
+        assert_eq!(c.decide(300, 0), AdmissionDecision::Admit);
+        assert!(!c.is_shedding());
+        assert_eq!(c.stats().releases, 1);
+        assert_eq!(c.stats().engages, 1);
+    }
+
+    #[test]
+    fn queue_full_sheds_without_flipping_hysteresis() {
+        let mut c = AdmissionController::new(cfg());
+        assert_eq!(
+            c.decide(0, 4),
+            AdmissionDecision::Shed(ShedCause::QueueFull)
+        );
+        assert!(!c.is_shedding(), "capacity sheds are not deadline sheds");
+        assert_eq!(c.stats().shed_queue_full, 1);
+        assert_eq!(c.stats().engages, 0);
+        // The very next arrival with room is admitted.
+        assert_eq!(c.decide(0, 3), AdmissionDecision::Admit);
+    }
+
+    #[test]
+    fn service_envelope_is_monotone_and_tightens_admission() {
+        let mut c = AdmissionController::new(cfg());
+        c.observe_service(600);
+        c.observe_service(200); // smaller observation must not shrink it
+        assert_eq!(c.service_envelope_uops(), 600);
+        // wait 500 + envelope 600 = 1100 > 1000 → shed, where the prior
+        // alone (100) would have admitted.
+        assert_eq!(
+            c.decide(500, 0),
+            AdmissionDecision::Shed(ShedCause::OverBudget)
+        );
+    }
+
+    #[test]
+    fn stats_partition_considered_arrivals() {
+        let mut c = AdmissionController::new(cfg());
+        for (wait, depth) in [(0, 0), (2_000, 0), (0, 4), (100, 0), (0, 0)] {
+            c.decide(wait, depth);
+        }
+        let s = c.stats();
+        assert_eq!(
+            s.admitted + s.shed_over_budget + s.shed_queue_full,
+            s.considered
+        );
+    }
+}

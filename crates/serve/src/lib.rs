@@ -21,19 +21,34 @@
 //!   workers, each with a private machine (per-core accelerator state), its
 //!   own fault-plan slice, and its own breakers; pool statistics are the
 //!   lossless sum of the workers'.
+//! * **Admission control** ([`admission`]) and **the overload simulator**
+//!   ([`overload`]): a bounded queue in front of the workers whose
+//!   controller sheds arrivals ([`RequestOutcome::Shed`], 503) when the
+//!   predicted queue wait would blow the latency budget — with hysteresis —
+//!   so offered load above capacity degrades gracefully instead of
+//!   timeout-storming; [`ServeStats`] carries the queue-depth/wait/latency
+//!   histograms ([`hist`]) and shed counters this produces.
 
+pub mod admission;
 pub mod breaker;
 pub mod fault;
+pub mod hist;
 pub mod lintgate;
 pub mod outcome;
+pub mod overload;
 pub mod pool;
 pub mod sandbox;
 pub mod server;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionStats, ShedCause,
+};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultKind, FaultPlan, PlannedFault};
+pub use hist::Histogram;
 pub use lintgate::{GateRejection, GateStats, LintGate, LintGateConfig};
 pub use outcome::{classify_panic, RequestOutcome};
+pub use overload::{OverloadConfig, OverloadRecord, OverloadReport, OverloadSim, SloWindow};
 pub use pool::{PoolConfig, PoolReport, WorkerPool, WorkerReport};
 pub use sandbox::{run_sandboxed, SandboxConfig};
 pub use server::{RequestRecord, ServeStats, Server};

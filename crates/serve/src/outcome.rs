@@ -16,6 +16,10 @@ pub enum RequestOutcome {
         /// The panic message.
         message: String,
     },
+    /// The admission controller refused the request before it reached a
+    /// worker (overload protection). The machine never ran it: shedding is
+    /// deliberate back-pressure, not a failure of the serving stack.
+    Shed,
 }
 
 impl RequestOutcome {
@@ -24,10 +28,18 @@ impl RequestOutcome {
         matches!(self, RequestOutcome::Ok)
     }
 
+    /// Whether the request was refused by admission control (it never ran).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, RequestOutcome::Shed)
+    }
+
     /// HTTP-style status code the outcome maps to.
     pub fn status_code(&self) -> u16 {
         match self {
             RequestOutcome::Ok => 200,
+            // "Service Unavailable": the canonical please-retry-later
+            // response of a load-shedding front end.
+            RequestOutcome::Shed => 503,
             RequestOutcome::Timeout => 504,
             RequestOutcome::OomKilled | RequestOutcome::Panicked { .. } => 500,
         }
@@ -79,5 +91,8 @@ mod tests {
         assert_eq!(p.status_code(), 500);
         assert_eq!(RequestOutcome::Ok.status_code(), 200);
         assert_eq!(RequestOutcome::Timeout.status_code(), 504);
+        assert_eq!(RequestOutcome::Shed.status_code(), 503);
+        assert!(RequestOutcome::Shed.is_shed());
+        assert!(!RequestOutcome::Shed.is_ok());
     }
 }

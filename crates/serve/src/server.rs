@@ -10,6 +10,7 @@
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::hist::Histogram;
 use crate::outcome::RequestOutcome;
 use crate::sandbox::{run_sandboxed, SandboxConfig};
 use phpaccel_core::{AccelId, PhpMachine};
@@ -33,47 +34,76 @@ pub struct ServeStats {
     pub ooms: u64,
     /// Requests that panicked for other reasons.
     pub panics: u64,
+    /// Requests refused by admission control before reaching a worker.
+    pub shed: u64,
     /// Requests served with the given domain degraded to software.
     pub degraded_requests: [u64; 4],
     /// Successful responses whose bytes differed from the all-software
     /// reference (must stay 0).
     pub mismatches: u64,
+    /// Admission-queue depth observed at each arrival (admitted or shed).
+    /// Populated only by the overload layer; empty in plain serving.
+    pub queue_depth: Histogram,
+    /// Queue wait of each admitted request, in simulated µops.
+    pub queue_wait: Histogram,
+    /// End-to-end latency (queue wait + service) of each admitted request,
+    /// in simulated µops.
+    pub latency: Histogram,
 }
 
 impl ServeStats {
-    /// Fraction of requests that completed normally, in [0, 1].
+    /// Fraction of *admitted* requests that completed normally, in [0, 1].
     ///
-    /// Every abnormal outcome maps to a 5xx (`Timeout` → 504, OOM and panic
-    /// → 500), so this is exactly the non-5xx fraction: `ok / requests`.
-    /// The outcome counters partition the stream — see
-    /// [`ServeStats::outcomes_partition_requests`].
+    /// Every abnormal served outcome maps to a 5xx (`Timeout` → 504, OOM
+    /// and panic → 500), so this is the non-5xx fraction of the requests
+    /// the system accepted: `ok / (requests − shed)`. Shed requests are
+    /// deliberate overload back-pressure (503 before any work happens) and
+    /// are reported separately ([`ServeStats::shed_fraction`]) — counting
+    /// them as failures would make graceful degradation look like an
+    /// outage. With nothing admitted the fraction is vacuously 1.
     pub fn availability(&self) -> f64 {
-        if self.requests == 0 {
+        let admitted = self.requests - self.shed;
+        if admitted == 0 {
             1.0
         } else {
-            self.ok as f64 / self.requests as f64
+            self.ok as f64 / admitted as f64
+        }
+    }
+
+    /// Fraction of all arrivals refused by admission control, in [0, 1].
+    pub fn shed_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.requests as f64
         }
     }
 
     /// Whether the per-outcome counters exactly partition the request count
-    /// (`ok + timeouts + ooms + panics == requests`). Holds for any stats
-    /// produced by [`Server`], including merged pool totals.
+    /// (`ok + timeouts + ooms + panics + shed == requests`). Holds for any
+    /// stats produced by [`Server`], including merged pool totals and
+    /// overload runs with shedding.
     pub fn outcomes_partition_requests(&self) -> bool {
-        self.ok + self.timeouts + self.ooms + self.panics == self.requests
+        self.ok + self.timeouts + self.ooms + self.panics + self.shed == self.requests
     }
 
     /// Losslessly folds another worker's statistics into this one: every
-    /// counter is summed, so pool totals equal the sum of the workers'.
+    /// counter is summed and the histograms concatenate, so pool totals
+    /// equal the sum of the workers'.
     pub fn merge(&mut self, other: &ServeStats) {
         self.requests += other.requests;
         self.ok += other.ok;
         self.timeouts += other.timeouts;
         self.ooms += other.ooms;
         self.panics += other.panics;
+        self.shed += other.shed;
         for i in 0..4 {
             self.degraded_requests[i] += other.degraded_requests[i];
         }
         self.mismatches += other.mismatches;
+        self.queue_depth.merge(&other.queue_depth);
+        self.queue_wait.merge(&other.queue_wait);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -176,6 +206,14 @@ impl Server {
         &self.stats
     }
 
+    /// Zeroes the statistics, keeping machine, breaker, and fault-plan
+    /// state. The overload simulator's warmup boundary uses this — exactly
+    /// like the load generator's `reset_metrics` — so measured stats cover
+    /// steady state only while warm accelerator state carries over.
+    pub fn reset_stats(&mut self) {
+        self.stats = ServeStats::default();
+    }
+
     fn inject(&mut self, kind: FaultKind) -> bool {
         let core = self.machine.core_mut();
         match kind {
@@ -204,7 +242,21 @@ impl Server {
     ) -> RequestRecord {
         let req = self.next_request;
         self.next_request += self.request_stride;
+        self.serve_indexed(req, handler)
+    }
 
+    /// Like [`Server::serve`], but serves explicitly-numbered request `req`
+    /// instead of the internal counter. The overload layer uses this: shed
+    /// arrivals consume global indices without ever reaching the server, so
+    /// the admitted stream's indices are sparse and caller-driven — yet
+    /// breakers and the fault plan still key on the *global* index, keeping
+    /// fault schedules meaningful whether or not their request was admitted
+    /// (a due fault simply lands on the next admitted request).
+    pub fn serve_indexed(
+        &mut self,
+        req: u64,
+        handler: &mut dyn FnMut(&mut PhpMachine, u64) -> Vec<u8>,
+    ) -> RequestRecord {
         let mut force_oom = false;
         for fault in self.plan.take_due(req) {
             if fault.kind == FaultKind::AllocatorOom {
@@ -255,6 +307,9 @@ impl Server {
             RequestOutcome::Timeout => self.stats.timeouts += 1,
             RequestOutcome::OomKilled => self.stats.ooms += 1,
             RequestOutcome::Panicked { .. } => self.stats.panics += 1,
+            // Shedding happens before a request reaches the sandbox
+            // (see Server::record_shed); the sandbox never produces it.
+            RequestOutcome::Shed => unreachable!("sandbox exits are never Shed"),
         }
 
         if outcome.is_ok() {
@@ -292,6 +347,32 @@ impl Server {
         handler: &mut dyn FnMut(&mut PhpMachine, u64) -> Vec<u8>,
     ) -> Vec<RequestRecord> {
         (0..n).map(|_| self.serve(handler)).collect()
+    }
+
+    /// Records one arrival refused by admission control at the given queue
+    /// depth. The machine, breakers, and fault plan are untouched — the
+    /// request never ran — but it still counts toward `requests` so the
+    /// outcome partition covers every arrival. Returns the 503 record.
+    pub fn record_shed(&mut self, req: u64, queue_depth: u64) -> RequestRecord {
+        self.stats.requests += 1;
+        self.stats.shed += 1;
+        self.stats.queue_depth.record(queue_depth);
+        RequestRecord {
+            request: req,
+            outcome: RequestOutcome::Shed,
+            response: Vec::new(),
+            degraded: [false; 4],
+            fault_delta: [0; 4],
+        }
+    }
+
+    /// Records the queueing observations of one *admitted* request: the
+    /// queue depth it saw on arrival, its queue wait, and its end-to-end
+    /// latency (wait + service), all in simulated µops.
+    pub fn record_admitted_timing(&mut self, queue_depth: u64, wait_uops: u64, latency_uops: u64) {
+        self.stats.queue_depth.record(queue_depth);
+        self.stats.queue_wait.record(wait_uops);
+        self.stats.latency.record(latency_uops);
     }
 
     /// Restores the machine — and the reference, if one is attached — to a
@@ -586,33 +667,88 @@ mod tests {
     #[test]
     fn merged_stats_equal_sum_of_parts() {
         let a = ServeStats {
-            requests: 10,
+            requests: 12,
             ok: 8,
             timeouts: 1,
             ooms: 1,
             panics: 0,
+            shed: 2,
             degraded_requests: [1, 2, 3, 4],
             mismatches: 0,
+            ..ServeStats::default()
         };
         let b = ServeStats {
-            requests: 5,
+            requests: 6,
             ok: 4,
             timeouts: 0,
             ooms: 0,
             panics: 1,
+            shed: 1,
             degraded_requests: [4, 3, 2, 1],
             mismatches: 1,
+            ..ServeStats::default()
         };
         let mut merged = a.clone();
         merged.merge(&b);
-        assert_eq!(merged.requests, 15);
+        assert_eq!(merged.requests, 18);
         assert_eq!(merged.ok, 12);
         assert_eq!(merged.timeouts, 1);
         assert_eq!(merged.ooms, 1);
         assert_eq!(merged.panics, 1);
+        assert_eq!(merged.shed, 3);
         assert_eq!(merged.degraded_requests, [5, 5, 5, 5]);
         assert_eq!(merged.mismatches, 1);
         assert!(merged.outcomes_partition_requests());
+    }
+
+    /// Regression for the `Shed` outcome's accounting: shed requests are
+    /// back-pressure, not failures — `availability()` must be computed over
+    /// admitted requests only, while `outcomes_partition_requests()` must
+    /// still cover every arrival (served *and* shed).
+    #[test]
+    fn shed_requests_are_not_failures_and_partition_holds() {
+        let mut server = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        );
+        let mut handler = |m: &mut PhpMachine, req: u64| {
+            m.end_request();
+            req.to_string().into_bytes()
+        };
+        // Arrivals 0 and 2 are admitted; 1 and 3 are shed by the controller.
+        let r0 = server.serve_indexed(0, &mut handler);
+        let s1 = server.record_shed(1, 3);
+        let r2 = server.serve_indexed(2, &mut handler);
+        let s3 = server.record_shed(3, 4);
+
+        assert!(r0.outcome.is_ok() && r2.outcome.is_ok());
+        assert_eq!(s1.outcome, RequestOutcome::Shed);
+        assert_eq!(s1.outcome.status_code(), 503);
+        assert!(s3.response.is_empty(), "a shed request never ran");
+
+        let stats = server.stats();
+        assert_eq!(stats.requests, 4, "sheds still count as arrivals");
+        assert_eq!((stats.ok, stats.shed), (2, 2));
+        assert!(
+            stats.outcomes_partition_requests(),
+            "ok + timeouts + ooms + panics + shed must equal requests"
+        );
+        // Both admitted requests succeeded: availability is 1.0, not 0.5 —
+        // shedding under overload must not read as an outage.
+        assert_eq!(stats.availability(), 1.0);
+        assert_eq!(stats.shed_fraction(), 0.5);
+        assert_eq!(stats.queue_depth.count(), 2, "sheds record arrival depth");
+
+        // All-shed stats stay vacuously available and still partition.
+        let mut all_shed = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        );
+        all_shed.record_shed(0, 1);
+        assert_eq!(all_shed.stats().availability(), 1.0);
+        assert!(all_shed.stats().outcomes_partition_requests());
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Arrival processes: realistic request-arrival shapes over simulated time.
+//!
+//! The load generator historically did warmup-then-steady-stream, which
+//! never asks the system to survive offered load above capacity. This
+//! module generates *deterministic, seeded arrival timestamps* — expressed
+//! in simulated µops, the repo's universal clock — for four shapes drawn
+//! from production traffic studies (the Meta hyperscale workload-behavior
+//! methodology in PAPERS.md):
+//!
+//! * **Steady** — Poisson arrivals at a constant mean rate.
+//! * **Diurnal** — the mean rate follows a sinusoidal day/night cycle.
+//! * **Burst** — a square wave: long quiet valleys punctuated by short
+//!   windows at several times the base rate (mean rate still ≈ 1×).
+//! * **Flash crowd** — steady background, then a sudden spike to several
+//!   times the base rate for a short fraction of the run (a link from a
+//!   popular aggregator), then back to background.
+//!
+//! Timestamps are produced by inverting exponential interarrival gaps whose
+//! mean is modulated by the shape's rate multiplier, so the same seed always
+//! yields byte-identical schedules — overload experiments replay exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of the offered-load curve over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalShape {
+    /// Constant mean rate (Poisson arrivals).
+    Steady,
+    /// Sinusoidal day/night modulation around the base rate.
+    Diurnal,
+    /// Quiet valleys with short bursts at several times the base rate.
+    Burst,
+    /// Background load with one sudden flash-crowd spike mid-run.
+    FlashCrowd,
+}
+
+impl ArrivalShape {
+    /// Every shape, in a fixed order (tests and benches sweep this).
+    pub const ALL: [ArrivalShape; 4] = [
+        ArrivalShape::Steady,
+        ArrivalShape::Diurnal,
+        ArrivalShape::Burst,
+        ArrivalShape::FlashCrowd,
+    ];
+
+    /// Display / CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalShape::Steady => "steady",
+            ArrivalShape::Diurnal => "diurnal",
+            ArrivalShape::Burst => "burst",
+            ArrivalShape::FlashCrowd => "flash-crowd",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`ArrivalShape::name`]).
+    pub fn parse(s: &str) -> Option<ArrivalShape> {
+        ArrivalShape::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Instantaneous rate multiplier at `progress` ∈ [0, 1] through the
+    /// run, where progress is measured in simulated *time* (elapsed µops
+    /// over the expected span), not request index. Each shape's multiplier
+    /// time-averages ≈ 1.0, so — because arrivals per time window are
+    /// proportional to the multiplier — the run's *offered* load factor is
+    /// set by the base gap alone and the shape only redistributes arrivals
+    /// in time.
+    pub fn rate_multiplier(self, progress: f64) -> f64 {
+        let p = progress.clamp(0.0, 1.0);
+        match self {
+            ArrivalShape::Steady => 1.0,
+            // Two full "days": min 0.4×, max 1.6×, time-mean exactly 1.0.
+            ArrivalShape::Diurnal => 1.0 + 0.6 * (std::f64::consts::TAU * 2.0 * p).sin(),
+            // Five cycles of 80% valley at 0.25× and 20% burst at 4.0×:
+            // time-mean = 0.8·0.25 + 0.2·4.0 = 1.0.
+            ArrivalShape::Burst => {
+                let phase = (p * 5.0).fract();
+                if phase >= 0.8 {
+                    4.0
+                } else {
+                    0.25
+                }
+            }
+            // Background 0.6× with a 5.0× flash over [0.5, 0.6):
+            // time-mean = 0.9·0.6 + 0.1·5.0 ≈ 1.04.
+            ArrivalShape::FlashCrowd => {
+                if (0.5..0.6).contains(&p) {
+                    5.0
+                } else {
+                    0.6
+                }
+            }
+        }
+    }
+}
+
+/// Parameters of one arrival schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalConfig {
+    /// Offered-load curve.
+    pub shape: ArrivalShape,
+    /// Number of arrivals to generate.
+    pub requests: usize,
+    /// Mean interarrival gap in simulated µops at 1× rate. Offered load
+    /// relative to a capacity of `c` µops/request on `w` workers is
+    /// `c / (w · mean_gap_uops)`.
+    pub mean_gap_uops: u64,
+    /// RNG seed; the same seed yields a byte-identical schedule.
+    pub seed: u64,
+}
+
+impl ArrivalConfig {
+    /// Generates the arrival timestamps, in simulated µops since the start
+    /// of the run, non-decreasing. Deterministic given the config.
+    pub fn times(&self) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.requests;
+        let expected_span = n as f64 * self.mean_gap_uops as f64;
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Progress through the shape is elapsed simulated time over the
+            // expected span (wrapping if sampling noise runs past the end),
+            // so a shape's spikes occupy their designed fraction of *time*
+            // and arrivals per window are proportional to the multiplier.
+            let raw = t / expected_span.max(1.0);
+            let progress = if raw < 1.0 { raw } else { raw.fract() };
+            let mult = self.shape.rate_multiplier(progress);
+            // Inverse-CDF exponential gap with mean base_gap / mult.
+            let u: f64 = rng.gen();
+            let gap = -(1.0 - u).ln() * self.mean_gap_uops as f64 / mult;
+            t += gap;
+            out.push(t as u64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(shape: ArrivalShape) -> ArrivalConfig {
+        ArrivalConfig {
+            shape,
+            requests: 2000,
+            mean_gap_uops: 10_000,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_monotone() {
+        for shape in ArrivalShape::ALL {
+            let a = cfg(shape).times();
+            let b = cfg(shape).times();
+            assert_eq!(a, b, "{}: same seed must replay identically", shape.name());
+            assert!(
+                a.windows(2).all(|w| w[0] <= w[1]),
+                "{}: timestamps must be non-decreasing",
+                shape.name()
+            );
+            let c = ArrivalConfig {
+                seed: 100,
+                ..cfg(shape)
+            }
+            .times();
+            assert_ne!(a, c, "{}: a different seed must differ", shape.name());
+        }
+    }
+
+    #[test]
+    fn every_shape_offers_roughly_the_configured_mean_rate() {
+        for shape in ArrivalShape::ALL {
+            let c = cfg(shape);
+            let times = c.times();
+            let span = *times.last().unwrap() as f64;
+            let mean_gap = span / c.requests as f64;
+            let ratio = mean_gap / c.mean_gap_uops as f64;
+            assert!(
+                (0.85..1.25).contains(&ratio),
+                "{}: mean gap off by {ratio:.2}x",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn burst_and_flash_concentrate_arrivals() {
+        // A shape's peak decile must be denser than its quietest decile by
+        // the design ratio; steady must not show such skew.
+        let density = |shape: ArrivalShape| -> (usize, usize) {
+            let times = cfg(shape).times();
+            let span = *times.last().unwrap() + 1;
+            let mut deciles = [0usize; 10];
+            for t in &times {
+                deciles[((t * 10) / span) as usize] += 1;
+            }
+            (
+                *deciles.iter().max().unwrap(),
+                *deciles.iter().min().unwrap(),
+            )
+        };
+        let (smax, smin) = density(ArrivalShape::Steady);
+        assert!(
+            (smax as f64) < (smin as f64) * 1.5,
+            "steady skewed: {smax}/{smin}"
+        );
+        let (bmax, bmin) = density(ArrivalShape::Burst);
+        assert!(bmax as f64 > bmin as f64 * 3.0, "burst flat: {bmax}/{bmin}");
+        let (fmax, fmin) = density(ArrivalShape::FlashCrowd);
+        assert!(fmax as f64 > fmin as f64 * 3.0, "flash flat: {fmax}/{fmin}");
+    }
+
+    #[test]
+    fn rate_multipliers_average_to_one() {
+        for shape in ArrivalShape::ALL {
+            let n = 10_000;
+            let mean: f64 = (0..n)
+                .map(|i| shape.rate_multiplier(i as f64 / n as f64))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (0.9..1.1).contains(&mean),
+                "{}: mean multiplier {mean:.3}",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in ArrivalShape::ALL {
+            assert_eq!(ArrivalShape::parse(shape.name()), Some(shape));
+        }
+        assert_eq!(ArrivalShape::parse("nope"), None);
+    }
+}

@@ -19,21 +19,27 @@
 
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod corpus;
 pub mod drupal;
 pub mod loadgen;
 pub mod mediawiki;
 pub mod mix;
 pub mod php_corpus;
+pub mod session;
 pub mod specweb;
 pub mod vmtail;
 pub mod wordpress;
 
+pub use arrival::{ArrivalConfig, ArrivalShape};
 pub use corpus::{Corpus, CorpusConfig};
 pub use drupal::Drupal;
-pub use loadgen::{LoadGen, RunSummary, Workload};
+pub use loadgen::{LoadGen, RunSummary, ShapedSummary, Workload};
 pub use mediawiki::MediaWiki;
 pub use mix::AppKind;
+pub use session::{
+    RequestKind, SessionConfig, SessionModel, SessionRequest, TrafficItem, TrafficPlan,
+};
 pub use specweb::{SpecVariant, SpecWeb};
 pub use vmtail::VmTail;
 pub use wordpress::WordPress;

@@ -7,6 +7,7 @@
 //! suppressed and are discarded by a [`PhpMachine::reset_metrics`] before
 //! measurement begins.
 
+use crate::arrival::ArrivalConfig;
 use phpaccel_core::PhpMachine;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -23,6 +24,19 @@ pub trait Workload {
 }
 
 /// Load-generation parameters.
+///
+/// **Context switches and warmup.** `context_switch_every` fires an OS
+/// context switch every N requests *in both phases*. Historically the
+/// warmup loop hardcoded `context_switch_every: 0` semantics — no warmup
+/// request was ever preempted, so a machine entered measurement with
+/// unrealistically warm accelerator state whenever `warmup >= every`.
+/// Warmup now preempts at the same cadence (at warmup request `w` for
+/// `w > 0, w % every == 0`). Metrics are unaffected either way: the
+/// [`PhpMachine::reset_metrics`] at the phase boundary discards all warmup
+/// µops, including the switches' — only machine *state* carries over. The
+/// measured phase keeps its original phase-local cadence (first switch at
+/// measured request `every`), so existing figure output is unchanged for
+/// any configuration with `warmup < every` (the defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadGen {
     /// Warmup requests (paper: 300; scaled down by default for test speed).
@@ -89,6 +103,12 @@ impl LoadGen {
             }
         };
         for r in 0..self.warmup {
+            // Warmup preempts at the configured cadence too (see the struct
+            // docs): the boundary reset_metrics erases the switches' µops,
+            // so only the realistic machine state survives into measurement.
+            if self.context_switch_every > 0 && r > 0 && r % self.context_switch_every == 0 {
+                machine.context_switch();
+            }
             serve(machine, r as u64);
         }
         machine.reset_metrics();
@@ -106,6 +126,46 @@ impl LoadGen {
             first_error,
         }
     }
+
+    /// Like [`LoadGen::run`], but the measured phase follows a shaped
+    /// arrival schedule ([`ArrivalConfig`]): `arrivals.requests` requests
+    /// replace `self.measured`, each tagged with its simulated-µop arrival
+    /// timestamp. Warmup runs exactly as in `run` (unshaped, preempted at
+    /// the configured cadence) and is excluded from metrics by the same
+    /// boundary [`PhpMachine::reset_metrics`] — the shape redistributes
+    /// arrivals in time but must never leak warmup work into the measured
+    /// µops. Context switches stay request-indexed (a preemption per N
+    /// *served* requests), so metered work is comparable across shapes.
+    pub fn run_shaped(
+        &self,
+        app: &mut dyn Workload,
+        machine: &mut PhpMachine,
+        arrivals: &ArrivalConfig,
+    ) -> ShapedSummary {
+        let times = arrivals.times();
+        let measured = LoadGen {
+            measured: times.len(),
+            ..*self
+        };
+        let summary = measured.run(app, machine);
+        ShapedSummary {
+            summary,
+            shape: arrivals.shape,
+            offered_span_uops: times.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Summary of a shaped run: the usual metrics plus the offered-load span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapedSummary {
+    /// Metrics of the measured phase (warmup excluded).
+    pub summary: RunSummary,
+    /// The arrival shape that paced the measured phase.
+    pub shape: crate::arrival::ArrivalShape,
+    /// Timestamp of the last arrival in simulated µops: the span the
+    /// measured requests were offered over.
+    pub offered_span_uops: u64,
 }
 
 #[cfg(test)]
@@ -130,6 +190,38 @@ mod tests {
             summary.total_uops < per_request * 7,
             "warmup leaked into metrics"
         );
+
+        // The same exclusion must hold when the measured phase follows any
+        // of the shaped arrival schedules: the shape redistributes arrivals
+        // in simulated time, never the warmup/measured metric boundary.
+        for shape in crate::arrival::ArrivalShape::ALL {
+            let mut app = SpecWeb::new(SpecVariant::Banking);
+            let mut m = PhpMachine::baseline();
+            let arrivals = crate::arrival::ArrivalConfig {
+                shape,
+                requests: 5,
+                mean_gap_uops: 50_000,
+                seed: 11,
+            };
+            let shaped = lg.run_shaped(&mut app, &mut m, &arrivals);
+            assert_eq!(shaped.summary.requests, 5, "{}", shape.name());
+            assert_eq!(shaped.shape, shape);
+            assert!(shaped.offered_span_uops > 0, "{}", shape.name());
+            let per_request = shaped.summary.total_uops / 5;
+            assert!(
+                shaped.summary.total_uops < per_request * 7,
+                "{}: warmup leaked into shaped metrics",
+                shape.name()
+            );
+            // Shaping must not change *what* runs, only when it arrives:
+            // metered work matches the unshaped run exactly.
+            assert_eq!(
+                shaped.summary.total_uops,
+                summary.total_uops,
+                "{}: shaped metered work drifted",
+                shape.name()
+            );
+        }
     }
 
     #[test]
@@ -185,5 +277,32 @@ mod tests {
         };
         lg.run(&mut app, &mut m);
         assert!(m.core().context_switches >= 3);
+    }
+
+    /// Regression for the warmup branch that hardcoded
+    /// `context_switch_every: 0` semantics: warmup requests are now
+    /// preempted at the configured cadence too, while the boundary
+    /// `reset_metrics` keeps the measured µops clean of them.
+    #[test]
+    fn warmup_context_switches_fire_but_stay_out_of_metrics() {
+        let mut app = SpecWeb::new(SpecVariant::Ecommerce);
+        let mut m = PhpMachine::specialized();
+        let lg = LoadGen {
+            warmup: 7,
+            measured: 4,
+            context_switch_every: 3,
+        };
+        let summary = lg.run(&mut app, &mut m);
+        // Warmup preempts at w = 3, 6; the measured phase at r = 3.
+        assert!(
+            m.core().context_switches >= 3,
+            "warmup must be preempted at the configured cadence"
+        );
+        // Exclusion still holds: ~4 requests of metered work, not 11.
+        let per_request = summary.total_uops / 4;
+        assert!(
+            summary.total_uops < per_request * 6,
+            "warmup (or its context switches) leaked into metrics"
+        );
     }
 }

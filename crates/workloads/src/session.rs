@@ -1,0 +1,345 @@
+//! Per-user session model: login → browse → write mixes over the corpus.
+//!
+//! Production PHP traffic is not a uniform stream of independent requests:
+//! it is *sessions*. A user logs in, browses a handful of (popularity-
+//! skewed) pages, occasionally writes, and leaves. This module generates a
+//! deterministic, seeded request stream with exactly that structure:
+//!
+//! * **User popularity is zipfian** — a hot head of heavy users dominates,
+//!   matching the per-user activity skew of the hyperscale workload study
+//!   (PAPERS.md).
+//! * **Sessions are stateful** — a user's first request is always a
+//!   [`RequestKind::Login`]; subsequent requests browse or write until the
+//!   session ends (geometric length), after which the next request from
+//!   that user logs in again.
+//! * **Script selection follows the kind** — logins hit a small set of
+//!   entry scripts, browses pick corpus scripts zipfian (hot content),
+//!   writes hit the tail of the corpus (update paths).
+//!
+//! Combined with [`crate::arrival::ArrivalConfig`], [`TrafficPlan`] yields
+//! the full overload-experiment input: who arrives when, doing what.
+
+use crate::arrival::ArrivalConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What one session step asks the application to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Session start: authentication + landing page.
+    Login,
+    /// Read path: render a (popularity-skewed) page.
+    Browse,
+    /// Write path: submit content, invalidating caches.
+    Write,
+}
+
+impl RequestKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Login => "login",
+            RequestKind::Browse => "browse",
+            RequestKind::Write => "write",
+        }
+    }
+
+    /// Index into per-kind counters (`[login, browse, write]`).
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::Login => 0,
+            RequestKind::Browse => 1,
+            RequestKind::Write => 2,
+        }
+    }
+}
+
+/// Session-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Size of the user population (zipfian popularity over it).
+    pub users: usize,
+    /// Probability an active session continues after a browse/write
+    /// (session length is geometric: mean `1 / (1 - continue_prob)` steps).
+    pub continue_prob: f64,
+    /// Probability an active-session step is a write rather than a browse.
+    pub write_prob: f64,
+    /// RNG seed; the same seed yields an identical stream.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            users: 64,
+            continue_prob: 0.8,
+            write_prob: 0.15,
+            seed: 0x5E55,
+        }
+    }
+}
+
+/// One generated request: who, what, and which corpus script serves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// User index in `0..users` (zipfian popularity: low indexes are hot).
+    pub user: usize,
+    /// Session step kind.
+    pub kind: RequestKind,
+    /// Step number within the user's current session (0 = the login).
+    pub step: u32,
+    /// Corpus script index in `0..scripts` chosen for this request.
+    pub script: usize,
+}
+
+/// Zipf-ish pick over `n` items with weight `1/(k+1)` (hot head, long
+/// tail) — the same approximation [`crate::corpus::Corpus::zipf_pick`]
+/// uses, inlined here so the session stream owns its RNG.
+fn zipf_pick(rng: &mut StdRng, n: usize) -> usize {
+    assert!(n > 0);
+    let weights: Vec<f64> = (0..n).map(|k| 1.0 / (k as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    n - 1
+}
+
+/// Deterministic generator of session-structured request streams.
+#[derive(Debug)]
+pub struct SessionModel {
+    cfg: SessionConfig,
+    rng: StdRng,
+    /// `None` = logged out; `Some(step)` = active session at that step.
+    state: Vec<Option<u32>>,
+}
+
+impl SessionModel {
+    /// Creates a generator with every user logged out.
+    pub fn new(cfg: SessionConfig) -> Self {
+        assert!(cfg.users > 0, "session model needs at least one user");
+        SessionModel {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            state: vec![None; cfg.users],
+            cfg,
+        }
+    }
+
+    /// Generates the next request, choosing among `scripts` corpus scripts.
+    pub fn next_request(&mut self, scripts: usize) -> SessionRequest {
+        assert!(scripts > 0, "session model needs at least one script");
+        let user = zipf_pick(&mut self.rng, self.cfg.users);
+        match self.state[user] {
+            None => {
+                self.state[user] = Some(1);
+                SessionRequest {
+                    user,
+                    kind: RequestKind::Login,
+                    step: 0,
+                    // Entry scripts: a small, user-pinned slice of the head.
+                    script: user % scripts.min(4),
+                    // (min(4): with fewer than 4 scripts, wrap over them all)
+                }
+            }
+            Some(step) => {
+                let kind = if self.rng.gen_bool(self.cfg.write_prob) {
+                    RequestKind::Write
+                } else {
+                    RequestKind::Browse
+                };
+                let script = match kind {
+                    RequestKind::Login => unreachable!(),
+                    // Hot content dominates the read path.
+                    RequestKind::Browse => zipf_pick(&mut self.rng, scripts),
+                    // Writes land on the corpus tail (update/submit paths).
+                    RequestKind::Write => scripts - 1 - self.rng.gen_range(0..scripts.div_ceil(3)),
+                };
+                self.state[user] = if self.rng.gen_bool(self.cfg.continue_prob) {
+                    Some(step + 1)
+                } else {
+                    None
+                };
+                SessionRequest {
+                    user,
+                    kind,
+                    step,
+                    script,
+                }
+            }
+        }
+    }
+
+    /// Generates `n` requests in order.
+    pub fn generate(&mut self, n: usize, scripts: usize) -> Vec<SessionRequest> {
+        (0..n).map(|_| self.next_request(scripts)).collect()
+    }
+}
+
+/// One fully-specified arrival: when, who, what, and which script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficItem {
+    /// Arrival timestamp in simulated µops since the start of the run.
+    pub at_uops: u64,
+    /// The session step arriving at that instant.
+    pub request: SessionRequest,
+}
+
+/// A complete, deterministic overload-experiment input: session-structured
+/// requests joined with shaped arrival timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficPlan {
+    /// Arrivals in non-decreasing timestamp order.
+    pub items: Vec<TrafficItem>,
+}
+
+impl TrafficPlan {
+    /// Generates a plan of `arrival.requests` items over `scripts` corpus
+    /// scripts. Deterministic given both configs.
+    pub fn generate(arrival: &ArrivalConfig, session: &SessionConfig, scripts: usize) -> Self {
+        let times = arrival.times();
+        let mut model = SessionModel::new(*session);
+        let items = times
+            .into_iter()
+            .map(|at_uops| TrafficItem {
+                at_uops,
+                request: model.next_request(scripts),
+            })
+            .collect();
+        TrafficPlan { items }
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Per-kind request counts (`[login, browse, write]`).
+    pub fn kind_counts(&self) -> [u64; 3] {
+        let mut counts = [0u64; 3];
+        for item in &self.items {
+            counts[item.request.kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Timestamp of the last arrival (the offered span of the run).
+    pub fn span_uops(&self) -> u64 {
+        self.items.last().map(|i| i.at_uops).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalShape;
+
+    fn session_cfg() -> SessionConfig {
+        SessionConfig {
+            users: 32,
+            seed: 7,
+            ..SessionConfig::default()
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = SessionModel::new(session_cfg()).generate(500, 11);
+        let b = SessionModel::new(session_cfg()).generate(500, 11);
+        assert_eq!(a, b);
+        let c = SessionModel::new(SessionConfig {
+            seed: 8,
+            ..session_cfg()
+        })
+        .generate(500, 11);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_session_starts_with_a_login() {
+        let reqs = SessionModel::new(session_cfg()).generate(800, 11);
+        let mut last_step: Vec<Option<u32>> = vec![None; 32];
+        for r in &reqs {
+            match r.kind {
+                // A login is always step 0 (and is the only step-0 kind),
+                // so a user's first-ever request must be a login.
+                RequestKind::Login => assert_eq!(r.step, 0),
+                _ => {
+                    assert!(r.step > 0, "browse/write before login");
+                    assert_eq!(
+                        last_step[r.user],
+                        Some(r.step - 1),
+                        "user {}: session steps must be contiguous",
+                        r.user
+                    );
+                }
+            }
+            last_step[r.user] = Some(r.step);
+        }
+        // Mix sanity: browses dominate, writes and logins both present.
+        let mut counts = [0u64; 3];
+        for r in &reqs {
+            counts[r.kind.index()] += 1;
+        }
+        assert!(counts[1] > counts[0] && counts[1] > counts[2], "{counts:?}");
+        assert!(counts[0] > 0 && counts[2] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn user_popularity_is_zipfian() {
+        let reqs = SessionModel::new(session_cfg()).generate(3000, 11);
+        let mut per_user = vec![0u64; 32];
+        for r in &reqs {
+            per_user[r.user] += 1;
+        }
+        assert!(per_user[0] > per_user[8] * 2, "{per_user:?}");
+        assert!(per_user[0] > per_user[31] * 4, "{per_user:?}");
+    }
+
+    #[test]
+    fn scripts_follow_the_kind() {
+        let scripts = 12;
+        let reqs = SessionModel::new(session_cfg()).generate(2000, scripts);
+        for r in &reqs {
+            assert!(r.script < scripts);
+            match r.kind {
+                RequestKind::Login => assert!(r.script < 4),
+                RequestKind::Write => assert!(r.script >= scripts - scripts.div_ceil(3)),
+                RequestKind::Browse => {}
+            }
+        }
+        // Browse popularity is head-heavy.
+        let browse_hits = |s: usize| {
+            reqs.iter()
+                .filter(|r| r.kind == RequestKind::Browse && r.script == s)
+                .count()
+        };
+        assert!(browse_hits(0) > browse_hits(scripts - 1) * 2);
+    }
+
+    #[test]
+    fn traffic_plan_joins_arrivals_and_sessions() {
+        let arrival = ArrivalConfig {
+            shape: ArrivalShape::FlashCrowd,
+            requests: 400,
+            mean_gap_uops: 5_000,
+            seed: 3,
+        };
+        let plan = TrafficPlan::generate(&arrival, &session_cfg(), 11);
+        let again = TrafficPlan::generate(&arrival, &session_cfg(), 11);
+        assert_eq!(plan, again, "plans must replay identically");
+        assert_eq!(plan.len(), 400);
+        assert!(!plan.is_empty());
+        assert!(plan.items.windows(2).all(|w| w[0].at_uops <= w[1].at_uops));
+        assert_eq!(plan.kind_counts().iter().sum::<u64>(), 400);
+        assert!(plan.span_uops() > 0);
+    }
+}

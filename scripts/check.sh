@@ -44,6 +44,12 @@ echo "== compiled-VM soak smoke (4 workers, engine=vm) =="
 # injection.
 scripts/soak.sh --workers 4 --engine vm 20170613
 
+echo "== overload-survival soak smoke (flash crowd, shedding) =="
+# Shaped arrivals at ~2x capacity through the admission controller, with
+# the full fault plan live: shedding must be early and graceful, admitted
+# requests must all serve, and replay must stay byte-identical.
+scripts/soak.sh --shed --shape flash-crowd 20170613
+
 echo "== serve bench smoke (release) =="
 cargo build --release -q -p bench --bin serve_bench
 ./target/release/serve_bench --smoke --out target/BENCH_serve_smoke.json
@@ -96,5 +102,30 @@ for r in doc["runs"]:
     assert r["vm_ops_executed"] > 0 and r["vm_fused_ops"] > 0, r["workers"]
 print("BENCH_vm_smoke.json is valid")
 EOF
+
+echo "== overload bench smoke (release) =="
+cargo build --release -q -p bench --bin overload_bench
+./target/release/overload_bench --smoke --out target/BENCH_overload_smoke.json
+python3 - <<'EOF2'
+import json
+with open("target/BENCH_overload_smoke.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "overload", doc["bench"]
+assert doc["mismatches"] == 0, doc["mismatches"]
+runs = doc["runs"]
+assert runs, "no runs emitted"
+for r in runs:
+    for key in ("engine", "workers", "load_factor", "shape", "requests", "admitted",
+                "shed", "shed_fraction", "availability_admitted", "budget_us",
+                "p50_us", "p99_us", "p999_us", "slo_attainment", "replay_mismatches"):
+        assert key in r, (r.get("engine"), r.get("workers"), key)
+    assert r["replay_mismatches"] == 0, (r["engine"], r["workers"])
+    assert r["admitted"] + r["shed"] == r["requests"], (r["engine"], r["workers"])
+    if r["load_factor"] >= 2.0:
+        assert r["shed_fraction"] > 0.25, (r["engine"], r["workers"], r["shed_fraction"])
+        assert r["availability_admitted"] >= 0.99, (r["engine"], r["workers"])
+        assert r["p99_us"] <= r["budget_us"], (r["engine"], r["workers"])
+print("BENCH_overload_smoke.json is valid")
+EOF2
 
 echo "All checks passed."

@@ -3,8 +3,15 @@
 # availability and byte-identity required. Exits nonzero on any regression.
 # Response bodies are dropped inside the soak binary (keep_bodies = false),
 # so long seed lists run in bounded memory.
-# Usage: scripts/soak.sh [--workers N] [--arena] [--engine tree|vm] [seed ...]
-#   --workers N  run each seed through an N-worker pool (threaded mode)
+# Usage: scripts/soak.sh [--workers N] [--arena] [--engine tree|vm]
+#                        [--shed] [--shape S] [seed ...]
+#   --workers N  run each seed through an N-worker pool (threaded mode);
+#                with --shed, the *simulated* worker count draining the queue
+#   --shed       overload-survival soak: shaped arrivals at ~2x capacity
+#                through the deadline-aware admission controller (machines
+#                stay live between requests; shedding must stay graceful)
+#   --shape S    arrival shape for --shed runs
+#                (steady|diurnal|burst|flash-crowd)
 #   --arena      arena/epoch allocation for the request-scoped heap churn
 #                (reference machines stay on free lists, so replay
 #                cross-checks the two allocators under fault injection)
@@ -18,6 +25,8 @@ cd "$(dirname "$0")/.."
 workers=1
 arena=()
 engine=()
+shed=()
+shape=()
 seeds=()
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -31,6 +40,14 @@ while [ $# -gt 0 ]; do
       ;;
     --engine)
       engine=(--engine "$2")
+      shift 2
+      ;;
+    --shed)
+      shed=(--shed)
+      shift
+      ;;
+    --shape)
+      shape=(--shape "$2")
       shift 2
       ;;
     *)
@@ -47,6 +64,16 @@ if [ ${#seeds[@]} -eq 0 ]; then
 fi
 
 cargo build --release -q -p bench --bin soak
+
+if [ ${#shed[@]} -gt 0 ]; then
+  for seed in "${seeds[@]}"; do
+    echo "== soak seed $seed (overload${shape:+, shape ${shape[1]}}, $workers simulated workers${arena:+, arena}${engine:+, engine ${engine[1]}}) =="
+    ./target/release/soak "$seed" --shed --workers "$workers" \
+      ${shape[@]+"${shape[@]}"} ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
+  done
+  echo "Overload soak passed for seeds: ${seeds[*]}"
+  exit 0
+fi
 
 for seed in "${seeds[@]}"; do
   if [ "$workers" -gt 1 ]; then
