@@ -18,23 +18,26 @@
 //! keep the corpus lint-clean modulo the intentional examples.
 
 use bench::{header, quick_load};
-use php_interp::Vm;
+use php_analysis::report::parse_allowlist;
+use php_interp::{MemoTier, SimpleMemo, Vm};
 use phpaccel_core::PhpMachine;
 use std::sync::Arc;
 use workloads::php_corpus;
 use workloads::{WordPress, Workload};
 
-/// Loads the gate allowlist: one substring per line, `#` comments allowed.
+/// Loads the gate allowlist through the lint-registry parser: one substring
+/// per line, `#` comments allowed, `[kind]` prefixes validated against
+/// [`php_analysis::LintKind::ALL`] so a typoed kind fails the run instead
+/// of silently never matching.
 fn load_allowlist(path: &str) -> Vec<String> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read allowlist {path}: {e}");
         std::process::exit(2);
     });
-    text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(String::from)
-        .collect()
+    parse_allowlist(&text).unwrap_or_else(|e| {
+        eprintln!("bad allowlist {path}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -111,6 +114,23 @@ fn main() {
                 prepared.report.preg_precompiled(),
             );
 
+            // Effect summaries: the per-function verdicts the memo pass is
+            // grounded in — transitive global read/write sets and the
+            // purity lattice point, plus how many call sites were proven
+            // memoizable on the strength of each row.
+            for f in &prepared.report.effects {
+                let mark = if f.opaque { " opaque" } else { "" };
+                println!(
+                    "  effect: {}() {}{mark} reads=[{}] writes=[{}] echoes={} memo-sites={}",
+                    f.name,
+                    f.purity.name(),
+                    f.reads.join(","),
+                    f.writes.join(","),
+                    f.echoes,
+                    f.memo_sites,
+                );
+            }
+
             // Execute twice — facts off, facts on — and verify equivalence.
             let mut off = PhpMachine::specialized();
             let mut on = PhpMachine::specialized();
@@ -145,6 +165,39 @@ fn main() {
                 s.regex_compiles_avoided,
                 s.heap_classes_preseeded,
                 s.taint_lints_flagged,
+            );
+
+            // Memoization demo: two requests against one cross-request
+            // tier. The cold request stores at every proven site, the warm
+            // one replays — and both must still print the memo-off bytes.
+            let tier: Arc<dyn MemoTier> = Arc::new(SimpleMemo::new());
+            let mut warm = (0, 0, 0, 0);
+            for pass in ["cold", "warm"] {
+                let mut m = PhpMachine::specialized();
+                let out = prepared.run_memo(&mut m, true, Some(Arc::clone(&tier)));
+                if out != plain {
+                    eprintln!(
+                        "FAIL: {}/{} output diverged with the memo tier ({pass})",
+                        entry.app, entry.name
+                    );
+                    std::process::exit(1);
+                }
+                let ms = m.ctx().profiler().static_savings();
+                warm = (
+                    ms.memo_hits,
+                    ms.memo_misses,
+                    ms.memo_stores,
+                    ms.memo_invalidations,
+                );
+            }
+            println!(
+                "  memo:   sites={} warm-request: hits={} misses={} \
+                 stores={} invalidations={}",
+                prepared.report.memo_sites(),
+                warm.0,
+                warm.1,
+                warm.2,
+                warm.3,
             );
 
             // Execute once more on the compiled-VM engine: verify the

@@ -34,8 +34,17 @@
 //! here either, and `--workers N` selects the *simulated* worker count
 //! draining the queue (execution stays single-threaded and deterministic).
 //!
+//! With `--memo` a single cross-request [`serve::MemoCache`] is shared by
+//! every primary machine for the whole soak: each request's corpus script
+//! runs with the memo tier attached (implies the script phase even without
+//! `--engine`), so proven call sites replay out of the shared cache while
+//! faults, breaker trips, OOM kills, and degradations churn around them —
+//! and the byte-identity replay against the software reference still has to
+//! hold for every response. The run additionally fails unless the tier
+//! genuinely engaged (stores and warm hits both nonzero).
+//!
 //! Usage: `soak [seed] [--workers N] [--arena] [--engine tree|vm]
-//! [--shed] [--shape steady|diurnal|burst|flash-crowd]`
+//! [--memo] [--shed] [--shape steady|diurnal|burst|flash-crowd]`
 //! (default seed 20170613, 1 worker). `--arena` enables the allocator's
 //! arena/epoch mode on every primary machine and routes the request-scoped
 //! heap churn through the arena-safe entry point — the reference machines
@@ -47,13 +56,14 @@
 //! tree-walk engine, so with `--engine vm` the byte-identity replay is a
 //! cross-engine differential under live fault injection.
 
+use php_interp::MemoTier;
 use php_runtime::{ArrayKey, PhpArray, PhpStr, PhpValue};
 use phpaccel_core::{AccelId, Engine, PhpMachine};
 use regex_engine::Regex;
 use serve::{
     AdmissionConfig, AdmissionController, BreakerConfig, BreakerState, FaultKind, FaultPlan,
-    OverloadConfig, OverloadSim, PlannedFault, PoolConfig, RequestOutcome, SandboxConfig, Server,
-    WorkerPool,
+    MemoCache, OverloadConfig, OverloadSim, PlannedFault, PoolConfig, RequestOutcome,
+    SandboxConfig, Server, WorkerPool,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -77,6 +87,10 @@ struct SoakApp {
     /// When set, run one corpus script per request through the machine's
     /// engine dispatch (primaries may be on the VM; references tree-walk).
     scripts: Option<Arc<CorpusCache>>,
+    /// Cross-request memo tier shared by every machine this app serves
+    /// (reference machines run the same closure, so they see it too — the
+    /// values-in-key discipline keeps their replays byte-identical anyway).
+    memo: Option<Arc<dyn MemoTier>>,
     /// One persistent array per machine (primary and reference), keyed by
     /// machine address: entries stay live in the hardware hash table across
     /// requests so injected corruption has something to land on.
@@ -84,10 +98,15 @@ struct SoakApp {
 }
 
 impl SoakApp {
-    fn new(arena: bool, scripts: Option<Arc<CorpusCache>>) -> Self {
+    fn new(
+        arena: bool,
+        scripts: Option<Arc<CorpusCache>>,
+        memo: Option<Arc<dyn MemoTier>>,
+    ) -> Self {
         SoakApp {
             arena,
             scripts,
+            memo,
             rules: vec![
                 (Regex::new("'").unwrap(), b"&#8217;".to_vec()),
                 (Regex::new("\"").unwrap(), b"&#8221;".to_vec()),
@@ -157,7 +176,12 @@ impl SoakApp {
         // machine is set to, so primaries may execute compiled opcodes
         // while the replay reference tree-walks the same source.
         if let Some(cache) = &self.scripts {
-            out.extend_from_slice(&cache.script_for_request(req).run(m, true));
+            let script = cache.script_for_request(req);
+            let bytes = match &self.memo {
+                Some(tier) => script.run_memo(m, true, Some(Arc::clone(tier))),
+                None => script.run(m, true),
+            };
+            out.extend_from_slice(&bytes);
         }
 
         m.end_request();
@@ -207,10 +231,13 @@ fn main() {
     let mut arena = false;
     let mut engine: Option<Engine> = None;
     let mut shed = false;
+    let mut memo = false;
     let mut shape = ArrivalShape::Steady;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--workers" {
+        if a == "--memo" {
+            memo = true;
+        } else if a == "--workers" {
             workers = it
                 .next()
                 .and_then(|s| s.parse().ok())
@@ -234,15 +261,17 @@ fn main() {
             seed = a.parse().expect("seed must be an integer");
         }
     }
-    let scripts = engine.map(|_| Arc::new(CorpusCache::build()));
+    // The memo tier rides on the script phase, so `--memo` implies it.
+    let scripts = (engine.is_some() || memo).then(|| Arc::new(CorpusCache::build()));
+    let memo_cache = memo.then(|| Arc::new(MemoCache::default()));
 
     if shed {
-        run_overload(seed, workers, arena, engine, scripts, shape);
+        run_overload(seed, workers, arena, engine, scripts, memo_cache, shape);
         return;
     }
 
     if workers > 1 {
-        run_pool(seed, workers, arena, engine, scripts);
+        run_pool(seed, workers, arena, engine, scripts, memo_cache);
         return;
     }
 
@@ -260,7 +289,8 @@ fn main() {
         .with_reference(PhpMachine::baseline())
         .with_keep_bodies(false);
 
-    let mut app = SoakApp::new(arena, scripts);
+    let tier = memo_cache.clone().map(|c| c as Arc<dyn MemoTier>);
+    let mut app = SoakApp::new(arena, scripts, tier);
     let mut handler = |m: &mut PhpMachine, req: u64| app.handle(m, req);
 
     // Expected panics (forced OOMs) would otherwise spam stderr.
@@ -323,6 +353,20 @@ fn main() {
         }
     }
 
+    if let Some(cache) = &memo_cache {
+        let m = cache.stats();
+        println!(
+            "memo: entries {}  hits {}  misses {}  stores {}  invalidations {}",
+            m.entries, m.hits, m.misses, m.stores, m.invalidations
+        );
+        if m.stores == 0 {
+            failures.push("memo: no proven site ever stored".into());
+        }
+        if m.hits == 0 {
+            failures.push("memo: warm tier never replayed a hit".into());
+        }
+    }
+
     let expected_ok = TOTAL_REQUESTS - OOM_REQUESTS.len() as u64;
     if stats.ok != expected_ok {
         failures.push(format!(
@@ -373,6 +417,7 @@ fn run_overload(
     arena: bool,
     engine: Option<Engine>,
     scripts: Option<Arc<CorpusCache>>,
+    memo_cache: Option<Arc<MemoCache>>,
     shape: ArrivalShape,
 ) {
     let make_machine = || {
@@ -387,10 +432,11 @@ fn run_overload(
     };
 
     // Calibrate steady-state service cost of the soak mix (no faults, warm
-    // requests only) to scale the arrival gaps and the latency budget.
+    // requests only, memo off so capacity is measured at full cost) to
+    // scale the arrival gaps and the latency budget.
     let (mean, smax) = {
         let mut server = Server::new(make_machine(), breaker_cfg(), sandbox());
-        let mut app = SoakApp::new(arena, scripts.clone());
+        let mut app = SoakApp::new(arena, scripts.clone(), None);
         let mut h = |m: &mut PhpMachine, req: u64| app.handle(m, req);
         let (mut total, mut max, mut n) = (0u64, 0u64, 0u64);
         for i in 0..12u64 {
@@ -446,7 +492,8 @@ fn run_overload(
     }
     .times();
 
-    let mut app = SoakApp::new(arena, scripts);
+    let tier = memo_cache.clone().map(|c| c as Arc<dyn MemoTier>);
+    let mut app = SoakApp::new(arena, scripts, tier);
     let mut handler = |m: &mut PhpMachine, req: u64| app.handle(m, req);
     std::panic::set_hook(Box::new(|_| {}));
     let report = sim.run(&schedule, &mut handler);
@@ -490,6 +537,19 @@ fn run_overload(
     );
 
     let mut failures = Vec::new();
+    if let Some(cache) = &memo_cache {
+        let m = cache.stats();
+        println!(
+            "memo: entries {}  hits {}  misses {}  stores {}  invalidations {}",
+            m.entries, m.hits, m.misses, m.stores, m.invalidations
+        );
+        if m.stores == 0 {
+            failures.push("memo: no proven site ever stored".into());
+        }
+        if m.hits == 0 {
+            failures.push("memo: warm tier never replayed a hit".into());
+        }
+    }
     if stats.shed == 0 {
         failures.push("2x offered load never shed anything".to_string());
     }
@@ -557,6 +617,7 @@ fn run_pool(
     arena: bool,
     engine: Option<Engine>,
     scripts: Option<Arc<CorpusCache>>,
+    memo_cache: Option<Arc<MemoCache>>,
 ) {
     let plan = build_plan(seed, 4 * workers);
     let planned = plan.all().len();
@@ -572,10 +633,12 @@ fn run_pool(
         reset_between_requests: false,
         keep_bodies: false,
         arena,
+        memo: memo_cache.clone(),
     };
     let pool = WorkerPool::new(cfg);
 
     std::panic::set_hook(Box::new(|_| {}));
+    let tier = memo_cache.map(|c| c as Arc<dyn MemoTier>);
     let report = pool.run(
         |_| {
             let mut m = PhpMachine::specialized();
@@ -585,7 +648,7 @@ fn run_pool(
             m
         },
         |_w| {
-            let mut app = SoakApp::new(arena, scripts.clone());
+            let mut app = SoakApp::new(arena, scripts.clone(), tier.clone());
             move |m: &mut PhpMachine, req: u64| app.handle(m, req)
         },
     );
@@ -635,6 +698,25 @@ fn run_pool(
 
     if !stats.outcomes_partition_requests() {
         failures.push("outcome counters do not partition the request count".into());
+    }
+    if let Some(m) = &report.memo {
+        println!(
+            "memo: entries {}  hits {}  misses {}  stores {}  invalidations {}  \
+             (worker-side hits {}  misses {})",
+            m.entries,
+            m.hits,
+            m.misses,
+            m.stores,
+            m.invalidations,
+            stats.memo_hits,
+            stats.memo_misses
+        );
+        if m.stores == 0 {
+            failures.push("memo: no proven site ever stored".into());
+        }
+        if m.hits == 0 {
+            failures.push("memo: warm tier never replayed a hit".into());
+        }
     }
     let expected_ok = TOTAL_REQUESTS - OOM_REQUESTS.len() as u64;
     if stats.ok != expected_ok {

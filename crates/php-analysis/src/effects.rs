@@ -1,0 +1,583 @@
+//! Whole-program purity & effect analysis: which call sites are provably
+//! memoizable across requests.
+//!
+//! Each function gets an [`EffectSummary`] — the globals it may
+//! (transitively) read or write, whether it echoes, whether its effects are
+//! bounded at all, and where it sits on the purity lattice
+//!
+//! ```text
+//!   Pure  ⊑  RequestDet  ⊏  NonDet
+//! ```
+//!
+//! `Pure` functions compute from their arguments alone; `RequestDet`
+//! functions additionally read (or write) globals but are deterministic once
+//! that state is fixed; `NonDet` functions touch the PRNG or the clock
+//! ([`crate::knowledge::builtin_nondeterministic`]) and must never be
+//! replayed from a cache. Summaries are propagated bottom-up over the
+//! Tarjan-condensed call graph exactly like [`crate::summary`], with
+//! recursive components iterated to a fixpoint from an optimistic seed (all
+//! facts here are monotone sets/flags, so the fixpoint is exact).
+//!
+//! The commit pass ([`commit_memo_sites`]) then marks every call site whose
+//! callee is *memoizable* — uniquely bound, effect-bounded, write-free,
+//! deterministic, and argument-non-retaining — in the
+//! [`AnalysisFacts`] side-table, carrying the callee's read-set as the
+//! site's dependency fingerprint: dep *values* become part of the memo key
+//! (soundness), dep *names* drive write-triggered invalidation (freshness).
+//! Sites that miss memoizability only through nondeterminism raise the
+//! `[nondeterministic-cacheable]` lint — the classic "someone APCu-cached a
+//! session token" bug, caught statically.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::{item_exprs, walk_exprs, Item, ScopeCfg};
+use crate::knowledge::{builtin_nondeterministic, is_builtin};
+use crate::report::{Lint, LintKind};
+use crate::summary::Summaries;
+use php_interp::ast::{Expr, LValue, Program, Stmt};
+use php_interp::{AnalysisFacts, MemoSiteFact};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a function sits on the nondeterminism lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Purity {
+    /// A function of its arguments alone: no global reads or writes, no
+    /// nondeterministic builtins.
+    Pure,
+    /// Reads (or writes) request-global state, but is deterministic once
+    /// that state is fixed — cacheable keyed on arguments *plus* read-set
+    /// values.
+    RequestDet,
+    /// Calls `rand`/`time` (transitively): two runs with identical inputs
+    /// may produce different results. Never cacheable.
+    NonDet,
+}
+
+impl Purity {
+    /// Lattice join (least upper bound).
+    pub fn join(self, other: Purity) -> Purity {
+        self.max(other)
+    }
+
+    /// Stable display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Purity::Pure => "pure",
+            Purity::RequestDet => "request-det",
+            Purity::NonDet => "nondet",
+        }
+    }
+}
+
+/// What one function does to the world, transitively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// Globals the function (or anything it calls) may read.
+    pub reads_globals: BTreeSet<String>,
+    /// Globals the function (or anything it calls) may write.
+    pub writes_globals: BTreeSet<String>,
+    /// The function may produce output (`echo`, warnings). Not a memo
+    /// blocker — replay captures and re-emits the bytes — but reported.
+    pub echoes: bool,
+    /// Effects cannot be bounded (`extract`, unknown callee): every other
+    /// field is meaningless and the function is never memoizable.
+    pub opaque: bool,
+    /// Position on the nondeterminism lattice.
+    pub purity: Purity,
+}
+
+/// Effect summaries for every function scope, by name.
+#[derive(Debug, Default, PartialEq)]
+pub struct Effects {
+    /// One summary per defined function (never `<main>`).
+    pub by_name: BTreeMap<String, EffectSummary>,
+}
+
+/// One row of the `analyze` binary's effect table.
+#[derive(Debug, Clone)]
+pub struct FuncEffect {
+    /// Function name.
+    pub name: String,
+    /// Sorted transitive global read-set.
+    pub reads: Vec<String>,
+    /// Sorted transitive global write-set.
+    pub writes: Vec<String>,
+    /// The function may echo.
+    pub echoes: bool,
+    /// Effects unbounded.
+    pub opaque: bool,
+    /// Purity verdict.
+    pub purity: Purity,
+    /// Call sites of this function proven memoizable.
+    pub memo_sites: usize,
+}
+
+/// Computes effect summaries for every function scope, bottom-up over the
+/// condensed call graph.
+pub fn compute_effects(scopes: &[ScopeCfg<'_>], cg: &CallGraph) -> Effects {
+    let mut eff = Effects::default();
+    for scc in &cg.sccs {
+        let members: Vec<usize> = scc
+            .iter()
+            .copied()
+            .filter(|&i| !scopes[i].is_main)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cyclic = cg.recursive[members[0]];
+        // Optimistic seed so in-component callees resolve during iteration;
+        // every fact is monotone, so iterating to stability is exact.
+        for &i in &members {
+            eff.by_name.insert(
+                scopes[i].name.clone(),
+                EffectSummary {
+                    reads_globals: BTreeSet::new(),
+                    writes_globals: BTreeSet::new(),
+                    echoes: false,
+                    opaque: false,
+                    purity: Purity::Pure,
+                },
+            );
+        }
+        loop {
+            let mut changed = false;
+            for &i in &members {
+                let s = effect_of_scope(&scopes[i], cg, i, &eff);
+                if eff.by_name.get(&scopes[i].name) != Some(&s) {
+                    eff.by_name.insert(scopes[i].name.clone(), s);
+                    changed = true;
+                }
+            }
+            if !cyclic || !changed {
+                break;
+            }
+        }
+    }
+    eff
+}
+
+/// One pass over a single scope under the current effect state.
+fn effect_of_scope(
+    scope: &ScopeCfg<'_>,
+    cg: &CallGraph,
+    scope_idx: usize,
+    eff: &Effects,
+) -> EffectSummary {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut echoes = false;
+    let mut opaque = cg.calls_unknown[scope_idx];
+    let mut nondet = false;
+    let global = |n: &str| scope.globals.contains(n);
+    for block in &scope.cfg.blocks {
+        for item in &block.items {
+            match item {
+                Item::Stmt(Stmt::Assign { target, .. }) => match target {
+                    LValue::Var(n) if global(n) => {
+                        writes.insert(n.clone());
+                    }
+                    LValue::Index { var, .. } if global(var) => {
+                        // Read-modify-write: the base is fetched, mutated in
+                        // place, and (on autovivify) rebound.
+                        reads.insert(var.clone());
+                        writes.insert(var.clone());
+                    }
+                    _ => {}
+                },
+                Item::Stmt(Stmt::Echo(_)) => echoes = true,
+                Item::ForeachBind(Stmt::Foreach {
+                    key_var, value_var, ..
+                }) => {
+                    if let Some(k) = key_var {
+                        if global(k) {
+                            writes.insert(k.clone());
+                        }
+                    }
+                    if global(value_var) {
+                        writes.insert(value_var.clone());
+                    }
+                }
+                _ => {}
+            }
+            for e in item_exprs(item) {
+                walk_exprs(e, &mut |x| match x {
+                    Expr::Var(n) if global(n) => {
+                        reads.insert(n.clone());
+                    }
+                    Expr::Call { name, .. } => {
+                        if name == "extract" {
+                            opaque = true;
+                        } else if is_builtin(name) {
+                            nondet |= builtin_nondeterministic(name);
+                        } else {
+                            match eff.by_name.get(name.as_str()) {
+                                Some(cs) => {
+                                    reads.extend(cs.reads_globals.iter().cloned());
+                                    writes.extend(cs.writes_globals.iter().cloned());
+                                    echoes |= cs.echoes;
+                                    opaque |= cs.opaque;
+                                    nondet |= cs.purity == Purity::NonDet;
+                                }
+                                // A defined-but-unsummarized callee only
+                                // happens for `<main>` (never a call target)
+                                // or a name outside the graph: assume the
+                                // worst.
+                                None => opaque = true,
+                            }
+                        }
+                    }
+                    _ => {}
+                });
+            }
+        }
+    }
+    let purity = if nondet || opaque {
+        Purity::NonDet
+    } else if reads.is_empty() && writes.is_empty() {
+        Purity::Pure
+    } else {
+        Purity::RequestDet
+    };
+    EffectSummary {
+        reads_globals: reads,
+        writes_globals: writes,
+        echoes,
+        opaque,
+        purity,
+    }
+}
+
+/// Function names the engines may rebind at runtime: defined more than once,
+/// or defined anywhere other than the top level of the script (a nested
+/// `DefineFunc` executes dynamically). Facts proven against the statically
+/// lowered body would not be valid for such names.
+fn rebindable_names(prog: &Program) -> BTreeSet<String> {
+    fn walk(
+        stmts: &[Stmt],
+        top: bool,
+        counts: &mut BTreeMap<String, usize>,
+        nested: &mut BTreeSet<String>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::FuncDef(f) => {
+                    *counts.entry(f.name.clone()).or_insert(0) += 1;
+                    if !top {
+                        nested.insert(f.name.clone());
+                    }
+                    walk(&f.body, false, counts, nested);
+                }
+                Stmt::If {
+                    then, otherwise, ..
+                } => {
+                    walk(then, false, counts, nested);
+                    walk(otherwise, false, counts, nested);
+                }
+                Stmt::While { body, .. } | Stmt::Foreach { body, .. } => {
+                    walk(body, false, counts, nested);
+                }
+                Stmt::For {
+                    init, step, body, ..
+                } => {
+                    walk(std::slice::from_ref(init), false, counts, nested);
+                    walk(std::slice::from_ref(step), false, counts, nested);
+                    walk(body, false, counts, nested);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut counts = BTreeMap::new();
+    let mut out = BTreeSet::new();
+    walk(&prog.stmts, true, &mut counts, &mut out);
+    out.extend(
+        counts
+            .into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|(name, _)| name),
+    );
+    out
+}
+
+/// Is every call to `name` provably memoizable? The callee must be uniquely
+/// bound, effect-bounded, write-free, deterministic (≤ `RequestDet`), and
+/// must not retain any argument (a retained argument could alias the return
+/// value, and replaying a deep copy would sever that alias).
+fn memoizable(name: &str, eff: &Effects, sums: &Summaries, rebindable: &BTreeSet<String>) -> bool {
+    if rebindable.contains(name) {
+        return false;
+    }
+    let (Some(e), Some(s)) = (eff.by_name.get(name), sums.by_name.get(name)) else {
+        return false;
+    };
+    !e.opaque
+        && e.writes_globals.is_empty()
+        && e.purity != Purity::NonDet
+        && !s.opaque_effects
+        && s.param_retained.iter().all(|r| !r)
+}
+
+/// Like [`memoizable`], but failing *only* on nondeterminism — the lintable
+/// near-miss.
+fn cacheable_but_nondet(
+    name: &str,
+    eff: &Effects,
+    sums: &Summaries,
+    rebindable: &BTreeSet<String>,
+) -> bool {
+    if rebindable.contains(name) {
+        return false;
+    }
+    let (Some(e), Some(s)) = (eff.by_name.get(name), sums.by_name.get(name)) else {
+        return false;
+    };
+    !e.opaque
+        && e.writes_globals.is_empty()
+        && e.purity == Purity::NonDet
+        && !s.opaque_effects
+        && s.param_retained.iter().all(|r| !r)
+}
+
+/// What [`commit_memo_sites`] proved.
+#[derive(Debug, Default)]
+pub struct MemoCommit {
+    /// Memoizable-site counts, parallel to the scope slice.
+    pub per_scope: Vec<usize>,
+    /// Memoizable-site counts by callee name.
+    pub per_callee: BTreeMap<String, usize>,
+}
+
+/// Commits memoizable call sites into `facts` (with the callee's read-set as
+/// dependency fingerprint) and raises `[nondeterministic-cacheable]` lints
+/// for the near-misses.
+pub fn commit_memo_sites(
+    prog: &Program,
+    scopes: &[ScopeCfg<'_>],
+    eff: &Effects,
+    sums: &Summaries,
+    facts: &mut AnalysisFacts,
+    lints: &mut Vec<Lint>,
+) -> MemoCommit {
+    let rebindable = rebindable_names(prog);
+    let mut commit = MemoCommit {
+        per_scope: vec![0usize; scopes.len()],
+        per_callee: BTreeMap::new(),
+    };
+    let mut noted: BTreeSet<String> = BTreeSet::new();
+    for (i, scope) in scopes.iter().enumerate() {
+        for block in &scope.cfg.blocks {
+            for item in &block.items {
+                for e in item_exprs(item) {
+                    walk_exprs(e, &mut |x| {
+                        let Expr::Call { name, .. } = x else { return };
+                        if is_builtin(name) {
+                            return;
+                        }
+                        if memoizable(name, eff, sums, &rebindable) {
+                            let deps: Vec<String> = eff.by_name[name.as_str()]
+                                .reads_globals
+                                .iter()
+                                .cloned()
+                                .collect();
+                            let id = facts.intern_expr(x);
+                            facts.set_memo_site(
+                                id,
+                                MemoSiteFact {
+                                    func: name.clone(),
+                                    deps,
+                                },
+                            );
+                            commit.per_scope[i] += 1;
+                            *commit.per_callee.entry(name.clone()).or_insert(0) += 1;
+                        } else if cacheable_but_nondet(name, eff, sums, &rebindable) {
+                            let message = format!(
+                                "{name}() is cache-shaped but calls rand/time; \
+                                 memoizing it would replay a stale draw"
+                            );
+                            if noted.insert(format!("{}|{message}", scope.name)) {
+                                lints.push(Lint {
+                                    kind: LintKind::NondeterministicCacheable,
+                                    scope: scope.name.clone(),
+                                    message,
+                                });
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+    commit
+}
+
+/// Builds the `analyze` binary's effect-table rows: one per function, with
+/// memoizable-site counts attributed to the callee.
+pub fn effect_rows(eff: &Effects, commit: &MemoCommit) -> Vec<FuncEffect> {
+    eff.by_name
+        .iter()
+        .map(|(name, s)| FuncEffect {
+            name: name.clone(),
+            reads: s.reads_globals.iter().cloned().collect(),
+            writes: s.writes_globals.iter().cloned().collect(),
+            echoes: s.echoes,
+            opaque: s.opaque,
+            purity: s.purity,
+            memo_sites: commit.per_callee.get(name).copied().unwrap_or(0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_program;
+    use crate::summary::compute_summaries;
+    use php_interp::parse;
+
+    fn effects_of(src: &str) -> Effects {
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let cg = CallGraph::build(&scopes);
+        compute_effects(&scopes, &cg)
+    }
+
+    #[test]
+    fn pure_function_is_pure() {
+        let e = effects_of("function add($a, $b) { return $a + $b; } echo add(1, 2);");
+        let s = &e.by_name["add"];
+        assert_eq!(s.purity, Purity::Pure);
+        assert!(s.reads_globals.is_empty() && s.writes_globals.is_empty());
+        assert!(!s.echoes && !s.opaque);
+    }
+
+    #[test]
+    fn global_reads_make_request_det_and_propagate_up() {
+        let e = effects_of(
+            "function cfg() { global $site; return $site; }\n\
+             function banner() { return 'at ' . cfg(); }\n\
+             $site = 'x'; echo banner();",
+        );
+        assert_eq!(e.by_name["cfg"].purity, Purity::RequestDet);
+        let b = &e.by_name["banner"];
+        assert_eq!(b.purity, Purity::RequestDet);
+        assert!(
+            b.reads_globals.contains("site"),
+            "reads flow transitively: {b:?}"
+        );
+        assert!(b.writes_globals.is_empty());
+    }
+
+    #[test]
+    fn rand_and_time_poison_purity_transitively() {
+        let e = effects_of(
+            "function tok() { return rand(); }\n\
+             function page() { return 'id' . tok(); }\n\
+             function clock() { return time(); }\n\
+             echo page(), clock();",
+        );
+        assert_eq!(e.by_name["tok"].purity, Purity::NonDet);
+        assert_eq!(e.by_name["page"].purity, Purity::NonDet);
+        assert_eq!(e.by_name["clock"].purity, Purity::NonDet);
+    }
+
+    #[test]
+    fn writes_and_echoes_are_tracked() {
+        let e = effects_of(
+            "function bump() { global $n; $n = $n + 1; return $n; }\n\
+             function shout($m) { echo $m; return 1; }\n\
+             $n = 0; bump(); shout('hi');",
+        );
+        let b = &e.by_name["bump"];
+        assert!(b.writes_globals.contains("n") && b.reads_globals.contains("n"));
+        assert_eq!(b.purity, Purity::RequestDet);
+        assert!(e.by_name["shout"].echoes);
+        assert!(!e.by_name["bump"].echoes);
+    }
+
+    #[test]
+    fn extract_and_unknown_calls_are_opaque() {
+        let e = effects_of(
+            "function x($a) { extract($a); return 1; }\n\
+             function u() { return mystery(); }\n\
+             x(array()); u();",
+        );
+        assert!(e.by_name["x"].opaque);
+        assert!(e.by_name["u"].opaque);
+        assert_eq!(e.by_name["u"].purity, Purity::NonDet);
+    }
+
+    #[test]
+    fn recursion_reaches_a_fixpoint() {
+        let e = effects_of(
+            "function f($n) { global $g; return $n ? f($n - 1) : $g; }\n\
+             $g = 1; echo f(3);",
+        );
+        let f = &e.by_name["f"];
+        assert_eq!(f.purity, Purity::RequestDet);
+        assert!(f.reads_globals.contains("g"));
+        assert!(!f.opaque);
+    }
+
+    fn memo_facts(src: &str) -> (AnalysisFacts, Vec<Lint>, MemoCommit) {
+        let prog = parse(src).unwrap();
+        let scopes = lower_program(&prog);
+        let cg = CallGraph::build(&scopes);
+        let sums = compute_summaries(&scopes, &cg);
+        let eff = compute_effects(&scopes, &cg);
+        let mut facts = AnalysisFacts::new();
+        let mut lints = Vec::new();
+        let commit = commit_memo_sites(&prog, &scopes, &eff, &sums, &mut facts, &mut lints);
+        (facts, lints, commit)
+    }
+
+    #[test]
+    fn pure_and_request_det_sites_are_committed_with_deps() {
+        let (facts, lints, commit) = memo_facts(
+            "function cfg() { global $site; return 'on ' . $site; }\n\
+             function pure($x) { return strtoupper($x); }\n\
+             $site = 'a'; echo pure('hi'), cfg();",
+        );
+        assert_eq!(facts.memo_site_count(), 2, "{lints:?}");
+        assert_eq!(commit.per_scope[0], 2, "both sites are in <main>");
+        assert_eq!(commit.per_callee["cfg"], 1);
+        assert!(lints.is_empty(), "{lints:?}");
+    }
+
+    #[test]
+    fn writers_retainers_and_rebindables_are_not_memoizable() {
+        let (facts, _, _) = memo_facts(
+            "function w() { global $g; $g = 1; return 2; }\n\
+             function keep($v) { global $k; $k = $v; return 1; }\n\
+             if (true) { function dyn() { return 1; } }\n\
+             $g = 0; echo w(), keep(5), dyn();",
+        );
+        assert_eq!(facts.memo_site_count(), 0);
+    }
+
+    #[test]
+    fn nondet_cacheable_near_miss_raises_the_lint() {
+        let (facts, lints, _) = memo_facts(
+            "function tok() { return rand(1, 100); }\n\
+             echo tok(); echo tok();",
+        );
+        assert_eq!(facts.memo_site_count(), 0);
+        let lines: Vec<String> = lints.iter().map(|l| l.to_string()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "[nondeterministic-cacheable] <main>: tok() is cache-shaped but \
+                 calls rand/time; memoizing it would replay a stale draw"
+            ],
+            "deduped to one lint per scope+callee"
+        );
+    }
+
+    #[test]
+    fn purity_lattice_orders_and_joins() {
+        assert!(Purity::Pure < Purity::RequestDet);
+        assert!(Purity::RequestDet < Purity::NonDet);
+        assert_eq!(Purity::Pure.join(Purity::NonDet), Purity::NonDet);
+        assert_eq!(Purity::Pure.join(Purity::RequestDet), Purity::RequestDet);
+        assert_eq!(Purity::RequestDet.name(), "request-det");
+    }
+}

@@ -56,6 +56,8 @@ const BUILTINS: &[&str] = &[
     "is_array",
     "is_null",
     "is_numeric",
+    "rand",
+    "time",
 ];
 
 /// Whether `name` is an interpreter builtin (anything else is a user call).
@@ -66,9 +68,8 @@ pub fn is_builtin(name: &str) -> bool {
 /// The statically known return type of a builtin, if any.
 pub fn builtin_ret_ty(name: &str) -> Option<Ty> {
     Some(match name {
-        "strlen" | "str_word_count" | "strcmp" | "intval" | "preg_match" | "extract" | "count" => {
-            Ty::Int
-        }
+        "strlen" | "str_word_count" | "strcmp" | "intval" | "preg_match" | "extract" | "count"
+        | "rand" | "time" => Ty::Int,
         "strtolower" | "strtoupper" | "ucfirst" | "ucwords" | "lcfirst" | "trim"
         | "str_replace" | "substr" | "str_repeat" | "sprintf" | "htmlspecialchars"
         | "strip_tags" | "nl2br" | "implode" | "join" | "strval" | "preg_replace" => Ty::Str,
@@ -127,6 +128,8 @@ pub fn builtin_sanitizes(name: &str) -> bool {
             | "isset_key"
             | "unset_key"
             | "preg_match"
+            | "rand"
+            | "time"
             | "is_string"
             | "is_int"
             | "is_integer"
@@ -138,6 +141,14 @@ pub fn builtin_sanitizes(name: &str) -> bool {
             | "is_null"
             | "is_numeric"
     )
+}
+
+/// Builtins whose result depends on hidden per-request state (the PRNG
+/// stream, the clock) rather than on their arguments alone. One call makes
+/// the enclosing function — and everything that calls it — nondeterministic:
+/// replaying a cached result would freeze a draw that should differ.
+pub fn builtin_nondeterministic(name: &str) -> bool {
+    matches!(name, "rand" | "time")
 }
 
 /// The type an `is_*` guard tests for, if `name` is such a predicate.

@@ -45,6 +45,7 @@
 pub mod callgraph;
 pub mod cfg;
 pub mod commit;
+pub mod effects;
 pub mod escape;
 pub mod knowledge;
 pub mod liveness;
@@ -60,6 +61,7 @@ use php_interp::AnalysisFacts;
 use std::sync::Arc;
 
 pub use callgraph::CallGraph;
+pub use effects::{EffectSummary, Effects, FuncEffect, Purity};
 pub use region::{CrossSet, RegionInfo, RegionStats};
 pub use report::{Lint, LintKind, Report, ScopeReport};
 pub use solver::{Direction, Lattice};
@@ -162,6 +164,17 @@ pub fn analyze_with_options(
     if opts.interprocedural {
         let n = taint::taint_lints(&scopes, &cg, &view, &mut report.lints);
         facts.set_taint_lint_count(n);
+    }
+    if let Some(sums) = &sums {
+        // Effect/purity pass: prove cross-request memoizable call sites and
+        // lint the cache-shaped-but-nondeterministic near-misses.
+        let eff = effects::compute_effects(&scopes, &cg);
+        let memo =
+            effects::commit_memo_sites(prog, &scopes, &eff, sums, &mut facts, &mut report.lints);
+        for (i, n) in memo.per_scope.iter().enumerate() {
+            report.scopes[i].memo_sites = *n;
+        }
+        report.effects = effects::effect_rows(&eff, &memo);
     }
     Analysis { facts, report }
 }

@@ -20,19 +20,76 @@ pub enum LintKind {
     /// global, a cross-request consumer, or an `extract`-poisoned scope) —
     /// excluded from arena allocation (see [`crate::region`]).
     CrossRequestEscape,
+    /// A call whose callee is cache-shaped (write-free, non-escaping
+    /// arguments) but depends on `rand`/`time`: memoizing it would replay a
+    /// stale draw and change program output (see [`crate::effects`]).
+    NondeterministicCacheable,
 }
 
-impl fmt::Display for LintKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl LintKind {
+    /// Every lint kind, in declaration order — the single registry the gate
+    /// tooling (`analyze --gate`, `serve::LintGate`, the allowlist parser)
+    /// resolves names against.
+    pub const ALL: [LintKind; 7] = [
+        LintKind::UseBeforeAssign,
+        LintKind::DeadStore,
+        LintKind::AlwaysTrueGuard,
+        LintKind::ConstantCondition,
+        LintKind::TaintedSink,
+        LintKind::CrossRequestEscape,
+        LintKind::NondeterministicCacheable,
+    ];
+
+    /// The stable kebab-case name, as printed inside `[...]` in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
             LintKind::UseBeforeAssign => "use-before-assign",
             LintKind::DeadStore => "dead-store",
             LintKind::AlwaysTrueGuard => "type-guard",
             LintKind::ConstantCondition => "constant-condition",
             LintKind::TaintedSink => "tainted-sink",
             LintKind::CrossRequestEscape => "cross-request-escape",
-        })
+            LintKind::NondeterministicCacheable => "nondeterministic-cacheable",
+        }
     }
+
+    /// Resolves a kind from its [`LintKind::name`].
+    pub fn from_name(name: &str) -> Option<LintKind> {
+        LintKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parses allowlist text (`scripts/taint-allowlist.txt` format): one
+/// substring pattern per line, blank lines and `#` comments ignored. A
+/// pattern beginning with `[kind]` must name a registered [`LintKind`] —
+/// a typoed kind would otherwise silently never match anything and the gate
+/// would reject the lint it was meant to excuse.
+pub fn parse_allowlist(text: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let kind = rest.split(']').next().unwrap_or("");
+            if LintKind::from_name(kind).is_none() {
+                return Err(format!(
+                    "allowlist line {}: unknown lint kind [{kind}] (known: {})",
+                    i + 1,
+                    LintKind::ALL.map(LintKind::name).join(", ")
+                ));
+            }
+        }
+        out.push(line.to_string());
+    }
+    Ok(out)
 }
 
 /// One diagnostic, attributed to the scope it was found in.
@@ -82,6 +139,8 @@ pub struct ScopeReport {
     pub arena_safe_sites: usize,
     /// Allocation sites that may outlive the request (free-list path).
     pub cross_request_sites: usize,
+    /// Call sites the effect analysis proved memoizable across requests.
+    pub memo_sites: usize,
 }
 
 impl ScopeReport {
@@ -101,7 +160,7 @@ impl fmt::Display for ScopeReport {
             f,
             "{:<16} blocks={:<3} type-coverage={:>5.1}% ({}/{} operands) \
              rc-elide reads={} stores={} keys const-str={} int-append={} \
-             arena safe={} escaping={}",
+             arena safe={} escaping={} memo={}",
             self.name,
             self.blocks,
             self.type_coverage_pct(),
@@ -113,6 +172,7 @@ impl fmt::Display for ScopeReport {
             self.int_append_sites,
             self.arena_safe_sites,
             self.cross_request_sites,
+            self.memo_sites,
         )
     }
 }
@@ -124,6 +184,9 @@ pub struct Report {
     pub scopes: Vec<ScopeReport>,
     /// All diagnostics, in discovery order.
     pub lints: Vec<Lint>,
+    /// Per-function effect summaries (empty when the interprocedural
+    /// pipeline is off), for the `analyze` binary's effect table.
+    pub effects: Vec<crate::effects::FuncEffect>,
 }
 
 impl Report {
@@ -160,8 +223,42 @@ impl Report {
         self.scopes.iter().map(|s| s.cross_request_sites).sum()
     }
 
+    /// Total proven-memoizable call sites across scopes.
+    pub fn memo_sites(&self) -> usize {
+        self.scopes.iter().map(|s| s.memo_sites).sum()
+    }
+
     /// Lints of one kind.
     pub fn lint_count(&self, kind: LintKind) -> usize {
         self.lints.iter().filter(|l| l.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips_every_name() {
+        for kind in LintKind::ALL {
+            assert_eq!(LintKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(LintKind::from_name("no-such-lint"), None);
+    }
+
+    #[test]
+    fn allowlist_parser_keeps_patterns_and_validates_kinds() {
+        let text = "# comment\n\n[tainted-sink] <main>: echo sink ($q)\nplain substring\n";
+        let pats = parse_allowlist(text).unwrap();
+        assert_eq!(
+            pats,
+            vec![
+                "[tainted-sink] <main>: echo sink ($q)".to_string(),
+                "plain substring".to_string(),
+            ]
+        );
+        let err = parse_allowlist("[taint-sink] typoed kind").unwrap_err();
+        assert!(err.contains("unknown lint kind"), "{err}");
+        assert!(err.contains("tainted-sink"), "lists known names: {err}");
     }
 }

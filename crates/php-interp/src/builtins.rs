@@ -21,6 +21,30 @@ pub trait Host {
     /// analysis-time-compiled handle when the engine has one for the current
     /// call site, otherwise a runtime compile through the engine's cache.
     fn regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError>;
+    /// The next value of the engine's pseudo-random stream (`rand`). The
+    /// stream is seeded per engine instance, so primary and reference
+    /// replays of the same request agree byte-for-byte — but it is
+    /// *stateful within a request*, which is exactly why the effect
+    /// analysis classifies `rand` nondeterministic: skipping a call (e.g.
+    /// by memoizing a caller) shifts every later draw.
+    fn next_rand(&mut self) -> i64;
+}
+
+/// Seed for each engine instance's `rand` stream.
+pub const RAND_SEED: u64 = 0x5EED_2017_0613;
+
+/// The simulated wall clock `time()` returns: a fixed epoch so runs are
+/// reproducible. Statically the builtin is still nondeterministic — real
+/// deployments do not pin the clock.
+pub const SIMULATED_EPOCH: i64 = 1_497_312_000;
+
+/// Advances an engine's LCG rand state and returns the drawn value in
+/// `0..=0x7fff_ffff` (both engines share this so they cannot diverge).
+pub fn rand_step(state: &mut u64) -> i64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 33) & 0x7fff_ffff) as i64
 }
 
 fn arg(args: &[PhpValue], i: usize) -> PhpValue {
@@ -82,6 +106,8 @@ pub const NAMES: &[&str] = &[
     "min",
     "preg_match",
     "preg_replace",
+    "rand",
+    "time",
 ];
 
 /// Calls builtin `name` through the tree-walking interpreter. `site` is the
@@ -110,6 +136,9 @@ pub fn call(
         }
         fn regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError> {
             self.interp.regex_for(self.site, pattern)
+        }
+        fn next_rand(&mut self) -> i64 {
+            self.interp.next_rand()
         }
     }
     dispatch(&mut InterpHost { interp, site }, name, args)
@@ -384,6 +413,21 @@ pub fn dispatch<H: Host>(
                 .preg_replace(&re, &subject, replacement.as_bytes());
             Ok(PhpValue::str(out))
         }
+        "rand" => {
+            let draw = host.next_rand();
+            if args.len() >= 2 {
+                let lo = arg(&args, 0).to_int();
+                let hi = arg(&args, 1).to_int();
+                if hi < lo {
+                    return Err(RuntimeError::new("rand: max is smaller than min"));
+                }
+                let span = (hi - lo) as u64 + 1;
+                Ok(PhpValue::Int(lo + (draw as u64 % span) as i64))
+            } else {
+                Ok(PhpValue::Int(draw))
+            }
+        }
+        "time" => Ok(PhpValue::Int(SIMULATED_EPOCH)),
         other => Err(RuntimeError::new(format!("undefined builtin {other}"))),
     }
 }
@@ -470,6 +514,32 @@ mod tests {
             eval_expr("abs(-9223372036854775807 - 1)"),
             "-9223372036854775808"
         );
+    }
+
+    #[test]
+    fn rand_and_time_are_deterministic_per_engine() {
+        // Two fresh engines draw identical streams (replay soundness)…
+        let a = eval_expr("rand(1, 6) . ',' . rand(1, 6) . ',' . time()");
+        let b = eval_expr("rand(1, 6) . ',' . rand(1, 6) . ',' . time()");
+        assert_eq!(a, b);
+        // …the draws stay in range, and the clock is the simulated epoch.
+        let parts: Vec<&str> = a.split(',').collect();
+        for p in &parts[..2] {
+            let v: i64 = p.parse().unwrap();
+            assert!((1..=6).contains(&v), "{v}");
+        }
+        assert_eq!(parts[2], super::SIMULATED_EPOCH.to_string());
+        // rand is stateful *within* an engine: the stream advances.
+        let wide = eval_expr("rand() . ',' . rand()");
+        let halves: Vec<&str> = wide.split(',').collect();
+        assert_ne!(halves[0], halves[1], "stream must advance");
+    }
+
+    #[test]
+    fn rand_rejects_inverted_range() {
+        let mut m = PhpMachine::baseline();
+        let mut i = Interp::new(&mut m);
+        assert!(i.run("echo rand(6, 1);").is_err());
     }
 
     #[test]

@@ -284,6 +284,26 @@ pub enum Op {
         /// Proven key shape for the hash probe.
         hint: KeyShapeHint,
     },
+    // ---- cross-request memoization (emitted only when the facts prove
+    //      the call site memoizable; see `php-analysis` effects pass) -----
+    /// Consult the shared memo tier before the `CallUser` that follows.
+    /// The callee's arguments are on the stack; on a hit they are popped,
+    /// the cached return value pushed, the cached echo bytes appended, and
+    /// control jumps to `skip` (past the matching [`Op::MemoStore`]). On a
+    /// miss (or with no tier attached) execution falls through.
+    MemoEnter {
+        /// Index into [`CompiledUnit::memo_sites`].
+        site: u32,
+        /// Jump target on a hit: the instruction after the `MemoStore`.
+        skip: u32,
+    },
+    /// Store the result of the preceding `CallUser` (return value on top of
+    /// stack, left in place; echo bytes since the matching `MemoEnter`)
+    /// into the shared tier.
+    MemoStore {
+        /// Index into [`CompiledUnit::memo_sites`].
+        site: u32,
+    },
 }
 
 /// Dense opcode classification for the per-opcode execution counters
@@ -334,10 +354,12 @@ pub enum OpKind {
     EchoConst,
     EchoVar,
     IndexConst,
+    MemoEnter,
+    MemoStore,
 }
 
 /// Number of [`OpKind`] variants (counter-array size).
-pub const OP_KIND_COUNT: usize = 42;
+pub const OP_KIND_COUNT: usize = 44;
 
 impl OpKind {
     /// Stable display name.
@@ -386,6 +408,8 @@ impl OpKind {
             EchoConst => "EchoConst",
             EchoVar => "EchoVar",
             IndexConst => "IndexConst",
+            MemoEnter => "MemoEnter",
+            MemoStore => "MemoStore",
         }
     }
 
@@ -435,6 +459,8 @@ impl OpKind {
             EchoConst,
             EchoVar,
             IndexConst,
+            MemoEnter,
+            MemoStore,
         ]
     }
 
@@ -497,6 +523,8 @@ impl Op {
             Op::EchoConst { .. } => OpKind::EchoConst,
             Op::EchoVar { .. } => OpKind::EchoVar,
             Op::IndexConst { .. } => OpKind::IndexConst,
+            Op::MemoEnter { .. } => OpKind::MemoEnter,
+            Op::MemoStore { .. } => OpKind::MemoStore,
         }
     }
 }
@@ -546,6 +574,21 @@ pub struct CompiledUnit {
     /// Facts side-channel: whether any regex was precompiled (preloads the
     /// string-engine sieve config).
     pub has_precompiled_regex: bool,
+    /// Facts side-channel: memoizable call sites, indexed by
+    /// [`Op::MemoEnter`]/[`Op::MemoStore`]'s `site` operand.
+    pub memo_sites: Vec<MemoSiteInfo>,
+}
+
+/// Static description of one proven-memoizable call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoSiteInfo {
+    /// Callee name (part of the memo key).
+    pub func: String,
+    /// Number of arguments on the stack at the `MemoEnter`.
+    pub argc: u32,
+    /// Globals in the callee's transitive read set; their current values are
+    /// folded into the key and they double as invalidation fingerprints.
+    pub deps: Vec<String>,
 }
 
 /// Compiles a program (plus the shared pre-registered function instances the
@@ -765,6 +808,7 @@ impl<'f> Compiler<'f> {
             | Op::JumpIfTruePeek(x)
             | Op::JumpIfFalsePeek(x) => *x = t,
             Op::IterNext { end, .. } => *end = t,
+            Op::MemoEnter { skip, .. } => *skip = t,
             other => unreachable!("patching non-jump {other:?}"),
         }
     }
@@ -1107,7 +1151,39 @@ impl<'f> Compiler<'f> {
                         summarized,
                     },
                 };
-                self.emit(b, op);
+                // A proven-memoizable resolved user call is bracketed with
+                // MemoEnter/MemoStore; the enter's `skip` jumps past the
+                // store on a hit.
+                let memo = match &op {
+                    Op::CallUser { .. } => self.facts.and_then(|f| f.memo_site(e)).map(|m| {
+                        let site = self.unit.memo_sites.len() as u32;
+                        self.unit.memo_sites.push(MemoSiteInfo {
+                            func: m.func.clone(),
+                            argc,
+                            deps: m.deps.clone(),
+                        });
+                        site
+                    }),
+                    _ => None,
+                };
+                match memo {
+                    Some(site) => {
+                        let enter = self.emit(
+                            b,
+                            Op::MemoEnter {
+                                site,
+                                skip: u32::MAX,
+                            },
+                        );
+                        self.emit(b, op);
+                        self.emit(b, Op::MemoStore { site });
+                        let after = b.code.len();
+                        self.patch(b, enter, after);
+                    }
+                    None => {
+                        self.emit(b, op);
+                    }
+                }
             }
             Expr::Ternary {
                 cond,
@@ -1266,6 +1342,9 @@ fn fuse_pairs(code: Vec<Op>) -> Vec<Op> {
             Op::IterNext { end, .. } => {
                 targets.insert(*end as usize);
             }
+            Op::MemoEnter { skip, .. } => {
+                targets.insert(*skip as usize);
+            }
             _ => {}
         }
     }
@@ -1319,6 +1398,7 @@ fn fuse_pairs(code: Vec<Op>) -> Vec<Op> {
             | Op::JumpIfTruePeek(t)
             | Op::JumpIfFalsePeek(t) => *t = map[*t as usize] as u32,
             Op::IterNext { end, .. } => *end = map[*end as usize] as u32,
+            Op::MemoEnter { skip, .. } => *skip = map[*skip as usize] as u32,
             _ => {}
         }
     }

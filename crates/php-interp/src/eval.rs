@@ -10,6 +10,7 @@
 use crate::ast::*;
 use crate::builtins;
 use crate::facts::{AnalysisFacts, KeyShape};
+use crate::memo::{MemoHandle, MemoHit, MemoValue};
 use crate::parser::{parse, ParseError};
 use php_runtime::array::{ArrayKey, PhpArray};
 use php_runtime::string::PhpStr;
@@ -104,6 +105,11 @@ pub struct Interp<'m> {
     /// Static-analysis facts for the program being run (see
     /// [`crate::facts`]). `None` = fully dynamic execution.
     facts: Option<Arc<AnalysisFacts>>,
+    /// Shared cross-request memo tier (see [`crate::memo`]). `None` = no
+    /// memoization; proven-memoizable sites just execute.
+    memo: Option<MemoHandle>,
+    /// Engine-local `rand` stream state (see [`builtins::RAND_SEED`]).
+    rand_state: u64,
 }
 
 pub(crate) fn hint_of(shape: KeyShape) -> KeyShapeHint {
@@ -280,6 +286,8 @@ impl<'m> Interp<'m> {
             regex_compiles: 0,
             depth: 0,
             facts: None,
+            memo: None,
+            rand_state: builtins::RAND_SEED,
         }
     }
 
@@ -311,6 +319,22 @@ impl<'m> Interp<'m> {
     /// Detaches static-analysis facts.
     pub fn clear_facts(&mut self) {
         self.facts = None;
+    }
+
+    /// Attaches a shared memo tier. Only sites the attached facts prove
+    /// memoizable consult it, so without facts this is inert.
+    pub fn set_memo(&mut self, handle: MemoHandle) {
+        self.memo = Some(handle);
+    }
+
+    /// Detaches the memo tier.
+    pub fn clear_memo(&mut self) {
+        self.memo = None;
+    }
+
+    /// Draws the next value of the engine's deterministic `rand` stream.
+    pub(crate) fn next_rand(&mut self) -> i64 {
+        builtins::rand_step(&mut self.rand_state)
     }
 
     /// Pre-registers shared function definitions. Hoisting in
@@ -444,6 +468,81 @@ impl<'m> Interp<'m> {
         result.map(|()| ret)
     }
 
+    /// Runs one proven-memoizable call through the memo tier: replay on a
+    /// hit (return value + echoed bytes), execute-and-store on a miss. A
+    /// key that fails to build (value too deep) executes normally.
+    fn call_memoized(
+        &mut self,
+        def: &FuncDef,
+        vals: Vec<PhpValue>,
+        site: &crate::facts::MemoSiteFact,
+    ) -> Result<PhpValue, RuntimeError> {
+        let handle = self.memo.clone().expect("checked by caller");
+        // Dependency values are read straight from the global symbol table,
+        // bypassing the (fault-injectable) accelerator path: the key must
+        // reflect architecturally true state.
+        let globals = &self.scopes[0].table;
+        let key = handle.build_key(&site.func, &vals, &site.deps, |dep| {
+            globals
+                .get(&ArrayKey::from(dep))
+                .cloned()
+                .unwrap_or(PhpValue::Null)
+        });
+        let Some(key) = key else {
+            return self.invoke(def, vals);
+        };
+        if let Some(hit) = handle.tier.lookup(&key) {
+            self.machine.ctx().profiler().note_memo_hit();
+            self.output.extend_from_slice(&hit.output);
+            return Ok(hit.value.to_php(self.machine));
+        }
+        self.machine.ctx().profiler().note_memo_miss();
+        let out_mark = self.output.len();
+        // Keep cheap handle clones of the arguments: after the call the key
+        // is rebuilt from them plus fresh dep reads, and the entry is stored
+        // only if nothing shifted. A callee that mutates an argument array —
+        // or a dep's array through an alias — is thereby never cached.
+        let snapshot = vals.clone();
+        let ret = self.invoke(def, vals)?;
+        let stable = {
+            let globals = &self.scopes[0].table;
+            handle
+                .build_key(&site.func, &snapshot, &site.deps, |dep| {
+                    globals
+                        .get(&ArrayKey::from(dep))
+                        .cloned()
+                        .unwrap_or(PhpValue::Null)
+                })
+                .is_some_and(|k| k == key)
+        };
+        if !stable {
+            return Ok(ret);
+        }
+        if let Some(value) = MemoValue::from_php(&ret) {
+            let deps = site.deps.iter().map(|d| handle.dep_key(d)).collect();
+            handle.tier.store(
+                key,
+                deps,
+                MemoHit {
+                    value,
+                    output: self.output[out_mark..].to_vec(),
+                },
+            );
+            self.machine.ctx().profiler().note_memo_store();
+        }
+        Ok(ret)
+    }
+
+    /// Purges memo entries depending on global `name` after a write to it.
+    fn memo_invalidate_global(&mut self, name: &str) {
+        if let Some(handle) = &self.memo {
+            let n = handle.invalidate(name);
+            if n > 0 {
+                self.machine.ctx().profiler().note_memo_invalidations(n);
+            }
+        }
+    }
+
     fn scope_index_for(&self, name: &str) -> usize {
         let cur = self.scopes.len() - 1;
         if cur > 0 && self.scopes[cur].globals.contains(name) {
@@ -484,6 +583,12 @@ impl<'m> Interp<'m> {
         self.machine
             .array_set_static(&mut table, ArrayKey::from(name), value, st, hint);
         self.scopes[idx].table = table;
+        // A global write drops memo entries fingerprinted on this name.
+        // (Soundness never depends on this — dep *values* are in the key —
+        // but it keeps the shared tier free of dead generations.)
+        if idx == 0 {
+            self.memo_invalidate_global(name);
+        }
     }
 
     fn key_of(v: &PhpValue) -> ArrayKey {
@@ -574,6 +679,12 @@ impl<'m> Interp<'m> {
                                     shape == KeyShape::IntAppend,
                                 );
                             }
+                        }
+                        // An in-place element write mutates the global's
+                        // value without passing through `set_var`: trigger
+                        // the fingerprint invalidation here too.
+                        if self.scope_index_for(var) == 0 {
+                            self.memo_invalidate_global(var);
                         }
                     }
                 }
@@ -786,6 +897,16 @@ impl<'m> Interp<'m> {
                     // this call boundary instead of dropping to ⊤.
                     if self.facts.as_ref().is_some_and(|f| f.call_summarized(e)) {
                         self.machine.ctx().profiler().note_summary_applied();
+                    }
+                    // A proven-memoizable site with a tier attached: key on
+                    // (callee, args, read-set values) and replay on a hit.
+                    let site = self
+                        .memo
+                        .is_some()
+                        .then(|| self.facts.as_ref().and_then(|f| f.memo_site(e)).cloned())
+                        .flatten();
+                    if let Some(site) = site {
+                        return self.call_memoized(&def, vals, &site);
                     }
                     return self.invoke(&def, vals);
                 }

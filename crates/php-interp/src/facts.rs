@@ -83,6 +83,23 @@ pub struct AnalysisFacts {
     /// `extract` poisoning). A missing name means "not proven" — the
     /// interpreter keeps the free-list path.
     symtab_arena_safe: HashSet<String>,
+    /// `Expr::Call` sites the effect analysis proved memoizable across
+    /// requests: the callee is (transitively) write-free and deterministic,
+    /// so its result is a pure function of arguments plus the globals in
+    /// its read-set. The stored fingerprint drives key construction and
+    /// write-triggered invalidation.
+    memo_sites: HashMap<NodeId, MemoSiteFact>,
+}
+
+/// What the engines need to memoize one proven call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoSiteFact {
+    /// Callee name (part of the cache key).
+    pub func: String,
+    /// Dependency fingerprint: every global the callee may (transitively)
+    /// read, sorted. Their *values* enter the key; their *names* drive
+    /// invalidation.
+    pub deps: Vec<String>,
 }
 
 fn expr_addr(e: &Expr) -> usize {
@@ -179,6 +196,11 @@ impl AnalysisFacts {
         }
     }
 
+    /// Marks a call site as memoizable with the given fingerprint.
+    pub fn set_memo_site(&mut self, id: NodeId, fact: MemoSiteFact) {
+        self.memo_sites.insert(id, fact);
+    }
+
     // -- queries (used by the interpreter) -----------------------------------
 
     /// The id of an expression node, if it belongs to the analyzed program.
@@ -273,6 +295,17 @@ impl AnalysisFacts {
     /// Number of `preg_*` sites with an analysis-time-compiled pattern.
     pub fn precompiled_regex_count(&self) -> usize {
         self.precompiled_regex.len()
+    }
+
+    /// The memo fingerprint of a call site, if the analysis proved it
+    /// memoizable.
+    pub fn memo_site(&self, e: &Expr) -> Option<&MemoSiteFact> {
+        self.expr_id(e).and_then(|id| self.memo_sites.get(&id))
+    }
+
+    /// Number of proven-memoizable call sites.
+    pub fn memo_site_count(&self) -> usize {
+        self.memo_sites.len()
     }
 
     // -- summary counts (used by reports) ------------------------------------

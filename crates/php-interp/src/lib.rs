@@ -26,13 +26,15 @@ pub mod compile;
 pub mod eval;
 pub mod facts;
 pub mod lexer;
+pub mod memo;
 pub mod parser;
 pub mod vm;
 
 pub use ast::{BinOp, Expr, FuncDef, Program, Stmt};
 pub use builtins::NAMES as BUILTIN_NAMES;
-pub use compile::{compile, CompileOptions, CompiledFunc, CompiledUnit, Op, OpKind};
+pub use compile::{compile, CompileOptions, CompiledFunc, CompiledUnit, MemoSiteInfo, Op, OpKind};
 pub use eval::{strip_delimiters, ErrorKind, Interp, RuntimeError};
-pub use facts::{AnalysisFacts, KeyShape, NodeId};
+pub use facts::{AnalysisFacts, KeyShape, MemoSiteFact, NodeId};
+pub use memo::{MemoHandle, MemoHit, MemoTier, MemoValue, SimpleMemo};
 pub use parser::{parse, ParseError};
 pub use vm::{OpcodeTally, Vm};

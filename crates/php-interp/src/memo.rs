@@ -1,0 +1,553 @@
+//! Cross-request memoization: the value model and cache interface behind
+//! the sites `php-analysis` proves memoizable.
+//!
+//! The analysis (`effects.rs` in `php-analysis`) marks a user-call site
+//! memoizable only when the callee — transitively — writes no globals,
+//! calls no nondeterministic builtin (`rand`, `time`), and hides nothing
+//! behind an unknown call or `extract`. Its observable behaviour is then a
+//! pure function of (callee, argument values, values of the globals in its
+//! read-set, bytes it echoes). Both engines build a **canonical key** from
+//! exactly those inputs and consult a [`MemoTier`]:
+//!
+//! * **hit** — replay the stored return value (deep-copied back into the
+//!   requesting machine's heap) and append the stored echo bytes, skipping
+//!   the callee entirely;
+//! * **miss** — run the callee, then store `(return value, echoed bytes)`
+//!   under the key together with the site's dependency fingerprint (its
+//!   read-set names).
+//!
+//! Soundness does **not** rest on invalidation: the key embeds the *values*
+//! of every global the callee may read, so a stale entry can never be
+//! returned for a state it was not computed in — workers with divergent
+//! global state simply build divergent keys. Write-triggered invalidation
+//! (every global store purges entries whose fingerprint names the written
+//! variable) is a freshness/capacity mechanism layered on top: it keeps the
+//! shared tier from accumulating dead generations of hot entries.
+//!
+//! Keys are namespaced per program (the [`MemoHandle`] carries the
+//! namespace), because node-local site identity does not survive across
+//! different scripts sharing one cache tier.
+
+use php_runtime::array::ArrayKey;
+use php_runtime::string::PhpStr;
+use php_runtime::value::PhpValue;
+use phpaccel_core::PhpMachine;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maximum array nesting depth a value may have and still be memoized.
+/// Deeper (or cyclic) values make the site silently non-memoizable at
+/// runtime — correctness never depends on a value being cacheable.
+const MAX_VALUE_DEPTH: u32 = 16;
+
+/// An owned, `Send + Sync` deep copy of a [`PhpValue`]. The engine's values
+/// hold `Rc` interior mutability and cannot cross threads; the memo tier
+/// stores this flattened form and reconstructs a fresh heap value on a hit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoValue {
+    /// PHP `null`.
+    Null,
+    /// PHP `bool`.
+    Bool(bool),
+    /// PHP `int`.
+    Int(i64),
+    /// PHP `float`.
+    Float(f64),
+    /// PHP `string` (raw bytes).
+    Str(Vec<u8>),
+    /// PHP `array`, in insertion order (order is observable via `foreach`).
+    Array(Vec<(MemoArrayKey, MemoValue)>),
+}
+
+/// Owned array key for [`MemoValue::Array`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoArrayKey {
+    /// Integer key.
+    Int(i64),
+    /// String key (raw bytes).
+    Str(Vec<u8>),
+}
+
+impl MemoValue {
+    /// Deep-copies a runtime value into the owned form. `None` when the
+    /// value nests deeper than [`MAX_VALUE_DEPTH`] (covers cyclic arrays).
+    pub fn from_php(v: &PhpValue) -> Option<MemoValue> {
+        Self::from_php_at(v, 0)
+    }
+
+    fn from_php_at(v: &PhpValue, depth: u32) -> Option<MemoValue> {
+        if depth > MAX_VALUE_DEPTH {
+            return None;
+        }
+        Some(match v {
+            PhpValue::Null => MemoValue::Null,
+            PhpValue::Bool(b) => MemoValue::Bool(*b),
+            PhpValue::Int(i) => MemoValue::Int(*i),
+            PhpValue::Float(f) => MemoValue::Float(*f),
+            PhpValue::Str(s) => MemoValue::Str(s.as_bytes().to_vec()),
+            PhpValue::Array(rc) => {
+                let borrowed = rc.borrow();
+                let mut pairs = Vec::with_capacity(borrowed.len());
+                for (k, val) in borrowed.iter() {
+                    let key = match k {
+                        ArrayKey::Int(i) => MemoArrayKey::Int(*i),
+                        ArrayKey::Str(s) => MemoArrayKey::Str(s.as_bytes().to_vec()),
+                    };
+                    pairs.push((key, Self::from_php_at(val, depth + 1)?));
+                }
+                MemoValue::Array(pairs)
+            }
+        })
+    }
+
+    /// Reconstructs a fresh runtime value in `m`'s heap. Array construction
+    /// goes through the machine so the replayed value is metered and lives
+    /// on the ordinary free-list path (a memo hit may escape anywhere).
+    pub fn to_php(&self, m: &mut PhpMachine) -> PhpValue {
+        match self {
+            MemoValue::Null => PhpValue::Null,
+            MemoValue::Bool(b) => PhpValue::Bool(*b),
+            MemoValue::Int(i) => PhpValue::Int(*i),
+            MemoValue::Float(f) => PhpValue::Float(*f),
+            MemoValue::Str(bytes) => PhpValue::str(PhpStr::from_bytes(bytes.clone())),
+            MemoValue::Array(pairs) => {
+                let mut arr = m.new_array();
+                for (k, v) in pairs {
+                    let key = match k {
+                        MemoArrayKey::Int(i) => ArrayKey::Int(*i),
+                        MemoArrayKey::Str(bytes) => {
+                            ArrayKey::Str(PhpStr::from_bytes(bytes.clone()))
+                        }
+                    };
+                    let value = v.to_php(m);
+                    m.array_set(&mut arr, key, value);
+                }
+                PhpValue::array(arr)
+            }
+        }
+    }
+}
+
+/// Appends a canonical, collision-free serialization of `v` to `out`.
+/// Returns `false` (leaving `out` in an unspecified state) when the value
+/// is too deep to serialize — the caller must then skip memoization.
+pub fn canon_value(v: &PhpValue, out: &mut String) -> bool {
+    canon_value_at(v, out, 0)
+}
+
+fn canon_bytes(bytes: &[u8], out: &mut String) {
+    out.push_str(&bytes.len().to_string());
+    out.push(':');
+    for &b in bytes {
+        // Printable ASCII stays literal (minus the escape char); everything
+        // else is %XX. Length-prefixed, so no delimiter ambiguity.
+        if b.is_ascii_graphic() && b != b'%' || b == b' ' {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push_str(&format!("{b:02x}"));
+        }
+    }
+}
+
+fn canon_value_at(v: &PhpValue, out: &mut String, depth: u32) -> bool {
+    if depth > MAX_VALUE_DEPTH {
+        return false;
+    }
+    match v {
+        PhpValue::Null => out.push('n'),
+        PhpValue::Bool(b) => out.push_str(if *b { "b1" } else { "b0" }),
+        PhpValue::Int(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        PhpValue::Float(f) => {
+            // Bit pattern: exact, distinguishes 0.0 from -0.0 (echo doesn't,
+            // but arithmetic downstream of a replayed value can).
+            out.push('f');
+            out.push_str(&format!("{:x}", f.to_bits()));
+        }
+        PhpValue::Str(s) => {
+            out.push('s');
+            canon_bytes(s.as_bytes(), out);
+        }
+        PhpValue::Array(rc) => {
+            out.push_str("a{");
+            let borrowed = rc.borrow();
+            for (k, val) in borrowed.iter() {
+                match k {
+                    ArrayKey::Int(i) => {
+                        out.push('k');
+                        out.push_str(&i.to_string());
+                        out.push('=');
+                    }
+                    ArrayKey::Str(s) => {
+                        out.push('K');
+                        canon_bytes(s.as_bytes(), out);
+                        out.push('=');
+                    }
+                }
+                if !canon_value_at(val, out, depth + 1) {
+                    return false;
+                }
+                out.push(';');
+            }
+            out.push('}');
+        }
+    }
+    out.push('|');
+    true
+}
+
+/// What a memo hit replays: the callee's return value and the bytes it
+/// echoed while computing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoHit {
+    /// Deep-copied return value.
+    pub value: MemoValue,
+    /// Output the callee produced, appended verbatim on replay.
+    pub output: Vec<u8>,
+}
+
+/// A shared memoization tier. `serve::memo::MemoCache` is the production
+/// (sharded, bucket-locked) implementation; [`SimpleMemo`] is the
+/// single-lock reference used by tests and differential harnesses.
+pub trait MemoTier: Send + Sync {
+    /// Looks up `key`, cloning the stored result on a hit.
+    fn lookup(&self, key: &str) -> Option<MemoHit>;
+    /// Stores a computed result under `key`. `deps` is the site's
+    /// dependency fingerprint: the (namespaced) names of every global the
+    /// callee may read, used by [`MemoTier::invalidate`].
+    fn store(&self, key: String, deps: Vec<String>, hit: MemoHit);
+    /// Purges every entry whose fingerprint names `dep`. Returns how many
+    /// entries were dropped.
+    fn invalidate(&self, dep: &str) -> u64;
+}
+
+/// An engine's attachment to a memo tier: the shared cache plus the
+/// program namespace its keys live under.
+#[derive(Clone)]
+pub struct MemoHandle {
+    /// The shared tier.
+    pub tier: Arc<dyn MemoTier>,
+    /// Program namespace — two scripts sharing a tier must not collide even
+    /// when they define a same-named function.
+    pub namespace: String,
+}
+
+impl std::fmt::Debug for MemoHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoHandle")
+            .field("namespace", &self.namespace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoHandle {
+    /// Creates a handle over `tier` with keys namespaced by `namespace`.
+    pub fn new(tier: Arc<dyn MemoTier>, namespace: impl Into<String>) -> Self {
+        MemoHandle {
+            tier,
+            namespace: namespace.into(),
+        }
+    }
+
+    /// The namespaced dependency name for global `name` — the string both
+    /// fingerprints and invalidations use.
+    pub fn dep_key(&self, name: &str) -> String {
+        format!("{}\u{1}{}", self.namespace, name)
+    }
+
+    /// Builds the canonical lookup key for a call site: callee name,
+    /// argument values, and the current values of the read-set globals
+    /// (fetched through `read_dep`). `None` when any value is too deep to
+    /// serialize, in which case the site must execute normally.
+    pub fn build_key(
+        &self,
+        func: &str,
+        args: &[PhpValue],
+        deps: &[String],
+        mut read_dep: impl FnMut(&str) -> PhpValue,
+    ) -> Option<String> {
+        let mut key = String::with_capacity(64);
+        key.push_str(&self.namespace);
+        key.push('\u{1}');
+        key.push_str(func);
+        key.push('(');
+        for a in args {
+            if !canon_value(a, &mut key) {
+                return None;
+            }
+        }
+        key.push(')');
+        for dep in deps {
+            key.push('@');
+            key.push_str(dep);
+            key.push('=');
+            if !canon_value(&read_dep(dep), &mut key) {
+                return None;
+            }
+        }
+        Some(key)
+    }
+
+    /// Purges entries depending on global `name` (namespaced). Returns the
+    /// number of entries dropped.
+    pub fn invalidate(&self, name: &str) -> u64 {
+        self.tier.invalidate(&self.dep_key(name))
+    }
+}
+
+#[derive(Default)]
+struct SimpleMemoInner {
+    entries: HashMap<String, (Vec<String>, MemoHit)>,
+    by_dep: HashMap<String, HashSet<String>>,
+}
+
+/// Reference [`MemoTier`]: one lock, one map. Differential tests run this
+/// against the sharded production tier — both must produce byte-identical
+/// program output, because the tier only ever replays proven-deterministic
+/// results.
+#[derive(Default)]
+pub struct SimpleMemo {
+    inner: Mutex<SimpleMemoInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl SimpleMemo {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses, stores, invalidated entries)` so far.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.stores.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MemoTier for SimpleMemo {
+    fn lookup(&self, key: &str) -> Option<MemoHit> {
+        let inner = self.inner.lock().unwrap();
+        match inner.entries.get(key) {
+            Some((_, hit)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: String, deps: Vec<String>, hit: MemoHit) {
+        let mut inner = self.inner.lock().unwrap();
+        for dep in &deps {
+            inner
+                .by_dep
+                .entry(dep.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        inner.entries.insert(key, (deps, hit));
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn invalidate(&self, dep: &str) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(keys) = inner.by_dep.remove(dep) else {
+            return 0;
+        };
+        let mut dropped = 0;
+        for key in keys {
+            if let Some((deps, _)) = inner.entries.remove(&key) {
+                dropped += 1;
+                // Unlink the key from its other deps' indexes too.
+                for other in deps {
+                    if other != dep {
+                        if let Some(set) = inner.by_dep.get_mut(&other) {
+                            set.remove(&key);
+                        }
+                    }
+                }
+            }
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(tier: Arc<dyn MemoTier>) -> MemoHandle {
+        MemoHandle::new(tier, "t")
+    }
+
+    #[test]
+    fn canon_distinguishes_types_and_bytes() {
+        let mut a = String::new();
+        let mut b = String::new();
+        assert!(canon_value(&PhpValue::Int(1), &mut a));
+        assert!(canon_value(&PhpValue::str("1"), &mut b));
+        assert_ne!(a, b, "int 1 vs string \"1\"");
+        let (mut c, mut d) = (String::new(), String::new());
+        assert!(canon_value(&PhpValue::str("a%b"), &mut c));
+        assert!(canon_value(&PhpValue::str("a%25b"), &mut d));
+        assert_ne!(c, d, "escape char must round-trip losslessly");
+    }
+
+    #[test]
+    fn canon_is_order_sensitive_for_arrays() {
+        use php_runtime::array::PhpArray;
+        let mut x = PhpArray::new();
+        x.insert(ArrayKey::Str(PhpStr::from("a")), PhpValue::Int(1));
+        x.insert(ArrayKey::Str(PhpStr::from("b")), PhpValue::Int(2));
+        let mut y = PhpArray::new();
+        y.insert(ArrayKey::Str(PhpStr::from("b")), PhpValue::Int(2));
+        y.insert(ArrayKey::Str(PhpStr::from("a")), PhpValue::Int(1));
+        let (mut sx, mut sy) = (String::new(), String::new());
+        assert!(canon_value(&PhpValue::array(x), &mut sx));
+        assert!(canon_value(&PhpValue::array(y), &mut sy));
+        assert_ne!(sx, sy, "foreach order is observable");
+    }
+
+    #[test]
+    fn deep_values_refuse_to_serialize() {
+        let mut v = PhpValue::array(php_runtime::array::PhpArray::new());
+        for _ in 0..20 {
+            let mut outer = php_runtime::array::PhpArray::new();
+            outer.insert(ArrayKey::Int(0), v);
+            v = PhpValue::array(outer);
+        }
+        let mut out = String::new();
+        assert!(!canon_value(&v, &mut out));
+        assert!(MemoValue::from_php(&v).is_none());
+    }
+
+    #[test]
+    fn memo_value_round_trips_through_a_machine() {
+        use php_runtime::array::PhpArray;
+        let mut m = PhpMachine::baseline();
+        let mut arr = PhpArray::new();
+        arr.insert(ArrayKey::Str(PhpStr::from("k")), PhpValue::str("v"));
+        arr.insert(ArrayKey::Int(7), PhpValue::Float(1.5));
+        let original = PhpValue::array(arr);
+        let stored = MemoValue::from_php(&original).unwrap();
+        let replayed = stored.to_php(&mut m);
+        let (mut a, mut b) = (String::new(), String::new());
+        assert!(canon_value(&original, &mut a));
+        assert!(canon_value(&replayed, &mut b));
+        assert_eq!(a, b, "replayed value must be canonically identical");
+    }
+
+    #[test]
+    fn simple_memo_hit_miss_and_store() {
+        let tier = Arc::new(SimpleMemo::new());
+        let h = handle(tier.clone());
+        let key = h
+            .build_key("f", &[PhpValue::Int(3)], &[], |_| PhpValue::Null)
+            .unwrap();
+        assert!(tier.lookup(&key).is_none());
+        tier.store(
+            key.clone(),
+            vec![h.dep_key("g")],
+            MemoHit {
+                value: MemoValue::Int(9),
+                output: b"out".to_vec(),
+            },
+        );
+        let hit = tier.lookup(&key).unwrap();
+        assert_eq!(hit.value, MemoValue::Int(9));
+        assert_eq!(hit.output, b"out");
+        assert_eq!(tier.stats(), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn invalidation_purges_by_fingerprint() {
+        let tier = Arc::new(SimpleMemo::new());
+        let h = handle(tier.clone());
+        let mk = |n: i64| {
+            h.build_key("f", &[PhpValue::Int(n)], &["g".into()], |_| {
+                PhpValue::Int(0)
+            })
+            .unwrap()
+        };
+        for n in 0..3 {
+            tier.store(
+                mk(n),
+                vec![h.dep_key("g")],
+                MemoHit {
+                    value: MemoValue::Int(n),
+                    output: vec![],
+                },
+            );
+        }
+        tier.store(
+            h.build_key("u", &[], &[], |_| PhpValue::Null).unwrap(),
+            vec![h.dep_key("other")],
+            MemoHit {
+                value: MemoValue::Null,
+                output: vec![],
+            },
+        );
+        assert_eq!(tier.len(), 4);
+        assert_eq!(h.invalidate("g"), 3, "only g-dependent entries drop");
+        assert_eq!(tier.len(), 1);
+        assert_eq!(h.invalidate("g"), 0, "idempotent");
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        let tier: Arc<dyn MemoTier> = Arc::new(SimpleMemo::new());
+        let a = MemoHandle::new(tier.clone(), "script-a");
+        let b = MemoHandle::new(tier.clone(), "script-b");
+        let ka = a.build_key("f", &[], &[], |_| PhpValue::Null).unwrap();
+        let kb = b.build_key("f", &[], &[], |_| PhpValue::Null).unwrap();
+        assert_ne!(ka, kb);
+        tier.store(
+            ka,
+            vec![a.dep_key("g")],
+            MemoHit {
+                value: MemoValue::Int(1),
+                output: vec![],
+            },
+        );
+        assert!(tier.lookup(&kb).is_none());
+        assert_eq!(b.invalidate("g"), 0, "b's g is not a's g");
+        assert_eq!(a.invalidate("g"), 1);
+    }
+
+    #[test]
+    fn dep_values_are_part_of_the_key() {
+        let h = handle(Arc::new(SimpleMemo::new()));
+        let k1 = h
+            .build_key("f", &[], &["g".into()], |_| PhpValue::Int(1))
+            .unwrap();
+        let k2 = h
+            .build_key("f", &[], &["g".into()], |_| PhpValue::Int(2))
+            .unwrap();
+        assert_ne!(k1, k2, "a dep write always changes the key");
+    }
+}

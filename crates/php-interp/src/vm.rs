@@ -18,6 +18,7 @@
 use crate::builtins;
 use crate::compile::{CompiledUnit, Op, OpKind, OP_KIND_COUNT};
 use crate::eval::{binop_eval, index_read, key_of, RuntimeError, MAX_DEPTH};
+use crate::memo::{MemoHandle, MemoHit, MemoValue};
 use php_runtime::array::{ArrayKey, PhpArray};
 use php_runtime::value::PhpValue;
 use php_runtime::AccessStatic;
@@ -112,6 +113,18 @@ struct Scope {
     globals: HashSet<String>,
 }
 
+/// One in-flight memoizable call between its `MemoEnter` miss and its
+/// `MemoStore`.
+struct PendingMemo {
+    site: u32,
+    key: String,
+    /// Handle clones of the arguments, so the key can be rebuilt at store
+    /// time: a callee that mutated an argument (or a dep through an alias)
+    /// changes the rebuilt key and the entry is not stored.
+    args: Vec<PhpValue>,
+    out_mark: usize,
+}
+
 /// The VM. Holds the same per-request state as [`crate::Interp`] (scope
 /// stack of symbol-table arrays, output buffer, regex cache, recursion
 /// depth) plus the bytecode machine state (value/iterator/guard stacks and
@@ -131,6 +144,15 @@ pub struct Vm<'m> {
     regex_compiles: u64,
     depth: usize,
     tally: OpcodeTally,
+    /// Shared memo tier; `MemoEnter`/`MemoStore` are no-ops when absent.
+    memo: Option<MemoHandle>,
+    /// In-flight memo sites, LIFO — every executed `MemoEnter` that falls
+    /// through pushes one entry (`None` when the key was unbuildable) and
+    /// the matching `MemoStore` pops it.
+    memo_pending: Vec<Option<PendingMemo>>,
+    /// Deterministic per-request PRNG state for the `rand` builtin
+    /// (mirrors [`crate::Interp`]'s).
+    rand_state: u64,
 }
 
 impl<'m> Vm<'m> {
@@ -154,7 +176,22 @@ impl<'m> Vm<'m> {
             regex_compiles: 0,
             depth: 0,
             tally: OpcodeTally::default(),
+            memo: None,
+            memo_pending: Vec::new(),
+            rand_state: builtins::RAND_SEED,
         }
+    }
+
+    /// Attaches the shared cross-request memo tier. Without one every
+    /// `MemoEnter`/`MemoStore` is a no-op and the unit runs exactly as
+    /// compiled.
+    pub fn set_memo(&mut self, handle: MemoHandle) {
+        self.memo = Some(handle);
+    }
+
+    /// Detaches the memo tier.
+    pub fn clear_memo(&mut self) {
+        self.memo = None;
     }
 
     /// The machine.
@@ -221,6 +258,7 @@ impl<'m> Vm<'m> {
         self.stack.clear();
         self.iters.clear();
         self.guards.clear();
+        self.memo_pending.clear();
         self.machine.ctx().profiler().note_vm_execution(
             self.tally.total,
             self.tally.fused,
@@ -269,6 +307,21 @@ impl<'m> Vm<'m> {
         self.machine
             .array_set_static(&mut table, ArrayKey::from(name), value, st, hint);
         self.scopes[idx].table = table;
+        if idx == 0 && self.memo.is_some() {
+            self.memo_invalidate_global(name);
+        }
+    }
+
+    /// A global was (re)written: purge memo entries whose fingerprint names
+    /// it. Freshness/capacity only — soundness comes from dep *values* being
+    /// part of every key.
+    fn memo_invalidate_global(&mut self, name: &str) {
+        if let Some(handle) = &self.memo {
+            let n = handle.invalidate(name);
+            if n > 0 {
+                self.machine.ctx().profiler().note_memo_invalidations(n);
+            }
+        }
     }
 
     fn set_var(&mut self, name: &str, value: PhpValue) {
@@ -319,6 +372,9 @@ impl<'m> Vm<'m> {
             fn set_var(&mut self, name: &str, value: PhpValue) {
                 self.vm.set_var(name, value);
             }
+            fn next_rand(&mut self) -> i64 {
+                builtins::rand_step(&mut self.vm.rand_state)
+            }
             fn regex(&mut self, pattern: &str) -> Result<Regex, RuntimeError> {
                 if let Some(i) = self.regex {
                     let re = self.vm.unit.regexes[i as usize].clone();
@@ -354,12 +410,14 @@ impl<'m> Vm<'m> {
         let stack_mark = self.stack.len();
         let iter_mark = self.iters.len();
         let guard_mark = self.guards.len();
+        let memo_mark = self.memo_pending.len();
         let result = self.run_chunk(&f.code);
         // A mid-body `Return` or error leaves partial frames behind; drop
         // everything this call pushed.
         self.stack.truncate(stack_mark);
         self.iters.truncate(iter_mark);
         self.guards.truncate(guard_mark);
+        self.memo_pending.truncate(memo_mark);
         // Function scope ends: its symbol table (a short-lived hash map!)
         // is freed — the pattern the hardware hash table exploits.
         let scope = self.scopes.pop().expect("scope pushed above");
@@ -458,6 +516,11 @@ impl<'m> Vm<'m> {
                 }
                 Op::LoadIndexBase { name, arena } => {
                     let name = unit.names[*name as usize].clone();
+                    // Only store paths flow through LoadIndexBase: an indexed
+                    // write to a global is about to happen.
+                    if self.memo.is_some() && self.scope_index_for(&name) == 0 {
+                        self.memo_invalidate_global(&name);
+                    }
                     let base = self.get_var(&name);
                     let v = match base {
                         PhpValue::Array(_) => base,
@@ -668,6 +731,90 @@ impl<'m> Vm<'m> {
                     }
                     let v = self.invoke(*func, args)?;
                     self.stack.push(v);
+                }
+                Op::MemoEnter { site, skip } => {
+                    if let Some(handle) = self.memo.clone() {
+                        let info = &unit.memo_sites[*site as usize];
+                        let argc = info.argc as usize;
+                        let key = {
+                            let args = &self.stack[self.stack.len() - argc..];
+                            // Dep values come straight off the global table:
+                            // key building is bookkeeping, not program work,
+                            // so it bypasses the metered accessor path.
+                            let scope0 = &self.scopes[0].table;
+                            handle.build_key(&info.func, args, &info.deps, |dep| {
+                                scope0
+                                    .get(&ArrayKey::from(dep))
+                                    .cloned()
+                                    .unwrap_or(PhpValue::Null)
+                            })
+                        };
+                        match key {
+                            Some(k) => {
+                                if let Some(hit) = handle.tier.lookup(&k) {
+                                    self.machine.ctx().profiler().note_memo_hit();
+                                    let at = self.stack.len() - argc;
+                                    self.stack.truncate(at);
+                                    self.output.extend_from_slice(&hit.output);
+                                    let v = hit.value.to_php(self.machine);
+                                    self.stack.push(v);
+                                    pc = *skip as usize;
+                                } else {
+                                    self.machine.ctx().profiler().note_memo_miss();
+                                    // Handle clones only: the snapshot lets
+                                    // the store rebuild the key after the
+                                    // call and refuse mutation-unstable
+                                    // executions.
+                                    let args = self.stack[self.stack.len() - argc..].to_vec();
+                                    self.memo_pending.push(Some(PendingMemo {
+                                        site: *site,
+                                        key: k,
+                                        args,
+                                        out_mark: self.output.len(),
+                                    }));
+                                }
+                            }
+                            // Unkeyable (too-deep value): run the call
+                            // normally; the store below sees `None` and
+                            // skips.
+                            None => self.memo_pending.push(None),
+                        }
+                    }
+                }
+                Op::MemoStore { site } => {
+                    if let Some(handle) = self.memo.clone() {
+                        if let Some(Some(p)) = self.memo_pending.pop() {
+                            debug_assert_eq!(p.site, *site, "memo enter/store pairing");
+                            let info = &unit.memo_sites[*site as usize];
+                            // Rebuild the key from the argument snapshot and
+                            // fresh dep reads: if the callee mutated an
+                            // argument or a dep through an alias the keys
+                            // differ and the entry is not stored — replaying
+                            // it later could skip that mutation.
+                            let stable = {
+                                let scope0 = &self.scopes[0].table;
+                                handle
+                                    .build_key(&info.func, &p.args, &info.deps, |dep| {
+                                        scope0
+                                            .get(&ArrayKey::from(dep))
+                                            .cloned()
+                                            .unwrap_or(PhpValue::Null)
+                                    })
+                                    .is_some_and(|k| k == p.key)
+                            };
+                            if stable {
+                                let ret =
+                                    self.stack.last().expect("CallUser pushed a return value");
+                                if let Some(value) = MemoValue::from_php(ret) {
+                                    let deps =
+                                        info.deps.iter().map(|d| handle.dep_key(d)).collect();
+                                    let output = self.output[p.out_mark..].to_vec();
+                                    handle.tier.store(p.key, deps, MemoHit { value, output });
+                                    self.machine.ctx().profiler().note_memo_store();
+                                }
+                            }
+                        }
+                    }
                 }
                 Op::CallBuiltin { name, argc, regex } => {
                     let args = self.pop_args(*argc);

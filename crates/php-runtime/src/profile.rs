@@ -200,6 +200,16 @@ pub struct StaticSavings {
     /// Transient string allocations elided by fused opcodes (concat
     /// intermediates, echo-of-string materializations).
     pub vm_transients_elided: u64,
+    /// Cross-request memo-cache hits: a memoizable call site answered from
+    /// the shared tier instead of re-executing the callee.
+    pub memo_hits: u64,
+    /// Memoizable sites that executed because no entry (or a stale entry)
+    /// was cached under their dependency key.
+    pub memo_misses: u64,
+    /// Results stored into the shared memo tier after a miss.
+    pub memo_stores: u64,
+    /// Memo entries invalidated by writes to variables in their read-sets.
+    pub memo_invalidations: u64,
 }
 
 impl StaticSavings {
@@ -224,6 +234,10 @@ impl StaticSavings {
         self.vm_ops_executed += other.vm_ops_executed;
         self.vm_fused_ops += other.vm_fused_ops;
         self.vm_transients_elided += other.vm_transients_elided;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_stores += other.memo_stores;
+        self.memo_invalidations += other.memo_invalidations;
     }
 }
 
@@ -400,6 +414,27 @@ impl Profiler {
         inner.savings.vm_ops_executed += ops;
         inner.savings.vm_fused_ops += fused;
         inner.savings.vm_transients_elided += transients_elided;
+    }
+
+    /// Notes one memo-cache hit: the memoized result was replayed and the
+    /// callee body skipped.
+    pub fn note_memo_hit(&self) {
+        self.inner.borrow_mut().savings.memo_hits += 1;
+    }
+
+    /// Notes one memo-cache miss (the site executed normally).
+    pub fn note_memo_miss(&self) {
+        self.inner.borrow_mut().savings.memo_misses += 1;
+    }
+
+    /// Notes one result stored into the memo tier.
+    pub fn note_memo_store(&self) {
+        self.inner.borrow_mut().savings.memo_stores += 1;
+    }
+
+    /// Notes `n` memo entries invalidated by a dependency write.
+    pub fn note_memo_invalidations(&self, n: u64) {
+        self.inner.borrow_mut().savings.memo_invalidations += n;
     }
 
     /// Work skipped thanks to static analysis so far.

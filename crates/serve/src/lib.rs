@@ -21,6 +21,10 @@
 //!   workers, each with a private machine (per-core accelerator state), its
 //!   own fault-plan slice, and its own breakers; pool statistics are the
 //!   lossless sum of the workers'.
+//! * **The shared memo cache** ([`memo`]): the sharded, bucket-locked
+//!   [`php_interp::MemoTier`] pool workers share — call results the effect
+//!   analysis proved cross-request memoizable are computed once and replayed
+//!   on every worker, APCu-style.
 //! * **Admission control** ([`admission`]) and **the overload simulator**
 //!   ([`overload`]): a bounded queue in front of the workers whose
 //!   controller sheds arrivals ([`RequestOutcome::Shed`], 503) when the
@@ -34,6 +38,7 @@ pub mod breaker;
 pub mod fault;
 pub mod hist;
 pub mod lintgate;
+pub mod memo;
 pub mod outcome;
 pub mod overload;
 pub mod pool;
@@ -47,6 +52,7 @@ pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultKind, FaultPlan, PlannedFault};
 pub use hist::Histogram;
 pub use lintgate::{GateRejection, GateStats, LintGate, LintGateConfig};
+pub use memo::{MemoCache, MemoCacheStats};
 pub use outcome::{classify_panic, RequestOutcome};
 pub use overload::{OverloadConfig, OverloadRecord, OverloadReport, OverloadSim, SloWindow};
 pub use pool::{PoolConfig, PoolReport, WorkerPool, WorkerReport};

@@ -8,6 +8,7 @@
 //! passing a sanitizer. An allowlist of substrings mirrors
 //! `scripts/taint-allowlist.txt` for intentionally-dirty scripts.
 
+use php_analysis::report::parse_allowlist;
 use php_analysis::{analyze, Lint, LintKind};
 use php_interp::parse;
 
@@ -26,6 +27,33 @@ impl Default for LintGateConfig {
             reject_kinds: vec![LintKind::TaintedSink],
             allowlist: Vec::new(),
         }
+    }
+}
+
+impl LintGateConfig {
+    /// Builds a config rejecting the kinds named in the lint registry
+    /// ([`LintKind::from_name`]); an unknown name is an error rather than a
+    /// silently-inert gate.
+    pub fn reject_named<'a>(
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<LintGateConfig, String> {
+        let mut reject_kinds = Vec::new();
+        for name in names {
+            let kind = LintKind::from_name(name)
+                .ok_or_else(|| format!("unknown lint kind {name:?} (see LintKind::ALL)"))?;
+            reject_kinds.push(kind);
+        }
+        Ok(LintGateConfig {
+            reject_kinds,
+            allowlist: Vec::new(),
+        })
+    }
+
+    /// Loads the allowlist from file text in the `scripts/taint-allowlist.txt`
+    /// format, validating `[kind]` prefixes against the registry.
+    pub fn with_allowlist_text(mut self, text: &str) -> Result<LintGateConfig, String> {
+        self.allowlist = parse_allowlist(text)?;
+        Ok(self)
     }
 }
 
@@ -157,6 +185,37 @@ mod tests {
         });
         gate.admit(entry_source("search-echo"))
             .expect("allowlisted taint admits");
+    }
+
+    #[test]
+    fn registry_names_configure_the_gate() {
+        let cfg = LintGateConfig::reject_named(["nondeterministic-cacheable"]).unwrap();
+        let mut gate = LintGate::new(cfg);
+        match gate.admit("function tok() { return rand(1, 100); }\necho tok();") {
+            Err(GateRejection::Lints(lints)) => {
+                assert!(lints
+                    .iter()
+                    .all(|l| l.kind == LintKind::NondeterministicCacheable));
+            }
+            other => panic!("expected nondet-cacheable rejection, got {other:?}"),
+        }
+        assert!(
+            LintGateConfig::reject_named(["no-such-kind"]).is_err(),
+            "unknown names must not build a silently-inert gate"
+        );
+    }
+
+    #[test]
+    fn allowlist_text_goes_through_the_registry_parser() {
+        let cfg = LintGateConfig::default()
+            .with_allowlist_text("# intentional demo\n($q)\n")
+            .unwrap();
+        let mut gate = LintGate::new(cfg);
+        gate.admit(entry_source("search-echo"))
+            .expect("allowlisted taint admits");
+        assert!(LintGateConfig::default()
+            .with_allowlist_text("[typo-kind] whatever")
+            .is_err());
     }
 
     #[test]

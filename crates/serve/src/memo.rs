@@ -1,0 +1,273 @@
+//! The shared cross-request memo cache.
+//!
+//! [`MemoCache`] is the production [`MemoTier`]: an APCu-style in-memory
+//! cache shared by every worker in a [`crate::pool::WorkerPool`], holding
+//! results the static effect analysis proved cross-request memoizable
+//! (`php_analysis::effects`). Entries are sharded by key hash and each
+//! shard takes its own lock, so concurrent workers contend only when their
+//! keys collide on a shard — bucket-level locking, the software analogue of
+//! the paper's banked hash-table storage.
+//!
+//! Correctness never depends on invalidation: the memo *key* embeds the
+//! current value of every global in the callee's read set, so a stale entry
+//! can only be hit by a state that would recompute byte-identical results.
+//! Invalidation is a freshness/footprint policy — a write to a fingerprinted
+//! global drops the entries keyed on its old value, which would otherwise
+//! linger unreachable.
+
+use php_interp::{MemoHit, MemoTier};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default shard count — comfortably above typical worker counts so two
+/// workers rarely queue on the same lock.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Point-in-time counters for a [`MemoCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoCacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries dropped by dependency invalidation.
+    pub invalidations: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// key → (dependency fingerprint, cached result).
+    entries: HashMap<String, (Vec<String>, MemoHit)>,
+    /// dep → keys of resident entries fingerprinted on it (same shard as
+    /// the entry, so invalidation walks shards without cross-locking).
+    by_dep: HashMap<String, HashSet<String>>,
+}
+
+/// Sharded, bucket-locked memo tier shared across worker threads.
+pub struct MemoCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+/// FNV-1a over the key bytes: stable across runs (unlike `HashMap`'s
+/// per-instance seeded hasher), so shard placement — and therefore lock
+/// contention — is reproducible.
+fn shard_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl MemoCache {
+    /// Creates a cache with `shards` independently locked buckets
+    /// (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        MemoCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        &self.shards[(shard_hash(key) % self.shards.len() as u64) as usize]
+    }
+
+    /// Counter snapshot plus resident-entry count.
+    pub fn stats(&self) -> MemoCacheStats {
+        MemoCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().entries.len())
+                .sum(),
+        }
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock().unwrap();
+            s.entries.clear();
+            s.by_dep.clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.stores.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
+    }
+}
+
+impl MemoTier for MemoCache {
+    fn lookup(&self, key: &str) -> Option<MemoHit> {
+        let hit = self
+            .shard(key)
+            .lock()
+            .unwrap()
+            .entries
+            .get(key)
+            .map(|(_, h)| h.clone());
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn store(&self, key: String, deps: Vec<String>, hit: MemoHit) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        for dep in &deps {
+            shard
+                .by_dep
+                .entry(dep.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+        shard.entries.insert(key, (deps, hit));
+        drop(shard);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn invalidate(&self, dep: &str) -> u64 {
+        let mut dropped = 0u64;
+        for s in &self.shards {
+            let mut shard = s.lock().unwrap();
+            let Some(keys) = shard.by_dep.remove(dep) else {
+                continue;
+            };
+            for key in keys {
+                if let Some((deps, _)) = shard.entries.remove(&key) {
+                    dropped += 1;
+                    // Unlink the entry from its *other* dependency lists so
+                    // they never accumulate dead keys.
+                    for other in deps.iter().filter(|d| d.as_str() != dep) {
+                        if let Some(set) = shard.by_dep.get_mut(other) {
+                            set.remove(&key);
+                            if set.is_empty() {
+                                shard.by_dep.remove(other);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use php_interp::MemoValue;
+    use php_runtime::PhpValue;
+    use std::sync::Arc;
+
+    fn hit(n: i64) -> MemoHit {
+        MemoHit {
+            value: MemoValue::from_php(&PhpValue::Int(n)).unwrap(),
+            output: format!("out{n}").into_bytes(),
+        }
+    }
+
+    #[test]
+    fn store_lookup_and_counters() {
+        let cache = MemoCache::new(4);
+        assert!(cache.lookup("a").is_none());
+        cache.store("a".into(), vec!["d1".into()], hit(1));
+        let got = cache.lookup("a").expect("stored entry");
+        assert_eq!(got.output, b"out1");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn invalidation_drops_only_fingerprinted_entries() {
+        let cache = MemoCache::new(4);
+        cache.store("a".into(), vec!["d1".into(), "d2".into()], hit(1));
+        cache.store("b".into(), vec!["d2".into()], hit(2));
+        cache.store("c".into(), vec![], hit(3));
+        assert_eq!(cache.invalidate("d2"), 2, "a and b fingerprint d2");
+        assert!(cache.lookup("a").is_none());
+        assert!(cache.lookup("b").is_none());
+        assert!(cache.lookup("c").is_some(), "no deps, never invalidated");
+        assert_eq!(cache.stats().invalidations, 2);
+        // d1's list must not retain a's dead key.
+        assert_eq!(cache.invalidate("d1"), 0);
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let cache = MemoCache::new(0); // clamped to 1
+        cache.store("x".into(), vec!["g".into()], hit(9));
+        assert!(cache.lookup("x").is_some());
+        assert_eq!(cache.invalidate("g"), 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_workers_share_one_cache() {
+        let cache = Arc::new(MemoCache::new(8));
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("k{}", i % 10);
+                        if cache.lookup(&key).is_none() {
+                            cache.store(key, vec![format!("dep{w}")], hit(i));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(s.entries <= 10, "at most one entry per distinct key");
+        assert!(s.hits > 0, "shared entries must be visible across threads");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = MemoCache::default();
+        cache.store("a".into(), vec!["d".into()], hit(1));
+        cache.lookup("a");
+        cache.clear();
+        assert_eq!(cache.stats(), MemoCacheStats::default());
+    }
+}

@@ -15,10 +15,12 @@
 
 use crate::breaker::{BreakerConfig, BreakerState};
 use crate::fault::FaultPlan;
+use crate::memo::{MemoCache, MemoCacheStats};
 use crate::sandbox::SandboxConfig;
 use crate::server::{RequestRecord, ServeStats, Server};
 use php_runtime::StaticSavings;
 use phpaccel_core::{AccelId, PhpMachine};
+use std::sync::Arc;
 
 /// Configuration for one pool run.
 #[derive(Debug, Clone)]
@@ -52,6 +54,13 @@ pub struct PoolConfig {
     /// the replay check also compares arena mode against classic
     /// allocation byte-for-byte.
     pub arena: bool,
+    /// Cross-request memo tier shared by every worker. The pool itself
+    /// cannot attach it to the interpreters the handlers build, so handlers
+    /// capture their own `Arc` clone of the same cache; carrying it here too
+    /// lets the report snapshot the cache-wide counters and makes the run's
+    /// memo policy part of its configuration. Reference machines never see
+    /// the tier — replay stays an independent recomputation.
+    pub memo: Option<Arc<MemoCache>>,
 }
 
 impl PoolConfig {
@@ -67,12 +76,21 @@ impl PoolConfig {
             reset_between_requests: true,
             keep_bodies: true,
             arena: false,
+            memo: None,
         }
     }
 
     /// The same configuration with arena/epoch allocation enabled.
     pub fn with_arena(mut self, arena: bool) -> Self {
         self.arena = arena;
+        self
+    }
+
+    /// The same configuration sharing `cache` across the workers. Handlers
+    /// still attach the cache to the engines they build (see
+    /// `workloads::php_corpus::PreparedScript::run_memo`).
+    pub fn with_memo(mut self, cache: Arc<MemoCache>) -> Self {
+        self.memo = Some(cache);
         self
     }
 }
@@ -137,6 +155,11 @@ pub struct PoolReport {
     pub all_breakers_closed: bool,
     /// Summed live allocator blocks across worker machines after the run.
     pub live_blocks: usize,
+    /// End-of-run snapshot of the shared memo cache, when one was
+    /// configured. Cache-wide (hits/misses/stores are also in
+    /// [`ServeStats`], summed from the workers' engine counters; `entries`
+    /// exists only here).
+    pub memo: Option<MemoCacheStats>,
 }
 
 impl PoolReport {
@@ -203,7 +226,9 @@ impl WorkerPool {
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect()
         });
-        merge_reports(self.cfg.workers, reports)
+        let mut report = merge_reports(self.cfg.workers, reports);
+        report.memo = self.cfg.memo.as_ref().map(|c| c.stats());
+        report
     }
 }
 
@@ -253,13 +278,21 @@ where
         recoveries[id.index()] = b.recoveries;
         all_closed &= b.state() == BreakerState::Closed;
     }
+    let savings = machine.ctx().profiler().static_savings();
+    let mut stats = server.stats().clone();
+    // The engines count memo traffic on the worker's profiler; surface it in
+    // the serving stats so pool totals carry hit/miss/invalidation counts.
+    stats.memo_hits = savings.memo_hits;
+    stats.memo_misses = savings.memo_misses;
+    stats.memo_stores = savings.memo_stores;
+    stats.memo_invalidations = savings.memo_invalidations;
     WorkerReport {
         worker,
-        stats: server.stats().clone(),
+        stats,
         total_uops: machine.ctx().profiler().total_uops(),
         injected: machine.injected_fault_counts(),
         detected: machine.detected_fault_counts(),
-        savings: machine.ctx().profiler().static_savings(),
+        savings,
         trips,
         recoveries,
         all_breakers_closed: all_closed,
@@ -311,6 +344,7 @@ fn merge_reports(workers: usize, reports: Vec<WorkerReport>) -> PoolReport {
         recoveries,
         all_breakers_closed: all_closed,
         live_blocks,
+        memo: None,
     }
 }
 

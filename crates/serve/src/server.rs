@@ -41,6 +41,14 @@ pub struct ServeStats {
     /// Successful responses whose bytes differed from the all-software
     /// reference (must stay 0).
     pub mismatches: u64,
+    /// Memo-cache hits this server's requests scored (0 with no tier).
+    pub memo_hits: u64,
+    /// Memo-cache misses at proven-memoizable sites.
+    pub memo_misses: u64,
+    /// Results this server's requests stored into the shared tier.
+    pub memo_stores: u64,
+    /// Cache entries this server's global writes invalidated.
+    pub memo_invalidations: u64,
     /// Admission-queue depth observed at each arrival (admitted or shed).
     /// Populated only by the overload layer; empty in plain serving.
     pub queue_depth: Histogram,
@@ -101,6 +109,10 @@ impl ServeStats {
             self.degraded_requests[i] += other.degraded_requests[i];
         }
         self.mismatches += other.mismatches;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_stores += other.memo_stores;
+        self.memo_invalidations += other.memo_invalidations;
         self.queue_depth.merge(&other.queue_depth);
         self.queue_wait.merge(&other.queue_wait);
         self.latency.merge(&other.latency);

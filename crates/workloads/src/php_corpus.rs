@@ -7,7 +7,9 @@
 //! triggers all four lint diagnostics.
 
 use php_interp::ast::{FuncDef, Stmt};
-use php_interp::{parse, AnalysisFacts, CompileOptions, CompiledUnit, Interp, Program, Vm};
+use php_interp::{
+    parse, AnalysisFacts, CompileOptions, CompiledUnit, Interp, MemoHandle, MemoTier, Program, Vm,
+};
 use php_runtime::array::ArrayKey;
 use php_runtime::value::PhpValue;
 use phpaccel_core::{Engine, PhpMachine};
@@ -159,6 +161,52 @@ foreach ($docs as $d) {
 echo 'words=', $total, ' longest=', $longest;
 "#;
 
+/// Render-cache idiom: pure block helpers plus a `global`-reading header
+/// builder. Every call site here is proven memoizable by the effect
+/// analysis, so with a shared tier attached the blocks render once and
+/// replay on every later request — the workload `memo_bench` measures.
+/// (The `$site` assignment invalidates `page_header`'s fingerprint each
+/// request, keeping the invalidation path exercised too.)
+const DRUPAL_BLOCK_CACHE: &str = r#"
+$site = 'Daily Build';
+$blocks = array('recent', 'popular', 'archive');
+function block_title($name) {
+    return '<h3>' . ucfirst($name) . '</h3>';
+}
+function block_body($name, $rows) {
+    $out = '<ul>';
+    for ($i = 1; $i <= $rows; $i = $i + 1) {
+        $out = $out . '<li>' . $name . ' item ' . $i . '</li>';
+    }
+    return $out . '</ul>';
+}
+function page_header($title) {
+    global $site;
+    return '<header>' . $site . ' | ' . $title . '</header>';
+}
+$out = page_header('Blocks');
+foreach ($blocks as $b) {
+    $out = $out . block_title($b) . block_body($b, 3);
+}
+echo $out;
+"#;
+
+/// The classic "cached a session token" near-miss: `fresh_token` is
+/// cache-shaped — write-free, argument never retained — but draws from
+/// `rand()`/`time()`, so the effect analysis refuses to memoize it and
+/// raises `[nondeterministic-cacheable]` instead. The allowlist in
+/// `scripts/taint-allowlist.txt` names it as an intentional demo; `greet`
+/// stays memoizable.
+const SPECWEB_SESSION_TOKEN: &str = r#"
+function fresh_token($user) {
+    return $user . '-' . rand(1000, 9999) . '-' . time();
+}
+function greet($user) {
+    return 'Welcome back, ' . ucfirst($user) . '.';
+}
+echo greet('visitor'), ' session=', fresh_token('visitor');
+"#;
+
 /// All corpus scripts, grouped by app.
 pub const ENTRIES: &[CorpusEntry] = &[
     CorpusEntry {
@@ -198,6 +246,12 @@ pub const ENTRIES: &[CorpusEntry] = &[
         needs_request_vars: false,
     },
     CorpusEntry {
+        app: "drupal",
+        name: "block-cache",
+        source: DRUPAL_BLOCK_CACHE,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
         app: "mediawiki",
         name: "word-stats",
         source: MEDIAWIKI_WORD_STATS,
@@ -219,6 +273,12 @@ pub const ENTRIES: &[CorpusEntry] = &[
         app: "specweb",
         name: "price-helpers",
         source: SPECWEB_PRICE_HELPERS,
+        needs_request_vars: false,
+    },
+    CorpusEntry {
+        app: "specweb",
+        name: "session-token",
+        source: SPECWEB_SESSION_TOKEN,
         needs_request_vars: false,
     },
 ];
@@ -404,12 +464,29 @@ impl PreparedScript {
     /// `with_facts` selects specialized execution on either engine. Output
     /// is byte-identical across all four combinations.
     pub fn run(&self, m: &mut PhpMachine, with_facts: bool) -> Vec<u8> {
+        self.run_memo(m, with_facts, None)
+    }
+
+    /// [`PreparedScript::run`] with an optional shared memo tier attached.
+    /// Keys are namespaced by the entry name, so many scripts can share one
+    /// tier (e.g. `serve::MemoCache`, or `php_interp::SimpleMemo` in tests)
+    /// without colliding on same-named functions. Only facts-proven sites
+    /// consult the tier, so `with_facts: false` leaves it inert.
+    pub fn run_memo(
+        &self,
+        m: &mut PhpMachine,
+        with_facts: bool,
+        memo: Option<Arc<dyn MemoTier>>,
+    ) -> Vec<u8> {
         match m.engine() {
             Engine::TreeWalk => {
                 let mut interp = Interp::new(m);
                 interp.predefine_funcs(self.shared_funcs.iter().cloned());
                 if with_facts {
                     interp.set_facts(self.facts.clone());
+                }
+                if let Some(tier) = memo {
+                    interp.set_memo(MemoHandle::new(tier, self.entry.name));
                 }
                 if self.entry.needs_request_vars {
                     bind_request_vars(&mut interp);
@@ -422,15 +499,31 @@ impl PreparedScript {
                 });
                 interp.take_output()
             }
-            Engine::Vm => self.run_vm(m, with_facts, true),
+            Engine::Vm => self.run_vm_memo(m, with_facts, true, memo),
         }
     }
 
     /// Runs the script once on the compiled-VM engine with an explicit
     /// fusion choice (the benchmark measures fused vs unfused).
     pub fn run_vm(&self, m: &mut PhpMachine, with_facts: bool, fused: bool) -> Vec<u8> {
+        self.run_vm_memo(m, with_facts, fused, None)
+    }
+
+    /// [`PreparedScript::run_vm`] with an optional shared memo tier. The
+    /// `MemoEnter`/`MemoStore` opcodes exist only in facts-compiled units,
+    /// so without facts the tier is inert on this engine too.
+    pub fn run_vm_memo(
+        &self,
+        m: &mut PhpMachine,
+        with_facts: bool,
+        fused: bool,
+        memo: Option<Arc<dyn MemoTier>>,
+    ) -> Vec<u8> {
         let unit = Arc::clone(self.vm_unit(with_facts, fused));
         let mut vm = Vm::new(m, unit);
+        if let Some(tier) = memo {
+            vm.set_memo(MemoHandle::new(tier, self.entry.name));
+        }
         if self.entry.needs_request_vars {
             bind_request_vars_vm(&mut vm);
         }
@@ -664,6 +757,83 @@ mod tests {
                     cache.scripts()[i].facts.precompiled_regex_count()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn block_cache_proves_memoizable_sites() {
+        let entry = ENTRIES.iter().find(|e| e.name == "block-cache").unwrap();
+        let p = prepare(entry);
+        assert!(
+            p.report.memo_sites() >= 3,
+            "header + title + body sites: {:?}",
+            p.report.scopes
+        );
+        assert!(p.facts.memo_site_count() >= 3);
+    }
+
+    #[test]
+    fn session_token_raises_nondeterministic_cacheable() {
+        let entry = ENTRIES.iter().find(|e| e.name == "session-token").unwrap();
+        let p = prepare(entry);
+        assert!(
+            p.report.lints.iter().any(|l| {
+                l.kind == LintKind::NondeterministicCacheable && l.message.contains("fresh_token")
+            }),
+            "{:?}",
+            p.report.lints
+        );
+        assert!(p.report.memo_sites() >= 1, "greet stays memoizable");
+    }
+
+    /// Acceptance: a shared memo tier never changes a single output byte —
+    /// every corpus entry, both engines, repeated requests against the same
+    /// warm tier.
+    #[test]
+    fn memo_tier_replays_byte_identical_output_on_both_engines() {
+        use php_interp::SimpleMemo;
+        use std::sync::Arc;
+        for entry in ENTRIES {
+            let p = prepare(entry);
+            let baseline = p.run(&mut PhpMachine::specialized(), true);
+            for engine in [Engine::TreeWalk, Engine::Vm] {
+                let tier = Arc::new(SimpleMemo::new());
+                for req in 0..3 {
+                    let mut m = PhpMachine::specialized();
+                    m.set_engine(engine);
+                    let out = p.run_memo(&mut m, true, Some(tier.clone()));
+                    assert_eq!(
+                        out, baseline,
+                        "{}/{} request {req} diverged with memo on ({engine:?})",
+                        entry.app, entry.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// The warm tier actually replays: the second request of the render-cache
+    /// entry scores hits on both engines and skips the helpers' work.
+    #[test]
+    fn warm_tier_scores_hits_on_second_request() {
+        use php_interp::SimpleMemo;
+        use std::sync::Arc;
+        let entry = ENTRIES.iter().find(|e| e.name == "block-cache").unwrap();
+        let p = prepare(entry);
+        for engine in [Engine::TreeWalk, Engine::Vm] {
+            let tier = Arc::new(SimpleMemo::new());
+            let mut m1 = PhpMachine::specialized();
+            m1.set_engine(engine);
+            p.run_memo(&mut m1, true, Some(tier.clone()));
+            let s1 = m1.ctx().profiler().static_savings();
+            assert_eq!(s1.memo_hits, 0, "cold tier cannot hit ({engine:?})");
+            assert!(s1.memo_stores > 0, "cold run must populate ({engine:?})");
+
+            let mut m2 = PhpMachine::specialized();
+            m2.set_engine(engine);
+            p.run_memo(&mut m2, true, Some(tier.clone()));
+            let s2 = m2.ctx().profiler().static_savings();
+            assert!(s2.memo_hits > 0, "warm tier must replay ({engine:?})");
         }
     }
 

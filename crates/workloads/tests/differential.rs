@@ -10,7 +10,7 @@
 
 use php_analysis::analyze_with_funcs;
 use php_interp::ast::{FuncDef, Stmt};
-use php_interp::{parse, Interp};
+use php_interp::{parse, Interp, MemoHandle, MemoTier, SimpleMemo};
 use phpaccel_core::PhpMachine;
 use proptest::prelude::*;
 use std::fmt::Write as _;
@@ -22,7 +22,12 @@ use workloads::php_corpus;
 /// arena epoch has been reclaimed). Mirrors `php_corpus::prepare`: function
 /// bodies are shared between the analysis and the interpreter so facts stay
 /// valid inside them.
-fn run_generated_on(src: &str, with_facts: bool, arena: bool) -> (Vec<u8>, usize) {
+fn run_generated_with(
+    src: &str,
+    with_facts: bool,
+    arena: bool,
+    memo: Option<Arc<dyn MemoTier>>,
+) -> (Vec<u8>, usize) {
     let program =
         parse(src).unwrap_or_else(|e| panic!("generated program fails to parse: {e:?}\n{src}"));
     let shared: Vec<Arc<FuncDef>> = program
@@ -45,6 +50,9 @@ fn run_generated_on(src: &str, with_facts: bool, arena: bool) -> (Vec<u8>, usize
         if with_facts {
             interp.set_facts(facts);
         }
+        if let Some(t) = memo {
+            interp.set_memo(MemoHandle::new(t, "diff-test"));
+        }
         interp
             .run_program(&program)
             .unwrap_or_else(|e| panic!("generated program fails: {e:?}\n{src}"));
@@ -56,7 +64,7 @@ fn run_generated_on(src: &str, with_facts: bool, arena: bool) -> (Vec<u8>, usize
 }
 
 fn run_generated(src: &str, with_facts: bool) -> (Vec<u8>, usize) {
-    run_generated_on(src, with_facts, false)
+    run_generated_with(src, with_facts, false, None)
 }
 
 #[test]
@@ -113,6 +121,49 @@ fn corpus_programs_are_arena_invariant() {
             "{}/{}: arena mode changed the end-of-request live-block count",
             entry.app, entry.name
         );
+    }
+}
+
+/// Memo mode is a pure evaluation shortcut: with a warm cross-request tier
+/// attached (second run against the same cache, so hits actually replay),
+/// every corpus program must print the same bytes and leave the same number
+/// of live blocks after the request boundary as the memo-off run — with and
+/// without the arena underneath.
+#[test]
+fn corpus_programs_are_memo_invariant() {
+    for entry in php_corpus::ENTRIES {
+        let p = php_corpus::prepare(entry);
+        for arena in [false, true] {
+            let mut m_off = PhpMachine::specialized();
+            if arena {
+                m_off.ctx().set_arena_enabled(true);
+            }
+            let out_off = p.run(&mut m_off, true);
+            m_off.end_request();
+            let live_off = m_off.ctx().with_allocator(|a| a.live_block_count());
+
+            let tier: Arc<dyn MemoTier> = Arc::new(SimpleMemo::new());
+            for label in ["cold", "warm"] {
+                let mut m_on = PhpMachine::specialized();
+                if arena {
+                    m_on.ctx().set_arena_enabled(true);
+                }
+                let out_on = p.run_memo(&mut m_on, true, Some(Arc::clone(&tier)));
+                m_on.end_request();
+                let live_on = m_on.ctx().with_allocator(|a| a.live_block_count());
+                assert_eq!(
+                    out_off, out_on,
+                    "{}/{} (arena={arena}, {label}): memo changed the output",
+                    entry.app, entry.name
+                );
+                assert_eq!(
+                    live_off, live_on,
+                    "{}/{} (arena={arena}, {label}): memo changed the \
+                     end-of-request live-block count",
+                    entry.app, entry.name
+                );
+            }
+        }
     }
 }
 
@@ -230,11 +281,40 @@ proptest! {
         prop_assert_eq!(live_dyn, live_facts, "facts changed live blocks of:\n{}", src);
 
         // Same facts, arena mode on: the allocation policy must be invisible.
-        let (out_arena, live_arena) = run_generated_on(&src, true, true);
+        let (out_arena, live_arena) = run_generated_with(&src, true, true, None);
         prop_assert_eq!(&out_dyn, &out_arena, "arena mode changed the output of:\n{}", src);
         prop_assert_eq!(
             live_dyn, live_arena,
             "arena mode changed end-of-request live blocks of:\n{}", src
+        );
+
+        // Memo axis: run the same program twice against one warm tier (so
+        // second-request replays actually fire where the analysis proved a
+        // site), then once more with the arena on top. The generated
+        // `Seg::Global` helpers write globals inside callees — exactly the
+        // shape the effect analysis must refuse to memoize — so any
+        // unsoundness in the purity verdicts shows up as a byte diff here.
+        let tier: Arc<dyn MemoTier> = Arc::new(SimpleMemo::new());
+        for label in ["cold", "warm"] {
+            let (out_memo, live_memo) =
+                run_generated_with(&src, true, false, Some(Arc::clone(&tier)));
+            prop_assert_eq!(
+                &out_dyn, &out_memo,
+                "memo ({}) changed the output of:\n{}", label, src
+            );
+            prop_assert_eq!(
+                live_dyn, live_memo,
+                "memo ({}) changed end-of-request live blocks of:\n{}", label, src
+            );
+        }
+        let (out_am, live_am) = run_generated_with(&src, true, true, Some(tier));
+        prop_assert_eq!(
+            &out_dyn, &out_am,
+            "memo x arena changed the output of:\n{}", src
+        );
+        prop_assert_eq!(
+            live_dyn, live_am,
+            "memo x arena changed end-of-request live blocks of:\n{}", src
         );
     }
 }

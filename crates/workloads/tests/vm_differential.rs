@@ -17,7 +17,7 @@
 
 use php_analysis::analyze_with_funcs;
 use php_interp::ast::{FuncDef, Stmt};
-use php_interp::{compile, parse, CompileOptions, Interp, Vm};
+use php_interp::{compile, parse, CompileOptions, Interp, MemoHandle, MemoTier, SimpleMemo, Vm};
 use phpaccel_core::{Engine, PhpMachine};
 use proptest::prelude::*;
 use std::fmt::Write as _;
@@ -36,6 +36,16 @@ enum Runner {
 /// `php_corpus::prepare`: function bodies are shared between the analysis
 /// and the engines so facts keyed on node identity stay valid inside them.
 fn run_src_on(src: &str, runner: Runner, with_facts: bool, arena: bool) -> (Vec<u8>, usize) {
+    run_src_memo(src, runner, with_facts, arena, None)
+}
+
+fn run_src_memo(
+    src: &str,
+    runner: Runner,
+    with_facts: bool,
+    arena: bool,
+    memo: Option<Arc<dyn MemoTier>>,
+) -> (Vec<u8>, usize) {
     let program =
         parse(src).unwrap_or_else(|e| panic!("generated program fails to parse: {e:?}\n{src}"));
     let shared: Vec<Arc<FuncDef>> = program
@@ -59,6 +69,9 @@ fn run_src_on(src: &str, runner: Runner, with_facts: bool, arena: bool) -> (Vec<
             if with_facts {
                 interp.set_facts(Arc::clone(&facts));
             }
+            if let Some(t) = memo {
+                interp.set_memo(MemoHandle::new(t, "vm-diff"));
+            }
             interp
                 .run_program(&program)
                 .unwrap_or_else(|e| panic!("tree walk fails: {e:?}\n{src}"));
@@ -72,6 +85,9 @@ fn run_src_on(src: &str, runner: Runner, with_facts: bool, arena: bool) -> (Vec<
                 CompileOptions { fuse: fused },
             ));
             let mut vm = Vm::new(&mut m, unit);
+            if let Some(t) = memo {
+                vm.set_memo(MemoHandle::new(t, "vm-diff"));
+            }
             vm.run()
                 .unwrap_or_else(|e| panic!("vm (fused={fused}) fails: {e:?}\n{src}"));
             vm.take_output()
@@ -109,6 +125,37 @@ fn assert_engines_agree(src: &str) -> Vec<u8> {
                     "vm (fused={fused}, facts={with_facts}, arena={arena}) changed live blocks of:\n{src}"
                 );
             }
+        }
+    }
+
+    // Memo axis: one tier shared across engines, so the VM replays entries
+    // the tree walker stored (and vice versa) — cross-engine cache
+    // compatibility is byte-checked here, not assumed. Facts stay on (memo
+    // sites only exist in the facts table).
+    let tier: Arc<dyn MemoTier> = Arc::new(SimpleMemo::new());
+    for arena in [false, true] {
+        let (out_tree, live_tree) =
+            run_src_memo(src, Runner::Tree, true, arena, Some(Arc::clone(&tier)));
+        assert_eq!(
+            out_tree, reference,
+            "tree walk (memo, arena={arena}) changed the output of:\n{src}"
+        );
+        for fused in [false, true] {
+            let (out_vm, live_vm) = run_src_memo(
+                src,
+                Runner::Vm { fused },
+                true,
+                arena,
+                Some(Arc::clone(&tier)),
+            );
+            assert_eq!(
+                out_vm, reference,
+                "vm (memo, fused={fused}, arena={arena}) changed the output of:\n{src}"
+            );
+            assert_eq!(
+                live_vm, live_tree,
+                "vm (memo, fused={fused}, arena={arena}) changed live blocks of:\n{src}"
+            );
         }
     }
     reference
@@ -155,6 +202,62 @@ fn corpus_programs_are_engine_invariant() {
                         entry.app, entry.name
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Corpus programs with the cross-request memo tier attached: one warm tier
+/// per entry is shared between the tree walker and both VM variants, across
+/// the arena axis, and every run must reproduce the memo-off tree walker's
+/// bytes and end-of-request live-block count.
+#[test]
+fn corpus_programs_are_memo_invariant_across_engines() {
+    for entry in php_corpus::ENTRIES {
+        let p = php_corpus::prepare(entry);
+        for arena in [false, true] {
+            let mut m_off = PhpMachine::specialized();
+            if arena {
+                m_off.ctx().set_arena_enabled(true);
+            }
+            let out_off = p.run(&mut m_off, true);
+            m_off.end_request();
+            let live_off = m_off.ctx().with_allocator(|a| a.live_block_count());
+
+            let tier: Arc<dyn MemoTier> = Arc::new(SimpleMemo::new());
+            let mut runs: Vec<(String, Vec<u8>, usize)> = Vec::new();
+            for pass in ["cold", "warm"] {
+                let mut m = PhpMachine::specialized();
+                if arena {
+                    m.ctx().set_arena_enabled(true);
+                }
+                let out = p.run_memo(&mut m, true, Some(Arc::clone(&tier)));
+                m.end_request();
+                let live = m.ctx().with_allocator(|a| a.live_block_count());
+                runs.push((format!("tree/{pass}"), out, live));
+            }
+            for fused in [false, true] {
+                let mut m = PhpMachine::specialized();
+                if arena {
+                    m.ctx().set_arena_enabled(true);
+                }
+                let out = p.run_vm_memo(&mut m, true, fused, Some(Arc::clone(&tier)));
+                m.end_request();
+                let live = m.ctx().with_allocator(|a| a.live_block_count());
+                runs.push((format!("vm/fused={fused}"), out, live));
+            }
+            for (label, out, live) in &runs {
+                assert_eq!(
+                    out, &out_off,
+                    "{}/{} (arena={arena}, {label}): memo changed the output",
+                    entry.app, entry.name
+                );
+                assert_eq!(
+                    live, &live_off,
+                    "{}/{} (arena={arena}, {label}): memo changed the \
+                     end-of-request live-block count",
+                    entry.app, entry.name
+                );
             }
         }
     }

@@ -44,6 +44,12 @@ echo "== compiled-VM soak smoke (4 workers, engine=vm) =="
 # injection.
 scripts/soak.sh --workers 4 --engine vm 20170613
 
+echo "== memo soak smoke (4 workers, shared cross-request cache) =="
+# One shared memo cache across all workers with the full fault plan live:
+# proven call sites replay out of the cache while breakers trip and recover
+# around them, and every response must still replay byte-identically.
+scripts/soak.sh --workers 4 --memo 20170613
+
 echo "== overload-survival soak smoke (flash crowd, shedding) =="
 # Shaped arrivals at ~2x capacity through the admission controller, with
 # the full fault plan live: shedding must be early and graceful, admitted
@@ -101,6 +107,27 @@ for r in doc["runs"]:
     assert r["elapsed_uops_vm_fused"] < r["elapsed_uops_vm"] < r["elapsed_uops_tree"], r["workers"]
     assert r["vm_ops_executed"] > 0 and r["vm_fused_ops"] > 0, r["workers"]
 print("BENCH_vm_smoke.json is valid")
+EOF
+
+echo "== memo bench smoke (release) =="
+cargo build --release -q -p bench --bin memo_bench
+./target/release/memo_bench --smoke --out target/BENCH_memo_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/BENCH_memo_smoke.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "memo", doc["bench"]
+assert doc["mismatches"] == 0, doc["mismatches"]
+assert len(doc["runs"]) == 4 and [r["workers"] for r in doc["runs"]] == [1, 2, 4, 8]
+for r in doc["runs"]:
+    assert r["ok"] == r["requests"], (r["workers"], r["ok"])
+    assert r["replay_mismatches"] == 0, r["workers"]
+    assert r["memo_hits"] > 0 and r["memo_stores"] > 0, r["workers"]
+    assert r["memo_invalidations"] > 0, r["workers"]
+    if r["workers"] >= 4:
+        assert r["elapsed_uops_memo_on"] < r["elapsed_uops_memo_off"], r["workers"]
+        assert r["elapsed_uop_reduction_pct"] > 0, r["workers"]
+print("BENCH_memo_smoke.json is valid")
 EOF
 
 echo "== overload bench smoke (release) =="

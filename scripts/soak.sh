@@ -4,7 +4,7 @@
 # Response bodies are dropped inside the soak binary (keep_bodies = false),
 # so long seed lists run in bounded memory.
 # Usage: scripts/soak.sh [--workers N] [--arena] [--engine tree|vm]
-#                        [--shed] [--shape S] [seed ...]
+#                        [--memo] [--shed] [--shape S] [seed ...]
 #   --workers N  run each seed through an N-worker pool (threaded mode);
 #                with --shed, the *simulated* worker count draining the queue
 #   --shed       overload-survival soak: shaped arrivals at ~2x capacity
@@ -18,6 +18,10 @@
 #   --engine E   additionally run one corpus script per request on engine E
 #                (vm = compiled opcode VM; references stay on the tree
 #                walker, so replay is a cross-engine differential)
+#   --memo       attach one shared cross-request memo cache to the script
+#                phase (implies it): proven call sites replay out of the
+#                cache while faults churn, and the run fails unless the
+#                tier engaged and replay stayed byte-identical
 #   default: a fixed seed set, single worker plus a 4-worker pool pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +29,7 @@ cd "$(dirname "$0")/.."
 workers=1
 arena=()
 engine=()
+memo=()
 shed=()
 shape=()
 seeds=()
@@ -41,6 +46,10 @@ while [ $# -gt 0 ]; do
     --engine)
       engine=(--engine "$2")
       shift 2
+      ;;
+    --memo)
+      memo=(--memo)
+      shift
       ;;
     --shed)
       shed=(--shed)
@@ -67,9 +76,9 @@ cargo build --release -q -p bench --bin soak
 
 if [ ${#shed[@]} -gt 0 ]; then
   for seed in "${seeds[@]}"; do
-    echo "== soak seed $seed (overload${shape:+, shape ${shape[1]}}, $workers simulated workers${arena:+, arena}${engine:+, engine ${engine[1]}}) =="
+    echo "== soak seed $seed (overload${shape:+, shape ${shape[1]}}, $workers simulated workers${arena:+, arena}${engine:+, engine ${engine[1]}}${memo:+, memo}) =="
     ./target/release/soak "$seed" --shed --workers "$workers" \
-      ${shape[@]+"${shape[@]}"} ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
+      ${shape[@]+"${shape[@]}"} ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"} ${memo[@]+"${memo[@]}"}
   done
   echo "Overload soak passed for seeds: ${seeds[*]}"
   exit 0
@@ -77,18 +86,18 @@ fi
 
 for seed in "${seeds[@]}"; do
   if [ "$workers" -gt 1 ]; then
-    echo "== soak seed $seed ($workers workers${arena:+, arena}${engine:+, engine ${engine[1]}}) =="
-    ./target/release/soak "$seed" --workers "$workers" ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
+    echo "== soak seed $seed ($workers workers${arena:+, arena}${engine:+, engine ${engine[1]}}${memo:+, memo}) =="
+    ./target/release/soak "$seed" --workers "$workers" ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"} ${memo[@]+"${memo[@]}"}
   else
-    echo "== soak seed $seed${arena:+ (arena)}${engine:+ (engine ${engine[1]})} =="
-    ./target/release/soak "$seed" ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
+    echo "== soak seed $seed${arena:+ (arena)}${engine:+ (engine ${engine[1]})}${memo:+ (memo)} =="
+    ./target/release/soak "$seed" ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"} ${memo[@]+"${memo[@]}"}
   fi
 done
 
 # With the default seed set, also exercise the threaded pool once.
 if [ "$workers" -eq 1 ] && [ "$default_seeds" -eq 1 ]; then
-  echo "== soak seed ${seeds[0]} (4 workers${arena:+, arena}${engine:+, engine ${engine[1]}}) =="
-  ./target/release/soak "${seeds[0]}" --workers 4 ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"}
+  echo "== soak seed ${seeds[0]} (4 workers${arena:+, arena}${engine:+, engine ${engine[1]}}${memo:+, memo}) =="
+  ./target/release/soak "${seeds[0]}" --workers 4 ${arena[@]+"${arena[@]}"} ${engine[@]+"${engine[@]}"} ${memo[@]+"${memo[@]}"}
 fi
 
-echo "Soak passed for seeds: ${seeds[*]} (workers: $workers${arena:+, arena}${engine:+, engine ${engine[1]}})"
+echo "Soak passed for seeds: ${seeds[*]} (workers: $workers${arena:+, arena}${engine:+, engine ${engine[1]}}${memo:+, memo})"
