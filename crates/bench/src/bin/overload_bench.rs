@@ -177,7 +177,8 @@ fn run(
         },
         server,
         controller,
-    );
+    )
+    .expect("valid overload config");
     let mut h = session_handler(cache, &plan);
     let start = Instant::now();
     let report = sim.run(&arrivals, &mut h);

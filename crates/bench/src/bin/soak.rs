@@ -481,7 +481,8 @@ fn run_overload(
         },
         server,
         controller,
-    );
+    )
+    .expect("valid overload config");
     // ~2× offered load on average; the shape modulates the instantaneous
     // rate around that (flash-crowd spikes to ~10×).
     let schedule = ArrivalConfig {

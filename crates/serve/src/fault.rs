@@ -143,6 +143,19 @@ impl FaultPlan {
         shards.into_iter().map(FaultPlan::new).collect()
     }
 
+    /// Appends late-scheduled faults, keeping the not-yet-consumed tail
+    /// sorted by request index. The HTTP front end uses this: its workers
+    /// pull each request's due faults from one shared global plan and
+    /// deliver them into their private server's (otherwise empty) plan,
+    /// since dynamic worker assignment cannot pre-partition the schedule.
+    pub fn extend(&mut self, faults: impl IntoIterator<Item = PlannedFault>) {
+        let before = self.faults.len();
+        self.faults.extend(faults);
+        if self.faults.len() != before {
+            self.faults[self.cursor..].sort_by_key(|f| f.at_request);
+        }
+    }
+
     /// Removes and returns the faults due at request `req`. Faults scheduled
     /// for earlier, already-passed requests are also drained (and returned)
     /// so a sparse request stream cannot strand them.

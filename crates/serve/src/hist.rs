@@ -65,6 +65,27 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket sample counts (see module docs for the bucket bounds).
+    /// The metrics exporter renders these as cumulative Prometheus buckets.
+    pub fn bucket_counts(&self) -> &[u64; 32] {
+        &self.buckets
+    }
+
+    /// Upper bound of bucket `i`: 0, 1, 3, 7, …, 2³¹−1; the last bucket is
+    /// open-ended (rendered as `+Inf`).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i.min(31)) - 1
+        }
+    }
+
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

@@ -32,13 +32,22 @@
 //!   so offered load above capacity degrades gracefully instead of
 //!   timeout-storming; [`ServeStats`] carries the queue-depth/wait/latency
 //!   histograms ([`hist`]) and shed counters this produces.
+//! * **The HTTP front end** ([`http`]): a `std::net` acceptor + HTTP/1.1
+//!   parser feeding a composable middleware chain ([`middleware`]), the
+//!   admission controller, and a bounded queue drained by worker threads —
+//!   each worker a private [`Server`], so HTTP is a transport over the same
+//!   execution seam, never a second execution path. `GET /metrics` exports
+//!   everything above in Prometheus text format ([`metrics_text`]).
 
 pub mod admission;
 pub mod breaker;
 pub mod fault;
 pub mod hist;
+pub mod http;
 pub mod lintgate;
 pub mod memo;
+pub mod metrics_text;
+pub mod middleware;
 pub mod outcome;
 pub mod overload;
 pub mod pool;
@@ -51,10 +60,21 @@ pub use admission::{
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{FaultKind, FaultPlan, PlannedFault};
 pub use hist::Histogram;
+pub use http::{
+    parse_request, FrontSnapshot, HttpConfig, HttpLimits, HttpParseError, HttpReport, HttpRequest,
+    HttpResponse, HttpServer,
+};
 pub use lintgate::{GateRejection, GateStats, LintGate, LintGateConfig};
 pub use memo::{MemoCache, MemoCacheStats};
+pub use metrics_text::{parse_prometheus, render_prometheus, MetricsSnapshot};
+pub use middleware::{
+    AccessLog, ErrorPages, IdentityEncoding, Middleware, MiddlewareChain, MiddlewareRequest,
+    RateLimit,
+};
 pub use outcome::{classify_panic, RequestOutcome};
-pub use overload::{OverloadConfig, OverloadRecord, OverloadReport, OverloadSim, SloWindow};
-pub use pool::{PoolConfig, PoolReport, WorkerPool, WorkerReport};
+pub use overload::{
+    OverloadConfig, OverloadConfigError, OverloadRecord, OverloadReport, OverloadSim, SloWindow,
+};
+pub use pool::{PoolConfig, PoolReport, WorkerFailure, WorkerPool, WorkerReport};
 pub use sandbox::{run_sandboxed, SandboxConfig};
 pub use server::{RequestRecord, ServeStats, Server};

@@ -18,7 +18,7 @@
 use php_interp::{MemoHit, MemoTier};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Default shard count — comfortably above typical worker counts so two
 /// workers rarely queue on the same lock.
@@ -35,6 +35,9 @@ pub struct MemoCacheStats {
     pub stores: u64,
     /// Entries dropped by dependency invalidation.
     pub invalidations: u64,
+    /// Shards cleared after a lock-poisoning panic (see
+    /// [`MemoCache`]'s poisoning policy; stays 0 in healthy operation).
+    pub poison_recoveries: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
 }
@@ -49,12 +52,24 @@ struct Shard {
 }
 
 /// Sharded, bucket-locked memo tier shared across worker threads.
+///
+/// **Poisoning policy:** a worker panicking while it holds a shard lock
+/// (the sandbox catches handler panics *after* any `MemoTier` call inside
+/// the handler unwinds through it) used to leave that shard's mutex
+/// poisoned forever — every later `.lock().unwrap()` by every worker then
+/// panicked, permanently killing lookups on a sixteenth of the key space.
+/// Instead, a poisoned shard is recovered via `into_inner` and **cleared**:
+/// the interrupted operation may have half-applied its entry/dep-index
+/// updates, and dropping the shard's entries is always safe (a memo cache
+/// only ever re-computes), while trusting them is not. Recoveries are
+/// counted in [`MemoCacheStats::poison_recoveries`].
 pub struct MemoCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
     invalidations: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl std::fmt::Debug for MemoCache {
@@ -95,6 +110,7 @@ impl MemoCache {
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
@@ -102,25 +118,46 @@ impl MemoCache {
         &self.shards[(shard_hash(key) % self.shards.len() as u64) as usize]
     }
 
+    /// Locks one shard, recovering from poisoning per the policy in the
+    /// type docs: clear the shard (its state may be half-applied), unpoison
+    /// the mutex so later locks don't re-clear, and count the recovery.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<Shard>) -> MutexGuard<'a, Shard> {
+        match shard.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                shard.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.entries.clear();
+                guard.by_dep.clear();
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
     /// Counter snapshot plus resident-entry count.
     pub fn stats(&self) -> MemoCacheStats {
+        // Sum entries first: visiting the shards may itself recover a
+        // poisoned lock, and that recovery belongs in this snapshot.
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| self.lock_shard(s).entries.len())
+            .sum();
         MemoCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().unwrap().entries.len())
-                .sum(),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            entries,
         }
     }
 
     /// Drops every entry and zeroes the counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            let mut s = s.lock().unwrap();
+            let mut s = self.lock_shard(s);
             s.entries.clear();
             s.by_dep.clear();
         }
@@ -128,15 +165,14 @@ impl MemoCache {
         self.misses.store(0, Ordering::Relaxed);
         self.stores.store(0, Ordering::Relaxed);
         self.invalidations.store(0, Ordering::Relaxed);
+        self.poison_recoveries.store(0, Ordering::Relaxed);
     }
 }
 
 impl MemoTier for MemoCache {
     fn lookup(&self, key: &str) -> Option<MemoHit> {
         let hit = self
-            .shard(key)
-            .lock()
-            .unwrap()
+            .lock_shard(self.shard(key))
             .entries
             .get(key)
             .map(|(_, h)| h.clone());
@@ -148,7 +184,7 @@ impl MemoTier for MemoCache {
     }
 
     fn store(&self, key: String, deps: Vec<String>, hit: MemoHit) {
-        let mut shard = self.shard(&key).lock().unwrap();
+        let mut shard = self.lock_shard(self.shard(&key));
         for dep in &deps {
             shard
                 .by_dep
@@ -164,7 +200,7 @@ impl MemoTier for MemoCache {
     fn invalidate(&self, dep: &str) -> u64 {
         let mut dropped = 0u64;
         for s in &self.shards {
-            let mut shard = s.lock().unwrap();
+            let mut shard = self.lock_shard(s);
             let Some(keys) = shard.by_dep.remove(dep) else {
                 continue;
             };
@@ -260,6 +296,43 @@ mod tests {
         assert_eq!(s.hits + s.misses, 200);
         assert!(s.entries <= 10, "at most one entry per distinct key");
         assert!(s.hits > 0, "shared entries must be visible across threads");
+    }
+
+    /// Regression: a panic while a shard lock was held poisoned the mutex,
+    /// and every later `.lock().unwrap()` — from *any* worker — panicked,
+    /// permanently killing that shard. Poisoned shards must instead recover:
+    /// cleared once, counted once, fully usable afterwards.
+    #[test]
+    fn poisoned_shard_recovers_cleared_and_usable() {
+        let cache = Arc::new(MemoCache::new(1)); // one shard: every key hits it
+        cache.store("a".into(), vec!["d".into()], hit(1));
+        assert!(cache.lookup("a").is_some());
+
+        // Poison the only shard: panic while holding its lock.
+        let poisoner = Arc::clone(&cache);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.shards[0].lock().unwrap();
+            panic!("worker died holding the shard lock");
+        })
+        .join();
+        std::panic::set_hook(hook);
+        assert!(cache.shards[0].is_poisoned());
+
+        // First touch recovers: the shard is cleared (half-applied state is
+        // untrustworthy), not wedged.
+        assert!(cache.lookup("a").is_none(), "recovered shard starts empty");
+        assert!(!cache.shards[0].is_poisoned(), "mutex must be unpoisoned");
+
+        // The shard is fully usable again, and the recovery was counted
+        // exactly once — later locks must not re-clear.
+        cache.store("b".into(), vec!["d".into()], hit(2));
+        assert!(cache.lookup("b").is_some());
+        assert_eq!(cache.invalidate("d"), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.poison_recoveries, 1);
+        assert_eq!(stats.entries, 0);
     }
 
     #[test]

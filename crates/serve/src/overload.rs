@@ -192,19 +192,54 @@ pub struct OverloadSim {
     queued_starts: VecDeque<u64>,
 }
 
+/// A rejected [`OverloadConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadConfigError {
+    /// `workers` was 0 — nothing could ever drain the queue. This used to
+    /// be caught only at runtime, deep in worker selection, as an
+    /// `expect("workers > 0")` panic.
+    ZeroWorkers,
+    /// `slo_windows` was 0 — per-window attainment would be undefined.
+    ZeroSloWindows,
+}
+
+impl std::fmt::Display for OverloadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverloadConfigError::ZeroWorkers => {
+                write!(f, "overload sim needs at least one worker")
+            }
+            OverloadConfigError::ZeroSloWindows => {
+                write!(f, "overload sim needs at least one SLO window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverloadConfigError {}
+
 impl OverloadSim {
     /// Creates a simulation draining `server` with `cfg.workers` workers
-    /// under `controller`'s admission policy.
-    pub fn new(cfg: OverloadConfig, server: Server, controller: AdmissionController) -> Self {
-        assert!(cfg.workers > 0, "overload sim needs at least one worker");
-        assert!(cfg.slo_windows > 0, "need at least one SLO window");
-        OverloadSim {
+    /// under `controller`'s admission policy. Invalid configurations are
+    /// rejected here, at construction, instead of panicking mid-run.
+    pub fn new(
+        cfg: OverloadConfig,
+        server: Server,
+        controller: AdmissionController,
+    ) -> Result<Self, OverloadConfigError> {
+        if cfg.workers == 0 {
+            return Err(OverloadConfigError::ZeroWorkers);
+        }
+        if cfg.slo_windows == 0 {
+            return Err(OverloadConfigError::ZeroSloWindows);
+        }
+        Ok(OverloadSim {
             free_at: vec![0; cfg.workers],
             queued_starts: VecDeque::new(),
             cfg,
             server,
             controller,
-        }
+        })
     }
 
     /// The server under the queue (machine, breakers, stats).
@@ -274,10 +309,12 @@ impl OverloadSim {
                     let service = after.saturating_sub(before);
                     self.controller.observe_service(service);
 
-                    // Earliest-free worker, ties to the lowest index.
+                    // Earliest-free worker, ties to the lowest index. The
+                    // constructor rejects `workers == 0`, so the range is
+                    // never empty; `unwrap_or(0)` keeps this non-panicking.
                     let w = (0..self.cfg.workers)
                         .min_by_key(|&w| self.free_at[w])
-                        .expect("workers > 0");
+                        .unwrap_or(0);
                     let start = now.max(self.free_at[w]);
                     let wait = start - now;
                     self.free_at[w] = start + service;
@@ -407,6 +444,44 @@ mod tests {
             server,
             controller,
         )
+        .expect("valid overload config")
+    }
+
+    fn try_sim(cfg: OverloadConfig) -> Result<OverloadSim, OverloadConfigError> {
+        let server = Server::new(
+            PhpMachine::specialized(),
+            BreakerConfig::default(),
+            SandboxConfig::unlimited(),
+        );
+        OverloadSim::new(
+            cfg,
+            server,
+            AdmissionController::new(AdmissionConfig::default()),
+        )
+    }
+
+    #[test]
+    fn zero_workers_is_a_config_error_not_a_panic() {
+        let err = try_sim(OverloadConfig {
+            workers: 0,
+            ..OverloadConfig::default()
+        })
+        .err()
+        .expect("zero workers must be rejected");
+        assert_eq!(err, OverloadConfigError::ZeroWorkers);
+        assert!(err.to_string().contains("worker"));
+    }
+
+    #[test]
+    fn zero_slo_windows_is_a_config_error_not_a_panic() {
+        let err = try_sim(OverloadConfig {
+            slo_windows: 0,
+            ..OverloadConfig::default()
+        })
+        .err()
+        .expect("zero slo windows must be rejected");
+        assert_eq!(err, OverloadConfigError::ZeroSloWindows);
+        assert!(err.to_string().contains("SLO"));
     }
 
     fn arrivals(n: usize, gap: u64) -> Vec<u64> {

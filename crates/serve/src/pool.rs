@@ -16,6 +16,7 @@
 use crate::breaker::{BreakerConfig, BreakerState};
 use crate::fault::FaultPlan;
 use crate::memo::{MemoCache, MemoCacheStats};
+use crate::outcome::{classify_panic, panic_message, RequestOutcome};
 use crate::sandbox::SandboxConfig;
 use crate::server::{RequestRecord, ServeStats, Server};
 use php_runtime::StaticSavings;
@@ -127,6 +128,23 @@ pub struct WorkerReport {
     pub live_blocks: usize,
 }
 
+/// One worker whose thread died instead of returning a report.
+///
+/// The sandbox catches handler panics, so a worker thread dying means the
+/// failure escaped the per-request isolation — a panic in the worker scaffold
+/// itself (machine construction, the handler factory, reference recovery).
+/// It is classified like a request panic so operators see OOM/timeout/crash
+/// consistently, but it is *per-worker*: the other workers' results survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Index of the worker that died.
+    pub worker: usize,
+    /// The panic classified through [`classify_panic`].
+    pub outcome: RequestOutcome,
+    /// The raw panic message.
+    pub message: String,
+}
+
 /// The merged result of a pool run.
 #[derive(Debug)]
 pub struct PoolReport {
@@ -160,6 +178,10 @@ pub struct PoolReport {
     /// [`ServeStats`], summed from the workers' engine counters; `entries`
     /// exists only here).
     pub memo: Option<MemoCacheStats>,
+    /// Workers whose threads panicked instead of reporting. Their requests
+    /// are absent from `records`/`stats`; the surviving workers' results are
+    /// merged normally (empty on a healthy run).
+    pub failed_workers: Vec<WorkerFailure>,
 }
 
 impl PoolReport {
@@ -207,7 +229,13 @@ impl WorkerPool {
         H: FnMut(&mut PhpMachine, u64) -> Vec<u8>,
     {
         let shards = self.cfg.plan.partition(self.cfg.workers);
-        let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        // A worker thread dying must not abort the pool: joins collect
+        // per-worker Results, and a panic becomes a classified
+        // `WorkerFailure` while every other worker's report is merged
+        // normally (the old `.expect()` here tore the whole pool down).
+        let mut reports: Vec<WorkerReport> = Vec::with_capacity(self.cfg.workers);
+        let mut failed: Vec<WorkerFailure> = Vec::new();
+        std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .into_iter()
                 .enumerate()
@@ -221,13 +249,23 @@ impl WorkerPool {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(report) => reports.push(report),
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        failed.push(WorkerFailure {
+                            worker: w,
+                            outcome: classify_panic(message.clone()),
+                            message,
+                        });
+                    }
+                }
+            }
         });
         let mut report = merge_reports(self.cfg.workers, reports);
         report.memo = self.cfg.memo.as_ref().map(|c| c.stats());
+        report.failed_workers = failed;
         report
     }
 }
@@ -345,6 +383,7 @@ fn merge_reports(workers: usize, reports: Vec<WorkerReport>) -> PoolReport {
         all_breakers_closed: all_closed,
         live_blocks,
         memo: None,
+        failed_workers: Vec::new(),
     }
 }
 
@@ -376,6 +415,48 @@ mod tests {
             assert_eq!(report.service_uops.len(), 21);
             assert_eq!(report.worker_uops.len(), workers);
         }
+    }
+
+    /// Regression: one worker's thread panicking (outside the per-request
+    /// sandbox — here in machine construction) used to abort the whole pool
+    /// via `join().expect(...)`. It must instead surface as a classified
+    /// [`WorkerFailure`] while the surviving workers' results merge
+    /// normally.
+    #[test]
+    fn one_worker_panicking_does_not_abort_the_pool() {
+        let pool = WorkerPool::new(PoolConfig::deterministic(2, 10));
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = pool.run(
+            |w| {
+                if w == 1 {
+                    panic!("worker 1 machine bring-up failed");
+                }
+                PhpMachine::specialized()
+            },
+            echo_handler,
+        );
+        std::panic::set_hook(hook);
+
+        // Worker 0's even-indexed requests survived intact.
+        assert_eq!(report.stats.requests, 5);
+        assert_eq!(report.stats.ok, 5);
+        assert_eq!(report.stats.mismatches, 0);
+        let indices: Vec<u64> = report.records.iter().map(|r| r.request).collect();
+        assert_eq!(indices, vec![0, 2, 4, 6, 8]);
+
+        // The dead worker is reported, classified, and attributable.
+        assert_eq!(report.failed_workers.len(), 1);
+        let failure = &report.failed_workers[0];
+        assert_eq!(failure.worker, 1);
+        assert!(failure.message.contains("bring-up failed"));
+        assert!(matches!(failure.outcome, RequestOutcome::Panicked { .. }));
+
+        // A healthy run reports no failures.
+        let healthy = WorkerPool::new(PoolConfig::deterministic(2, 10))
+            .run(|_| PhpMachine::specialized(), echo_handler);
+        assert!(healthy.failed_workers.is_empty());
+        assert_eq!(healthy.stats.requests, 10);
     }
 
     #[test]

@@ -171,6 +171,16 @@ impl Server {
         self
     }
 
+    /// Appends faults to the server's plan mid-stream. The HTTP front end
+    /// uses this to hand a worker the due faults it pulled from the shared
+    /// global plan just before serving a dynamically-assigned request.
+    pub fn schedule_faults(
+        &mut self,
+        faults: impl IntoIterator<Item = crate::fault::PlannedFault>,
+    ) {
+        self.plan.extend(faults);
+    }
+
     /// Numbers requests `base, base + stride, base + 2·stride, …` instead of
     /// `0, 1, 2, …`. A pool worker `w` of `W` uses `(w, W)` so its breakers,
     /// fault plan, and handler all see *global* request indices.

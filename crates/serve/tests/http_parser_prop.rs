@@ -1,0 +1,80 @@
+//! Property tests: the HTTP parser never panics and always answers.
+//!
+//! The front end reads untrusted bytes off a socket, so the parser's
+//! contract is total: for *any* input it must return a parsed request or a
+//! classified error — and every error except clean EOF / transport failure
+//! must carry a 4xx/5xx status the connection loop can answer before
+//! closing. No input may panic.
+
+use proptest::prelude::*;
+use serve::http::HttpLimits;
+use serve::{parse_request, HttpParseError};
+use std::io::Cursor;
+
+fn check(bytes: &[u8], limits: &HttpLimits) {
+    match parse_request(&mut Cursor::new(bytes), limits) {
+        Ok(req) => {
+            // A parse that succeeds must have upheld its own invariants.
+            assert!(!req.method.is_empty());
+            assert!(req.target.starts_with('/'));
+            assert!(req.body.len() <= limits.max_body);
+        }
+        Err(e) => match e.status() {
+            // Answerable: must be a client/server error we can send.
+            Some(status) => assert!((400..=599).contains(&status), "status {status}"),
+            // Unanswerable is only legal for clean EOF or transport I/O.
+            None => assert!(matches!(e, HttpParseError::Eof | HttpParseError::Io(_))),
+        },
+    }
+}
+
+proptest! {
+    /// Raw byte soup: anything the network can deliver.
+    #[test]
+    fn never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u8..=255, 0..300),
+    ) {
+        check(&bytes, &HttpLimits::default());
+    }
+
+    /// Structured soup: near-miss request lines and headers, which reach
+    /// much deeper into the parser than random bytes do.
+    #[test]
+    fn never_panics_on_near_miss_requests(
+        method in "[A-Za-z0-9 %]{0,8}",
+        target in "[/a-z%+?=& ]{0,24}",
+        version in prop::sample::select(vec![
+            "HTTP/1.1", "HTTP/1.0", "HTTP/2", "http/1.1", "", "HTTP/", "X",
+        ]),
+        headers in prop::collection::vec(("[a-zA-Z :%-]{0,16}", "[ -~]{0,16}"), 0..6),
+        content_length in prop::sample::select(vec![
+            None, Some("0"), Some("5"), Some("99999999"), Some("-1"), Some("abc"),
+        ]),
+        body in prop::collection::vec(0u8..=255, 0..40),
+    ) {
+        let mut raw = format!("{method} {target} {version}\r\n").into_bytes();
+        for (name, value) in &headers {
+            raw.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        if let Some(cl) = content_length {
+            raw.extend_from_slice(format!("content-length: {cl}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        raw.extend_from_slice(&body);
+        check(&raw, &HttpLimits::default());
+    }
+
+    /// Tiny limits shift every boundary; the contract must hold there too.
+    #[test]
+    fn never_panics_under_tiny_limits(
+        bytes in prop::collection::vec(0u8..=255, 0..120),
+    ) {
+        let limits = HttpLimits {
+            max_request_line: 16,
+            max_header_line: 12,
+            max_headers: 2,
+            max_body: 8,
+        };
+        check(&bytes, &limits);
+    }
+}

@@ -87,7 +87,8 @@ fn run_once(service: u64) -> OverloadReport {
         release_ratio: 0.5,
         service_prior_uops: 2 * service,
     });
-    let mut sim = OverloadSim::new(OverloadConfig::default(), server, controller);
+    let mut sim = OverloadSim::new(OverloadConfig::default(), server, controller)
+        .expect("valid overload config");
     // 2× offered load for the whole run: sustained overload, so shedding
     // stays engaged (with hysteresis cycles) while the breaker is open.
     let schedule = ArrivalConfig {

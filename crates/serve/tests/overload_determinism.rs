@@ -80,7 +80,7 @@ fn run_overload(
         release_ratio: 0.5,
         service_prior_uops: smax,
     });
-    let mut sim = OverloadSim::new(cfg, server, controller);
+    let mut sim = OverloadSim::new(cfg, server, controller).expect("valid overload config");
     // 2× offered load per worker-normalized capacity: gap = mean/(2·workers).
     let schedule = ArrivalConfig {
         shape: ArrivalShape::Burst,
@@ -165,7 +165,8 @@ fn worker_count_scales_shedding_down() {
             },
             server,
             controller,
-        );
+        )
+        .expect("valid overload config");
         let schedule = ArrivalConfig {
             shape: ArrivalShape::Steady,
             requests: REQUESTS,

@@ -22,6 +22,7 @@
 pub mod arrival;
 pub mod corpus;
 pub mod drupal;
+pub mod http_client;
 pub mod loadgen;
 pub mod mediawiki;
 pub mod mix;
@@ -34,6 +35,10 @@ pub mod wordpress;
 pub use arrival::{ArrivalConfig, ArrivalShape};
 pub use corpus::{Corpus, CorpusConfig};
 pub use drupal::Drupal;
+pub use http_client::{
+    read_client_response, ClientResponse, HttpClient, LoopbackConfig, LoopbackLoadGen,
+    LoopbackReport,
+};
 pub use loadgen::{LoadGen, RunSummary, ShapedSummary, Workload};
 pub use mediawiki::MediaWiki;
 pub use mix::AppKind;

@@ -155,4 +155,27 @@ for r in runs:
 print("BENCH_overload_smoke.json is valid")
 EOF2
 
+echo "== http front-end smoke (release) =="
+cargo build --release -q -p bench --bin serve_http --bin http_bench
+scripts/http_smoke.sh target/release/serve_http
+
+echo "== http bench smoke (release) =="
+./target/release/http_bench --smoke --out target/BENCH_http_smoke.json
+python3 - <<'EOF'
+import json
+with open("target/BENCH_http_smoke.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "http", doc["bench"]
+assert doc["byte_identity_vs_direct_server"] is True
+assert len(doc["runs"]) == 3 and [r["workers"] for r in doc["runs"]] == [1, 2, 4]
+for r in doc["runs"]:
+    assert r["ok_200"] == r["requests"], (r["workers"], r["ok_200"])
+    assert r["errors"] == 0, r["workers"]
+    assert r["replay_mismatches"] == 0, r["workers"]
+    assert r["worker_requests"] == r["requests"], r["workers"]
+    for key in ("req_per_s", "p50_us", "p95_us", "p99_us"):
+        assert r[key] > 0, (r["workers"], key)
+print("BENCH_http_smoke.json is valid")
+EOF
+
 echo "All checks passed."

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# HTTP front-end smoke: boot serve_http on an ephemeral loopback port,
+# hit /health, /metrics, and one corpus script, then shut it down.
+# Usage: scripts/http_smoke.sh [path-to-serve_http]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/serve_http}"
+if [ ! -x "$BIN" ]; then
+  echo "http_smoke: $BIN not built" >&2
+  exit 1
+fi
+
+OUT="$(mktemp)"
+"$BIN" --workers 2 >"$OUT" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$OUT"' EXIT
+
+# The first stdout line carries the bound address; wait for it.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's#^serve_http: listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' "$OUT" | head -n1)"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "http_smoke: serve_http died during startup:" >&2
+    cat "$OUT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "http_smoke: no listening port announced:" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+echo "http_smoke: serve_http is on port $PORT"
+
+PORT="$PORT" python3 - <<'EOF'
+import http.client
+import os
+
+port = int(os.environ["PORT"])
+
+def get(path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    conn.request("GET", path)
+    resp = conn.getresponse()
+    body = resp.read()
+    conn.close()
+    return resp.status, body
+
+status, body = get("/health")
+assert status == 200 and body == b"ok\n", (status, body)
+print("http_smoke: /health ok")
+
+status, body = get("/metrics")
+assert status == 200, status
+text = body.decode("utf-8")
+for name in (
+    "phpaccel_requests_total",
+    "phpaccel_http_requests_total",
+    "phpaccel_static_savings_total",
+):
+    assert name in text, name
+print("http_smoke: /metrics ok (%d lines)" % len(text.splitlines()))
+
+status, body = get("/run/tag-cloud")
+assert status == 200 and body, (status, len(body))
+print("http_smoke: /run/tag-cloud ok (%d bytes)" % len(body))
+
+# The request above must now show up in the metrics.
+status, body = get("/metrics")
+assert status == 200, status
+served = [
+    line for line in body.decode("utf-8").splitlines()
+    if line.startswith("phpaccel_requests_total ")
+]
+assert served and float(served[0].split()[-1]) >= 1, served
+print("http_smoke: /metrics reflects the served request")
+
+status, _ = get("/no/such/route")
+assert status == 404, status
+print("http_smoke: 404 routing ok")
+EOF
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+trap 'rm -f "$OUT"' EXIT
+echo "http_smoke: PASS"
